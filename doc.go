@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "A Principled
+// Approach to Bridging the Gap between Graph Data and their Schemas"
+// (Arenas, Díaz, Fokoue, Kementsietsidis, Srinivas — VLDB 2014): a rule
+// language for RDF structuredness measures, the sort-refinement problem,
+// its ILP reduction, and the paper's full experimental evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The root package holds
+// the benchmark harness (bench_test.go) that regenerates every table
+// and figure; the library lives under internal/.
+package repro

@@ -1,0 +1,214 @@
+// Package bitset provides a dense, fixed-capacity bit set used to
+// represent property signatures (Definition 4.1 of the paper): one bit
+// per property column of the property-structure view M(D).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit set. The zero value is an empty set of capacity 0;
+// use New to create a set with a given capacity. Sets of different
+// lengths are never equal.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns a Set able to hold n bits, all initially zero.
+func New(n int) Set {
+	if n < 0 {
+		panic("bitset: negative size")
+	}
+	return Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a Set of capacity n with the given bits set.
+func FromIndices(n int, idx ...int) Set {
+	s := New(n)
+	for _, i := range idx {
+		s.Set(i)
+	}
+	return s
+}
+
+// Len returns the capacity (number of addressable bits).
+func (s Set) Len() int { return s.n }
+
+// Set sets bit i to 1.
+func (s Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Clear sets bit i to 0.
+func (s Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Test reports whether bit i is 1.
+func (s Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of 1 bits (the signature support size).
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Equal reports whether s and t have the same capacity and bits.
+func (s Set) Equal(t Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	t := Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(t.words, s.words)
+	return t
+}
+
+// Key returns a string usable as a map key identifying the bit pattern.
+// Two sets have the same Key iff they are Equal.
+func (s Set) Key() string {
+	var b strings.Builder
+	b.Grow(len(s.words)*8 + 8)
+	fmt.Fprintf(&b, "%d:", s.n)
+	for _, w := range s.words {
+		b.WriteByte(byte(w))
+		b.WriteByte(byte(w >> 8))
+		b.WriteByte(byte(w >> 16))
+		b.WriteByte(byte(w >> 24))
+		b.WriteByte(byte(w >> 32))
+		b.WriteByte(byte(w >> 40))
+		b.WriteByte(byte(w >> 48))
+		b.WriteByte(byte(w >> 56))
+	}
+	return b.String()
+}
+
+// String renders the set as a 0/1 string, lowest index first,
+// e.g. "1011" — convenient in tests and visualizations.
+func (s Set) String() string {
+	var b strings.Builder
+	b.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		if s.Test(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Or sets s to the bitwise OR of s and t. Panics if capacities differ.
+func (s Set) Or(t Set) {
+	s.sameLen(t)
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// And sets s to the bitwise AND of s and t. Panics if capacities differ.
+func (s Set) And(t Set) {
+	s.sameLen(t)
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// AndNot clears in s every bit set in t. Panics if capacities differ.
+func (s Set) AndNot(t Set) {
+	s.sameLen(t)
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Intersects reports whether s and t share any set bit.
+func (s Set) Intersects(t Set) bool {
+	s.sameLen(t)
+	for i := range s.words {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSubsetOf reports whether every bit of s is also set in t.
+func (s Set) IsSubsetOf(t Set) bool {
+	s.sameLen(t)
+	for i := range s.words {
+		if s.words[i]&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Set) sameLen(t Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: mismatched lengths %d and %d", s.n, t.n))
+	}
+}
+
+// Indices returns the positions of the 1 bits in increasing order.
+func (s Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls f with each set bit index in increasing order.
+func (s Set) ForEach(f func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// HammingDistance returns the number of positions at which s and t
+// differ. Panics if capacities differ.
+func (s Set) HammingDistance(t Set) int {
+	s.sameLen(t)
+	d := 0
+	for i := range s.words {
+		d += bits.OnesCount64(s.words[i] ^ t.words[i])
+	}
+	return d
+}

@@ -1,0 +1,248 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(0)
+	if s.Len() != 0 || s.Count() != 0 {
+		t.Fatalf("empty set: Len=%d Count=%d", s.Len(), s.Count())
+	}
+}
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, i := range []int{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Test(%d) did not panic", i)
+				}
+			}()
+			s.Test(i)
+		}()
+	}
+}
+
+func TestFromIndices(t *testing.T) {
+	s := FromIndices(8, 1, 3, 5)
+	if s.String() != "01010100" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestEqualAndKey(t *testing.T) {
+	a := FromIndices(100, 3, 64, 99)
+	b := FromIndices(100, 3, 64, 99)
+	c := FromIndices(100, 3, 64)
+	d := FromIndices(99, 3, 64)
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Fatal("equal sets not equal")
+	}
+	if a.Equal(c) || a.Key() == c.Key() {
+		t.Fatal("different sets compare equal")
+	}
+	if a.Equal(d) {
+		t.Fatal("sets of different capacity compare equal")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := FromIndices(70, 1, 69)
+	b := a.Clone()
+	b.Set(2)
+	if a.Test(2) {
+		t.Fatal("Clone shares storage")
+	}
+	if !b.Test(1) || !b.Test(69) {
+		t.Fatal("Clone lost bits")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	a := FromIndices(10, 0, 1, 2)
+	b := FromIndices(10, 2, 3)
+	or := a.Clone()
+	or.Or(b)
+	if or.String() != "1111000000" {
+		t.Fatalf("Or = %q", or.String())
+	}
+	and := a.Clone()
+	and.And(b)
+	if and.String() != "0010000000" {
+		t.Fatalf("And = %q", and.String())
+	}
+	andnot := a.Clone()
+	andnot.AndNot(b)
+	if andnot.String() != "1100000000" {
+		t.Fatalf("AndNot = %q", andnot.String())
+	}
+	if !a.Intersects(b) {
+		t.Fatal("Intersects false for overlapping sets")
+	}
+	if a.Intersects(FromIndices(10, 5, 6)) {
+		t.Fatal("Intersects true for disjoint sets")
+	}
+	if !FromIndices(10, 1, 2).IsSubsetOf(a) {
+		t.Fatal("IsSubsetOf false for subset")
+	}
+	if a.IsSubsetOf(b) {
+		t.Fatal("IsSubsetOf true for non-subset")
+	}
+}
+
+func TestIndicesAndForEach(t *testing.T) {
+	want := []int{2, 63, 64, 100}
+	s := FromIndices(128, want...)
+	got := s.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+	var walked []int
+	s.ForEach(func(i int) { walked = append(walked, i) })
+	for i := range want {
+		if walked[i] != want[i] {
+			t.Fatalf("ForEach order %v, want %v", walked, want)
+		}
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := FromIndices(80, 0, 1, 70)
+	b := FromIndices(80, 1, 2, 70, 79)
+	if d := a.HammingDistance(b); d != 3 {
+		t.Fatalf("HammingDistance = %d, want 3", d)
+	}
+	if d := a.HammingDistance(a); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+}
+
+func TestMismatchedLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Or across lengths did not panic")
+		}
+	}()
+	a, b := New(10), New(11)
+	a.Or(b)
+}
+
+// Property: Count equals the number of distinct indices set.
+func TestQuickCountMatchesIndices(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := New(n)
+		seen := map[int]bool{}
+		for i := 0; i < n/2; i++ {
+			j := rng.Intn(n)
+			s.Set(j)
+			seen[j] = true
+		}
+		return s.Count() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: x.HammingDistance(y) == (x XOR y).Count() behaviourally —
+// distance is symmetric and satisfies the triangle inequality.
+func TestQuickHammingMetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(150) + 1
+		mk := func() Set {
+			s := New(n)
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 1 {
+					s.Set(i)
+				}
+			}
+			return s
+		}
+		a, b, c := mk(), mk(), mk()
+		if a.HammingDistance(b) != b.HammingDistance(a) {
+			return false
+		}
+		return a.HammingDistance(c) <= a.HammingDistance(b)+b.HammingDistance(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Key is injective over observed patterns.
+func TestQuickKeyInjective(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(100) + 1
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 1 {
+				b.Set(i)
+			}
+		}
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	s := New(4096)
+	for i := 0; i < 4096; i += 3 {
+		s.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Count()
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	s := New(64)
+	for i := 0; i < 64; i += 2 {
+		s.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Key()
+	}
+}

@@ -1,0 +1,232 @@
+// Package core is the public facade of the library: loading RDF
+// datasets, computing structuredness values under built-in or custom
+// rules, and discovering sort refinements. Examples and command-line
+// tools are written against this package; the underlying machinery
+// lives in internal/rdf, internal/matrix, internal/rules, internal/ilp
+// and internal/refine.
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/ilp"
+	"repro/internal/matrix"
+	"repro/internal/rdf"
+	"repro/internal/refine"
+	"repro/internal/rules"
+	"repro/internal/viz"
+)
+
+// Dataset couples a property-structure view with its provenance.
+type Dataset struct {
+	Name string
+	View *matrix.View
+	// Graph is the originating RDF graph, when loaded from triples
+	// (nil for synthetically generated views).
+	Graph *rdf.Graph
+}
+
+// LoadNTriples reads an N-Triples file and extracts the subgraph of the
+// given sort (empty sortURI = whole graph) as a dataset.
+func LoadNTriples(path, sortURI string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadNTriples(f, path, sortURI)
+}
+
+// Load reads an RDF file, selecting the parser by extension: .ttl/.turtle
+// for Turtle, anything else N-Triples.
+func Load(path, sortURI string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".ttl") || strings.HasSuffix(path, ".turtle") {
+		g, err := rdf.ParseTurtle(f)
+		if err != nil {
+			return nil, err
+		}
+		return FromGraph(g, path, sortURI)
+	}
+	return ReadNTriples(f, path, sortURI)
+}
+
+// ReadNTriples is LoadNTriples over an io.Reader.
+func ReadNTriples(r io.Reader, name, sortURI string) (*Dataset, error) {
+	g, err := rdf.ParseNTriples(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromGraph(g, name, sortURI)
+}
+
+// FromGraph builds a dataset from a graph, extracting Dt when sortURI
+// is non-empty.
+func FromGraph(g *rdf.Graph, name, sortURI string) (*Dataset, error) {
+	if sortURI != "" {
+		g = g.SortSubgraph(sortURI)
+		if g.Len() == 0 {
+			return nil, fmt.Errorf("core: no subjects of sort %q", sortURI)
+		}
+	}
+	v := matrix.FromGraph(g, matrix.Options{KeepSubjects: true})
+	return &Dataset{Name: name, View: v, Graph: g}, nil
+}
+
+// FromView wraps a pre-built view.
+func FromView(name string, v *matrix.View) *Dataset {
+	return &Dataset{Name: name, View: v}
+}
+
+// ParseRule parses the rule language (see internal/rules for syntax).
+func ParseRule(src string) (*rules.Rule, error) { return rules.Parse(src) }
+
+// Builtin returns a named built-in structuredness function: "cov",
+// "sim", "dep[p1,p2]", "symdep[p1,p2]".
+func Builtin(name string) (rules.Func, *rules.Rule, error) {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	switch {
+	case lower == "cov":
+		return rules.CovFunc(), rules.CovRule(), nil
+	case lower == "sim":
+		return rules.SimFunc(), rules.SimRule(), nil
+	case strings.HasPrefix(lower, "dep[") && strings.HasSuffix(lower, "]"):
+		p1, p2, err := splitPair(name[4 : len(name)-1])
+		if err != nil {
+			return nil, nil, err
+		}
+		return rules.DepFunc(p1, p2), rules.DepRule(p1, p2), nil
+	case strings.HasPrefix(lower, "symdep[") && strings.HasSuffix(lower, "]"):
+		p1, p2, err := splitPair(name[7 : len(name)-1])
+		if err != nil {
+			return nil, nil, err
+		}
+		return rules.SymDepFunc(p1, p2), rules.SymDepRule(p1, p2), nil
+	}
+	return nil, nil, fmt.Errorf("core: unknown builtin %q (want cov, sim, dep[p1,p2] or symdep[p1,p2])", name)
+}
+
+func splitPair(s string) (string, string, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return "", "", fmt.Errorf("core: want two comma-separated properties, got %q", s)
+	}
+	return strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), nil
+}
+
+// Structuredness computes σ of the dataset under a rule (closed form
+// when recognized).
+func (d *Dataset) Structuredness(r *rules.Rule) (rules.Ratio, error) {
+	return rules.FuncForRule(r).Eval(d.View)
+}
+
+// StructurednessFunc computes σ under an arbitrary Func.
+func (d *Dataset) StructurednessFunc(fn rules.Func) (rules.Ratio, error) {
+	return fn.Eval(d.View)
+}
+
+// Summary returns a one-paragraph description mirroring the dataset
+// statistics the paper reports (Figures 2 and 3 captions).
+func (d *Dataset) Summary() string {
+	v := d.View
+	cov := rules.Coverage(v).Value()
+	sim := rules.Similarity(v).Value()
+	return fmt.Sprintf("%s: %d subjects, %d properties, %d signature sets; σCov=%.2f σSim=%.2f",
+		d.Name, v.NumSubjects(), v.NumProperties(), v.NumSignatures(), cov, sim)
+}
+
+// Render draws the dataset's signature view as ASCII art.
+func (d *Dataset) Render(maxRows int) string {
+	return viz.Render(d.View, viz.Options{MaxRows: maxRows, ShowCounts: true})
+}
+
+// RefineResult packages a sort refinement with presentation helpers.
+type RefineResult struct {
+	Outcome *refine.Outcome
+	Dataset *Dataset
+}
+
+// HighestTheta runs the paper's first strategy: the best threshold
+// achievable with at most k implicit sorts.
+func (d *Dataset) HighestTheta(r *rules.Rule, k int, opts refine.SearchOptions) (*RefineResult, error) {
+	out, err := refine.HighestTheta(d.View, r, nil, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RefineResult{Outcome: out, Dataset: d}, nil
+}
+
+// LowestK runs the paper's second strategy: the fewest implicit sorts
+// reaching threshold theta1/theta2.
+func (d *Dataset) LowestK(r *rules.Rule, theta1, theta2 int64, opts refine.SearchOptions) (*RefineResult, error) {
+	out, err := refine.LowestK(d.View, r, nil, theta1, theta2, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &RefineResult{Outcome: out, Dataset: d}, nil
+}
+
+// Describe renders the refinement like the paper's figure captions:
+// per-sort subject counts, signature counts, and σCov/σSim values.
+func (rr *RefineResult) Describe() string {
+	var b strings.Builder
+	out := rr.Outcome
+	ref := out.Refinement
+	if ref == nil {
+		return "no refinement found"
+	}
+	views, _ := ref.SortViews(rr.Dataset.View)
+	fmt.Fprintf(&b, "θ=%d/%d, k≤%d → %d non-empty sorts (exact=%v, %d instances, %v)\n",
+		out.Theta1, out.Theta2, ref.K, len(views), out.Exact, out.Instances, out.Elapsed.Round(1000000))
+	// Stable presentation order: by subject count descending.
+	sort.Slice(views, func(i, j int) bool { return views[i].NumSubjects() > views[j].NumSubjects() })
+	for i, v := range views {
+		fmt.Fprintf(&b, "  sort %d: %d subjects, %d signatures, σCov=%.2f, σSim=%.2f\n",
+			i+1, v.NumSubjects(), v.NumSignatures(),
+			rules.Coverage(v).Value(), rules.Similarity(v).Value())
+	}
+	return b.String()
+}
+
+// RenderSorts draws the refinement's sorts side by side (Figures 4–7).
+func (rr *RefineResult) RenderSorts(maxRows int) string {
+	views, _ := rr.Outcome.Refinement.SortViews(rr.Dataset.View)
+	sort.Slice(views, func(i, j int) bool { return views[i].NumSubjects() > views[j].NumSubjects() })
+	return viz.RenderSideBySide(views, nil, viz.Options{MaxRows: maxRows, ShowCounts: true})
+}
+
+// SortViewsBySize returns the refinement's non-empty sorts, largest
+// first.
+func (rr *RefineResult) SortViewsBySize() []*matrix.View {
+	views, _ := rr.Outcome.Refinement.SortViews(rr.Dataset.View)
+	sort.Slice(views, func(i, j int) bool { return views[i].NumSubjects() > views[j].NumSubjects() })
+	return views
+}
+
+// SaveNTriples serializes the dataset's graph (must have been loaded or
+// generated with triples).
+func (d *Dataset) SaveNTriples(path string) error {
+	if d.Graph == nil {
+		return fmt.Errorf("core: dataset %q has no graph to save", d.Name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rdf.WriteNTriples(f, d.Graph)
+}
+
+// ilpOptions is a small helper for tests and tools constructing solver
+// budgets.
+func ilpOptions(maxDecisions int64) ilp.Options {
+	return ilp.Options{MaxDecisions: maxDecisions}
+}

@@ -1,0 +1,98 @@
+// Package datagen synthesizes the paper's evaluation datasets. The real
+// corpora (DBpedia dump, WordNet RDF, YAGO) are not available offline,
+// so each generator is calibrated against every statistic the paper
+// publishes about its dataset; the calibrations are enforced by tests.
+// See DESIGN.md §2 for the substitution argument.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/rdf"
+)
+
+// apportion distributes total units over weights using the largest
+// remainder method. When minOne is set every positive-weight cell gets
+// at least one unit (used to preserve the signature count of a dataset
+// at reduced scale).
+func apportion(weights []float64, total int, minOne bool) []int {
+	var wsum float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("datagen: negative weight")
+		}
+		wsum += w
+	}
+	out := make([]int, len(weights))
+	if wsum == 0 || total <= 0 {
+		return out
+	}
+	type rem struct {
+		i    int
+		frac float64
+	}
+	assigned := 0
+	rems := make([]rem, 0, len(weights))
+	for i, w := range weights {
+		exact := float64(total) * w / wsum
+		fl := math.Floor(exact)
+		out[i] = int(fl)
+		if minOne && w > 0 && out[i] == 0 {
+			out[i] = 1
+		}
+		assigned += out[i]
+		rems = append(rems, rem{i, exact - fl})
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].i < rems[b].i
+	})
+	// Distribute or retract the rounding difference.
+	for j := 0; assigned < total && j < len(rems); j++ {
+		out[rems[j].i]++
+		assigned++
+	}
+	for j := len(rems) - 1; assigned > total && j >= 0; j-- {
+		i := rems[j].i
+		min := 0
+		if minOne && weights[i] > 0 {
+			min = 1
+		}
+		if out[i] > min {
+			out[i]--
+			assigned--
+		}
+	}
+	return out
+}
+
+// GraphFromView materializes a view back into an RDF graph: every
+// subject receives an rdf:type triple for sortURI plus one literal
+// triple per property in its signature. Subject URIs are synthesized
+// from prefix unless the view retains real subject names.
+func GraphFromView(v *matrix.View, sortURI, prefix string) *rdf.Graph {
+	g := rdf.NewGraph()
+	props := v.Properties()
+	n := 0
+	for _, sg := range v.Signatures() {
+		for i := 0; i < sg.Count; i++ {
+			var subj string
+			if sg.Subjects != nil {
+				subj = sg.Subjects[i]
+			} else {
+				subj = fmt.Sprintf("%s/%d", prefix, n)
+			}
+			n++
+			g.AddURI(subj, rdf.TypeURI, sortURI)
+			sg.Bits.ForEach(func(p int) {
+				g.AddLiteral(subj, props[p], "v")
+			})
+		}
+	}
+	return g
+}

@@ -1,0 +1,258 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/rules"
+)
+
+func TestApportion(t *testing.T) {
+	got := apportion([]float64{1, 1, 2}, 8, false)
+	if got[0]+got[1]+got[2] != 8 {
+		t.Fatalf("sum %v", got)
+	}
+	if got[2] != 4 {
+		t.Fatalf("weights ignored: %v", got)
+	}
+	// minOne keeps tiny cells alive.
+	got = apportion([]float64{0.999, 0.001}, 10, true)
+	if got[1] < 1 {
+		t.Fatalf("minOne violated: %v", got)
+	}
+	if got[0]+got[1] != 10 {
+		t.Fatalf("sum %v", got)
+	}
+	// Zero weights stay zero.
+	got = apportion([]float64{1, 0}, 5, true)
+	if got[1] != 0 {
+		t.Fatalf("zero weight got units: %v", got)
+	}
+}
+
+func TestQuickApportionSums(t *testing.T) {
+	f := func(seed int64, totalRaw uint16) bool {
+		total := int(totalRaw)%1000 + 1
+		n := int(uint64(seed)%7 + 2)
+		ws := make([]float64, n)
+		x := seed
+		for i := range ws {
+			x = x*6364136223846793005 + 1442695040888963407
+			ws[i] = float64(uint64(x)%1000) / 100
+		}
+		nonzero := 0
+		for _, w := range ws {
+			if w > 0 {
+				nonzero++
+			}
+		}
+		if nonzero == 0 || total < nonzero {
+			return true // skip degenerate combinations
+		}
+		got := apportion(ws, total, true)
+		sum := 0
+		for i, c := range got {
+			if ws[i] == 0 && c != 0 {
+				return false
+			}
+			if ws[i] > 0 && c < 1 {
+				return false
+			}
+			sum += c
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// propCount returns N_p by property name.
+func propCount(v *matrix.View, name string) int64 {
+	i, ok := v.PropertyIndex(name)
+	if !ok {
+		return -1
+	}
+	return v.PropertyCounts()[i]
+}
+
+func TestDBpediaPersonsFullScaleCalibration(t *testing.T) {
+	v := DBpediaPersons(1.0)
+	if v.NumSubjects() != DBpediaPersonsFullSize {
+		t.Fatalf("subjects = %d", v.NumSubjects())
+	}
+	if v.NumProperties() != 8 {
+		t.Fatalf("properties = %d", v.NumProperties())
+	}
+	if v.NumSignatures() != 64 {
+		t.Fatalf("signatures = %d, want 64", v.NumSignatures())
+	}
+	// §1 marginals (±0.5% after apportionment).
+	checks := []struct {
+		prop string
+		want int64
+	}{
+		{PropName, 790703},
+		{PropBirthDate, 420242},
+		{PropBirthPlace, 323368},
+		{PropDeathDate, 173507},
+		{PropDeathPlace, 90246},
+	}
+	for _, c := range checks {
+		got := propCount(v, c.prop)
+		if math.Abs(float64(got-c.want)) > 0.005*float64(c.want) {
+			t.Errorf("N[%s] = %d, want ≈%d", c.prop, got, c.want)
+		}
+	}
+	// §7.1 structuredness values.
+	if cov := rules.Coverage(v).Value(); math.Abs(cov-0.54) > 0.01 {
+		t.Errorf("σCov = %.3f, want ≈0.54", cov)
+	}
+	if sim := rules.Similarity(v).Value(); math.Abs(sim-0.77) > 0.01 {
+		t.Errorf("σSim = %.3f, want ≈0.77", sim)
+	}
+	if sd := rules.SymDep(v, PropDeathPlace, PropDeathDate).Value(); math.Abs(sd-0.39) > 0.01 {
+		t.Errorf("σSymDep[dP,dD] = %.3f, want ≈0.39", sd)
+	}
+	// Table 2 extremes.
+	if sd := rules.SymDep(v, PropGivenName, PropSurName).Value(); sd != 1.0 {
+		t.Errorf("σSymDep[givenName,surName] = %.3f, want 1.0", sd)
+	}
+	if sd := rules.SymDep(v, PropName, PropGivenName).Value(); math.Abs(sd-0.95) > 0.01 {
+		t.Errorf("σSymDep[name,givenName] = %.3f, want ≈0.95", sd)
+	}
+	if sd := rules.SymDep(v, PropDeathPlace, PropName).Value(); math.Abs(sd-0.11) > 0.01 {
+		t.Errorf("σSymDep[deathPlace,name] = %.3f, want ≈0.11", sd)
+	}
+	// Table 1 row 1.
+	if d := rules.Dep(v, PropDeathPlace, PropBirthPlace).Value(); math.Abs(d-0.93) > 0.01 {
+		t.Errorf("σDep[dP,bP] = %.3f, want ≈0.93", d)
+	}
+	if d := rules.Dep(v, PropDeathPlace, PropBirthDate).Value(); math.Abs(d-0.77) > 0.01 {
+		t.Errorf("σDep[dP,bD] = %.3f, want ≈0.77", d)
+	}
+}
+
+func TestDBpediaPersonsScaledPreservesShape(t *testing.T) {
+	v := DBpediaPersons(0.01)
+	if v.NumSignatures() != 64 {
+		t.Fatalf("signatures at 1%% scale = %d, want 64", v.NumSignatures())
+	}
+	if cov := rules.Coverage(v).Value(); math.Abs(cov-0.54) > 0.02 {
+		t.Errorf("σCov at 1%% = %.3f", cov)
+	}
+	if sim := rules.Similarity(v).Value(); math.Abs(sim-0.77) > 0.02 {
+		t.Errorf("σSim at 1%% = %.3f", sim)
+	}
+}
+
+func TestDBpediaPersonsGraphRoundTrip(t *testing.T) {
+	g := DBpediaPersonsGraph(0.002)
+	sub := g.SortSubgraph(DBpediaPersonsSortURI)
+	v := matrix.FromGraph(sub, matrix.Options{})
+	if v.NumProperties() != 8 {
+		t.Fatalf("graph view properties = %v", v.Properties())
+	}
+	if v.NumSubjects() != DBpediaPersons(0.002).NumSubjects() {
+		t.Fatalf("subjects: %d", v.NumSubjects())
+	}
+	if cov := rules.Coverage(v).Value(); math.Abs(cov-0.54) > 0.05 {
+		t.Errorf("σCov from graph = %.3f", cov)
+	}
+}
+
+func TestWordNetNounsCalibration(t *testing.T) {
+	v := WordNetNouns(1.0)
+	if v.NumSubjects() != WordNetNounsFullSize {
+		t.Fatalf("subjects = %d", v.NumSubjects())
+	}
+	if v.NumProperties() != 12 {
+		t.Fatalf("properties = %d", v.NumProperties())
+	}
+	if v.NumSignatures() != 53 {
+		t.Fatalf("signatures = %d, want 53", v.NumSignatures())
+	}
+	if cov := rules.Coverage(v).Value(); math.Abs(cov-0.44) > 0.02 {
+		t.Errorf("σCov = %.3f, want ≈0.44", cov)
+	}
+	if sim := rules.Similarity(v).Value(); math.Abs(sim-0.93) > 0.02 {
+		t.Errorf("σSim = %.3f, want ≈0.93", sim)
+	}
+	// Three universal properties.
+	for _, p := range []string{PropGloss, PropLabel, PropSynsetID} {
+		if propCount(v, p) != int64(v.NumSubjects()) {
+			t.Errorf("%s not universal: %d", p, propCount(v, p))
+		}
+	}
+}
+
+func TestYagoSample(t *testing.T) {
+	sorts := YagoSample(1, YagoSampleOptions{NumSorts: 30, MaxSubjects: 5000})
+	if len(sorts) != 30 {
+		t.Fatalf("sorts = %d", len(sorts))
+	}
+	for _, s := range sorts {
+		v := s.View
+		if v.NumProperties() < 10 || v.NumProperties() > 40 {
+			t.Errorf("%s: properties = %d", s.Name, v.NumProperties())
+		}
+		if v.NumSignatures() < 1 || v.NumSignatures() > 350 {
+			t.Errorf("%s: signatures = %d", s.Name, v.NumSignatures())
+		}
+		if v.NumSubjects() < v.NumSignatures() {
+			t.Errorf("%s: %d subjects < %d signatures", s.Name, v.NumSubjects(), v.NumSignatures())
+		}
+	}
+	// Determinism.
+	again := YagoSample(1, YagoSampleOptions{NumSorts: 30, MaxSubjects: 5000})
+	for i := range sorts {
+		if sorts[i].View.NumSubjects() != again[i].View.NumSubjects() ||
+			sorts[i].View.NumSignatures() != again[i].View.NumSignatures() {
+			t.Fatal("YagoSample not deterministic")
+		}
+	}
+}
+
+func TestMixedDrugSultans(t *testing.T) {
+	g := MixedDrugSultans(MixedOptions{Seed: 2})
+	sorts := g.Sorts()
+	if len(sorts) != 2 {
+		t.Fatalf("sorts = %v", sorts)
+	}
+	drugs := g.SortSubgraph(DrugCompanySortURI)
+	sultans := g.SortSubgraph(SultanSortURI)
+	if drugs.SubjectCount() != 27 || sultans.SubjectCount() != 40 {
+		t.Fatalf("drug=%d sultan=%d", drugs.SubjectCount(), sultans.SubjectCount())
+	}
+	// Ground truth resolves for every subject.
+	for _, s := range g.Subjects() {
+		if TrueSort(g, s) == "" {
+			t.Fatalf("subject %s has no ground truth", s)
+		}
+	}
+	// Shared syntax properties exist on both sorts.
+	dv := matrix.FromGraph(drugs, matrix.Options{})
+	sv := matrix.FromGraph(sultans, matrix.Options{})
+	for _, p := range SharedSyntaxProps {
+		if _, ok := dv.PropertyIndex(p); !ok {
+			t.Errorf("drug view missing %s", p)
+		}
+		if _, ok := sv.PropertyIndex(p); !ok {
+			t.Errorf("sultan view missing %s", p)
+		}
+	}
+}
+
+func BenchmarkDBpediaPersonsFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = DBpediaPersons(1.0)
+	}
+}
+
+func BenchmarkYagoSample100(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = YagoSample(7, YagoSampleOptions{NumSorts: 100, MaxSubjects: 10000})
+	}
+}

@@ -1,0 +1,178 @@
+package datagen
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/matrix"
+	"repro/internal/rdf"
+)
+
+// DBpedia Persons property names (Section 7.1 of the paper, in the
+// paper's abbreviated form).
+const (
+	PropDeathPlace  = "deathPlace"
+	PropBirthPlace  = "birthPlace"
+	PropDescription = "description"
+	PropName        = "name"
+	PropDeathDate   = "deathDate"
+	PropBirthDate   = "birthDate"
+	PropGivenName   = "givenName"
+	PropSurName     = "surName"
+)
+
+// DBpediaPersonsSortURI is the sort URI used for generated persons.
+const DBpediaPersonsSortURI = "http://xmlns.com/foaf/0.1/Person"
+
+// DBpediaPersonsFullSize is the paper's subject count for the sort.
+const DBpediaPersonsFullSize = 790703
+
+// dbpediaPersonsProps is the column order used by the generator,
+// matching the paper's Figure 2 ordering.
+var dbpediaPersonsProps = []string{
+	PropDeathPlace, PropBirthPlace, PropDescription, PropName,
+	PropDeathDate, PropBirthDate, PropGivenName, PropSurName,
+}
+
+// The calibration below reproduces every statistic the paper states
+// about DBpedia Persons at full scale (N = 790,703):
+//
+//   - name is universal; givenName and surName co-occur perfectly
+//     (σSymDep[givenName,surName] = 1.0, Table 2) and are missing for
+//     ~40,000 subjects;
+//   - birthDate 420,242, birthPlace 323,368, both 241,156 (§1);
+//   - deathDate 173,507, deathPlace 90,246 (§1), with
+//     σSymDep[deathPlace,deathDate] ≈ 0.39 (§7.1) giving ≈74,300 with
+//     both;
+//   - description is sized so σCov = 0.54 (§7.1): ΣN_p = 0.54·8·N
+//     ⇒ description ≈ 116,365;
+//   - Table 1 row 1: σDep[dP,bP] = 0.93 and σDep[dP,bD] = 0.77
+//     condition the birth distribution of subjects with a deathPlace;
+//     σDep[dD,·] similarly conditions deathDate-only subjects.
+//
+// Four death categories × four birth categories × givenName/surName
+// pair × description = exactly 64 signatures (the paper's count).
+type dbpediaCell struct {
+	death int // 0 none, 1 dP only, 2 dD only, 3 both
+	birth int // 0 none, 1 bP only, 2 bD only, 3 both
+	gs    bool
+	desc  bool
+}
+
+// dbpediaCellWeights returns the 64 cells and their probabilities.
+func dbpediaCellWeights() ([]dbpediaCell, []float64) {
+	const n = float64(DBpediaPersonsFullSize)
+	// Death category marginals.
+	deathP := [4]float64{601250 / n, 15946 / n, 99207 / n, 74300 / n}
+	// Birth category conditioned on death group (derived in DESIGN.md §2
+	// from Table 1): [death group][birth cat] with groups
+	// 0 = no death info, 1 = has deathPlace (cat 1 or 3), 2 = deathDate only.
+	birthGiven := [3][4]float64{
+		{0.4678, 0.0956, 0.2164, 0.2202}, // no death
+		{0.0161, 0.2139, 0.0539, 0.7161}, // has deathPlace: 1453,19304,4864,64625 / 90246
+		{0.0550, 0.0550, 0.4450, 0.4450}, // deathDate only: 5456,5457,44147,44147 / 99207
+	}
+	const pGS = 750703.0 / 790703.0
+	const pDesc = 116365.0 / 790703.0
+
+	var cells []dbpediaCell
+	var weights []float64
+	for d := 0; d < 4; d++ {
+		group := 0
+		switch d {
+		case 1, 3:
+			group = 1
+		case 2:
+			group = 2
+		}
+		for b := 0; b < 4; b++ {
+			for _, gs := range []bool{true, false} {
+				for _, desc := range []bool{true, false} {
+					p := deathP[d] * birthGiven[group][b]
+					if gs {
+						p *= pGS
+					} else {
+						p *= 1 - pGS
+					}
+					if desc {
+						p *= pDesc
+					} else {
+						p *= 1 - pDesc
+					}
+					cells = append(cells, dbpediaCell{death: d, birth: b, gs: gs, desc: desc})
+					weights = append(weights, p)
+				}
+			}
+		}
+	}
+	return cells, weights
+}
+
+func (c dbpediaCell) bits() bitset.Set {
+	b := bitset.New(len(dbpediaPersonsProps))
+	set := func(name string) {
+		for i, p := range dbpediaPersonsProps {
+			if p == name {
+				b.Set(i)
+				return
+			}
+		}
+	}
+	set(PropName)
+	if c.gs {
+		set(PropGivenName)
+		set(PropSurName)
+	}
+	if c.desc {
+		set(PropDescription)
+	}
+	switch c.birth {
+	case 1:
+		set(PropBirthPlace)
+	case 2:
+		set(PropBirthDate)
+	case 3:
+		set(PropBirthPlace)
+		set(PropBirthDate)
+	}
+	switch c.death {
+	case 1:
+		set(PropDeathPlace)
+	case 2:
+		set(PropDeathDate)
+	case 3:
+		set(PropDeathPlace)
+		set(PropDeathDate)
+	}
+	return b
+}
+
+// DBpediaPersons generates the DBpedia Persons property-structure view
+// at the given scale (1.0 = the paper's 790,703 subjects). Cell counts
+// are apportioned deterministically (largest remainder, each cell ≥ 1)
+// so every scale preserves the 64 signatures and closely tracks the
+// paper's marginals. Scale must be in (0, 1].
+func DBpediaPersons(scale float64) *matrix.View {
+	if scale <= 0 || scale > 1 {
+		panic("datagen: scale must be in (0,1]")
+	}
+	total := int(float64(DBpediaPersonsFullSize) * scale)
+	cells, weights := dbpediaCellWeights()
+	counts := apportion(weights, total, true)
+	sigs := make([]matrix.Signature, 0, len(cells))
+	for i, c := range cells {
+		if counts[i] == 0 {
+			continue
+		}
+		sigs = append(sigs, matrix.Signature{Bits: c.bits(), Count: counts[i]})
+	}
+	v, err := matrix.New(dbpediaPersonsProps, sigs)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// DBpediaPersonsGraph materializes the generated view as an RDF graph
+// with rdf:type triples (usable by the N-Triples round-trip tools).
+func DBpediaPersonsGraph(scale float64) *rdf.Graph {
+	return GraphFromView(DBpediaPersons(scale), DBpediaPersonsSortURI, "http://dbpedia.org/resource/person")
+}

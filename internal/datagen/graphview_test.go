@@ -1,0 +1,76 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/matrix"
+	"repro/internal/rdf"
+)
+
+func TestGraphFromView(t *testing.T) {
+	props := []string{"name", "age"}
+	sigs := []matrix.Signature{
+		{Bits: bitset.FromIndices(2, 0, 1), Count: 2},
+		{Bits: bitset.FromIndices(2, 0), Count: 1},
+	}
+	v, err := matrix.New(props, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GraphFromView(v, "http://ex/T", "http://ex/s")
+	// 3 type triples + 2·2 + 1·1 property triples.
+	if g.Len() != 3+5 {
+		t.Fatalf("triples = %d, want 8", g.Len())
+	}
+	// Round trip through the view builder restores the structure.
+	back := matrix.FromGraph(g.SortSubgraph("http://ex/T"), matrix.Options{})
+	if back.NumSubjects() != 3 || back.NumSignatures() != 2 {
+		t.Fatalf("round trip: %s", back)
+	}
+	if back.Ones() != v.Ones() {
+		t.Fatalf("ones %d != %d", back.Ones(), v.Ones())
+	}
+}
+
+func TestGraphFromViewKeepsRealSubjects(t *testing.T) {
+	props := []string{"p"}
+	sigs := []matrix.Signature{
+		{Bits: bitset.FromIndices(1, 0), Count: 2, Subjects: []string{"http://ex/a", "http://ex/b"}},
+	}
+	v, err := matrix.New(props, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GraphFromView(v, "http://ex/T", "ignored")
+	if !g.HasProperty("http://ex/a", "p") || !g.HasProperty("http://ex/b", "p") {
+		t.Fatalf("real subject URIs not preserved: %v", g.Subjects())
+	}
+}
+
+func TestWordNetScaledKeepsSignatureCount(t *testing.T) {
+	for _, scale := range []float64{0.005, 0.05, 0.5} {
+		v := WordNetNouns(scale)
+		if v.NumSignatures() != wordnetSignatureCount {
+			t.Errorf("scale %v: signatures = %d", scale, v.NumSignatures())
+		}
+	}
+}
+
+func TestMixedOptionsOverrides(t *testing.T) {
+	g := MixedDrugSultans(MixedOptions{DrugCompanies: 5, Sultans: 7, SparseSultans: 2, Seed: 9})
+	if got := g.SortSubgraph(DrugCompanySortURI).SubjectCount(); got != 5 {
+		t.Fatalf("drugs = %d", got)
+	}
+	if got := g.SortSubgraph(SultanSortURI).SubjectCount(); got != 7 {
+		t.Fatalf("sultans = %d", got)
+	}
+}
+
+func TestTrueSortUnknown(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddLiteral("s", "p", "v")
+	if got := TrueSort(g, "s"); got != "" {
+		t.Fatalf("TrueSort = %q, want empty", got)
+	}
+}

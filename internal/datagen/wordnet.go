@@ -1,0 +1,132 @@
+package datagen
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/matrix"
+	"repro/internal/rdf"
+)
+
+// WordNet Nouns property names (Section 7.2 of the paper).
+const (
+	PropGloss             = "gloss"
+	PropLabel             = "label"
+	PropSynsetID          = "synsetId"
+	PropHyponymOf         = "hyponymOf"
+	PropClassifiedByTopic = "classifiedByTopic"
+	PropContainsWordSense = "containsWordSense"
+	PropMemberMeronymOf   = "memberMeronymOf"
+	PropPartMeronymOf     = "partMeronymOf"
+	PropSubstanceMeronym  = "substanceMeronymOf"
+	PropClassifiedByUsage = "classifiedByUsage"
+	PropClassifiedByRegin = "classifiedByRegion"
+	PropAttribute         = "attribute"
+)
+
+// WordNetNounsSortURI is the sort URI used for generated noun synsets.
+const WordNetNounsSortURI = "http://www.w3.org/2006/03/wn/wn20/schema/NounSynset"
+
+// WordNetNounsFullSize is the paper's subject count for the sort.
+const WordNetNounsFullSize = 79689
+
+// wordnetProps is the column order, matching Figure 3.
+var wordnetProps = []string{
+	PropGloss, PropLabel, PropSynsetID, PropHyponymOf,
+	PropClassifiedByTopic, PropContainsWordSense, PropMemberMeronymOf,
+	PropPartMeronymOf, PropSubstanceMeronym, PropClassifiedByUsage,
+	PropClassifiedByRegin, PropAttribute,
+}
+
+// wordnetSignatureCount is the paper's signature-set count.
+const wordnetSignatureCount = 53
+
+// Calibration (checked by tests): gloss, label and synsetId are
+// universal; hyponymOf and containsWordSense nearly so; the remaining
+// seven properties are rare, sized so that σCov ≈ 0.44 (ΣN_p =
+// 0.44·12·N) and σSim ≈ 0.93 — the paper's values, with the visual
+// shape of Figure 3 (5 dominant columns, long sparse tail).
+var wordnetPresence = map[string]float64{
+	PropGloss:             1.0,
+	PropLabel:             1.0,
+	PropSynsetID:          1.0,
+	PropHyponymOf:         0.94,
+	PropContainsWordSense: 0.98,
+	PropClassifiedByTopic: 0.17,
+	PropMemberMeronymOf:   0.10,
+	PropPartMeronymOf:     0.045,
+	PropSubstanceMeronym:  0.02,
+	PropClassifiedByUsage: 0.01,
+	PropClassifiedByRegin: 0.008,
+	PropAttribute:         0.007,
+}
+
+// WordNetNouns generates the WordNet Nouns view at the given scale
+// (1.0 = 79,689 subjects). The generator enumerates property
+// combinations under the calibrated independence model, keeps the 53
+// most probable (the paper's signature count), and apportions subjects
+// deterministically. Scale must be in (0, 1].
+func WordNetNouns(scale float64) *matrix.View {
+	if scale <= 0 || scale > 1 {
+		panic("datagen: scale must be in (0,1]")
+	}
+	total := int(float64(WordNetNounsFullSize) * scale)
+
+	// Variable columns: those with presence strictly between 0 and 1.
+	var varying []int
+	for i, p := range wordnetProps {
+		pr := wordnetPresence[p]
+		if pr > 0 && pr < 1 {
+			varying = append(varying, i)
+		}
+	}
+	type cell struct {
+		bits bitset.Set
+		prob float64
+	}
+	var cells []cell
+	for mask := 0; mask < 1<<len(varying); mask++ {
+		b := bitset.New(len(wordnetProps))
+		prob := 1.0
+		for i, p := range wordnetProps {
+			if pr := wordnetPresence[p]; pr >= 1 {
+				b.Set(i)
+			} else if pr > 0 {
+				// Find this column's position among varying ones.
+				vi := sort.SearchInts(varying, i)
+				if mask&(1<<vi) != 0 {
+					b.Set(i)
+					prob *= pr
+				} else {
+					prob *= 1 - pr
+				}
+			}
+		}
+		cells = append(cells, cell{bits: b, prob: prob})
+	}
+	sort.Slice(cells, func(a, b int) bool { return cells[a].prob > cells[b].prob })
+	if len(cells) > wordnetSignatureCount {
+		cells = cells[:wordnetSignatureCount]
+	}
+	weights := make([]float64, len(cells))
+	for i, c := range cells {
+		weights[i] = c.prob
+	}
+	counts := apportion(weights, total, true)
+	sigs := make([]matrix.Signature, 0, len(cells))
+	for i, c := range cells {
+		if counts[i] > 0 {
+			sigs = append(sigs, matrix.Signature{Bits: c.bits, Count: counts[i]})
+		}
+	}
+	v, err := matrix.New(wordnetProps, sigs)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// WordNetNounsGraph materializes the generated view as an RDF graph.
+func WordNetNounsGraph(scale float64) *rdf.Graph {
+	return GraphFromView(WordNetNouns(scale), WordNetNounsSortURI, "http://www.w3.org/2006/03/wn/noun")
+}

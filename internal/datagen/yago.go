@@ -1,0 +1,147 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/matrix"
+)
+
+// YagoSort is one synthetic explicit sort from the YAGO-like sample
+// used by the scalability study (Section 7.3).
+type YagoSort struct {
+	Name string
+	View *matrix.View
+}
+
+// YagoSampleOptions shapes the sampled population. Defaults mirror the
+// paper's sample: sizes 10²–10⁵ subjects, 1–350 signatures with a
+// heavy lower tail (99.9% of YAGO sorts have < 350), 10–40 properties.
+type YagoSampleOptions struct {
+	NumSorts      int
+	MinSubjects   int
+	MaxSubjects   int
+	MaxSignatures int
+	MinProperties int
+	MaxProperties int
+}
+
+func (o *YagoSampleOptions) defaults() {
+	if o.NumSorts == 0 {
+		o.NumSorts = 500
+	}
+	if o.MinSubjects == 0 {
+		o.MinSubjects = 100
+	}
+	if o.MaxSubjects == 0 {
+		o.MaxSubjects = 100000
+	}
+	if o.MaxSignatures == 0 {
+		o.MaxSignatures = 350
+	}
+	if o.MinProperties == 0 {
+		o.MinProperties = 10
+	}
+	if o.MaxProperties == 0 {
+		o.MaxProperties = 40
+	}
+}
+
+// YagoSample deterministically generates a population of synthetic
+// explicit sorts. Signature counts follow a log-uniform distribution
+// (heavy low tail as in Figure 8's histograms); subject counts are
+// log-uniform over [MinSubjects, MaxSubjects]; property counts are
+// uniform with a mild skew toward the low end.
+func YagoSample(seed int64, opts YagoSampleOptions) []YagoSort {
+	opts.defaults()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]YagoSort, 0, opts.NumSorts)
+	for i := 0; i < opts.NumSorts; i++ {
+		nProps := opts.MinProperties +
+			int(float64(opts.MaxProperties-opts.MinProperties)*math.Pow(rng.Float64(), 1.5))
+		logMin, logMax := math.Log(float64(opts.MinSubjects)), math.Log(float64(opts.MaxSubjects))
+		nSubj := int(math.Exp(logMin + rng.Float64()*(logMax-logMin)))
+		maxSigs := opts.MaxSignatures
+		if maxSigs > nSubj {
+			maxSigs = nSubj
+		}
+		nSigs := 1 + int(math.Exp(rng.Float64()*math.Log(float64(maxSigs))))
+		if nSigs > maxSigs {
+			nSigs = maxSigs
+		}
+		v := randomSortView(rng, nProps, nSigs, nSubj)
+		out = append(out, YagoSort{Name: fmt.Sprintf("yago/sort%03d", i), View: v})
+	}
+	return out
+}
+
+// randomSortView builds a view with exactly nSigs distinct signatures
+// over nProps properties and nSubj subjects distributed Zipf-style
+// (a few dominant signatures, a long tail — the shape of real sorts).
+func randomSortView(rng *rand.Rand, nProps, nSigs, nSubj int) *matrix.View {
+	props := make([]string, nProps)
+	for i := range props {
+		props[i] = fmt.Sprintf("p%02d", i)
+	}
+	// Per-property presence probability: a core of common properties and
+	// a tail of rare ones.
+	presence := make([]float64, nProps)
+	for i := range presence {
+		if i < nProps/3 {
+			presence[i] = 0.7 + 0.3*rng.Float64()
+		} else {
+			presence[i] = 0.05 + 0.3*rng.Float64()
+		}
+	}
+	seen := map[string]bool{}
+	sigs := make([]matrix.Signature, 0, nSigs)
+	weights := make([]float64, 0, nSigs)
+	misses := 0
+	for len(sigs) < nSigs {
+		b := bitset.New(nProps)
+		for i, p := range presence {
+			if rng.Float64() < p {
+				b.Set(i)
+			}
+		}
+		if b.Count() == 0 {
+			b.Set(rng.Intn(nProps))
+		}
+		// After repeated collisions (dense regions of the sampling
+		// distribution), force novelty by flipping random bits.
+		for seen[b.Key()] && misses > 20 {
+			b2 := b.Clone()
+			i := rng.Intn(nProps)
+			if b2.Test(i) {
+				b2.Clear(i)
+			} else {
+				b2.Set(i)
+			}
+			b = b2
+		}
+		k := b.Key()
+		if seen[k] {
+			misses++
+			continue
+		}
+		misses = 0
+		seen[k] = true
+		sigs = append(sigs, matrix.Signature{Bits: b, Count: 1})
+		// Zipf weight for rank r (1-based).
+		weights = append(weights, 1/math.Pow(float64(len(sigs)), 1.1))
+	}
+	counts := apportion(weights, nSubj, true)
+	for i := range sigs {
+		sigs[i].Count = counts[i]
+		if sigs[i].Count == 0 {
+			sigs[i].Count = 1
+		}
+	}
+	v, err := matrix.New(props, sigs)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datagen"
+	"repro/internal/matrix"
+	"repro/internal/refine"
+	"repro/internal/rules"
+	"repro/internal/viz"
+)
+
+// Fig2 reproduces Figure 2: the DBpedia Persons signature view with
+// its headline statistics (790,703 subjects, 8 properties, 64
+// signature sets, σCov = 0.54, σSim = 0.77).
+func Fig2(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	v := datagen.DBpediaPersons(cfg.Scale)
+	rep := newReport("fig2", "DBpedia Persons dataset statistics")
+	rep.printf("scale %.3g → %d subjects, %d properties, %d signature sets\n",
+		cfg.Scale, v.NumSubjects(), v.NumProperties(), v.NumSignatures())
+	rep.printf("%s\n", viz.Render(v, viz.Options{MaxRows: 12, ShowCounts: true}))
+	cov := rules.Coverage(v).Value()
+	sim := rules.Similarity(v).Value()
+	rep.printf("σCov = %.2f (paper: 0.54), σSim = %.2f (paper: 0.77)\n", cov, sim)
+	rep.Metrics["subjects"] = float64(v.NumSubjects())
+	rep.Metrics["properties"] = float64(v.NumProperties())
+	rep.Metrics["signatures"] = float64(v.NumSignatures())
+	rep.Metrics["cov"] = cov
+	rep.Metrics["sim"] = sim
+	return rep, nil
+}
+
+// describeSplit renders a k-way refinement the way the paper's figure
+// captions do and fills metrics with per-sort values (largest first).
+func describeSplit(rep *Report, v *matrix.View, out *refine.Outcome) {
+	views, _ := out.Refinement.SortViews(v)
+	sort.Slice(views, func(i, j int) bool { return views[i].NumSubjects() > views[j].NumSubjects() })
+	rep.printf("highest θ = %d/%d (exact=%v, %d instances, %v)\n",
+		out.Theta1, out.Theta2, out.Exact, out.Instances, out.Elapsed.Round(1000000))
+	for i, sv := range views {
+		cov := rules.Coverage(sv).Value()
+		sim := rules.Similarity(sv).Value()
+		rep.printf("  sort %d: %d subjects, %d signatures, σCov=%.2f, σSim=%.2f\n",
+			i+1, sv.NumSubjects(), sv.NumSignatures(), cov, sim)
+		rep.Metrics[fmt.Sprintf("sort%d.subjects", i+1)] = float64(sv.NumSubjects())
+		rep.Metrics[fmt.Sprintf("sort%d.signatures", i+1)] = float64(sv.NumSignatures())
+		rep.Metrics[fmt.Sprintf("sort%d.cov", i+1)] = cov
+		rep.Metrics[fmt.Sprintf("sort%d.sim", i+1)] = sim
+	}
+	rep.Metrics["theta"] = float64(out.Theta1) / float64(out.Theta2)
+	rep.Metrics["sorts"] = float64(len(views))
+}
+
+// Fig4a reproduces Figure 4a: σCov, k = 2. The paper's outcome is the
+// "alive vs dead" split — the larger sort has no deathDate/deathPlace
+// columns at all.
+func Fig4a(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	v := datagen.DBpediaPersons(cfg.Scale)
+	opts := cfg.search()
+	out, err := refine.HighestTheta(v, rules.CovRule(), nil, 2, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := newReport("fig4a", "DBpedia Persons, σCov, highest θ for k=2")
+	describeSplit(rep, v, out)
+	// The paper's signature observation: the larger sort represents
+	// people that are alive (no death columns used).
+	views, _ := out.Refinement.SortViews(v)
+	sort.Slice(views, func(i, j int) bool { return views[i].NumSubjects() > views[j].NumSubjects() })
+	alive := deathFreeShare(views)
+	rep.printf("death-free share of larger sort: %.2f (1.00 = the paper's alive/dead split)\n", alive)
+	rep.Metrics["aliveShare"] = alive
+	return rep, nil
+}
+
+// deathFreeShare returns the fraction of the largest sort's subjects
+// whose signatures use neither deathDate nor deathPlace.
+func deathFreeShare(views []*matrix.View) float64 {
+	if len(views) == 0 {
+		return 0
+	}
+	sv := views[0]
+	di, ok1 := sv.PropertyIndex(datagen.PropDeathDate)
+	pi, ok2 := sv.PropertyIndex(datagen.PropDeathPlace)
+	if !ok1 || !ok2 {
+		return 1
+	}
+	free := 0
+	for _, sg := range sv.Signatures() {
+		if !sg.Bits.Test(di) && !sg.Bits.Test(pi) {
+			free += sg.Count
+		}
+	}
+	return float64(free) / float64(sv.NumSubjects())
+}
+
+// Fig4b reproduces Figure 4b: σSim, k = 2 (the paper's balanced split
+// isolating sparsely-described people).
+func Fig4b(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	v := datagen.DBpediaPersons(cfg.Scale)
+	opts := cfg.search()
+	out, err := refine.HighestTheta(v, rules.SimRule(), nil, 2, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := newReport("fig4b", "DBpedia Persons, σSim, highest θ for k=2")
+	describeSplit(rep, v, out)
+	return rep, nil
+}
+
+// Fig4c reproduces Figure 4c: σSymDep[deathPlace, deathDate], k = 2.
+// The paper's split: a sort without the deathPlace column (vacuous
+// σ = 1.0) and a sort where deathPlace and deathDate nearly coincide
+// (σ ≈ 0.82).
+func Fig4c(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	v := datagen.DBpediaPersons(cfg.Scale)
+	opts := cfg.search()
+	rule := rules.SymDepRule(datagen.PropDeathPlace, datagen.PropDeathDate)
+	out, err := refine.HighestTheta(v, rule, nil, 2, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := newReport("fig4c", "DBpedia Persons, σSymDep[deathPlace,deathDate], k=2")
+	describeSplit(rep, v, out)
+	fn := rules.SymDepFunc(datagen.PropDeathPlace, datagen.PropDeathDate)
+	views, _ := out.Refinement.SortViews(v)
+	sort.Slice(views, func(i, j int) bool { return views[i].NumSubjects() > views[j].NumSubjects() })
+	for i, sv := range views {
+		r, err := fn.Eval(sv)
+		if err != nil {
+			return nil, err
+		}
+		rep.printf("  sort %d σSymDep[dP,dD] = %.2f\n", i+1, r.Value())
+		rep.Metrics[fmt.Sprintf("sort%d.symdep", i+1)] = r.Value()
+	}
+	return rep, nil
+}
+
+// Fig5a reproduces Figure 5a: σCov, lowest k for θ = 0.9 (paper: k=9,
+// with alive/dead people separated by which optional columns they use).
+func Fig5a(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	v := datagen.DBpediaPersons(cfg.Scale)
+	opts := cfg.search()
+	opts.Downward = true
+	out, err := refine.LowestK(v, rules.CovRule(), nil, 9, 10, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := newReport("fig5a", "DBpedia Persons, σCov, lowest k for θ=0.9")
+	rep.printf("lowest k = %d (paper: 9; exact=%v, %d instances, %v)\n",
+		out.K, out.Exact, out.Instances, out.Elapsed.Round(1000000))
+	describeSplit(rep, v, out)
+	rep.Metrics["k"] = float64(out.K)
+	return rep, nil
+}
+
+// Fig5b reproduces Figure 5b: σSim, lowest k for θ = 0.9 (paper: k=4).
+func Fig5b(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	v := datagen.DBpediaPersons(cfg.Scale)
+	opts := cfg.search()
+	opts.Downward = true
+	out, err := refine.LowestK(v, rules.SimRule(), nil, 9, 10, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep := newReport("fig5b", "DBpedia Persons, σSim, lowest k for θ=0.9")
+	rep.printf("lowest k = %d (paper: 4; exact=%v, %d instances, %v)\n",
+		out.K, out.Exact, out.Instances, out.Elapsed.Round(1000000))
+	describeSplit(rep, v, out)
+	rep.Metrics["k"] = float64(out.K)
+	return rep, nil
+}
+
+// Table1 reproduces Table 1: σDep[p1, p2] for all ordered pairs of the
+// four death/birth properties.
+func Table1(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	v := datagen.DBpediaPersons(cfg.Scale)
+	props := []string{datagen.PropDeathPlace, datagen.PropBirthPlace, datagen.PropDeathDate, datagen.PropBirthDate}
+	labels := []string{"dP", "bP", "dD", "bD"}
+	rep := newReport("table1", "σDep over death/birth properties")
+	rep.printf("%12s", "")
+	for _, l := range labels {
+		rep.printf("%6s", l)
+	}
+	rep.printf("\n")
+	for i, p1 := range props {
+		rep.printf("%12s", p1)
+		for j, p2 := range props {
+			val := rules.Dep(v, p1, p2).Value()
+			rep.printf("%6.2f", val)
+			rep.Metrics[fmt.Sprintf("dep.%s.%s", labels[i], labels[j])] = val
+		}
+		rep.printf("\n")
+	}
+	rep.printf("paper row 1 (deathPlace): 1.00 0.93 0.82 0.77\n")
+	return rep, nil
+}
+
+// Table2 reproduces Table 2: the σSymDep ranking over all property
+// pairs, highest and lowest entries.
+func Table2(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	v := datagen.DBpediaPersons(cfg.Scale)
+	props := v.Properties()
+	type pairVal struct {
+		p1, p2 string
+		val    float64
+	}
+	var pairs []pairVal
+	for i := 0; i < len(props); i++ {
+		for j := i + 1; j < len(props); j++ {
+			pairs = append(pairs, pairVal{props[i], props[j], rules.SymDep(v, props[i], props[j]).Value()})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].val > pairs[b].val })
+	rep := newReport("table2", "σSymDep ranking over property pairs")
+	rep.printf("top pairs:\n")
+	for _, pv := range pairs[:4] {
+		rep.printf("  %-12s %-12s %.2f\n", pv.p1, pv.p2, pv.val)
+	}
+	rep.printf("bottom pairs:\n")
+	for _, pv := range pairs[len(pairs)-4:] {
+		rep.printf("  %-12s %-12s %.2f\n", pv.p1, pv.p2, pv.val)
+	}
+	rep.printf("paper: top = givenName/surName 1.0, name/givenName .95; bottom = deathPlace/name .11\n")
+	rep.Metrics["top"] = pairs[0].val
+	rep.Metrics["bottom"] = pairs[len(pairs)-1].val
+	for _, pv := range pairs {
+		if pv.p1 == datagen.PropGivenName && pv.p2 == datagen.PropSurName ||
+			pv.p2 == datagen.PropGivenName && pv.p1 == datagen.PropSurName {
+			rep.Metrics["givenSur"] = pv.val
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The experiment tests assert the *shape* of each paper artifact —
+// who wins, by roughly what factor, where the splits fall — not exact
+// runtimes (see EXPERIMENTS.md). Quick mode keeps the suite fast.
+
+func quickCfg() Config { return Config{Quick: true, Seed: 1} }
+
+func metric(t *testing.T, rep *Report, key string) float64 {
+	t.Helper()
+	v, ok := rep.Metrics[key]
+	if !ok {
+		t.Fatalf("%s: missing metric %q (have %v)", rep.ID, key, rep.Metrics)
+	}
+	return v
+}
+
+func TestFig2Shape(t *testing.T) {
+	rep, err := Fig2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metric(t, rep, "signatures"); got != 64 {
+		t.Errorf("signatures = %v, want 64", got)
+	}
+	if got := metric(t, rep, "cov"); math.Abs(got-0.54) > 0.02 {
+		t.Errorf("cov = %v, want ≈0.54", got)
+	}
+	if got := metric(t, rep, "sim"); math.Abs(got-0.77) > 0.02 {
+		t.Errorf("sim = %v, want ≈0.77", got)
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	rep, err := Fig3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metric(t, rep, "signatures"); got != 53 {
+		t.Errorf("signatures = %v, want 53", got)
+	}
+	if got := metric(t, rep, "cov"); math.Abs(got-0.44) > 0.02 {
+		t.Errorf("cov = %v, want ≈0.44", got)
+	}
+	if got := metric(t, rep, "sim"); math.Abs(got-0.93) > 0.03 {
+		t.Errorf("sim = %v, want ≈0.93", got)
+	}
+}
+
+func TestFig4aAliveDeadSplit(t *testing.T) {
+	rep, err := Fig4a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's split: both sorts clear ≈0.7 coverage and the larger
+	// sort holds only death-free signatures ("people that are alive").
+	if got := metric(t, rep, "theta"); got < 0.65 {
+		t.Errorf("theta = %v, want ≥ 0.65 (paper ≈ 0.71)", got)
+	}
+	if got := metric(t, rep, "aliveShare"); got != 1.0 {
+		t.Errorf("aliveShare = %v, want 1.0", got)
+	}
+	if got := metric(t, rep, "sort1.cov"); got < 0.65 {
+		t.Errorf("sort1 cov = %v, want ≥ 0.65 (paper 0.73)", got)
+	}
+	// The alive sort keeps the 8 death-free signatures.
+	if got := metric(t, rep, "sort1.signatures"); got != 8 {
+		t.Errorf("sort1 signatures = %v, want 8 (paper: 8)", got)
+	}
+}
+
+func TestFig4bSimSplit(t *testing.T) {
+	rep, err := Fig4b(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sim improves over the dataset's 0.77 and yields a more balanced
+	// split than Cov (paper: 387k vs 403k).
+	if got := metric(t, rep, "theta"); got < 0.8 {
+		t.Errorf("theta = %v, want ≥ 0.8 (paper ≈ 0.82)", got)
+	}
+	s1 := metric(t, rep, "sort1.subjects")
+	s2 := metric(t, rep, "sort2.subjects")
+	ratio := s1 / (s1 + s2)
+	if ratio < 0.3 || ratio > 0.8 {
+		t.Errorf("split balance = %v, want roughly balanced as in the paper", ratio)
+	}
+}
+
+func TestFig4cVacuousSort(t *testing.T) {
+	rep, err := Fig4c(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sort reaches σSymDep = 1 (no deathPlace column), the other
+	// lands near the paper's 0.82.
+	v1 := metric(t, rep, "sort1.symdep")
+	v2 := metric(t, rep, "sort2.symdep")
+	hi, lo := math.Max(v1, v2), math.Min(v1, v2)
+	if hi != 1.0 {
+		t.Errorf("no vacuous sort: %v, %v", v1, v2)
+	}
+	if math.Abs(lo-0.82) > 0.05 {
+		t.Errorf("non-vacuous sort σ = %v, want ≈0.82", lo)
+	}
+}
+
+func TestFig5aLowestK(t *testing.T) {
+	rep, err := Fig5a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: k = 9. The heuristic gives an upper bound; it must land in
+	// the same regime (5–15), far below the 64-signature identity.
+	if got := metric(t, rep, "k"); got < 5 || got > 15 {
+		t.Errorf("k = %v, want within [5,15] (paper 9)", got)
+	}
+}
+
+func TestFig5bLowestK(t *testing.T) {
+	rep, err := Fig5b(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: k = 4. Sim needs far fewer sorts than Cov (9 vs 4).
+	if got := metric(t, rep, "k"); got < 3 || got > 7 {
+		t.Errorf("k = %v, want within [3,7] (paper 4)", got)
+	}
+}
+
+func TestCovNeedsMoreSortsThanSim(t *testing.T) {
+	cov, err := Fig5a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := Fig5b(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metric(t, cov, "k") <= metric(t, sim, "k") {
+		t.Errorf("Cov k = %v not above Sim k = %v (paper: 9 > 4)",
+			cov.Metrics["k"], sim.Metrics["k"])
+	}
+}
+
+func TestTable1Row1(t *testing.T) {
+	rep, err := Table1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper row 1: deathPlace → {dP 1.0, bP .93, dD .82, bD .77}.
+	for key, want := range map[string]float64{
+		"dep.dP.dP": 1.0, "dep.dP.bP": 0.93, "dep.dP.dD": 0.82, "dep.dP.bD": 0.77,
+	} {
+		if got := metric(t, rep, key); math.Abs(got-want) > 0.02 {
+			t.Errorf("%s = %v, want ≈%v", key, got, want)
+		}
+	}
+	// The asymmetry the paper highlights: knowing deathPlace implies
+	// the rest, but not conversely.
+	if metric(t, rep, "dep.bP.dP") > 0.5 {
+		t.Errorf("dep.bP.dP = %v, want well below dep.dP.bP", rep.Metrics["dep.bP.dP"])
+	}
+}
+
+func TestTable2Extremes(t *testing.T) {
+	rep, err := Table2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metric(t, rep, "givenSur"); got != 1.0 {
+		t.Errorf("σSymDep[givenName,surName] = %v, want 1.0", got)
+	}
+	if got := metric(t, rep, "bottom"); got > 0.15 {
+		t.Errorf("bottom pair = %v, want ≤ 0.15 (paper 0.11)", got)
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	a, err := Fig6a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: k=2 Cov on WordNet yields only a small gain (0.44 → ≈0.55).
+	if got := metric(t, a, "theta"); got < 0.45 || got > 0.75 {
+		t.Errorf("fig6a theta = %v, want a modest gain over 0.44", got)
+	}
+	b, err := Fig6b(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metric(t, b, "theta"); got < 0.92 {
+		t.Errorf("fig6b theta = %v, want ≥ 0.92 (paper ≈ 0.98 at scale 1)", got)
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	a, err := Fig7a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: k = 31 — a large k indicating WordNet is already highly
+	// structured. Accept the same regime.
+	if got := metric(t, a, "k"); got < 15 {
+		t.Errorf("fig7a k = %v, want ≥ 15 (paper 31)", got)
+	}
+	bRep, err := Fig7b(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: k = 4 at θ=0.98. Sim again needs far fewer sorts than Cov.
+	if metric(t, bRep, "k") >= metric(t, a, "k") {
+		t.Errorf("fig7b k = %v not below fig7a k = %v", bRep.Metrics["k"], a.Metrics["k"])
+	}
+}
+
+func TestFig8Scalability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalability sweep in -short mode")
+	}
+	rep, err := Fig8(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Superlinear growth in signature count with a meaningful fit
+	// (paper: exponent 2.53, R² = 0.72).
+	if got := metric(t, rep, "sigExponent"); got < 1.2 {
+		t.Errorf("signature exponent = %v, want clearly superlinear", got)
+	}
+	if got := metric(t, rep, "sigR2"); got < 0.4 {
+		t.Errorf("signature fit R² = %v, want ≥ 0.4", got)
+	}
+	// And no comparable dependence on the subject count (paper §7.3).
+	if got := metric(t, rep, "subjR2"); got > metric(t, rep, "sigR2") {
+		t.Errorf("subject R² %v exceeds signature R² %v", got, rep.Metrics["sigR2"])
+	}
+}
+
+func TestSec74Recovery(t *testing.T) {
+	rep, err := Sec74(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 100% recall (every drug company recovered), precision
+	// below 100% (sparse sultans confused), accuracy ≈ 75–88%.
+	if got := metric(t, rep, "plain.recall"); got != 1.0 {
+		t.Errorf("recall = %v, want 1.0", got)
+	}
+	if got := metric(t, rep, "plain.accuracy"); got < 0.7 {
+		t.Errorf("accuracy = %v, want ≥ 0.7 (paper 0.746)", got)
+	}
+	if got := metric(t, rep, "plain.precision"); got >= 1.0 {
+		t.Errorf("precision = %v, want < 1.0 (sparse sultans confused)", got)
+	}
+	if got := metric(t, rep, "ignored.accuracy"); got < metric(t, rep, "plain.accuracy")-0.05 {
+		t.Errorf("ignoring syntax made accuracy much worse: %v vs %v",
+			got, rep.Metrics["plain.accuracy"])
+	}
+}
+
+func TestAllRunnersRegistered(t *testing.T) {
+	ids := map[string]bool{}
+	for _, r := range All() {
+		if r.ID == "" || r.Title == "" || r.Run == nil {
+			t.Errorf("incomplete runner %+v", r)
+		}
+		if ids[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		ids[r.ID] = true
+		if _, ok := ByID(r.ID); !ok {
+			t.Errorf("ByID(%s) failed", r.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+	for _, want := range []string{"fig2", "fig4a", "fig5b", "table1", "fig8", "sec74"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := newReport("x", "tit")
+	rep.printf("hello %d\n", 7)
+	rep.Metrics["a"] = 1
+	s := rep.String()
+	for _, want := range []string{"x", "tit", "hello 7", "a=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/refine"
+	"repro/internal/rules"
+	"repro/internal/stats"
+)
+
+// Fig8 reproduces the scalability study of Section 7.3: for a sample
+// of YAGO-like explicit sorts, solve a highest-θ sort refinement for
+// k = 2 and model the runtime as a function of the number of
+// signatures (power law; paper: s^2.53, R² = 0.72) and of the number
+// of properties (exponential; paper: e^0.28p, R² = 0.61). The paper's
+// population histograms are reproduced from the same sample.
+func Fig8(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	numSorts := 60
+	maxSubjects := 20000
+	maxSigs := 40
+	if cfg.Quick {
+		numSorts, maxSubjects, maxSigs = 30, 5000, 30
+	}
+	sorts := datagen.YagoSample(cfg.Seed+7, datagen.YagoSampleOptions{
+		NumSorts:      numSorts,
+		MaxSubjects:   maxSubjects,
+		MaxSignatures: maxSigs,
+	})
+	opts := cfg.search()
+	// The scalability profile measures the exact ILP engine (as the
+	// paper measures CPLEX); the pseudo-Boolean solver's cost grows with
+	// the encoding size — signatures and properties — not with the
+	// subject count. A uniform per-instance budget keeps the profile
+	// comparable across sorts.
+	opts.Engine = refine.EngineExact
+	opts.Solver.MaxDecisions = 30_000
+	opts.Heuristic.Restarts = 2
+	opts.Heuristic.MaxIters = 25
+
+	var sigCounts, propCounts, subjCounts, runtimes []float64
+	for _, s := range sorts {
+		start := time.Now()
+		if _, err := refine.HighestTheta(s.View, rules.CovRule(), nil, 2, opts); err != nil {
+			return nil, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		sigCounts = append(sigCounts, float64(s.View.NumSignatures()))
+		propCounts = append(propCounts, float64(s.View.NumProperties()))
+		subjCounts = append(subjCounts, float64(s.View.NumSubjects()))
+		runtimes = append(runtimes, ms)
+	}
+	rep := newReport("fig8", "YAGO scalability study")
+	rep.printf("%d sorts solved (highest θ, k=2, σCov)\n", len(sorts))
+
+	powerFit, err := stats.PowerFit(sigCounts, runtimes)
+	if err != nil {
+		return nil, err
+	}
+	rep.printf("runtime vs signatures: %s (paper: x^2.53, R²=0.72)\n", powerFit)
+	expFit, err := stats.ExpFit(propCounts, runtimes)
+	if err != nil {
+		return nil, err
+	}
+	rep.printf("runtime vs properties: %s (paper: e^0.28p, R²=0.61)\n", expFit)
+
+	// The paper's key negative result: runtime does NOT depend on the
+	// subject count. A power fit against subjects should explain far
+	// less variance than the signature fit.
+	subjFit, err := stats.PowerFit(subjCounts, runtimes)
+	if err != nil {
+		return nil, err
+	}
+	rep.printf("runtime vs subjects:   %s (paper: no dependence)\n", subjFit)
+
+	rep.printf("\nsignature histogram:\n%s", stats.NewHistogram(sigCounts, 8, 0, float64(maxSigs)).String())
+	rep.printf("\nproperty histogram:\n%s", stats.NewHistogram(propCounts, 8, 10, 40).String())
+
+	rep.Metrics["sigExponent"] = powerFit.B
+	rep.Metrics["sigR2"] = powerFit.R2
+	rep.Metrics["propRate"] = expFit.B
+	rep.Metrics["propR2"] = expFit.R2
+	rep.Metrics["subjR2"] = subjFit.R2
+	rep.Metrics["meanRuntimeMs"] = stats.Mean(runtimes)
+	rep.Metrics["p95RuntimeMs"] = stats.Percentile(runtimes, 95)
+	return rep, nil
+}

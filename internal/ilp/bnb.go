@@ -1,0 +1,161 @@
+package ilp
+
+import (
+	"math"
+)
+
+// SolveBnB decides feasibility of a model by branch and bound over the
+// LP relaxation (depth-first, branching on the most fractional
+// variable). It handles general integer bounds, not just binaries, and
+// serves as an independent cross-check of the pseudo-Boolean solver.
+func SolveBnB(m *Model, opts Options) Result {
+	b := &bnb{m: m, opts: opts}
+	lo := make([]float64, m.NumVars())
+	hi := make([]float64, m.NumVars())
+	for i := 0; i < m.NumVars(); i++ {
+		l, h := m.Bounds(Var(i))
+		lo[i], hi[i] = float64(l), float64(h)
+	}
+	status := b.search(lo, hi, 0)
+	switch status {
+	case nodeFeasible:
+		return Result{Status: StatusFeasible, Values: b.solution, Stats: b.stats}
+	case nodeInfeasible:
+		return Result{Status: StatusInfeasible, Stats: b.stats}
+	}
+	return Result{Status: StatusUnknown, Stats: b.stats}
+}
+
+type nodeStatus int
+
+const (
+	nodeFeasible nodeStatus = iota
+	nodeInfeasible
+	nodeUnknown
+)
+
+type bnb struct {
+	m        *Model
+	opts     Options
+	stats    Stats
+	solution []int64
+}
+
+// buildLP constructs the LP relaxation under the given bounds. Model
+// variables may have negative lower bounds in principle, but the sort
+// refinement encoding uses lo ≥ 0 throughout; we require that here.
+func (b *bnb) buildLP(lo, hi []float64) *LP {
+	n := b.m.NumVars()
+	lp := &LP{N: n, C: make([]float64, n)}
+	for _, c := range b.m.Constraints() {
+		row := make([]float64, n)
+		for _, t := range c.Terms {
+			row[t.Var] += float64(t.Coef)
+		}
+		lp.AddRow(row, c.Sense, float64(c.RHS))
+	}
+	for i := 0; i < n; i++ {
+		if lo[i] > 0 {
+			row := make([]float64, n)
+			row[i] = 1
+			lp.AddRow(row, GE, lo[i])
+		}
+		if hi[i] != inf {
+			row := make([]float64, n)
+			row[i] = 1
+			lp.AddRow(row, LE, hi[i])
+		}
+	}
+	return lp
+}
+
+func (b *bnb) search(lo, hi []float64, depth int) nodeStatus {
+	b.stats.Nodes++
+	if b.opts.MaxDecisions > 0 && b.stats.Nodes > b.opts.MaxDecisions {
+		return nodeUnknown
+	}
+	status, _, x := SolveLP(b.buildLP(lo, hi))
+	if status == LPInfeasible {
+		return nodeInfeasible
+	}
+	if status == LPUnbounded {
+		// A feasibility system with bounded variables cannot be unbounded;
+		// treat as numerically suspect and explore by branching on the
+		// first unfixed variable.
+		for i := range lo {
+			if lo[i] < hi[i] {
+				return b.branch(lo, hi, i, (lo[i]+hi[i])/2, depth)
+			}
+		}
+		return nodeInfeasible
+	}
+	// Find most fractional variable.
+	frac := -1
+	worst := 0.0
+	for i, xi := range x {
+		f := math.Abs(xi - math.Round(xi))
+		if f > 1e-6 && f > worst {
+			worst = f
+			frac = i
+		}
+	}
+	if frac == -1 {
+		// Integer LP solution: round and verify exactly (guards against
+		// accumulated float error).
+		vals := make([]int64, len(x))
+		for i, xi := range x {
+			vals[i] = int64(math.Round(xi))
+		}
+		if err := b.m.Check(vals); err == nil {
+			b.solution = vals
+			return nodeFeasible
+		}
+		// Rounding failed exact verification: branch on first free var.
+		for i := range lo {
+			if lo[i] < hi[i] {
+				return b.branch(lo, hi, i, (lo[i]+hi[i])/2, depth)
+			}
+		}
+		return nodeInfeasible
+	}
+	return b.branch(lo, hi, frac, x[frac], depth)
+}
+
+// branch splits variable i at value v into floor/ceil subproblems.
+func (b *bnb) branch(lo, hi []float64, i int, v float64, depth int) nodeStatus {
+	floor := math.Floor(v)
+	if floor < lo[i] {
+		floor = lo[i]
+	}
+	if floor >= hi[i] {
+		floor = hi[i] - 1
+	}
+	sawUnknown := false
+
+	// Down branch: xᵢ ≤ floor.
+	hi2 := append([]float64(nil), hi...)
+	hi2[i] = floor
+	if lo[i] <= hi2[i] {
+		switch b.search(lo, hi2, depth+1) {
+		case nodeFeasible:
+			return nodeFeasible
+		case nodeUnknown:
+			sawUnknown = true
+		}
+	}
+	// Up branch: xᵢ ≥ floor+1.
+	lo2 := append([]float64(nil), lo...)
+	lo2[i] = floor + 1
+	if lo2[i] <= hi[i] {
+		switch b.search(lo2, hi, depth+1) {
+		case nodeFeasible:
+			return nodeFeasible
+		case nodeUnknown:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return nodeUnknown
+	}
+	return nodeInfeasible
+}

@@ -1,0 +1,54 @@
+package ilp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteLP(t *testing.T) {
+	m := &Model{}
+	x := m.Binary("X[0,1]")
+	y := m.IntVar("count", 0, 5)
+	m.Add("c1", []Term{{x, 2}, {y, -3}}, LE, 4)
+	m.Add("c2", []Term{{x, 1}}, GE, 0)
+	m.Add("c3", []Term{{y, 1}}, EQ, 2)
+	m.Add("empty", nil, LE, 0)
+
+	var buf bytes.Buffer
+	if err := WriteLP(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Minimize",
+		"Subject To",
+		"c0: 2 X_0_1_ - 3 count <= 4",
+		"c1: 1 X_0_1_ >= 0",
+		"c2: 1 count = 2",
+		"c3: 0 <= 0",
+		"Bounds",
+		"0 <= count <= 5",
+		"Binary",
+		"X_0_1_",
+		"General",
+		"End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLPUnnamedVars(t *testing.T) {
+	m := &Model{}
+	v := m.Binary("")
+	m.Add("c", []Term{{v, 1}}, GE, 1)
+	var buf bytes.Buffer
+	if err := WriteLP(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x0") {
+		t.Fatalf("unnamed variable not synthesized:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,338 @@
+package ilp
+
+import (
+	"sort"
+)
+
+// SolvePB decides feasibility of an all-binary model with a
+// pseudo-Boolean propagation + chronological backtracking search. It is
+// a complete decision procedure: StatusFeasible comes with a verified
+// assignment, StatusInfeasible is a proof of unsatisfiability, and
+// StatusUnknown is only returned when Options limits are hit.
+//
+// Propagation maintains, for every constraint Σ aᵢxᵢ ≥ b (all senses
+// are normalized to ≥), the maximum achievable left-hand side given the
+// current partial assignment. When that maximum drops below b the
+// constraint is conflicting; when fixing a single literal would drop it
+// below b, the opposite value is implied (unit propagation on
+// pseudo-Boolean constraints).
+func SolvePB(m *Model, opts Options) Result {
+	if !m.AllBinary() {
+		panic("ilp: SolvePB requires all-binary model")
+	}
+	s := newPBState(m)
+	// Root propagation.
+	if !s.propagate() {
+		return Result{Status: StatusInfeasible, Stats: s.stats}
+	}
+	order := s.branchOrder()
+	for {
+		// Find next unassigned variable in branching order.
+		v := -1
+		for ; s.orderPos < len(order); s.orderPos++ {
+			if s.value[order[s.orderPos]] == unassigned {
+				v = order[s.orderPos]
+				break
+			}
+		}
+		if v == -1 {
+			vals := make([]int64, len(s.value))
+			for i, x := range s.value {
+				vals[i] = int64(x)
+			}
+			return Result{Status: StatusFeasible, Values: vals, Stats: s.stats}
+		}
+		s.stats.Decisions++
+		if opts.MaxDecisions > 0 && s.stats.Decisions > opts.MaxDecisions {
+			return Result{Status: StatusUnknown, Stats: s.stats}
+		}
+		ok := s.decide(v, s.preferred[v])
+		for !ok || !s.propagate() {
+			s.stats.Conflicts++
+			if opts.MaxConflicts > 0 && s.stats.Conflicts > opts.MaxConflicts {
+				return Result{Status: StatusUnknown, Stats: s.stats}
+			}
+			if !s.backtrack() {
+				return Result{Status: StatusInfeasible, Stats: s.stats}
+			}
+			ok = true // backtrack leaves a propagated, conflict-free state
+		}
+	}
+}
+
+const unassigned = int8(-1)
+
+// pbConstraint is a normalized Σ aᵢxᵢ ≥ b constraint.
+type pbConstraint struct {
+	vars  []int
+	coefs []int64
+	rhs   int64
+	// maxAct is the maximum achievable LHS under the current partial
+	// assignment: Σ_{assigned} aᵢxᵢ + Σ_{unassigned} max(aᵢ, 0).
+	maxAct int64
+}
+
+type trailEntry struct {
+	v        int
+	decision bool // true if a decision point (vs propagated)
+	tried    int8 // the value assigned
+}
+
+type pbState struct {
+	m             *Model
+	value         []int8
+	cons          []pbConstraint
+	occ           [][]int32 // var -> constraint indices
+	trail         []trailEntry
+	stats         Stats
+	preferred     []int8
+	orderPosStack []int
+	orderPos      int
+	// dirty tracks constraints whose activity changed since they were
+	// last scanned for implications; propagation only revisits those.
+	dirty   []int32
+	inDirty []bool
+}
+
+func newPBState(m *Model) *pbState {
+	s := &pbState{
+		m:     m,
+		value: make([]int8, m.NumVars()),
+		occ:   make([][]int32, m.NumVars()),
+	}
+	for i := range s.value {
+		s.value[i] = unassigned
+	}
+	s.preferred = make([]int8, m.NumVars())
+	for v, val := range m.preferred {
+		if val == 1 {
+			s.preferred[v] = 1
+		}
+	}
+	for _, c := range m.Constraints() {
+		switch c.Sense {
+		case GE:
+			s.addNormalized(c.Terms, c.RHS, +1)
+		case LE:
+			s.addNormalized(c.Terms, c.RHS, -1)
+		case EQ:
+			s.addNormalized(c.Terms, c.RHS, +1)
+			s.addNormalized(c.Terms, c.RHS, -1)
+		}
+	}
+	s.sortConstraintTerms()
+	s.inDirty = make([]bool, len(s.cons))
+	for ci := range s.cons {
+		for _, v := range s.cons[ci].vars {
+			s.occ[v] = append(s.occ[v], int32(ci))
+		}
+		s.markDirty(int32(ci)) // initial full scan
+	}
+	return s
+}
+
+func (s *pbState) markDirty(ci int32) {
+	if !s.inDirty[ci] {
+		s.inDirty[ci] = true
+		s.dirty = append(s.dirty, ci)
+	}
+}
+
+// addNormalized adds sign·(Σ aᵢxᵢ) ≥ sign·rhs as a ≥ constraint.
+func (s *pbState) addNormalized(terms []Term, rhs int64, sign int64) {
+	c := pbConstraint{rhs: sign * rhs}
+	for _, t := range terms {
+		a := sign * t.Coef
+		c.vars = append(c.vars, int(t.Var))
+		c.coefs = append(c.coefs, a)
+		if a > 0 {
+			c.maxAct += a
+		}
+	}
+	s.cons = append(s.cons, c)
+}
+
+// branchOrder returns variable indices in branching order.
+func (s *pbState) branchOrder() []int {
+	seen := make([]bool, s.m.NumVars())
+	order := make([]int, 0, s.m.NumVars())
+	for _, v := range s.m.priority {
+		if !seen[v] {
+			seen[v] = true
+			order = append(order, int(v))
+		}
+	}
+	for v := 0; v < s.m.NumVars(); v++ {
+		if !seen[v] {
+			order = append(order, v)
+		}
+	}
+	return order
+}
+
+// assign sets v := val, atomically applying activity deltas to every
+// constraint mentioning v, and reports whether no constraint became
+// conflicting. Even on conflict all deltas are applied, so unassign is
+// always an exact inverse.
+func (s *pbState) assign(v int, val int8, decision bool) bool {
+	s.value[v] = val
+	s.trail = append(s.trail, trailEntry{v: v, decision: decision, tried: val})
+	s.stats.Propagations++
+	ok := true
+	for _, ci := range s.occ[v] {
+		c := &s.cons[ci]
+		a := c.coefAt(v)
+		if a > 0 {
+			if val == 0 {
+				c.maxAct -= a
+				s.markDirty(ci)
+			}
+		} else if val == 1 {
+			c.maxAct += a
+			s.markDirty(ci)
+		}
+		if c.maxAct < c.rhs {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// unassign restores v and the constraint activities.
+func (s *pbState) unassign(v int) {
+	val := s.value[v]
+	for _, ci := range s.occ[v] {
+		c := &s.cons[ci]
+		a := c.coefAt(v)
+		if a > 0 {
+			if val == 0 {
+				c.maxAct += a
+			}
+		} else if val == 1 {
+			c.maxAct -= a
+		}
+	}
+	s.value[v] = unassigned
+}
+
+func (s *pbState) decide(v int, val int8) bool {
+	s.orderPosStack = append(s.orderPosStack, s.orderPos)
+	return s.assign(v, val, true)
+}
+
+// propagate runs pseudo-Boolean unit propagation to a fixpoint over the
+// dirty constraint set and reports whether the state is conflict-free.
+// Tightening a constraint marks it dirty (via assign), so only touched
+// constraints are rescanned; relaxations (backtracking) can never
+// create new implications and need no marking.
+func (s *pbState) propagate() bool {
+	for len(s.dirty) > 0 {
+		ci := s.dirty[len(s.dirty)-1]
+		s.dirty = s.dirty[:len(s.dirty)-1]
+		s.inDirty[ci] = false
+		c := &s.cons[ci]
+		slack := c.maxAct - c.rhs
+		if slack < 0 {
+			return false
+		}
+		for k, v := range c.vars {
+			if s.value[v] != unassigned {
+				continue
+			}
+			a := c.coefs[k]
+			switch {
+			case a > 0 && slack < a:
+				// Setting v=0 would drop maxAct below rhs ⇒ v must be 1.
+				if !s.assign(v, 1, false) {
+					return false
+				}
+			case a < 0 && slack < -a:
+				// Setting v=1 would drop maxAct below rhs ⇒ v must be 0.
+				if !s.assign(v, 0, false) {
+					return false
+				}
+			default:
+				continue
+			}
+			slack = c.maxAct - c.rhs
+			if slack < 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// coefAt returns the coefficient of variable v in c (0 if absent).
+func (c *pbConstraint) coefAt(v int) int64 {
+	// Term lists are sorted at build time for binary search when long.
+	if len(c.vars) > 16 {
+		i := sort.SearchInts(c.vars, v)
+		if i < len(c.vars) && c.vars[i] == v {
+			return c.coefs[i]
+		}
+		return 0
+	}
+	for i, w := range c.vars {
+		if w == v {
+			return c.coefs[i]
+		}
+	}
+	return 0
+}
+
+// backtrack undoes to the most recent decision whose alternative value
+// is untried, flips it, re-propagates, and returns true; returns false
+// when the search space is exhausted. On true return the state is
+// conflict-free and fully propagated.
+func (s *pbState) backtrack() bool {
+	// The state below the landing decision was at fixpoint when that
+	// decision was made, so pending dirty entries are stale; drop them.
+	for _, ci := range s.dirty {
+		s.inDirty[ci] = false
+	}
+	s.dirty = s.dirty[:0]
+	for len(s.trail) > 0 {
+		e := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.unassign(e.v)
+		if e.decision {
+			s.orderPos = s.orderPosStack[len(s.orderPosStack)-1]
+			s.orderPosStack = s.orderPosStack[:len(s.orderPosStack)-1]
+			if e.tried == s.preferred[e.v] {
+				// Flip to the other value; the flip is recorded as a
+				// propagation-level assignment under the remaining prefix,
+				// so a later unwind removes it without re-flipping.
+				if s.assign(e.v, 1-e.tried, false) && s.propagate() {
+					return true
+				}
+				// Flipping also conflicts: continue unwinding.
+				continue
+			}
+			// Both values tried at this decision: keep unwinding.
+		}
+	}
+	return false
+}
+
+// sortConstraintTerms orders long term lists for binary-search lookup.
+func (s *pbState) sortConstraintTerms() {
+	for ci := range s.cons {
+		c := &s.cons[ci]
+		if len(c.vars) <= 16 {
+			continue
+		}
+		idx := make([]int, len(c.vars))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return c.vars[idx[a]] < c.vars[idx[b]] })
+		nv := make([]int, len(c.vars))
+		nc := make([]int64, len(c.coefs))
+		for i, j := range idx {
+			nv[i] = c.vars[j]
+			nc[i] = c.coefs[j]
+		}
+		c.vars, c.coefs = nv, nc
+	}
+}

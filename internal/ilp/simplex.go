@@ -1,0 +1,284 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// LPStatus is the outcome of an LP solve.
+type LPStatus int
+
+// LP outcomes.
+const (
+	LPOptimal LPStatus = iota
+	LPInfeasible
+	LPUnbounded
+)
+
+func (s LPStatus) String() string {
+	switch s {
+	case LPOptimal:
+		return "optimal"
+	case LPInfeasible:
+		return "infeasible"
+	case LPUnbounded:
+		return "unbounded"
+	}
+	return "?"
+}
+
+// LP is a linear program over n non-negative variables:
+//
+//	maximize    c·x
+//	subject to  A x ⟨sense⟩ b,   x ≥ 0
+//
+// Upper bounds are expressed as ordinary ≤ rows by the caller.
+type LP struct {
+	N     int
+	C     []float64
+	Rows  [][]float64 // dense coefficient rows
+	Sense []Sense
+	B     []float64
+}
+
+// AddRow appends a constraint row.
+func (lp *LP) AddRow(coefs []float64, sense Sense, rhs float64) {
+	row := make([]float64, lp.N)
+	copy(row, coefs)
+	lp.Rows = append(lp.Rows, row)
+	lp.Sense = append(lp.Sense, sense)
+	lp.B = append(lp.B, rhs)
+}
+
+const eps = 1e-9
+
+// SolveLP runs two-phase dense primal simplex with Bland's rule.
+// It returns the status, the optimal objective, and the variable values.
+func SolveLP(lp *LP) (LPStatus, float64, []float64) {
+	m := len(lp.Rows)
+	n := lp.N
+
+	// Standard form: every row becomes an equality with a slack (≤: +s,
+	// ≥: −s) and, where needed (≥, =, or negative rhs), an artificial.
+	// Column layout: [x (n)] [slacks (m, some unused)] [artificials].
+	type rowSpec struct {
+		coefs []float64
+		rhs   float64
+		sense Sense
+	}
+	specs := make([]rowSpec, m)
+	for i := range specs {
+		coefs := make([]float64, n)
+		copy(coefs, lp.Rows[i])
+		rhs := lp.B[i]
+		sense := lp.Sense[i]
+		if rhs < 0 { // normalize rhs ≥ 0
+			for j := range coefs {
+				coefs[j] = -coefs[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		specs[i] = rowSpec{coefs: coefs, rhs: rhs, sense: sense}
+	}
+
+	nSlack := 0
+	slackCol := make([]int, m)
+	for i := range specs {
+		if specs[i].sense != EQ {
+			slackCol[i] = n + nSlack
+			nSlack++
+		} else {
+			slackCol[i] = -1
+		}
+	}
+	nArt := 0
+	artCol := make([]int, m)
+	for i := range specs {
+		if specs[i].sense == LE {
+			artCol[i] = -1
+		} else {
+			artCol[i] = n + nSlack + nArt
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+
+	// Tableau: m rows × (total + 1); last column is rhs.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	for i := range t {
+		t[i] = make([]float64, total+1)
+		copy(t[i], specs[i].coefs)
+		if sc := slackCol[i]; sc >= 0 {
+			if specs[i].sense == LE {
+				t[i][sc] = 1
+			} else {
+				t[i][sc] = -1
+			}
+		}
+		if ac := artCol[i]; ac >= 0 {
+			t[i][ac] = 1
+			basis[i] = ac
+		} else {
+			basis[i] = slackCol[i]
+		}
+		t[i][total] = specs[i].rhs
+	}
+
+	// Phase 1: minimize w = Σ artificials. With the artificials basic,
+	// w = Σ bᵢ − Σⱼ (Σᵢ tᵢⱼ)·xⱼ over the artificial rows, so in the
+	// maximize-(−w) row convention the objective row is the negated sum
+	// of those rows; pivoting stops when no entry is < −eps, and the
+	// system is feasible iff w reaches 0 (obj[total] ≥ −eps).
+	if nArt > 0 {
+		obj := make([]float64, total+1)
+		for i := range t {
+			if artCol[i] >= 0 {
+				for j := 0; j <= total; j++ {
+					obj[j] -= t[i][j]
+				}
+			}
+		}
+		// Each artificial appears in exactly one row, so after eliminating
+		// the basic artificials their reduced costs are exactly 0.
+		for j := n + nSlack; j < total; j++ {
+			obj[j] = 0
+		}
+		if !pivotLoop(t, basis, obj, total) {
+			return LPUnbounded, 0, nil // cannot happen in phase 1
+		}
+		if obj[total] < -1e-7 {
+			return LPInfeasible, 0, nil
+		}
+		// Drive any artificial out of the basis if possible.
+		for i := range basis {
+			if basis[i] >= n+nSlack {
+				for j := 0; j < n+nSlack; j++ {
+					if math.Abs(t[i][j]) > eps {
+						pivot(t, basis, i, j, total)
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2: maximize c·x. Build reduced-cost row for current basis.
+	obj := make([]float64, total+1)
+	for j := 0; j < n; j++ {
+		obj[j] = -lp.C[j] // row form: z − c·x = 0
+	}
+	for i, b := range basis {
+		if math.Abs(obj[b]) > eps {
+			f := obj[b]
+			for j := 0; j <= total; j++ {
+				obj[j] -= f * t[i][j]
+			}
+		}
+	}
+	// Forbid artificials from re-entering by making them unattractive.
+	for j := n + nSlack; j < total; j++ {
+		if obj[j] < 0 {
+			obj[j] = 0
+		}
+	}
+	if !pivotLoopPhase2(t, basis, obj, total, n+nSlack) {
+		return LPUnbounded, 0, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = t[i][total]
+		}
+	}
+	var z float64
+	for j := 0; j < n; j++ {
+		z += lp.C[j] * x[j]
+	}
+	return LPOptimal, z, x
+}
+
+// pivotLoop runs simplex pivots for phase 1 (all columns eligible).
+func pivotLoop(t [][]float64, basis []int, obj []float64, total int) bool {
+	return pivotLoopPhase2(t, basis, obj, total, total)
+}
+
+// pivotLoopPhase2 runs simplex pivots with entering columns restricted
+// to [0, maxCol). Uses Bland's rule (smallest eligible index) to avoid
+// cycling. Returns false on unboundedness.
+func pivotLoopPhase2(t [][]float64, basis []int, obj []float64, total, maxCol int) bool {
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			// Safety net: treat as converged (should not happen with Bland).
+			return true
+		}
+		// Entering column: smallest index with positive reduced profit
+		// (we maximize; row convention: obj[j] < −eps means improving).
+		col := -1
+		for j := 0; j < maxCol; j++ {
+			if obj[j] < -eps {
+				col = j
+				break
+			}
+		}
+		if col == -1 {
+			return true
+		}
+		// Ratio test with Bland tie-break on basis index.
+		row := -1
+		best := math.Inf(1)
+		for i := range t {
+			if t[i][col] > eps {
+				r := t[i][total] / t[i][col]
+				if r < best-eps || (math.Abs(r-best) <= eps && (row == -1 || basis[i] < basis[row])) {
+					best = r
+					row = i
+				}
+			}
+		}
+		if row == -1 {
+			return false // unbounded
+		}
+		pivot(t, basis, row, col, total)
+		f := obj[col]
+		if f != 0 {
+			for j := 0; j <= total; j++ {
+				obj[j] -= f * t[row][j]
+			}
+		}
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col).
+func pivot(t [][]float64, basis []int, row, col, total int) {
+	p := t[row][col]
+	if math.Abs(p) < eps {
+		panic(fmt.Sprintf("ilp: zero pivot at (%d,%d)", row, col))
+	}
+	inv := 1 / p
+	for j := 0; j <= total; j++ {
+		t[row][j] *= inv
+	}
+	t[row][col] = 1
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			t[i][j] -= f * t[row][j]
+		}
+		t[i][col] = 0
+	}
+	basis[row] = col
+}

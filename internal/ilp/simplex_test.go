@@ -1,0 +1,196 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLPDegenerate(t *testing.T) {
+	// Klee-Minty-flavoured degenerate problem: redundant constraints and
+	// ties in the ratio test must not cycle (Bland's rule).
+	lp := &LP{N: 3, C: []float64{10, -57, -9}}
+	lp.AddRow([]float64{0.5, -5.5, -2.5}, LE, 0)
+	lp.AddRow([]float64{0.5, -1.5, -0.5}, LE, 0)
+	lp.AddRow([]float64{1, 0, 0}, LE, 1)
+	st, z, _ := SolveLP(lp)
+	if st != LPOptimal {
+		t.Fatalf("status %v", st)
+	}
+	if math.Abs(z-1) > 1e-6 {
+		t.Fatalf("z = %v, want 1", z)
+	}
+}
+
+func TestLPEqualityOnly(t *testing.T) {
+	// x + y = 2, x − y = 0 ⇒ x = y = 1; maximize x.
+	lp := &LP{N: 2, C: []float64{1, 0}}
+	lp.AddRow([]float64{1, 1}, EQ, 2)
+	lp.AddRow([]float64{1, -1}, EQ, 0)
+	st, z, x := SolveLP(lp)
+	if st != LPOptimal || math.Abs(z-1) > 1e-6 || math.Abs(x[1]-1) > 1e-6 {
+		t.Fatalf("st=%v z=%v x=%v", st, z, x)
+	}
+}
+
+func TestLPZeroRows(t *testing.T) {
+	// No constraints at all: max of a zero objective is fine; a positive
+	// objective is unbounded.
+	lp := &LP{N: 1, C: []float64{0}}
+	st, z, _ := SolveLP(lp)
+	if st != LPOptimal || z != 0 {
+		t.Fatalf("st=%v z=%v", st, z)
+	}
+	lp2 := &LP{N: 1, C: []float64{1}}
+	st2, _, _ := SolveLP(lp2)
+	if st2 != LPUnbounded {
+		t.Fatalf("st=%v, want unbounded", st2)
+	}
+}
+
+// Property: for random bounded LPs, the simplex optimum is feasible and
+// at least as good as a sample of random feasible points.
+func TestQuickLPOptimality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 1
+		lp := &LP{N: n, C: make([]float64, n)}
+		for j := range lp.C {
+			lp.C[j] = rng.Float64()*4 - 2
+		}
+		// Box constraints keep it bounded: xⱼ ≤ u.
+		for j := 0; j < n; j++ {
+			row := make([]float64, n)
+			row[j] = 1
+			lp.AddRow(row, LE, 1+rng.Float64()*5)
+		}
+		// A few random extra constraints.
+		for c := 0; c < rng.Intn(3); c++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64() * 2
+			}
+			lp.AddRow(row, LE, 1+rng.Float64()*5)
+		}
+		st, z, x := SolveLP(lp)
+		if st != LPOptimal {
+			return false
+		}
+		// Feasibility.
+		for i, row := range lp.Rows {
+			var lhs float64
+			for j := range row {
+				lhs += row[j] * x[j]
+			}
+			if lhs > lp.B[i]+1e-6 {
+				return false
+			}
+		}
+		// No sampled feasible point beats it.
+		for trial := 0; trial < 50; trial++ {
+			y := make([]float64, n)
+			for j := range y {
+				y[j] = rng.Float64() * 6
+			}
+			ok := true
+			for i, row := range lp.Rows {
+				var lhs float64
+				for j := range row {
+					lhs += row[j] * y[j]
+				}
+				if lhs > lp.B[i] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			var zy float64
+			for j := range y {
+				zy += lp.C[j] * y[j]
+			}
+			if zy > z+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPBEmptyModel(t *testing.T) {
+	m := &Model{}
+	m.Binary("x")
+	res := SolvePB(m, Options{})
+	if res.Status != StatusFeasible {
+		t.Fatalf("unconstrained model: %v", res.Status)
+	}
+}
+
+func TestPBTrivialConstraints(t *testing.T) {
+	m := &Model{}
+	x := m.Binary("x")
+	// 0·x ≥ 1 is unsatisfiable regardless of x.
+	m.Add("zero", []Term{{x, 0}}, GE, 1)
+	if res := SolvePB(m, Options{}); res.Status != StatusInfeasible {
+		t.Fatalf("status %v", res.Status)
+	}
+	m2 := &Model{}
+	y := m2.Binary("y")
+	// 0·y ≥ 0 is vacuous.
+	m2.Add("zero", []Term{{y, 0}}, GE, 0)
+	if res := SolvePB(m2, Options{}); res.Status != StatusFeasible {
+		t.Fatalf("status %v", res.Status)
+	}
+}
+
+func TestPBLargeCoefficients(t *testing.T) {
+	// Exercise int64-scale coefficients (as in θ-scaled counts).
+	m := &Model{}
+	x := m.Binary("x")
+	y := m.Binary("y")
+	m.Add("big", []Term{{x, 1 << 40}, {y, -(1 << 40)}}, GE, 1)
+	res := SolvePB(m, Options{})
+	if res.Status != StatusFeasible {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Values[x] != 1 || res.Values[y] != 0 {
+		t.Fatalf("values %v", res.Values)
+	}
+}
+
+func TestBnBRespectsNodeBudget(t *testing.T) {
+	// 2-coloring an odd cycle: the LP relaxation is feasible (all ½),
+	// so branch and bound must actually branch — and hit the budget.
+	const n = 9
+	m := &Model{}
+	x := make([][]Var, n)
+	for v := range x {
+		x[v] = make([]Var, 2)
+		terms := make([]Term, 2)
+		for c := 0; c < 2; c++ {
+			x[v][c] = m.Binary("")
+			terms[c] = Term{x[v][c], 1}
+		}
+		m.Add("one-color", terms, EQ, 1)
+	}
+	for v := 0; v < n; v++ {
+		w := (v + 1) % n
+		for c := 0; c < 2; c++ {
+			m.Add("edge", []Term{{x[v][c], 1}, {x[w][c], 1}}, LE, 1)
+		}
+	}
+	res := SolveBnB(m, Options{MaxDecisions: 2})
+	if res.Status != StatusUnknown {
+		t.Fatalf("status %v, want unknown under tiny budget", res.Status)
+	}
+	// With an adequate budget it proves infeasibility.
+	res = SolveBnB(m, Options{MaxDecisions: 1_000_000})
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status %v, want infeasible", res.Status)
+	}
+}

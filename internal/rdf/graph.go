@@ -1,0 +1,172 @@
+package rdf
+
+import (
+	"sort"
+)
+
+// Graph is a finite set of RDF triples with subject and predicate
+// indexes. The zero value is not ready to use; call NewGraph.
+type Graph struct {
+	triples []Triple
+	// bySubject maps subject URI -> indices into triples, insertion order.
+	bySubject map[string][]int
+	// present deduplicates triples.
+	present map[tripleKey]struct{}
+	// propSubjects maps predicate URI -> set of subjects having it.
+	propSubjects map[string]map[string]struct{}
+}
+
+type tripleKey struct {
+	s, p string
+	ok   TermKind
+	ov   string
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		bySubject:    make(map[string][]int),
+		present:      make(map[tripleKey]struct{}),
+		propSubjects: make(map[string]map[string]struct{}),
+	}
+}
+
+func key(t Triple) tripleKey {
+	return tripleKey{s: t.Subject, p: t.Predicate, ok: t.Object.Kind, ov: t.Object.Value}
+}
+
+// Add inserts t if not already present and reports whether it was added.
+func (g *Graph) Add(t Triple) bool {
+	k := key(t)
+	if _, dup := g.present[k]; dup {
+		return false
+	}
+	g.present[k] = struct{}{}
+	g.bySubject[t.Subject] = append(g.bySubject[t.Subject], len(g.triples))
+	ps := g.propSubjects[t.Predicate]
+	if ps == nil {
+		ps = make(map[string]struct{})
+		g.propSubjects[t.Predicate] = ps
+	}
+	ps[t.Subject] = struct{}{}
+	g.triples = append(g.triples, t)
+	return true
+}
+
+// AddURI is shorthand for adding (s, p, <o>).
+func (g *Graph) AddURI(s, p, o string) bool {
+	return g.Add(Triple{Subject: s, Predicate: p, Object: NewURI(o)})
+}
+
+// AddLiteral is shorthand for adding (s, p, "o").
+func (g *Graph) AddLiteral(s, p, o string) bool {
+	return g.Add(Triple{Subject: s, Predicate: p, Object: NewLiteral(o)})
+}
+
+// Contains reports whether the triple is in the graph.
+func (g *Graph) Contains(t Triple) bool {
+	_, ok := g.present[key(t)]
+	return ok
+}
+
+// Len returns the number of triples.
+func (g *Graph) Len() int { return len(g.triples) }
+
+// Triples returns the triples in insertion order. The slice must not be
+// modified.
+func (g *Graph) Triples() []Triple { return g.triples }
+
+// Subjects returns S(D): the distinct subjects, sorted.
+func (g *Graph) Subjects() []string {
+	out := make([]string, 0, len(g.bySubject))
+	for s := range g.bySubject {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Properties returns P(D): the distinct predicates, sorted.
+func (g *Graph) Properties() []string {
+	out := make([]string, 0, len(g.propSubjects))
+	for p := range g.propSubjects {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasProperty reports whether subject s has property p in the graph,
+// i.e. ∃o such that (s, p, o) ∈ D.
+func (g *Graph) HasProperty(s, p string) bool {
+	ps := g.propSubjects[p]
+	if ps == nil {
+		return false
+	}
+	_, ok := ps[s]
+	return ok
+}
+
+// SubjectTriples returns the triples whose subject is s, in insertion
+// order (the "entity" of s in the paper's terminology).
+func (g *Graph) SubjectTriples(s string) []Triple {
+	idx := g.bySubject[s]
+	out := make([]Triple, len(idx))
+	for i, j := range idx {
+		out[i] = g.triples[j]
+	}
+	return out
+}
+
+// SubjectCount returns |S(D)| without materializing the subject list.
+func (g *Graph) SubjectCount() int { return len(g.bySubject) }
+
+// PropertyCount returns |P(D)|.
+func (g *Graph) PropertyCount() int { return len(g.propSubjects) }
+
+// Sorts returns the distinct sort URIs t appearing in (s, rdf:type, t)
+// triples, sorted.
+func (g *Graph) Sorts() []string {
+	seen := map[string]struct{}{}
+	ps := g.propSubjects[TypeURI]
+	for s := range ps {
+		for _, t := range g.SubjectTriples(s) {
+			if t.Predicate == TypeURI && t.Object.IsURI() {
+				seen[t.Object.Value] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SortSubgraph returns Dt = {(s,p,o) ∈ D | (s, rdf:type, t) ∈ D}: all
+// triples whose subject is explicitly declared of sort t. The result is
+// a new graph; it includes the rdf:type triples themselves, matching the
+// paper's definition (experiments typically exclude the type property
+// from the property-structure view; see matrix.Options).
+func (g *Graph) SortSubgraph(sortURI string) *Graph {
+	out := NewGraph()
+	typeTriple := Triple{Predicate: TypeURI, Object: NewURI(sortURI)}
+	for s := range g.bySubject {
+		typeTriple.Subject = s
+		if !g.Contains(typeTriple) {
+			continue
+		}
+		for _, t := range g.SubjectTriples(s) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+// Merge adds every triple of other into g.
+func (g *Graph) Merge(other *Graph) {
+	for _, t := range other.Triples() {
+		g.Add(t)
+	}
+}

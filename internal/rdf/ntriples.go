@@ -1,0 +1,278 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// ParseError describes a syntax error in N-Triples input.
+type ParseError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// ParseNTriples reads N-Triples from r into a new graph. It supports
+// the core grammar the paper's datasets need: URI subjects/predicates,
+// URI or literal objects (with language tags and datatype annotations,
+// which are parsed and discarded since the property-structure view only
+// records presence), comments (#) and blank lines. Blank nodes are
+// accepted in subject/object position and treated as URIs with a _:
+// prefix.
+func ParseNTriples(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		t, ok, err := ParseNTriplesLine(sc.Text(), lineNo)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			g.Add(t)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ntriples: read: %w", err)
+	}
+	return g, nil
+}
+
+// ParseNTriplesLine parses a single N-Triples line. ok is false for
+// blank and comment-only lines.
+func ParseNTriplesLine(line string, lineNo int) (t Triple, ok bool, err error) {
+	p := &lineParser{s: line, line: lineNo}
+	p.skipWS()
+	if p.eof() || p.peek() == '#' {
+		return Triple{}, false, nil
+	}
+	subj, err := p.parseResource()
+	if err != nil {
+		return Triple{}, false, err
+	}
+	p.skipWS()
+	pred, err := p.parseURI()
+	if err != nil {
+		return Triple{}, false, err
+	}
+	p.skipWS()
+	obj, err := p.parseObject()
+	if err != nil {
+		return Triple{}, false, err
+	}
+	p.skipWS()
+	if p.eof() || p.peek() != '.' {
+		return Triple{}, false, p.errf("expected '.' terminator")
+	}
+	p.i++
+	p.skipWS()
+	if !p.eof() && p.peek() != '#' {
+		return Triple{}, false, p.errf("unexpected trailing content %q", p.s[p.i:])
+	}
+	return Triple{Subject: subj, Predicate: pred, Object: obj}, true, nil
+}
+
+type lineParser struct {
+	s    string
+	i    int
+	line int
+}
+
+func (p *lineParser) eof() bool  { return p.i >= len(p.s) }
+func (p *lineParser) peek() byte { return p.s[p.i] }
+func (p *lineParser) errf(format string, args ...interface{}) error {
+	return &ParseError{Line: p.line, Col: p.i + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *lineParser) skipWS() {
+	for !p.eof() && (p.peek() == ' ' || p.peek() == '\t') {
+		p.i++
+	}
+}
+
+// parseResource parses a URI or a blank node label.
+func (p *lineParser) parseResource() (string, error) {
+	if p.eof() {
+		return "", p.errf("unexpected end of line, expected URI or blank node")
+	}
+	if p.peek() == '_' {
+		return p.parseBlankNode()
+	}
+	return p.parseURI()
+}
+
+func (p *lineParser) parseBlankNode() (string, error) {
+	start := p.i
+	if p.i+1 >= len(p.s) || p.s[p.i+1] != ':' {
+		return "", p.errf("malformed blank node")
+	}
+	p.i += 2
+	for !p.eof() && p.peek() != ' ' && p.peek() != '\t' {
+		p.i++
+	}
+	if p.i == start+2 {
+		return "", p.errf("empty blank node label")
+	}
+	return p.s[start:p.i], nil
+}
+
+func (p *lineParser) parseURI() (string, error) {
+	if p.eof() || p.peek() != '<' {
+		return "", p.errf("expected '<'")
+	}
+	p.i++
+	start := p.i
+	for !p.eof() && p.peek() != '>' {
+		if p.peek() == ' ' {
+			return "", p.errf("space inside URI")
+		}
+		p.i++
+	}
+	if p.eof() {
+		return "", p.errf("unterminated URI")
+	}
+	u := p.s[start:p.i]
+	p.i++
+	if u == "" {
+		return "", p.errf("empty URI")
+	}
+	return u, nil
+}
+
+func (p *lineParser) parseObject() (Term, error) {
+	if p.eof() {
+		return Term{}, p.errf("unexpected end of line, expected object")
+	}
+	switch p.peek() {
+	case '<':
+		u, err := p.parseURI()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewURI(u), nil
+	case '_':
+		b, err := p.parseBlankNode()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewURI(b), nil
+	case '"':
+		return p.parseLiteral()
+	}
+	return Term{}, p.errf("expected URI, blank node or literal, got %q", p.peek())
+}
+
+func (p *lineParser) parseLiteral() (Term, error) {
+	p.i++ // consume opening quote
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return Term{}, p.errf("unterminated literal")
+		}
+		c := p.peek()
+		if c == '"' {
+			p.i++
+			break
+		}
+		if c == '\\' {
+			p.i++
+			if p.eof() {
+				return Term{}, p.errf("dangling escape")
+			}
+			esc := p.peek()
+			p.i++
+			switch esc {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'u', 'U':
+				n := 4
+				if esc == 'U' {
+					n = 8
+				}
+				if p.i+n > len(p.s) {
+					return Term{}, p.errf("truncated \\%c escape", esc)
+				}
+				var r rune
+				for j := 0; j < n; j++ {
+					d := hexVal(p.s[p.i+j])
+					if d < 0 {
+						return Term{}, p.errf("bad hex digit in \\%c escape", esc)
+					}
+					r = r<<4 | rune(d)
+				}
+				p.i += n
+				if !utf8.ValidRune(r) {
+					return Term{}, p.errf("invalid code point in escape")
+				}
+				b.WriteRune(r)
+			default:
+				return Term{}, p.errf("unknown escape \\%c", esc)
+			}
+			continue
+		}
+		b.WriteByte(c)
+		p.i++
+	}
+	// Optional language tag or datatype; presence-only semantics, so the
+	// annotation is validated and discarded.
+	if !p.eof() && p.peek() == '@' {
+		p.i++
+		start := p.i
+		for !p.eof() && p.peek() != ' ' && p.peek() != '\t' && p.peek() != '.' {
+			p.i++
+		}
+		if p.i == start {
+			return Term{}, p.errf("empty language tag")
+		}
+	} else if p.i+1 < len(p.s) && p.s[p.i] == '^' && p.s[p.i+1] == '^' {
+		p.i += 2
+		if _, err := p.parseURI(); err != nil {
+			return Term{}, err
+		}
+	}
+	return NewLiteral(b.String()), nil
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+// WriteNTriples serializes the graph to w in N-Triples syntax, one
+// triple per line, in insertion order.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.Triples() {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

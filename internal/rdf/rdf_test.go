@@ -1,0 +1,238 @@
+package rdf
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermString(t *testing.T) {
+	if got := NewURI("http://a/b").String(); got != "<http://a/b>" {
+		t.Fatalf("URI String = %q", got)
+	}
+	if got := NewLiteral(`he said "hi"` + "\n").String(); got != `"he said \"hi\"\n"` {
+		t.Fatalf("Literal String = %q", got)
+	}
+}
+
+func TestGraphAddDedup(t *testing.T) {
+	g := NewGraph()
+	if !g.AddURI("s1", "p1", "o1") {
+		t.Fatal("first Add returned false")
+	}
+	if g.AddURI("s1", "p1", "o1") {
+		t.Fatal("duplicate Add returned true")
+	}
+	// Same value, different kind, is a distinct triple.
+	if !g.AddLiteral("s1", "p1", "o1") {
+		t.Fatal("literal vs URI object treated as duplicate")
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+}
+
+func TestGraphAccessors(t *testing.T) {
+	g := NewGraph()
+	g.AddURI("s1", "p1", "o1")
+	g.AddURI("s1", "p2", "o2")
+	g.AddURI("s2", "p1", "o3")
+	if got := g.Subjects(); len(got) != 2 || got[0] != "s1" || got[1] != "s2" {
+		t.Fatalf("Subjects = %v", got)
+	}
+	if got := g.Properties(); len(got) != 2 || got[0] != "p1" || got[1] != "p2" {
+		t.Fatalf("Properties = %v", got)
+	}
+	if !g.HasProperty("s1", "p2") || g.HasProperty("s2", "p2") {
+		t.Fatal("HasProperty wrong")
+	}
+	if got := g.SubjectTriples("s1"); len(got) != 2 {
+		t.Fatalf("SubjectTriples = %v", got)
+	}
+	if g.SubjectCount() != 2 || g.PropertyCount() != 2 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestSortsAndSortSubgraph(t *testing.T) {
+	g := NewGraph()
+	g.AddURI("alice", TypeURI, "Person")
+	g.AddLiteral("alice", "name", "Alice")
+	g.AddLiteral("alice", "birthDate", "1980")
+	g.AddURI("acme", TypeURI, "Company")
+	g.AddLiteral("acme", "name", "Acme")
+	g.AddLiteral("untyped", "name", "Nobody")
+
+	sorts := g.Sorts()
+	if len(sorts) != 2 || sorts[0] != "Company" || sorts[1] != "Person" {
+		t.Fatalf("Sorts = %v", sorts)
+	}
+
+	persons := g.SortSubgraph("Person")
+	if persons.SubjectCount() != 1 {
+		t.Fatalf("person subjects = %v", persons.Subjects())
+	}
+	if persons.Len() != 3 { // type + name + birthDate
+		t.Fatalf("person triples = %d", persons.Len())
+	}
+	if persons.HasProperty("acme", "name") {
+		t.Fatal("company leaked into person subgraph")
+	}
+}
+
+func TestParseNTriplesBasic(t *testing.T) {
+	src := `
+# a comment
+<http://ex/s1> <http://ex/p> <http://ex/o> .
+<http://ex/s1> <http://ex/q> "a literal" .
+<http://ex/s2> <http://ex/p> "lang"@en .
+<http://ex/s2> <http://ex/q> "typed"^^<http://www.w3.org/2001/XMLSchema#string> .
+_:b1 <http://ex/p> _:b2 .
+
+<http://ex/s3> <http://ex/p> "esc \"q\" \\ \t \n é" . # trailing comment
+`
+	g, err := ParseNTriples(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", g.Len())
+	}
+	if !g.Contains(Triple{Subject: "http://ex/s1", Predicate: "http://ex/q", Object: NewLiteral("a literal")}) {
+		t.Fatal("missing literal triple")
+	}
+	if !g.Contains(Triple{Subject: "http://ex/s2", Predicate: "http://ex/p", Object: NewLiteral("lang")}) {
+		t.Fatal("language-tagged literal not parsed")
+	}
+	if !g.Contains(Triple{Subject: "_:b1", Predicate: "http://ex/p", Object: NewURI("_:b2")}) {
+		t.Fatal("blank nodes not parsed")
+	}
+	want := "esc \"q\" \\ \t \n é"
+	if !g.Contains(Triple{Subject: "http://ex/s3", Predicate: "http://ex/p", Object: NewLiteral(want)}) {
+		t.Fatalf("escapes mishandled; triples: %v", g.SubjectTriples("http://ex/s3"))
+	}
+}
+
+func TestParseNTriplesErrors(t *testing.T) {
+	cases := []string{
+		`<http://ex/s> <http://ex/p> <http://ex/o>`,        // missing dot
+		`<http://ex/s> <http://ex/p> .`,                    // missing object
+		`<http://ex/s> "notauri" <http://ex/o> .`,          // literal predicate
+		`<http://ex/s> <http://ex/p> "unterminated .`,      // unterminated literal
+		`<http://ex/s <http://ex/p> <http://ex/o> .`,       // space in URI
+		`<http://ex/s> <http://ex/p> "bad \x escape" .`,    // unknown escape
+		`<http://ex/s> <http://ex/p> <http://ex/o> . junk`, // trailing junk
+		`<> <http://ex/p> <http://ex/o> .`,                 // empty URI
+	}
+	for _, src := range cases {
+		if _, err := ParseNTriples(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		} else if _, ok := err.(*ParseError); !ok {
+			t.Errorf("error for %q is %T, want *ParseError", src, err)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.AddURI("http://ex/s1", TypeURI, "http://ex/T")
+	g.AddLiteral("http://ex/s1", "http://ex/name", "line1\nline2\t\"quoted\"")
+	g.AddURI("http://ex/s2", "http://ex/knows", "http://ex/s1")
+
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != g.Len() {
+		t.Fatalf("round trip Len = %d, want %d", g2.Len(), g.Len())
+	}
+	for _, tr := range g.Triples() {
+		if !g2.Contains(tr) {
+			t.Fatalf("round trip lost %v", tr)
+		}
+	}
+}
+
+// Property: serializing any randomly generated graph and parsing it back
+// yields the same triple set.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		n := rng.Intn(40)
+		alphabet := []string{"a", "b/c", "d#e", "f?g=1"}
+		lits := []string{"plain", "with \"quotes\"", "tabs\tand\nnewlines", "unicode é ☃", `back\slash`}
+		for i := 0; i < n; i++ {
+			s := "http://ex/s" + alphabet[rng.Intn(len(alphabet))]
+			p := "http://ex/p" + alphabet[rng.Intn(len(alphabet))]
+			if rng.Intn(2) == 0 {
+				g.AddURI(s, p, "http://ex/o"+alphabet[rng.Intn(len(alphabet))])
+			} else {
+				g.AddLiteral(s, p, lits[rng.Intn(len(lits))])
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ParseNTriples(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.Len() != g.Len() {
+			return false
+		}
+		for _, tr := range g.Triples() {
+			if !g2.Contains(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewGraph()
+	a.AddURI("s1", "p", "o")
+	b := NewGraph()
+	b.AddURI("s1", "p", "o")
+	b.AddURI("s2", "p", "o")
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("merged Len = %d, want 2", a.Len())
+	}
+}
+
+func BenchmarkParseNTriples(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 1000; i++ {
+		sb.WriteString("<http://ex/s")
+		sb.WriteString(strings.Repeat("x", i%7))
+		sb.WriteString("> <http://ex/p> \"literal value\" .\n")
+	}
+	src := sb.String()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseNTriples(strings.NewReader(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphAdd(b *testing.B) {
+	g := NewGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AddLiteral("s"+string(rune('a'+i%26)), "p"+string(rune('a'+i%7)), "o")
+	}
+}

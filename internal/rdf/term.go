@@ -1,0 +1,82 @@
+// Package rdf implements the RDF data model used by the paper: URIs and
+// literals, triples (s, p, o) ∈ U×U×(U∪L), finite triple sets (graphs)
+// with indexes, rdf:type sort extraction, and an N-Triples
+// parser/serializer. It is self-contained (stdlib only) because the Go
+// RDF ecosystem is thin.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeURI is the constant rdf:type predicate used to declare that a
+// subject belongs to a sort (type).
+const TypeURI = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+// TermKind distinguishes URIs from literals.
+type TermKind uint8
+
+const (
+	// URI is a term from the countably infinite set U.
+	URI TermKind = iota
+	// Literal is a term from the countably infinite set L.
+	Literal
+)
+
+// Term is a URI or a literal. The zero value is the empty URI.
+type Term struct {
+	Kind  TermKind
+	Value string
+}
+
+// NewURI returns a URI term.
+func NewURI(v string) Term { return Term{Kind: URI, Value: v} }
+
+// NewLiteral returns a literal term.
+func NewLiteral(v string) Term { return Term{Kind: Literal, Value: v} }
+
+// IsURI reports whether t is a URI.
+func (t Term) IsURI() bool { return t.Kind == URI }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	if t.Kind == URI {
+		return "<" + t.Value + ">"
+	}
+	return `"` + escapeLiteral(t.Value) + `"`
+}
+
+func escapeLiteral(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Triple is an RDF triple (s, p, o) with s, p ∈ U and o ∈ U ∪ L.
+type Triple struct {
+	Subject   string // URI
+	Predicate string // URI
+	Object    Term
+}
+
+// String renders the triple in N-Triples syntax (without trailing newline).
+func (t Triple) String() string {
+	return fmt.Sprintf("<%s> <%s> %s .", t.Subject, t.Predicate, t.Object)
+}

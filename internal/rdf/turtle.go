@@ -1,0 +1,471 @@
+package rdf
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// ParseTurtle reads a practical subset of the Turtle syntax into a new
+// graph: @prefix and @base directives, prefixed names, the `a` keyword
+// for rdf:type, predicate lists (`;`), object lists (`,`), quoted and
+// long-quoted literals with language tags or datatypes, numeric and
+// boolean literal shorthands, and comments. Blank node property lists
+// and collections are not supported (the paper's datasets do not use
+// them); encountering one is an error, not a silent skip.
+func ParseTurtle(r io.Reader) (*Graph, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("turtle: read: %w", err)
+	}
+	p := &turtleParser{src: string(data), prefixes: map[string]string{}, g: NewGraph()}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	return p.g, nil
+}
+
+type turtleParser struct {
+	src      string
+	i        int
+	line     int
+	prefixes map[string]string
+	base     string
+	g        *Graph
+	blankSeq int
+}
+
+func (p *turtleParser) errf(format string, args ...interface{}) error {
+	return &ParseError{Line: p.line + 1, Col: 0, Msg: "turtle: " + fmt.Sprintf(format, args...)}
+}
+
+func (p *turtleParser) eof() bool { return p.i >= len(p.src) }
+
+func (p *turtleParser) skipWS() {
+	for !p.eof() {
+		c := p.src[p.i]
+		switch {
+		case c == '\n':
+			p.line++
+			p.i++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.i++
+		case c == '#':
+			for !p.eof() && p.src[p.i] != '\n' {
+				p.i++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *turtleParser) parse() error {
+	for {
+		p.skipWS()
+		if p.eof() {
+			return nil
+		}
+		if p.hasKeyword("@prefix") || p.hasKeyword("PREFIX") {
+			if err := p.parsePrefix(); err != nil {
+				return err
+			}
+			continue
+		}
+		if p.hasKeyword("@base") || p.hasKeyword("BASE") {
+			if err := p.parseBase(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := p.parseTriples(); err != nil {
+			return err
+		}
+	}
+}
+
+// hasKeyword reports whether the input continues with the keyword
+// (case-sensitive) followed by whitespace; it does not consume.
+func (p *turtleParser) hasKeyword(kw string) bool {
+	if !strings.HasPrefix(p.src[p.i:], kw) {
+		return false
+	}
+	j := p.i + len(kw)
+	return j < len(p.src) && (p.src[j] == ' ' || p.src[j] == '\t' || p.src[j] == '\n' || p.src[j] == '\r')
+}
+
+func (p *turtleParser) consumeKeyword() string {
+	start := p.i
+	for !p.eof() && p.src[p.i] != ' ' && p.src[p.i] != '\t' && p.src[p.i] != '\n' {
+		p.i++
+	}
+	return p.src[start:p.i]
+}
+
+func (p *turtleParser) parsePrefix() error {
+	kw := p.consumeKeyword()
+	p.skipWS()
+	// prefix name ends with ':'
+	j := strings.IndexByte(p.src[p.i:], ':')
+	if j < 0 {
+		return p.errf("malformed %s: missing ':'", kw)
+	}
+	name := strings.TrimSpace(p.src[p.i : p.i+j])
+	p.i += j + 1
+	p.skipWS()
+	uri, err := p.parseIRIRef()
+	if err != nil {
+		return err
+	}
+	p.prefixes[name] = uri
+	p.skipWS()
+	if kw == "@prefix" {
+		if p.eof() || p.src[p.i] != '.' {
+			return p.errf("@prefix missing terminating '.'")
+		}
+		p.i++
+	}
+	return nil
+}
+
+func (p *turtleParser) parseBase() error {
+	kw := p.consumeKeyword()
+	p.skipWS()
+	uri, err := p.parseIRIRef()
+	if err != nil {
+		return err
+	}
+	p.base = uri
+	p.skipWS()
+	if kw == "@base" {
+		if p.eof() || p.src[p.i] != '.' {
+			return p.errf("@base missing terminating '.'")
+		}
+		p.i++
+	}
+	return nil
+}
+
+func (p *turtleParser) parseTriples() error {
+	subj, err := p.parseSubject()
+	if err != nil {
+		return err
+	}
+	for {
+		p.skipWS()
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return err
+		}
+		for {
+			p.skipWS()
+			obj, err := p.parseObject()
+			if err != nil {
+				return err
+			}
+			p.g.Add(Triple{Subject: subj, Predicate: pred, Object: obj})
+			p.skipWS()
+			if !p.eof() && p.src[p.i] == ',' {
+				p.i++
+				continue
+			}
+			break
+		}
+		p.skipWS()
+		if p.eof() {
+			return p.errf("unexpected end of input, expected ';' or '.'")
+		}
+		switch p.src[p.i] {
+		case ';':
+			p.i++
+			p.skipWS()
+			// A dangling ';' before '.' is legal Turtle.
+			if !p.eof() && p.src[p.i] == '.' {
+				p.i++
+				return nil
+			}
+			continue
+		case '.':
+			p.i++
+			return nil
+		default:
+			return p.errf("expected ';' or '.', got %q", p.src[p.i])
+		}
+	}
+}
+
+func (p *turtleParser) parseSubject() (string, error) {
+	p.skipWS()
+	if p.eof() {
+		return "", p.errf("expected subject")
+	}
+	switch p.src[p.i] {
+	case '<':
+		return p.parseIRIRef()
+	case '_':
+		return p.parseBlankLabel()
+	case '[':
+		return "", p.errf("blank node property lists are not supported")
+	case '(':
+		return "", p.errf("collections are not supported")
+	}
+	return p.parsePrefixedName()
+}
+
+func (p *turtleParser) parsePredicate() (string, error) {
+	if p.eof() {
+		return "", p.errf("expected predicate")
+	}
+	// The `a` keyword.
+	if p.src[p.i] == 'a' && p.i+1 < len(p.src) &&
+		(p.src[p.i+1] == ' ' || p.src[p.i+1] == '\t' || p.src[p.i+1] == '\n') {
+		p.i++
+		return TypeURI, nil
+	}
+	if p.src[p.i] == '<' {
+		return p.parseIRIRef()
+	}
+	return p.parsePrefixedName()
+}
+
+func (p *turtleParser) parseObject() (Term, error) {
+	if p.eof() {
+		return Term{}, p.errf("expected object")
+	}
+	switch c := p.src[p.i]; {
+	case c == '<':
+		u, err := p.parseIRIRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewURI(u), nil
+	case c == '_':
+		b, err := p.parseBlankLabel()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewURI(b), nil
+	case c == '[':
+		return Term{}, p.errf("blank node property lists are not supported")
+	case c == '(':
+		return Term{}, p.errf("collections are not supported")
+	case c == '"' || c == '\'':
+		return p.parseTurtleLiteral(c)
+	case c == '+' || c == '-' || (c >= '0' && c <= '9'):
+		return p.parseNumericLiteral()
+	case strings.HasPrefix(p.src[p.i:], "true") || strings.HasPrefix(p.src[p.i:], "false"):
+		return p.parseBooleanLiteral()
+	}
+	u, err := p.parsePrefixedName()
+	if err != nil {
+		return Term{}, err
+	}
+	return NewURI(u), nil
+}
+
+func (p *turtleParser) parseIRIRef() (string, error) {
+	if p.eof() || p.src[p.i] != '<' {
+		return "", p.errf("expected '<'")
+	}
+	p.i++
+	start := p.i
+	for !p.eof() && p.src[p.i] != '>' {
+		if p.src[p.i] == '\n' {
+			return "", p.errf("newline inside IRI")
+		}
+		p.i++
+	}
+	if p.eof() {
+		return "", p.errf("unterminated IRI")
+	}
+	u := p.src[start:p.i]
+	p.i++
+	if u == "" {
+		return "", p.errf("empty IRI")
+	}
+	// Resolve against @base for relative IRIs (simple concatenation
+	// covers the fragment/path-suffix cases real dumps use).
+	if p.base != "" && !strings.Contains(u, "://") && !strings.HasPrefix(u, "urn:") {
+		return p.base + u, nil
+	}
+	return u, nil
+}
+
+func (p *turtleParser) parseBlankLabel() (string, error) {
+	start := p.i
+	if p.i+1 >= len(p.src) || p.src[p.i+1] != ':' {
+		return "", p.errf("malformed blank node")
+	}
+	p.i += 2
+	for !p.eof() && isPNChar(rune(p.src[p.i])) {
+		p.i++
+	}
+	if p.i == start+2 {
+		return "", p.errf("empty blank node label")
+	}
+	return p.src[start:p.i], nil
+}
+
+func isPNChar(r rune) bool {
+	return r == '_' || r == '-' || r == '.' ||
+		(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r > 127
+}
+
+func (p *turtleParser) parsePrefixedName() (string, error) {
+	start := p.i
+	for !p.eof() && isPNChar(rune(p.src[p.i])) {
+		p.i++
+	}
+	if p.eof() || p.src[p.i] != ':' {
+		return "", p.errf("expected prefixed name, got %q", p.src[start:min(p.i+1, len(p.src))])
+	}
+	prefix := p.src[start:p.i]
+	p.i++
+	localStart := p.i
+	for !p.eof() && isPNChar(rune(p.src[p.i])) {
+		p.i++
+	}
+	local := p.src[localStart:p.i]
+	ns, ok := p.prefixes[prefix]
+	if !ok {
+		return "", p.errf("undeclared prefix %q", prefix)
+	}
+	return ns + local, nil
+}
+
+func (p *turtleParser) parseTurtleLiteral(quote byte) (Term, error) {
+	long := strings.HasPrefix(p.src[p.i:], strings.Repeat(string(quote), 3))
+	var value strings.Builder
+	if long {
+		p.i += 3
+		end := strings.Repeat(string(quote), 3)
+		j := strings.Index(p.src[p.i:], end)
+		if j < 0 {
+			return Term{}, p.errf("unterminated long literal")
+		}
+		raw := p.src[p.i : p.i+j]
+		p.line += strings.Count(raw, "\n")
+		p.i += j + 3
+		value.WriteString(raw)
+	} else {
+		p.i++
+		for {
+			if p.eof() || p.src[p.i] == '\n' {
+				return Term{}, p.errf("unterminated literal")
+			}
+			c := p.src[p.i]
+			if c == quote {
+				p.i++
+				break
+			}
+			if c == '\\' {
+				p.i++
+				if p.eof() {
+					return Term{}, p.errf("dangling escape")
+				}
+				esc := p.src[p.i]
+				p.i++
+				switch esc {
+				case 't':
+					value.WriteByte('\t')
+				case 'n':
+					value.WriteByte('\n')
+				case 'r':
+					value.WriteByte('\r')
+				case '"', '\'', '\\':
+					value.WriteByte(esc)
+				case 'u', 'U':
+					n := 4
+					if esc == 'U' {
+						n = 8
+					}
+					if p.i+n > len(p.src) {
+						return Term{}, p.errf("truncated \\%c escape", esc)
+					}
+					var r rune
+					for j := 0; j < n; j++ {
+						d := hexVal(p.src[p.i+j])
+						if d < 0 {
+							return Term{}, p.errf("bad hex digit in escape")
+						}
+						r = r<<4 | rune(d)
+					}
+					p.i += n
+					if !utf8.ValidRune(r) {
+						return Term{}, p.errf("invalid code point")
+					}
+					value.WriteRune(r)
+				default:
+					return Term{}, p.errf("unknown escape \\%c", esc)
+				}
+				continue
+			}
+			value.WriteByte(c)
+			p.i++
+		}
+	}
+	// Optional language tag or datatype (discarded: presence-only view).
+	if !p.eof() && p.src[p.i] == '@' {
+		p.i++
+		for !p.eof() && (isPNChar(rune(p.src[p.i]))) {
+			p.i++
+		}
+	} else if strings.HasPrefix(p.src[p.i:], "^^") {
+		p.i += 2
+		if !p.eof() && p.src[p.i] == '<' {
+			if _, err := p.parseIRIRef(); err != nil {
+				return Term{}, err
+			}
+		} else {
+			if _, err := p.parsePrefixedName(); err != nil {
+				return Term{}, err
+			}
+		}
+	}
+	return NewLiteral(value.String()), nil
+}
+
+func (p *turtleParser) parseNumericLiteral() (Term, error) {
+	start := p.i
+	if p.src[p.i] == '+' || p.src[p.i] == '-' {
+		p.i++
+	}
+	seen := false
+	for !p.eof() {
+		c := p.src[p.i]
+		if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' {
+			// A '.' followed by whitespace terminates the statement, not
+			// the number.
+			if c == '.' && (p.i+1 >= len(p.src) || !isDigit(p.src[p.i+1])) {
+				break
+			}
+			seen = seen || (c >= '0' && c <= '9')
+			p.i++
+			continue
+		}
+		break
+	}
+	if !seen {
+		return Term{}, p.errf("malformed numeric literal")
+	}
+	return NewLiteral(p.src[start:p.i]), nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (p *turtleParser) parseBooleanLiteral() (Term, error) {
+	if strings.HasPrefix(p.src[p.i:], "true") {
+		p.i += 4
+		return NewLiteral("true"), nil
+	}
+	p.i += 5
+	return NewLiteral("false"), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

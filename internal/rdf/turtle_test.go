@@ -1,0 +1,141 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTurtleBasic(t *testing.T) {
+	src := `
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix ex:   <http://ex/> .
+# a comment
+ex:alice a foaf:Person ;
+    foaf:name "Alice" ;
+    ex:knows ex:bob, ex:carol .
+ex:bob foaf:name "Bob"@en ;
+    ex:age 42 ;
+    ex:height 1.75 ;
+    ex:active true .
+`
+	g, err := ParseTurtle(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []Triple{
+		{Subject: "http://ex/alice", Predicate: TypeURI, Object: NewURI("http://xmlns.com/foaf/0.1/Person")},
+		{Subject: "http://ex/alice", Predicate: "http://xmlns.com/foaf/0.1/name", Object: NewLiteral("Alice")},
+		{Subject: "http://ex/alice", Predicate: "http://ex/knows", Object: NewURI("http://ex/bob")},
+		{Subject: "http://ex/alice", Predicate: "http://ex/knows", Object: NewURI("http://ex/carol")},
+		{Subject: "http://ex/bob", Predicate: "http://xmlns.com/foaf/0.1/name", Object: NewLiteral("Bob")},
+		{Subject: "http://ex/bob", Predicate: "http://ex/age", Object: NewLiteral("42")},
+		{Subject: "http://ex/bob", Predicate: "http://ex/height", Object: NewLiteral("1.75")},
+		{Subject: "http://ex/bob", Predicate: "http://ex/active", Object: NewLiteral("true")},
+	}
+	for _, want := range checks {
+		if !g.Contains(want) {
+			t.Errorf("missing %v", want)
+		}
+	}
+	if g.Len() != len(checks) {
+		t.Fatalf("Len = %d, want %d", g.Len(), len(checks))
+	}
+}
+
+func TestParseTurtleBaseAndIRIs(t *testing.T) {
+	src := `
+@base <http://ex/data/> .
+@prefix x: <http://ex/vocab#> .
+<item1> x:label "one" .
+<http://absolute/item2> x:label "two"^^<http://www.w3.org/2001/XMLSchema#string> .
+`
+	g, err := ParseTurtle(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Contains(Triple{Subject: "http://ex/data/item1", Predicate: "http://ex/vocab#label", Object: NewLiteral("one")}) {
+		t.Errorf("relative IRI not resolved: %v", g.Subjects())
+	}
+	if !g.Contains(Triple{Subject: "http://absolute/item2", Predicate: "http://ex/vocab#label", Object: NewLiteral("two")}) {
+		t.Error("absolute IRI mangled")
+	}
+}
+
+func TestParseTurtleLongLiteralsAndEscapes(t *testing.T) {
+	src := "@prefix ex: <http://ex/> .\n" +
+		"ex:s ex:p \"\"\"multi\nline\"\"\" ;\n" +
+		" ex:q \"tab\\tquote\\\"\" ;\n" +
+		" ex:r \"uni\\u00e9\" .\n"
+	g, err := ParseTurtle(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Contains(Triple{Subject: "http://ex/s", Predicate: "http://ex/p", Object: NewLiteral("multi\nline")}) {
+		t.Error("long literal mishandled")
+	}
+	if !g.Contains(Triple{Subject: "http://ex/s", Predicate: "http://ex/q", Object: NewLiteral("tab\tquote\"")}) {
+		t.Error("escapes mishandled")
+	}
+	if !g.Contains(Triple{Subject: "http://ex/s", Predicate: "http://ex/r", Object: NewLiteral("unié")}) {
+		t.Error("unicode escape mishandled")
+	}
+}
+
+func TestParseTurtleSparqlStyleDirectives(t *testing.T) {
+	src := `
+PREFIX ex: <http://ex/>
+ex:s ex:p ex:o .
+`
+	g, err := ParseTurtle(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestParseTurtleErrors(t *testing.T) {
+	cases := []string{
+		`ex:s ex:p ex:o .`, // undeclared prefix
+		"@prefix ex: <http://ex/> .\nex:s ex:p [ ex:q 1 ] .", // bnode property list
+		"@prefix ex: <http://ex/> .\nex:s ex:p (1 2) .",      // collection
+		"@prefix ex: <http://ex/> .\nex:s ex:p \"unterminated .",
+		"@prefix ex: <http://ex/>\nex:s ex:p ex:o .", // @prefix without dot
+		"@prefix ex: <http://ex/> .\nex:s ex:p ex:o", // missing final dot
+	}
+	for _, src := range cases {
+		if _, err := ParseTurtle(strings.NewReader(src)); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseTurtleMatchesNTriples(t *testing.T) {
+	// The same dataset in both syntaxes must parse to the same graph.
+	nt := `
+<http://ex/s> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/T> .
+<http://ex/s> <http://ex/name> "n" .
+<http://ex/s> <http://ex/other> <http://ex/o> .
+`
+	ttl := `
+@prefix ex: <http://ex/> .
+ex:s a ex:T ; ex:name "n" ; ex:other ex:o .
+`
+	g1, err := ParseNTriples(strings.NewReader(nt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ParseTurtle(strings.NewReader(ttl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Len() != g2.Len() {
+		t.Fatalf("lengths differ: %d vs %d", g1.Len(), g2.Len())
+	}
+	for _, tr := range g1.Triples() {
+		if !g2.Contains(tr) {
+			t.Errorf("turtle graph missing %v", tr)
+		}
+	}
+}

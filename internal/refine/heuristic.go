@@ -1,0 +1,441 @@
+package refine
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/rules"
+)
+
+// HeuristicOptions configures the local-search engine.
+type HeuristicOptions struct {
+	// Restarts is the number of independent seeds (default 8).
+	Restarts int
+	// MaxIters caps local-search rounds per restart (default 200).
+	MaxIters int
+	// Seed makes runs deterministic.
+	Seed int64
+	// TargetEarlyExit stops at the first restart whose result clears the
+	// problem's threshold — the search drivers set this because any
+	// verified witness decides the feasibility instance.
+	TargetEarlyExit bool
+}
+
+func (o *HeuristicOptions) defaults() {
+	if o.Restarts == 0 {
+		o.Restarts = 8
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 200
+	}
+}
+
+// SolveHeuristic searches for an assignment maximizing the minimum
+// σ over non-empty sorts with at most p.K sorts, via greedy seeding
+// plus steepest-ascent relocation local search with restarts. Feasible
+// answers are exactly verified witnesses; "not found" answers carry no
+// infeasibility proof (use SolveExact for that).
+func SolveHeuristic(p *Problem, opts HeuristicOptions) (*Refinement, bool, error) {
+	if err := p.Validate(); err != nil {
+		return nil, false, err
+	}
+	opts.defaults()
+	fn := p.EvalFunc()
+	v := p.View
+	nSigs := v.NumSignatures()
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var best Assignment
+	bestScore := score{min: -1}
+
+	for r := 0; r < opts.Restarts; r++ {
+		var assign Assignment
+		var err error
+		switch r % 4 {
+		case 0:
+			assign, err = mergeSeed(fn, v, p.K)
+		case 1:
+			assign, err = greedySeed(fn, v, p.K)
+		case 2:
+			assign = profileSeed(v, p.K, rng)
+		default:
+			assign = make(Assignment, nSigs)
+			for i := range assign {
+				assign[i] = rng.Intn(p.K)
+			}
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		// Seeds are often already feasible (notably at large k, where a
+		// near-identity assignment clears any threshold); skip the local
+		// search when a witness only is needed.
+		if opts.TargetEarlyExit {
+			if ok, err := Feasible(fn, v, assign, p.K, p.Theta1, p.Theta2); err != nil {
+				return nil, false, err
+			} else if ok {
+				best = assign.Clone()
+				break
+			}
+		}
+		st, err := newSearchState(fn, v, assign, p.K)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := st.localSearch(opts.MaxIters); err != nil {
+			return nil, false, err
+		}
+		if sc := st.score(); sc.better(bestScore) {
+			best = st.assign.Clone()
+			bestScore = sc
+			if opts.TargetEarlyExit {
+				if ok, _ := Feasible(fn, v, best, p.K, p.Theta1, p.Theta2); ok {
+					break
+				}
+			}
+		}
+	}
+	values, min, err := EvalAssignment(fn, v, best, p.K)
+	if err != nil {
+		return nil, false, err
+	}
+	feasible, err := Feasible(fn, v, best, p.K, p.Theta1, p.Theta2)
+	if err != nil {
+		return nil, false, err
+	}
+	// A feasible answer is an exactly-verified witness (rational
+	// comparison in Feasible); only a "not found" answer is heuristic.
+	return &Refinement{Assignment: best, K: p.K, Values: values, MinSigma: min, Exact: feasible}, feasible, nil
+}
+
+// score orders candidate assignments: primarily by minimum σ over
+// non-empty sorts, secondarily by the sum of σ values (to escape
+// plateaus where the minimum is pinned by one sort).
+type score struct {
+	min float64
+	sum float64
+}
+
+func (s score) better(t score) bool {
+	const eps = 1e-12
+	if s.min > t.min+eps {
+		return true
+	}
+	if s.min < t.min-eps {
+		return false
+	}
+	return s.sum > t.sum+eps
+}
+
+// searchState evaluates relocation moves incrementally: per-sort σ
+// values are cached and a candidate move re-evaluates only its source
+// and destination sorts, making one local-search round O(n·k) sort
+// evaluations instead of O(n·k²).
+type searchState struct {
+	fn     rules.Func
+	view   *matrix.View
+	assign Assignment
+	k      int
+	groups [][]int   // sort -> ascending signature indices
+	vals   []float64 // per-sort σ (vacuous 1 for empty)
+}
+
+func newSearchState(fn rules.Func, v *matrix.View, assign Assignment, k int) (*searchState, error) {
+	st := &searchState{fn: fn, view: v, assign: assign, k: k}
+	st.groups = make([][]int, k)
+	for sig, s := range assign {
+		st.groups[s] = append(st.groups[s], sig)
+	}
+	st.vals = make([]float64, k)
+	for s := range st.groups {
+		val, err := st.eval(st.groups[s])
+		if err != nil {
+			return nil, err
+		}
+		st.vals[s] = val
+	}
+	return st, nil
+}
+
+func (st *searchState) eval(group []int) (float64, error) {
+	if len(group) == 0 {
+		return 1, nil
+	}
+	r, err := st.fn.Eval(st.view.Subset(group))
+	if err != nil {
+		return 0, err
+	}
+	return r.Value(), nil
+}
+
+func (st *searchState) score() score {
+	sc := score{min: 1}
+	for s, g := range st.groups {
+		if len(g) == 0 {
+			continue
+		}
+		sc.sum += st.vals[s]
+		if st.vals[s] < sc.min {
+			sc.min = st.vals[s]
+		}
+	}
+	return sc
+}
+
+// scoreWith computes the score if sorts a and b had values va and vb.
+func (st *searchState) scoreWith(a int, va float64, emptyA bool, b int, vb float64) score {
+	sc := score{min: 1}
+	for s, g := range st.groups {
+		var val float64
+		switch s {
+		case a:
+			if emptyA {
+				continue
+			}
+			val = va
+		case b:
+			val = vb
+		default:
+			if len(g) == 0 {
+				continue
+			}
+			val = st.vals[s]
+		}
+		sc.sum += val
+		if val < sc.min {
+			sc.min = val
+		}
+	}
+	return sc
+}
+
+// remove returns group g without signature mu (preserving order).
+func remove(g []int, mu int) []int {
+	out := make([]int, 0, len(g)-1)
+	for _, x := range g {
+		if x != mu {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// insertSorted returns group g with mu inserted in ascending order.
+func insertSorted(g []int, mu int) []int {
+	i := sort.SearchInts(g, mu)
+	out := make([]int, 0, len(g)+1)
+	out = append(out, g[:i]...)
+	out = append(out, mu)
+	return append(out, g[i:]...)
+}
+
+// localSearch runs steepest-ascent relocation moves until a local
+// optimum or the iteration cap.
+func (st *searchState) localSearch(maxIters int) error {
+	n := st.view.NumSignatures()
+	for iter := 0; iter < maxIters; iter++ {
+		curSc := st.score()
+		bestSc := curSc
+		bestMu, bestSort := -1, -1
+		var bestVA, bestVB float64
+		for mu := 0; mu < n; mu++ {
+			a := st.assign[mu]
+			ga := remove(st.groups[a], mu)
+			va, err := st.eval(ga)
+			if err != nil {
+				return err
+			}
+			for b := 0; b < st.k; b++ {
+				if b == a {
+					continue
+				}
+				gb := insertSorted(st.groups[b], mu)
+				vb, err := st.eval(gb)
+				if err != nil {
+					return err
+				}
+				sc := st.scoreWith(a, va, len(ga) == 0, b, vb)
+				if sc.better(bestSc) {
+					bestSc = sc
+					bestMu, bestSort = mu, b
+					bestVA, bestVB = va, vb
+				}
+			}
+		}
+		if bestMu < 0 {
+			return nil
+		}
+		a := st.assign[bestMu]
+		st.groups[a] = remove(st.groups[a], bestMu)
+		st.groups[bestSort] = insertSorted(st.groups[bestSort], bestMu)
+		st.assign[bestMu] = bestSort
+		st.vals[a] = bestVA
+		st.vals[bestSort] = bestVB
+	}
+	return nil
+}
+
+// greedySeed assigns signatures in decreasing size order, each to the
+// sort that yields the best interim score, evaluating only the
+// receiving sort per candidate.
+func greedySeed(fn rules.Func, v *matrix.View, k int) (Assignment, error) {
+	n := v.NumSignatures()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sigs := v.Signatures()
+	sort.Slice(order, func(a, b int) bool { return sigs[order[a]].Count > sigs[order[b]].Count })
+
+	assign := make(Assignment, n)
+	groups := make([][]int, k)
+	vals := make([]float64, k)
+	used := 0
+	evalGroup := func(g []int) (float64, error) {
+		if len(g) == 0 {
+			return 1, nil
+		}
+		r, err := fn.Eval(v.Subset(g))
+		if err != nil {
+			return 0, err
+		}
+		return r.Value(), nil
+	}
+	for _, mu := range order {
+		// Placing into any currently-empty sort is symmetric; try only
+		// the first one.
+		maxTry := used + 1
+		if maxTry > k {
+			maxTry = k
+		}
+		bestSort, bestSc := 0, score{min: -1}
+		var bestVal float64
+		for s := 0; s < maxTry; s++ {
+			cand := insertSorted(groups[s], mu)
+			val, err := evalGroup(cand)
+			if err != nil {
+				return nil, err
+			}
+			// Interim score over placed signatures.
+			sc := score{min: 1}
+			for q := 0; q < k; q++ {
+				var qv float64
+				if q == s {
+					qv = val
+				} else if len(groups[q]) == 0 {
+					continue
+				} else {
+					qv = vals[q]
+				}
+				sc.sum += qv
+				if qv < sc.min {
+					sc.min = qv
+				}
+			}
+			if sc.better(bestSc) {
+				bestSc = sc
+				bestSort = s
+				bestVal = val
+			}
+		}
+		if len(groups[bestSort]) == 0 {
+			used++
+		}
+		groups[bestSort] = insertSorted(groups[bestSort], mu)
+		vals[bestSort] = bestVal
+		assign[mu] = bestSort
+	}
+	return assign, nil
+}
+
+// mergeSeed builds an assignment agglomeratively: every signature set
+// starts as its own sort (σ = 1 for all built-in measures), then the
+// pair of sorts whose merge keeps the highest σ is merged until at most
+// k sorts remain. This seed directly targets the lowest-k problem: it
+// trades sort count against structuredness one merge at a time.
+func mergeSeed(fn rules.Func, v *matrix.View, k int) (Assignment, error) {
+	n := v.NumSignatures()
+	groups := make([][]int, 0, n)
+	for mu := 0; mu < n; mu++ {
+		groups = append(groups, []int{mu})
+	}
+	evalGroup := func(g []int) (float64, error) {
+		r, err := fn.Eval(v.Subset(g))
+		if err != nil {
+			return 0, err
+		}
+		return r.Value(), nil
+	}
+	for len(groups) > k {
+		bestI, bestJ, bestVal := -1, -1, -1.0
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				merged := mergeSorted(groups[i], groups[j])
+				val, err := evalGroup(merged)
+				if err != nil {
+					return nil, err
+				}
+				if val > bestVal {
+					bestVal = val
+					bestI, bestJ = i, j
+				}
+			}
+		}
+		merged := mergeSorted(groups[bestI], groups[bestJ])
+		groups[bestI] = merged
+		groups = append(groups[:bestJ], groups[bestJ+1:]...)
+	}
+	assign := make(Assignment, n)
+	for s, g := range groups {
+		for _, mu := range g {
+			assign[mu] = s
+		}
+	}
+	return assign, nil
+}
+
+// mergeSorted merges two ascending index lists.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// profileSeed clusters signatures around k random centroids by Hamming
+// distance on their property bit vectors — a structural seed that often
+// lands near "schema-shaped" partitions.
+func profileSeed(v *matrix.View, k int, rng *rand.Rand) Assignment {
+	n := v.NumSignatures()
+	sigs := v.Signatures()
+	assign := make(Assignment, n)
+	if n == 0 {
+		return assign
+	}
+	centroids := rng.Perm(n)
+	if len(centroids) > k {
+		centroids = centroids[:k]
+	}
+	for mu := range assign {
+		best, bestD := 0, 1<<30
+		for ci, c := range centroids {
+			d := sigs[mu].Bits.HammingDistance(sigs[c].Bits)
+			if d < bestD {
+				bestD = d
+				best = ci
+			}
+		}
+		assign[mu] = best
+	}
+	return assign
+}

@@ -1,0 +1,193 @@
+package refine
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/matrix"
+	"repro/internal/rules"
+)
+
+func TestInsertSortedAndRemove(t *testing.T) {
+	g := []int{}
+	for _, x := range []int{5, 1, 3} {
+		g = insertSorted(g, x)
+	}
+	if len(g) != 3 || g[0] != 1 || g[1] != 3 || g[2] != 5 {
+		t.Fatalf("insertSorted = %v", g)
+	}
+	g = remove(g, 3)
+	if len(g) != 2 || g[0] != 1 || g[1] != 5 {
+		t.Fatalf("remove = %v", g)
+	}
+	g = remove(g, 99) // absent element: no-op
+	if len(g) != 2 {
+		t.Fatalf("remove(absent) = %v", g)
+	}
+}
+
+// Property: insertSorted keeps lists sorted and remove inverts it.
+func TestQuickInsertRemove(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var g []int
+		seen := map[int]bool{}
+		for i := 0; i < 30; i++ {
+			x := rng.Intn(100)
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			g = insertSorted(g, x)
+		}
+		for i := 1; i < len(g); i++ {
+			if g[i-1] >= g[i] {
+				return false
+			}
+		}
+		for x := range seen {
+			g = remove(g, x)
+		}
+		return len(g) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The incremental search state must agree with a from-scratch
+// re-evaluation after any sequence of moves.
+func TestSearchStateIncrementalConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	props := []string{"a", "b", "c", "d"}
+	var sigs []matrix.Signature
+	for i := 0; i < 10; i++ {
+		b := bitset.New(4)
+		for j := 0; j < 4; j++ {
+			if rng.Intn(2) == 1 {
+				b.Set(j)
+			}
+		}
+		if b.Count() == 0 {
+			b.Set(i % 4)
+		}
+		sigs = append(sigs, matrix.Signature{Bits: b, Count: rng.Intn(20) + 1})
+	}
+	v, err := matrix.New(props, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 3
+	assign := make(Assignment, v.NumSignatures())
+	for i := range assign {
+		assign[i] = rng.Intn(k)
+	}
+	st, err := newSearchState(rules.CovFunc(), v, assign.Clone(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perform random moves through the public move path (groups/vals
+	// updates) and compare with EvalAssignment each time.
+	for step := 0; step < 25; step++ {
+		mu := rng.Intn(v.NumSignatures())
+		b := rng.Intn(k)
+		a := st.assign[mu]
+		if a == b {
+			continue
+		}
+		ga := remove(st.groups[a], mu)
+		va, err := st.eval(ga)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb := insertSorted(st.groups[b], mu)
+		vb, err := st.eval(gb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.groups[a] = ga
+		st.groups[b] = gb
+		st.assign[mu] = b
+		st.vals[a] = va
+		st.vals[b] = vb
+
+		values, min, err := EvalAssignment(rules.CovFunc(), v, st.assign, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := st.score()
+		if diff := sc.min - min; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("step %d: incremental min %v != recomputed %v", step, sc.min, min)
+		}
+		sum := 0.0
+		for s, g := range st.groups {
+			if len(g) > 0 {
+				_ = values[s]
+				sum += st.vals[s]
+			}
+		}
+		if diff := sc.sum - sum; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("step %d: sum drift", step)
+		}
+	}
+}
+
+func TestScoreOrdering(t *testing.T) {
+	a := score{min: 0.9, sum: 1.8}
+	b := score{min: 0.8, sum: 5.0}
+	if !a.better(b) || b.better(a) {
+		t.Fatal("min must dominate sum")
+	}
+	c := score{min: 0.9, sum: 2.0}
+	if !c.better(a) {
+		t.Fatal("sum must break min ties")
+	}
+	if a.better(a) {
+		t.Fatal("score better than itself")
+	}
+}
+
+func TestProfileSeedBounds(t *testing.T) {
+	v := aliveDeadView(t)
+	rng := rand.New(rand.NewSource(1))
+	for k := 1; k <= 4; k++ {
+		assign := profileSeed(v, k, rng)
+		if len(assign) != v.NumSignatures() {
+			t.Fatalf("k=%d: length %d", k, len(assign))
+		}
+		for _, s := range assign {
+			if s < 0 || s >= k {
+				t.Fatalf("k=%d: sort %d out of range", k, s)
+			}
+		}
+	}
+}
+
+func TestGreedySeedRespectsK(t *testing.T) {
+	v := mkView(t, []string{"a", "b", "c"},
+		[]string{"100", "010", "001"}, []int{5, 5, 5})
+	for k := 1; k <= 3; k++ {
+		assign, err := greedySeed(rules.CovFunc(), v, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range assign {
+			if s < 0 || s >= k {
+				t.Fatalf("k=%d: sort %d out of range", k, s)
+			}
+		}
+		// With k=3 and three incompatible signatures, greedy must use all
+		// three sorts (σ = 1 each).
+		if k == 3 {
+			used := map[int]bool{}
+			for _, s := range assign {
+				used[s] = true
+			}
+			if len(used) != 3 {
+				t.Fatalf("greedy used %d sorts, want 3", len(used))
+			}
+		}
+	}
+}

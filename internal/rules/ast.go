@@ -1,0 +1,157 @@
+// Package rules implements the paper's language for defining
+// structuredness measures (Section 3): formulas over cell variables of
+// the property-structure view, rules ϕ1 ↦ ϕ2, their formal semantics
+// (σr(M) = |total(ϕ1∧ϕ2,M)| / |total(ϕ1,M)|), a text parser, an exact
+// generic evaluator based on rough assignments (Section 6), and closed
+// forms for the paper's named measures σCov, σSim, σDep and σSymDep.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Formula is a Boolean combination of the atomic formulas of Section
+// 3.1. Implementations are immutable.
+type Formula interface {
+	fmt.Stringer
+	// collectVars adds every variable mentioned to vars.
+	collectVars(vars map[string]bool)
+}
+
+// ValEqConst is val(c) = i with i ∈ {0, 1}.
+type ValEqConst struct {
+	C string
+	I int
+}
+
+// ValEqVar is val(c1) = val(c2).
+type ValEqVar struct{ C1, C2 string }
+
+// PropEqConst is prop(c) = u for a URI constant u.
+type PropEqConst struct {
+	C string
+	U string
+}
+
+// SubjEqConst is subj(c) = u for a URI constant u. Supported by the
+// naive evaluator but rejected by the rough-assignment machinery and
+// the ILP encoding (the paper's reduction excludes subject constants).
+type SubjEqConst struct {
+	C string
+	U string
+}
+
+// PropEqVar is prop(c1) = prop(c2).
+type PropEqVar struct{ C1, C2 string }
+
+// SubjEqVar is subj(c1) = subj(c2).
+type SubjEqVar struct{ C1, C2 string }
+
+// CellEq is c1 = c2 (same cell: same subject and same property).
+type CellEq struct{ C1, C2 string }
+
+// Not is (¬F).
+type Not struct{ F Formula }
+
+// And is (L ∧ R).
+type And struct{ L, R Formula }
+
+// Or is (L ∨ R).
+type Or struct{ L, R Formula }
+
+func (f ValEqConst) String() string  { return fmt.Sprintf("val(%s)=%d", f.C, f.I) }
+func (f ValEqVar) String() string    { return fmt.Sprintf("val(%s)=val(%s)", f.C1, f.C2) }
+func (f PropEqConst) String() string { return fmt.Sprintf("prop(%s)=<%s>", f.C, f.U) }
+func (f SubjEqConst) String() string { return fmt.Sprintf("subj(%s)=<%s>", f.C, f.U) }
+func (f PropEqVar) String() string   { return fmt.Sprintf("prop(%s)=prop(%s)", f.C1, f.C2) }
+func (f SubjEqVar) String() string   { return fmt.Sprintf("subj(%s)=subj(%s)", f.C1, f.C2) }
+func (f CellEq) String() string      { return fmt.Sprintf("%s=%s", f.C1, f.C2) }
+func (f Not) String() string         { return "!(" + f.F.String() + ")" }
+func (f And) String() string         { return "(" + f.L.String() + " && " + f.R.String() + ")" }
+func (f Or) String() string          { return "(" + f.L.String() + " || " + f.R.String() + ")" }
+
+func (f ValEqConst) collectVars(v map[string]bool)  { v[f.C] = true }
+func (f ValEqVar) collectVars(v map[string]bool)    { v[f.C1] = true; v[f.C2] = true }
+func (f PropEqConst) collectVars(v map[string]bool) { v[f.C] = true }
+func (f SubjEqConst) collectVars(v map[string]bool) { v[f.C] = true }
+func (f PropEqVar) collectVars(v map[string]bool)   { v[f.C1] = true; v[f.C2] = true }
+func (f SubjEqVar) collectVars(v map[string]bool)   { v[f.C1] = true; v[f.C2] = true }
+func (f CellEq) collectVars(v map[string]bool)      { v[f.C1] = true; v[f.C2] = true }
+func (f Not) collectVars(v map[string]bool)         { f.F.collectVars(v) }
+func (f And) collectVars(v map[string]bool)         { f.L.collectVars(v); f.R.collectVars(v) }
+func (f Or) collectVars(v map[string]bool)          { f.L.collectVars(v); f.R.collectVars(v) }
+
+// Vars returns the sorted variable names of f.
+func Vars(f Formula) []string {
+	m := map[string]bool{}
+	f.collectVars(m)
+	out := make([]string, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rule is ϕ1 ↦ ϕ2 with var(ϕ2) ⊆ var(ϕ1).
+type Rule struct {
+	Name       string // optional human-readable label
+	Antecedent Formula
+	Consequent Formula
+}
+
+// NewRule validates the variable-containment side condition of the
+// language and returns the rule.
+func NewRule(name string, ant, cons Formula) (*Rule, error) {
+	av := map[string]bool{}
+	ant.collectVars(av)
+	cv := map[string]bool{}
+	cons.collectVars(cv)
+	for v := range cv {
+		if !av[v] {
+			return nil, fmt.Errorf("rules: consequent variable %q not in antecedent", v)
+		}
+	}
+	if len(av) == 0 {
+		return nil, fmt.Errorf("rules: rule mentions no variables")
+	}
+	return &Rule{Name: name, Antecedent: ant, Consequent: cons}, nil
+}
+
+// Vars returns the sorted variables of the rule (those of the antecedent).
+func (r *Rule) Vars() []string { return Vars(r.Antecedent) }
+
+// String renders the rule in the parseable text syntax.
+func (r *Rule) String() string {
+	return r.Antecedent.String() + " -> " + r.Consequent.String()
+}
+
+// hasSubjConst reports whether f mentions subj(c)=constant, which is
+// incompatible with signature-level (rough) counting.
+func hasSubjConst(f Formula) bool {
+	switch g := f.(type) {
+	case SubjEqConst:
+		return true
+	case Not:
+		return hasSubjConst(g.F)
+	case And:
+		return hasSubjConst(g.L) || hasSubjConst(g.R)
+	case Or:
+		return hasSubjConst(g.L) || hasSubjConst(g.R)
+	}
+	return false
+}
+
+// normalizeName returns a default name for unnamed rules.
+func normalizeName(name string, r *Rule) string {
+	if name != "" {
+		return name
+	}
+	s := r.String()
+	if len(s) > 40 {
+		s = s[:40] + "…"
+	}
+	return strings.TrimSpace(s)
+}

@@ -1,0 +1,271 @@
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// This file provides the paper's named structuredness functions
+// (Section 2.2) in two forms: as rules of the language (Section 3.2's
+// encodings) and as closed-form evaluators over the signature view.
+// The closed forms are algebraically derived from the rule semantics
+// and verified against the generic evaluator in tests; they are what
+// makes local search over candidate partitions fast (O(|P|) per
+// evaluation instead of enumerating rough assignments).
+
+// CovRule returns the rule expressing σCov: c = c ↦ val(c) = 1.
+func CovRule() *Rule {
+	return MustParse("c = c -> val(c) = 1")
+}
+
+// CovRuleIgnoring returns the σCov variant that ignores the given
+// property columns (Section 3.2's "modified σCov" and the Section 7.4
+// RDF-syntax exclusion).
+func CovRuleIgnoring(props ...string) *Rule {
+	ant := Formula(CellEq{C1: "c", C2: "c"})
+	for _, p := range props {
+		ant = And{ant, Not{PropEqConst{C: "c", U: p}}}
+	}
+	r, err := NewRule("Cov-ignoring", ant, ValEqConst{C: "c", I: 1})
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// SimRule returns the rule expressing σSim:
+// ¬(c1 = c2) ∧ prop(c1) = prop(c2) ∧ val(c1) = 1 ↦ val(c2) = 1.
+func SimRule() *Rule {
+	return MustParse("!(c1 = c2) && prop(c1) = prop(c2) && val(c1) = 1 -> val(c2) = 1")
+}
+
+// DepRule returns the rule expressing σDep[p1, p2].
+func DepRule(p1, p2 string) *Rule {
+	r := MustParse(fmt.Sprintf(
+		"subj(c1) = subj(c2) && prop(c1) = <%s> && prop(c2) = <%s> && val(c1) = 1 -> val(c2) = 1",
+		p1, p2))
+	r.Name = fmt.Sprintf("Dep[%s,%s]", p1, p2)
+	return r
+}
+
+// SymDepRule returns the rule expressing σSymDep[p1, p2].
+func SymDepRule(p1, p2 string) *Rule {
+	r := MustParse(fmt.Sprintf(
+		"subj(c1) = subj(c2) && prop(c1) = <%s> && prop(c2) = <%s> && (val(c1) = 1 || val(c2) = 1) -> val(c1) = 1 && val(c2) = 1",
+		p1, p2))
+	r.Name = fmt.Sprintf("SymDep[%s,%s]", p1, p2)
+	return r
+}
+
+// DepDisjRule returns the disjunctive dependency variant of Section
+// 3.2: the probability that a random subject having p1 also has p2,
+// vacuously counting subjects without p1.
+func DepDisjRule(p1, p2 string) *Rule {
+	r := MustParse(fmt.Sprintf(
+		"subj(c1) = subj(c2) && prop(c1) = <%s> && prop(c2) = <%s> -> val(c1) = 0 || val(c2) = 1",
+		p1, p2))
+	r.Name = fmt.Sprintf("DepDisj[%s,%s]", p1, p2)
+	return r
+}
+
+// Coverage computes σCov(D) = (Σsp M(D)sp) / (|S(D)|·|P(D)|) where
+// P(D) counts only properties some subject of the view actually has.
+func Coverage(v *matrix.View) Ratio {
+	n := int64(v.NumSubjects())
+	used := int64(v.UsedProperties())
+	return NewRatio(v.Ones(), n*used)
+}
+
+// CoverageIgnoring computes σCov over the view with the given columns
+// removed from both numerator and denominator.
+func CoverageIgnoring(v *matrix.View, ignore ...string) Ratio {
+	skip := map[int]bool{}
+	for _, p := range ignore {
+		if i, ok := v.PropertyIndex(p); ok {
+			skip[i] = true
+		}
+	}
+	counts := v.PropertyCounts()
+	var ones, used int64
+	for i, c := range counts {
+		if skip[i] || c == 0 {
+			continue
+		}
+		used++
+		ones += c
+	}
+	return NewRatio(ones, int64(v.NumSubjects())*used)
+}
+
+// Similarity computes σSim(D): the probability that a random property
+// p of a random subject s (with s having p) is also had by a second
+// random subject s′ ≠ s. Closed form:
+//
+//	fav = Σ_p N_p·(N_p − 1),  tot = Σ_p N_p·(N − 1)
+func Similarity(v *matrix.View) Ratio {
+	n := int64(v.NumSubjects())
+	var fav, tot int64
+	for _, np := range v.PropertyCounts() {
+		fav += np * (np - 1)
+		tot += np * (n - 1)
+	}
+	return NewRatio(fav, tot)
+}
+
+// bothCount returns the number of subjects having both columns.
+func bothCount(v *matrix.View, i, j int) int64 {
+	var both int64
+	for _, sg := range v.Signatures() {
+		if sg.Bits.Test(i) && sg.Bits.Test(j) {
+			both += int64(sg.Count)
+		}
+	}
+	return both
+}
+
+// Dep computes σDep[p1, p2](D): the probability that a random subject
+// having p1 also has p2. Vacuously 1 when either column is absent from
+// the view's used properties (no total cases — the Fig. 4c effect).
+func Dep(v *matrix.View, p1, p2 string) Ratio {
+	i, ok1 := v.PropertyIndex(p1)
+	j, ok2 := v.PropertyIndex(p2)
+	if !ok1 || !ok2 {
+		return NewRatio(0, 0)
+	}
+	counts := v.PropertyCounts()
+	if counts[i] == 0 || counts[j] == 0 {
+		return NewRatio(0, 0)
+	}
+	return NewRatio(bothCount(v, i, j), counts[i])
+}
+
+// SymDep computes σSymDep[p1, p2](D): the probability that a random
+// subject having p1 or p2 has both.
+func SymDep(v *matrix.View, p1, p2 string) Ratio {
+	i, ok1 := v.PropertyIndex(p1)
+	j, ok2 := v.PropertyIndex(p2)
+	if !ok1 || !ok2 {
+		return NewRatio(0, 0)
+	}
+	counts := v.PropertyCounts()
+	if counts[i] == 0 || counts[j] == 0 {
+		return NewRatio(0, 0)
+	}
+	both := bothCount(v, i, j)
+	either := counts[i] + counts[j] - both
+	return NewRatio(both, either)
+}
+
+// Func is a structuredness function σ: it assigns to every view an
+// exact Ratio in [0, 1]. All named measures and every parsed rule
+// satisfy this interface.
+type Func interface {
+	Name() string
+	Eval(v *matrix.View) (Ratio, error)
+}
+
+// closedFunc wraps a closed-form evaluator.
+type closedFunc struct {
+	name string
+	eval func(v *matrix.View) Ratio
+}
+
+func (c closedFunc) Name() string                       { return c.name }
+func (c closedFunc) Eval(v *matrix.View) (Ratio, error) { return c.eval(v), nil }
+
+// CovFunc returns σCov as a Func (closed form).
+func CovFunc() Func { return closedFunc{"Cov", Coverage} }
+
+// SimFunc returns σSim as a Func (closed form).
+func SimFunc() Func { return closedFunc{"Sim", Similarity} }
+
+// DepFunc returns σDep[p1,p2] as a Func (closed form).
+func DepFunc(p1, p2 string) Func {
+	return closedFunc{fmt.Sprintf("Dep[%s,%s]", p1, p2),
+		func(v *matrix.View) Ratio { return Dep(v, p1, p2) }}
+}
+
+// SymDepFunc returns σSymDep[p1,p2] as a Func (closed form).
+func SymDepFunc(p1, p2 string) Func {
+	return closedFunc{fmt.Sprintf("SymDep[%s,%s]", p1, p2),
+		func(v *matrix.View) Ratio { return SymDep(v, p1, p2) }}
+}
+
+// CovIgnoringFunc returns the σCov variant excluding columns.
+func CovIgnoringFunc(ignore ...string) Func {
+	return closedFunc{"Cov-ignoring",
+		func(v *matrix.View) Ratio { return CoverageIgnoring(v, ignore...) }}
+}
+
+// RuleFunc evaluates an arbitrary rule with the generic
+// rough-assignment evaluator.
+type RuleFunc struct{ R *Rule }
+
+// Name returns the rule's label.
+func (rf RuleFunc) Name() string { return normalizeName(rf.R.Name, rf.R) }
+
+// Eval computes σr exactly.
+func (rf RuleFunc) Eval(v *matrix.View) (Ratio, error) { return Evaluate(rf.R, v) }
+
+// FuncForRule returns the fastest exact evaluator for r: a closed form
+// when r is recognized as one of the named measures (matched
+// structurally), otherwise the generic evaluator.
+func FuncForRule(r *Rule) Func {
+	if r.String() == CovRule().String() {
+		return CovFunc()
+	}
+	if r.String() == SimRule().String() {
+		return SimFunc()
+	}
+	if p1, p2, ok := matchDep(r); ok {
+		return DepFunc(p1, p2)
+	}
+	if p1, p2, ok := matchSymDep(r); ok {
+		return SymDepFunc(p1, p2)
+	}
+	return RuleFunc{R: r}
+}
+
+func matchDep(r *Rule) (p1, p2 string, ok bool) {
+	ps := twoPropConsts(r)
+	if ps == nil {
+		return "", "", false
+	}
+	if r.String() == DepRule(ps[0], ps[1]).String() {
+		return ps[0], ps[1], true
+	}
+	return "", "", false
+}
+
+func matchSymDep(r *Rule) (p1, p2 string, ok bool) {
+	ps := twoPropConsts(r)
+	if ps == nil {
+		return "", "", false
+	}
+	if r.String() == SymDepRule(ps[0], ps[1]).String() {
+		return ps[0], ps[1], true
+	}
+	return "", "", false
+}
+
+// twoPropConsts extracts the first two prop(·)=constant URIs in
+// antecedent order, or nil.
+func twoPropConsts(r *Rule) []string {
+	var ps []string
+	var walk func(f Formula)
+	walk = func(f Formula) {
+		switch g := f.(type) {
+		case And:
+			walk(g.L)
+			walk(g.R)
+		case PropEqConst:
+			ps = append(ps, g.U)
+		}
+	}
+	walk(r.Antecedent)
+	if len(ps) == 2 {
+		return ps
+	}
+	return nil
+}

@@ -1,0 +1,350 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses the text syntax for rules:
+//
+//	rule    := formula "->" formula
+//	formula := orExpr
+//	orExpr  := andExpr { ("||" | "|") andExpr }
+//	andExpr := unary { ("&&" | "&") unary }
+//	unary   := ("!" | "~") unary | "(" formula ")" | atom
+//	atom    := term ("=" | "!=") term
+//	term    := "val" "(" var ")" | "prop" "(" var ")" | "subj" "(" var ")"
+//	         | "0" | "1" | "<" uri ">" | var
+//
+// "!=" is sugar for the negated equality. Examples (the paper's rules):
+//
+//	σCov:    c = c -> val(c) = 1
+//	σSim:    !(c1 = c2) && prop(c1) = prop(c2) && val(c1) = 1 -> val(c2) = 1
+//	σDep:    subj(c1)=subj(c2) && prop(c1)=<p1> && prop(c2)=<p2> && val(c1)=1 -> val(c2)=1
+func Parse(src string) (*Rule, error) {
+	p := &parser{toks: lex(src)}
+	ant, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokArrow); err != nil {
+		return nil, err
+	}
+	cons, err := p.parseFormula()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("rules: unexpected trailing token %q", p.peek().text)
+	}
+	return NewRule("", ant, cons)
+}
+
+// MustParse is Parse that panics on error, for rule literals in code.
+func MustParse(src string) *Rule {
+	r, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokURI // <...>
+	tokNum // 0 or 1
+	tokLPar
+	tokRPar
+	tokEq
+	tokNeq
+	tokAnd
+	tokOr
+	tokNot
+	tokArrow
+	tokErr
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLPar, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRPar, ")"})
+			i++
+		case c == '=':
+			toks = append(toks, token{tokEq, "="})
+			i++
+		case c == '!' && i+1 < len(src) && src[i+1] == '=':
+			toks = append(toks, token{tokNeq, "!="})
+			i += 2
+		case c == '!' || c == '~':
+			toks = append(toks, token{tokNot, string(c)})
+			i++
+		case c == '&':
+			i++
+			if i < len(src) && src[i] == '&' {
+				i++
+			}
+			toks = append(toks, token{tokAnd, "&&"})
+		case c == '|':
+			i++
+			if i < len(src) && src[i] == '|' {
+				i++
+			}
+			toks = append(toks, token{tokOr, "||"})
+		case c == '-' && i+1 < len(src) && src[i+1] == '>':
+			toks = append(toks, token{tokArrow, "->"})
+			i += 2
+		case c == '<':
+			j := strings.IndexByte(src[i:], '>')
+			if j < 0 {
+				toks = append(toks, token{tokErr, "unterminated URI"})
+				return toks
+			}
+			toks = append(toks, token{tokURI, src[i+1 : i+j]})
+			i += j + 1
+		case c == '0' || c == '1':
+			toks = append(toks, token{tokNum, string(c)})
+			i++
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j]})
+			i = j
+		default:
+			toks = append(toks, token{tokErr, fmt.Sprintf("unexpected character %q", c)})
+			return toks
+		}
+	}
+	toks = append(toks, token{tokEOF, ""})
+	return toks
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == ':' || r == '.'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(k tokKind) error {
+	t := p.next()
+	if t.kind == tokErr {
+		return fmt.Errorf("rules: %s", t.text)
+	}
+	if t.kind != k {
+		return fmt.Errorf("rules: unexpected token %q", t.text)
+	}
+	return nil
+}
+
+func (p *parser) parseFormula() (Formula, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Formula, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokOr {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Or{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Formula, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokAnd {
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = And{left, right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseUnary() (Formula, error) {
+	switch p.peek().kind {
+	case tokNot:
+		p.next()
+		f, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{f}, nil
+	case tokLPar:
+		p.next()
+		f, err := p.parseFormula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRPar); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	return p.parseAtom()
+}
+
+// term is an intermediate parse result for one side of an (in)equality.
+type term struct {
+	kind termKind
+	v    string // variable name for fn terms and bare vars
+	u    string // URI constant
+	n    int    // 0/1 constant
+}
+
+type termKind int
+
+const (
+	termVal termKind = iota
+	termProp
+	termSubj
+	termVar
+	termURI
+	termNum
+)
+
+func (p *parser) parseTerm() (term, error) {
+	t := p.next()
+	switch t.kind {
+	case tokErr:
+		return term{}, fmt.Errorf("rules: %s", t.text)
+	case tokURI:
+		return term{kind: termURI, u: t.text}, nil
+	case tokNum:
+		n := 0
+		if t.text == "1" {
+			n = 1
+		}
+		return term{kind: termNum, n: n}, nil
+	case tokIdent:
+		switch t.text {
+		case "val", "prop", "subj":
+			if err := p.expect(tokLPar); err != nil {
+				return term{}, err
+			}
+			arg := p.next()
+			if arg.kind != tokIdent {
+				return term{}, fmt.Errorf("rules: expected variable in %s(...), got %q", t.text, arg.text)
+			}
+			if err := p.expect(tokRPar); err != nil {
+				return term{}, err
+			}
+			k := termVal
+			if t.text == "prop" {
+				k = termProp
+			} else if t.text == "subj" {
+				k = termSubj
+			}
+			return term{kind: k, v: arg.text}, nil
+		}
+		return term{kind: termVar, v: t.text}, nil
+	}
+	return term{}, fmt.Errorf("rules: unexpected token %q", t.text)
+}
+
+func (p *parser) parseAtom() (Formula, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	op := p.next()
+	neg := false
+	switch op.kind {
+	case tokEq:
+	case tokNeq:
+		neg = true
+	default:
+		return nil, fmt.Errorf("rules: expected '=' or '!=', got %q", op.text)
+	}
+	right, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	f, err := makeAtom(left, right)
+	if err != nil {
+		return nil, err
+	}
+	if neg {
+		return Not{f}, nil
+	}
+	return f, nil
+}
+
+func makeAtom(l, r term) (Formula, error) {
+	// Normalize constant-on-the-left.
+	if (l.kind == termURI || l.kind == termNum) && (r.kind != termURI && r.kind != termNum) {
+		l, r = r, l
+	}
+	switch l.kind {
+	case termVal:
+		switch r.kind {
+		case termNum:
+			return ValEqConst{C: l.v, I: r.n}, nil
+		case termVal:
+			return ValEqVar{C1: l.v, C2: r.v}, nil
+		}
+		return nil, fmt.Errorf("rules: val(%s) can only be compared to 0, 1 or val(·)", l.v)
+	case termProp:
+		switch r.kind {
+		case termURI:
+			return PropEqConst{C: l.v, U: r.u}, nil
+		case termProp:
+			return PropEqVar{C1: l.v, C2: r.v}, nil
+		case termVar:
+			// Bare identifier on the right of prop(c)=name is a URI shorthand.
+			return PropEqConst{C: l.v, U: r.v}, nil
+		}
+		return nil, fmt.Errorf("rules: prop(%s) can only be compared to a URI or prop(·)", l.v)
+	case termSubj:
+		switch r.kind {
+		case termURI:
+			return SubjEqConst{C: l.v, U: r.u}, nil
+		case termSubj:
+			return SubjEqVar{C1: l.v, C2: r.v}, nil
+		case termVar:
+			return SubjEqConst{C: l.v, U: r.v}, nil
+		}
+		return nil, fmt.Errorf("rules: subj(%s) can only be compared to a URI or subj(·)", l.v)
+	case termVar:
+		if r.kind == termVar {
+			return CellEq{C1: l.v, C2: r.v}, nil
+		}
+		return nil, fmt.Errorf("rules: cell variable %s can only be compared to another cell variable", l.v)
+	}
+	return nil, fmt.Errorf("rules: invalid atom")
+}

@@ -1,0 +1,363 @@
+package rules
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/matrix"
+)
+
+// mkView builds a view from rows of 0/1 strings; row i repeated
+// counts[i] times (counts nil ⇒ all 1).
+func mkView(t testing.TB, props []string, rows []string, counts []int) *matrix.View {
+	t.Helper()
+	var sigs []matrix.Signature
+	for i, r := range rows {
+		b := bitset.New(len(props))
+		for j := range r {
+			if r[j] == '1' {
+				b.Set(j)
+			}
+		}
+		c := 1
+		if counts != nil {
+			c = counts[i]
+		}
+		sigs = append(sigs, matrix.Signature{Bits: b, Count: c})
+	}
+	v, err := matrix.New(props, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"c = c -> val(c) = 1",
+		"!(c1 = c2) && prop(c1) = prop(c2) && val(c1) = 1 -> val(c2) = 1",
+		"subj(c1) = subj(c2) && prop(c1) = <p1> && prop(c2) = <p2> && val(c1) = 1 -> val(c2) = 1",
+		"subj(c1)=subj(c2) && prop(c1)=<p1> && prop(c2)=<p2> -> val(c1)=0 || val(c2)=1",
+		"val(c1) = val(c2) || subj(c) = <http://ex/s> -> val(c) = 0",
+		"prop(c) != <http://ex/p> -> val(c) = 1",
+	}
+	for _, src := range cases {
+		r, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		r2, err := Parse(r.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (%q): %v", src, r.String(), err)
+		}
+		if r.String() != r2.String() {
+			t.Fatalf("round trip mismatch: %q vs %q", r.String(), r2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"val(c) = 1",                     // no arrow
+		"val(c) = 1 -> val(d) = 1",       // consequent var not in antecedent
+		"val(c) = 2 -> val(c) = 1",       // bad constant
+		"val(c) = prop(c) -> val(c) = 1", // type mismatch
+		"c = c -> val(c) = 1 extra",      // trailing tokens
+		"prop(c) = <unterminated -> val(c) = 1",
+		"c = c -> c = ",
+		"(c = c -> val(c) = 1",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseSugar(t *testing.T) {
+	// != sugar and bare identifier URIs.
+	r, err := Parse("prop(c) != deathDate -> val(c) = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "!(prop(c)=<deathDate>) -> val(c)=1"
+	if r.String() != want {
+		t.Fatalf("got %q, want %q", r.String(), want)
+	}
+}
+
+// Figure 1 of the paper: D1 (N subjects, all with property p),
+// D2 = D1 + one subject also has q, D3 = diagonal.
+func TestPaperFigure1(t *testing.T) {
+	const n = 100
+	// D1: single column all ones.
+	d1 := mkView(t, []string{"p"}, []string{"1"}, []int{n})
+	if got := Coverage(d1).Value(); got != 1 {
+		t.Fatalf("σCov(D1) = %v, want 1", got)
+	}
+	if got := Similarity(d1).Value(); got != 1 {
+		t.Fatalf("σSim(D1) = %v, want 1", got)
+	}
+
+	// D2: everyone has p; one subject also has q.
+	d2 := mkView(t, []string{"p", "q"}, []string{"11", "10"}, []int{1, n - 1})
+	cov := Coverage(d2).Value()
+	if cov < 0.5 || cov > 0.51 {
+		t.Fatalf("σCov(D2) = %v, want ≈ 0.5", cov)
+	}
+	sim := Similarity(d2).Value()
+	if sim < 0.97 {
+		t.Fatalf("σSim(D2) = %v, want ≈ 1", sim)
+	}
+
+	// D3: diagonal, each subject its own property.
+	props := make([]string, 20)
+	rows := make([]string, 20)
+	for i := range props {
+		props[i] = string(rune('a' + i))
+		b := make([]byte, 20)
+		for j := range b {
+			b[j] = '0'
+		}
+		b[i] = '1'
+		rows[i] = string(b)
+	}
+	d3 := mkView(t, props, rows, nil)
+	if got := Similarity(d3).Value(); got != 0 {
+		t.Fatalf("σSim(D3) = %v, want 0", got)
+	}
+	if got := Coverage(d3).Value(); got != 1.0/20 {
+		t.Fatalf("σCov(D3) = %v, want 0.05", got)
+	}
+}
+
+func TestDepAndSymDepClosedForms(t *testing.T) {
+	// 10 with both, 5 with p1 only, 3 with p2 only, 2 with neither (but a third property).
+	v := mkView(t, []string{"p1", "p2", "x"},
+		[]string{"110", "100", "010", "001"}, []int{10, 5, 3, 2})
+	if got := Dep(v, "p1", "p2").Value(); got != 10.0/15 {
+		t.Fatalf("Dep = %v, want 2/3", got)
+	}
+	if got := Dep(v, "p2", "p1").Value(); got != 10.0/13 {
+		t.Fatalf("Dep rev = %v", got)
+	}
+	if got := SymDep(v, "p1", "p2").Value(); got != 10.0/18 {
+		t.Fatalf("SymDep = %v, want 10/18", got)
+	}
+	// Vacuous when a column is unused.
+	v2 := mkView(t, []string{"p1", "p2"}, []string{"10"}, []int{4})
+	if got := Dep(v2, "p1", "p2").Value(); got != 1 {
+		t.Fatalf("Dep with missing column = %v, want 1 (vacuous)", got)
+	}
+	if got := SymDep(v2, "p1", "p2").Value(); got != 1 {
+		t.Fatalf("SymDep with missing column = %v, want 1 (vacuous)", got)
+	}
+	if got := Dep(v2, "p1", "nosuch").Value(); got != 1 {
+		t.Fatalf("Dep with absent property = %v, want 1", got)
+	}
+}
+
+// randomView produces a small random view for cross-checking evaluators.
+func randomView(t testing.TB, rng *rand.Rand, maxProps, maxSigs, maxCount int) *matrix.View {
+	nProps := rng.Intn(maxProps) + 1
+	props := make([]string, nProps)
+	for i := range props {
+		props[i] = "p" + string(rune('0'+i))
+	}
+	nSigs := rng.Intn(maxSigs) + 1
+	rows := make([]string, nSigs)
+	counts := make([]int, nSigs)
+	for i := range rows {
+		b := make([]byte, nProps)
+		for j := range b {
+			b[j] = byte('0' + rng.Intn(2))
+		}
+		rows[i] = string(b)
+		counts[i] = rng.Intn(maxCount) + 1
+	}
+	return mkView(t, props, rows, counts)
+}
+
+// The generic rough-assignment evaluator must agree exactly with the
+// naive per-subject evaluator for every rule of the language.
+func TestQuickRoughMatchesNaive(t *testing.T) {
+	ruleSrcs := []string{
+		"c = c -> val(c) = 1",
+		"!(c1 = c2) && prop(c1) = prop(c2) && val(c1) = 1 -> val(c2) = 1",
+		"subj(c1) = subj(c2) && prop(c1) = <p0> && prop(c2) = <p1> && val(c1) = 1 -> val(c2) = 1",
+		"subj(c1) = subj(c2) && prop(c1) = <p0> && prop(c2) = <p1> && (val(c1) = 1 || val(c2) = 1) -> val(c1) = 1 && val(c2) = 1",
+		"subj(c1) = subj(c2) && prop(c1) = <p0> && prop(c2) = <p1> -> val(c1) = 0 || val(c2) = 1",
+		"val(c1) = val(c2) -> subj(c1) = subj(c2)",
+		"!(subj(c1) = subj(c2)) && val(c1) = 1 -> val(c2) = 0",
+		"prop(c) != <p0> -> val(c) = 1",
+	}
+	rulesParsed := make([]*Rule, len(ruleSrcs))
+	for i, s := range ruleSrcs {
+		rulesParsed[i] = MustParse(s)
+	}
+	f := func(seed int64, ruleIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := rulesParsed[int(ruleIdx)%len(rulesParsed)]
+		v := randomView(t, rng, 3, 3, 3)
+		naive, err := EvalNaive(r, v)
+		if err != nil {
+			return false
+		}
+		rough, err := Evaluate(r, v)
+		if err != nil {
+			return false
+		}
+		return naive.Fav.Cmp(rough.Fav) == 0 && naive.Tot.Cmp(rough.Tot) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Closed forms must agree exactly with the generic evaluator.
+func TestQuickClosedFormsMatchGeneric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := randomView(t, rng, 4, 5, 50)
+		pairs := [][2]Ratio{}
+		g1, err := Evaluate(CovRule(), v)
+		if err != nil {
+			return false
+		}
+		pairs = append(pairs, [2]Ratio{Coverage(v), g1})
+		g2, err := Evaluate(SimRule(), v)
+		if err != nil {
+			return false
+		}
+		pairs = append(pairs, [2]Ratio{Similarity(v), g2})
+		if v.NumProperties() >= 2 {
+			p1, p2 := v.Properties()[0], v.Properties()[1]
+			g3, err := Evaluate(DepRule(p1, p2), v)
+			if err != nil {
+				return false
+			}
+			pairs = append(pairs, [2]Ratio{Dep(v, p1, p2), g3})
+			g4, err := Evaluate(SymDepRule(p1, p2), v)
+			if err != nil {
+				return false
+			}
+			pairs = append(pairs, [2]Ratio{SymDep(v, p1, p2), g4})
+		}
+		for _, pr := range pairs {
+			a, b := pr[0], pr[1]
+			// Compare as exact fractions (both may be vacuous).
+			if (a.Tot.Sign() == 0) != (b.Tot.Sign() == 0) {
+				return false
+			}
+			if a.Tot.Sign() == 0 {
+				continue
+			}
+			// a.Fav·b.Tot == b.Fav·a.Tot
+			l := new(big.Int).Mul(a.Fav, b.Tot)
+			r := new(big.Int).Mul(b.Fav, a.Tot)
+			if l.Cmp(r) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverageIgnoring(t *testing.T) {
+	v := mkView(t, []string{"a", "b"}, []string{"10", "11"}, []int{3, 1})
+	// Ignoring b: column a has 4/4 ones.
+	if got := CoverageIgnoring(v, "b").Value(); got != 1 {
+		t.Fatalf("CoverageIgnoring = %v, want 1", got)
+	}
+	// Matches the rule variant evaluated generically.
+	r := CovRuleIgnoring("b")
+	g, err := Evaluate(r, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Value() != 1 {
+		t.Fatalf("generic Cov-ignoring = %v, want 1", g.Value())
+	}
+}
+
+func TestFuncForRuleDetection(t *testing.T) {
+	cases := []struct {
+		rule *Rule
+		want string
+	}{
+		{CovRule(), "Cov"},
+		{SimRule(), "Sim"},
+		{DepRule("a", "b"), "Dep[a,b]"},
+		{SymDepRule("a", "b"), "SymDep[a,b]"},
+	}
+	for _, c := range cases {
+		if got := FuncForRule(c.rule).Name(); got != c.want {
+			t.Errorf("FuncForRule(%s) = %q, want %q", c.rule, got, c.want)
+		}
+	}
+	// Unrecognized rule falls back to the generic evaluator and still
+	// produces the same value as a closed form it happens to equal.
+	odd := MustParse("val(c) = 1 -> val(c) = 1")
+	if _, ok := FuncForRule(odd).(RuleFunc); !ok {
+		t.Errorf("unknown rule not wrapped as RuleFunc")
+	}
+}
+
+func TestRatioAtLeast(t *testing.T) {
+	r := NewRatio(9, 10)
+	if !r.AtLeast(9, 10) || !r.AtLeast(89, 100) || r.AtLeast(91, 100) {
+		t.Fatal("AtLeast wrong")
+	}
+	if !NewRatio(0, 0).AtLeast(1, 1) {
+		t.Fatal("vacuous ratio should satisfy any threshold")
+	}
+}
+
+func TestSubjConstRejectedByRough(t *testing.T) {
+	r := MustParse("subj(c) = <http://ex/s> -> val(c) = 1")
+	v := mkView(t, []string{"a"}, []string{"1"}, []int{2})
+	if _, err := Evaluate(r, v); err == nil {
+		t.Fatal("Evaluate accepted subj(·)=constant rule")
+	}
+}
+
+func TestVacuousRuleIsOne(t *testing.T) {
+	// Antecedent unsatisfiable: prop(c) = absent property.
+	r := MustParse("prop(c) = <nosuch> -> val(c) = 1")
+	v := mkView(t, []string{"a"}, []string{"1"}, []int{2})
+	got, err := Evaluate(r, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value() != 1 {
+		t.Fatalf("vacuous σ = %v, want 1", got.Value())
+	}
+}
+
+func BenchmarkEvaluateSim64Sigs(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	v := randomView(b, rng, 8, 64, 10000)
+	r := SimRule()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Evaluate(r, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClosedSim64Sigs(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	v := randomView(b, rng, 8, 64, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Similarity(v)
+	}
+}

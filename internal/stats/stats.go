@@ -1,0 +1,231 @@
+// Package stats provides the statistics used by the paper's evaluation:
+// least-squares power-law and exponential fits with R² (the Figure 8
+// runtime models), histograms (Figure 8's population panels), and
+// binary-classification metrics (Section 7.4).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Fit is a fitted model y = A·x^B (power) or y = A·e^(B·x) (exponential).
+type Fit struct {
+	A, B float64
+	R2   float64
+	Kind string // "power" or "exp"
+}
+
+// String renders the fit like the paper's captions.
+func (f Fit) String() string {
+	switch f.Kind {
+	case "power":
+		return fmt.Sprintf("f(x) ≈ %.3g·x^%.2f (R²=%.2f)", f.A, f.B, f.R2)
+	case "exp":
+		return fmt.Sprintf("f(x) ≈ %.3g·e^(%.2fx) (R²=%.2f)", f.A, f.B, f.R2)
+	}
+	return fmt.Sprintf("fit{A=%g,B=%g,R2=%g}", f.A, f.B, f.R2)
+}
+
+// linreg computes the least-squares line y = a + b·x and R².
+func linreg(xs, ys []float64) (a, b, r2 float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0, fmt.Errorf("stats: need ≥2 paired points, got %d/%d", len(xs), len(ys))
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0, fmt.Errorf("stats: degenerate x values")
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	// R² = 1 − SSres/SStot.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := a + b*xs[i]
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	// Near-constant ys make R² numerically meaningless (0/0); treat the
+	// fit as perfect when the total variance is at rounding scale.
+	if ssTot <= 1e-18*(1+meanY*meanY)*n {
+		r2 = 1
+	} else {
+		r2 = 1 - ssRes/ssTot
+	}
+	return a, b, r2, nil
+}
+
+// PowerFit fits y = A·x^B by linear regression in log-log space
+// (the paper's Figure 8a model, runtime vs signature count). All x and
+// y must be positive.
+func PowerFit(xs, ys []float64) (Fit, error) {
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			continue
+		}
+		lx = append(lx, math.Log(xs[i]))
+		ly = append(ly, math.Log(ys[i]))
+	}
+	a, b, r2, err := linreg(lx, ly)
+	if err != nil {
+		return Fit{}, err
+	}
+	return Fit{A: math.Exp(a), B: b, R2: r2, Kind: "power"}, nil
+}
+
+// ExpFit fits y = A·e^(B·x) by linear regression in semi-log space
+// (the paper's Figure 8b model, runtime vs property count). All y must
+// be positive.
+func ExpFit(xs, ys []float64) (Fit, error) {
+	lx := make([]float64, 0, len(xs))
+	ly := make([]float64, 0, len(ys))
+	for i := range xs {
+		if ys[i] <= 0 {
+			continue
+		}
+		lx = append(lx, xs[i])
+		ly = append(ly, math.Log(ys[i]))
+	}
+	a, b, r2, err := linreg(lx, ly)
+	if err != nil {
+		return Fit{}, err
+	}
+	return Fit{A: math.Exp(a), B: b, R2: r2, Kind: "exp"}, nil
+}
+
+// Histogram bins values into equal-width buckets over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram with the given number of bins.
+func NewHistogram(values []float64, bins int, min, max float64) *Histogram {
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+	if max <= min || bins <= 0 {
+		return h
+	}
+	w := (max - min) / float64(bins)
+	for _, v := range values {
+		if v < min || v > max {
+			continue
+		}
+		i := int((v - min) / w)
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// String renders an ASCII bar histogram.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	w := (h.Max - h.Min) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * 40 / maxC
+		}
+		fmt.Fprintf(&b, "%10.0f–%-10.0f |%-40s %d\n",
+			h.Min+float64(i)*w, h.Min+float64(i+1)*w, strings.Repeat("█", bar), c)
+	}
+	return b.String()
+}
+
+// Confusion is a 2×2 confusion matrix for a binary classification with
+// a designated positive class (Section 7.4 treats Drug Company as
+// positive).
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// Accuracy returns (TP+TN)/total.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.FN + c.TN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+// Precision returns TP/(TP+FP), 1 when undefined.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), 1 when undefined.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d FN=%d TN=%d acc=%.1f%% prec=%.1f%% rec=%.1f%%",
+		c.TP, c.FP, c.FN, c.TN, 100*c.Accuracy(), 100*c.Precision(), 100*c.Recall())
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using nearest
+// rank on a sorted copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

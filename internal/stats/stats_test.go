@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPowerFitRecoversExponent(t *testing.T) {
+	// y = 2.5·x^1.7 with mild noise.
+	rng := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	for x := 1.0; x < 300; x *= 1.4 {
+		xs = append(xs, x)
+		ys = append(ys, 2.5*math.Pow(x, 1.7)*(1+0.05*rng.NormFloat64()))
+	}
+	fit, err := PowerFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B-1.7) > 0.1 {
+		t.Fatalf("exponent = %v, want ≈1.7", fit.B)
+	}
+	if fit.R2 < 0.95 {
+		t.Fatalf("R² = %v", fit.R2)
+	}
+}
+
+func TestExpFitRecoversRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var xs, ys []float64
+	for x := 10.0; x <= 40; x += 2 {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Exp(0.28*x)*(1+0.05*rng.NormFloat64()))
+	}
+	fit, err := ExpFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B-0.28) > 0.03 {
+		t.Fatalf("rate = %v, want ≈0.28", fit.B)
+	}
+	if fit.R2 < 0.95 {
+		t.Fatalf("R² = %v", fit.R2)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := PowerFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := PowerFit([]float64{-1, -2}, []float64{1, 2}); err == nil {
+		t.Fatal("non-positive xs accepted")
+	}
+	if _, err := ExpFit([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("degenerate xs accepted")
+	}
+}
+
+// Property: a perfect power law is recovered exactly (R² = 1).
+func TestQuickPowerFitExact(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw%50) + 0.5
+		b := float64(bRaw%40)/10 - 2
+		if b > -0.05 && b < 0.05 {
+			b = 0.5 // avoid the constant-y degenerate case, tested separately
+		}
+		var xs, ys []float64
+		for x := 1.0; x <= 100; x *= 2 {
+			xs = append(xs, x)
+			ys = append(ys, a*math.Pow(x, b))
+		}
+		fit, err := PowerFit(xs, ys)
+		if err != nil {
+			return false
+		}
+		return math.Abs(fit.A-a) < 1e-6*a && math.Abs(fit.B-b) < 1e-9 && fit.R2 > 1-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 9, 10, 11}, 2, 0, 10)
+	if h.Counts[0] != 4 || h.Counts[1] != 2 { // 11 out of range, 10 in last bin
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if h.String() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	// The paper's Section 7.4 matrix: 27 TP, 17 FP, 0 FN, 23 TN.
+	c := Confusion{TP: 27, FP: 17, FN: 0, TN: 23}
+	if math.Abs(c.Accuracy()-0.746) > 0.001 {
+		t.Fatalf("accuracy = %v, want ≈0.746", c.Accuracy())
+	}
+	if math.Abs(c.Precision()-0.614) > 0.001 {
+		t.Fatalf("precision = %v, want ≈0.614", c.Precision())
+	}
+	if c.Recall() != 1.0 {
+		t.Fatalf("recall = %v, want 1.0", c.Recall())
+	}
+	if c.F1() <= 0 || c.F1() > 1 {
+		t.Fatalf("F1 = %v", c.F1())
+	}
+}
+
+func TestMeanPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Mean(xs) != 3 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Fatalf("p50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(xs, 100) != 5 || Percentile(xs, 0) != 1 {
+		t.Fatal("extremes wrong")
+	}
+	if Mean(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Fatal("empty input not handled")
+	}
+}
+
+func TestPowerFitConstantY(t *testing.T) {
+	// Exponent 0: ys constant up to rounding — R² must report a perfect
+	// fit rather than amplified rounding noise.
+	var xs, ys []float64
+	for x := 1.0; x <= 128; x *= 2 {
+		xs = append(xs, x)
+		ys = append(ys, 3.25*math.Pow(x, 0))
+	}
+	fit, err := PowerFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B) > 1e-9 || fit.R2 < 1-1e-9 {
+		t.Fatalf("fit = %+v, want B≈0 R²≈1", fit)
+	}
+}

@@ -1,0 +1,122 @@
+// Package viz renders ASCII versions of the paper's horizontal-table
+// figures: property columns across the top, signature sets as rows in
+// decreasing size order, filled cells for present properties (Figures
+// 2–7).
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/matrix"
+)
+
+// Options controls rendering.
+type Options struct {
+	// MaxRows caps the number of signature rows shown (0 = all).
+	MaxRows int
+	// Filled and Empty are the cell glyphs (defaults "█" and "·").
+	Filled, Empty string
+	// ShowCounts appends the signature-set size to each row.
+	ShowCounts bool
+	// AbbrevLen truncates property names in the header (0 = 12).
+	AbbrevLen int
+}
+
+func (o *Options) defaults() {
+	if o.Filled == "" {
+		o.Filled = "█"
+	}
+	if o.Empty == "" {
+		o.Empty = "·"
+	}
+	if o.AbbrevLen == 0 {
+		o.AbbrevLen = 12
+	}
+}
+
+// Render draws the signature view of v.
+func Render(v *matrix.View, opts Options) string {
+	opts.defaults()
+	var b strings.Builder
+	props := v.Properties()
+	// Header: vertical property names, like the paper's rotated labels.
+	names := make([]string, len(props))
+	maxLen := 0
+	for i, p := range props {
+		n := localName(p)
+		if len(n) > opts.AbbrevLen {
+			n = n[:opts.AbbrevLen]
+		}
+		names[i] = n
+		if len(n) > maxLen {
+			maxLen = len(n)
+		}
+	}
+	for row := 0; row < maxLen; row++ {
+		b.WriteString("  ")
+		for _, n := range names {
+			pad := maxLen - len(n)
+			if row < pad {
+				b.WriteString("  ")
+			} else {
+				b.WriteByte(' ')
+				b.WriteByte(n[row-pad])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("  ")
+	b.WriteString(strings.Repeat("——", len(props)))
+	b.WriteByte('\n')
+
+	rows := v.Signatures()
+	shown := len(rows)
+	if opts.MaxRows > 0 && shown > opts.MaxRows {
+		shown = opts.MaxRows
+	}
+	for i := 0; i < shown; i++ {
+		sg := rows[i]
+		b.WriteString("  ")
+		for p := range props {
+			b.WriteByte(' ')
+			if sg.Bits.Test(p) {
+				b.WriteString(opts.Filled)
+			} else {
+				b.WriteString(opts.Empty)
+			}
+		}
+		if opts.ShowCounts {
+			fmt.Fprintf(&b, "  ×%d", sg.Count)
+		}
+		b.WriteByte('\n')
+	}
+	if shown < len(rows) {
+		fmt.Fprintf(&b, "  … %d more signature sets\n", len(rows)-shown)
+	}
+	return b.String()
+}
+
+// RenderSideBySide draws multiple views (a sort refinement) with shared
+// columns, separated by headers — the layout of Figures 4–7.
+func RenderSideBySide(views []*matrix.View, labels []string, opts Options) string {
+	var b strings.Builder
+	for i, v := range views {
+		label := fmt.Sprintf("sort %d", i+1)
+		if i < len(labels) && labels[i] != "" {
+			label = labels[i]
+		}
+		fmt.Fprintf(&b, "—— %s: %d subjects, %d signatures ——\n", label, v.NumSubjects(), v.NumSignatures())
+		b.WriteString(Render(v, opts))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// localName strips a URI down to its final path or fragment segment.
+func localName(uri string) string {
+	if i := strings.LastIndexAny(uri, "/#"); i >= 0 && i+1 < len(uri) {
+		return uri[i+1:]
+	}
+	return uri
+}

@@ -1,0 +1,72 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/matrix"
+)
+
+func testView(t *testing.T) *matrix.View {
+	t.Helper()
+	props := []string{"http://ex/name", "http://ex/birthDate"}
+	sigs := []matrix.Signature{
+		{Bits: bitset.FromIndices(2, 0, 1), Count: 10},
+		{Bits: bitset.FromIndices(2, 0), Count: 3},
+	}
+	v, err := matrix.New(props, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestRender(t *testing.T) {
+	out := Render(testView(t), Options{ShowCounts: true})
+	if !strings.Contains(out, "×10") || !strings.Contains(out, "×3") {
+		t.Fatalf("missing counts:\n%s", out)
+	}
+	if !strings.Contains(out, "█ █") {
+		t.Fatalf("missing filled row:\n%s", out)
+	}
+	if !strings.Contains(out, "█ ·") {
+		t.Fatalf("missing partial row:\n%s", out)
+	}
+	// Header uses local names, not full URIs.
+	if strings.Contains(out, "http") {
+		t.Fatalf("header leaked URIs:\n%s", out)
+	}
+}
+
+func TestRenderMaxRows(t *testing.T) {
+	out := Render(testView(t), Options{MaxRows: 1})
+	if !strings.Contains(out, "1 more signature sets") {
+		t.Fatalf("missing truncation note:\n%s", out)
+	}
+}
+
+func TestRenderSideBySide(t *testing.T) {
+	v := testView(t)
+	out := RenderSideBySide([]*matrix.View{v, v}, []string{"left", ""}, Options{})
+	if !strings.Contains(out, "left: 13 subjects") {
+		t.Fatalf("missing label:\n%s", out)
+	}
+	if !strings.Contains(out, "sort 2: 13 subjects") {
+		t.Fatalf("missing default label:\n%s", out)
+	}
+}
+
+func TestLocalName(t *testing.T) {
+	cases := map[string]string{
+		"http://ex/a/name": "name",
+		"http://ex#frag":   "frag",
+		"plain":            "plain",
+		"trailing/":        "trailing/",
+	}
+	for in, want := range cases {
+		if got := localName(in); got != want {
+			t.Errorf("localName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
