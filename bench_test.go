@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/datagen"
@@ -162,6 +164,31 @@ func BenchmarkAblationSymmetryBreaking(b *testing.B) {
 				}
 				if ok {
 					b.Fatal("expected infeasible")
+				}
+			}
+		})
+	}
+}
+
+// Serial vs. parallel refinement engine on a Fig4a-class search: the
+// same HighestTheta sweep with Workers=1 (fully sequential) and
+// Workers=GOMAXPROCS (worker-pool restarts + portfolio racing +
+// speculative θ probes). Outcomes are bit-identical by construction
+// (asserted in internal/refine's determinism tests); this measures the
+// wall-clock gap, which on a multi-core runner should be ≥2×.
+func BenchmarkAblationParallelSearch(b *testing.B) {
+	v := datagen.DBpediaPersons(0.01)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := refine.SearchOptions{
+				Heuristic: refine.HeuristicOptions{Restarts: 6, MaxIters: 150, Seed: 1},
+				Solver:    ilp.Options{MaxDecisions: 100_000},
+				Encode:    refine.EncodeOptions{SymmetryBreaking: true, MaxTVars: 2_500},
+				Workers:   workers,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := refine.HighestTheta(v, rules.CovRule(), nil, 2, opts); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -13,7 +13,6 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/ilp"
 	"repro/internal/matrix"
 	"repro/internal/rdf"
 	"repro/internal/refine"
@@ -223,10 +222,4 @@ func (d *Dataset) SaveNTriples(path string) error {
 	}
 	defer f.Close()
 	return rdf.WriteNTriples(f, d.Graph)
-}
-
-// ilpOptions is a small helper for tests and tools constructing solver
-// budgets.
-func ilpOptions(maxDecisions int64) ilp.Options {
-	return ilp.Options{MaxDecisions: maxDecisions}
 }

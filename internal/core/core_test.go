@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/datagen"
+	"repro/internal/ilp"
 	"repro/internal/refine"
 )
 
@@ -101,7 +102,7 @@ func TestHighestThetaEndToEnd(t *testing.T) {
 	}
 	res, err := d.HighestTheta(rule, 2, refine.SearchOptions{
 		Heuristic: refine.HeuristicOptions{Restarts: 2, MaxIters: 30},
-		Solver:    ilpOptions(20000),
+		Solver:    ilp.Options{MaxDecisions: 20000},
 		Encode:    refine.EncodeOptions{SymmetryBreaking: true, MaxTVars: 2500},
 	})
 	if err != nil {

@@ -74,6 +74,9 @@ func (b *bnb) search(lo, hi []float64, depth int) nodeStatus {
 	if b.opts.MaxDecisions > 0 && b.stats.Nodes > b.opts.MaxDecisions {
 		return nodeUnknown
 	}
+	if b.opts.canceled() {
+		return nodeUnknown
+	}
 	status, _, x := SolveLP(b.buildLP(lo, hi))
 	if status == LPInfeasible {
 		return nodeInfeasible

@@ -417,3 +417,52 @@ func BenchmarkSimplexDense(b *testing.B) {
 		}
 	}
 }
+
+func TestPBCancel(t *testing.T) {
+	// Pre-closed cancel channel: the pigeonhole proof needs far more
+	// than 64 decisions/conflicts, so the solver must give up with
+	// Unknown at a poll point instead of completing the refutation.
+	const holes = 8
+	m := &Model{}
+	vars := make([][]Var, holes+1)
+	for p := range vars {
+		vars[p] = make([]Var, holes)
+		terms := make([]Term, holes)
+		for h := 0; h < holes; h++ {
+			vars[p][h] = m.Binary("")
+			terms[h] = Term{vars[p][h], 1}
+		}
+		m.Add("pigeon", terms, GE, 1)
+	}
+	for h := 0; h < holes; h++ {
+		terms := make([]Term, holes+1)
+		for p := 0; p <= holes; p++ {
+			terms[p] = Term{vars[p][h], 1}
+		}
+		m.Add("hole", terms, LE, 1)
+	}
+	closed := make(chan struct{})
+	close(closed)
+	if res := SolvePB(m, Options{Cancel: closed}); res.Status != StatusUnknown {
+		t.Fatalf("cancelled SolvePB status = %v, want unknown", res.Status)
+	}
+	// Sanity: without cancellation the instance is proven infeasible.
+	if res := SolvePB(m, Options{}); res.Status != StatusInfeasible {
+		t.Fatalf("SolvePB status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestBnBCancel(t *testing.T) {
+	m := &Model{}
+	x := m.IntVar("x", 0, 10)
+	y := m.IntVar("y", 0, 10)
+	m.Add("c", []Term{{x, 2}, {y, 3}}, EQ, 7)
+	closed := make(chan struct{})
+	close(closed)
+	if res := SolveBnB(m, Options{Cancel: closed}); res.Status != StatusUnknown {
+		t.Fatalf("cancelled SolveBnB status = %v, want unknown", res.Status)
+	}
+	if res := SolveBnB(m, Options{}); res.Status != StatusFeasible {
+		t.Fatalf("SolveBnB status = %v, want feasible", res.Status)
+	}
+}

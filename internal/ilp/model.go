@@ -221,6 +221,23 @@ type Options struct {
 	MaxDecisions int64
 	// MaxConflicts limits PB conflicts; 0 means no limit.
 	MaxConflicts int64
+	// Cancel aborts the solve with StatusUnknown when closed. The
+	// solvers poll it in their decision loops, so a racing portfolio can
+	// stop a losing engine promptly instead of waiting for its budget.
+	Cancel <-chan struct{}
+}
+
+// canceled reports whether the Cancel channel is closed.
+func (o *Options) canceled() bool {
+	if o.Cancel == nil {
+		return false
+	}
+	select {
+	case <-o.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // infinity for LP arithmetic.

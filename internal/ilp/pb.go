@@ -46,10 +46,16 @@ func SolvePB(m *Model, opts Options) Result {
 		if opts.MaxDecisions > 0 && s.stats.Decisions > opts.MaxDecisions {
 			return Result{Status: StatusUnknown, Stats: s.stats}
 		}
+		if s.stats.Decisions&63 == 0 && opts.canceled() {
+			return Result{Status: StatusUnknown, Stats: s.stats}
+		}
 		ok := s.decide(v, s.preferred[v])
 		for !ok || !s.propagate() {
 			s.stats.Conflicts++
 			if opts.MaxConflicts > 0 && s.stats.Conflicts > opts.MaxConflicts {
+				return Result{Status: StatusUnknown, Stats: s.stats}
+			}
+			if s.stats.Conflicts&63 == 0 && opts.canceled() {
 				return Result{Status: StatusUnknown, Stats: s.stats}
 			}
 			if !s.backtrack() {

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/rdf"
@@ -39,6 +40,14 @@ type View struct {
 	propIndex map[string]int
 	sigs      []Signature
 	subjects  int
+
+	// Lazily memoized aggregates. Views are immutable after
+	// construction and evaluated concurrently by the parallel
+	// refinement engine, so the caches are guarded by sync.Once.
+	onesOnce sync.Once
+	ones     int64
+	pcOnce   sync.Once
+	pcCache  []int64
 }
 
 // Options configures view construction.
@@ -191,14 +200,18 @@ func (v *View) NumSubjects() int { return v.subjects }
 func (v *View) NumProperties() int { return len(v.props) }
 
 // PropertyCounts returns N_p for each column: the number of subjects
-// having each property.
+// having each property. The slice is computed once and cached; callers
+// must treat it as read-only.
 func (v *View) PropertyCounts() []int64 {
-	counts := make([]int64, len(v.props))
-	for _, sg := range v.sigs {
-		c := int64(sg.Count)
-		sg.Bits.ForEach(func(i int) { counts[i] += c })
-	}
-	return counts
+	v.pcOnce.Do(func() {
+		counts := make([]int64, len(v.props))
+		for _, sg := range v.sigs {
+			c := int64(sg.Count)
+			sg.Bits.ForEach(func(i int) { counts[i] += c })
+		}
+		v.pcCache = counts
+	})
+	return v.pcCache
 }
 
 // UsedProperties returns the number of columns with at least one
@@ -215,13 +228,17 @@ func (v *View) UsedProperties() int {
 	return used
 }
 
-// Ones returns ΣspM(D)sp: the total number of 1 entries.
+// Ones returns ΣspM(D)sp: the total number of 1 entries. The value is
+// computed once and cached.
 func (v *View) Ones() int64 {
-	var total int64
-	for _, sg := range v.sigs {
-		total += int64(sg.Bits.Count()) * int64(sg.Count)
-	}
-	return total
+	v.onesOnce.Do(func() {
+		var total int64
+		for _, sg := range v.sigs {
+			total += int64(sg.Bits.Count()) * int64(sg.Count)
+		}
+		v.ones = total
+	})
+	return v.ones
 }
 
 // Subset returns a new view containing only the signatures at the given

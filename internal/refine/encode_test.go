@@ -168,7 +168,7 @@ func TestHighestThetaHonorsEngineHeuristic(t *testing.T) {
 func TestMergeSeedProducesValidAssignment(t *testing.T) {
 	v := mkView(t, []string{"a", "b", "c", "d"},
 		[]string{"1100", "1110", "0011", "0111", "1000"}, []int{10, 8, 6, 4, 2})
-	assign, err := mergeSeed(rules.CovFunc(), v, 2)
+	assign, err := mergeSeed(newGroupEval(rules.CovFunc(), v), 2)
 	if err != nil {
 		t.Fatal(err)
 	}

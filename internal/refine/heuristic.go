@@ -3,6 +3,8 @@ package refine
 import (
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/matrix"
 	"repro/internal/rules"
@@ -20,6 +22,16 @@ type HeuristicOptions struct {
 	// problem's threshold — the search drivers set this because any
 	// verified witness decides the feasibility instance.
 	TargetEarlyExit bool
+	// Workers is the number of restarts run concurrently (0 or 1 =
+	// sequential). Every restart derives its RNG stream from (Seed,
+	// restart index) alone and the winner is picked deterministically
+	// (first feasible restart index, else best score with the lowest
+	// index breaking ties), so the outcome is identical for every
+	// Workers value.
+	Workers int
+	// Cancel aborts the search when closed; the result is then reported
+	// as "no witness found" and must be discarded by the caller.
+	Cancel <-chan struct{}
 }
 
 func (o *HeuristicOptions) defaults() {
@@ -31,11 +43,21 @@ func (o *HeuristicOptions) defaults() {
 	}
 }
 
+// restartResult is the outcome of one independent restart.
+type restartResult struct {
+	assign   Assignment
+	sc       score
+	feasible bool // meaningful only under TargetEarlyExit
+	err      error
+}
+
 // SolveHeuristic searches for an assignment maximizing the minimum
 // σ over non-empty sorts with at most p.K sorts, via greedy seeding
-// plus steepest-ascent relocation local search with restarts. Feasible
-// answers are exactly verified witnesses; "not found" answers carry no
-// infeasibility proof (use SolveExact for that).
+// plus steepest-ascent relocation local search with restarts. Restarts
+// are independent and run concurrently across opts.Workers goroutines;
+// the result is deterministic and independent of the worker count.
+// Feasible answers are exactly verified witnesses; "not found" answers
+// carry no infeasibility proof (use SolveExact for that).
 func SolveHeuristic(p *Problem, opts HeuristicOptions) (*Refinement, bool, error) {
 	if err := p.Validate(); err != nil {
 		return nil, false, err
@@ -43,58 +65,95 @@ func SolveHeuristic(p *Problem, opts HeuristicOptions) (*Refinement, bool, error
 	opts.defaults()
 	fn := p.EvalFunc()
 	v := p.View
-	nSigs := v.NumSignatures()
-	rng := rand.New(rand.NewSource(opts.Seed))
+	ge := newGroupEval(fn, v)
 
-	var best Assignment
-	bestScore := score{min: -1}
-
-	for r := 0; r < opts.Restarts; r++ {
-		var assign Assignment
-		var err error
-		switch r % 4 {
-		case 0:
-			assign, err = mergeSeed(fn, v, p.K)
-		case 1:
-			assign, err = greedySeed(fn, v, p.K)
-		case 2:
-			assign = profileSeed(v, p.K, rng)
-		default:
-			assign = make(Assignment, nSigs)
-			for i := range assign {
-				assign[i] = rng.Intn(p.K)
+	n := opts.Restarts
+	results := make([]restartResult, n)
+	workers := opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for r := 0; r < n; r++ {
+			if canceled(opts.Cancel) {
+				break
 			}
-		}
-		if err != nil {
-			return nil, false, err
-		}
-		// Seeds are often already feasible (notably at large k, where a
-		// near-identity assignment clears any threshold); skip the local
-		// search when a witness only is needed.
-		if opts.TargetEarlyExit {
-			if ok, err := Feasible(fn, v, assign, p.K, p.Theta1, p.Theta2); err != nil {
-				return nil, false, err
-			} else if ok {
-				best = assign.Clone()
+			results[r] = runRestart(p, &opts, ge, r)
+			if results[r].err != nil {
+				break
+			}
+			// A witness at index r decides the instance; later restarts
+			// could not win the deterministic pick.
+			if opts.TargetEarlyExit && results[r].feasible {
 				break
 			}
 		}
-		st, err := newSearchState(fn, v, assign, p.K)
-		if err != nil {
-			return nil, false, err
-		}
-		if err := st.localSearch(opts.MaxIters); err != nil {
-			return nil, false, err
-		}
-		if sc := st.score(); sc.better(bestScore) {
-			best = st.assign.Clone()
-			bestScore = sc
-			if opts.TargetEarlyExit {
-				if ok, _ := Feasible(fn, v, best, p.K, p.Theta1, p.Theta2); ok {
-					break
+	} else {
+		var next int64 = -1
+		// bestFeasible is the lowest restart index known to hold a
+		// witness; restarts above it are skipped (they cannot win).
+		bestFeasible := int64(n)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					r := int(atomic.AddInt64(&next, 1))
+					if r >= n {
+						return
+					}
+					if canceled(opts.Cancel) {
+						return
+					}
+					if opts.TargetEarlyExit && int64(r) > atomic.LoadInt64(&bestFeasible) {
+						continue
+					}
+					res := runRestart(p, &opts, ge, r)
+					results[r] = res
+					if opts.TargetEarlyExit && res.feasible {
+						for {
+							cur := atomic.LoadInt64(&bestFeasible)
+							if int64(r) >= cur || atomic.CompareAndSwapInt64(&bestFeasible, cur, int64(r)) {
+								break
+							}
+						}
+					}
 				}
-			}
+			}()
 		}
+		wg.Wait()
+	}
+
+	// Deterministic pick: the lowest feasible restart index wins (any
+	// witness decides the instance); otherwise the best score, with the
+	// lowest index breaking ties. Skipped or cancelled restarts have a
+	// nil assignment and never win.
+	var best Assignment
+	bestScore := score{min: -1}
+	for r := 0; r < n; r++ {
+		res := results[r]
+		if res.err != nil {
+			if res.err == errCanceled {
+				continue
+			}
+			return nil, false, res.err
+		}
+		if res.assign == nil {
+			continue
+		}
+		if opts.TargetEarlyExit && res.feasible {
+			best = res.assign
+			break
+		}
+		if res.sc.better(bestScore) {
+			bestScore = res.sc
+			best = res.assign
+		}
+	}
+	if best == nil {
+		// Cancelled before any restart completed.
+		return nil, false, nil
 	}
 	values, min, err := EvalAssignment(fn, v, best, p.K)
 	if err != nil {
@@ -107,6 +166,65 @@ func SolveHeuristic(p *Problem, opts HeuristicOptions) (*Refinement, bool, error
 	// A feasible answer is an exactly-verified witness (rational
 	// comparison in Feasible); only a "not found" answer is heuristic.
 	return &Refinement{Assignment: best, K: p.K, Values: values, MinSigma: min, Exact: feasible}, feasible, nil
+}
+
+// restartSeed derives a well-mixed per-restart RNG seed (splitmix64)
+// so restarts are independent of execution order.
+func restartSeed(seed int64, r int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(r+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// runRestart executes one independent restart: seed construction, an
+// optional seed-feasibility shortcut, and local search.
+func runRestart(p *Problem, opts *HeuristicOptions, ge *groupEval, r int) restartResult {
+	rng := rand.New(rand.NewSource(restartSeed(opts.Seed, r)))
+	var assign Assignment
+	var err error
+	switch r % 4 {
+	case 0:
+		assign, err = mergeSeed(ge, p.K)
+	case 1:
+		assign, err = greedySeed(ge, p.K)
+	case 2:
+		assign = profileSeed(ge.view, p.K, rng)
+	default:
+		assign = make(Assignment, ge.view.NumSignatures())
+		for i := range assign {
+			assign[i] = rng.Intn(p.K)
+		}
+	}
+	if err != nil {
+		return restartResult{err: err}
+	}
+	// Seeds are often already feasible (notably at large k, where a
+	// near-identity assignment clears any threshold); skip the local
+	// search when a witness only is needed.
+	if opts.TargetEarlyExit {
+		if ok, err := Feasible(ge.fn, ge.view, assign, p.K, p.Theta1, p.Theta2); err != nil {
+			return restartResult{err: err}
+		} else if ok {
+			return restartResult{assign: assign, feasible: true}
+		}
+	}
+	st, err := newSearchState(ge, assign, p.K)
+	if err != nil {
+		return restartResult{err: err}
+	}
+	if err := st.localSearch(opts.MaxIters, opts.Cancel); err != nil {
+		return restartResult{err: err}
+	}
+	res := restartResult{assign: st.assign, sc: st.score()}
+	if opts.TargetEarlyExit {
+		ok, err := Feasible(ge.fn, ge.view, st.assign, p.K, p.Theta1, p.Theta2)
+		if err != nil {
+			return restartResult{err: err}
+		}
+		res.feasible = ok
+	}
+	return res
 }
 
 // score orders candidate assignments: primarily by minimum σ over
@@ -128,28 +246,127 @@ func (s score) better(t score) bool {
 	return s.sum > t.sum+eps
 }
 
-// searchState evaluates relocation moves incrementally: per-sort σ
-// values are cached and a candidate move re-evaluates only its source
-// and destination sorts, making one local-search round O(n·k) sort
-// evaluations instead of O(n·k²).
+// groupEval is the shared, immutable evaluation context for one solve:
+// the measure, the view, and per-signature property supports and
+// subject counts. When the measure is counts-based (rules.CountsFunc,
+// i.e. the closed forms σCov and σSim), groups are scored from running
+// Σ counts in O(|P|) without materializing subset views. It is safe
+// for concurrent use; mutable scratch lives in the callers.
+type groupEval struct {
+	fn      rules.Func
+	inc     rules.CountsFunc // nil when fn has no counts form
+	view    *matrix.View
+	support [][]int // per signature: set property columns
+	count   []int64 // per signature: subject count
+	nProps  int
+}
+
+func newGroupEval(fn rules.Func, v *matrix.View) *groupEval {
+	ge := &groupEval{fn: fn, view: v, nProps: v.NumProperties()}
+	if inc, ok := fn.(rules.CountsFunc); ok {
+		ge.inc = inc
+	}
+	sigs := v.Signatures()
+	ge.support = make([][]int, len(sigs))
+	ge.count = make([]int64, len(sigs))
+	for i, sg := range sigs {
+		ge.support[i] = sg.Support()
+		ge.count[i] = int64(sg.Count)
+	}
+	return ge
+}
+
+// addSig adds (sign = +1) or removes (sign = −1) signature mu's
+// contribution to a running property-count vector.
+func (ge *groupEval) addSig(counts []int64, mu int, sign int64) {
+	c := sign * ge.count[mu]
+	for _, p := range ge.support[mu] {
+		counts[p] += c
+	}
+}
+
+// groupCounts fills counts with the aggregate of the group and returns
+// its subject count. counts must be zeroed, len nProps.
+func (ge *groupEval) groupCounts(counts []int64, group []int) int64 {
+	var subjects int64
+	for _, mu := range group {
+		ge.addSig(counts, mu, +1)
+		subjects += ge.count[mu]
+	}
+	return subjects
+}
+
+// valueFromCounts scores a group from its aggregate counts (inc only).
+// Empty groups are vacuous (σ = 1).
+func (ge *groupEval) valueFromCounts(counts []int64, subjects int64) float64 {
+	if subjects == 0 {
+		return 1
+	}
+	return ge.inc.EvalCounts(counts, subjects).Value()
+}
+
+// eval scores an arbitrary group, via counts when available and the
+// generic subset-view evaluator otherwise. scratch (len nProps) is
+// used in counts mode; pass nil to allocate.
+func (ge *groupEval) eval(group []int, scratch []int64) (float64, error) {
+	if len(group) == 0 {
+		return 1, nil
+	}
+	if ge.inc != nil {
+		if scratch == nil {
+			scratch = make([]int64, ge.nProps)
+		} else {
+			for i := range scratch {
+				scratch[i] = 0
+			}
+		}
+		subjects := ge.groupCounts(scratch, group)
+		return ge.valueFromCounts(scratch, subjects), nil
+	}
+	r, err := ge.fn.Eval(ge.view.Subset(group))
+	if err != nil {
+		return 0, err
+	}
+	return r.Value(), nil
+}
+
+// searchState evaluates relocation moves incrementally. Per-sort σ
+// values are cached, and for counts-based measures the per-sort
+// property-count aggregates are maintained so a candidate move is
+// scored in O(|P|) — independent of group sizes — instead of
+// re-evaluating whole subset views.
 type searchState struct {
-	fn     rules.Func
-	view   *matrix.View
+	ge     *groupEval
 	assign Assignment
 	k      int
 	groups [][]int   // sort -> ascending signature indices
 	vals   []float64 // per-sort σ (vacuous 1 for empty)
+	// Incremental aggregates (counts mode only).
+	counts  [][]int64 // per sort: property counts
+	nsub    []int64   // per sort: subject count
+	scratch []int64
 }
 
-func newSearchState(fn rules.Func, v *matrix.View, assign Assignment, k int) (*searchState, error) {
-	st := &searchState{fn: fn, view: v, assign: assign, k: k}
+func newSearchState(ge *groupEval, assign Assignment, k int) (*searchState, error) {
+	st := &searchState{ge: ge, assign: assign, k: k}
 	st.groups = make([][]int, k)
 	for sig, s := range assign {
 		st.groups[s] = append(st.groups[s], sig)
 	}
 	st.vals = make([]float64, k)
+	if ge.inc != nil {
+		st.counts = make([][]int64, k)
+		st.nsub = make([]int64, k)
+		st.scratch = make([]int64, ge.nProps)
+		for s := range st.groups {
+			st.counts[s] = make([]int64, ge.nProps)
+			st.nsub[s] = ge.groupCounts(st.counts[s], st.groups[s])
+			st.vals[s] = ge.valueFromCounts(st.counts[s], st.nsub[s])
+		}
+		return st, nil
+	}
 	for s := range st.groups {
-		val, err := st.eval(st.groups[s])
+		val, err := ge.eval(st.groups[s], nil)
 		if err != nil {
 			return nil, err
 		}
@@ -158,15 +375,43 @@ func newSearchState(fn rules.Func, v *matrix.View, assign Assignment, k int) (*s
 	return st, nil
 }
 
-func (st *searchState) eval(group []int) (float64, error) {
-	if len(group) == 0 {
-		return 1, nil
+// evalRemove scores sort a with signature mu removed. ga is the group
+// list after removal (used only in generic mode).
+func (st *searchState) evalRemove(a, mu int, ga []int) (float64, error) {
+	if st.ge.inc == nil {
+		return st.ge.eval(ga, nil)
 	}
-	r, err := st.fn.Eval(st.view.Subset(group))
-	if err != nil {
-		return 0, err
+	copy(st.scratch, st.counts[a])
+	st.ge.addSig(st.scratch, mu, -1)
+	return st.ge.valueFromCounts(st.scratch, st.nsub[a]-st.ge.count[mu]), nil
+}
+
+// evalInsert scores sort b with signature mu added. gb is the group
+// list after insertion (used only in generic mode).
+func (st *searchState) evalInsert(b, mu int, gb []int) (float64, error) {
+	if st.ge.inc == nil {
+		return st.ge.eval(gb, nil)
 	}
-	return r.Value(), nil
+	copy(st.scratch, st.counts[b])
+	st.ge.addSig(st.scratch, mu, +1)
+	return st.ge.valueFromCounts(st.scratch, st.nsub[b]+st.ge.count[mu]), nil
+}
+
+// apply moves signature mu to sort b, with va/vb the already-computed
+// σ values of the shrunken source and grown destination sorts.
+func (st *searchState) apply(mu, b int, va, vb float64) {
+	a := st.assign[mu]
+	st.groups[a] = remove(st.groups[a], mu)
+	st.groups[b] = insertSorted(st.groups[b], mu)
+	st.assign[mu] = b
+	st.vals[a] = va
+	st.vals[b] = vb
+	if st.ge.inc != nil {
+		st.ge.addSig(st.counts[a], mu, -1)
+		st.ge.addSig(st.counts[b], mu, +1)
+		st.nsub[a] -= st.ge.count[mu]
+		st.nsub[b] += st.ge.count[mu]
+	}
 }
 
 func (st *searchState) score() score {
@@ -231,31 +476,42 @@ func insertSorted(g []int, mu int) []int {
 }
 
 // localSearch runs steepest-ascent relocation moves until a local
-// optimum or the iteration cap.
-func (st *searchState) localSearch(maxIters int) error {
-	n := st.view.NumSignatures()
+// optimum, the iteration cap, or cancellation.
+func (st *searchState) localSearch(maxIters int, cancel <-chan struct{}) error {
+	n := len(st.assign)
+	incremental := st.ge.inc != nil
 	for iter := 0; iter < maxIters; iter++ {
+		if canceled(cancel) {
+			return errCanceled
+		}
 		curSc := st.score()
 		bestSc := curSc
 		bestMu, bestSort := -1, -1
 		var bestVA, bestVB float64
 		for mu := 0; mu < n; mu++ {
 			a := st.assign[mu]
-			ga := remove(st.groups[a], mu)
-			va, err := st.eval(ga)
+			var ga []int
+			if !incremental {
+				ga = remove(st.groups[a], mu)
+			}
+			va, err := st.evalRemove(a, mu, ga)
 			if err != nil {
 				return err
 			}
+			emptyA := len(st.groups[a]) == 1
 			for b := 0; b < st.k; b++ {
 				if b == a {
 					continue
 				}
-				gb := insertSorted(st.groups[b], mu)
-				vb, err := st.eval(gb)
+				var gb []int
+				if !incremental {
+					gb = insertSorted(st.groups[b], mu)
+				}
+				vb, err := st.evalInsert(b, mu, gb)
 				if err != nil {
 					return err
 				}
-				sc := st.scoreWith(a, va, len(ga) == 0, b, vb)
+				sc := st.scoreWith(a, va, emptyA, b, vb)
 				if sc.better(bestSc) {
 					bestSc = sc
 					bestMu, bestSort = mu, b
@@ -266,12 +522,7 @@ func (st *searchState) localSearch(maxIters int) error {
 		if bestMu < 0 {
 			return nil
 		}
-		a := st.assign[bestMu]
-		st.groups[a] = remove(st.groups[a], bestMu)
-		st.groups[bestSort] = insertSorted(st.groups[bestSort], bestMu)
-		st.assign[bestMu] = bestSort
-		st.vals[a] = bestVA
-		st.vals[bestSort] = bestVB
+		st.apply(bestMu, bestSort, bestVA, bestVB)
 	}
 	return nil
 }
@@ -279,28 +530,37 @@ func (st *searchState) localSearch(maxIters int) error {
 // greedySeed assigns signatures in decreasing size order, each to the
 // sort that yields the best interim score, evaluating only the
 // receiving sort per candidate.
-func greedySeed(fn rules.Func, v *matrix.View, k int) (Assignment, error) {
-	n := v.NumSignatures()
+func greedySeed(ge *groupEval, k int) (Assignment, error) {
+	n := ge.view.NumSignatures()
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
-	sigs := v.Signatures()
-	sort.Slice(order, func(a, b int) bool { return sigs[order[a]].Count > sigs[order[b]].Count })
+	sort.Slice(order, func(a, b int) bool { return ge.count[order[a]] > ge.count[order[b]] })
 
 	assign := make(Assignment, n)
 	groups := make([][]int, k)
 	vals := make([]float64, k)
 	used := 0
-	evalGroup := func(g []int) (float64, error) {
-		if len(g) == 0 {
-			return 1, nil
+	var counts [][]int64
+	var nsub []int64
+	var scratch []int64
+	if ge.inc != nil {
+		counts = make([][]int64, k)
+		for s := range counts {
+			counts[s] = make([]int64, ge.nProps)
 		}
-		r, err := fn.Eval(v.Subset(g))
-		if err != nil {
-			return 0, err
+		nsub = make([]int64, k)
+		scratch = make([]int64, ge.nProps)
+	}
+	// evalWith scores sort s with mu added.
+	evalWith := func(s, mu int) (float64, error) {
+		if ge.inc != nil {
+			copy(scratch, counts[s])
+			ge.addSig(scratch, mu, +1)
+			return ge.valueFromCounts(scratch, nsub[s]+ge.count[mu]), nil
 		}
-		return r.Value(), nil
+		return ge.eval(insertSorted(groups[s], mu), nil)
 	}
 	for _, mu := range order {
 		// Placing into any currently-empty sort is symmetric; try only
@@ -312,8 +572,7 @@ func greedySeed(fn rules.Func, v *matrix.View, k int) (Assignment, error) {
 		bestSort, bestSc := 0, score{min: -1}
 		var bestVal float64
 		for s := 0; s < maxTry; s++ {
-			cand := insertSorted(groups[s], mu)
-			val, err := evalGroup(cand)
+			val, err := evalWith(s, mu)
 			if err != nil {
 				return nil, err
 			}
@@ -345,6 +604,10 @@ func greedySeed(fn rules.Func, v *matrix.View, k int) (Assignment, error) {
 		groups[bestSort] = insertSorted(groups[bestSort], mu)
 		vals[bestSort] = bestVal
 		assign[mu] = bestSort
+		if ge.inc != nil {
+			ge.addSig(counts[bestSort], mu, +1)
+			nsub[bestSort] += ge.count[mu]
+		}
 	}
 	return assign, nil
 }
@@ -354,25 +617,41 @@ func greedySeed(fn rules.Func, v *matrix.View, k int) (Assignment, error) {
 // pair of sorts whose merge keeps the highest σ is merged until at most
 // k sorts remain. This seed directly targets the lowest-k problem: it
 // trades sort count against structuredness one merge at a time.
-func mergeSeed(fn rules.Func, v *matrix.View, k int) (Assignment, error) {
-	n := v.NumSignatures()
+func mergeSeed(ge *groupEval, k int) (Assignment, error) {
+	n := ge.view.NumSignatures()
 	groups := make([][]int, 0, n)
 	for mu := 0; mu < n; mu++ {
 		groups = append(groups, []int{mu})
 	}
-	evalGroup := func(g []int) (float64, error) {
-		r, err := fn.Eval(v.Subset(g))
-		if err != nil {
-			return 0, err
+	var counts [][]int64
+	var nsub []int64
+	var scratch []int64
+	if ge.inc != nil {
+		counts = make([][]int64, n)
+		nsub = make([]int64, n)
+		scratch = make([]int64, ge.nProps)
+		for mu := 0; mu < n; mu++ {
+			counts[mu] = make([]int64, ge.nProps)
+			ge.addSig(counts[mu], mu, +1)
+			nsub[mu] = ge.count[mu]
 		}
-		return r.Value(), nil
+	}
+	// evalPair scores the merge of groups i and j.
+	evalPair := func(i, j int) (float64, error) {
+		if ge.inc != nil {
+			copy(scratch, counts[i])
+			for p, c := range counts[j] {
+				scratch[p] += c
+			}
+			return ge.valueFromCounts(scratch, nsub[i]+nsub[j]), nil
+		}
+		return ge.eval(mergeSorted(groups[i], groups[j]), nil)
 	}
 	for len(groups) > k {
 		bestI, bestJ, bestVal := -1, -1, -1.0
 		for i := 0; i < len(groups); i++ {
 			for j := i + 1; j < len(groups); j++ {
-				merged := mergeSorted(groups[i], groups[j])
-				val, err := evalGroup(merged)
+				val, err := evalPair(i, j)
 				if err != nil {
 					return nil, err
 				}
@@ -382,9 +661,16 @@ func mergeSeed(fn rules.Func, v *matrix.View, k int) (Assignment, error) {
 				}
 			}
 		}
-		merged := mergeSorted(groups[bestI], groups[bestJ])
-		groups[bestI] = merged
+		groups[bestI] = mergeSorted(groups[bestI], groups[bestJ])
 		groups = append(groups[:bestJ], groups[bestJ+1:]...)
+		if ge.inc != nil {
+			for p, c := range counts[bestJ] {
+				counts[bestI][p] += c
+			}
+			nsub[bestI] += nsub[bestJ]
+			counts = append(counts[:bestJ], counts[bestJ+1:]...)
+			nsub = append(nsub[:bestJ], nsub[bestJ+1:]...)
+		}
 	}
 	assign := make(Assignment, n)
 	for s, g := range groups {

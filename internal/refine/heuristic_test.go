@@ -58,7 +58,8 @@ func TestQuickInsertRemove(t *testing.T) {
 }
 
 // The incremental search state must agree with a from-scratch
-// re-evaluation after any sequence of moves.
+// re-evaluation after any sequence of moves, on both the counts-based
+// delta path (Cov, Sim) and the generic subset-view path.
 func TestSearchStateIncrementalConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	props := []string{"a", "b", "c", "d"}
@@ -79,58 +80,67 @@ func TestSearchStateIncrementalConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	k := 3
-	assign := make(Assignment, v.NumSignatures())
-	for i := range assign {
-		assign[i] = rng.Intn(k)
-	}
-	st, err := newSearchState(rules.CovFunc(), v, assign.Clone(), k)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Perform random moves through the public move path (groups/vals
-	// updates) and compare with EvalAssignment each time.
-	for step := 0; step < 25; step++ {
-		mu := rng.Intn(v.NumSignatures())
-		b := rng.Intn(k)
-		a := st.assign[mu]
-		if a == b {
-			continue
-		}
-		ga := remove(st.groups[a], mu)
-		va, err := st.eval(ga)
-		if err != nil {
-			t.Fatal(err)
-		}
-		gb := insertSorted(st.groups[b], mu)
-		vb, err := st.eval(gb)
-		if err != nil {
-			t.Fatal(err)
-		}
-		st.groups[a] = ga
-		st.groups[b] = gb
-		st.assign[mu] = b
-		st.vals[a] = va
-		st.vals[b] = vb
-
-		values, min, err := EvalAssignment(rules.CovFunc(), v, st.assign, k)
-		if err != nil {
-			t.Fatal(err)
-		}
-		sc := st.score()
-		if diff := sc.min - min; diff > 1e-12 || diff < -1e-12 {
-			t.Fatalf("step %d: incremental min %v != recomputed %v", step, sc.min, min)
-		}
-		sum := 0.0
-		for s, g := range st.groups {
-			if len(g) > 0 {
-				_ = values[s]
-				sum += st.vals[s]
+	for _, fn := range []rules.Func{
+		rules.CovFunc(),                    // counts-based delta path
+		rules.SimFunc(),                    // counts-based delta path
+		rules.DepFunc("a", "b"),            // generic subset-view path
+		rules.RuleFunc{R: rules.CovRule()}, // generic rough-assignment path
+	} {
+		t.Run(fn.Name(), func(t *testing.T) {
+			k := 3
+			assign := make(Assignment, v.NumSignatures())
+			for i := range assign {
+				assign[i] = rng.Intn(k)
 			}
-		}
-		if diff := sc.sum - sum; diff > 1e-12 || diff < -1e-12 {
-			t.Fatalf("step %d: sum drift", step)
-		}
+			ge := newGroupEval(fn, v)
+			st, err := newSearchState(ge, assign.Clone(), k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Perform random moves through the move path (evalRemove /
+			// evalInsert / apply) and compare with EvalAssignment each time.
+			for step := 0; step < 25; step++ {
+				mu := rng.Intn(v.NumSignatures())
+				b := rng.Intn(k)
+				a := st.assign[mu]
+				if a == b {
+					continue
+				}
+				ga := remove(st.groups[a], mu)
+				va, err := st.evalRemove(a, mu, ga)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gb := insertSorted(st.groups[b], mu)
+				vb, err := st.evalInsert(b, mu, gb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st.apply(mu, b, va, vb)
+
+				values, min, err := EvalAssignment(fn, v, st.assign, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sc := st.score()
+				if diff := sc.min - min; diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("step %d: incremental min %v != recomputed %v", step, sc.min, min)
+				}
+				sum := 0.0
+				for s, g := range st.groups {
+					if len(g) > 0 {
+						want := values[s].Value()
+						if diff := st.vals[s] - want; diff > 1e-12 || diff < -1e-12 {
+							t.Fatalf("step %d: sort %d cached σ %v != recomputed %v", step, s, st.vals[s], want)
+						}
+						sum += st.vals[s]
+					}
+				}
+				if diff := sc.sum - sum; diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("step %d: sum drift", step)
+				}
+			}
+		})
 	}
 }
 
@@ -169,7 +179,7 @@ func TestGreedySeedRespectsK(t *testing.T) {
 	v := mkView(t, []string{"a", "b", "c"},
 		[]string{"100", "010", "001"}, []int{5, 5, 5})
 	for k := 1; k <= 3; k++ {
-		assign, err := greedySeed(rules.CovFunc(), v, k)
+		assign, err := greedySeed(newGroupEval(rules.CovFunc(), v), k)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,234 @@
+// Parallel infrastructure for the refinement engine: cancellation
+// helpers, exact-vs-heuristic portfolio racing, and the speculative
+// probe driver behind HighestTheta and LowestK. All of it is designed
+// so that results are bit-identical to the sequential engine: the
+// parallelism only changes wall-clock, never outcomes.
+
+package refine
+
+import (
+	"errors"
+	"sync"
+)
+
+// errCanceled marks a restart or probe aborted by cancellation; its
+// partial result is discarded, never surfaced to callers.
+var errCanceled = errors.New("refine: search canceled")
+
+// canceled reports whether the channel is closed (nil = never).
+func canceled(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// mergedCancel returns a channel closed when either the parent channel
+// closes or the returned stop function is called. stop is idempotent
+// and must eventually be called to release the merge goroutine.
+func mergedCancel(parent <-chan struct{}) (<-chan struct{}, func()) {
+	ch := make(chan struct{})
+	var once sync.Once
+	stop := func() { once.Do(func() { close(ch) }) }
+	if parent != nil {
+		go func() {
+			select {
+			case <-parent:
+				stop()
+			case <-ch:
+			}
+		}()
+	}
+	return ch, stop
+}
+
+// probeResult is decide's verdict on one feasibility instance.
+type probeResult struct {
+	ref    *Refinement
+	ok     bool
+	proven bool
+	err    error
+}
+
+// raceAuto is the parallel form of the auto engine: the local-search
+// and exact engines race with first-decisive-wins cancellation. The
+// outcome is deterministic and identical to the sequential auto engine
+// (heuristic first, exact only on "not found"):
+//
+//   - a heuristic witness always wins (in the sequential engine the
+//     exact solver would never have run), cancelling the exact solver;
+//   - an exact infeasibility proof wins immediately (the heuristic can
+//     never produce a witness for a proven-infeasible instance),
+//     cancelling the heuristic;
+//   - an exact witness, error, or budget exhaustion waits for the
+//     heuristic, exactly as the sequential fallback order dictates
+//     (the sequential engine only consults the exact solver after the
+//     heuristic comes up empty).
+//
+// The win is wall-clock: on feasible instances the exact solver is cut
+// short, and on infeasible ones — which dominate the θ sweep's cost —
+// the proof and the doomed restarts overlap instead of running
+// back-to-back.
+func raceAuto(p *Problem, opts *SearchOptions, cancel <-chan struct{}) probeResult {
+	heurCancel, stopHeur := mergedCancel(cancel)
+	exactCancel, stopExact := mergedCancel(cancel)
+	defer stopHeur()
+	defer stopExact()
+
+	heurCh := make(chan probeResult, 1)
+	exactCh := make(chan probeResult, 1)
+	go func() {
+		ref, ok, err := SolveHeuristic(p, heuristicFor(opts, heurCancel))
+		heurCh <- probeResult{ref: ref, ok: ok, proven: ok, err: err}
+	}()
+	go func() {
+		encodeOpts := opts.Encode
+		if encodeOpts.MaxTVars == 0 {
+			encodeOpts.MaxTVars = 50_000
+		}
+		solver := opts.Solver
+		solver.Cancel = exactCancel
+		ref, ok, err := SolveExact(p, encodeOpts, solver)
+		exactCh <- probeResult{ref: ref, ok: ok, proven: err == nil, err: err}
+	}()
+
+	var exact *probeResult
+	var heur *probeResult
+	for heur == nil {
+		select {
+		case h := <-heurCh:
+			heur = &h
+		case e := <-exactCh:
+			exact = &e
+			if e.err == nil && !e.ok {
+				// Proven infeasible: no witness exists, so the heuristic
+				// cannot change the verdict. Stop it and return.
+				return probeResult{ok: false, proven: true}
+			}
+			// Feasible, undecided, or errored: the heuristic's verdict
+			// has deterministic priority; keep waiting for it. (In the
+			// sequential engine the exact solver only ever runs after
+			// the heuristic, so its error must not preempt here.)
+		}
+	}
+	if heur.err != nil {
+		// Wait for the exact engine's genuine verdict: an infeasibility
+		// proof deterministically overrides the heuristic's evaluation
+		// error (the verdict must not depend on which engine reported
+		// first); anything else surfaces the error, as the sequential
+		// engine would.
+		if exact == nil {
+			e := <-exactCh
+			exact = &e
+		}
+		if exact.err == nil && !exact.ok {
+			return probeResult{ok: false, proven: true}
+		}
+		return probeResult{err: heur.err}
+	}
+	if heur.ok {
+		// Witness found: identical to the sequential engine, where the
+		// exact solver would never have started.
+		return probeResult{ref: heur.ref, ok: true, proven: true}
+	}
+	if exact == nil {
+		e := <-exactCh
+		exact = &e
+	}
+	if exact.err == ErrBudget || exact.err == ErrTooLarge {
+		// Undecided: report the heuristic's best, unproven.
+		return probeResult{ref: heur.ref, ok: false, proven: false}
+	}
+	if exact.err != nil {
+		return probeResult{err: exact.err}
+	}
+	if !exact.ok {
+		return probeResult{ok: false, proven: true}
+	}
+	return probeResult{ref: exact.ref, ok: true, proven: true}
+}
+
+// sweep drives decide over the probe sequence problem(0), problem(1), …
+// with bounded speculative look-ahead: up to opts.workers() probes run
+// concurrently, results are consumed strictly in step order, and the
+// sweep ends at the first step whose result satisfies stopOn (or when
+// consume says stop). Probes past a stop-worthy result are cancelled
+// and their results discarded, so the consumed prefix — and therefore
+// the outcome — is bit-identical to the sequential loop: every consumed
+// probe ran to completion, uncancelled, on the same instance the
+// sequential sweep would have solved.
+func sweep(opts *SearchOptions, steps int, problem func(int) *Problem,
+	stopOn func(probeResult) bool, consume func(int, probeResult) (bool, error)) error {
+	workers := opts.workers()
+	if workers > steps {
+		workers = steps
+	}
+	if workers <= 1 {
+		for i := 0; i < steps; i++ {
+			r := decide(problem(i), opts, opts.Cancel)
+			stop, err := consume(i, r)
+			if err != nil || stop {
+				return err
+			}
+		}
+		return nil
+	}
+	// Split the restart-level parallelism across the concurrent probes:
+	// without this, each of the `workers` probes would default to
+	// `workers` restart goroutines of its own (plus the racing exact
+	// solver), oversubscribing the CPU ~workers-fold and starving the
+	// critical-path probe. Worker counts never affect outcomes, so the
+	// split is free to be a static estimate.
+	probeOpts := *opts
+	if probeOpts.Heuristic.Workers == 0 {
+		per := opts.workers() / workers
+		if per < 1 {
+			per = 1
+		}
+		probeOpts.Heuristic.Workers = per
+	}
+	for lo := 0; lo < steps; lo += workers {
+		n := steps - lo
+		if n > workers {
+			n = workers
+		}
+		results := make([]probeResult, n)
+		cancels := make([]func(), n)
+		done := make(chan int, n)
+		for j := 0; j < n; j++ {
+			ch, stop := mergedCancel(opts.Cancel)
+			cancels[j] = stop
+			go func(j int, ch <-chan struct{}) {
+				results[j] = decide(problem(lo+j), &probeOpts, ch)
+				done <- j
+			}(j, ch)
+		}
+		// As soon as some probe is stop-worthy, probes above it cannot
+		// be consumed; cancel them so they stop burning cycles. Probes
+		// below it are unaffected (one of them may still be the true,
+		// lower stopping step).
+		for c := 0; c < n; c++ {
+			j := <-done
+			if stopOn(results[j]) {
+				for q := j + 1; q < n; q++ {
+					cancels[q]()
+				}
+			}
+		}
+		for _, stop := range cancels {
+			stop() // release the merge goroutines
+		}
+		for j := 0; j < n; j++ {
+			stop, err := consume(lo+j, results[j])
+			if err != nil || stop {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package refine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/ilp"
+	"repro/internal/matrix"
+	"repro/internal/rules"
+)
+
+// clusteredView builds a noisy two-cluster view: large enough that the
+// local search does real work, small enough for the exact engine to
+// participate in the portfolio race.
+func clusteredView(t testing.TB, nSigs, nProps int, seed int64) *matrix.View {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	props := make([]string, nProps)
+	for i := range props {
+		props[i] = fmt.Sprintf("p%d", i)
+	}
+	var sigs []matrix.Signature
+	for i := 0; i < nSigs; i++ {
+		b := bitset.New(nProps)
+		base := 0
+		if i%2 == 1 {
+			base = nProps / 2
+		}
+		for j := 0; j < nProps/2; j++ {
+			if rng.Intn(4) > 0 {
+				b.Set(base + j)
+			}
+		}
+		if b.Count() == 0 {
+			b.Set(base)
+		}
+		sigs = append(sigs, matrix.Signature{Bits: b, Count: rng.Intn(40) + 1})
+	}
+	v, err := matrix.New(props, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func sameRefinement(t *testing.T, label string, a, b *Refinement) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: refinement presence differs: %v vs %v", label, a != nil, b != nil)
+	}
+	if a == nil {
+		return
+	}
+	if a.K != b.K || a.MinSigma != b.MinSigma || a.Exact != b.Exact {
+		t.Fatalf("%s: refinement header differs: k=%d/%d min=%v/%v exact=%v/%v",
+			label, a.K, b.K, a.MinSigma, b.MinSigma, a.Exact, b.Exact)
+	}
+	if len(a.Assignment) != len(b.Assignment) {
+		t.Fatalf("%s: assignment lengths differ", label)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatalf("%s: assignments differ at %d: %v vs %v", label, i, a.Assignment, b.Assignment)
+		}
+	}
+}
+
+func sameOutcome(t *testing.T, label string, a, b *Outcome) {
+	t.Helper()
+	if a.Theta1 != b.Theta1 || a.Theta2 != b.Theta2 || a.K != b.K ||
+		a.Instances != b.Instances || a.Exact != b.Exact {
+		t.Fatalf("%s: outcomes differ: θ=%d/%d vs %d/%d k=%d vs %d instances=%d vs %d exact=%v vs %v",
+			label, a.Theta1, a.Theta2, b.Theta1, b.Theta2, a.K, b.K,
+			a.Instances, b.Instances, a.Exact, b.Exact)
+	}
+	sameRefinement(t, label, a.Refinement, b.Refinement)
+}
+
+// The worker pool must be invisible in results: every Workers value
+// yields the identical refinement, for both counts-incremental (Cov,
+// Sim) and generic measures, with and without the witness early exit.
+func TestSolveHeuristicWorkerDeterminism(t *testing.T) {
+	v := clusteredView(t, 18, 8, 7)
+	for _, fn := range []rules.Func{rules.CovFunc(), rules.SimFunc()} {
+		for _, early := range []bool{false, true} {
+			p := &Problem{View: v, Func: fn, K: 3, Theta1: 80, Theta2: 100}
+			var base *Refinement
+			var baseOK bool
+			for _, workers := range []int{1, 2, 8} {
+				ref, ok, err := SolveHeuristic(p, HeuristicOptions{
+					Restarts: 6, MaxIters: 60, Seed: 11,
+					TargetEarlyExit: early, Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("%s early=%v workers=%d", fn.Name(), early, workers)
+				if workers == 1 {
+					base, baseOK = ref, ok
+					continue
+				}
+				if ok != baseOK {
+					t.Fatalf("%s: ok=%v, want %v", label, ok, baseOK)
+				}
+				sameRefinement(t, label, base, ref)
+			}
+		}
+	}
+}
+
+// HighestTheta with speculative probes and portfolio racing must match
+// the sequential sweep bit for bit (Elapsed aside).
+func TestHighestThetaWorkerDeterminism(t *testing.T) {
+	v := clusteredView(t, 14, 8, 3)
+	for _, engine := range []Engine{EngineAuto, EngineHeuristic} {
+		opts := SearchOptions{
+			Engine:    engine,
+			Heuristic: HeuristicOptions{Restarts: 3, MaxIters: 40, Seed: 5},
+			Solver:    ilp.Options{MaxDecisions: 50_000},
+			Encode:    EncodeOptions{SymmetryBreaking: true, MaxTVars: 5_000},
+		}
+		opts.Workers = 1
+		seq, err := HighestTheta(v, rules.CovRule(), nil, 2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4} {
+			opts.Workers = workers
+			par, err := HighestTheta(v, rules.CovRule(), nil, 2, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameOutcome(t, fmt.Sprintf("engine=%v workers=%d", engine, workers), seq, par)
+		}
+	}
+}
+
+// LowestK (upward and downward) must likewise be worker-invariant.
+func TestLowestKWorkerDeterminism(t *testing.T) {
+	v := clusteredView(t, 14, 8, 9)
+	for _, downward := range []bool{false, true} {
+		opts := SearchOptions{
+			Heuristic: HeuristicOptions{Restarts: 3, MaxIters: 40, Seed: 5},
+			Solver:    ilp.Options{MaxDecisions: 50_000},
+			Encode:    EncodeOptions{SymmetryBreaking: true, MaxTVars: 5_000},
+			Downward:  downward,
+		}
+		opts.Workers = 1
+		seq, err := LowestK(v, rules.CovRule(), nil, 85, 100, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Workers = 4
+		par, err := LowestK(v, rules.CovRule(), nil, 85, 100, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameOutcome(t, fmt.Sprintf("downward=%v", downward), seq, par)
+	}
+}
+
+// A pre-closed cancel channel must abort the search without error; the
+// result is reported as "no witness found" and carries no proof.
+func TestCancelAbortsSearch(t *testing.T) {
+	v := clusteredView(t, 14, 8, 3)
+	closed := make(chan struct{})
+	close(closed)
+
+	p := &Problem{View: v, Func: rules.CovFunc(), K: 2, Theta1: 95, Theta2: 100}
+	ref, ok, err := SolveHeuristic(p, HeuristicOptions{
+		Restarts: 4, MaxIters: 1000, Seed: 1, Workers: 2, Cancel: closed,
+	})
+	if err != nil {
+		t.Fatalf("cancelled SolveHeuristic errored: %v", err)
+	}
+	if ok || ref != nil {
+		t.Fatalf("cancelled SolveHeuristic claimed a witness: ok=%v ref=%v", ok, ref)
+	}
+
+	opts := SearchOptions{
+		Engine:    EngineHeuristic,
+		Heuristic: HeuristicOptions{Restarts: 4, MaxIters: 1000, Seed: 1},
+		Workers:   2,
+		Cancel:    closed,
+	}
+	out, err := HighestTheta(v, rules.CovRule(), nil, 2, opts)
+	if err != nil {
+		t.Fatalf("cancelled HighestTheta errored: %v", err)
+	}
+	if out.Exact {
+		t.Fatal("cancelled HighestTheta reported an exact outcome")
+	}
+}
+
+// The portfolio race must return the exact engine's infeasibility
+// proof when the heuristic cannot find a witness.
+func TestRaceAutoProvesInfeasible(t *testing.T) {
+	// Three pairwise-incompatible signatures cannot reach σCov = 1 with
+	// only 2 sorts — exactly decidable, heuristically unprovable.
+	v := mkView(t, []string{"a", "b", "c"},
+		[]string{"100", "010", "001"}, []int{5, 5, 5})
+	p := &Problem{View: v, Rule: rules.CovRule(), K: 2, Theta1: 1, Theta2: 1}
+	opts := &SearchOptions{
+		Engine:    EngineAuto,
+		Heuristic: HeuristicOptions{Restarts: 2, MaxIters: 20, Seed: 1},
+		Encode:    EncodeOptions{SymmetryBreaking: true},
+		Workers:   4,
+	}
+	opts.defaults()
+	r := decide(p, opts, nil)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.ok || !r.proven {
+		t.Fatalf("race verdict ok=%v proven=%v, want proven infeasible", r.ok, r.proven)
+	}
+}

@@ -2,6 +2,7 @@ package refine
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/ilp"
@@ -42,6 +43,16 @@ type SearchOptions struct {
 	// the search walks down through feasible instances (fast witnesses)
 	// instead of up through infeasible ones (slow proofs).
 	Downward bool
+	// Workers sets the parallelism of the refinement engine: concurrent
+	// local-search restarts, exact-vs-heuristic portfolio racing in the
+	// auto engine, and speculative look-ahead probes in HighestTheta and
+	// the upward LowestK. 0 defaults to runtime.GOMAXPROCS(0); 1 forces
+	// the fully sequential engine. Outcomes are identical for every
+	// value — parallelism changes wall-clock only.
+	Workers int
+	// Cancel aborts the search when closed. A cancelled search returns
+	// its best outcome so far with Exact = false; treat it as undecided.
+	Cancel <-chan struct{}
 }
 
 func (o *SearchOptions) defaults() {
@@ -53,6 +64,14 @@ func (o *SearchOptions) defaults() {
 	}
 }
 
+// workers resolves the configured parallelism.
+func (o *SearchOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // Outcome describes one strategy run.
 type Outcome struct {
 	Refinement *Refinement
@@ -60,9 +79,11 @@ type Outcome struct {
 	Theta1, Theta2 int64
 	// K is the number of implicit sorts allowed.
 	K int
-	// Elapsed is total solve time across all instances tried.
+	// Elapsed is total wall-clock time across the search.
 	Elapsed time.Duration
 	// Instances counts feasibility instances solved during the search.
+	// Speculative probes discarded by the parallel engine are not
+	// counted, so the figure matches the sequential sweep exactly.
 	Instances int
 	// Exact reports whether every decision came from the exact engine.
 	Exact bool
@@ -71,52 +92,70 @@ type Outcome struct {
 // decide solves one feasibility instance with the selected engine.
 // proven reports whether the answer is certified: a feasible answer is
 // always proven (the witness is verified exactly); an infeasible answer
-// is proven only when the exact engine completed.
-func decide(p *Problem, opts *SearchOptions) (ref *Refinement, ok, proven bool, err error) {
+// is proven only when the exact engine completed. The cancel channel
+// aborts the decision; a cancelled result must be discarded.
+func decide(p *Problem, opts *SearchOptions, cancel <-chan struct{}) probeResult {
 	switch opts.Engine {
 	case EngineExact:
-		ref, ok, err := SolveExact(p, opts.Encode, opts.Solver)
+		solver := opts.Solver
+		solver.Cancel = cancel
+		ref, ok, err := SolveExact(p, opts.Encode, solver)
 		if err == ErrBudget || err == ErrTooLarge {
 			// Fall back to the heuristic: it can still certify feasibility
 			// (the witness is verified exactly) but not infeasibility.
-			ref, ok, err := SolveHeuristic(p, heuristicFor(opts))
-			return ref, ok, ok, err
+			ref, ok, err := SolveHeuristic(p, heuristicFor(opts, cancel))
+			return probeResult{ref: ref, ok: ok, proven: ok, err: err}
 		}
-		return ref, ok, err == nil, err
+		return probeResult{ref: ref, ok: ok, proven: err == nil, err: err}
 	case EngineHeuristic:
-		ref, ok, err := SolveHeuristic(p, heuristicFor(opts))
-		return ref, ok, ok, err
+		ref, ok, err := SolveHeuristic(p, heuristicFor(opts, cancel))
+		return probeResult{ref: ref, ok: ok, proven: ok, err: err}
 	default: // EngineAuto
 		// Witness-first: the local search certifies feasibility cheaply;
 		// the exact engine is only needed when no witness is found —
 		// either to recover one the heuristic missed or to prove
 		// infeasibility. This mirrors the paper's observation that
 		// infeasible instances dominate the cost of the θ sweep.
-		ref, ok, err := SolveHeuristic(p, heuristicFor(opts))
-		if err != nil || ok {
-			return ref, ok, ok, err
-		}
 		if !exactTractable(p) {
-			return ref, false, false, nil
+			ref, ok, err := SolveHeuristic(p, heuristicFor(opts, cancel))
+			return probeResult{ref: ref, ok: ok, proven: ok, err: err}
+		}
+		if opts.workers() > 1 {
+			// Portfolio racing: both engines start at once and the loser
+			// is cancelled. Deterministically equivalent to the
+			// sequential order below (see raceAuto).
+			return raceAuto(p, opts, cancel)
+		}
+		ref, ok, err := SolveHeuristic(p, heuristicFor(opts, cancel))
+		if err != nil || ok {
+			return probeResult{ref: ref, ok: ok, proven: ok, err: err}
 		}
 		encodeOpts := opts.Encode
 		if encodeOpts.MaxTVars == 0 {
 			encodeOpts.MaxTVars = 50_000
 		}
-		exRef, exOK, exErr := SolveExact(p, encodeOpts, opts.Solver)
+		solver := opts.Solver
+		solver.Cancel = cancel
+		exRef, exOK, exErr := SolveExact(p, encodeOpts, solver)
 		if exErr == ErrBudget || exErr == ErrTooLarge {
-			return ref, false, false, nil // undecided: report the heuristic's best
+			return probeResult{ref: ref, ok: false, proven: false} // undecided: report the heuristic's best
 		}
 		if exErr != nil {
-			return nil, false, false, exErr
+			return probeResult{err: exErr}
 		}
-		return exRef, exOK, true, nil
+		return probeResult{ref: exRef, ok: exOK, proven: true}
 	}
 }
 
-func heuristicFor(opts *SearchOptions) HeuristicOptions {
+// heuristicFor derives the local-search options for one decision,
+// threading the search-level worker budget and cancellation through.
+func heuristicFor(opts *SearchOptions, cancel <-chan struct{}) HeuristicOptions {
 	h := opts.Heuristic
 	h.TargetEarlyExit = true
+	if h.Workers == 0 {
+		h.Workers = opts.workers()
+	}
+	h.Cancel = cancel
 	return h
 }
 
@@ -143,17 +182,21 @@ func exactTractable(p *Problem) bool {
 
 // HighestTheta finds, for fixed k, the largest threshold θ (on the
 // 1/ThetaStep grid) for which a sort refinement exists — the paper's
-// first experimental setting. Following Section 7, the sweep is
-// sequential upward from the dataset's own structuredness value (for
-// which the trivial one-sort refinement is a witness at k ≥ 1), because
-// proving infeasibility is far more expensive than finding a witness.
+// first experimental setting. Following Section 7, the sweep walks
+// upward from the dataset's own structuredness value (for which the
+// trivial one-sort refinement is a witness at k ≥ 1), because proving
+// infeasibility is far more expensive than finding a witness. With
+// Workers > 1 the next few θ values are probed speculatively on idle
+// workers; results above the first infeasible θ are discarded, so the
+// outcome is bit-identical to the sequential sweep.
 func HighestTheta(view *matrix.View, rule *rules.Rule, fn rules.Func, k int, opts SearchOptions) (*Outcome, error) {
 	opts.defaults()
 	p := &Problem{View: view, Rule: rule, Func: fn, K: k}
-	if p.EvalFunc() == nil {
+	evalFn := p.EvalFunc()
+	if evalFn == nil {
 		return nil, fmt.Errorf("refine: no rule or func")
 	}
-	base, err := p.EvalFunc().Eval(view)
+	base, err := evalFn.Eval(view)
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +208,7 @@ func HighestTheta(view *matrix.View, rule *rules.Rule, fn rules.Func, k int, opt
 		t1 = 0
 	}
 	identity := make(Assignment, view.NumSignatures())
-	values, min, err := EvalAssignment(p.EvalFunc(), view, identity, k)
+	values, min, err := EvalAssignment(evalFn, view, identity, k)
 	if err != nil {
 		return nil, err
 	}
@@ -173,25 +216,34 @@ func HighestTheta(view *matrix.View, rule *rules.Rule, fn rules.Func, k int, opt
 		Refinement: &Refinement{Assignment: identity, K: k, Values: values, MinSigma: min, Exact: true},
 		Theta1:     t1, Theta2: opts.ThetaStep, K: k, Exact: true,
 	}
-	for theta := t1 + 1; theta <= opts.ThetaStep; theta++ {
-		p.Theta1, p.Theta2 = theta, opts.ThetaStep
-		ref, ok, proven, err := decide(p, &opts)
-		out.Instances++
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			// Infeasible (proven) or no witness found: stop at the last
-			// stored solution, as the paper does.
-			if !proven {
-				out.Exact = false
+	steps := int(opts.ThetaStep - t1)
+	err = sweep(&opts, steps,
+		func(i int) *Problem {
+			return &Problem{View: view, Rule: rule, Func: evalFn, K: k,
+				Theta1: t1 + 1 + int64(i), Theta2: opts.ThetaStep}
+		},
+		func(r probeResult) bool { return r.err != nil || !r.ok },
+		func(i int, r probeResult) (bool, error) {
+			out.Instances++
+			if r.err != nil {
+				return true, r.err
 			}
-			break
-		}
-		out.Refinement = ref
-		out.Theta1 = theta
-	}
+			if !r.ok {
+				// Infeasible (proven) or no witness found: stop at the last
+				// stored solution, as the paper does.
+				if !r.proven {
+					out.Exact = false
+				}
+				return true, nil
+			}
+			out.Refinement = r.ref
+			out.Theta1 = t1 + 1 + int64(i)
+			return false, nil
+		})
 	out.Elapsed = time.Since(start)
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -199,7 +251,8 @@ func HighestTheta(view *matrix.View, rule *rules.Rule, fn rules.Func, k int, opt
 // implicit sorts admitting a sort refinement — the paper's second
 // experimental setting. The search proceeds upward from k = 1 (the
 // paper chooses direction case by case; upward matches its DBpedia
-// runs).
+// runs); with Workers > 1 the next few k values are probed
+// speculatively, with results above the first feasible k discarded.
 func LowestK(view *matrix.View, rule *rules.Rule, fn rules.Func, theta1, theta2 int64, opts SearchOptions) (*Outcome, error) {
 	opts.defaults()
 	maxK := opts.MaxK
@@ -211,34 +264,46 @@ func LowestK(view *matrix.View, rule *rules.Rule, fn rules.Func, theta1, theta2 
 	}
 	start := time.Now()
 	out := &Outcome{Theta1: theta1, Theta2: theta2, Exact: true}
-	for k := 1; k <= maxK; k++ {
-		p := &Problem{View: view, Rule: rule, Func: fn, K: k, Theta1: theta1, Theta2: theta2}
-		ref, ok, proven, err := decide(p, &opts)
-		out.Instances++
-		_ = ref
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			out.Refinement = ref
-			out.K = k
-			out.Elapsed = time.Since(start)
-			return out, nil
-		}
-		// An unproven "not found" is not an infeasibility proof; the
-		// reported lowest k is then only an upper bound.
-		if !proven {
-			out.Exact = false
-		}
-	}
+	found := false
+	err := sweep(&opts, maxK,
+		func(i int) *Problem {
+			return &Problem{View: view, Rule: rule, Func: fn, K: i + 1, Theta1: theta1, Theta2: theta2}
+		},
+		func(r probeResult) bool { return r.err != nil || r.ok },
+		func(i int, r probeResult) (bool, error) {
+			out.Instances++
+			if r.err != nil {
+				return true, r.err
+			}
+			if r.ok {
+				out.Refinement = r.ref
+				out.K = i + 1
+				found = true
+				return true, nil
+			}
+			// An unproven "not found" is not an infeasibility proof; the
+			// reported lowest k is then only an upper bound.
+			if !r.proven {
+				out.Exact = false
+			}
+			return false, nil
+		})
 	out.Elapsed = time.Since(start)
-	return out, fmt.Errorf("refine: no refinement with θ=%d/%d within k ≤ %d", theta1, theta2, maxK)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return out, fmt.Errorf("refine: no refinement with θ=%d/%d within k ≤ %d", theta1, theta2, maxK)
+	}
+	return out, nil
 }
 
 // lowestKDownward walks k from the signature count (always feasible:
 // one sort per signature set has σ = 1 for every rule with vacuous or
 // full satisfaction on uniform sorts — verified before relying on it)
-// down to the last feasible k.
+// down to the last feasible k. The relabel shortcut couples each step
+// to the previous result, so the walk itself stays sequential; Workers
+// still parallelize each step's restarts and portfolio race.
 func lowestKDownward(view *matrix.View, rule *rules.Rule, fn rules.Func, theta1, theta2 int64, opts SearchOptions, maxK int) (*Outcome, error) {
 	start := time.Now()
 	out := &Outcome{Theta1: theta1, Theta2: theta2, Exact: true}
@@ -246,17 +311,18 @@ func lowestKDownward(view *matrix.View, rule *rules.Rule, fn rules.Func, theta1,
 	lastK := 0
 	for k := maxK; k >= 1; k-- {
 		p := &Problem{View: view, Rule: rule, Func: fn, K: k, Theta1: theta1, Theta2: theta2}
-		ref, ok, proven, err := decide(p, &opts)
+		r := decide(p, &opts, opts.Cancel)
 		out.Instances++
-		if err != nil {
-			return nil, err
+		if r.err != nil {
+			return nil, r.err
 		}
-		if !ok {
-			if !proven {
+		if !r.ok {
+			if !r.proven {
 				out.Exact = false
 			}
 			break
 		}
+		ref := r.ref
 		lastGood = ref
 		lastK = k
 		// Shortcut: if the found refinement uses fewer non-empty sorts

@@ -165,6 +165,20 @@ type Func interface {
 	Eval(v *matrix.View) (Ratio, error)
 }
 
+// CountsFunc is implemented by measures whose value on any view is a
+// function of the view's per-property subject counts N_p and subject
+// count |S| alone — true of the closed forms σCov and σSim. It is the
+// contract behind delta-scoring in local search: moving one signature
+// set between candidate sorts updates running Σ counts in O(|P|), so a
+// candidate move is scored without materializing a subset view.
+type CountsFunc interface {
+	Func
+	// EvalCounts computes σ of a (sub-)dataset from its per-property
+	// subject counts and its subject count. It must agree exactly with
+	// Eval on the corresponding view. The counts slice is read-only.
+	EvalCounts(propCounts []int64, subjects int64) Ratio
+}
+
 // closedFunc wraps a closed-form evaluator.
 type closedFunc struct {
 	name string
@@ -174,11 +188,45 @@ type closedFunc struct {
 func (c closedFunc) Name() string                       { return c.name }
 func (c closedFunc) Eval(v *matrix.View) (Ratio, error) { return c.eval(v), nil }
 
-// CovFunc returns σCov as a Func (closed form).
-func CovFunc() Func { return closedFunc{"Cov", Coverage} }
+// covFunc is σCov with a counts-based incremental form.
+type covFunc struct{}
 
-// SimFunc returns σSim as a Func (closed form).
-func SimFunc() Func { return closedFunc{"Sim", Similarity} }
+func (covFunc) Name() string                       { return "Cov" }
+func (covFunc) Eval(v *matrix.View) (Ratio, error) { return Coverage(v), nil }
+
+// EvalCounts mirrors Coverage: ones / (|S|·used) over the used columns.
+func (covFunc) EvalCounts(propCounts []int64, subjects int64) Ratio {
+	var ones, used int64
+	for _, c := range propCounts {
+		if c > 0 {
+			used++
+			ones += c
+		}
+	}
+	return NewRatio(ones, subjects*used)
+}
+
+// simFunc is σSim with a counts-based incremental form.
+type simFunc struct{}
+
+func (simFunc) Name() string                       { return "Sim" }
+func (simFunc) Eval(v *matrix.View) (Ratio, error) { return Similarity(v), nil }
+
+// EvalCounts mirrors Similarity: Σ N_p(N_p−1) / Σ N_p(|S|−1).
+func (simFunc) EvalCounts(propCounts []int64, subjects int64) Ratio {
+	var fav, tot int64
+	for _, np := range propCounts {
+		fav += np * (np - 1)
+		tot += np * (subjects - 1)
+	}
+	return NewRatio(fav, tot)
+}
+
+// CovFunc returns σCov as a Func (closed form, counts-incremental).
+func CovFunc() Func { return covFunc{} }
+
+// SimFunc returns σSim as a Func (closed form, counts-incremental).
+func SimFunc() Func { return simFunc{} }
 
 // DepFunc returns σDep[p1,p2] as a Func (closed form).
 func DepFunc(p1, p2 string) Func {
