@@ -1,0 +1,122 @@
+// Command rdfserved is a long-running structuredness service over a
+// mutable RDF dataset. It ingests triple add/remove batches over HTTP,
+// maintains the signature view and the closed-form σ counts
+// incrementally (internal/incr), and serves σ reads and sort
+// refinements against consistent copy-on-write snapshots while
+// ingestion continues.
+//
+// Usage:
+//
+//	rdfserved -addr :8077
+//	rdfserved -addr :8077 -in persons.nt -auto-refine -fn cov -theta 0.9
+//
+// Endpoints:
+//
+//	POST /triples   {"add": ["<s> <p> <o> ."], "remove": [...]}  (or a raw N-Triples body)
+//	GET  /sigma?fn=cov|sim|dep[p1,p2]|symdep[p1,p2]
+//	GET  /refine?fn=cov&mode=lowestk|highesttheta&theta=0.9&k=2&workers=0&engine=auto
+//	GET  /stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/incr"
+	"repro/internal/rdf"
+	"repro/internal/refine"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	in := flag.String("in", "", "preload an N-Triples (.nt) or Turtle (.ttl) file")
+	keepSubjects := flag.Bool("keep-subjects", false, "retain subject URIs per signature in snapshots")
+	ignore := flag.String("ignore", "", "comma-separated predicate URIs to exclude from the view (rdf:type always is)")
+	autoRefine := flag.Bool("auto-refine", false, "re-refine in the background when σ drifts")
+	fnName := flag.String("fn", "cov", "measure for auto-refinement: cov, sim, dep[p1,p2], symdep[p1,p2]")
+	mode := flag.String("mode", "lowestk", "auto-refinement strategy: lowestk or highesttheta")
+	theta := flag.Float64("theta", 0.9, "threshold for lowestk auto-refinement")
+	k := flag.Int("k", 2, "sort budget for highesttheta auto-refinement")
+	drift := flag.Float64("drift", 0.01, "σ-drift threshold that triggers auto-refinement")
+	workers := flag.Int("workers", 0, "refinement parallelism for the auto-refiner (0 = all cores)")
+	maxBodyMB := flag.Int64("max-body-mb", 64, "request body cap in MiB")
+	flag.Parse()
+
+	var opts incr.Options
+	opts.KeepSubjects = *keepSubjects
+	if *ignore != "" {
+		for _, p := range strings.Split(*ignore, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				opts.IgnoreProperties = append(opts.IgnoreProperties, p)
+			}
+		}
+	}
+	d := incr.NewDataset(opts)
+
+	if *in != "" {
+		if err := preload(d, *in); err != nil {
+			fmt.Fprintln(os.Stderr, "rdfserved:", err)
+			os.Exit(1)
+		}
+		st := d.Stats()
+		log.Printf("preloaded %s: %d triples, %d subjects, %d signatures",
+			*in, st.Triples, st.Subjects, st.Signatures)
+	}
+
+	srvOpts := serve.Options{MaxBodyBytes: *maxBodyMB << 20}
+	if *autoRefine {
+		fn, rule, err := core.Builtin(*fnName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdfserved:", err)
+			os.Exit(1)
+		}
+		ropts := incr.RefinerOptions{
+			Fn: fn, Rule: rule, Drift: *drift,
+			Search: refine.SearchOptions{Workers: *workers},
+		}
+		switch *mode {
+		case "lowestk":
+			ropts.Mode = incr.ModeLowestK
+			ropts.Theta1, ropts.Theta2 = int64(*theta*1000+0.5), 1000
+		case "highesttheta":
+			ropts.Mode = incr.ModeHighestTheta
+			ropts.K = *k
+		default:
+			fmt.Fprintf(os.Stderr, "rdfserved: unknown mode %q\n", *mode)
+			os.Exit(1)
+		}
+		srvOpts.Refiner = incr.NewRefiner(d, ropts)
+	}
+
+	log.Printf("rdfserved listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, serve.New(d, srvOpts)); err != nil {
+		fmt.Fprintln(os.Stderr, "rdfserved:", err)
+		os.Exit(1)
+	}
+}
+
+// preload streams a dump into the dataset in bounded batches, so large
+// files ingest without materializing an intermediate triple list.
+func preload(d *incr.Dataset, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	read := rdf.ReadNTriples
+	switch filepath.Ext(path) {
+	case ".ttl", ".turtle":
+		read = rdf.ReadTurtle
+	}
+	_, err = d.AddStream(0, func(emit func(rdf.Triple) error) error {
+		return read(f, emit)
+	})
+	return err
+}

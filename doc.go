@@ -2,7 +2,11 @@
 // Approach to Bridging the Gap between Graph Data and their Schemas"
 // (Arenas, Díaz, Fokoue, Kementsietsidis, Srinivas — VLDB 2014): a rule
 // language for RDF structuredness measures, the sort-refinement problem,
-// its ILP reduction, and the paper's full experimental evaluation.
+// its ILP reduction, and the paper's full experimental evaluation —
+// plus the live half the paper doesn't have: an incremental
+// structuredness engine (internal/incr) and an HTTP query service
+// (cmd/rdfserved) maintaining views, σ counts and refinements under
+// continuous triple ingestion.
 //
 // See README.md for a tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-vs-measured results. The root package holds

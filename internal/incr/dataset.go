@@ -1,0 +1,428 @@
+// Package incr is the incremental structuredness engine: it maintains
+// the property-structure view M(D), the signature sets Λ(D) and the
+// closed-form structuredness counts of a *mutable* RDF dataset as
+// triples arrive and retract, instead of rebuilding them from scratch.
+//
+// The paper's pipeline is strictly batch — parse a dump, build the
+// signature view, refine once. This package turns that pipeline into a
+// live system: Apply ingests add/remove batches, migrating each touched
+// subject between signature sets (creating and retiring signatures and
+// property columns as needed) and updating the per-property subject
+// counts N_p behind σCov and σSim in O(1) per property transition
+// (rules.CountTracker). Readers obtain immutable matrix.View snapshots
+// via copy-on-write epochs: a snapshot is built lazily from the
+// signature-level state — O(|Λ|·|P|), independent of the subject count
+// — cached per epoch, and never mutated afterwards, so the existing
+// refinement engine runs unchanged against a consistent view while
+// ingestion continues.
+package incr
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitset"
+	"repro/internal/matrix"
+	"repro/internal/rdf"
+	"repro/internal/rules"
+)
+
+// Options configures a Dataset. The zero value matches
+// matrix.Options{}: rdf:type is excluded from the property columns.
+type Options struct {
+	// IgnoreProperties are predicate URIs excluded from the view's
+	// columns (rdf:type always is).
+	IgnoreProperties []string
+	// KeepSubjects retains subject URIs per signature in snapshots
+	// (needed to materialize partitions back into RDF graphs).
+	KeepSubjects bool
+}
+
+// sigState is one live signature set: the set of property columns and
+// the subjects currently exhibiting it. Columns are indices into the
+// dataset's append-only column space (which may contain retired,
+// zero-count columns; a live sigState never references those).
+type sigState struct {
+	cols     []int // sorted ascending
+	key      string
+	subjects map[string]struct{}
+}
+
+// Dataset is a mutable RDF dataset with incrementally-maintained
+// signature sets and structuredness counts. All methods are safe for
+// concurrent use: Apply serializes writers, readers work off immutable
+// per-epoch snapshots or O(|P|) count reads.
+type Dataset struct {
+	mu   sync.RWMutex
+	opts Options
+
+	ignore map[string]bool
+	g      *rdf.Graph
+
+	// Append-only column space. Columns whose subject count drops to
+	// zero are retired in place (snapshots skip them) and revived if the
+	// property reappears.
+	props     []string
+	propIndex map[string]int
+
+	tracker *rules.CountTracker
+
+	sigs    map[string]*sigState // signature key -> state
+	subjSig map[string]*sigState // subject -> its signature set
+
+	epoch   uint64
+	snap    atomic.Pointer[Snapshot]
+	added   uint64
+	removed uint64
+}
+
+// Snapshot is an immutable view of the dataset at one epoch.
+type Snapshot struct {
+	// Epoch identifies the dataset state; it increases with every
+	// mutating batch.
+	Epoch uint64
+	// View is the signature-compressed property-structure view,
+	// bit-identical to matrix.FromGraph on the same triple set.
+	View *matrix.View
+}
+
+// NewDataset returns an empty incremental dataset.
+func NewDataset(opts Options) *Dataset {
+	ignore := map[string]bool{rdf.TypeURI: true}
+	for _, p := range opts.IgnoreProperties {
+		ignore[p] = true
+	}
+	return &Dataset{
+		opts:      opts,
+		ignore:    ignore,
+		g:         rdf.NewGraph(),
+		propIndex: make(map[string]int),
+		tracker:   rules.NewCountTracker(0),
+		sigs:      make(map[string]*sigState),
+		subjSig:   make(map[string]*sigState),
+	}
+}
+
+// FromGraph builds an incremental dataset preloaded with g's triples.
+func FromGraph(g *rdf.Graph, opts Options) *Dataset {
+	d := NewDataset(opts)
+	d.Apply(g.Triples(), nil)
+	return d
+}
+
+// AddStream applies triples produced by a streaming reader (e.g.
+// rdf.ReadNTriples, rdf.ReadTurtle) in bounded batches of batchSize, so
+// arbitrarily large dumps ingest without materializing a triple list.
+// read is called with the emit callback to feed. On a read error, the
+// triples emitted before it remain applied and are reflected in added.
+func (d *Dataset) AddStream(batchSize int, read func(emit func(rdf.Triple) error) error) (added int, err error) {
+	if batchSize <= 0 {
+		batchSize = 10000
+	}
+	batch := make([]rdf.Triple, 0, batchSize)
+	flush := func() {
+		a, _ := d.Apply(batch, nil)
+		added += a
+		batch = batch[:0]
+	}
+	err = read(func(t rdf.Triple) error {
+		batch = append(batch, t)
+		if len(batch) == cap(batch) {
+			flush()
+		}
+		return nil
+	})
+	flush()
+	return added, err
+}
+
+// colsKey returns the canonical identity of a column set. Unlike
+// bitset.Set.Key it is independent of the (growing) column capacity.
+func colsKey(cols []int) string {
+	var b strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
+}
+
+// Apply ingests one batch: adds first, then removes, each deduplicated
+// against the current triple set (re-adding a present triple or
+// removing an absent one is a no-op). It returns the number of triples
+// actually added and removed. The batch is atomic with respect to
+// readers: no snapshot observes a half-applied batch.
+func (d *Dataset) Apply(add, remove []rdf.Triple) (added, removed int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, t := range add {
+		if d.applyAdd(t) {
+			added++
+		}
+	}
+	for _, t := range remove {
+		if d.applyRemove(t) {
+			removed++
+		}
+	}
+	if added > 0 || removed > 0 {
+		d.epoch++
+		d.added += uint64(added)
+		d.removed += uint64(removed)
+	}
+	return added, removed
+}
+
+// applyAdd inserts one triple and migrates its subject. Caller holds mu.
+func (d *Dataset) applyAdd(t rdf.Triple) bool {
+	s, p := t.Subject, t.Predicate
+	hadSubj := d.g.HasSubject(s)
+	hadProp := hadSubj && d.g.HasProperty(s, p)
+	if !d.g.Add(t) {
+		return false
+	}
+	if !hadSubj {
+		d.tracker.AddSubjects(1)
+	}
+	gainedCol := -1
+	if !hadProp && !d.ignore[p] {
+		gainedCol = d.colFor(p)
+		d.tracker.Gain(gainedCol)
+	}
+	if hadSubj && gainedCol < 0 {
+		return true // no signature transition
+	}
+	var oldCols []int
+	if hadSubj {
+		oldCols = d.detach(s)
+	}
+	newCols := oldCols
+	if gainedCol >= 0 {
+		newCols = insertCol(oldCols, gainedCol)
+	}
+	d.attach(s, newCols)
+	return true
+}
+
+// applyRemove deletes one triple and migrates its subject. Caller
+// holds mu.
+func (d *Dataset) applyRemove(t rdf.Triple) bool {
+	s, p := t.Subject, t.Predicate
+	if !d.g.Remove(t) {
+		return false
+	}
+	lostCol := -1
+	if !d.ignore[p] && !d.g.HasProperty(s, p) {
+		lostCol = d.propIndex[p] // p was a column: the triple was present
+		d.tracker.Lose(lostCol)
+	}
+	if !d.g.HasSubject(s) {
+		d.tracker.AddSubjects(-1)
+		d.detach(s)
+		delete(d.subjSig, s)
+		return true
+	}
+	if lostCol < 0 {
+		return true
+	}
+	oldCols := d.detach(s)
+	d.attach(s, removeCol(oldCols, lostCol))
+	return true
+}
+
+// colFor returns p's column, creating it on first sight (or reviving a
+// retired column of the same name).
+func (d *Dataset) colFor(p string) int {
+	if i, ok := d.propIndex[p]; ok {
+		return i
+	}
+	i := len(d.props)
+	d.props = append(d.props, p)
+	d.propIndex[p] = i
+	d.tracker.Grow(len(d.props))
+	return i
+}
+
+// detach removes s from its signature set (retiring the set when it
+// empties) and returns the set's columns. Returns nil for an unknown
+// subject.
+func (d *Dataset) detach(s string) []int {
+	st := d.subjSig[s]
+	if st == nil {
+		return nil
+	}
+	delete(st.subjects, s)
+	if len(st.subjects) == 0 {
+		delete(d.sigs, st.key)
+	}
+	return st.cols
+}
+
+// attach places s into the signature set for cols, creating it if new.
+func (d *Dataset) attach(s string, cols []int) {
+	key := colsKey(cols)
+	st := d.sigs[key]
+	if st == nil {
+		st = &sigState{cols: cols, key: key, subjects: make(map[string]struct{})}
+		d.sigs[key] = st
+	}
+	st.subjects[s] = struct{}{}
+	d.subjSig[s] = st
+}
+
+// insertCol returns cols with c inserted in ascending order, never
+// aliasing the input (signature states share their col slices).
+func insertCol(cols []int, c int) []int {
+	i := sort.SearchInts(cols, c)
+	out := make([]int, 0, len(cols)+1)
+	out = append(out, cols[:i]...)
+	out = append(out, c)
+	return append(out, cols[i:]...)
+}
+
+// removeCol returns cols without c, never aliasing the input.
+func removeCol(cols []int, c int) []int {
+	out := make([]int, 0, len(cols)-1)
+	for _, x := range cols {
+		if x != c {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Snapshot returns the immutable view of the current epoch, building it
+// on first request after a mutation (copy-on-write: the returned view
+// is never touched by later batches). The construction works entirely
+// off the signature-level state — O(|Λ(D)|·|P(D)|) plus subject-list
+// copies when KeepSubjects is set — and is bit-identical to
+// matrix.FromGraph on the same triples: retired columns are dropped and
+// the rest are ordered by property name.
+func (d *Dataset) Snapshot() *Snapshot {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if s := d.snap.Load(); s != nil && s.Epoch == d.epoch {
+		return s
+	}
+	s := &Snapshot{Epoch: d.epoch, View: d.buildView()}
+	d.snap.Store(s)
+	return s
+}
+
+// buildView materializes the current signature state. Caller holds at
+// least an RLock.
+func (d *Dataset) buildView() *matrix.View {
+	counts := d.tracker.Counts()
+	active := make([]int, 0, len(d.props))
+	for i := range d.props {
+		if counts[i] > 0 {
+			active = append(active, i)
+		}
+	}
+	names := make([]string, len(active))
+	for j, i := range active {
+		names[j] = d.props[i]
+	}
+	sort.Strings(names)
+	remap := make([]int, len(d.props))
+	for i := range remap {
+		remap[i] = -1
+	}
+	nameIdx := make(map[string]int, len(names))
+	for j, n := range names {
+		nameIdx[n] = j
+	}
+	for _, i := range active {
+		remap[i] = nameIdx[d.props[i]]
+	}
+
+	sigs := make([]matrix.Signature, 0, len(d.sigs))
+	for _, st := range d.sigs {
+		bits := bitset.New(len(names))
+		for _, c := range st.cols {
+			bits.Set(remap[c])
+		}
+		sg := matrix.Signature{Bits: bits, Count: len(st.subjects)}
+		if d.opts.KeepSubjects {
+			subs := make([]string, 0, len(st.subjects))
+			for s := range st.subjects {
+				subs = append(subs, s)
+			}
+			sort.Strings(subs)
+			sg.Subjects = subs
+		}
+		sigs = append(sigs, sg)
+	}
+	v, err := matrix.NewDistinct(names, sigs)
+	if err != nil {
+		// Unreachable: the signature invariants guarantee distinct,
+		// well-formed patterns. Fail loudly rather than serve a bad view.
+		panic("incr: snapshot construction: " + err.Error())
+	}
+	return v
+}
+
+// Sigma evaluates a counts-based measure (σCov, σSim) against the live
+// counts in O(|P|), no snapshot needed.
+func (d *Dataset) Sigma(fn rules.CountsFunc) rules.Ratio {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.tracker.Eval(fn)
+}
+
+// SigmaCov returns σCov of the live dataset.
+func (d *Dataset) SigmaCov() rules.Ratio { return d.Sigma(rules.CovFunc().(rules.CountsFunc)) }
+
+// SigmaSim returns σSim of the live dataset.
+func (d *Dataset) SigmaSim() rules.Ratio { return d.Sigma(rules.SimFunc().(rules.CountsFunc)) }
+
+// Stats summarizes the live dataset.
+type Stats struct {
+	Epoch      uint64 `json:"epoch"`
+	Triples    int    `json:"triples"`
+	Subjects   int    `json:"subjects"`
+	Properties int    `json:"properties"` // active (non-retired) columns
+	Signatures int    `json:"signatures"`
+	Added      uint64 `json:"added"`   // triples added over the dataset's lifetime
+	Removed    uint64 `json:"removed"` // triples removed over the dataset's lifetime
+}
+
+// Stats returns current dataset statistics in O(|P|).
+func (d *Dataset) Stats() Stats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	activeProps := 0
+	for _, c := range d.tracker.Counts() {
+		if c > 0 {
+			activeProps++
+		}
+	}
+	return Stats{
+		Epoch:      d.epoch,
+		Triples:    d.g.Len(),
+		Subjects:   d.g.SubjectCount(),
+		Properties: activeProps,
+		Signatures: len(d.sigs),
+		Added:      d.added,
+		Removed:    d.removed,
+	}
+}
+
+// Contains reports whether the triple is currently in the dataset.
+func (d *Dataset) Contains(t rdf.Triple) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.g.Contains(t)
+}
+
+// Epoch returns the current epoch.
+func (d *Dataset) Epoch() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.epoch
+}

@@ -1,0 +1,211 @@
+package incr
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/matrix"
+	"repro/internal/refine"
+	"repro/internal/rules"
+)
+
+// RefineMode selects the search strategy a Refiner re-runs.
+type RefineMode int
+
+// Modes.
+const (
+	// ModeLowestK finds the smallest k admitting a refinement at the
+	// fixed threshold Theta1/Theta2.
+	ModeLowestK RefineMode = iota
+	// ModeHighestTheta finds the highest threshold at the fixed K.
+	ModeHighestTheta
+)
+
+// RefinerOptions configures a Refiner.
+type RefinerOptions struct {
+	// Rule enables the exact engine; Fn is the evaluator (one of the
+	// two must be set, as in refine.Problem).
+	Rule *rules.Rule
+	Fn   rules.Func
+	Mode RefineMode
+	// K is the sort budget for ModeHighestTheta.
+	K int
+	// Theta1/Theta2 is the threshold for ModeLowestK.
+	Theta1, Theta2 int64
+	// Drift is the σ-drift policy: a refresh re-runs the search only
+	// when the dataset's σ moved at least this far (absolute) from its
+	// value at the previous refinement. 0 means any mutation triggers;
+	// the default 0.01 matches the paper's θ grid granularity.
+	Drift float64
+	// Search configures the underlying engine. Heuristic.Warm is
+	// overwritten by the refiner: every re-run is warm-started from the
+	// previous assignment via refine.WarmStart.
+	Search refine.SearchOptions
+}
+
+// Result is one completed refinement against a snapshot.
+type Result struct {
+	// Epoch and View identify the snapshot the refinement was computed
+	// against (View is that snapshot's immutable view).
+	Epoch uint64
+	View  *matrix.View
+	// Outcome is the strategy result (refinement, θ or k found, timing).
+	Outcome *refine.Outcome
+	// Sigma is σ(D) at refinement time under the drift measure.
+	Sigma float64
+	// Warm reports whether the search was warm-started.
+	Warm bool
+}
+
+// Refiner keeps a dataset's refinement warm under continuous updates:
+// Refresh re-runs the configured search only when the σ-drift policy
+// demands it, seeding the local search from the previous assignment
+// (refine.WarmStart maps it across signature churn, new signatures
+// joining the Hamming-nearest sort).
+type Refiner struct {
+	d    *Dataset
+	opts RefinerOptions
+
+	// runMu serializes searches; mu guards only last, so Last and
+	// NeedsRefresh (and thus /stats) stay O(|P|) while a search runs.
+	runMu sync.Mutex
+	mu    sync.Mutex
+	last  *Result
+}
+
+// NewRefiner returns a refiner for d. Defaults: σCov, ModeLowestK at
+// θ = 9/10, drift 0.01.
+func NewRefiner(d *Dataset, opts RefinerOptions) *Refiner {
+	if opts.Fn == nil && opts.Rule == nil {
+		opts.Fn = rules.CovFunc()
+	}
+	if opts.Mode == ModeLowestK && opts.Theta2 == 0 {
+		opts.Theta1, opts.Theta2 = 9, 10
+	}
+	if opts.Mode == ModeHighestTheta && opts.K == 0 {
+		opts.K = 2
+	}
+	if opts.Drift == 0 {
+		opts.Drift = 0.01
+	}
+	return &Refiner{d: d, opts: opts}
+}
+
+// Last returns the most recent result, or nil before the first Refresh.
+func (r *Refiner) Last() *Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.last
+}
+
+// evalFn resolves the measure used for both the search and the drift
+// policy.
+func (r *Refiner) evalFn() rules.Func {
+	if r.opts.Fn != nil {
+		return r.opts.Fn
+	}
+	return rules.FuncForRule(r.opts.Rule)
+}
+
+// sigmaNow computes the dataset's current σ under the drift measure —
+// O(|P|) for the closed forms, falling back to a snapshot evaluation
+// for generic rules.
+func (r *Refiner) sigmaNow() (float64, error) {
+	if cf, ok := r.evalFn().(rules.CountsFunc); ok {
+		return r.d.Sigma(cf).Value(), nil
+	}
+	v, err := r.evalFn().Eval(r.d.Snapshot().View)
+	if err != nil {
+		return 0, err
+	}
+	return v.Value(), nil
+}
+
+// NeedsRefresh reports whether a Refresh would re-run the search: no
+// result yet, or the dataset mutated and σ drifted past the policy.
+func (r *Refiner) NeedsRefresh() (bool, error) {
+	last := r.Last()
+	if last == nil {
+		return true, nil
+	}
+	if r.d.Epoch() == last.Epoch {
+		return false, nil
+	}
+	now, err := r.sigmaNow()
+	if err != nil {
+		return false, err
+	}
+	return abs(now-last.Sigma) >= r.opts.Drift, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Refresh re-runs the search when forced or when the drift policy
+// triggers, and returns the governing result plus whether a new search
+// ran. Concurrent Refresh calls serialize; each runs against the
+// snapshot current at its start, so ingestion continues meanwhile.
+func (r *Refiner) Refresh(force bool) (*Result, bool, error) {
+	if !force {
+		need, err := r.NeedsRefresh()
+		if err != nil {
+			return nil, false, err
+		}
+		if !need {
+			return r.Last(), false, nil
+		}
+	}
+	r.runMu.Lock()
+	defer r.runMu.Unlock()
+	last := r.Last()
+	snap := r.d.Snapshot()
+	if last != nil && last.Epoch == snap.Epoch && !force {
+		return last, false, nil
+	}
+	if snap.View.NumSignatures() == 0 {
+		return nil, false, fmt.Errorf("incr: refine on empty dataset")
+	}
+	search := r.opts.Search
+	warm := false
+	if last != nil && last.Outcome != nil && last.Outcome.Refinement != nil {
+		if w := refine.WarmStart(last.View, last.Outcome.Refinement.Assignment, snap.View); w != nil {
+			search.Heuristic.Warm = w
+			warm = true
+		}
+	}
+	var out *refine.Outcome
+	var err error
+	switch r.opts.Mode {
+	case ModeHighestTheta:
+		out, err = refine.HighestTheta(snap.View, r.opts.Rule, r.opts.Fn, r.opts.K, search)
+	default:
+		out, err = refine.LowestK(snap.View, r.opts.Rule, r.opts.Fn, r.opts.Theta1, r.opts.Theta2, search)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	sigma, err := r.sigmaAt(snap)
+	if err != nil {
+		return nil, false, err
+	}
+	res := &Result{Epoch: snap.Epoch, View: snap.View, Outcome: out, Sigma: sigma, Warm: warm}
+	r.mu.Lock()
+	r.last = res
+	r.mu.Unlock()
+	return res, true, nil
+}
+
+// sigmaAt evaluates the drift measure against the refined snapshot
+// itself, so Result.Sigma describes exactly the state the refinement
+// was computed on even if ingestion advanced meanwhile.
+func (r *Refiner) sigmaAt(snap *Snapshot) (float64, error) {
+	v, err := r.evalFn().Eval(snap.View)
+	if err != nil {
+		return 0, err
+	}
+	return v.Value(), nil
+}

@@ -169,6 +169,39 @@ func New(props []string, sigs []Signature) (*View, error) {
 	return v, nil
 }
 
+// NewDistinct builds a view from signatures known to have pairwise
+// distinct bit patterns — the invariant the incremental engine
+// maintains per epoch — skipping New's merge pass and key
+// materialization, so snapshot construction is O(signatures · |P|/64).
+// The signature structs (bit sets and subject slices included) are
+// taken over by the view, not cloned; callers must hand over fresh
+// copies and never mutate them afterwards.
+func NewDistinct(props []string, sigs []Signature) (*View, error) {
+	propIndex := make(map[string]int, len(props))
+	for i, p := range props {
+		if _, dup := propIndex[p]; dup {
+			return nil, fmt.Errorf("matrix: duplicate property %q", p)
+		}
+		propIndex[p] = i
+	}
+	total := 0
+	for _, sg := range sigs {
+		if sg.Bits.Len() != len(props) {
+			return nil, fmt.Errorf("matrix: signature capacity %d != %d properties", sg.Bits.Len(), len(props))
+		}
+		if sg.Count <= 0 {
+			return nil, fmt.Errorf("matrix: non-positive signature count %d", sg.Count)
+		}
+		if sg.Subjects != nil && len(sg.Subjects) != sg.Count {
+			return nil, fmt.Errorf("matrix: %d subjects but count %d", len(sg.Subjects), sg.Count)
+		}
+		total += sg.Count
+	}
+	v := &View{props: props, propIndex: propIndex, sigs: sigs, subjects: total}
+	v.sortSigs()
+	return v, nil
+}
+
 func (v *View) sortSigs() {
 	sort.Slice(v.sigs, func(i, j int) bool {
 		if v.sigs[i].Count != v.sigs[j].Count {

@@ -10,10 +10,13 @@ type Graph struct {
 	triples []Triple
 	// bySubject maps subject URI -> indices into triples, insertion order.
 	bySubject map[string][]int
-	// present deduplicates triples.
-	present map[tripleKey]struct{}
+	// present deduplicates triples and locates them for removal.
+	present map[tripleKey]int
 	// propSubjects maps predicate URI -> set of subjects having it.
 	propSubjects map[string]map[string]struct{}
+	// dead marks removed slots in triples; compacted away once they
+	// outnumber the live triples.
+	dead map[int]struct{}
 }
 
 type tripleKey struct {
@@ -26,8 +29,9 @@ type tripleKey struct {
 func NewGraph() *Graph {
 	return &Graph{
 		bySubject:    make(map[string][]int),
-		present:      make(map[tripleKey]struct{}),
+		present:      make(map[tripleKey]int),
 		propSubjects: make(map[string]map[string]struct{}),
+		dead:         make(map[int]struct{}),
 	}
 }
 
@@ -41,7 +45,7 @@ func (g *Graph) Add(t Triple) bool {
 	if _, dup := g.present[k]; dup {
 		return false
 	}
-	g.present[k] = struct{}{}
+	g.present[k] = len(g.triples)
 	g.bySubject[t.Subject] = append(g.bySubject[t.Subject], len(g.triples))
 	ps := g.propSubjects[t.Predicate]
 	if ps == nil {
@@ -51,6 +55,83 @@ func (g *Graph) Add(t Triple) bool {
 	ps[t.Subject] = struct{}{}
 	g.triples = append(g.triples, t)
 	return true
+}
+
+// Remove deletes t if present and reports whether it was removed. The
+// subject and predicate indexes are cleaned up: bySubject and
+// propSubjects entries are dropped when they empty, so Subjects,
+// Properties, HasProperty and HasSubject reflect the removal exactly as
+// if the graph had been rebuilt without t.
+func (g *Graph) Remove(t Triple) bool {
+	k := key(t)
+	i, ok := g.present[k]
+	if !ok {
+		return false
+	}
+	delete(g.present, k)
+	g.dead[i] = struct{}{}
+
+	idx := g.bySubject[t.Subject]
+	for j, x := range idx {
+		if x == i {
+			idx = append(idx[:j], idx[j+1:]...)
+			break
+		}
+	}
+	if len(idx) == 0 {
+		delete(g.bySubject, t.Subject)
+	} else {
+		g.bySubject[t.Subject] = idx
+	}
+
+	// The subject keeps the predicate only if another of its triples
+	// still uses it.
+	still := false
+	for _, j := range idx {
+		if g.triples[j].Predicate == t.Predicate {
+			still = true
+			break
+		}
+	}
+	if !still {
+		if ps := g.propSubjects[t.Predicate]; ps != nil {
+			delete(ps, t.Subject)
+			if len(ps) == 0 {
+				delete(g.propSubjects, t.Predicate)
+			}
+		}
+	}
+
+	if len(g.dead) > len(g.triples)/2 && len(g.dead) >= 64 {
+		g.compact()
+	}
+	return true
+}
+
+// compact rewrites the triple slice without dead slots, preserving
+// insertion order, and reindexes present and bySubject.
+func (g *Graph) compact() {
+	live := make([]Triple, 0, len(g.triples)-len(g.dead))
+	remap := make([]int, len(g.triples))
+	for i, t := range g.triples {
+		if _, gone := g.dead[i]; gone {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(live)
+		live = append(live, t)
+	}
+	g.triples = live
+	g.dead = make(map[int]struct{})
+	for k, i := range g.present {
+		g.present[k] = remap[i]
+	}
+	for s, idx := range g.bySubject {
+		for j, i := range idx {
+			idx[j] = remap[i]
+		}
+		g.bySubject[s] = idx
+	}
 }
 
 // AddURI is shorthand for adding (s, p, <o>).
@@ -70,11 +151,22 @@ func (g *Graph) Contains(t Triple) bool {
 }
 
 // Len returns the number of triples.
-func (g *Graph) Len() int { return len(g.triples) }
+func (g *Graph) Len() int { return len(g.triples) - len(g.dead) }
 
 // Triples returns the triples in insertion order. The slice must not be
 // modified.
-func (g *Graph) Triples() []Triple { return g.triples }
+func (g *Graph) Triples() []Triple {
+	if len(g.dead) == 0 {
+		return g.triples
+	}
+	out := make([]Triple, 0, g.Len())
+	for i, t := range g.triples {
+		if _, gone := g.dead[i]; !gone {
+			out = append(out, t)
+		}
+	}
+	return out
+}
 
 // Subjects returns S(D): the distinct subjects, sorted.
 func (g *Graph) Subjects() []string {
@@ -120,6 +212,15 @@ func (g *Graph) SubjectTriples(s string) []Triple {
 
 // SubjectCount returns |S(D)| without materializing the subject list.
 func (g *Graph) SubjectCount() int { return len(g.bySubject) }
+
+// HasSubject reports whether s has at least one triple in the graph.
+func (g *Graph) HasSubject(s string) bool {
+	_, ok := g.bySubject[s]
+	return ok
+}
+
+// SubjectDegree returns the number of triples whose subject is s.
+func (g *Graph) SubjectDegree(s string) int { return len(g.bySubject[s]) }
 
 // PropertyCount returns |P(D)|.
 func (g *Graph) PropertyCount() int { return len(g.propSubjects) }

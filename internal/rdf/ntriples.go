@@ -19,30 +19,73 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("ntriples: line %d col %d: %s", e.Line, e.Col, e.Msg)
 }
 
-// ParseNTriples reads N-Triples from r into a new graph. It supports
-// the core grammar the paper's datasets need: URI subjects/predicates,
-// URI or literal objects (with language tags and datatype annotations,
-// which are parsed and discarded since the property-structure view only
-// records presence), comments (#) and blank lines. Blank nodes are
-// accepted in subject/object position and treated as URIs with a _:
-// prefix.
-func ParseNTriples(r io.Reader) (*Graph, error) {
-	g := NewGraph()
+// NTriplesDecoder streams triples out of an N-Triples document one
+// line at a time, holding only the current line in memory — the way
+// rdfserved and the CLIs ingest large dumps with bounded memory.
+type NTriplesDecoder struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewNTriplesDecoder returns a decoder reading from r.
+func NewNTriplesDecoder(r io.Reader) *NTriplesDecoder {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		t, ok, err := ParseNTriplesLine(sc.Text(), lineNo)
+	return &NTriplesDecoder{sc: sc}
+}
+
+// Next returns the next triple. Blank and comment-only lines are
+// skipped. At end of input it returns io.EOF.
+func (d *NTriplesDecoder) Next() (Triple, error) {
+	for d.sc.Scan() {
+		d.line++
+		t, ok, err := ParseNTriplesLine(d.sc.Text(), d.line)
 		if err != nil {
-			return nil, err
+			return Triple{}, err
 		}
 		if ok {
-			g.Add(t)
+			return t, nil
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("ntriples: read: %w", err)
+	if err := d.sc.Err(); err != nil {
+		return Triple{}, fmt.Errorf("ntriples: read: %w", err)
+	}
+	return Triple{}, io.EOF
+}
+
+// Line returns the number of the last line consumed (1-based).
+func (d *NTriplesDecoder) Line() int { return d.line }
+
+// ReadNTriples streams N-Triples from r, calling emit for every triple
+// in document order. Memory use is bounded by the longest line. It
+// supports the core grammar the paper's datasets need: URI
+// subjects/predicates, URI or literal objects (with language tags and
+// datatype annotations, which are parsed and discarded since the
+// property-structure view only records presence), comments (#) and
+// blank lines. Blank nodes are accepted in subject/object position and
+// treated as URIs with a _: prefix.
+func ReadNTriples(r io.Reader, emit func(Triple) error) error {
+	d := NewNTriplesDecoder(r)
+	for {
+		t, err := d.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+}
+
+// ParseNTriples reads N-Triples from r into a new graph. See
+// ReadNTriples for the supported grammar.
+func ParseNTriples(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	if err := ReadNTriples(r, func(t Triple) error { g.Add(t); return nil }); err != nil {
+		return nil, err
 	}
 	return g, nil
 }

@@ -200,6 +200,124 @@ func TestQuickRoundTrip(t *testing.T) {
 	}
 }
 
+func TestGraphRemove(t *testing.T) {
+	g := NewGraph()
+	g.AddURI("s1", "p1", "o1")
+	g.AddURI("s1", "p1", "o2")
+	g.AddURI("s1", "p2", "o1")
+	g.AddURI("s2", "p1", "o1")
+
+	if g.Remove(Triple{Subject: "sX", Predicate: "p1", Object: NewURI("o1")}) {
+		t.Fatal("removed absent triple")
+	}
+	// Removing one of two p1 triples keeps the property on s1.
+	if !g.Remove(Triple{Subject: "s1", Predicate: "p1", Object: NewURI("o1")}) {
+		t.Fatal("Remove returned false for present triple")
+	}
+	if g.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", g.Len())
+	}
+	if !g.HasProperty("s1", "p1") {
+		t.Fatal("s1 lost p1 while (s1,p1,o2) remains")
+	}
+	if g.Contains(Triple{Subject: "s1", Predicate: "p1", Object: NewURI("o1")}) {
+		t.Fatal("removed triple still Contains")
+	}
+	// Removing the second drops the property for s1 but keeps it for s2.
+	g.Remove(Triple{Subject: "s1", Predicate: "p1", Object: NewURI("o2")})
+	if g.HasProperty("s1", "p1") {
+		t.Fatal("s1 still has p1")
+	}
+	if !g.HasProperty("s2", "p1") {
+		t.Fatal("s2 lost p1")
+	}
+	// Removing s1's last triple drops the subject entirely.
+	g.Remove(Triple{Subject: "s1", Predicate: "p2", Object: NewURI("o1")})
+	if g.HasSubject("s1") || g.SubjectCount() != 1 {
+		t.Fatalf("s1 not dropped; subjects = %v", g.Subjects())
+	}
+	if got := g.Properties(); len(got) != 1 || got[0] != "p1" {
+		t.Fatalf("Properties = %v, want [p1]", got)
+	}
+	// Removed triples can be re-added.
+	if !g.AddURI("s1", "p2", "o1") {
+		t.Fatal("re-Add after Remove failed")
+	}
+	if !g.HasSubject("s1") || !g.HasProperty("s1", "p2") {
+		t.Fatal("re-added triple not indexed")
+	}
+}
+
+// Property: a random interleaving of adds and removes leaves the graph
+// identical (triple set, indexes, accessors) to one built from only the
+// surviving triples.
+func TestGraphRemoveEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := NewGraph()
+	var alive []Triple
+	mk := func() Triple {
+		return Triple{
+			Subject:   "s" + string(rune('a'+rng.Intn(8))),
+			Predicate: "p" + string(rune('a'+rng.Intn(5))),
+			Object:    NewURI("o" + string(rune('a'+rng.Intn(6)))),
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		if len(alive) > 0 && rng.Intn(2) == 0 {
+			j := rng.Intn(len(alive))
+			if !g.Remove(alive[j]) {
+				t.Fatalf("Remove of live triple %v failed", alive[j])
+			}
+			alive = append(alive[:j], alive[j+1:]...)
+		} else {
+			tr := mk()
+			if g.Add(tr) {
+				alive = append(alive, tr)
+			}
+		}
+	}
+	want := NewGraph()
+	for _, tr := range alive {
+		want.Add(tr)
+	}
+	if g.Len() != want.Len() {
+		t.Fatalf("Len = %d, want %d", g.Len(), want.Len())
+	}
+	for _, tr := range want.Triples() {
+		if !g.Contains(tr) {
+			t.Fatalf("missing %v", tr)
+		}
+	}
+	gs, ws := g.Subjects(), want.Subjects()
+	if len(gs) != len(ws) {
+		t.Fatalf("Subjects = %v, want %v", gs, ws)
+	}
+	for i := range gs {
+		if gs[i] != ws[i] {
+			t.Fatalf("Subjects = %v, want %v", gs, ws)
+		}
+	}
+	gp, wp := g.Properties(), want.Properties()
+	if len(gp) != len(wp) {
+		t.Fatalf("Properties = %v, want %v", gp, wp)
+	}
+	for i := range gp {
+		if gp[i] != wp[i] {
+			t.Fatalf("Properties = %v, want %v", gp, wp)
+		}
+		for _, s := range ws {
+			if g.HasProperty(s, gp[i]) != want.HasProperty(s, gp[i]) {
+				t.Fatalf("HasProperty(%s, %s) diverges", s, gp[i])
+			}
+		}
+	}
+	for _, s := range ws {
+		if g.SubjectDegree(s) != want.SubjectDegree(s) {
+			t.Fatalf("SubjectDegree(%s) = %d, want %d", s, g.SubjectDegree(s), want.SubjectDegree(s))
+		}
+	}
+}
+
 func TestMerge(t *testing.T) {
 	a := NewGraph()
 	a.AddURI("s1", "p", "o")

@@ -1,50 +1,122 @@
 package rdf
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"strings"
 	"unicode/utf8"
 )
 
-// ParseTurtle reads a practical subset of the Turtle syntax into a new
-// graph: @prefix and @base directives, prefixed names, the `a` keyword
-// for rdf:type, predicate lists (`;`), object lists (`,`), quoted and
-// long-quoted literals with language tags or datatypes, numeric and
-// boolean literal shorthands, and comments. Blank node property lists
-// and collections are not supported (the paper's datasets do not use
-// them); encountering one is an error, not a silent skip.
-func ParseTurtle(r io.Reader) (*Graph, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("turtle: read: %w", err)
+// ReadTurtle streams a practical subset of the Turtle syntax from r,
+// calling emit for every triple in document order: @prefix and @base
+// directives, prefixed names, the `a` keyword for rdf:type, predicate
+// lists (`;`), object lists (`,`), quoted and long-quoted literals with
+// language tags or datatypes, numeric and boolean literal shorthands,
+// and comments. Blank node property lists and collections are not
+// supported (the paper's datasets do not use them); encountering one is
+// an error, not a silent skip.
+//
+// The reader is incremental: input is pulled through a window buffer
+// that is discarded statement by statement, so memory use is bounded by
+// the largest single statement, not the document size.
+func ReadTurtle(r io.Reader, emit func(Triple) error) error {
+	p := &turtleParser{
+		r:        bufio.NewReaderSize(r, 64*1024),
+		prefixes: map[string]string{},
+		emit:     emit,
 	}
-	p := &turtleParser{src: string(data), prefixes: map[string]string{}, g: NewGraph()}
-	if err := p.parse(); err != nil {
+	err := p.parse()
+	// An underlying read error outranks the syntax error the resulting
+	// truncation may have produced.
+	if p.readErr != nil {
+		return fmt.Errorf("turtle: read: %w", p.readErr)
+	}
+	return err
+}
+
+// ParseTurtle reads Turtle from r into a new graph. See ReadTurtle for
+// the supported grammar.
+func ParseTurtle(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	if err := ReadTurtle(r, func(t Triple) error { g.Add(t); return nil }); err != nil {
 		return nil, err
 	}
-	return p.g, nil
+	return g, nil
 }
 
 type turtleParser struct {
-	src      string
+	r *bufio.Reader
+	// buf[i:] is the unconsumed window; fill appends, and the consumed
+	// prefix is dropped between top-level statements.
+	buf      []byte
 	i        int
+	atEOF    bool
+	readErr  error // non-EOF read failure; surfaced by ReadTurtle
 	line     int
 	prefixes map[string]string
 	base     string
-	g        *Graph
-	blankSeq int
+	emit     func(Triple) error
 }
 
 func (p *turtleParser) errf(format string, args ...interface{}) error {
 	return &ParseError{Line: p.line + 1, Col: 0, Msg: "turtle: " + fmt.Sprintf(format, args...)}
 }
 
-func (p *turtleParser) eof() bool { return p.i >= len(p.src) }
+// fill ensures at least n unconsumed bytes are buffered, reading more
+// input as needed, and reports whether it succeeded (false near end of
+// input — true EOF or a read failure, recorded in readErr).
+func (p *turtleParser) fill(n int) bool {
+	for len(p.buf)-p.i < n && !p.atEOF {
+		if cap(p.buf)-len(p.buf) < 4096 {
+			grown := make([]byte, len(p.buf), 2*cap(p.buf)+64*1024)
+			copy(grown, p.buf)
+			p.buf = grown
+		}
+		m, err := p.r.Read(p.buf[len(p.buf):cap(p.buf)])
+		p.buf = p.buf[:len(p.buf)+m]
+		if err != nil {
+			p.atEOF = true
+			if err != io.EOF {
+				p.readErr = err
+			}
+		}
+	}
+	return len(p.buf)-p.i >= n
+}
+
+// compactWindow drops the consumed prefix; called between statements so
+// buffered memory stays bounded by one statement.
+func (p *turtleParser) compactWindow() {
+	if p.i == 0 {
+		return
+	}
+	p.buf = append(p.buf[:0], p.buf[p.i:]...)
+	p.i = 0
+}
+
+func (p *turtleParser) eof() bool                 { return !p.fill(1) }
+func (p *turtleParser) cur() byte                 { return p.buf[p.i] }
+func (p *turtleParser) str(start, end int) string { return string(p.buf[start:end]) }
+
+// hasPrefix reports whether the unconsumed input starts with s; it does
+// not consume. Allocation-free: it runs once per byte when scanning for
+// a long literal's closing quotes.
+func (p *turtleParser) hasPrefix(s string) bool {
+	if !p.fill(len(s)) {
+		return false
+	}
+	for j := 0; j < len(s); j++ {
+		if p.buf[p.i+j] != s[j] {
+			return false
+		}
+	}
+	return true
+}
 
 func (p *turtleParser) skipWS() {
 	for !p.eof() {
-		c := p.src[p.i]
+		c := p.cur()
 		switch {
 		case c == '\n':
 			p.line++
@@ -52,7 +124,7 @@ func (p *turtleParser) skipWS() {
 		case c == ' ' || c == '\t' || c == '\r':
 			p.i++
 		case c == '#':
-			for !p.eof() && p.src[p.i] != '\n' {
+			for !p.eof() && p.cur() != '\n' {
 				p.i++
 			}
 		default:
@@ -64,6 +136,7 @@ func (p *turtleParser) skipWS() {
 func (p *turtleParser) parse() error {
 	for {
 		p.skipWS()
+		p.compactWindow()
 		if p.eof() {
 			return nil
 		}
@@ -88,31 +161,40 @@ func (p *turtleParser) parse() error {
 // hasKeyword reports whether the input continues with the keyword
 // (case-sensitive) followed by whitespace; it does not consume.
 func (p *turtleParser) hasKeyword(kw string) bool {
-	if !strings.HasPrefix(p.src[p.i:], kw) {
+	if !p.hasPrefix(kw) {
 		return false
 	}
-	j := p.i + len(kw)
-	return j < len(p.src) && (p.src[j] == ' ' || p.src[j] == '\t' || p.src[j] == '\n' || p.src[j] == '\r')
+	if !p.fill(len(kw) + 1) {
+		return false
+	}
+	c := p.buf[p.i+len(kw)]
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
 }
 
 func (p *turtleParser) consumeKeyword() string {
 	start := p.i
-	for !p.eof() && p.src[p.i] != ' ' && p.src[p.i] != '\t' && p.src[p.i] != '\n' {
+	for !p.eof() && p.cur() != ' ' && p.cur() != '\t' && p.cur() != '\n' {
 		p.i++
 	}
-	return p.src[start:p.i]
+	return p.str(start, p.i)
 }
 
 func (p *turtleParser) parsePrefix() error {
 	kw := p.consumeKeyword()
 	p.skipWS()
 	// prefix name ends with ':'
-	j := strings.IndexByte(p.src[p.i:], ':')
-	if j < 0 {
-		return p.errf("malformed %s: missing ':'", kw)
+	start := p.i
+	for {
+		if p.eof() {
+			return p.errf("malformed %s: missing ':'", kw)
+		}
+		if p.cur() == ':' {
+			break
+		}
+		p.i++
 	}
-	name := strings.TrimSpace(p.src[p.i : p.i+j])
-	p.i += j + 1
+	name := strings.TrimSpace(p.str(start, p.i))
+	p.i++
 	p.skipWS()
 	uri, err := p.parseIRIRef()
 	if err != nil {
@@ -121,7 +203,7 @@ func (p *turtleParser) parsePrefix() error {
 	p.prefixes[name] = uri
 	p.skipWS()
 	if kw == "@prefix" {
-		if p.eof() || p.src[p.i] != '.' {
+		if p.eof() || p.cur() != '.' {
 			return p.errf("@prefix missing terminating '.'")
 		}
 		p.i++
@@ -139,7 +221,7 @@ func (p *turtleParser) parseBase() error {
 	p.base = uri
 	p.skipWS()
 	if kw == "@base" {
-		if p.eof() || p.src[p.i] != '.' {
+		if p.eof() || p.cur() != '.' {
 			return p.errf("@base missing terminating '.'")
 		}
 		p.i++
@@ -164,9 +246,11 @@ func (p *turtleParser) parseTriples() error {
 			if err != nil {
 				return err
 			}
-			p.g.Add(Triple{Subject: subj, Predicate: pred, Object: obj})
+			if err := p.emit(Triple{Subject: subj, Predicate: pred, Object: obj}); err != nil {
+				return err
+			}
 			p.skipWS()
-			if !p.eof() && p.src[p.i] == ',' {
+			if !p.eof() && p.cur() == ',' {
 				p.i++
 				continue
 			}
@@ -176,12 +260,12 @@ func (p *turtleParser) parseTriples() error {
 		if p.eof() {
 			return p.errf("unexpected end of input, expected ';' or '.'")
 		}
-		switch p.src[p.i] {
+		switch p.cur() {
 		case ';':
 			p.i++
 			p.skipWS()
 			// A dangling ';' before '.' is legal Turtle.
-			if !p.eof() && p.src[p.i] == '.' {
+			if !p.eof() && p.cur() == '.' {
 				p.i++
 				return nil
 			}
@@ -190,7 +274,7 @@ func (p *turtleParser) parseTriples() error {
 			p.i++
 			return nil
 		default:
-			return p.errf("expected ';' or '.', got %q", p.src[p.i])
+			return p.errf("expected ';' or '.', got %q", p.cur())
 		}
 	}
 }
@@ -200,7 +284,7 @@ func (p *turtleParser) parseSubject() (string, error) {
 	if p.eof() {
 		return "", p.errf("expected subject")
 	}
-	switch p.src[p.i] {
+	switch p.cur() {
 	case '<':
 		return p.parseIRIRef()
 	case '_':
@@ -218,12 +302,14 @@ func (p *turtleParser) parsePredicate() (string, error) {
 		return "", p.errf("expected predicate")
 	}
 	// The `a` keyword.
-	if p.src[p.i] == 'a' && p.i+1 < len(p.src) &&
-		(p.src[p.i+1] == ' ' || p.src[p.i+1] == '\t' || p.src[p.i+1] == '\n') {
-		p.i++
-		return TypeURI, nil
+	if p.cur() == 'a' && p.fill(2) {
+		c := p.buf[p.i+1]
+		if c == ' ' || c == '\t' || c == '\n' {
+			p.i++
+			return TypeURI, nil
+		}
 	}
-	if p.src[p.i] == '<' {
+	if p.cur() == '<' {
 		return p.parseIRIRef()
 	}
 	return p.parsePrefixedName()
@@ -233,7 +319,7 @@ func (p *turtleParser) parseObject() (Term, error) {
 	if p.eof() {
 		return Term{}, p.errf("expected object")
 	}
-	switch c := p.src[p.i]; {
+	switch c := p.cur(); {
 	case c == '<':
 		u, err := p.parseIRIRef()
 		if err != nil {
@@ -254,7 +340,7 @@ func (p *turtleParser) parseObject() (Term, error) {
 		return p.parseTurtleLiteral(c)
 	case c == '+' || c == '-' || (c >= '0' && c <= '9'):
 		return p.parseNumericLiteral()
-	case strings.HasPrefix(p.src[p.i:], "true") || strings.HasPrefix(p.src[p.i:], "false"):
+	case p.hasPrefix("true") || p.hasPrefix("false"):
 		return p.parseBooleanLiteral()
 	}
 	u, err := p.parsePrefixedName()
@@ -265,13 +351,13 @@ func (p *turtleParser) parseObject() (Term, error) {
 }
 
 func (p *turtleParser) parseIRIRef() (string, error) {
-	if p.eof() || p.src[p.i] != '<' {
+	if p.eof() || p.cur() != '<' {
 		return "", p.errf("expected '<'")
 	}
 	p.i++
 	start := p.i
-	for !p.eof() && p.src[p.i] != '>' {
-		if p.src[p.i] == '\n' {
+	for !p.eof() && p.cur() != '>' {
+		if p.cur() == '\n' {
 			return "", p.errf("newline inside IRI")
 		}
 		p.i++
@@ -279,7 +365,7 @@ func (p *turtleParser) parseIRIRef() (string, error) {
 	if p.eof() {
 		return "", p.errf("unterminated IRI")
 	}
-	u := p.src[start:p.i]
+	u := p.str(start, p.i)
 	p.i++
 	if u == "" {
 		return "", p.errf("empty IRI")
@@ -294,17 +380,17 @@ func (p *turtleParser) parseIRIRef() (string, error) {
 
 func (p *turtleParser) parseBlankLabel() (string, error) {
 	start := p.i
-	if p.i+1 >= len(p.src) || p.src[p.i+1] != ':' {
+	if !p.fill(2) || p.buf[p.i+1] != ':' {
 		return "", p.errf("malformed blank node")
 	}
 	p.i += 2
-	for !p.eof() && isPNChar(rune(p.src[p.i])) {
+	for !p.eof() && isPNChar(rune(p.cur())) {
 		p.i++
 	}
 	if p.i == start+2 {
 		return "", p.errf("empty blank node label")
 	}
-	return p.src[start:p.i], nil
+	return p.str(start, p.i), nil
 }
 
 func isPNChar(r rune) bool {
@@ -314,19 +400,23 @@ func isPNChar(r rune) bool {
 
 func (p *turtleParser) parsePrefixedName() (string, error) {
 	start := p.i
-	for !p.eof() && isPNChar(rune(p.src[p.i])) {
+	for !p.eof() && isPNChar(rune(p.cur())) {
 		p.i++
 	}
-	if p.eof() || p.src[p.i] != ':' {
-		return "", p.errf("expected prefixed name, got %q", p.src[start:min(p.i+1, len(p.src))])
+	if p.eof() || p.cur() != ':' {
+		got := p.str(start, p.i)
+		if !p.eof() {
+			got = p.str(start, p.i+1)
+		}
+		return "", p.errf("expected prefixed name, got %q", got)
 	}
-	prefix := p.src[start:p.i]
+	prefix := p.str(start, p.i)
 	p.i++
 	localStart := p.i
-	for !p.eof() && isPNChar(rune(p.src[p.i])) {
+	for !p.eof() && isPNChar(rune(p.cur())) {
 		p.i++
 	}
-	local := p.src[localStart:p.i]
+	local := p.str(localStart, p.i)
 	ns, ok := p.prefixes[prefix]
 	if !ok {
 		return "", p.errf("undeclared prefix %q", prefix)
@@ -335,26 +425,33 @@ func (p *turtleParser) parsePrefixedName() (string, error) {
 }
 
 func (p *turtleParser) parseTurtleLiteral(quote byte) (Term, error) {
-	long := strings.HasPrefix(p.src[p.i:], strings.Repeat(string(quote), 3))
+	end := strings.Repeat(string(quote), 3)
+	long := p.hasPrefix(end)
 	var value strings.Builder
 	if long {
 		p.i += 3
-		end := strings.Repeat(string(quote), 3)
-		j := strings.Index(p.src[p.i:], end)
-		if j < 0 {
-			return Term{}, p.errf("unterminated long literal")
+		for {
+			if p.hasPrefix(end) {
+				p.i += 3
+				break
+			}
+			if p.eof() {
+				return Term{}, p.errf("unterminated long literal")
+			}
+			c := p.cur()
+			if c == '\n' {
+				p.line++
+			}
+			value.WriteByte(c)
+			p.i++
 		}
-		raw := p.src[p.i : p.i+j]
-		p.line += strings.Count(raw, "\n")
-		p.i += j + 3
-		value.WriteString(raw)
 	} else {
 		p.i++
 		for {
-			if p.eof() || p.src[p.i] == '\n' {
+			if p.eof() || p.cur() == '\n' {
 				return Term{}, p.errf("unterminated literal")
 			}
-			c := p.src[p.i]
+			c := p.cur()
 			if c == quote {
 				p.i++
 				break
@@ -364,7 +461,7 @@ func (p *turtleParser) parseTurtleLiteral(quote byte) (Term, error) {
 				if p.eof() {
 					return Term{}, p.errf("dangling escape")
 				}
-				esc := p.src[p.i]
+				esc := p.cur()
 				p.i++
 				switch esc {
 				case 't':
@@ -380,12 +477,12 @@ func (p *turtleParser) parseTurtleLiteral(quote byte) (Term, error) {
 					if esc == 'U' {
 						n = 8
 					}
-					if p.i+n > len(p.src) {
+					if !p.fill(n) {
 						return Term{}, p.errf("truncated \\%c escape", esc)
 					}
 					var r rune
 					for j := 0; j < n; j++ {
-						d := hexVal(p.src[p.i+j])
+						d := hexVal(p.buf[p.i+j])
 						if d < 0 {
 							return Term{}, p.errf("bad hex digit in escape")
 						}
@@ -406,14 +503,14 @@ func (p *turtleParser) parseTurtleLiteral(quote byte) (Term, error) {
 		}
 	}
 	// Optional language tag or datatype (discarded: presence-only view).
-	if !p.eof() && p.src[p.i] == '@' {
+	if !p.eof() && p.cur() == '@' {
 		p.i++
-		for !p.eof() && (isPNChar(rune(p.src[p.i]))) {
+		for !p.eof() && (isPNChar(rune(p.cur()))) {
 			p.i++
 		}
-	} else if strings.HasPrefix(p.src[p.i:], "^^") {
+	} else if p.hasPrefix("^^") {
 		p.i += 2
-		if !p.eof() && p.src[p.i] == '<' {
+		if !p.eof() && p.cur() == '<' {
 			if _, err := p.parseIRIRef(); err != nil {
 				return Term{}, err
 			}
@@ -428,16 +525,16 @@ func (p *turtleParser) parseTurtleLiteral(quote byte) (Term, error) {
 
 func (p *turtleParser) parseNumericLiteral() (Term, error) {
 	start := p.i
-	if p.src[p.i] == '+' || p.src[p.i] == '-' {
+	if p.cur() == '+' || p.cur() == '-' {
 		p.i++
 	}
 	seen := false
 	for !p.eof() {
-		c := p.src[p.i]
+		c := p.cur()
 		if (c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' {
 			// A '.' followed by whitespace terminates the statement, not
 			// the number.
-			if c == '.' && (p.i+1 >= len(p.src) || !isDigit(p.src[p.i+1])) {
+			if c == '.' && (!p.fill(2) || !isDigit(p.buf[p.i+1])) {
 				break
 			}
 			seen = seen || (c >= '0' && c <= '9')
@@ -449,23 +546,16 @@ func (p *turtleParser) parseNumericLiteral() (Term, error) {
 	if !seen {
 		return Term{}, p.errf("malformed numeric literal")
 	}
-	return NewLiteral(p.src[start:p.i]), nil
+	return NewLiteral(p.str(start, p.i)), nil
 }
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
 func (p *turtleParser) parseBooleanLiteral() (Term, error) {
-	if strings.HasPrefix(p.src[p.i:], "true") {
+	if p.hasPrefix("true") {
 		p.i += 4
 		return NewLiteral("true"), nil
 	}
 	p.i += 5
 	return NewLiteral("false"), nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,6 +1,8 @@
 package rdf
 
 import (
+	"errors"
+	"io"
 	"strings"
 	"testing"
 )
@@ -137,5 +139,112 @@ ex:s a ex:T ; ex:name "n" ; ex:other ex:o .
 		if !g2.Contains(tr) {
 			t.Errorf("turtle graph missing %v", tr)
 		}
+	}
+}
+
+// oneByteReader yields one byte per Read, forcing the streaming parser
+// through every fill/refill boundary.
+type oneByteReader struct{ s string }
+
+func (r *oneByteReader) Read(p []byte) (int, error) {
+	if len(r.s) == 0 {
+		return 0, io.EOF
+	}
+	p[0] = r.s[0]
+	r.s = r.s[1:]
+	return 1, nil
+}
+
+func TestReadTurtleStreaming(t *testing.T) {
+	src := `
+@prefix ex: <http://ex/> .
+ex:alice a ex:Person ;
+    ex:name """multi
+line""" ;
+    ex:knows ex:bob, ex:carol .
+ex:bob ex:age 42 .
+`
+	want, err := ParseTurtle(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Triple
+	if err := ReadTurtle(&oneByteReader{s: src}, func(tr Triple) error {
+		got = append(got, tr)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != want.Len() {
+		t.Fatalf("streamed %d triples, want %d", len(got), want.Len())
+	}
+	for _, tr := range got {
+		if !want.Contains(tr) {
+			t.Fatalf("streamed unexpected triple %v", tr)
+		}
+	}
+	// Emit errors abort the stream.
+	stop := errors.New("stop")
+	n := 0
+	err = ReadTurtle(strings.NewReader(src), func(Triple) error {
+		n++
+		return stop
+	})
+	if err != stop || n != 1 {
+		t.Fatalf("emit error not propagated: err=%v n=%d", err, n)
+	}
+}
+
+func TestNTriplesDecoder(t *testing.T) {
+	src := "# comment\n<http://ex/s> <http://ex/p> <http://ex/o> .\n\n<http://ex/s> <http://ex/q> \"v\" .\n"
+	d := NewNTriplesDecoder(&oneByteReader{s: src})
+	var got []Triple
+	for {
+		tr, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, tr)
+	}
+	if len(got) != 2 {
+		t.Fatalf("decoded %d triples, want 2", len(got))
+	}
+	if d.Line() != 4 {
+		t.Fatalf("Line = %d, want 4", d.Line())
+	}
+	if got[0].Predicate != "http://ex/p" || got[1].Predicate != "http://ex/q" {
+		t.Fatalf("wrong order: %v", got)
+	}
+}
+
+// errAfterReader yields s, then a non-EOF error.
+type errAfterReader struct {
+	s   string
+	err error
+}
+
+func (r *errAfterReader) Read(p []byte) (int, error) {
+	if len(r.s) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.s)
+	r.s = r.s[n:]
+	return n, nil
+}
+
+func TestReadTurtlePropagatesReadErrors(t *testing.T) {
+	boom := errors.New("disk on fire")
+	// Truncation lands between statements: without error propagation the
+	// parse would silently succeed with one triple.
+	src := "<http://ex/s> <http://ex/p> <http://ex/o> .\n"
+	err := ReadTurtle(&errAfterReader{s: src, err: boom}, func(Triple) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("read error not propagated: %v", err)
+	}
+	if _, err := ParseTurtle(&errAfterReader{s: src, err: boom}); !errors.Is(err, boom) {
+		t.Fatalf("ParseTurtle swallowed read error: %v", err)
 	}
 }

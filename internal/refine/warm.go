@@ -1,0 +1,92 @@
+package refine
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/matrix"
+)
+
+// WarmStart maps an assignment computed on a previous view onto a new
+// view of the same (evolved) dataset, so re-refinement after a batch of
+// updates starts from the previous solution instead of from scratch.
+// Signatures whose property sets survive unchanged keep their sort; new
+// or mutated signatures are seeded into the sort of the Hamming-nearest
+// previous signature (distance over property bits, aligned by property
+// name so the two views may disagree on columns), ties broken by the
+// lowest previous index. Returns nil when assign does not cover prev.
+//
+// The result uses prev's sort labels; SolveHeuristic folds them into
+// [0, k) for the problem at hand (see HeuristicOptions.Warm).
+func WarmStart(prev *matrix.View, assign Assignment, next *matrix.View) Assignment {
+	if prev == nil || next == nil || len(assign) != prev.NumSignatures() || len(assign) == 0 {
+		return nil
+	}
+	// Align both views' signatures in the union property space.
+	union := append([]string(nil), prev.Properties()...)
+	seen := make(map[string]bool, len(union))
+	for _, p := range union {
+		seen[p] = true
+	}
+	for _, p := range next.Properties() {
+		if !seen[p] {
+			seen[p] = true
+			union = append(union, p)
+		}
+	}
+	unionIdx := make(map[string]int, len(union))
+	for i, p := range union {
+		unionIdx[p] = i
+	}
+	lift := func(v *matrix.View) []bitset.Set {
+		cols := make([]int, v.NumProperties())
+		for i, p := range v.Properties() {
+			cols[i] = unionIdx[p]
+		}
+		out := make([]bitset.Set, v.NumSignatures())
+		for i, sg := range v.Signatures() {
+			b := bitset.New(len(union))
+			sg.Bits.ForEach(func(j int) { b.Set(cols[j]) })
+			out[i] = b
+		}
+		return out
+	}
+	prevBits := lift(prev)
+	nextBits := lift(next)
+
+	exact := make(map[string]int, len(prevBits))
+	for i := len(prevBits) - 1; i >= 0; i-- {
+		exact[prevBits[i].Key()] = i // lowest index wins
+	}
+	out := make(Assignment, len(nextBits))
+	for i, b := range nextBits {
+		if j, ok := exact[b.Key()]; ok {
+			out[i] = assign[j]
+			continue
+		}
+		best, bestD := 0, int(^uint(0)>>1)
+		for j, pb := range prevBits {
+			if d := b.HammingDistance(pb); d < bestD {
+				bestD = d
+				best = j
+			}
+		}
+		out[i] = assign[best]
+	}
+	return out
+}
+
+// foldAssignment compacts arbitrary sort labels by first appearance and
+// folds them into [0, k), so a warm-start seed carrying a previous
+// problem's labels is valid for the current one.
+func foldAssignment(a Assignment, k int) Assignment {
+	relabel := make(map[int]int, k)
+	out := make(Assignment, len(a))
+	for i, s := range a {
+		c, ok := relabel[s]
+		if !ok {
+			c = len(relabel)
+			relabel[s] = c
+		}
+		out[i] = c % k
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package refine
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/matrix"
+	"repro/internal/rules"
+)
+
+func mustView(t *testing.T, props []string, rows ...matrix.Signature) *matrix.View {
+	t.Helper()
+	v, err := matrix.New(props, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func sig(n, count int, idx ...int) matrix.Signature {
+	return matrix.Signature{Bits: bitset.FromIndices(n, idx...), Count: count}
+}
+
+func TestWarmStartIdentity(t *testing.T) {
+	props := []string{"p", "q", "r"}
+	v := mustView(t, props, sig(3, 5, 0, 1), sig(3, 3, 0, 1, 2), sig(3, 4, 2))
+	assign := Assignment{0, 0, 1}
+	got := WarmStart(v, assign, v)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != assign[i] {
+			t.Fatalf("identity warm start changed assignment: %v -> %v", assign, got)
+		}
+	}
+}
+
+func TestWarmStartNewSignatureNearest(t *testing.T) {
+	props := []string{"p", "q", "r"}
+	prev := mustView(t, props, sig(3, 5, 0, 1), sig(3, 3, 0, 1, 2), sig(3, 4, 2))
+	// Sorted by count: [0]=110×5, [1]=001×4, [2]=111×3.
+	assign := Assignment{0, 1, 0}
+	// Next adds an all-zero signature: Hamming-nearest is 001 (d=1,
+	// unique), which sits in sort 1.
+	next := mustView(t, props, sig(3, 5, 0, 1), sig(3, 3, 0, 1, 2), sig(3, 4, 2), sig(3, 2))
+	got := WarmStart(prev, assign, next)
+	if got == nil {
+		t.Fatal("nil warm start")
+	}
+	for i, sg := range next.Signatures() {
+		j := prev.SignatureOf(sg.Bits)
+		if j >= 0 {
+			if got[i] != assign[j] {
+				t.Fatalf("surviving signature %d moved: got sort %d, want %d", i, got[i], assign[j])
+			}
+			continue
+		}
+		if got[i] != 1 {
+			t.Fatalf("new all-zero signature seeded into sort %d, want 1", got[i])
+		}
+	}
+}
+
+func TestWarmStartAcrossPropertySpaces(t *testing.T) {
+	prev := mustView(t, []string{"p", "q"}, sig(2, 5, 0), sig(2, 3, 0, 1))
+	// Next view gains a column "s"; the surviving {p} and {p,q}
+	// patterns must keep their sorts despite different capacities.
+	next := mustView(t, []string{"p", "q", "s"},
+		sig(3, 5, 0), sig(3, 3, 0, 1), sig(3, 1, 2))
+	assign := Assignment{0, 1}
+	got := WarmStart(prev, assign, next)
+	if got == nil {
+		t.Fatal("nil warm start")
+	}
+	for i, sg := range next.Signatures() {
+		names := map[string]bool{}
+		sg.Bits.ForEach(func(j int) { names[next.Properties()[j]] = true })
+		switch {
+		case len(names) == 1 && names["p"]:
+			if got[i] != 0 {
+				t.Fatalf("{p} moved to sort %d", got[i])
+			}
+		case len(names) == 2:
+			if got[i] != 1 {
+				t.Fatalf("{p,q} moved to sort %d", got[i])
+			}
+		}
+	}
+}
+
+func TestWarmStartRejectsMismatch(t *testing.T) {
+	v := mustView(t, []string{"p"}, sig(1, 2, 0))
+	if got := WarmStart(v, Assignment{0, 1}, v); got != nil {
+		t.Fatalf("mismatched assignment accepted: %v", got)
+	}
+	if got := WarmStart(nil, Assignment{0}, v); got != nil {
+		t.Fatal("nil prev accepted")
+	}
+}
+
+func TestFoldAssignment(t *testing.T) {
+	a := Assignment{7, 7, 3, 9, 3}
+	got := foldAssignment(a, 2)
+	want := Assignment{0, 0, 1, 0, 1} // labels 7→0, 3→1, 9→2%2=0
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fold = %v, want %v", got, want)
+		}
+	}
+}
+
+// A feasible warm seed lets restart 0 certify feasibility without local
+// search, and the answer is the warm assignment itself.
+func TestSolveHeuristicWarmSeed(t *testing.T) {
+	props := []string{"p", "q", "r", "s"}
+	v := mustView(t, props,
+		sig(4, 10, 0, 1), sig(4, 9, 0, 1, 2), sig(4, 8, 3), sig(4, 7, 2, 3))
+	warm := Assignment{0, 0, 1, 1}
+	p := &Problem{View: v, Func: rules.CovFunc(), K: 2, Theta1: 70, Theta2: 100}
+	ref, ok, err := SolveHeuristic(p, HeuristicOptions{
+		Restarts: 1, Seed: 42, TargetEarlyExit: true, Warm: warm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("warm-seeded solve found no witness")
+	}
+	for i := range warm {
+		if ref.Assignment[i] != warm[i] {
+			t.Fatalf("assignment %v, want warm seed %v", ref.Assignment, warm)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package rules
+
+import "fmt"
+
+// CountTracker maintains the Σ-count state behind the closed-form
+// structuredness measures — the per-property subject counts N_p, the
+// subject count |S|, and the total 1-entries of M(D) — under
+// incremental updates. It is the rules-layer half of the incremental
+// structuredness engine: internal/incr feeds it property gain/loss and
+// subject appear/disappear events as triples arrive and retract, and
+// any CountsFunc (σCov, σSim) evaluates against the live counts in
+// O(|P|) without rebuilding a view.
+type CountTracker struct {
+	counts   []int64
+	subjects int64
+	ones     int64
+}
+
+// NewCountTracker returns a tracker over nProps property columns.
+func NewCountTracker(nProps int) *CountTracker {
+	return &CountTracker{counts: make([]int64, nProps)}
+}
+
+// Grow extends the tracker to nProps columns (new columns start at 0).
+// Shrinking is not supported: retired properties keep a zero column,
+// which no closed-form measure observes.
+func (t *CountTracker) Grow(nProps int) {
+	for len(t.counts) < nProps {
+		t.counts = append(t.counts, 0)
+	}
+}
+
+// Gain records that one more subject has property column i.
+func (t *CountTracker) Gain(i int) {
+	t.counts[i]++
+	t.ones++
+}
+
+// Lose records that one fewer subject has property column i.
+func (t *CountTracker) Lose(i int) {
+	if t.counts[i] == 0 {
+		panic(fmt.Sprintf("rules: Lose on zero-count column %d", i))
+	}
+	t.counts[i]--
+	t.ones--
+}
+
+// AddSubjects adjusts |S| by delta (use −1 for a retired subject).
+func (t *CountTracker) AddSubjects(delta int64) {
+	t.subjects += delta
+	if t.subjects < 0 {
+		panic("rules: negative subject count")
+	}
+}
+
+// Counts returns the live N_p vector. Read-only; valid until the next
+// mutation.
+func (t *CountTracker) Counts() []int64 { return t.counts }
+
+// Subjects returns |S|.
+func (t *CountTracker) Subjects() int64 { return t.subjects }
+
+// Ones returns Σ_p N_p, the number of 1-entries of the live M(D).
+func (t *CountTracker) Ones() int64 { return t.ones }
+
+// NumProps returns the number of tracked columns.
+func (t *CountTracker) NumProps() int { return len(t.counts) }
+
+// Eval computes σ of the live dataset under fn. Zero-count columns
+// contribute nothing to either closed form, so retired properties need
+// no compaction.
+func (t *CountTracker) Eval(fn CountsFunc) Ratio {
+	return fn.EvalCounts(t.counts, t.subjects)
+}
+
+// Clone returns an independent copy (used to snapshot σ at the last
+// refinement for drift policies).
+func (t *CountTracker) Clone() *CountTracker {
+	return &CountTracker{
+		counts:   append([]int64(nil), t.counts...),
+		subjects: t.subjects,
+		ones:     t.ones,
+	}
+}

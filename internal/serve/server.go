@@ -1,0 +1,378 @@
+// Package serve exposes an incremental structuredness dataset
+// (internal/incr) over HTTP: triple ingestion, live σ reads and
+// on-demand refinement against consistent snapshots. It is the
+// rdfserved engine, factored out of the command so the full
+// request surface is testable with httptest.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/incr"
+	"repro/internal/rdf"
+	"repro/internal/refine"
+	"repro/internal/rules"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxBodyBytes caps request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// IngestBatch is the Apply batch size for streamed N-Triples bodies
+	// (default 10000 triples).
+	IngestBatch int
+	// Refiner, when set, is refreshed in the background after every
+	// mutating batch (single-flight; the σ-drift policy inside the
+	// refiner decides whether a search actually runs).
+	Refiner *incr.Refiner
+	// Logf sinks background-refresh errors (default log.Printf).
+	Logf func(format string, args ...interface{})
+}
+
+// Server is the rdfserved HTTP handler.
+type Server struct {
+	d    *incr.Dataset
+	opts Options
+	mux  *http.ServeMux
+	// refreshing is the single-flight latch for background refreshes;
+	// refreshQueued remembers a batch that arrived mid-refresh.
+	refreshing    atomic.Bool
+	refreshQueued atomic.Bool
+}
+
+// New returns a handler serving d.
+func New(d *incr.Dataset, opts Options) *Server {
+	if opts.MaxBodyBytes == 0 {
+		opts.MaxBodyBytes = 64 << 20
+	}
+	if opts.IngestBatch == 0 {
+		opts.IngestBatch = 10000
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	s := &Server{d: d, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	s.mux.HandleFunc("POST /triples", s.handleTriples)
+	s.mux.HandleFunc("GET /sigma", s.handleSigma)
+	s.mux.HandleFunc("GET /refine", s.handleRefine)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"service": "rdfserved",
+		"endpoints": []string{
+			"POST /triples   {\"add\": [\"<s> <p> <o> .\"], \"remove\": [...]} or raw N-Triples body",
+			"GET  /sigma?fn=cov|sim|dep[p1,p2]|symdep[p1,p2]",
+			"GET  /refine?fn=cov&mode=lowestk|highesttheta&theta=0.9&k=2&workers=0&engine=auto",
+			"GET  /stats",
+		},
+		"stats": s.d.Stats(),
+	})
+}
+
+// ingestResponse is the POST /triples reply.
+type ingestResponse struct {
+	Added   int        `json:"added"`
+	Removed int        `json:"removed"`
+	Stats   incr.Stats `json:"stats"`
+	Error   string     `json:"error,omitempty"`
+}
+
+func parseLines(lines []string, what string) ([]rdf.Triple, error) {
+	out := make([]rdf.Triple, 0, len(lines))
+	for i, line := range lines {
+		t, ok, err := rdf.ParseNTriplesLine(line, i+1)
+		if err != nil {
+			return nil, fmt.Errorf("%s[%d]: %v", what, i, err)
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	defer func() { _, _ = io.Copy(io.Discard, body); _ = body.Close() }()
+
+	ct := r.Header.Get("Content-Type")
+	var added, removed int
+	if strings.HasPrefix(ct, "application/json") {
+		var req struct {
+			Add    []string `json:"add"`
+			Remove []string `json:"remove"`
+		}
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+		add, err := parseLines(req.Add, "add")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		remove, err := parseLines(req.Remove, "remove")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		added, removed = s.d.Apply(add, remove)
+	} else {
+		// Raw N-Triples: stream adds in bounded batches, so arbitrarily
+		// large dumps ingest without building the triple list in memory.
+		var err error
+		added, err = s.d.AddStream(s.opts.IngestBatch, func(emit func(rdf.Triple) error) error {
+			return rdf.ReadNTriples(body, emit)
+		})
+		if err != nil {
+			s.kickRefiner()
+			writeJSON(w, http.StatusBadRequest, ingestResponse{
+				Added: added, Stats: s.d.Stats(),
+				Error: fmt.Sprintf("stream aborted: %v (triples before the error were applied)", err),
+			})
+			return
+		}
+	}
+	s.kickRefiner()
+	writeJSON(w, http.StatusOK, ingestResponse{Added: added, Removed: removed, Stats: s.d.Stats()})
+}
+
+// kickRefiner triggers a background drift-policy refresh, coalescing
+// bursts: one refresh runs at a time, and a batch landing mid-refresh
+// queues exactly one more pass. The queued flag is raised before the
+// single-flight latch is tried, so a kick racing a worker's exit is
+// never lost — either the worker's drain loop or its exit re-check
+// observes it, or this kick's own latch attempt succeeds.
+func (s *Server) kickRefiner() {
+	if s.opts.Refiner == nil {
+		return
+	}
+	s.refreshQueued.Store(true)
+	s.tryStartRefresh()
+}
+
+func (s *Server) tryStartRefresh() {
+	if !s.refreshing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		for s.refreshQueued.CompareAndSwap(true, false) {
+			if _, _, err := s.opts.Refiner.Refresh(false); err != nil {
+				s.opts.Logf("rdfserved: background refine: %v", err)
+			}
+		}
+		s.refreshing.Store(false)
+		// A kick may have queued between the drain loop's last check and
+		// the latch release.
+		if s.refreshQueued.Load() {
+			s.tryStartRefresh()
+		}
+	}()
+}
+
+func (s *Server) handleSigma(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("fn")
+	if name == "" {
+		name = "cov"
+	}
+	fn, _, err := core.Builtin(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := map[string]interface{}{"fn": fn.Name()}
+	if cf, ok := fn.(rules.CountsFunc); ok {
+		// Closed forms read the live counts in O(|P|) — no snapshot.
+		ratio := s.d.Sigma(cf)
+		resp["value"] = ratio.Value()
+		resp["ratio"] = ratio.String()
+		resp["stats"] = s.d.Stats()
+	} else {
+		snap := s.d.Snapshot()
+		ratio, err := fn.Eval(snap.View)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp["value"] = ratio.Value()
+		resp["ratio"] = ratio.String()
+		resp["epoch"] = snap.Epoch
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sortSummary describes one non-empty implicit sort of a refinement.
+type sortSummary struct {
+	Sort     int     `json:"sort"`
+	Sigs     int     `json:"signatures"`
+	Subjects int     `json:"subjects"`
+	Sigma    float64 `json:"sigma"`
+}
+
+func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("fn")
+	if name == "" {
+		name = "cov"
+	}
+	fn, rule, err := core.Builtin(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mode := q.Get("mode")
+	if mode == "" {
+		mode = "lowestk"
+	}
+	var opts refine.SearchOptions
+	switch q.Get("engine") {
+	case "", "auto":
+		opts.Engine = refine.EngineAuto
+	case "exact":
+		opts.Engine = refine.EngineExact
+	case "heuristic":
+		opts.Engine = refine.EngineHeuristic
+	default:
+		writeError(w, http.StatusBadRequest, "unknown engine %q", q.Get("engine"))
+		return
+	}
+	if v := q.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad workers %q", v)
+			return
+		}
+		opts.Workers = n
+	}
+	snap := s.d.Snapshot()
+	if snap.View.NumSignatures() == 0 {
+		writeError(w, http.StatusConflict, "dataset is empty")
+		return
+	}
+
+	var out *refine.Outcome
+	switch mode {
+	case "lowestk":
+		theta1, theta2, err := parseTheta(q.Get("theta"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		out, err = refine.LowestK(snap.View, rule, fn, theta1, theta2, opts)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+	case "highesttheta":
+		k := 2
+		if v := q.Get("k"); v != "" {
+			k, err = strconv.Atoi(v)
+			if err != nil || k < 1 {
+				writeError(w, http.StatusBadRequest, "bad k %q", v)
+				return
+			}
+		}
+		out, err = refine.HighestTheta(snap.View, rule, fn, k, opts)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown mode %q (lowestk|highesttheta)", mode)
+		return
+	}
+	writeJSON(w, http.StatusOK, refineResponse(snap, fn.Name(), mode, out))
+}
+
+// parseTheta converts a decimal threshold ("0.9", default) to an exact
+// rational on a 1/1000 grid.
+func parseTheta(s string) (int64, int64, error) {
+	if s == "" {
+		return 900, 1000, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || !(f >= 0 && f <= 1) { // the negated form also rejects NaN
+		return 0, 0, fmt.Errorf("bad theta %q (want a decimal in [0,1])", s)
+	}
+	return int64(f*1000 + 0.5), 1000, nil
+}
+
+func refineResponse(snap *incr.Snapshot, fn, mode string, out *refine.Outcome) map[string]interface{} {
+	ref := out.Refinement
+	var sorts []sortSummary
+	if ref != nil {
+		views, idx := ref.SortViews(snap.View)
+		for i, v := range views {
+			sorts = append(sorts, sortSummary{
+				Sort:     idx[i],
+				Sigs:     v.NumSignatures(),
+				Subjects: v.NumSubjects(),
+				Sigma:    ref.Values[idx[i]].Value(),
+			})
+		}
+	}
+	resp := map[string]interface{}{
+		"epoch":     snap.Epoch,
+		"fn":        fn,
+		"mode":      mode,
+		"k":         out.K,
+		"theta":     float64(out.Theta1) / float64(out.Theta2),
+		"elapsedMs": out.Elapsed.Milliseconds(),
+		"instances": out.Instances,
+		"exact":     out.Exact,
+		"sorts":     sorts,
+	}
+	if ref != nil {
+		resp["minSigma"] = ref.MinSigma
+		resp["assignment"] = ref.Assignment
+	}
+	return resp
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]interface{}{"stats": s.d.Stats()}
+	if ref := s.opts.Refiner; ref != nil {
+		if last := ref.Last(); last != nil {
+			resp["refinement"] = map[string]interface{}{
+				"epoch":     last.Epoch,
+				"sigma":     last.Sigma,
+				"k":         last.Outcome.K,
+				"theta":     float64(last.Outcome.Theta1) / float64(last.Outcome.Theta2),
+				"minSigma":  last.Outcome.Refinement.MinSigma,
+				"warm":      last.Warm,
+				"elapsedMs": last.Outcome.Elapsed.Milliseconds(),
+			}
+		}
+		if need, err := ref.NeedsRefresh(); err == nil {
+			resp["refineStale"] = need
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/incr"
+	"repro/internal/refine"
+	"repro/internal/rules"
+)
+
+func newTestServer(t *testing.T, refiner bool) (*httptest.Server, *incr.Dataset) {
+	t.Helper()
+	d := incr.NewDataset(incr.Options{})
+	opts := Options{Logf: t.Logf}
+	if refiner {
+		opts.Refiner = incr.NewRefiner(d, incr.RefinerOptions{
+			Fn: rules.CovFunc(), Mode: incr.ModeLowestK, Theta1: 9, Theta2: 10,
+			Search: refine.SearchOptions{Engine: refine.EngineHeuristic, Workers: 1,
+				Heuristic: refine.HeuristicOptions{Seed: 1}},
+		})
+	}
+	ts := httptest.NewServer(New(d, opts))
+	t.Cleanup(ts.Close)
+	return ts, d
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url, body string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestIngestSigmaRefineStats(t *testing.T) {
+	ts, _ := newTestServer(t, false)
+
+	// JSON batch: two clean sorts of subjects.
+	var lines []string
+	for i := 0; i < 5; i++ {
+		lines = append(lines,
+			fmt.Sprintf("<http://ex/a%d> <http://ex/p> <http://ex/o> .", i),
+			fmt.Sprintf("<http://ex/a%d> <http://ex/q> <http://ex/o> .", i),
+			fmt.Sprintf("<http://ex/b%d> <http://ex/r> <http://ex/o> .", i))
+	}
+	body, _ := json.Marshal(map[string][]string{"add": lines})
+	var ing ingestResponse
+	if code := postJSON(t, ts.URL+"/triples", string(body), &ing); code != http.StatusOK {
+		t.Fatalf("POST /triples = %d (%+v)", code, ing)
+	}
+	if ing.Added != 15 || ing.Stats.Subjects != 10 || ing.Stats.Signatures != 2 {
+		t.Fatalf("ingest = %+v", ing)
+	}
+
+	// σCov live: sort A has p,q; sort B has r → ones=15, |S|·|P|=30.
+	var sig struct {
+		Fn    string  `json:"fn"`
+		Value float64 `json:"value"`
+	}
+	if code := getJSON(t, ts.URL+"/sigma?fn=cov", &sig); code != http.StatusOK {
+		t.Fatalf("GET /sigma = %d", code)
+	}
+	if sig.Fn != "Cov" || sig.Value != 0.5 {
+		t.Fatalf("sigma = %+v, want Cov 0.5", sig)
+	}
+
+	// Refinement at θ=0.9 splits them into 2 sorts.
+	var ref struct {
+		K        int           `json:"k"`
+		MinSigma float64       `json:"minSigma"`
+		Sorts    []sortSummary `json:"sorts"`
+		Exact    bool          `json:"exact"`
+	}
+	if code := getJSON(t, ts.URL+"/refine?fn=cov&theta=0.9&workers=1", &ref); code != http.StatusOK {
+		t.Fatalf("GET /refine = %d (%+v)", code, ref)
+	}
+	if ref.K != 2 || ref.MinSigma < 0.999 || len(ref.Sorts) != 2 {
+		t.Fatalf("refine = %+v", ref)
+	}
+
+	// Remove sort B entirely; σCov goes to 1.
+	var rm []string
+	for i := 0; i < 5; i++ {
+		rm = append(rm, fmt.Sprintf("<http://ex/b%d> <http://ex/r> <http://ex/o> .", i))
+	}
+	body, _ = json.Marshal(map[string][]string{"remove": rm})
+	postJSON(t, ts.URL+"/triples", string(body), &ing)
+	if ing.Removed != 5 || ing.Stats.Subjects != 5 {
+		t.Fatalf("remove = %+v", ing)
+	}
+	getJSON(t, ts.URL+"/sigma", &sig)
+	if sig.Value != 1 {
+		t.Fatalf("σCov after removal = %v, want 1", sig.Value)
+	}
+
+	var stats struct {
+		Stats incr.Stats `json:"stats"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK || stats.Stats.Epoch != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestRawNTriplesIngestAndErrors(t *testing.T) {
+	ts, d := newTestServer(t, false)
+
+	raw := "<http://ex/s1> <http://ex/p> \"v\" .\n<http://ex/s2> <http://ex/p> <http://ex/o> .\n"
+	resp, err := http.Post(ts.URL+"/triples", "application/n-triples", strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ing ingestResponse
+	json.NewDecoder(resp.Body).Decode(&ing)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ing.Added != 2 {
+		t.Fatalf("raw ingest: %d %+v", resp.StatusCode, ing)
+	}
+	if d.Stats().Triples != 2 {
+		t.Fatalf("dataset has %d triples", d.Stats().Triples)
+	}
+
+	// A malformed line mid-stream → 400, earlier triples applied.
+	bad := "<http://ex/s3> <http://ex/p> <http://ex/o> .\nnot a triple\n"
+	resp, err = http.Post(ts.URL+"/triples", "application/n-triples", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&ing)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || ing.Error == "" || ing.Added != 1 {
+		t.Fatalf("bad stream: %d %+v", resp.StatusCode, ing)
+	}
+
+	// Bad JSON → 400.
+	var errResp map[string]string
+	if code := postJSON(t, ts.URL+"/triples", `{"add": ["<broken"]}`, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("bad JSON line = %d", code)
+	}
+
+	// Unknown fn → 400; empty-dataset refine → 409 (after clearing).
+	var sig map[string]interface{}
+	if code := getJSON(t, ts.URL+"/sigma?fn=nope", &sig); code != http.StatusBadRequest {
+		t.Fatalf("bad fn = %d", code)
+	}
+}
+
+func TestRefineOnEmptyDataset(t *testing.T) {
+	ts, _ := newTestServer(t, false)
+	var out map[string]interface{}
+	if code := getJSON(t, ts.URL+"/refine", &out); code != http.StatusConflict {
+		t.Fatalf("empty refine = %d (%v)", code, out)
+	}
+}
+
+// TestConcurrentSigmaDuringIngestion is the service-level race check:
+// concurrent /sigma and /stats reads against the current epoch while
+// POST /triples batches land.
+func TestConcurrentSigmaDuringIngestion(t *testing.T) {
+	ts, _ := newTestServer(t, false)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sig struct {
+					Value float64 `json:"value"`
+				}
+				if code := getJSON(t, ts.URL+"/sigma?fn=cov", &sig); code != http.StatusOK {
+					t.Errorf("sigma = %d", code)
+					return
+				}
+				if sig.Value < 0 || sig.Value > 1 {
+					t.Errorf("σ = %v out of range", sig.Value)
+					return
+				}
+				var stats map[string]interface{}
+				getJSON(t, ts.URL+"/stats", &stats)
+			}
+		}()
+	}
+	for i := 0; i < 30; i++ {
+		var lines []string
+		for j := 0; j < 20; j++ {
+			lines = append(lines, fmt.Sprintf("<http://ex/s%d> <http://ex/p%d> \"v\" .", (i*20+j)%50, j%7))
+		}
+		body, _ := json.Marshal(map[string][]string{"add": lines})
+		var ing ingestResponse
+		if code := postJSON(t, ts.URL+"/triples", string(body), &ing); code != http.StatusOK {
+			t.Fatalf("POST = %d", code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestBackgroundRefinerKicksIn checks the drift-policy auto-refresh
+// after ingestion, surfaced via /stats.
+func TestBackgroundRefinerKicksIn(t *testing.T) {
+	ts, _ := newTestServer(t, true)
+	var lines []string
+	for i := 0; i < 10; i++ {
+		lines = append(lines,
+			fmt.Sprintf("<http://ex/a%d> <http://ex/p> <http://ex/o> .", i),
+			fmt.Sprintf("<http://ex/b%d> <http://ex/q> <http://ex/o> .", i))
+	}
+	body, _ := json.Marshal(map[string][]string{"add": lines})
+	var ing ingestResponse
+	postJSON(t, ts.URL+"/triples", string(body), &ing)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var stats struct {
+			Refinement *struct {
+				K        int     `json:"k"`
+				MinSigma float64 `json:"minSigma"`
+			} `json:"refinement"`
+			Stale bool `json:"refineStale"`
+		}
+		getJSON(t, ts.URL+"/stats", &stats)
+		if stats.Refinement != nil {
+			if stats.Refinement.K != 2 {
+				t.Fatalf("auto-refine k = %d, want 2", stats.Refinement.K)
+			}
+			if stats.Stale {
+				t.Fatal("fresh refinement reported stale")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background refinement never appeared in /stats")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
