@@ -238,6 +238,47 @@ func BenchmarkAblationThetaSearch(b *testing.B) {
 	})
 }
 
+// Interned term dictionary vs. string-keyed indexes: the full ingest
+// pipeline (streaming N-Triples decode → graph build → view
+// construction) on the DBpedia Persons corpus, run once through the
+// ID-based hot path (zero-copy interning decoder, integer-keyed
+// indexes, single-dictionary-pass view) and once through the retained
+// pre-refactor string implementation (experiments.RefGraph). Both
+// produce bit-identical views (equivalence_test.go); this measures the
+// throughput and allocation gap, which should be ≥2× on ns/op and far
+// larger on allocs/op. cmd/benchjson records the same workloads to
+// BENCH_ingest.json.
+func BenchmarkAblationInternedVsString(b *testing.B) {
+	data := experiments.IngestCorpus(0.01)
+	b.Run("interned", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := experiments.IngestInterned(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("string", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := experiments.IngestString(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.IngestIncremental(data, 10000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // Incremental maintenance (internal/incr) vs. from-scratch rebuild:
 // steady-state cost of one churn batch (add B triples, read σCov, take
 // a snapshot view, retract the batch) against a preloaded DBpedia

@@ -1,0 +1,164 @@
+// Command benchjson runs the perf-trajectory benchmarks — the ingest
+// ablation (interned vs. string vs. incremental) and the refinement
+// workload — and writes machine-readable results to BENCH_ingest.json
+// and BENCH_refine.json. Each PR's CI run uploads the files as
+// artifacts, so the throughput trend is diffable across commits
+// without parsing `go test -bench` text.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson                 # scale 0.01, write to .
+//	go run ./cmd/benchjson -scale 0.002 -out artifacts/
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// result is one benchmark measurement in the JSON artifact.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// artifact is the file layout shared by both outputs.
+type artifact struct {
+	Kind       string            `json:"kind"`
+	Scale      float64           `json:"scale"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	NumCPU     int               `json:"num_cpu"`
+	Timestamp  string            `json:"timestamp"`
+	Benchmarks []result          `json:"benchmarks"`
+	Derived    map[string]string `json:"derived,omitempty"`
+}
+
+func measure(name string, bytes int64, fn func() error) (result, error) {
+	var inner error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		if bytes > 0 {
+			b.SetBytes(bytes)
+		}
+		for i := 0; i < b.N; i++ {
+			if err := fn(); err != nil {
+				inner = err
+				b.Fatal(err)
+			}
+		}
+	})
+	if inner != nil {
+		return result{}, fmt.Errorf("%s: %w", name, inner)
+	}
+	out := result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if bytes > 0 && r.NsPerOp() > 0 {
+		// 10^6 bytes, matching `go test -bench` MB/s so the JSON is
+		// directly comparable with benchmark text output.
+		out.MBPerSec = float64(bytes) / float64(r.NsPerOp()) * 1e9 / 1e6
+	}
+	return out, nil
+}
+
+func writeArtifact(path string, a artifact) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run() error {
+	scale := flag.Float64("scale", 0.01, "DBpedia Persons generator scale for the ingest corpus")
+	outDir := flag.String("out", ".", "directory for BENCH_ingest.json and BENCH_refine.json")
+	flag.Parse()
+
+	now := time.Now().UTC().Format(time.RFC3339)
+	meta := func(kind string) artifact {
+		return artifact{
+			Kind: kind, Scale: *scale,
+			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(),
+			Timestamp: now,
+		}
+	}
+
+	// --- Ingest: the interned-vs-string ablation plus the rdfserved
+	// incremental path, all over the same serialized corpus.
+	data := experiments.IngestCorpus(*scale)
+	size := int64(len(data))
+	ingest := meta("ingest")
+	for _, c := range []struct {
+		name string
+		fn   func() error
+	}{
+		{"ingest/interned", func() error { _, _, err := experiments.IngestInterned(data); return err }},
+		{"ingest/string", func() error { _, _, err := experiments.IngestString(data); return err }},
+		{"ingest/incremental", func() error { _, err := experiments.IngestIncremental(data, 10000); return err }},
+	} {
+		r, err := measure(c.name, size, c.fn)
+		if err != nil {
+			return err
+		}
+		ingest.Benchmarks = append(ingest.Benchmarks, r)
+		fmt.Printf("%-22s %12.0f ns/op %8.1f MB/s %9d allocs/op\n",
+			c.name, r.NsPerOp, r.MBPerSec, r.AllocsPerOp)
+	}
+	if len(ingest.Benchmarks) >= 2 {
+		sp := ingest.Benchmarks[1].NsPerOp / ingest.Benchmarks[0].NsPerOp
+		al := float64(ingest.Benchmarks[1].AllocsPerOp) / float64(ingest.Benchmarks[0].AllocsPerOp)
+		ingest.Derived = map[string]string{
+			"interned_speedup_vs_string": fmt.Sprintf("%.2fx", sp),
+			"interned_alloc_reduction":   fmt.Sprintf("%.2fx", al),
+			"corpus_bytes":               fmt.Sprintf("%d", size),
+		}
+	}
+	if err := writeArtifact(filepath.Join(*outDir, "BENCH_ingest.json"), ingest); err != nil {
+		return err
+	}
+
+	// --- Refine: the Fig4a-class search, sequential and parallel.
+	ref := meta("refine")
+	for _, workers := range []int{1, 0} {
+		name := fmt.Sprintf("refine/highesttheta/workers=%d", workers)
+		r, err := measure(name, 0, func() error {
+			_, err := experiments.RefineWorkload(*scale, workers)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		ref.Benchmarks = append(ref.Benchmarks, r)
+		fmt.Printf("%-34s %12.0f ns/op\n", name, r.NsPerOp)
+	}
+	if err := writeArtifact(filepath.Join(*outDir, "BENCH_refine.json"), ref); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n",
+		filepath.Join(*outDir, "BENCH_ingest.json"), filepath.Join(*outDir, "BENCH_refine.json"))
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -110,13 +110,13 @@ func preload(d *incr.Dataset, path string) error {
 		return err
 	}
 	defer f.Close()
-	read := rdf.ReadNTriples
 	switch filepath.Ext(path) {
 	case ".ttl", ".turtle":
-		read = rdf.ReadTurtle
+		_, err = d.AddStreamIDs(0, func(emit func(rdf.IDTriple) error) error {
+			return rdf.ReadTurtleIDs(f, d.Dict(), emit)
+		})
+	default:
+		_, err = d.AddNTriples(f, 0)
 	}
-	_, err = d.AddStream(0, func(emit func(rdf.Triple) error) error {
-		return read(f, emit)
-	})
 	return err
 }

@@ -1,0 +1,202 @@
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/incr"
+	"repro/internal/matrix"
+	"repro/internal/rdf"
+	"repro/internal/refine"
+	"repro/internal/rules"
+)
+
+// These tests pin the refactor's central guarantee: the interned
+// ID-based pipeline (term dictionary + ID graph + ID view construction
+// + ID-keyed incremental engine) produces byte-for-byte the same
+// artifacts as the pre-refactor string-keyed implementation, which is
+// retained verbatim as experiments.RefGraph. "Same" is checked at
+// every level the paper's algorithms consume: the view's property
+// columns and ordered signature sets, the exact σCov/σSim rationals,
+// and complete refinement outcomes (θ, k, per-signature assignment).
+
+// randomTriples synthesizes a dataset with overlapping subjects,
+// skewed property use, URI and literal objects, rdf:type declarations
+// and duplicate triples (dedup must agree too).
+func randomTriples(rng *rand.Rand, n int) []rdf.Triple {
+	out := make([]rdf.Triple, 0, n)
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("http://ex/s%d", rng.Intn(n/4+1))
+		p := fmt.Sprintf("http://ex/p%d", rng.Intn(12))
+		var o rdf.Term
+		switch rng.Intn(4) {
+		case 0:
+			o = rdf.NewLiteral(fmt.Sprintf("value %d", rng.Intn(20)))
+		case 1:
+			// Literal colliding with a URI spelling: the dictionary is
+			// shared but the kind keeps them distinct.
+			o = rdf.NewLiteral(fmt.Sprintf("http://ex/o%d", rng.Intn(10)))
+		default:
+			o = rdf.NewURI(fmt.Sprintf("http://ex/o%d", rng.Intn(30)))
+		}
+		if rng.Intn(10) == 0 {
+			p = rdf.TypeURI
+			o = rdf.NewURI(fmt.Sprintf("http://ex/T%d", rng.Intn(3)))
+		}
+		out = append(out, rdf.Triple{Subject: s, Predicate: p, Object: o})
+	}
+	return out
+}
+
+func viewsEqual(t *testing.T, tag string, a, b *matrix.View) {
+	t.Helper()
+	ap, bp := a.Properties(), b.Properties()
+	if len(ap) != len(bp) {
+		t.Fatalf("%s: %d properties vs %d", tag, len(ap), len(bp))
+	}
+	for i := range ap {
+		if ap[i] != bp[i] {
+			t.Fatalf("%s: property column %d: %q vs %q", tag, i, ap[i], bp[i])
+		}
+	}
+	if a.NumSubjects() != b.NumSubjects() {
+		t.Fatalf("%s: %d subjects vs %d", tag, a.NumSubjects(), b.NumSubjects())
+	}
+	as, bs := a.Signatures(), b.Signatures()
+	if len(as) != len(bs) {
+		t.Fatalf("%s: %d signatures vs %d", tag, len(as), len(bs))
+	}
+	for i := range as {
+		if as[i].Count != bs[i].Count || as[i].Bits.String() != bs[i].Bits.String() {
+			t.Fatalf("%s: signature %d: (%s ×%d) vs (%s ×%d)", tag, i,
+				as[i].Bits.String(), as[i].Count, bs[i].Bits.String(), bs[i].Count)
+		}
+		if len(as[i].Subjects) != len(bs[i].Subjects) {
+			t.Fatalf("%s: signature %d subject lists differ in length", tag, i)
+		}
+		for j := range as[i].Subjects {
+			if as[i].Subjects[j] != bs[i].Subjects[j] {
+				t.Fatalf("%s: signature %d subject %d: %q vs %q", tag, i, j,
+					as[i].Subjects[j], bs[i].Subjects[j])
+			}
+		}
+	}
+}
+
+func ratiosEqual(t *testing.T, tag string, a, b rules.Ratio) {
+	t.Helper()
+	if a.Fav.Cmp(b.Fav) != 0 || a.Tot.Cmp(b.Tot) != 0 {
+		t.Fatalf("%s: %s vs %s", tag, a, b)
+	}
+}
+
+// TestInternedPipelineEquivalence is the randomized string-vs-ID
+// equivalence proof for the batch pipeline: graph construction, view
+// snapshot (with and without retained subjects), σ values, and full
+// refinement outcomes.
+func TestInternedPipelineEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		triples := randomTriples(rng, 600)
+
+		idGraph := rdf.NewGraph()
+		refGraph := experiments.NewRefGraph()
+		for _, tr := range triples {
+			added := idGraph.Add(tr)
+			refAdded := refGraph.Add(tr)
+			if added != refAdded {
+				t.Fatalf("seed %d: dedup disagreement on %v: %v vs %v", seed, tr, added, refAdded)
+			}
+		}
+		if idGraph.Len() != refGraph.Len() {
+			t.Fatalf("seed %d: %d triples vs %d", seed, idGraph.Len(), refGraph.Len())
+		}
+
+		for _, keep := range []bool{false, true} {
+			opts := matrix.Options{KeepSubjects: keep}
+			idView := matrix.FromGraph(idGraph, opts)
+			refView := refGraph.View(opts)
+			viewsEqual(t, fmt.Sprintf("seed %d keep=%v", seed, keep), idView, refView)
+
+			ratiosEqual(t, "σCov", rules.Coverage(idView), rules.Coverage(refView))
+			ratiosEqual(t, "σSim", rules.Similarity(idView), rules.Similarity(refView))
+			props := idView.Properties()
+			if len(props) >= 2 {
+				ratiosEqual(t, "σDep", rules.Dep(idView, props[0], props[1]), rules.Dep(refView, props[0], props[1]))
+				ratiosEqual(t, "σSymDep", rules.SymDep(idView, props[0], props[1]), rules.SymDep(refView, props[0], props[1]))
+			}
+		}
+
+		// Refinement: identical searches over both views must produce
+		// identical outcomes — same θ, same k, same assignment.
+		idView := matrix.FromGraph(idGraph, matrix.Options{})
+		refView := refGraph.View(matrix.Options{})
+		opts := refine.SearchOptions{
+			Heuristic: refine.HeuristicOptions{Restarts: 2, MaxIters: 40, Seed: seed},
+			Engine:    refine.EngineHeuristic,
+		}
+		idOut, err1 := refine.HighestTheta(idView, rules.CovRule(), nil, 2, opts)
+		refOut, err2 := refine.HighestTheta(refView, rules.CovRule(), nil, 2, opts)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d: refine errors: %v, %v", seed, err1, err2)
+		}
+		if idOut.Theta1 != refOut.Theta1 || idOut.Theta2 != refOut.Theta2 || idOut.K != refOut.K {
+			t.Fatalf("seed %d: outcome (θ=%d/%d,k=%d) vs (θ=%d/%d,k=%d)", seed,
+				idOut.Theta1, idOut.Theta2, idOut.K, refOut.Theta1, refOut.Theta2, refOut.K)
+		}
+		if (idOut.Refinement == nil) != (refOut.Refinement == nil) {
+			t.Fatalf("seed %d: one refinement nil", seed)
+		}
+		if idOut.Refinement != nil {
+			ia, ra := idOut.Refinement.Assignment, refOut.Refinement.Assignment
+			if len(ia) != len(ra) {
+				t.Fatalf("seed %d: assignment lengths %d vs %d", seed, len(ia), len(ra))
+			}
+			for i := range ia {
+				if ia[i] != ra[i] {
+					t.Fatalf("seed %d: assignment[%d] = %d vs %d", seed, i, ia[i], ra[i])
+				}
+			}
+		}
+	}
+}
+
+// TestInternedIncrementalEquivalence drives the ID-keyed incremental
+// engine through randomized add/remove batches and checks each epoch
+// snapshot against the string-reference view of the surviving triples.
+func TestInternedIncrementalEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		d := incr.NewDataset(incr.Options{KeepSubjects: true})
+		alive := map[rdf.Triple]struct{}{}
+
+		for batch := 0; batch < 6; batch++ {
+			add := randomTriples(rng, 150)
+			var remove []rdf.Triple
+			for tr := range alive {
+				if rng.Intn(4) == 0 {
+					remove = append(remove, tr)
+				}
+			}
+			d.Apply(add, remove)
+			for _, tr := range add {
+				alive[tr] = struct{}{}
+			}
+			for _, tr := range remove {
+				delete(alive, tr)
+			}
+
+			ref := experiments.NewRefGraph()
+			for tr := range alive {
+				ref.Add(tr)
+			}
+			refView := ref.View(matrix.Options{KeepSubjects: true})
+			snap := d.Snapshot()
+			viewsEqual(t, fmt.Sprintf("seed %d batch %d", seed, batch), snap.View, refView)
+			ratiosEqual(t, "live σCov", d.SigmaCov(), rules.Coverage(refView))
+			ratiosEqual(t, "live σSim", d.SigmaSim(), rules.Similarity(refView))
+		}
+	}
+}

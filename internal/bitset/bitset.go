@@ -6,6 +6,7 @@ package bitset
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
 	"strings"
 )
 
@@ -95,20 +96,30 @@ func (s Set) Clone() Set {
 // Key returns a string usable as a map key identifying the bit pattern.
 // Two sets have the same Key iff they are Equal.
 func (s Set) Key() string {
-	var b strings.Builder
-	b.Grow(len(s.words)*8 + 8)
-	fmt.Fprintf(&b, "%d:", s.n)
+	return string(s.AppendKey(make([]byte, 0, len(s.words)*8+8)))
+}
+
+// AppendKey appends the Key bytes to dst and returns it — the
+// allocation-free form for hot grouping loops, where the caller probes
+// a map with string(AppendKey(buf[:0])) and only materializes the
+// string for genuinely new patterns.
+func (s Set) AppendKey(dst []byte) []byte {
+	dst = strconv.AppendInt(dst, int64(s.n), 10)
+	dst = append(dst, ':')
 	for _, w := range s.words {
-		b.WriteByte(byte(w))
-		b.WriteByte(byte(w >> 8))
-		b.WriteByte(byte(w >> 16))
-		b.WriteByte(byte(w >> 24))
-		b.WriteByte(byte(w >> 32))
-		b.WriteByte(byte(w >> 40))
-		b.WriteByte(byte(w >> 48))
-		b.WriteByte(byte(w >> 56))
+		dst = append(dst,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
 	}
-	return b.String()
+	return dst
+}
+
+// Reset clears every bit, keeping the capacity — for reusing one
+// scratch set across a grouping loop.
+func (s Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
 }
 
 // String renders the set as a 0/1 string, lowest index first,
@@ -148,6 +159,19 @@ func (s Set) AndNot(t Set) {
 	for i := range s.words {
 		s.words[i] &^= t.words[i]
 	}
+}
+
+// AndCount returns the number of bits set in both a and b — the
+// popcount of the intersection, computed word-parallel without
+// materializing the intersection or its indices. Panics if capacities
+// differ.
+func AndCount(a, b Set) int {
+	a.sameLen(b)
+	c := 0
+	for i, w := range a.words {
+		c += bits.OnesCount64(w & b.words[i])
+	}
+	return c
 }
 
 // Intersects reports whether s and t share any set bit.

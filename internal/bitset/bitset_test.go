@@ -246,3 +246,42 @@ func BenchmarkKey(b *testing.B) {
 		_ = s.Key()
 	}
 }
+
+func TestAndCount(t *testing.T) {
+	a := FromIndices(130, 0, 5, 63, 64, 100, 129)
+	b := FromIndices(130, 5, 63, 65, 100)
+	if got := AndCount(a, b); got != 3 {
+		t.Fatalf("AndCount = %d, want 3", got)
+	}
+	if got := AndCount(a, New(130)); got != 0 {
+		t.Fatalf("AndCount with empty = %d, want 0", got)
+	}
+	if got := AndCount(a, a); got != a.Count() {
+		t.Fatalf("AndCount(a,a) = %d, want %d", got, a.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	AndCount(a, New(64))
+}
+
+// Property: AndCount agrees with materializing the intersection.
+func TestAndCountQuick(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := New(1<<16), New(1<<16)
+		for _, x := range xs {
+			a.Set(int(x))
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+		}
+		and := a.Clone()
+		and.And(b)
+		return AndCount(a, b) == and.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,12 +6,13 @@
 package datagen
 
 import (
-	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/matrix"
 	"repro/internal/rdf"
+	"repro/internal/term"
 )
 
 // apportion distributes total units over weights using the largest
@@ -75,22 +76,39 @@ func apportion(weights []float64, total int, minOne bool) []int {
 // subject receives an rdf:type triple for sortURI plus one literal
 // triple per property in its signature. Subject URIs are synthesized
 // from prefix unless the view retains real subject names.
+//
+// Generation runs on the interned fast path: the sort URI, rdf:type,
+// the property names and the shared literal intern once up front, and
+// each subject's triples are emitted as IDTriples — so materializing a
+// paper-scale dataset costs one dictionary insert per subject, not one
+// string hash per triple.
 func GraphFromView(v *matrix.View, sortURI, prefix string) *rdf.Graph {
 	g := rdf.NewGraph()
+	dict := g.Dict()
+	typeID := dict.Intern(rdf.TypeURI)
+	sortID := dict.Intern(sortURI)
+	valID := dict.Intern("v")
 	props := v.Properties()
+	propIDs := make([]term.ID, len(props))
+	for i, p := range props {
+		propIDs[i] = dict.Intern(p)
+	}
+	var nameBuf []byte
 	n := 0
 	for _, sg := range v.Signatures() {
 		for i := 0; i < sg.Count; i++ {
-			var subj string
+			var subj term.ID
 			if sg.Subjects != nil {
-				subj = sg.Subjects[i]
+				subj = dict.Intern(sg.Subjects[i])
 			} else {
-				subj = fmt.Sprintf("%s/%d", prefix, n)
+				nameBuf = append(append(nameBuf[:0], prefix...), '/')
+				nameBuf = strconv.AppendInt(nameBuf, int64(n), 10)
+				subj = dict.InternBytes(nameBuf)
 			}
 			n++
-			g.AddURI(subj, rdf.TypeURI, sortURI)
+			g.AddID(rdf.IDTriple{S: subj, P: typeID, O: sortID, OKind: rdf.URI})
 			sg.Bits.ForEach(func(p int) {
-				g.AddLiteral(subj, props[p], "v")
+				g.AddID(rdf.IDTriple{S: subj, P: propIDs[p], O: valID, OKind: rdf.Literal})
 			})
 		}
 	}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/incr"
+	"repro/internal/matrix"
+	"repro/internal/rdf"
+	"repro/internal/refine"
+	"repro/internal/rules"
+)
+
+// This file defines the ingest and refinement workloads shared by the
+// root ablation benchmarks (bench_test.go) and cmd/benchjson, so the
+// numbers recorded in BENCH_ingest.json / BENCH_refine.json measure
+// exactly the code paths the benchmarks do.
+
+// IngestCorpus serializes the DBpedia Persons generator output at the
+// given scale to N-Triples — the ingest benchmark input. At scale 0.01
+// this is ~7.9k subjects / ~50k triples.
+func IngestCorpus(scale float64) []byte {
+	var buf bytes.Buffer
+	if err := rdf.WriteNTriples(&buf, datagen.DBpediaPersonsGraph(scale)); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// IngestInterned decodes an N-Triples corpus through the interning
+// streaming decoder into an ID-based rdf.Graph and builds its view —
+// the post-refactor ingest pipeline.
+func IngestInterned(data []byte) (*matrix.View, int, error) {
+	g := rdf.NewGraph()
+	err := rdf.ReadNTriplesIDs(bytes.NewReader(data), g.Dict(), func(it rdf.IDTriple) error {
+		g.AddID(it)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return matrix.FromGraph(g, matrix.Options{}), g.Len(), nil
+}
+
+// IngestString decodes the same corpus through the string decoder into
+// the retained pre-refactor RefGraph and builds its view — the
+// baseline the ablation compares against.
+func IngestString(data []byte) (*matrix.View, int, error) {
+	g := NewRefGraph()
+	if err := rdf.ReadNTriples(bytes.NewReader(data), func(t rdf.Triple) error {
+		g.Add(t)
+		return nil
+	}); err != nil {
+		return nil, 0, err
+	}
+	return g.View(matrix.Options{}), g.Len(), nil
+}
+
+// IngestIncremental streams the corpus into an incremental dataset via
+// the interned batch path and reads σCov once — the rdfserved raw-body
+// ingest pipeline.
+func IngestIncremental(data []byte, batch int) (int, error) {
+	d := incr.NewDataset(incr.Options{})
+	added, err := d.AddNTriples(bytes.NewReader(data), batch)
+	if err != nil {
+		return added, err
+	}
+	_ = d.SigmaCov()
+	return added, nil
+}
+
+// RefineWorkload runs the Fig4a-class search (σCov highest-θ, k=2)
+// with quick budgets on a DBpedia Persons view — the refinement
+// trajectory benchmark behind BENCH_refine.json.
+func RefineWorkload(scale float64, workers int) (*refine.Outcome, error) {
+	v := datagen.DBpediaPersons(scale)
+	opts := Config{Quick: true, Seed: 1, Workers: workers}.search()
+	out, err := refine.HighestTheta(v, rules.CovRule(), nil, 2, opts)
+	if err != nil {
+		return nil, fmt.Errorf("refine workload: %w", err)
+	}
+	return out, nil
+}

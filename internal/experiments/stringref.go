@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/matrix"
+	"repro/internal/rdf"
+)
+
+// RefGraph is the pre-interning string-keyed graph implementation,
+// retained verbatim as the reference half of two artifacts: the
+// equivalence test proving the ID-based pipeline produces bit-identical
+// views, σ values and refinements, and the interned-vs-string ingest
+// ablation (BenchmarkAblationInternedVsString, cmd/benchjson). Every
+// index is keyed by URI string, so each Add hashes the full subject,
+// predicate and object strings — the cost the term dictionary removed.
+// It supports the add-only ingest + view-construction pipeline; it is
+// not a general-purpose graph.
+type RefGraph struct {
+	triples      []rdf.Triple
+	bySubject    map[string][]int
+	present      map[refKey]int
+	propSubjects map[string]map[string]struct{}
+}
+
+type refKey struct {
+	s, p string
+	ok   rdf.TermKind
+	ov   string
+}
+
+// NewRefGraph returns an empty reference graph.
+func NewRefGraph() *RefGraph {
+	return &RefGraph{
+		bySubject:    make(map[string][]int),
+		present:      make(map[refKey]int),
+		propSubjects: make(map[string]map[string]struct{}),
+	}
+}
+
+// Add inserts t if not already present and reports whether it was
+// added — the pre-refactor hot path, string hashing included.
+func (g *RefGraph) Add(t rdf.Triple) bool {
+	k := refKey{s: t.Subject, p: t.Predicate, ok: t.Object.Kind, ov: t.Object.Value}
+	if _, dup := g.present[k]; dup {
+		return false
+	}
+	g.present[k] = len(g.triples)
+	g.bySubject[t.Subject] = append(g.bySubject[t.Subject], len(g.triples))
+	ps := g.propSubjects[t.Predicate]
+	if ps == nil {
+		ps = make(map[string]struct{})
+		g.propSubjects[t.Predicate] = ps
+	}
+	ps[t.Subject] = struct{}{}
+	g.triples = append(g.triples, t)
+	return true
+}
+
+// Len returns the number of triples.
+func (g *RefGraph) Len() int { return len(g.triples) }
+
+// Subjects returns the distinct subjects, sorted.
+func (g *RefGraph) Subjects() []string {
+	out := make([]string, 0, len(g.bySubject))
+	for s := range g.bySubject {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// View builds the property-structure view exactly as the pre-refactor
+// matrix.FromGraph did: string-sorted property columns (rdf:type and
+// opts.IgnoreProperties excluded), subjects grouped by signature via
+// per-subject string property lookups.
+func (g *RefGraph) View(opts matrix.Options) *matrix.View {
+	ignore := map[string]bool{rdf.TypeURI: true}
+	for _, p := range opts.IgnoreProperties {
+		ignore[p] = true
+	}
+	var props []string
+	for p := range g.propSubjects {
+		if !ignore[p] {
+			props = append(props, p)
+		}
+	}
+	sort.Strings(props)
+	propIndex := make(map[string]int, len(props))
+	for i, p := range props {
+		propIndex[p] = i
+	}
+
+	type group struct {
+		bits     bitset.Set
+		subjects []string
+	}
+	groups := map[string]*group{}
+	nSubjects := 0
+	for _, s := range g.Subjects() {
+		bits := bitset.New(len(props))
+		for _, j := range g.bySubject[s] {
+			if i, ok := propIndex[g.triples[j].Predicate]; ok {
+				bits.Set(i)
+			}
+		}
+		nSubjects++
+		k := bits.Key()
+		gr := groups[k]
+		if gr == nil {
+			gr = &group{bits: bits}
+			groups[k] = gr
+		}
+		gr.subjects = append(gr.subjects, s)
+	}
+
+	sigs := make([]matrix.Signature, 0, len(groups))
+	for _, gr := range groups {
+		sg := matrix.Signature{Bits: gr.bits, Count: len(gr.subjects)}
+		if opts.KeepSubjects {
+			sort.Strings(gr.subjects)
+			sg.Subjects = gr.subjects
+		}
+		sigs = append(sigs, sg)
+	}
+	v, err := matrix.NewDistinct(props, sigs)
+	if err != nil {
+		panic("experiments: reference view: " + err.Error())
+	}
+	return v
+}

@@ -15,9 +15,16 @@
 // — cached per epoch, and never mutated afterwards, so the existing
 // refinement engine runs unchanged against a consistent view while
 // ingestion continues.
+//
+// All of the per-batch work runs on interned term IDs (internal/term):
+// signature membership, subject migration and the σ count deltas key by
+// TermID and column index, so a steady-state Apply hashes no strings at
+// all — the only string work ever done is interning genuinely new
+// terms at the parse edge and materializing names into snapshots.
 package incr
 
 import (
+	"io"
 	"sort"
 	"strconv"
 	"strings"
@@ -28,6 +35,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/rdf"
 	"repro/internal/rules"
+	"repro/internal/term"
 )
 
 // Options configures a Dataset. The zero value matches
@@ -48,7 +56,7 @@ type Options struct {
 type sigState struct {
 	cols     []int // sorted ascending
 	key      string
-	subjects map[string]struct{}
+	subjects map[term.ID]struct{}
 }
 
 // Dataset is a mutable RDF dataset with incrementally-maintained
@@ -59,19 +67,22 @@ type Dataset struct {
 	mu   sync.RWMutex
 	opts Options
 
-	ignore map[string]bool
+	// ignore holds the interned IDs of excluded predicates. The IDs are
+	// fixed at construction (the dictionary is append-only), so the
+	// per-triple exclusion check is one integer map probe.
+	ignore map[term.ID]bool
 	g      *rdf.Graph
 
 	// Append-only column space. Columns whose subject count drops to
 	// zero are retired in place (snapshots skip them) and revived if the
 	// property reappears.
-	props     []string
-	propIndex map[string]int
+	props     []string // column names, materialized once at creation
+	propIndex map[term.ID]int
 
 	tracker *rules.CountTracker
 
-	sigs    map[string]*sigState // signature key -> state
-	subjSig map[string]*sigState // subject -> its signature set
+	sigs    map[string]*sigState  // signature key -> state
+	subjSig map[term.ID]*sigState // subject -> its signature set
 
 	epoch   uint64
 	snap    atomic.Pointer[Snapshot]
@@ -91,18 +102,20 @@ type Snapshot struct {
 
 // NewDataset returns an empty incremental dataset.
 func NewDataset(opts Options) *Dataset {
-	ignore := map[string]bool{rdf.TypeURI: true}
+	g := rdf.NewGraph()
+	dict := g.Dict()
+	ignore := map[term.ID]bool{dict.Intern(rdf.TypeURI): true}
 	for _, p := range opts.IgnoreProperties {
-		ignore[p] = true
+		ignore[dict.Intern(p)] = true
 	}
 	return &Dataset{
 		opts:      opts,
 		ignore:    ignore,
-		g:         rdf.NewGraph(),
-		propIndex: make(map[string]int),
+		g:         g,
+		propIndex: make(map[term.ID]int),
 		tracker:   rules.NewCountTracker(0),
 		sigs:      make(map[string]*sigState),
-		subjSig:   make(map[string]*sigState),
+		subjSig:   make(map[term.ID]*sigState),
 	}
 }
 
@@ -112,6 +125,10 @@ func FromGraph(g *rdf.Graph, opts Options) *Dataset {
 	d.Apply(g.Triples(), nil)
 	return d
 }
+
+// Dict returns the dataset's term dictionary (shared with its graph).
+// Interning is safe concurrently with Apply.
+func (d *Dataset) Dict() *term.Dict { return d.g.Dict() }
 
 // AddStream applies triples produced by a streaming reader (e.g.
 // rdf.ReadNTriples, rdf.ReadTurtle) in bounded batches of batchSize, so
@@ -139,6 +156,40 @@ func (d *Dataset) AddStream(batchSize int, read func(emit func(rdf.Triple) error
 	return added, err
 }
 
+// AddStreamIDs is AddStream over interned triples: the reader interns
+// terms (typically zero-copy off its input buffer) and the batches
+// apply without ever touching a string.
+func (d *Dataset) AddStreamIDs(batchSize int, read func(emit func(rdf.IDTriple) error) error) (added int, err error) {
+	if batchSize <= 0 {
+		batchSize = 10000
+	}
+	batch := make([]rdf.IDTriple, 0, batchSize)
+	flush := func() {
+		a, _ := d.ApplyIDs(batch, nil)
+		added += a
+		batch = batch[:0]
+	}
+	err = read(func(it rdf.IDTriple) error {
+		batch = append(batch, it)
+		if len(batch) == cap(batch) {
+			flush()
+		}
+		return nil
+	})
+	flush()
+	return added, err
+}
+
+// AddNTriples streams an N-Triples document into the dataset through
+// the interning decoder — the zero-copy ingest path rdfserved uses for
+// raw bodies. On a parse or read error, triples decoded before it
+// remain applied and are reflected in added.
+func (d *Dataset) AddNTriples(r io.Reader, batchSize int) (added int, err error) {
+	return d.AddStreamIDs(batchSize, func(emit func(rdf.IDTriple) error) error {
+		return rdf.ReadNTriplesIDs(r, d.Dict(), emit)
+	})
+}
+
 // colsKey returns the canonical identity of a column set. Unlike
 // bitset.Set.Key it is independent of the (growing) column capacity.
 func colsKey(cols []int) string {
@@ -161,29 +212,56 @@ func (d *Dataset) Apply(add, remove []rdf.Triple) (added, removed int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, t := range add {
-		if d.applyAdd(t) {
+		if d.applyAdd(d.g.Intern(t)) {
 			added++
 		}
 	}
 	for _, t := range remove {
-		if d.applyRemove(t) {
+		// Lookup, not Intern: removing a triple with never-seen terms is
+		// a no-op and must not grow the dictionary.
+		it, ok := d.g.LookupTriple(t)
+		if ok && d.applyRemove(it) {
 			removed++
 		}
 	}
+	d.finishBatch(added, removed)
+	return added, removed
+}
+
+// ApplyIDs is Apply over pre-interned triples — the string-free batch
+// path fed by the interning decoders.
+func (d *Dataset) ApplyIDs(add, remove []rdf.IDTriple) (added, removed int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, it := range add {
+		if d.applyAdd(it) {
+			added++
+		}
+	}
+	for _, it := range remove {
+		if d.applyRemove(it) {
+			removed++
+		}
+	}
+	d.finishBatch(added, removed)
+	return added, removed
+}
+
+// finishBatch advances the epoch after a mutating batch. Caller holds mu.
+func (d *Dataset) finishBatch(added, removed int) {
 	if added > 0 || removed > 0 {
 		d.epoch++
 		d.added += uint64(added)
 		d.removed += uint64(removed)
 	}
-	return added, removed
 }
 
 // applyAdd inserts one triple and migrates its subject. Caller holds mu.
-func (d *Dataset) applyAdd(t rdf.Triple) bool {
-	s, p := t.Subject, t.Predicate
-	hadSubj := d.g.HasSubject(s)
-	hadProp := hadSubj && d.g.HasProperty(s, p)
-	if !d.g.Add(t) {
+func (d *Dataset) applyAdd(it rdf.IDTriple) bool {
+	s, p := it.S, it.P
+	hadSubj := d.g.HasSubjectID(s)
+	hadProp := hadSubj && d.g.HasPropertyID(s, p)
+	if !d.g.AddID(it) {
 		return false
 	}
 	if !hadSubj {
@@ -211,17 +289,17 @@ func (d *Dataset) applyAdd(t rdf.Triple) bool {
 
 // applyRemove deletes one triple and migrates its subject. Caller
 // holds mu.
-func (d *Dataset) applyRemove(t rdf.Triple) bool {
-	s, p := t.Subject, t.Predicate
-	if !d.g.Remove(t) {
+func (d *Dataset) applyRemove(it rdf.IDTriple) bool {
+	s, p := it.S, it.P
+	if !d.g.RemoveID(it) {
 		return false
 	}
 	lostCol := -1
-	if !d.ignore[p] && !d.g.HasProperty(s, p) {
+	if !d.ignore[p] && !d.g.HasPropertyID(s, p) {
 		lostCol = d.propIndex[p] // p was a column: the triple was present
 		d.tracker.Lose(lostCol)
 	}
-	if !d.g.HasSubject(s) {
+	if !d.g.HasSubjectID(s) {
 		d.tracker.AddSubjects(-1)
 		d.detach(s)
 		delete(d.subjSig, s)
@@ -237,12 +315,12 @@ func (d *Dataset) applyRemove(t rdf.Triple) bool {
 
 // colFor returns p's column, creating it on first sight (or reviving a
 // retired column of the same name).
-func (d *Dataset) colFor(p string) int {
+func (d *Dataset) colFor(p term.ID) int {
 	if i, ok := d.propIndex[p]; ok {
 		return i
 	}
 	i := len(d.props)
-	d.props = append(d.props, p)
+	d.props = append(d.props, d.g.Dict().String(p))
 	d.propIndex[p] = i
 	d.tracker.Grow(len(d.props))
 	return i
@@ -251,7 +329,7 @@ func (d *Dataset) colFor(p string) int {
 // detach removes s from its signature set (retiring the set when it
 // empties) and returns the set's columns. Returns nil for an unknown
 // subject.
-func (d *Dataset) detach(s string) []int {
+func (d *Dataset) detach(s term.ID) []int {
 	st := d.subjSig[s]
 	if st == nil {
 		return nil
@@ -264,11 +342,11 @@ func (d *Dataset) detach(s string) []int {
 }
 
 // attach places s into the signature set for cols, creating it if new.
-func (d *Dataset) attach(s string, cols []int) {
+func (d *Dataset) attach(s term.ID, cols []int) {
 	key := colsKey(cols)
 	st := d.sigs[key]
 	if st == nil {
-		st = &sigState{cols: cols, key: key, subjects: make(map[string]struct{})}
+		st = &sigState{cols: cols, key: key, subjects: make(map[term.ID]struct{})}
 		d.sigs[key] = st
 	}
 	st.subjects[s] = struct{}{}
@@ -341,6 +419,7 @@ func (d *Dataset) buildView() *matrix.View {
 		remap[i] = nameIdx[d.props[i]]
 	}
 
+	dict := d.g.Dict()
 	sigs := make([]matrix.Signature, 0, len(d.sigs))
 	for _, st := range d.sigs {
 		bits := bitset.New(len(names))
@@ -351,7 +430,7 @@ func (d *Dataset) buildView() *matrix.View {
 		if d.opts.KeepSubjects {
 			subs := make([]string, 0, len(st.subjects))
 			for s := range st.subjects {
-				subs = append(subs, s)
+				subs = append(subs, dict.String(s))
 			}
 			sort.Strings(subs)
 			sg.Subjects = subs
@@ -388,6 +467,7 @@ type Stats struct {
 	Subjects   int    `json:"subjects"`
 	Properties int    `json:"properties"` // active (non-retired) columns
 	Signatures int    `json:"signatures"`
+	Terms      int    `json:"terms"`   // distinct interned terms
 	Added      uint64 `json:"added"`   // triples added over the dataset's lifetime
 	Removed    uint64 `json:"removed"` // triples removed over the dataset's lifetime
 }
@@ -408,6 +488,7 @@ func (d *Dataset) Stats() Stats {
 		Subjects:   d.g.SubjectCount(),
 		Properties: activeProps,
 		Signatures: len(d.sigs),
+		Terms:      d.g.Dict().Len(),
 		Added:      d.added,
 		Removed:    d.removed,
 	}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/rdf"
+	"repro/internal/term"
 )
 
 // Signature is a distinct row pattern of M(D) together with the set of
@@ -65,47 +66,72 @@ type Options struct {
 // FromGraph builds the view of g. By default rdf:type is excluded from
 // the property columns, matching the paper's dataset descriptions
 // ("8 properties (excluding the type property)").
+//
+// Construction runs on interned term IDs: one dictionary pass maps the
+// graph's predicate IDs to sorted-by-name columns, and each subject's
+// signature bits are set by integer column lookups — no URI is hashed
+// or re-materialized per cell. Subject strings only materialize when
+// KeepSubjects asks for them.
 func FromGraph(g *rdf.Graph, opts Options) *View {
-	ignore := map[string]bool{rdf.TypeURI: true}
-	for _, p := range opts.IgnoreProperties {
-		ignore[p] = true
-	}
-	var props []string
-	for _, p := range g.Properties() {
-		if !ignore[p] {
-			props = append(props, p)
+	dict := g.Dict()
+	ignore := map[term.ID]bool{}
+	for _, p := range append([]string{rdf.TypeURI}, opts.IgnoreProperties...) {
+		if id, ok := dict.Lookup(p); ok {
+			ignore[id] = true
 		}
 	}
-	propIndex := make(map[string]int, len(props))
-	for i, p := range props {
-		propIndex[p] = i
+	// The single dictionary pass: materialize each column name once and
+	// order columns by name, as the string implementation did.
+	type pcol struct {
+		name string
+		id   term.ID
+	}
+	cols := make([]pcol, 0, g.PropertyCount())
+	for _, id := range g.PropertyIDs() {
+		if !ignore[id] {
+			cols = append(cols, pcol{name: dict.String(id), id: id})
+		}
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i].name < cols[j].name })
+	var props []string
+	if len(cols) > 0 {
+		props = make([]string, len(cols))
+	}
+	propIndex := make(map[string]int, len(cols))
+	colOf := make(map[term.ID]int, len(cols))
+	for i, c := range cols {
+		props[i] = c.name
+		propIndex[c.name] = i
+		colOf[c.id] = i
 	}
 
 	type group struct {
 		bits     bitset.Set
-		subjects []string
+		subjects []term.ID
 	}
 	groups := map[string]*group{}
 	nSubjects := 0
-	for _, s := range g.Subjects() {
-		bits := bitset.New(len(props))
-		any := false
-		for _, tr := range g.SubjectTriples(s) {
-			if i, ok := propIndex[tr.Predicate]; ok {
-				bits.Set(i)
-				any = true
-			}
+	// One scratch signature and key buffer serve the whole grouping
+	// loop: the map is probed without materializing a key string, and
+	// the bits are only cloned for a pattern never seen before.
+	scratch := bitset.New(len(props))
+	var keyBuf []byte
+	setBit := func(tr rdf.IDTriple) {
+		if i, ok := colOf[tr.P]; ok {
+			scratch.Set(i)
 		}
+	}
+	for _, s := range g.SubjectIDs() {
+		scratch.Reset()
+		g.EachSubjectTripleID(s, setBit)
 		// Subjects whose only triples are ignored properties still count
-		// as rows (they exist in S(D)); their signature is all-zero. But
-		// only include subjects that appear in the graph at all.
-		_ = any
+		// as rows (they exist in S(D)); their signature is all-zero.
 		nSubjects++
-		k := bits.Key()
-		gr := groups[k]
+		keyBuf = scratch.AppendKey(keyBuf[:0])
+		gr := groups[string(keyBuf)]
 		if gr == nil {
-			gr = &group{bits: bits}
-			groups[k] = gr
+			gr = &group{bits: scratch.Clone()}
+			groups[string(keyBuf)] = gr
 		}
 		gr.subjects = append(gr.subjects, s)
 	}
@@ -114,8 +140,12 @@ func FromGraph(g *rdf.Graph, opts Options) *View {
 	for _, gr := range groups {
 		sg := Signature{Bits: gr.bits, Count: len(gr.subjects)}
 		if opts.KeepSubjects {
-			sort.Strings(gr.subjects)
-			sg.Subjects = gr.subjects
+			subs := make([]string, len(gr.subjects))
+			for i, id := range gr.subjects {
+				subs[i] = dict.String(id)
+			}
+			sort.Strings(subs)
+			sg.Subjects = subs
 		}
 		sigs = append(sigs, sg)
 	}

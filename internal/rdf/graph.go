@@ -1,60 +1,239 @@
 package rdf
 
 import (
+	"math"
 	"sort"
+
+	"repro/internal/term"
 )
 
+// IDTriple is a triple with every term replaced by its dictionary ID.
+// The hot paths — graph indexes, view construction, incremental
+// signature migration — operate exclusively on IDTriples; the string
+// form materializes only at the edges via the owning graph's Dict.
+// IDTriple is comparable and is used directly as the dedup map key.
+type IDTriple struct {
+	S, P  term.ID
+	O     term.ID
+	OKind TermKind
+}
+
 // Graph is a finite set of RDF triples with subject and predicate
-// indexes. The zero value is not ready to use; call NewGraph.
+// indexes, stored in interned form: one term dictionary maps every
+// distinct URI/literal to a dense uint32 ID, and all indexes are keyed
+// by ID. Adding a triple therefore hashes three small integers and the
+// 16-byte IDTriple, never the URI strings, and duplicate terms cost no
+// allocation. The zero value is not ready to use; call NewGraph.
 type Graph struct {
-	triples []Triple
-	// bySubject maps subject URI -> indices into triples, insertion order.
-	bySubject map[string][]int
+	dict    *term.Dict
+	triples []IDTriple
+	// bySubject maps subject ID -> indices into triples, insertion order.
+	bySubject map[term.ID][]int32
 	// present deduplicates triples and locates them for removal.
-	present map[tripleKey]int
-	// propSubjects maps predicate URI -> set of subjects having it.
-	propSubjects map[string]map[string]struct{}
+	present map[IDTriple]int32
+	// propSubjects maps predicate ID -> the set of subjects having it.
+	propSubjects map[term.ID]*subjSet
 	// dead marks removed slots in triples; compacted away once they
 	// outnumber the live triples.
-	dead map[int]struct{}
+	dead map[int32]struct{}
 }
 
-type tripleKey struct {
-	s, p string
-	ok   TermKind
-	ov   string
+// subjSpill is the size past which a predicate's subject set stops
+// paying O(n) memmoves for out-of-order inserts and removals and
+// converts to a hash set.
+const subjSpill = 4096
+
+// subjSet holds the subjects having one predicate. Small and
+// append-mostly sets live in a sorted ID slice (cache-friendly, O(1)
+// monotone append — the bulk-ingest pattern, since subject IDs are
+// assigned in first-sight order); a set that is large *and* churning
+// (out-of-order insert or removal past subjSpill) spills to a hash
+// set, keeping every operation O(1) instead of an O(n) memmove.
+type subjSet struct {
+	sorted []term.ID            // sorted ascending; meaningful while set == nil
+	set    map[term.ID]struct{} // non-nil once spilled
 }
 
-// NewGraph returns an empty graph.
-func NewGraph() *Graph {
-	return &Graph{
-		bySubject:    make(map[string][]int),
-		present:      make(map[tripleKey]int),
-		propSubjects: make(map[string]map[string]struct{}),
-		dead:         make(map[int]struct{}),
+func (ss *subjSet) spill() {
+	ss.set = make(map[term.ID]struct{}, 2*len(ss.sorted))
+	for _, s := range ss.sorted {
+		ss.set[s] = struct{}{}
+	}
+	ss.sorted = nil
+}
+
+func (ss *subjSet) add(s term.ID) {
+	if ss.set != nil {
+		ss.set[s] = struct{}{}
+		return
+	}
+	n := len(ss.sorted)
+	if n == 0 || ss.sorted[n-1] < s {
+		ss.sorted = append(ss.sorted, s)
+		return
+	}
+	if ss.sorted[n-1] == s {
+		return
+	}
+	if n > subjSpill {
+		ss.spill()
+		ss.set[s] = struct{}{}
+		return
+	}
+	j := sort.Search(n, func(i int) bool { return ss.sorted[i] >= s })
+	if j < n && ss.sorted[j] == s {
+		return
+	}
+	ss.sorted = append(ss.sorted, 0)
+	copy(ss.sorted[j+1:], ss.sorted[j:])
+	ss.sorted[j] = s
+}
+
+func (ss *subjSet) remove(s term.ID) {
+	if ss.set == nil && len(ss.sorted) > subjSpill {
+		ss.spill()
+	}
+	if ss.set != nil {
+		delete(ss.set, s)
+		return
+	}
+	j := sort.Search(len(ss.sorted), func(i int) bool { return ss.sorted[i] >= s })
+	if j < len(ss.sorted) && ss.sorted[j] == s {
+		ss.sorted = append(ss.sorted[:j], ss.sorted[j+1:]...)
 	}
 }
 
-func key(t Triple) tripleKey {
-	return tripleKey{s: t.Subject, p: t.Predicate, ok: t.Object.Kind, ov: t.Object.Value}
+func (ss *subjSet) has(s term.ID) bool {
+	if ss.set != nil {
+		_, ok := ss.set[s]
+		return ok
+	}
+	j := sort.Search(len(ss.sorted), func(i int) bool { return ss.sorted[i] >= s })
+	return j < len(ss.sorted) && ss.sorted[j] == s
+}
+
+func (ss *subjSet) size() int {
+	if ss.set != nil {
+		return len(ss.set)
+	}
+	return len(ss.sorted)
+}
+
+// forEach visits every subject; ascending ID order while un-spilled,
+// unspecified order after.
+func (ss *subjSet) forEach(f func(term.ID)) {
+	if ss.set != nil {
+		for s := range ss.set {
+			f(s)
+		}
+		return
+	}
+	for _, s := range ss.sorted {
+		f(s)
+	}
+}
+
+// NewGraph returns an empty graph with its own term dictionary.
+func NewGraph() *Graph { return NewGraphWithDict(term.NewDict()) }
+
+// NewGraphWithDict returns an empty graph interning into dict. Sharing
+// one dictionary across graphs (e.g. a dataset and its sort subgraphs)
+// makes their IDs directly comparable and skips re-interning.
+func NewGraphWithDict(dict *term.Dict) *Graph {
+	return &Graph{
+		dict:         dict,
+		bySubject:    make(map[term.ID][]int32),
+		present:      make(map[IDTriple]int32),
+		propSubjects: make(map[term.ID]*subjSet),
+		dead:         make(map[int32]struct{}),
+	}
+}
+
+// Dict returns the graph's term dictionary.
+func (g *Graph) Dict() *term.Dict { return g.dict }
+
+// Intern converts t to interned form, assigning IDs for unseen terms.
+func (g *Graph) Intern(t Triple) IDTriple {
+	return IDTriple{
+		S:     g.dict.Intern(t.Subject),
+		P:     g.dict.Intern(t.Predicate),
+		O:     g.dict.Intern(t.Object.Value),
+		OKind: t.Object.Kind,
+	}
+}
+
+// LookupTriple converts t to interned form without growing the
+// dictionary; ok is false when any term is unknown (so t cannot be in
+// the graph).
+func (g *Graph) LookupTriple(t Triple) (it IDTriple, ok bool) {
+	if it.S, ok = g.dict.Lookup(t.Subject); !ok {
+		return IDTriple{}, false
+	}
+	if it.P, ok = g.dict.Lookup(t.Predicate); !ok {
+		return IDTriple{}, false
+	}
+	if it.O, ok = g.dict.Lookup(t.Object.Value); !ok {
+		return IDTriple{}, false
+	}
+	it.OKind = t.Object.Kind
+	return it, true
+}
+
+// materialize converts an interned triple back to string form.
+func (g *Graph) materialize(it IDTriple) Triple {
+	return Triple{
+		Subject:   g.dict.String(it.S),
+		Predicate: g.dict.String(it.P),
+		Object:    Term{Kind: it.OKind, Value: g.dict.String(it.O)},
+	}
 }
 
 // Add inserts t if not already present and reports whether it was added.
-func (g *Graph) Add(t Triple) bool {
-	k := key(t)
-	if _, dup := g.present[k]; dup {
+func (g *Graph) Add(t Triple) bool { return g.AddID(g.Intern(t)) }
+
+// AddID inserts an interned triple if not already present and reports
+// whether it was added. This is the ingestion hot path: no string
+// touches at all.
+func (g *Graph) AddID(it IDTriple) bool {
+	if _, dup := g.present[it]; dup {
 		return false
 	}
-	g.present[k] = len(g.triples)
-	g.bySubject[t.Subject] = append(g.bySubject[t.Subject], len(g.triples))
-	ps := g.propSubjects[t.Predicate]
-	if ps == nil {
-		ps = make(map[string]struct{})
-		g.propSubjects[t.Predicate] = ps
+	if len(g.triples) >= math.MaxInt32 {
+		// The triple indexes are int32; make the capacity limit explicit
+		// instead of silently wrapping.
+		panic("rdf: graph exceeds 2^31-1 triple slots")
 	}
-	ps[t.Subject] = struct{}{}
-	g.triples = append(g.triples, t)
+	i := int32(len(g.triples))
+	g.present[it] = i
+	g.bySubject[it.S] = append(g.bySubject[it.S], i)
+	g.addPropSubject(it.P, it.S)
+	g.triples = append(g.triples, it)
 	return true
+}
+
+// addPropSubject records s in the subject set of predicate p. Subject
+// IDs are dense and assigned in first-sight order, so bulk ingestion
+// appends monotonically and hits the O(1) fast path.
+func (g *Graph) addPropSubject(p, s term.ID) {
+	ps := g.propSubjects[p]
+	if ps == nil {
+		ps = &subjSet{}
+		g.propSubjects[p] = ps
+	}
+	ps.add(s)
+}
+
+// removePropSubject deletes s from predicate p's subject set, dropping
+// the predicate entirely when the set empties.
+func (g *Graph) removePropSubject(p, s term.ID) {
+	ps := g.propSubjects[p]
+	if ps == nil {
+		return
+	}
+	ps.remove(s)
+	if ps.size() == 0 {
+		delete(g.propSubjects, p)
+	}
 }
 
 // Remove deletes t if present and reports whether it was removed. The
@@ -63,15 +242,24 @@ func (g *Graph) Add(t Triple) bool {
 // Properties, HasProperty and HasSubject reflect the removal exactly as
 // if the graph had been rebuilt without t.
 func (g *Graph) Remove(t Triple) bool {
-	k := key(t)
-	i, ok := g.present[k]
+	it, ok := g.LookupTriple(t)
 	if !ok {
 		return false
 	}
-	delete(g.present, k)
+	return g.RemoveID(it)
+}
+
+// RemoveID deletes an interned triple if present and reports whether it
+// was removed.
+func (g *Graph) RemoveID(it IDTriple) bool {
+	i, ok := g.present[it]
+	if !ok {
+		return false
+	}
+	delete(g.present, it)
 	g.dead[i] = struct{}{}
 
-	idx := g.bySubject[t.Subject]
+	idx := g.bySubject[it.S]
 	for j, x := range idx {
 		if x == i {
 			idx = append(idx[:j], idx[j+1:]...)
@@ -79,27 +267,22 @@ func (g *Graph) Remove(t Triple) bool {
 		}
 	}
 	if len(idx) == 0 {
-		delete(g.bySubject, t.Subject)
+		delete(g.bySubject, it.S)
 	} else {
-		g.bySubject[t.Subject] = idx
+		g.bySubject[it.S] = idx
 	}
 
 	// The subject keeps the predicate only if another of its triples
 	// still uses it.
 	still := false
 	for _, j := range idx {
-		if g.triples[j].Predicate == t.Predicate {
+		if g.triples[j].P == it.P {
 			still = true
 			break
 		}
 	}
 	if !still {
-		if ps := g.propSubjects[t.Predicate]; ps != nil {
-			delete(ps, t.Subject)
-			if len(ps) == 0 {
-				delete(g.propSubjects, t.Predicate)
-			}
-		}
+		g.removePropSubject(it.P, it.S)
 	}
 
 	if len(g.dead) > len(g.triples)/2 && len(g.dead) >= 64 {
@@ -109,29 +292,26 @@ func (g *Graph) Remove(t Triple) bool {
 }
 
 // compact rewrites the triple slice without dead slots, preserving
-// insertion order, and reindexes present and bySubject.
+// insertion order, and rebuilds present and bySubject in a single pass
+// over the live triples. Remove has already dropped fully-dead subjects
+// from bySubject, so truncating the surviving entries and re-appending
+// live indices reconstructs every slice in order.
 func (g *Graph) compact() {
-	live := make([]Triple, 0, len(g.triples)-len(g.dead))
-	remap := make([]int, len(g.triples))
+	for s, idx := range g.bySubject {
+		g.bySubject[s] = idx[:0]
+	}
+	live := g.triples[:0]
 	for i, t := range g.triples {
-		if _, gone := g.dead[i]; gone {
-			remap[i] = -1
+		if _, gone := g.dead[int32(i)]; gone {
 			continue
 		}
-		remap[i] = len(live)
+		ni := int32(len(live))
 		live = append(live, t)
+		g.present[t] = ni
+		g.bySubject[t.S] = append(g.bySubject[t.S], ni)
 	}
 	g.triples = live
-	g.dead = make(map[int]struct{})
-	for k, i := range g.present {
-		g.present[k] = remap[i]
-	}
-	for s, idx := range g.bySubject {
-		for j, i := range idx {
-			idx[j] = remap[i]
-		}
-		g.bySubject[s] = idx
-	}
+	g.dead = make(map[int32]struct{})
 }
 
 // AddURI is shorthand for adding (s, p, <o>).
@@ -146,25 +326,47 @@ func (g *Graph) AddLiteral(s, p, o string) bool {
 
 // Contains reports whether the triple is in the graph.
 func (g *Graph) Contains(t Triple) bool {
-	_, ok := g.present[key(t)]
+	it, ok := g.LookupTriple(t)
+	if !ok {
+		return false
+	}
+	return g.ContainsID(it)
+}
+
+// ContainsID reports whether the interned triple is in the graph.
+func (g *Graph) ContainsID(it IDTriple) bool {
+	_, ok := g.present[it]
 	return ok
 }
 
 // Len returns the number of triples.
 func (g *Graph) Len() int { return len(g.triples) - len(g.dead) }
 
-// Triples returns the triples in insertion order. The slice must not be
-// modified.
-func (g *Graph) Triples() []Triple {
-	if len(g.dead) == 0 {
-		return g.triples
-	}
-	out := make([]Triple, 0, g.Len())
-	for i, t := range g.triples {
-		if _, gone := g.dead[i]; !gone {
-			out = append(out, t)
+// EachTriple calls f with every live triple in insertion order,
+// materializing strings one triple at a time.
+func (g *Graph) EachTriple(f func(Triple)) {
+	for i, it := range g.triples {
+		if _, gone := g.dead[int32(i)]; !gone {
+			f(g.materialize(it))
 		}
 	}
+}
+
+// EachTripleID calls f with every live interned triple in insertion
+// order.
+func (g *Graph) EachTripleID(f func(IDTriple)) {
+	for i, it := range g.triples {
+		if _, gone := g.dead[int32(i)]; !gone {
+			f(it)
+		}
+	}
+}
+
+// Triples returns the triples in insertion order, materialized to
+// string form.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, g.Len())
+	g.EachTriple(func(t Triple) { out = append(out, t) })
 	return out
 }
 
@@ -172,9 +374,20 @@ func (g *Graph) Triples() []Triple {
 func (g *Graph) Subjects() []string {
 	out := make([]string, 0, len(g.bySubject))
 	for s := range g.bySubject {
-		out = append(out, s)
+		out = append(out, g.dict.String(s))
 	}
 	sort.Strings(out)
+	return out
+}
+
+// SubjectIDs returns the distinct subject IDs in ascending ID order
+// (i.e. first-sight order, not lexicographic).
+func (g *Graph) SubjectIDs() []term.ID {
+	out := make([]term.ID, 0, len(g.bySubject))
+	for s := range g.bySubject {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -182,32 +395,64 @@ func (g *Graph) Subjects() []string {
 func (g *Graph) Properties() []string {
 	out := make([]string, 0, len(g.propSubjects))
 	for p := range g.propSubjects {
-		out = append(out, p)
+		out = append(out, g.dict.String(p))
 	}
 	sort.Strings(out)
+	return out
+}
+
+// PropertyIDs returns the distinct predicate IDs, in no particular
+// order.
+func (g *Graph) PropertyIDs() []term.ID {
+	out := make([]term.ID, 0, len(g.propSubjects))
+	for p := range g.propSubjects {
+		out = append(out, p)
+	}
 	return out
 }
 
 // HasProperty reports whether subject s has property p in the graph,
 // i.e. ∃o such that (s, p, o) ∈ D.
 func (g *Graph) HasProperty(s, p string) bool {
-	ps := g.propSubjects[p]
-	if ps == nil {
+	sid, ok := g.dict.Lookup(s)
+	if !ok {
 		return false
 	}
-	_, ok := ps[s]
-	return ok
+	pid, ok := g.dict.Lookup(p)
+	if !ok {
+		return false
+	}
+	return g.HasPropertyID(sid, pid)
+}
+
+// HasPropertyID is HasProperty over interned IDs: a membership probe
+// of the predicate's subject set.
+func (g *Graph) HasPropertyID(s, p term.ID) bool {
+	ps := g.propSubjects[p]
+	return ps != nil && ps.has(s)
 }
 
 // SubjectTriples returns the triples whose subject is s, in insertion
 // order (the "entity" of s in the paper's terminology).
 func (g *Graph) SubjectTriples(s string) []Triple {
-	idx := g.bySubject[s]
+	sid, ok := g.dict.Lookup(s)
+	if !ok {
+		return nil
+	}
+	idx := g.bySubject[sid]
 	out := make([]Triple, len(idx))
 	for i, j := range idx {
-		out[i] = g.triples[j]
+		out[i] = g.materialize(g.triples[j])
 	}
 	return out
+}
+
+// EachSubjectTripleID calls f with each triple of subject s (by ID) in
+// insertion order, without materializing strings or slices.
+func (g *Graph) EachSubjectTripleID(s term.ID, f func(IDTriple)) {
+	for _, j := range g.bySubject[s] {
+		f(g.triples[j])
+	}
 }
 
 // SubjectCount returns |S(D)| without materializing the subject list.
@@ -215,12 +460,27 @@ func (g *Graph) SubjectCount() int { return len(g.bySubject) }
 
 // HasSubject reports whether s has at least one triple in the graph.
 func (g *Graph) HasSubject(s string) bool {
+	sid, ok := g.dict.Lookup(s)
+	if !ok {
+		return false
+	}
+	return g.HasSubjectID(sid)
+}
+
+// HasSubjectID is HasSubject over an interned ID.
+func (g *Graph) HasSubjectID(s term.ID) bool {
 	_, ok := g.bySubject[s]
 	return ok
 }
 
 // SubjectDegree returns the number of triples whose subject is s.
-func (g *Graph) SubjectDegree(s string) int { return len(g.bySubject[s]) }
+func (g *Graph) SubjectDegree(s string) int {
+	sid, ok := g.dict.Lookup(s)
+	if !ok {
+		return 0
+	}
+	return len(g.bySubject[sid])
+}
 
 // PropertyCount returns |P(D)|.
 func (g *Graph) PropertyCount() int { return len(g.propSubjects) }
@@ -228,18 +488,23 @@ func (g *Graph) PropertyCount() int { return len(g.propSubjects) }
 // Sorts returns the distinct sort URIs t appearing in (s, rdf:type, t)
 // triples, sorted.
 func (g *Graph) Sorts() []string {
-	seen := map[string]struct{}{}
-	ps := g.propSubjects[TypeURI]
-	for s := range ps {
-		for _, t := range g.SubjectTriples(s) {
-			if t.Predicate == TypeURI && t.Object.IsURI() {
-				seen[t.Object.Value] = struct{}{}
-			}
-		}
+	typeID, ok := g.dict.Lookup(TypeURI)
+	if !ok {
+		return nil
+	}
+	seen := map[term.ID]struct{}{}
+	if ps := g.propSubjects[typeID]; ps != nil {
+		ps.forEach(func(s term.ID) {
+			g.EachSubjectTripleID(s, func(it IDTriple) {
+				if it.P == typeID && it.OKind == URI {
+					seen[it.O] = struct{}{}
+				}
+			})
+		})
 	}
 	out := make([]string, 0, len(seen))
 	for t := range seen {
-		out = append(out, t)
+		out = append(out, g.dict.String(t))
 	}
 	sort.Strings(out)
 	return out
@@ -247,27 +512,34 @@ func (g *Graph) Sorts() []string {
 
 // SortSubgraph returns Dt = {(s,p,o) ∈ D | (s, rdf:type, t) ∈ D}: all
 // triples whose subject is explicitly declared of sort t. The result is
-// a new graph; it includes the rdf:type triples themselves, matching the
-// paper's definition (experiments typically exclude the type property
-// from the property-structure view; see matrix.Options).
+// a new graph sharing this graph's term dictionary; it includes the
+// rdf:type triples themselves, matching the paper's definition
+// (experiments typically exclude the type property from the
+// property-structure view; see matrix.Options).
 func (g *Graph) SortSubgraph(sortURI string) *Graph {
-	out := NewGraph()
-	typeTriple := Triple{Predicate: TypeURI, Object: NewURI(sortURI)}
-	for s := range g.bySubject {
-		typeTriple.Subject = s
-		if !g.Contains(typeTriple) {
-			continue
-		}
-		for _, t := range g.SubjectTriples(s) {
-			out.Add(t)
-		}
+	out := NewGraphWithDict(g.dict)
+	typeID, ok1 := g.dict.Lookup(TypeURI)
+	sortID, ok2 := g.dict.Lookup(sortURI)
+	if !ok1 || !ok2 {
+		return out
+	}
+	if ps := g.propSubjects[typeID]; ps != nil {
+		ps.forEach(func(s term.ID) {
+			if !g.ContainsID(IDTriple{S: s, P: typeID, O: sortID, OKind: URI}) {
+				return
+			}
+			g.EachSubjectTripleID(s, func(it IDTriple) { out.AddID(it) })
+		})
 	}
 	return out
 }
 
-// Merge adds every triple of other into g.
+// Merge adds every triple of other into g. When the graphs share a
+// dictionary the triples transfer in interned form.
 func (g *Graph) Merge(other *Graph) {
-	for _, t := range other.Triples() {
-		g.Add(t)
+	if other.dict == g.dict {
+		other.EachTripleID(func(it IDTriple) { g.AddID(it) })
+		return
 	}
+	other.EachTriple(func(t Triple) { g.Add(t) })
 }

@@ -2,10 +2,12 @@ package rdf
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
-	"strings"
 	"unicode/utf8"
+
+	"repro/internal/term"
 )
 
 // ParseError describes a syntax error in N-Triples input.
@@ -22,9 +24,43 @@ func (e *ParseError) Error() string {
 // NTriplesDecoder streams triples out of an N-Triples document one
 // line at a time, holding only the current line in memory — the way
 // rdfserved and the CLIs ingest large dumps with bounded memory.
+//
+// Two output forms are available: Next materializes a string Triple
+// per line, while NextID parses directly off the scanner's byte buffer
+// and interns each term into a dictionary — zero string allocation for
+// terms the dictionary has already seen, which in steady-state
+// ingestion is nearly all of them (subjects repeat across their
+// triples, predicates and common objects repeat across the dump).
 type NTriplesDecoder struct {
-	sc   *bufio.Scanner
-	line int
+	sc      *bufio.Scanner
+	line    int
+	scratch []byte // literal-unescape buffer reused across NextID calls
+
+	// Per-slot one-entry memos for NextID: real dumps are grouped by
+	// subject (and often by predicate within a subject), so the
+	// previous line's terms very frequently recur verbatim — a byte
+	// compare then skips the dictionary probe entirely.
+	memoDict           *term.Dict
+	subjMemo, predMemo termMemo
+	objMemo            termMemo
+	objMemoKind        TermKind
+}
+
+// termMemo caches one token -> ID association.
+type termMemo struct {
+	bytes []byte
+	id    term.ID
+	ok    bool
+}
+
+func (m *termMemo) intern(tok []byte, dict *term.Dict) term.ID {
+	if m.ok && bytes.Equal(m.bytes, tok) {
+		return m.id
+	}
+	m.id = dict.InternBytes(tok)
+	m.bytes = append(m.bytes[:0], tok...)
+	m.ok = true
+	return m.id
 }
 
 // NewNTriplesDecoder returns a decoder reading from r.
@@ -51,6 +87,44 @@ func (d *NTriplesDecoder) Next() (Triple, error) {
 		return Triple{}, fmt.Errorf("ntriples: read: %w", err)
 	}
 	return Triple{}, io.EOF
+}
+
+// NextID returns the next triple in interned form, interning terms
+// into dict zero-copy from the scanner's buffer: the term bytes are
+// only copied into a string when the dictionary has never seen them.
+// At end of input it returns io.EOF.
+func (d *NTriplesDecoder) NextID(dict *term.Dict) (IDTriple, error) {
+	if d.memoDict != dict {
+		d.memoDict = dict
+		d.subjMemo.ok, d.predMemo.ok, d.objMemo.ok = false, false, false
+	}
+	for d.sc.Scan() {
+		d.line++
+		p := &lineParser[[]byte]{s: d.sc.Bytes(), line: d.line, scratch: d.scratch[:0]}
+		rt, ok, err := parseLine(p)
+		d.scratch = p.scratch
+		if err != nil {
+			return IDTriple{}, err
+		}
+		if !ok {
+			continue
+		}
+		it := IDTriple{
+			S:     d.subjMemo.intern(rt.subj, dict),
+			P:     d.predMemo.intern(rt.pred, dict),
+			OKind: rt.objKind,
+		}
+		if d.objMemoKind != rt.objKind {
+			d.objMemo.ok = false
+			d.objMemoKind = rt.objKind
+		}
+		it.O = d.objMemo.intern(rt.obj, dict)
+		return it, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return IDTriple{}, fmt.Errorf("ntriples: read: %w", err)
+	}
+	return IDTriple{}, io.EOF
 }
 
 // Line returns the number of the last line consumed (1-based).
@@ -80,72 +154,121 @@ func ReadNTriples(r io.Reader, emit func(Triple) error) error {
 	}
 }
 
-// ParseNTriples reads N-Triples from r into a new graph. See
-// ReadNTriples for the supported grammar.
+// ReadNTriplesIDs streams N-Triples from r in interned form, interning
+// every term into dict. See NextID for the allocation profile.
+func ReadNTriplesIDs(r io.Reader, dict *term.Dict, emit func(IDTriple) error) error {
+	d := NewNTriplesDecoder(r)
+	for {
+		it, err := d.NextID(dict)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := emit(it); err != nil {
+			return err
+		}
+	}
+}
+
+// ParseNTriples reads N-Triples from r into a new graph, through the
+// interned fast path. See ReadNTriples for the supported grammar.
 func ParseNTriples(r io.Reader) (*Graph, error) {
 	g := NewGraph()
-	if err := ReadNTriples(r, func(t Triple) error { g.Add(t); return nil }); err != nil {
+	if err := ReadNTriplesIDs(r, g.Dict(), func(it IDTriple) error { g.AddID(it); return nil }); err != nil {
 		return nil, err
 	}
 	return g, nil
 }
 
 // ParseNTriplesLine parses a single N-Triples line. ok is false for
-// blank and comment-only lines.
+// blank and comment-only lines. The returned triple's strings are
+// substrings of line where the grammar allows (unescaped terms).
 func ParseNTriplesLine(line string, lineNo int) (t Triple, ok bool, err error) {
-	p := &lineParser{s: line, line: lineNo}
-	p.skipWS()
-	if p.eof() || p.peek() == '#' {
-		return Triple{}, false, nil
-	}
-	subj, err := p.parseResource()
-	if err != nil {
+	p := &lineParser[string]{s: line, line: lineNo}
+	rt, ok, err := parseLine(p)
+	if !ok || err != nil {
 		return Triple{}, false, err
 	}
-	p.skipWS()
-	pred, err := p.parseURI()
-	if err != nil {
-		return Triple{}, false, err
-	}
-	p.skipWS()
-	obj, err := p.parseObject()
-	if err != nil {
-		return Triple{}, false, err
-	}
-	p.skipWS()
-	if p.eof() || p.peek() != '.' {
-		return Triple{}, false, p.errf("expected '.' terminator")
-	}
-	p.i++
-	p.skipWS()
-	if !p.eof() && p.peek() != '#' {
-		return Triple{}, false, p.errf("unexpected trailing content %q", p.s[p.i:])
-	}
-	return Triple{Subject: subj, Predicate: pred, Object: obj}, true, nil
+	return Triple{
+		Subject:   rt.subj,
+		Predicate: rt.pred,
+		Object:    Term{Kind: rt.objKind, Value: rt.obj},
+	}, true, nil
 }
 
-type lineParser struct {
-	s    string
-	i    int
-	line int
+// byteseq abstracts the parser input so one implementation serves both
+// the string API (substring results, no input copy) and the interning
+// decoder (byte-slice results straight off the read buffer).
+type byteseq interface{ ~string | ~[]byte }
+
+// rawTriple is a parsed line before term materialization: each field
+// views the input (or the parser's scratch buffer, for literals with
+// escapes).
+type rawTriple[S byteseq] struct {
+	subj, pred S
+	obj        S
+	objKind    TermKind
 }
 
-func (p *lineParser) eof() bool  { return p.i >= len(p.s) }
-func (p *lineParser) peek() byte { return p.s[p.i] }
-func (p *lineParser) errf(format string, args ...interface{}) error {
+type lineParser[S byteseq] struct {
+	s       S
+	i       int
+	line    int
+	scratch []byte // unescape buffer; only grown when a literal has escapes
+}
+
+func (p *lineParser[S]) eof() bool  { return p.i >= len(p.s) }
+func (p *lineParser[S]) peek() byte { return p.s[p.i] }
+func (p *lineParser[S]) errf(format string, args ...interface{}) error {
 	return &ParseError{Line: p.line, Col: p.i + 1, Msg: fmt.Sprintf(format, args...)}
 }
 
-func (p *lineParser) skipWS() {
+func (p *lineParser[S]) skipWS() {
 	for !p.eof() && (p.peek() == ' ' || p.peek() == '\t') {
 		p.i++
 	}
 }
 
+// parseLine parses one N-Triples line into views of the input. ok is
+// false for blank and comment-only lines.
+func parseLine[S byteseq](p *lineParser[S]) (rt rawTriple[S], ok bool, err error) {
+	p.skipWS()
+	if p.eof() || p.peek() == '#' {
+		return rt, false, nil
+	}
+	rt.subj, err = p.parseResource()
+	if err != nil {
+		return rt, false, err
+	}
+	p.skipWS()
+	rt.pred, err = p.parseURI()
+	if err != nil {
+		return rt, false, err
+	}
+	p.skipWS()
+	rt.obj, rt.objKind, err = p.parseObject()
+	if err != nil {
+		return rt, false, err
+	}
+	p.skipWS()
+	if p.eof() || p.peek() != '.' {
+		return rt, false, p.errf("expected '.' terminator")
+	}
+	p.i++
+	p.skipWS()
+	if !p.eof() && p.peek() != '#' {
+		return rt, false, p.errf("unexpected trailing content %q", string(p.s[p.i:]))
+	}
+	return rt, true, nil
+}
+
 // parseResource parses a URI or a blank node label.
-func (p *lineParser) parseResource() (string, error) {
+func (p *lineParser[S]) parseResource() (S, error) {
+	var zero S
 	if p.eof() {
-		return "", p.errf("unexpected end of line, expected URI or blank node")
+		return zero, p.errf("unexpected end of line, expected URI or blank node")
 	}
 	if p.peek() == '_' {
 		return p.parseBlankNode()
@@ -153,126 +276,144 @@ func (p *lineParser) parseResource() (string, error) {
 	return p.parseURI()
 }
 
-func (p *lineParser) parseBlankNode() (string, error) {
+func (p *lineParser[S]) parseBlankNode() (S, error) {
+	var zero S
 	start := p.i
 	if p.i+1 >= len(p.s) || p.s[p.i+1] != ':' {
-		return "", p.errf("malformed blank node")
+		return zero, p.errf("malformed blank node")
 	}
 	p.i += 2
 	for !p.eof() && p.peek() != ' ' && p.peek() != '\t' {
 		p.i++
 	}
 	if p.i == start+2 {
-		return "", p.errf("empty blank node label")
+		return zero, p.errf("empty blank node label")
 	}
 	return p.s[start:p.i], nil
 }
 
-func (p *lineParser) parseURI() (string, error) {
+func (p *lineParser[S]) parseURI() (S, error) {
+	var zero S
 	if p.eof() || p.peek() != '<' {
-		return "", p.errf("expected '<'")
+		return zero, p.errf("expected '<'")
 	}
 	p.i++
 	start := p.i
 	for !p.eof() && p.peek() != '>' {
 		if p.peek() == ' ' {
-			return "", p.errf("space inside URI")
+			return zero, p.errf("space inside URI")
 		}
 		p.i++
 	}
 	if p.eof() {
-		return "", p.errf("unterminated URI")
+		return zero, p.errf("unterminated URI")
 	}
 	u := p.s[start:p.i]
 	p.i++
-	if u == "" {
-		return "", p.errf("empty URI")
+	if len(u) == 0 {
+		return zero, p.errf("empty URI")
 	}
 	return u, nil
 }
 
-func (p *lineParser) parseObject() (Term, error) {
+func (p *lineParser[S]) parseObject() (S, TermKind, error) {
+	var zero S
 	if p.eof() {
-		return Term{}, p.errf("unexpected end of line, expected object")
+		return zero, URI, p.errf("unexpected end of line, expected object")
 	}
 	switch p.peek() {
 	case '<':
 		u, err := p.parseURI()
-		if err != nil {
-			return Term{}, err
-		}
-		return NewURI(u), nil
+		return u, URI, err
 	case '_':
 		b, err := p.parseBlankNode()
-		if err != nil {
-			return Term{}, err
-		}
-		return NewURI(b), nil
+		return b, URI, err
 	case '"':
-		return p.parseLiteral()
+		v, err := p.parseLiteral()
+		return v, Literal, err
 	}
-	return Term{}, p.errf("expected URI, blank node or literal, got %q", p.peek())
+	return zero, URI, p.errf("expected URI, blank node or literal, got %q", p.peek())
 }
 
-func (p *lineParser) parseLiteral() (Term, error) {
+// parseLiteral parses a quoted literal. When the literal contains no
+// escape sequences the result views the input directly; otherwise the
+// unescaped value is built in the parser's scratch buffer (reused
+// across lines by the interning decoder).
+func (p *lineParser[S]) parseLiteral() (S, error) {
+	var zero S
 	p.i++ // consume opening quote
-	var b strings.Builder
+	start := p.i
+	escaped := false
 	for {
 		if p.eof() {
-			return Term{}, p.errf("unterminated literal")
+			return zero, p.errf("unterminated literal")
 		}
 		c := p.peek()
 		if c == '"' {
-			p.i++
 			break
 		}
 		if c == '\\' {
+			if !escaped {
+				// First escape: switch to the scratch buffer, seeded with
+				// the literal prefix scanned so far.
+				escaped = true
+				p.scratch = append(p.scratch[:0], p.s[start:p.i]...)
+			}
 			p.i++
 			if p.eof() {
-				return Term{}, p.errf("dangling escape")
+				return zero, p.errf("dangling escape")
 			}
 			esc := p.peek()
 			p.i++
 			switch esc {
 			case 't':
-				b.WriteByte('\t')
+				p.scratch = append(p.scratch, '\t')
 			case 'n':
-				b.WriteByte('\n')
+				p.scratch = append(p.scratch, '\n')
 			case 'r':
-				b.WriteByte('\r')
+				p.scratch = append(p.scratch, '\r')
 			case '"':
-				b.WriteByte('"')
+				p.scratch = append(p.scratch, '"')
 			case '\\':
-				b.WriteByte('\\')
+				p.scratch = append(p.scratch, '\\')
 			case 'u', 'U':
 				n := 4
 				if esc == 'U' {
 					n = 8
 				}
 				if p.i+n > len(p.s) {
-					return Term{}, p.errf("truncated \\%c escape", esc)
+					return zero, p.errf("truncated \\%c escape", esc)
 				}
 				var r rune
 				for j := 0; j < n; j++ {
 					d := hexVal(p.s[p.i+j])
 					if d < 0 {
-						return Term{}, p.errf("bad hex digit in \\%c escape", esc)
+						return zero, p.errf("bad hex digit in \\%c escape", esc)
 					}
 					r = r<<4 | rune(d)
 				}
 				p.i += n
 				if !utf8.ValidRune(r) {
-					return Term{}, p.errf("invalid code point in escape")
+					return zero, p.errf("invalid code point in escape")
 				}
-				b.WriteRune(r)
+				p.scratch = utf8.AppendRune(p.scratch, r)
 			default:
-				return Term{}, p.errf("unknown escape \\%c", esc)
+				return zero, p.errf("unknown escape \\%c", esc)
 			}
 			continue
 		}
-		b.WriteByte(c)
+		if escaped {
+			p.scratch = append(p.scratch, c)
+		}
 		p.i++
 	}
+	var value S
+	if escaped {
+		value = S(p.scratch)
+	} else {
+		value = p.s[start:p.i]
+	}
+	p.i++ // consume closing quote
 	// Optional language tag or datatype; presence-only semantics, so the
 	// annotation is validated and discarded.
 	if !p.eof() && p.peek() == '@' {
@@ -282,15 +423,15 @@ func (p *lineParser) parseLiteral() (Term, error) {
 			p.i++
 		}
 		if p.i == start {
-			return Term{}, p.errf("empty language tag")
+			return zero, p.errf("empty language tag")
 		}
 	} else if p.i+1 < len(p.s) && p.s[p.i] == '^' && p.s[p.i+1] == '^' {
 		p.i += 2
 		if _, err := p.parseURI(); err != nil {
-			return Term{}, err
+			return zero, err
 		}
 	}
-	return NewLiteral(b.String()), nil
+	return value, nil
 }
 
 func hexVal(c byte) int {
@@ -309,8 +450,13 @@ func hexVal(c byte) int {
 // triple per line, in insertion order.
 func WriteNTriples(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
-	for _, t := range g.Triples() {
-		if _, err := bw.WriteString(t.String()); err != nil {
+	for i, it := range g.triples {
+		if _, gone := g.dead[int32(i)]; gone {
+			continue
+		}
+		// Materialize one triple at a time and stop at the first write
+		// error instead of draining the whole graph.
+		if _, err := bw.WriteString(g.materialize(it).String()); err != nil {
 			return err
 		}
 		if err := bw.WriteByte('\n'); err != nil {

@@ -2,10 +2,13 @@ package rdf
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
 	"unicode/utf8"
+
+	"repro/internal/term"
 )
 
 // ReadTurtle streams a practical subset of the Turtle syntax from r,
@@ -26,20 +29,30 @@ func ReadTurtle(r io.Reader, emit func(Triple) error) error {
 		prefixes: map[string]string{},
 		emit:     emit,
 	}
-	err := p.parse()
-	// An underlying read error outranks the syntax error the resulting
-	// truncation may have produced.
-	if p.readErr != nil {
-		return fmt.Errorf("turtle: read: %w", p.readErr)
-	}
-	return err
+	return p.run()
 }
 
-// ParseTurtle reads Turtle from r into a new graph. See ReadTurtle for
-// the supported grammar.
+// ReadTurtleIDs is ReadTurtle with interned output: every term is
+// interned into dict straight from the parser's window buffer, so a
+// term the dictionary already knows costs no string allocation
+// (prefixed names and base-relative IRIs resolve through a reused
+// scratch buffer before interning).
+func ReadTurtleIDs(r io.Reader, dict *term.Dict, emit func(IDTriple) error) error {
+	p := &turtleParser{
+		r:        bufio.NewReaderSize(r, 64*1024),
+		prefixes: map[string]string{},
+		dict:     dict,
+		emitID:   emit,
+		typeID:   dict.Intern(TypeURI),
+	}
+	return p.run()
+}
+
+// ParseTurtle reads Turtle from r into a new graph, through the
+// interned fast path. See ReadTurtle for the supported grammar.
 func ParseTurtle(r io.Reader) (*Graph, error) {
 	g := NewGraph()
-	if err := ReadTurtle(r, func(t Triple) error { g.Add(t); return nil }); err != nil {
+	if err := ReadTurtleIDs(r, g.Dict(), func(it IDTriple) error { g.AddID(it); return nil }); err != nil {
 		return nil, err
 	}
 	return g, nil
@@ -52,11 +65,29 @@ type turtleParser struct {
 	buf      []byte
 	i        int
 	atEOF    bool
-	readErr  error // non-EOF read failure; surfaced by ReadTurtle
+	readErr  error // non-EOF read failure; surfaced by run
 	line     int
 	prefixes map[string]string
 	base     string
 	emit     func(Triple) error
+
+	// Interning mode (emitID non-nil): terms go straight from the
+	// window buffer into dict.
+	dict    *term.Dict
+	emitID  func(IDTriple) error
+	typeID  term.ID
+	scratch []byte // prefixed-name / base-resolution concat buffer
+	lit     []byte // literal-unescape buffer
+}
+
+func (p *turtleParser) run() error {
+	err := p.parse()
+	// An underlying read error outranks the syntax error the resulting
+	// truncation may have produced.
+	if p.readErr != nil {
+		return fmt.Errorf("turtle: read: %w", p.readErr)
+	}
+	return err
 }
 
 func (p *turtleParser) errf(format string, args ...interface{}) error {
@@ -230,6 +261,9 @@ func (p *turtleParser) parseBase() error {
 }
 
 func (p *turtleParser) parseTriples() error {
+	if p.emitID != nil {
+		return p.parseTriplesID()
+	}
 	subj, err := p.parseSubject()
 	if err != nil {
 		return err
@@ -256,26 +290,73 @@ func (p *turtleParser) parseTriples() error {
 			}
 			break
 		}
+		more, err := p.endPredicateList()
+		if err != nil || !more {
+			return err
+		}
+	}
+}
+
+// parseTriplesID is parseTriples in interning mode: subjects and
+// predicates intern once per group, so a `;`/`,` statement emitting
+// many triples touches the dictionary once per distinct term.
+func (p *turtleParser) parseTriplesID() error {
+	p.skipWS()
+	subj, err := p.parseSubjectID()
+	if err != nil {
+		return err
+	}
+	for {
 		p.skipWS()
-		if p.eof() {
-			return p.errf("unexpected end of input, expected ';' or '.'")
+		pred, err := p.parsePredicateID()
+		if err != nil {
+			return err
 		}
-		switch p.cur() {
-		case ';':
-			p.i++
+		for {
 			p.skipWS()
-			// A dangling ';' before '.' is legal Turtle.
-			if !p.eof() && p.cur() == '.' {
-				p.i++
-				return nil
+			obj, kind, err := p.parseObjectID()
+			if err != nil {
+				return err
 			}
-			continue
-		case '.':
-			p.i++
-			return nil
-		default:
-			return p.errf("expected ';' or '.', got %q", p.cur())
+			if err := p.emitID(IDTriple{S: subj, P: pred, O: obj, OKind: kind}); err != nil {
+				return err
+			}
+			p.skipWS()
+			if !p.eof() && p.cur() == ',' {
+				p.i++
+				continue
+			}
+			break
 		}
+		more, err := p.endPredicateList()
+		if err != nil || !more {
+			return err
+		}
+	}
+}
+
+// endPredicateList consumes the ';' or '.' after an object list and
+// reports whether another predicate follows.
+func (p *turtleParser) endPredicateList() (more bool, err error) {
+	p.skipWS()
+	if p.eof() {
+		return false, p.errf("unexpected end of input, expected ';' or '.'")
+	}
+	switch p.cur() {
+	case ';':
+		p.i++
+		p.skipWS()
+		// A dangling ';' before '.' is legal Turtle.
+		if !p.eof() && p.cur() == '.' {
+			p.i++
+			return false, nil
+		}
+		return true, nil
+	case '.':
+		p.i++
+		return false, nil
+	default:
+		return false, p.errf("expected ';' or '.', got %q", p.cur())
 	}
 }
 
@@ -297,22 +378,60 @@ func (p *turtleParser) parseSubject() (string, error) {
 	return p.parsePrefixedName()
 }
 
-func (p *turtleParser) parsePredicate() (string, error) {
+func (p *turtleParser) parseSubjectID() (term.ID, error) {
 	if p.eof() {
-		return "", p.errf("expected predicate")
+		return 0, p.errf("expected subject")
 	}
-	// The `a` keyword.
+	switch p.cur() {
+	case '<':
+		return p.internIRIRef()
+	case '_':
+		return p.internBlankLabel()
+	case '[':
+		return 0, p.errf("blank node property lists are not supported")
+	case '(':
+		return 0, p.errf("collections are not supported")
+	}
+	return p.internPrefixedName()
+}
+
+// isA reports whether the input is the `a` keyword predicate; consumes
+// it when so.
+func (p *turtleParser) isA() bool {
 	if p.cur() == 'a' && p.fill(2) {
 		c := p.buf[p.i+1]
 		if c == ' ' || c == '\t' || c == '\n' {
 			p.i++
-			return TypeURI, nil
+			return true
 		}
+	}
+	return false
+}
+
+func (p *turtleParser) parsePredicate() (string, error) {
+	if p.eof() {
+		return "", p.errf("expected predicate")
+	}
+	if p.isA() {
+		return TypeURI, nil
 	}
 	if p.cur() == '<' {
 		return p.parseIRIRef()
 	}
 	return p.parsePrefixedName()
+}
+
+func (p *turtleParser) parsePredicateID() (term.ID, error) {
+	if p.eof() {
+		return 0, p.errf("expected predicate")
+	}
+	if p.isA() {
+		return p.typeID, nil
+	}
+	if p.cur() == '<' {
+		return p.internIRIRef()
+	}
+	return p.internPrefixedName()
 }
 
 func (p *turtleParser) parseObject() (Term, error) {
@@ -337,11 +456,19 @@ func (p *turtleParser) parseObject() (Term, error) {
 	case c == '(':
 		return Term{}, p.errf("collections are not supported")
 	case c == '"' || c == '\'':
-		return p.parseTurtleLiteral(c)
+		v, err := p.scanTurtleLiteral(c)
+		if err != nil {
+			return Term{}, err
+		}
+		return NewLiteral(string(v)), nil
 	case c == '+' || c == '-' || (c >= '0' && c <= '9'):
-		return p.parseNumericLiteral()
+		s, e, err := p.scanNumericLiteral()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewLiteral(p.str(s, e)), nil
 	case p.hasPrefix("true") || p.hasPrefix("false"):
-		return p.parseBooleanLiteral()
+		return NewLiteral(p.scanBooleanLiteral()), nil
 	}
 	u, err := p.parsePrefixedName()
 	if err != nil {
@@ -350,47 +477,124 @@ func (p *turtleParser) parseObject() (Term, error) {
 	return NewURI(u), nil
 }
 
-func (p *turtleParser) parseIRIRef() (string, error) {
+func (p *turtleParser) parseObjectID() (term.ID, TermKind, error) {
+	if p.eof() {
+		return 0, URI, p.errf("expected object")
+	}
+	switch c := p.cur(); {
+	case c == '<':
+		id, err := p.internIRIRef()
+		return id, URI, err
+	case c == '_':
+		id, err := p.internBlankLabel()
+		return id, URI, err
+	case c == '[':
+		return 0, URI, p.errf("blank node property lists are not supported")
+	case c == '(':
+		return 0, URI, p.errf("collections are not supported")
+	case c == '"' || c == '\'':
+		v, err := p.scanTurtleLiteral(c)
+		if err != nil {
+			return 0, Literal, err
+		}
+		return p.dict.InternBytes(v), Literal, nil
+	case c == '+' || c == '-' || (c >= '0' && c <= '9'):
+		s, e, err := p.scanNumericLiteral()
+		if err != nil {
+			return 0, Literal, err
+		}
+		return p.dict.InternBytes(p.buf[s:e]), Literal, nil
+	case p.hasPrefix("true") || p.hasPrefix("false"):
+		return p.dict.Intern(p.scanBooleanLiteral()), Literal, nil
+	}
+	id, err := p.internPrefixedName()
+	return id, URI, err
+}
+
+// scanIRIRef consumes <...> and returns the offsets of the raw IRI
+// content (valid until the next compactWindow).
+func (p *turtleParser) scanIRIRef() (start, end int, err error) {
 	if p.eof() || p.cur() != '<' {
-		return "", p.errf("expected '<'")
+		return 0, 0, p.errf("expected '<'")
 	}
 	p.i++
-	start := p.i
+	start = p.i
 	for !p.eof() && p.cur() != '>' {
 		if p.cur() == '\n' {
-			return "", p.errf("newline inside IRI")
+			return 0, 0, p.errf("newline inside IRI")
 		}
 		p.i++
 	}
 	if p.eof() {
-		return "", p.errf("unterminated IRI")
+		return 0, 0, p.errf("unterminated IRI")
 	}
-	u := p.str(start, p.i)
+	end = p.i
 	p.i++
-	if u == "" {
-		return "", p.errf("empty IRI")
+	if start == end {
+		return 0, 0, p.errf("empty IRI")
 	}
-	// Resolve against @base for relative IRIs (simple concatenation
-	// covers the fragment/path-suffix cases real dumps use).
-	if p.base != "" && !strings.Contains(u, "://") && !strings.HasPrefix(u, "urn:") {
-		return p.base + u, nil
-	}
-	return u, nil
+	return start, end, nil
 }
 
-func (p *turtleParser) parseBlankLabel() (string, error) {
-	start := p.i
+// relativeIRI reports whether a raw IRI needs @base resolution (simple
+// concatenation covers the fragment/path-suffix cases real dumps use).
+func (p *turtleParser) relativeIRI(raw []byte) bool {
+	return p.base != "" && !bytes.Contains(raw, []byte("://")) && !bytes.HasPrefix(raw, []byte("urn:"))
+}
+
+func (p *turtleParser) parseIRIRef() (string, error) {
+	s, e, err := p.scanIRIRef()
+	if err != nil {
+		return "", err
+	}
+	if p.relativeIRI(p.buf[s:e]) {
+		return p.base + p.str(s, e), nil
+	}
+	return p.str(s, e), nil
+}
+
+func (p *turtleParser) internIRIRef() (term.ID, error) {
+	s, e, err := p.scanIRIRef()
+	if err != nil {
+		return 0, err
+	}
+	raw := p.buf[s:e]
+	if p.relativeIRI(raw) {
+		p.scratch = append(append(p.scratch[:0], p.base...), raw...)
+		return p.dict.InternBytes(p.scratch), nil
+	}
+	return p.dict.InternBytes(raw), nil
+}
+
+func (p *turtleParser) scanBlankLabel() (start, end int, err error) {
+	start = p.i
 	if !p.fill(2) || p.buf[p.i+1] != ':' {
-		return "", p.errf("malformed blank node")
+		return 0, 0, p.errf("malformed blank node")
 	}
 	p.i += 2
 	for !p.eof() && isPNChar(rune(p.cur())) {
 		p.i++
 	}
 	if p.i == start+2 {
-		return "", p.errf("empty blank node label")
+		return 0, 0, p.errf("empty blank node label")
 	}
-	return p.str(start, p.i), nil
+	return start, p.i, nil
+}
+
+func (p *turtleParser) parseBlankLabel() (string, error) {
+	s, e, err := p.scanBlankLabel()
+	if err != nil {
+		return "", err
+	}
+	return p.str(s, e), nil
+}
+
+func (p *turtleParser) internBlankLabel() (term.ID, error) {
+	s, e, err := p.scanBlankLabel()
+	if err != nil {
+		return 0, err
+	}
+	return p.dict.InternBytes(p.buf[s:e]), nil
 }
 
 func isPNChar(r rune) bool {
@@ -398,7 +602,9 @@ func isPNChar(r rune) bool {
 		(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r > 127
 }
 
-func (p *turtleParser) parsePrefixedName() (string, error) {
+// scanPrefixedName consumes prefix:local and returns the offsets of
+// both parts.
+func (p *turtleParser) scanPrefixedName() (ps, pe, ls, le int, err error) {
 	start := p.i
 	for !p.eof() && isPNChar(rune(p.cur())) {
 		p.i++
@@ -408,101 +614,144 @@ func (p *turtleParser) parsePrefixedName() (string, error) {
 		if !p.eof() {
 			got = p.str(start, p.i+1)
 		}
-		return "", p.errf("expected prefixed name, got %q", got)
+		return 0, 0, 0, 0, p.errf("expected prefixed name, got %q", got)
 	}
-	prefix := p.str(start, p.i)
+	ps, pe = start, p.i
 	p.i++
-	localStart := p.i
+	ls = p.i
 	for !p.eof() && isPNChar(rune(p.cur())) {
 		p.i++
 	}
-	local := p.str(localStart, p.i)
-	ns, ok := p.prefixes[prefix]
-	if !ok {
-		return "", p.errf("undeclared prefix %q", prefix)
-	}
-	return ns + local, nil
+	return ps, pe, ls, p.i, nil
 }
 
-func (p *turtleParser) parseTurtleLiteral(quote byte) (Term, error) {
+func (p *turtleParser) parsePrefixedName() (string, error) {
+	ps, pe, ls, le, err := p.scanPrefixedName()
+	if err != nil {
+		return "", err
+	}
+	ns, ok := p.prefixes[string(p.buf[ps:pe])]
+	if !ok {
+		return "", p.errf("undeclared prefix %q", p.str(ps, pe))
+	}
+	return ns + p.str(ls, le), nil
+}
+
+func (p *turtleParser) internPrefixedName() (term.ID, error) {
+	ps, pe, ls, le, err := p.scanPrefixedName()
+	if err != nil {
+		return 0, err
+	}
+	ns, ok := p.prefixes[string(p.buf[ps:pe])]
+	if !ok {
+		return 0, p.errf("undeclared prefix %q", p.str(ps, pe))
+	}
+	p.scratch = append(append(p.scratch[:0], ns...), p.buf[ls:le]...)
+	return p.dict.InternBytes(p.scratch), nil
+}
+
+// scanTurtleLiteral parses a quoted or long-quoted literal and returns
+// the unescaped value: a view of the window buffer when no escape
+// occurred, otherwise the parser's reused unescape buffer. Valid until
+// the next scan.
+func (p *turtleParser) scanTurtleLiteral(quote byte) ([]byte, error) {
 	end := strings.Repeat(string(quote), 3)
-	long := p.hasPrefix(end)
-	var value strings.Builder
-	if long {
+	if p.hasPrefix(end) {
+		// Long literal: taken verbatim, no escape processing (matching
+		// the pre-refactor parser).
 		p.i += 3
-		for {
-			if p.hasPrefix(end) {
-				p.i += 3
-				break
-			}
+		start := p.i
+		for !p.hasPrefix(end) {
 			if p.eof() {
-				return Term{}, p.errf("unterminated long literal")
+				return nil, p.errf("unterminated long literal")
 			}
-			c := p.cur()
-			if c == '\n' {
+			if p.cur() == '\n' {
 				p.line++
 			}
-			value.WriteByte(c)
 			p.i++
 		}
-	} else {
-		p.i++
-		for {
-			if p.eof() || p.cur() == '\n' {
-				return Term{}, p.errf("unterminated literal")
-			}
-			c := p.cur()
-			if c == quote {
-				p.i++
-				break
-			}
-			if c == '\\' {
-				p.i++
-				if p.eof() {
-					return Term{}, p.errf("dangling escape")
-				}
-				esc := p.cur()
-				p.i++
-				switch esc {
-				case 't':
-					value.WriteByte('\t')
-				case 'n':
-					value.WriteByte('\n')
-				case 'r':
-					value.WriteByte('\r')
-				case '"', '\'', '\\':
-					value.WriteByte(esc)
-				case 'u', 'U':
-					n := 4
-					if esc == 'U' {
-						n = 8
-					}
-					if !p.fill(n) {
-						return Term{}, p.errf("truncated \\%c escape", esc)
-					}
-					var r rune
-					for j := 0; j < n; j++ {
-						d := hexVal(p.buf[p.i+j])
-						if d < 0 {
-							return Term{}, p.errf("bad hex digit in escape")
-						}
-						r = r<<4 | rune(d)
-					}
-					p.i += n
-					if !utf8.ValidRune(r) {
-						return Term{}, p.errf("invalid code point")
-					}
-					value.WriteRune(r)
-				default:
-					return Term{}, p.errf("unknown escape \\%c", esc)
-				}
-				continue
-			}
-			value.WriteByte(c)
-			p.i++
+		value := p.buf[start:p.i]
+		p.i += 3
+		return p.finishLiteral(value)
+	}
+	escaped := false
+	// switchToLit seeds the unescape buffer with the escape-free prefix.
+	p.i++
+	start := p.i
+	switchToLit := func() {
+		if !escaped {
+			escaped = true
+			p.lit = append(p.lit[:0], p.buf[start:p.i]...)
 		}
 	}
-	// Optional language tag or datatype (discarded: presence-only view).
+	for {
+		if p.eof() || p.cur() == '\n' {
+			return nil, p.errf("unterminated literal")
+		}
+		c := p.cur()
+		if c == quote {
+			break
+		}
+		if c == '\\' {
+			switchToLit()
+			p.i++
+			if p.eof() {
+				return nil, p.errf("dangling escape")
+			}
+			esc := p.cur()
+			p.i++
+			switch esc {
+			case 't':
+				p.lit = append(p.lit, '\t')
+			case 'n':
+				p.lit = append(p.lit, '\n')
+			case 'r':
+				p.lit = append(p.lit, '\r')
+			case '"', '\'', '\\':
+				p.lit = append(p.lit, esc)
+			case 'u', 'U':
+				n := 4
+				if esc == 'U' {
+					n = 8
+				}
+				if !p.fill(n) {
+					return nil, p.errf("truncated \\%c escape", esc)
+				}
+				var r rune
+				for j := 0; j < n; j++ {
+					d := hexVal(p.buf[p.i+j])
+					if d < 0 {
+						return nil, p.errf("bad hex digit in escape")
+					}
+					r = r<<4 | rune(d)
+				}
+				p.i += n
+				if !utf8.ValidRune(r) {
+					return nil, p.errf("invalid code point")
+				}
+				p.lit = utf8.AppendRune(p.lit, r)
+			default:
+				return nil, p.errf("unknown escape \\%c", esc)
+			}
+			continue
+		}
+		if escaped {
+			p.lit = append(p.lit, c)
+		}
+		p.i++
+	}
+	value := p.buf[start:p.i]
+	if escaped {
+		value = p.lit
+	}
+	p.i++
+	return p.finishLiteral(value)
+}
+
+// finishLiteral consumes an optional language tag or datatype
+// annotation (discarded: presence-only view) after the closing quote.
+// value must already view stable storage for the current statement.
+func (p *turtleParser) finishLiteral(value []byte) ([]byte, error) {
 	if !p.eof() && p.cur() == '@' {
 		p.i++
 		for !p.eof() && (isPNChar(rune(p.cur()))) {
@@ -511,20 +760,24 @@ func (p *turtleParser) parseTurtleLiteral(quote byte) (Term, error) {
 	} else if p.hasPrefix("^^") {
 		p.i += 2
 		if !p.eof() && p.cur() == '<' {
-			if _, err := p.parseIRIRef(); err != nil {
-				return Term{}, err
+			if _, _, err := p.scanIRIRef(); err != nil {
+				return nil, err
 			}
 		} else {
-			if _, err := p.parsePrefixedName(); err != nil {
-				return Term{}, err
+			ps, pe, _, _, err := p.scanPrefixedName()
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := p.prefixes[string(p.buf[ps:pe])]; !ok {
+				return nil, p.errf("undeclared prefix %q", p.str(ps, pe))
 			}
 		}
 	}
-	return NewLiteral(value.String()), nil
+	return value, nil
 }
 
-func (p *turtleParser) parseNumericLiteral() (Term, error) {
-	start := p.i
+func (p *turtleParser) scanNumericLiteral() (start, end int, err error) {
+	start = p.i
 	if p.cur() == '+' || p.cur() == '-' {
 		p.i++
 	}
@@ -544,18 +797,18 @@ func (p *turtleParser) parseNumericLiteral() (Term, error) {
 		break
 	}
 	if !seen {
-		return Term{}, p.errf("malformed numeric literal")
+		return 0, 0, p.errf("malformed numeric literal")
 	}
-	return NewLiteral(p.str(start, p.i)), nil
+	return start, p.i, nil
 }
 
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
-func (p *turtleParser) parseBooleanLiteral() (Term, error) {
+func (p *turtleParser) scanBooleanLiteral() string {
 	if p.hasPrefix("true") {
 		p.i += 4
-		return NewLiteral("true"), nil
+		return "true"
 	}
 	p.i += 5
-	return NewLiteral("false"), nil
+	return "false"
 }

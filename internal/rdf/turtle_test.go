@@ -248,3 +248,14 @@ func TestReadTurtlePropagatesReadErrors(t *testing.T) {
 		t.Fatalf("ParseTurtle swallowed read error: %v", err)
 	}
 }
+
+func TestTurtleUndeclaredDatatypePrefix(t *testing.T) {
+	in := `<http://ex/s> <http://ex/p> "x"^^xsd:string .`
+	if _, err := ParseTurtle(strings.NewReader(in)); err == nil {
+		t.Fatal("interned path accepted undeclared datatype prefix")
+	}
+	err := ReadTurtle(strings.NewReader(in), func(Triple) error { return nil })
+	if err == nil {
+		t.Fatal("string path accepted undeclared datatype prefix")
+	}
+}

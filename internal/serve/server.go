@@ -145,12 +145,12 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
 		}
 		added, removed = s.d.Apply(add, remove)
 	} else {
-		// Raw N-Triples: stream adds in bounded batches, so arbitrarily
-		// large dumps ingest without building the triple list in memory.
+		// Raw N-Triples: stream adds in bounded batches through the
+		// interning decoder, so arbitrarily large dumps ingest without
+		// building a triple list in memory and without allocating
+		// strings for terms the dataset has already seen.
 		var err error
-		added, err = s.d.AddStream(s.opts.IngestBatch, func(emit func(rdf.Triple) error) error {
-			return rdf.ReadNTriples(body, emit)
-		})
+		added, err = s.d.AddNTriples(body, s.opts.IngestBatch)
 		if err != nil {
 			s.kickRefiner()
 			writeJSON(w, http.StatusBadRequest, ingestResponse{

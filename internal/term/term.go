@@ -1,0 +1,193 @@
+// Package term implements the interned term dictionary behind the
+// ID-based hot paths: a bijective, append-only mapping between term
+// strings (URIs, blank-node labels, literal values) and dense uint32
+// IDs. Interning each distinct string once lets the graph, view and
+// incremental engines key every index and signature by integer —
+// the same move sparse-matrix engines such as D4M use to get
+// string-keyed data onto integer kernels — so the per-triple cost of
+// ingestion and maintenance no longer includes string hashing or
+// string allocation. Strings materialize again only at the edges
+// (parsing in, HTTP/JSON out, partition export) via Dict.String.
+//
+// Concurrency: a Dict is safe for concurrent use. Lookups of
+// already-interned terms are lock-free — they read an immutable
+// snapshot published through an atomic pointer — while writers
+// serialize on a mutex and batch recent insertions into the next
+// snapshot. This is the profile the serving layer needs: steady-state
+// traffic re-mentions known terms almost exclusively, so the hot read
+// path never contends with ingestion.
+package term
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// ID is a dense dictionary index: the i-th distinct term interned into
+// a Dict gets ID i. IDs are never reused and never exceed the number
+// of Intern calls, so slices indexed by ID stay compact.
+type ID uint32
+
+// snapshot is an immutable published state: every term with ID <
+// len(strings) is resolvable, and lookup covers exactly those terms.
+type snapshot struct {
+	lookup  map[string]ID
+	strings []string
+}
+
+// Dict is an append-only interning dictionary. The zero value is not
+// ready to use; call NewDict.
+type Dict struct {
+	snap atomic.Pointer[snapshot]
+
+	mu sync.Mutex
+	// pending maps terms interned since the last publish. all is the
+	// authoritative ID -> string table; published snapshots alias its
+	// backing array, which is safe because entries below a snapshot's
+	// recorded length are never rewritten.
+	pending map[string]ID
+	all     []string
+	// slowHits counts lock-path reads (pending hits, unpublished-ID
+	// String calls) since the last publish; sustained slow traffic
+	// triggers a publish even when pending hasn't grown enough for the
+	// geometric trigger, so no term stays off the lock-free path
+	// indefinitely.
+	slowHits int
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	d := &Dict{pending: make(map[string]ID)}
+	d.snap.Store(&snapshot{lookup: make(map[string]ID)})
+	return d
+}
+
+// Intern returns the ID of s, assigning the next dense ID on first
+// sight. Safe for concurrent use; lock-free when s is already in the
+// published snapshot.
+func (d *Dict) Intern(s string) ID {
+	if id, ok := d.snap.Load().lookup[s]; ok {
+		return id
+	}
+	return d.internSlow(s, nil)
+}
+
+// InternBytes is Intern for a byte view of the term, e.g. a slice of a
+// decoder's read buffer. On the duplicate path it performs no
+// allocation: the map probe uses the compiler's string(b) lookup
+// optimization, and the bytes are only copied into a string when the
+// term is genuinely new. The caller may reuse b afterwards.
+func (d *Dict) InternBytes(b []byte) ID {
+	if id, ok := d.snap.Load().lookup[string(b)]; ok {
+		return id
+	}
+	return d.internSlow("", b)
+}
+
+// internSlow interns under the writer lock. Exactly one of s / b holds
+// the term: b non-nil means the string must be materialized on miss.
+func (d *Dict) internSlow(s string, b []byte) ID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Re-check under the lock: a racing writer may have interned the
+	// term, or a publish may have moved it from pending into a snapshot
+	// loaded after our fast-path read.
+	cur := d.snap.Load()
+	if b != nil {
+		if id, ok := cur.lookup[string(b)]; ok {
+			return id
+		}
+		if id, ok := d.pending[string(b)]; ok {
+			d.noteSlowHit(cur)
+			return id
+		}
+		s = string(b)
+	} else {
+		if id, ok := cur.lookup[s]; ok {
+			return id
+		}
+		if id, ok := d.pending[s]; ok {
+			d.noteSlowHit(cur)
+			return id
+		}
+	}
+	id := ID(len(d.all))
+	d.all = append(d.all, s)
+	d.pending[s] = id
+	// Publish geometrically: the merge copies the whole lookup map, so
+	// deferring it until pending has grown as large as the snapshot
+	// bounds total copy work at ~2 map inserts per distinct term.
+	if len(d.pending) >= 64 && len(d.pending) >= len(cur.lookup) {
+		d.publishLocked(cur)
+	}
+	return id
+}
+
+// noteSlowHit records one lock-path read and publishes once the hits
+// since the last publish have paid for a fraction of the merge cost —
+// so the copy stays amortized O(1) while sustained slow-path traffic
+// always converges onto the lock-free snapshot. Caller holds mu.
+func (d *Dict) noteSlowHit(cur *snapshot) {
+	d.slowHits++
+	if len(d.pending) > 0 && d.slowHits*4 >= len(cur.lookup)+len(d.pending) {
+		d.publishLocked(cur)
+	}
+}
+
+// publishLocked merges pending into a new snapshot. Caller holds mu.
+func (d *Dict) publishLocked(cur *snapshot) {
+	merged := make(map[string]ID, len(cur.lookup)+len(d.pending))
+	for k, v := range cur.lookup {
+		merged[k] = v
+	}
+	for k, v := range d.pending {
+		merged[k] = v
+	}
+	d.snap.Store(&snapshot{lookup: merged, strings: d.all})
+	d.pending = make(map[string]ID)
+	d.slowHits = 0
+}
+
+// Lookup returns the ID of s without interning it. Safe for concurrent
+// use; lock-free when s is covered by the published snapshot.
+func (d *Dict) Lookup(s string) (ID, bool) {
+	if id, ok := d.snap.Load().lookup[s]; ok {
+		return id, true
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cur := d.snap.Load()
+	if id, ok := cur.lookup[s]; ok {
+		return id, true
+	}
+	id, ok := d.pending[s]
+	if ok {
+		d.noteSlowHit(cur)
+	}
+	return id, ok
+}
+
+// String returns the term with the given ID. Lock-free for IDs covered
+// by the published snapshot (the overwhelmingly common case at the
+// output edges); panics on an ID never returned by Intern.
+func (d *Dict) String(id ID) string {
+	snap := d.snap.Load()
+	if int(id) < len(snap.strings) {
+		return snap.strings[id]
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) >= len(d.all) {
+		panic(fmt.Sprintf("term: ID %d out of range [0,%d)", id, len(d.all)))
+	}
+	d.noteSlowHit(d.snap.Load())
+	return d.all[id]
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.all)
+}

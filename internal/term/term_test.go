@@ -1,0 +1,144 @@
+package term
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternRoundtrip(t *testing.T) {
+	d := NewDict()
+	terms := []string{"a", "b", "", "http://example.org/x", "a b c", "a"}
+	want := []ID{0, 1, 2, 3, 4, 0}
+	for i, s := range terms {
+		if id := d.Intern(s); id != want[i] {
+			t.Fatalf("Intern(%q) = %d, want %d", s, id, want[i])
+		}
+	}
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", d.Len())
+	}
+	for i, s := range terms {
+		if got := d.String(want[i]); got != s {
+			t.Fatalf("String(%d) = %q, want %q", want[i], got, s)
+		}
+	}
+}
+
+func TestInternBytesMatchesIntern(t *testing.T) {
+	d := NewDict()
+	buf := []byte("hello")
+	id1 := d.InternBytes(buf)
+	// Mutating the caller's buffer must not corrupt the dictionary.
+	buf[0] = 'X'
+	if got := d.String(id1); got != "hello" {
+		t.Fatalf("dictionary aliased caller buffer: %q", got)
+	}
+	if id := d.Intern("hello"); id != id1 {
+		t.Fatalf("Intern after InternBytes: %d != %d", id, id1)
+	}
+	if id := d.InternBytes([]byte("hello")); id != id1 {
+		t.Fatalf("InternBytes duplicate: %d != %d", id, id1)
+	}
+}
+
+func TestLookupDoesNotIntern(t *testing.T) {
+	d := NewDict()
+	if _, ok := d.Lookup("missing"); ok {
+		t.Fatal("Lookup invented a term")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Lookup interned: Len = %d", d.Len())
+	}
+	id := d.Intern("x")
+	got, ok := d.Lookup("x")
+	if !ok || got != id {
+		t.Fatalf("Lookup(x) = %d,%v want %d,true", got, ok, id)
+	}
+}
+
+// TestPublishBoundary interns enough terms to force snapshot publishes
+// and checks every assignment survives the pending->snapshot moves.
+func TestPublishBoundary(t *testing.T) {
+	d := NewDict()
+	const n = 10_000
+	ids := make([]ID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = d.Intern(fmt.Sprintf("term/%d", i))
+	}
+	for i := 0; i < n; i++ {
+		if d.String(ids[i]) != fmt.Sprintf("term/%d", i) {
+			t.Fatalf("String(%d) mismatch", ids[i])
+		}
+		if id := d.Intern(fmt.Sprintf("term/%d", i)); id != ids[i] {
+			t.Fatalf("re-Intern term/%d: %d != %d", i, id, ids[i])
+		}
+	}
+}
+
+// TestConcurrentIntern hammers the dictionary from many goroutines with
+// overlapping term sets; run under -race. Every goroutine must observe
+// one consistent ID per term.
+func TestConcurrentIntern(t *testing.T) {
+	d := NewDict()
+	const workers, terms = 8, 2000
+	got := make([][]ID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = make([]ID, terms)
+			for i := 0; i < terms; i++ {
+				// Overlapping ranges: every term interned by ~2 workers.
+				got[w][i] = d.Intern(fmt.Sprintf("t/%d", (i+w*terms/2)%terms))
+				_ = d.String(got[w][i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	canon := map[string]ID{}
+	for w := 0; w < workers; w++ {
+		for i := 0; i < terms; i++ {
+			s := fmt.Sprintf("t/%d", (i+w*terms/2)%terms)
+			if prev, ok := canon[s]; ok {
+				if prev != got[w][i] {
+					t.Fatalf("term %q got two IDs: %d and %d", s, prev, got[w][i])
+				}
+			} else {
+				canon[s] = got[w][i]
+			}
+		}
+	}
+	if d.Len() != terms {
+		t.Fatalf("Len = %d, want %d", d.Len(), terms)
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	d := NewDict()
+	keys := make([]string, 512)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("http://example.org/resource/%d", i)
+		d.Intern(keys[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Intern(keys[i%len(keys)])
+	}
+}
+
+func BenchmarkInternBytesHit(b *testing.B) {
+	d := NewDict()
+	keys := make([][]byte, 512)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("http://example.org/resource/%d", i))
+		d.InternBytes(keys[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.InternBytes(keys[i%len(keys)])
+	}
+}
