@@ -328,3 +328,76 @@ func BenchmarkAblationIncrementalVsRebuild(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRefineDep is the compiled-evaluator acceptance benchmark: a
+// σDep local search on the 64-signature DBpedia Persons generator,
+// with the pair-count kernels (pairkernel) vs the scan-per-evaluation
+// baseline. The sig-scans/op metric is the ablation's headline: the
+// kernel path scans the signature list only for the final exact
+// verification (2 scans per search), the baseline once per candidate
+// move (~30k), a ≥10⁴× reduction with bit-identical assignments
+// (pinned by refine's TestPairModeBitIdenticalToGenericSearch).
+func BenchmarkRefineDep(b *testing.B) {
+	v := datagen.DBpediaPersons(0.002)
+	for _, mode := range []struct {
+		name     string
+		baseline bool
+	}{{"pairkernel", false}, {"baseline", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var scans int64
+			for i := 0; i < b.N; i++ {
+				n, err := experiments.RefineDepWorkload(v, mode.baseline, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				scans += n
+			}
+			b.ReportMetric(float64(scans)/float64(b.N), "sig-scans/op")
+		})
+	}
+}
+
+// BenchmarkAblationDepRefineProps scales the σDep local search across
+// |P| ∈ {8, 64, 256} on synthetic DBpedia-shaped views (64
+// signatures), pair-count kernels vs the generic baseline — the
+// compiled-evaluator ablation table in EXPERIMENTS.md.
+func BenchmarkAblationDepRefineProps(b *testing.B) {
+	for _, nProps := range []int{8, 64, 256} {
+		v := experiments.DepRefineView(nProps, 64, 1)
+		for _, mode := range []struct {
+			name     string
+			baseline bool
+		}{{"pairkernel", false}, {"baseline", true}} {
+			b.Run(fmt.Sprintf("props=%d/%s", nProps, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := experiments.RefineDepWorkload(v, mode.baseline, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCoverageIgnoring measures the σCov-ignoring closed form
+// after the pooled scratch-slice rewrite: 4 allocs/op — only the
+// returned big.Int Ratio — where the map-based implementation paid a
+// map build plus a hashed lookup per column (2.5× slower; see
+// EXPERIMENTS.md).
+func BenchmarkCoverageIgnoring(b *testing.B) {
+	v := experiments.DepRefineView(256, 64, 1)
+	ignore := []string{v.Properties()[3], v.Properties()[100], "http://absent"}
+	_ = rules.CoverageIgnoring(v, ignore...) // warm the memoized N_p and the pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rules.CoverageIgnoring(v, ignore...)
+	}
+}
+
+// The sparse/dense pair-count build crossover is measured inside
+// internal/matrix (BenchmarkPairCountsBuild there forces each strategy
+// explicitly, bypassing the sync.Once memoization); the numbers are
+// recorded in EXPERIMENTS.md.

@@ -1,9 +1,11 @@
 // Command benchjson runs the perf-trajectory benchmarks — the ingest
-// ablation (interned vs. string vs. incremental) and the refinement
-// workload — and writes machine-readable results to BENCH_ingest.json
-// and BENCH_refine.json. Each PR's CI run uploads the files as
-// artifacts, so the throughput trend is diffable across commits
-// without parsing `go test -bench` text.
+// ablation (interned vs. string vs. incremental), the refinement
+// workload, and the compiled σ-evaluator ablation (Dep eval and Dep
+// refinement, scan vs pair-count kernel) — and writes machine-readable
+// results to BENCH_ingest.json, BENCH_refine.json and BENCH_eval.json.
+// Each PR's CI run uploads the files as artifacts, so the throughput
+// trend is diffable across commits without parsing `go test -bench`
+// text.
 //
 // Usage:
 //
@@ -21,6 +23,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/datagen"
 	"repro/internal/experiments"
 )
 
@@ -151,8 +154,61 @@ func run() error {
 	if err := writeArtifact(filepath.Join(*outDir, "BENCH_refine.json"), ref); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s and %s\n",
-		filepath.Join(*outDir, "BENCH_ingest.json"), filepath.Join(*outDir, "BENCH_refine.json"))
+
+	// --- Eval: the compiled σ-evaluator trajectory — Dep evaluation via
+	// signature scan vs pair-count kernel, and the Dep local search with
+	// and without the compiled kernels, on the 64-signature DBpedia
+	// Persons generator.
+	evalArt := meta("eval")
+	depView := datagen.DBpediaPersons(*scale)
+	depView.PairCounts() // pay the one-time aggregate build outside the loop
+	for _, c := range []struct {
+		name string
+		fn   func() error
+	}{
+		{"eval/dep/scan", func() error { _ = experiments.DepEvalScan(depView); return nil }},
+		{"eval/dep/kernel", func() error { _ = experiments.DepEvalKernel(depView); return nil }},
+	} {
+		r, err := measure(c.name, 0, c.fn)
+		if err != nil {
+			return err
+		}
+		evalArt.Benchmarks = append(evalArt.Benchmarks, r)
+		fmt.Printf("%-34s %12.0f ns/op %9d allocs/op\n", c.name, r.NsPerOp, r.AllocsPerOp)
+	}
+	var scans [2]int64
+	for i, baseline := range []bool{false, true} {
+		name := "refine/dep/pairkernel"
+		if baseline {
+			name = "refine/dep/baseline"
+		}
+		i := i
+		baseline := baseline
+		r, err := measure(name, 0, func() error {
+			n, err := experiments.RefineDepWorkload(depView, baseline, 1)
+			scans[i] = n
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		evalArt.Benchmarks = append(evalArt.Benchmarks, r)
+		fmt.Printf("%-34s %12.0f ns/op %9d allocs/op\n", name, r.NsPerOp, r.AllocsPerOp)
+	}
+	if scans[0] > 0 {
+		evalArt.Derived = map[string]string{
+			"dep_search_scans_pairkernel": fmt.Sprintf("%d", scans[0]),
+			"dep_search_scans_baseline":   fmt.Sprintf("%d", scans[1]),
+			"dep_search_scan_reduction":   fmt.Sprintf("%.0fx", float64(scans[1])/float64(scans[0])),
+		}
+	}
+	if err := writeArtifact(filepath.Join(*outDir, "BENCH_eval.json"), evalArt); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s, %s and %s\n",
+		filepath.Join(*outDir, "BENCH_ingest.json"),
+		filepath.Join(*outDir, "BENCH_refine.json"),
+		filepath.Join(*outDir, "BENCH_eval.json"))
 	return nil
 }
 

@@ -22,6 +22,7 @@ func main() {
 	sortURI := flag.String("sort", "", "restrict to subjects of this rdf:type (default: whole graph)")
 	fnName := flag.String("fn", "", "built-in measure: cov, sim, dep[p1,p2], symdep[p1,p2]")
 	ruleSrc := flag.String("rule", "", "custom rule, e.g. 'c = c -> val(c) = 1'")
+	workers := flag.Int("workers", 0, "evaluation workers for rules outside the compiled fragment (0 = all cores, 1 = sequential; result is identical)")
 	render := flag.Bool("render", false, "render the signature view")
 	maxRows := flag.Int("rows", 20, "max signature rows to render")
 	flag.Parse()
@@ -47,7 +48,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rdfstruct:", err)
 			os.Exit(1)
 		}
-		val, err := d.Structuredness(r)
+		val, err := d.StructurednessParallel(r, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rdfstruct:", err)
 			os.Exit(1)

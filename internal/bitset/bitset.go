@@ -174,6 +174,22 @@ func AndCount(a, b Set) int {
 	return c
 }
 
+// AndCount3 returns the number of bits set in all of a, b and c — the
+// popcount of the three-way intersection, computed word-parallel. It is
+// the kernel of the dense pair-count build: with a and b as per-column
+// signature-incidence vectors and c as one bit-plane of the signature
+// counts, Σ_plane 2^plane·AndCount3 is the subject-weighted
+// co-occurrence of two columns. Panics if capacities differ.
+func AndCount3(a, b, c Set) int {
+	a.sameLen(b)
+	a.sameLen(c)
+	n := 0
+	for i, w := range a.words {
+		n += bits.OnesCount64(w & b.words[i] & c.words[i])
+	}
+	return n
+}
+
 // Intersects reports whether s and t share any set bit.
 func (s Set) Intersects(t Set) bool {
 	s.sameLen(t)
@@ -204,15 +220,21 @@ func (s Set) sameLen(t Set) {
 
 // Indices returns the positions of the 1 bits in increasing order.
 func (s Set) Indices() []int {
-	out := make([]int, 0, s.Count())
+	return s.AppendIndices(make([]int, 0, s.Count()))
+}
+
+// AppendIndices appends the positions of the 1 bits to dst in
+// increasing order and returns it — the allocation-free form for loops
+// that materialize supports into a reused scratch slice.
+func (s Set) AppendIndices(dst []int) []int {
 	for wi, w := range s.words {
 		for w != 0 {
 			b := bits.TrailingZeros64(w)
-			out = append(out, wi*wordBits+b)
+			dst = append(dst, wi*wordBits+b)
 			w &= w - 1
 		}
 	}
-	return out
+	return dst
 }
 
 // ForEach calls f with each set bit index in increasing order.

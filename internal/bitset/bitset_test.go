@@ -285,3 +285,68 @@ func TestAndCountQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAndCount3(t *testing.T) {
+	a := FromIndices(130, 0, 5, 63, 64, 100, 129)
+	b := FromIndices(130, 0, 5, 63, 65, 100, 129)
+	c := FromIndices(130, 5, 63, 100)
+	if got := AndCount3(a, b, c); got != 3 {
+		t.Fatalf("AndCount3 = %d, want 3", got)
+	}
+	if got := AndCount3(a, b, New(130)); got != 0 {
+		t.Fatalf("AndCount3 with empty = %d, want 0", got)
+	}
+	if got := AndCount3(a, a, a); got != a.Count() {
+		t.Fatalf("AndCount3(a,a,a) = %d, want %d", got, a.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths did not panic")
+		}
+	}()
+	AndCount3(a, b, New(64))
+}
+
+// Property: AndCount3 agrees with materializing the intersection.
+func TestAndCount3Quick(t *testing.T) {
+	f := func(xs, ys, zs []uint16) bool {
+		a, b, c := New(1<<16), New(1<<16), New(1<<16)
+		for _, x := range xs {
+			a.Set(int(x))
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+		}
+		for _, z := range zs {
+			c.Set(int(z))
+		}
+		and := a.Clone()
+		and.And(b)
+		and.And(c)
+		return AndCount3(a, b, c) == and.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendIndices(t *testing.T) {
+	s := FromIndices(130, 3, 64, 129)
+	scratch := make([]int, 0, 8)
+	got := s.AppendIndices(scratch[:0])
+	want := s.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("AppendIndices = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("AppendIndices = %v, want %v", got, want)
+		}
+	}
+	// Reuse must not retain stale entries.
+	s2 := FromIndices(130, 7)
+	got = s2.AppendIndices(got[:0])
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("reused AppendIndices = %v, want [7]", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -89,7 +90,7 @@ func FromView(name string, v *matrix.View) *Dataset {
 func ParseRule(src string) (*rules.Rule, error) { return rules.Parse(src) }
 
 // Builtin returns a named built-in structuredness function: "cov",
-// "sim", "dep[p1,p2]", "symdep[p1,p2]".
+// "sim", "dep[p1,p2]", "symdep[p1,p2]", "depdisj[p1,p2]".
 func Builtin(name string) (rules.Func, *rules.Rule, error) {
 	lower := strings.ToLower(strings.TrimSpace(name))
 	switch {
@@ -109,8 +110,14 @@ func Builtin(name string) (rules.Func, *rules.Rule, error) {
 			return nil, nil, err
 		}
 		return rules.SymDepFunc(p1, p2), rules.SymDepRule(p1, p2), nil
+	case strings.HasPrefix(lower, "depdisj[") && strings.HasSuffix(lower, "]"):
+		p1, p2, err := splitPair(name[8 : len(name)-1])
+		if err != nil {
+			return nil, nil, err
+		}
+		return rules.DepDisjFunc(p1, p2), rules.DepDisjRule(p1, p2), nil
 	}
-	return nil, nil, fmt.Errorf("core: unknown builtin %q (want cov, sim, dep[p1,p2] or symdep[p1,p2])", name)
+	return nil, nil, fmt.Errorf("core: unknown builtin %q (want cov, sim, dep[p1,p2], symdep[p1,p2] or depdisj[p1,p2])", name)
 }
 
 func splitPair(s string) (string, string, error) {
@@ -122,9 +129,28 @@ func splitPair(s string) (string, string, error) {
 }
 
 // Structuredness computes σ of the dataset under a rule (closed form
-// when recognized).
+// or compiled kernel when the rule is in the two-variable fragment).
 func (d *Dataset) Structuredness(r *rules.Rule) (rules.Ratio, error) {
-	return rules.FuncForRule(r).Eval(d.View)
+	return d.StructurednessParallel(r, 0)
+}
+
+// StructurednessParallel is Structuredness with an evaluation worker
+// count for rules outside the compiled fragment: when the rule falls
+// back to the generic rough-assignment evaluator, the enumeration is
+// split across workers (rules.EvaluateParallel; 0 = GOMAXPROCS, 1 =
+// sequential). The result is bit-identical for every worker count;
+// closed forms and compiled kernels ignore the knob — they are already
+// cheap.
+func (d *Dataset) StructurednessParallel(r *rules.Rule, workers int) (rules.Ratio, error) {
+	fn := rules.FuncForRule(r)
+	if rf, ok := fn.(rules.RuleFunc); ok {
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		rf.Workers = workers
+		fn = rf
+	}
+	return fn.Eval(d.View)
 }
 
 // StructurednessFunc computes σ under an arbitrary Func.

@@ -3,7 +3,9 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 
+	"repro/internal/bitset"
 	"repro/internal/datagen"
 	"repro/internal/incr"
 	"repro/internal/matrix"
@@ -81,4 +83,88 @@ func RefineWorkload(scale float64, workers int) (*refine.Outcome, error) {
 		return nil, fmt.Errorf("refine workload: %w", err)
 	}
 	return out, nil
+}
+
+// opaqueFunc hides a measure's incremental interfaces, forcing the
+// search engine and evaluators onto their generic paths — the
+// pre-compilation baseline of the compiled-evaluator ablation.
+type opaqueFunc struct{ fn rules.Func }
+
+func (o opaqueFunc) Name() string                             { return o.fn.Name() }
+func (o opaqueFunc) Eval(v *matrix.View) (rules.Ratio, error) { return o.fn.Eval(v) }
+
+// Opaque wraps fn so it exposes only Name and Eval.
+func Opaque(fn rules.Func) rules.Func { return opaqueFunc{fn} }
+
+// DepBenchProps are the DBpedia Persons generator properties used by
+// the dependency-measure benchmarks (the Table 1 deathPlace→deathDate
+// asymmetry pair).
+var DepBenchProps = [2]string{datagen.PropDeathPlace, datagen.PropDeathDate}
+
+// DepEvalScan evaluates σDep by the signature-scan closed form.
+func DepEvalScan(v *matrix.View) rules.Ratio {
+	return rules.Dep(v, DepBenchProps[0], DepBenchProps[1])
+}
+
+// DepEvalKernel evaluates σDep from the memoized pair-count aggregate.
+func DepEvalKernel(v *matrix.View) rules.Ratio {
+	fn := rules.DepFunc(DepBenchProps[0], DepBenchProps[1]).(rules.PairCountsFunc)
+	return fn.EvalPairCounts(v.PropertyCounts(), v.PairCounts(), int64(v.NumSubjects()))
+}
+
+// RefineDepWorkload runs a fixed-budget σDep local search on the
+// 64-signature DBpedia Persons generator view, with the pair-count
+// kernels (baseline = false) or through the opaque scan-per-evaluation
+// baseline (baseline = true). It returns the signature scans consumed,
+// so callers can derive the scans-per-iteration ablation ratio.
+func RefineDepWorkload(v *matrix.View, baseline bool, workers int) (int64, error) {
+	fn := rules.DepFunc(DepBenchProps[0], DepBenchProps[1])
+	if baseline {
+		fn = Opaque(fn)
+	}
+	p := &refine.Problem{View: v, Func: fn, K: 3, Theta1: 99, Theta2: 100}
+	before := rules.SignatureScans()
+	_, _, err := refine.SolveHeuristic(p, refine.HeuristicOptions{
+		Restarts: 4, MaxIters: 30, Seed: 1, Workers: workers,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("refine dep workload: %w", err)
+	}
+	return rules.SignatureScans() - before, nil
+}
+
+// DepRefineView builds a synthetic DBpedia-shaped view with the given
+// column and signature counts — the |P| scaling axis of the
+// compiled-evaluator ablation (the DBpedia Persons generator itself is
+// fixed at 8 properties × 64 signatures). Signatures get random
+// supports with paper-like density and Zipf-ish set sizes.
+func DepRefineView(nProps, nSigs int, seed int64) *matrix.View {
+	rng := rand.New(rand.NewSource(seed))
+	props := make([]string, nProps)
+	for i := range props {
+		props[i] = fmt.Sprintf("p%03d", i)
+	}
+	// Ensure the benchmarked pair exists under its generator names.
+	props[0], props[1] = DepBenchProps[0], DepBenchProps[1]
+	sigs := make([]matrix.Signature, 0, nSigs)
+	for i := 0; i < nSigs; i++ {
+		b := bitset.New(nProps)
+		for j := 0; j < nProps; j++ {
+			if rng.Intn(3) != 0 {
+				b.Set(j)
+			}
+		}
+		if i%2 == 0 {
+			b.Set(0)
+		}
+		if i%3 == 0 {
+			b.Set(1)
+		}
+		sigs = append(sigs, matrix.Signature{Bits: b, Count: 1 + 1000/(i+1)})
+	}
+	v, err := matrix.New(props, sigs)
+	if err != nil {
+		panic(err)
+	}
+	return v
 }

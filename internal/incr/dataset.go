@@ -47,6 +47,14 @@ type Options struct {
 	// KeepSubjects retains subject URIs per signature in snapshots
 	// (needed to materialize partitions back into RDF graphs).
 	KeepSubjects bool
+	// DisablePairCounts turns off the live pairwise co-occurrence
+	// tracker. By default the dataset maintains C[p1][p2] alongside N_p
+	// — O(per-subject property count) extra work per column transition
+	// and O(|P|²) memory — so σDep/σSymDep and compiled two-variable
+	// rules read in O(1) via SigmaPairs. Disable it for datasets with
+	// very many properties; pair-counts reads then fall back to
+	// snapshot evaluation.
+	DisablePairCounts bool
 }
 
 // sigState is one live signature set: the set of property columns and
@@ -80,6 +88,10 @@ type Dataset struct {
 	propIndex map[term.ID]int
 
 	tracker *rules.CountTracker
+	// pairs delta-maintains the pairwise co-occurrence counts behind
+	// the compiled two-variable evaluators (nil when disabled). It
+	// lives in the same append-only column space as tracker.
+	pairs *rules.PairTracker
 
 	sigs    map[string]*sigState  // signature key -> state
 	subjSig map[term.ID]*sigState // subject -> its signature set
@@ -108,7 +120,7 @@ func NewDataset(opts Options) *Dataset {
 	for _, p := range opts.IgnoreProperties {
 		ignore[dict.Intern(p)] = true
 	}
-	return &Dataset{
+	d := &Dataset{
 		opts:      opts,
 		ignore:    ignore,
 		g:         g,
@@ -117,6 +129,10 @@ func NewDataset(opts Options) *Dataset {
 		sigs:      make(map[string]*sigState),
 		subjSig:   make(map[term.ID]*sigState),
 	}
+	if !opts.DisablePairCounts {
+		d.pairs = rules.NewPairTracker(0)
+	}
+	return d
 }
 
 // FromGraph builds an incremental dataset preloaded with g's triples.
@@ -282,6 +298,9 @@ func (d *Dataset) applyAdd(it rdf.IDTriple) bool {
 	newCols := oldCols
 	if gainedCol >= 0 {
 		newCols = insertCol(oldCols, gainedCol)
+		if d.pairs != nil {
+			d.pairs.AddCol(oldCols, gainedCol)
+		}
 	}
 	d.attach(s, newCols)
 	return true
@@ -301,7 +320,13 @@ func (d *Dataset) applyRemove(it rdf.IDTriple) bool {
 	}
 	if !d.g.HasSubjectID(s) {
 		d.tracker.AddSubjects(-1)
-		d.detach(s)
+		old := d.detach(s)
+		// A disappearing subject's last column (if any) is lostCol; the
+		// pair tracker sees the same transition as a migration to the
+		// empty column set.
+		if lostCol >= 0 && d.pairs != nil {
+			d.pairs.RemoveCol(removeCol(old, lostCol), lostCol)
+		}
 		delete(d.subjSig, s)
 		return true
 	}
@@ -309,7 +334,11 @@ func (d *Dataset) applyRemove(it rdf.IDTriple) bool {
 		return true
 	}
 	oldCols := d.detach(s)
-	d.attach(s, removeCol(oldCols, lostCol))
+	newCols := removeCol(oldCols, lostCol)
+	if d.pairs != nil {
+		d.pairs.RemoveCol(newCols, lostCol)
+	}
+	d.attach(s, newCols)
 	return true
 }
 
@@ -323,6 +352,9 @@ func (d *Dataset) colFor(p term.ID) int {
 	d.props = append(d.props, d.g.Dict().String(p))
 	d.propIndex[p] = i
 	d.tracker.Grow(len(d.props))
+	if d.pairs != nil {
+		d.pairs.Grow(len(d.props))
+	}
 	return i
 }
 
@@ -452,6 +484,48 @@ func (d *Dataset) Sigma(fn rules.CountsFunc) rules.Ratio {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.tracker.Eval(fn)
+}
+
+// livePairCounts adapts the dataset's live pair tracker to the
+// rules.PairCounts read interface. Valid only under d.mu; names
+// resolve through the dictionary with Lookup (never growing it), so a
+// never-seen property is simply absent and the kernel goes vacuous.
+// Retired columns resolve but carry zero counts, which the kernels'
+// N_p checks treat identically to absence — matching snapshot
+// evaluation, where retired columns are dropped from the view.
+type livePairCounts struct{ d *Dataset }
+
+func (lp livePairCounts) Column(name string) (int, bool) {
+	id, ok := lp.d.g.Dict().Lookup(name)
+	if !ok {
+		return 0, false
+	}
+	i, ok := lp.d.propIndex[id]
+	return i, ok
+}
+
+func (lp livePairCounts) Both(i, j int) int64 { return lp.d.pairs.Both(i, j) }
+
+// SigmaPairs evaluates a pair-counts measure (σDep, σSymDep, σDepDisj,
+// compiled two-variable rules) against the live aggregates — O(1) per
+// read for measures with fixed pair demands, no snapshot build.
+// Returns ok = false when pair tracking is disabled
+// (Options.DisablePairCounts); callers then evaluate against a
+// Snapshot instead.
+func (d *Dataset) SigmaPairs(fn rules.PairCountsFunc) (rules.Ratio, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.pairs == nil {
+		return rules.Ratio{}, false
+	}
+	return fn.EvalPairCounts(d.tracker.Counts(), livePairCounts{d}, d.tracker.Subjects()), true
+}
+
+// PairsTracked reports whether the live pair-count tracker is on.
+func (d *Dataset) PairsTracked() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.pairs != nil
 }
 
 // SigmaCov returns σCov of the live dataset.

@@ -72,6 +72,31 @@ func checkAgainstRebuild(t *testing.T, label string, d *Dataset, alive []rdf.Tri
 	assertViewsEqual(t, label, snap.View, want)
 	assertRatioEqual(t, label+" σCov", d.SigmaCov(), rules.Coverage(want))
 	assertRatioEqual(t, label+" σSim", d.SigmaSim(), rules.Similarity(want))
+	// The live pair-count tracker must agree with the rebuilt view for
+	// dependency measures over present, repeated and absent properties.
+	props := want.Properties()
+	pairs := [][2]string{{"http://never/seen", "http://never/seen2"}}
+	if len(props) > 0 {
+		p1, p2 := props[0], props[len(props)-1]
+		pairs = append(pairs, [2]string{p1, p2}, [2]string{p2, p1}, [2]string{p1, p1}, [2]string{p1, "http://never/seen"})
+	}
+	for _, pp := range pairs {
+		for _, fn := range []rules.Func{
+			rules.DepFunc(pp[0], pp[1]),
+			rules.SymDepFunc(pp[0], pp[1]),
+			rules.DepDisjFunc(pp[0], pp[1]),
+		} {
+			got, live := d.SigmaPairs(fn.(rules.PairCountsFunc))
+			if !live {
+				t.Fatalf("%s: pair tracking unexpectedly off", label)
+			}
+			wantR, err := fn.Eval(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertRatioEqual(t, fmt.Sprintf("%s live %s", label, fn.Name()), got, wantR)
+		}
+	}
 }
 
 // TestIncrementalEquivalenceRandomized drives a seeded interleaving of
@@ -339,5 +364,30 @@ func TestRefinerDriftAndWarmStart(t *testing.T) {
 	}
 	if res2.Epoch == res.Epoch {
 		t.Fatal("result epoch not advanced")
+	}
+}
+
+// Disabling the pair tracker must route SigmaPairs callers to the
+// snapshot fallback.
+func TestDisablePairCounts(t *testing.T) {
+	d := NewDataset(Options{DisablePairCounts: true})
+	d.Apply([]rdf.Triple{
+		{Subject: "http://s1", Predicate: "http://p1", Object: rdf.NewURI("http://o")},
+		{Subject: "http://s1", Predicate: "http://p2", Object: rdf.NewURI("http://o")},
+	}, nil)
+	if d.PairsTracked() {
+		t.Fatal("PairsTracked should be false")
+	}
+	fn := rules.DepFunc("http://p1", "http://p2").(rules.PairCountsFunc)
+	if _, live := d.SigmaPairs(fn); live {
+		t.Fatal("SigmaPairs should report not-live when disabled")
+	}
+	// The snapshot path still answers.
+	got, err := rules.DepFunc("http://p1", "http://p2").Eval(d.Snapshot().View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value() != 1 {
+		t.Fatalf("snapshot Dep = %v, want 1", got)
 	}
 }

@@ -108,13 +108,22 @@ func (r *Refiner) evalFn() rules.Func {
 }
 
 // sigmaNow computes the dataset's current σ under the drift measure —
-// O(|P|) for the closed forms, falling back to a snapshot evaluation
-// for generic rules.
+// O(|P|) for the counts closed forms, O(1) for pair-counts measures
+// (σDep/σSymDep/compiled rules) when the live tracker is on, falling
+// back to a snapshot evaluation otherwise. The drift poll runs after
+// every mutation epoch, so avoiding the per-poll snapshot build
+// matters for dependency-measure auto-refine.
 func (r *Refiner) sigmaNow() (float64, error) {
-	if cf, ok := r.evalFn().(rules.CountsFunc); ok {
+	fn := r.evalFn()
+	if cf, ok := fn.(rules.CountsFunc); ok {
 		return r.d.Sigma(cf).Value(), nil
 	}
-	v, err := r.evalFn().Eval(r.d.Snapshot().View)
+	if pf, ok := fn.(rules.PairCountsFunc); ok {
+		if ratio, live := r.d.SigmaPairs(pf); live {
+			return ratio.Value(), nil
+		}
+	}
+	v, err := fn.Eval(r.d.Snapshot().View)
 	if err != nil {
 		return 0, err
 	}

@@ -8,6 +8,7 @@ package matrix
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"sync"
@@ -45,10 +46,12 @@ type View struct {
 	// Lazily memoized aggregates. Views are immutable after
 	// construction and evaluated concurrently by the parallel
 	// refinement engine, so the caches are guarded by sync.Once.
-	onesOnce sync.Once
-	ones     int64
-	pcOnce   sync.Once
-	pcCache  []int64
+	onesOnce  sync.Once
+	ones      int64
+	pcOnce    sync.Once
+	pcCache   []int64
+	pairOnce  sync.Once
+	pairCache *PairCounts
 }
 
 // Options configures view construction.
@@ -302,6 +305,122 @@ func (v *View) Ones() int64 {
 		v.ones = total
 	})
 	return v.ones
+}
+
+// PairCounts is the pairwise co-occurrence aggregate of a view: an
+// associative-array style |P|×|P| matrix whose (i, j) entry is the
+// number of subjects having both property columns i and j, with the
+// per-property counts N_p on the diagonal. Together with the N_p vector
+// and |S| it determines every two-variable measure of the rule language
+// in closed form — the compiled σ-evaluators in internal/rules read
+// nothing else.
+type PairCounts struct {
+	v *View
+	c []int64 // |P|×|P| row-major, symmetric
+}
+
+// NumProperties returns the number of property columns.
+func (pc *PairCounts) NumProperties() int { return len(pc.v.props) }
+
+// Both returns the number of subjects having both column i and column j.
+func (pc *PairCounts) Both(i, j int) int64 { return pc.c[i*len(pc.v.props)+j] }
+
+// Column resolves a property name to its column index, implementing the
+// name-keyed half of the rules-layer PairCounts contract.
+func (pc *PairCounts) Column(p string) (int, bool) { return pc.v.PropertyIndex(p) }
+
+// PairCounts returns the view's pairwise co-occurrence aggregate,
+// computed once and cached (sync.Once-guarded like Ones and
+// PropertyCounts, so concurrent evaluators share one build).
+//
+// Two build strategies produce identical matrices and the cheaper one
+// is picked by a cost model: the sparse path makes one pass over the
+// signatures accumulating every support pair (O(Σ|supp|²)), while the
+// dense path transposes the view into per-column signature-incidence
+// bit vectors plus count bit-planes and fills each entry word-parallel
+// with bitset.AndCount3 (O(|P|²·log(max count)·|Λ|/64)). The measured
+// crossover is recorded in EXPERIMENTS.md.
+func (v *View) PairCounts() *PairCounts {
+	v.pairOnce.Do(func() {
+		n := len(v.props)
+		pc := &PairCounts{v: v, c: make([]int64, n*n)}
+		var sparseOps, maxCount int64
+		for _, sg := range v.sigs {
+			s := int64(sg.Bits.Count())
+			sparseOps += s * s
+			if int64(sg.Count) > maxCount {
+				maxCount = int64(sg.Count)
+			}
+		}
+		planes := int64(bits.Len64(uint64(maxCount)))
+		words := int64((len(v.sigs) + 63) / 64)
+		// Calibrated on the BenchmarkPairCountsBuild shapes (see
+		// EXPERIMENTS.md): a sparse support-pair step retires in ~0.8 ns,
+		// a dense AndCount3 probe costs ~4 ns fixed plus ~1.1 ns per
+		// signature word — so the dense path only wins once the
+		// signature count is large enough to amortize the per-pair
+		// overhead (hundreds of signatures for paper-shaped supports).
+		denseCost := int64(n) * int64(n+1) / 2 * planes * (40 + 11*words)
+		if n > 0 && denseCost < 8*sparseOps {
+			v.buildPairsDense(pc, int(maxCount))
+		} else {
+			v.buildPairsSparse(pc)
+		}
+		v.pairCache = pc
+	})
+	return v.pairCache
+}
+
+// buildPairsSparse accumulates support pairs in one pass over the
+// signatures.
+func (v *View) buildPairsSparse(pc *PairCounts) {
+	n := len(v.props)
+	var idx []int
+	for _, sg := range v.sigs {
+		idx = sg.Bits.AppendIndices(idx[:0])
+		c := int64(sg.Count)
+		for _, i := range idx {
+			row := pc.c[i*n : (i+1)*n]
+			for _, j := range idx {
+				row[j] += c
+			}
+		}
+	}
+}
+
+// buildPairsDense fills the matrix from per-column signature-incidence
+// vectors and count bit-planes: entry (i, j) is
+// Σ_b 2^b·|{μ : i,j ∈ supp(μ) ∧ bit b of Count(μ)}|, computed with
+// word-parallel three-way intersection popcounts.
+func (v *View) buildPairsDense(pc *PairCounts, maxCount int) {
+	n := len(v.props)
+	nSigs := len(v.sigs)
+	colSigs := make([]bitset.Set, n)
+	for i := range colSigs {
+		colSigs[i] = bitset.New(nSigs)
+	}
+	planes := make([]bitset.Set, bits.Len64(uint64(maxCount)))
+	for b := range planes {
+		planes[b] = bitset.New(nSigs)
+	}
+	for mu, sg := range v.sigs {
+		sg.Bits.ForEach(func(i int) { colSigs[i].Set(mu) })
+		for b := range planes {
+			if sg.Count>>uint(b)&1 == 1 {
+				planes[b].Set(mu)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var tot int64
+			for b, plane := range planes {
+				tot += int64(bitset.AndCount3(colSigs[i], colSigs[j], plane)) << uint(b)
+			}
+			pc.c[i*n+j] = tot
+			pc.c[j*n+i] = tot
+		}
+	}
 }
 
 // Subset returns a new view containing only the signatures at the given

@@ -200,3 +200,171 @@ func BenchmarkFromGraph(b *testing.B) {
 		_ = FromGraph(g, Options{})
 	}
 }
+
+// randomView builds a random view for pair-count property tests.
+func randomView(t *testing.T, rng *rand.Rand, maxProps, maxSigs, maxCount int) *View {
+	t.Helper()
+	nProps := rng.Intn(maxProps) + 1
+	props := make([]string, nProps)
+	for i := range props {
+		props[i] = "p" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+	}
+	nSigs := rng.Intn(maxSigs) + 1
+	var sigs []Signature
+	for i := 0; i < nSigs; i++ {
+		b := bitset.New(nProps)
+		for j := 0; j < nProps; j++ {
+			if rng.Intn(2) == 1 {
+				b.Set(j)
+			}
+		}
+		sigs = append(sigs, Signature{Bits: b, Count: rng.Intn(maxCount) + 1})
+	}
+	v, err := New(props, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// bruteBoth counts subjects having both columns by direct signature
+// scan — the ground truth for the pair-count builds.
+func bruteBoth(v *View, i, j int) int64 {
+	var n int64
+	for _, sg := range v.Signatures() {
+		if sg.Bits.Test(i) && sg.Bits.Test(j) {
+			n += int64(sg.Count)
+		}
+	}
+	return n
+}
+
+// Both build strategies must agree with each other and with the brute
+// force on arbitrary views, diagonal included.
+func TestPairCountsBuildsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 80; trial++ {
+		v := randomView(t, rng, 12, 10, 1000)
+		n := v.NumProperties()
+		sparse := &PairCounts{v: v, c: make([]int64, n*n)}
+		v.buildPairsSparse(sparse)
+		maxCount := 0
+		for _, sg := range v.Signatures() {
+			if sg.Count > maxCount {
+				maxCount = sg.Count
+			}
+		}
+		dense := &PairCounts{v: v, c: make([]int64, n*n)}
+		v.buildPairsDense(dense, maxCount)
+		counts := v.PropertyCounts()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := bruteBoth(v, i, j)
+				if sparse.Both(i, j) != want || dense.Both(i, j) != want {
+					t.Fatalf("trial %d: Both(%d,%d): sparse=%d dense=%d want=%d",
+						trial, i, j, sparse.Both(i, j), dense.Both(i, j), want)
+				}
+			}
+			if sparse.Both(i, i) != counts[i] {
+				t.Fatalf("diagonal (%d) = %d, want N_p = %d", i, sparse.Both(i, i), counts[i])
+			}
+		}
+	}
+}
+
+// PairCounts must be memoized: one build, shared result, stable under
+// concurrent first access (run under -race in CI).
+func TestPairCountsMemoizedConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	v := randomView(t, rng, 16, 20, 50)
+	results := make([]*PairCounts, 16)
+	done := make(chan int, len(results))
+	for w := range results {
+		go func(w int) {
+			results[w] = v.PairCounts()
+			done <- w
+		}(w)
+	}
+	for range results {
+		<-done
+	}
+	for w := 1; w < len(results); w++ {
+		if results[w] != results[0] {
+			t.Fatal("PairCounts not memoized: distinct aggregates returned")
+		}
+	}
+	if i, ok := v.PairCounts().Column(v.Properties()[0]); !ok || i != 0 {
+		t.Fatalf("Column(%q) = %d,%v", v.Properties()[0], i, ok)
+	}
+}
+
+// benchView builds a deterministic view for the pair-count build
+// crossover benchmark: given support density over nProps columns and
+// Zipf-ish signature-set sizes.
+func benchView(nProps, nSigs int, density float64, seed int64) *View {
+	rng := rand.New(rand.NewSource(seed))
+	props := make([]string, nProps)
+	for i := range props {
+		props[i] = "p" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+	}
+	sigs := make([]Signature, 0, nSigs)
+	for i := 0; i < nSigs; i++ {
+		b := bitset.New(nProps)
+		for j := 0; j < nProps; j++ {
+			if rng.Float64() < density {
+				b.Set(j)
+			}
+		}
+		b.Set(i % nProps) // keep patterns distinct enough to survive merging
+		sigs = append(sigs, Signature{Bits: b, Count: 1 + 100000/(i+1)})
+	}
+	v, err := New(props, sigs)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// BenchmarkPairCountsBuild forces each build strategy explicitly
+// (bypassing the sync.Once memoization) across view shapes, locating
+// the sparse/dense crossover recorded in EXPERIMENTS.md.
+func BenchmarkPairCountsBuild(b *testing.B) {
+	shapes := []struct {
+		name          string
+		nProps, nSigs int
+		density       float64
+	}{
+		{"P8/L64/dense66", 8, 64, 0.66},
+		{"P64/L64/dense66", 64, 64, 0.66},
+		{"P256/L64/dense66", 256, 64, 0.66},
+		{"P256/L64/sparse5", 256, 64, 0.05},
+		{"P256/L1024/dense66", 256, 1024, 0.66},
+	}
+	for _, sh := range shapes {
+		v := benchView(sh.nProps, sh.nSigs, sh.density, 1)
+		maxCount := 0
+		for _, sg := range v.Signatures() {
+			if sg.Count > maxCount {
+				maxCount = sg.Count
+			}
+		}
+		n := v.NumProperties()
+		b.Run(sh.name+"/sparse", func(b *testing.B) {
+			b.ReportAllocs()
+			pc := &PairCounts{v: v, c: make([]int64, n*n)}
+			for i := 0; i < b.N; i++ {
+				for j := range pc.c {
+					pc.c[j] = 0
+				}
+				v.buildPairsSparse(pc)
+			}
+		})
+		b.Run(sh.name+"/dense", func(b *testing.B) {
+			b.ReportAllocs()
+			pc := &PairCounts{v: v, c: make([]int64, n*n)}
+			for i := 0; i < b.N; i++ {
+				v.buildPairsDense(pc, maxCount)
+			}
+		})
+	}
+}

@@ -258,22 +258,46 @@ func (s score) better(t score) bool {
 // groupEval is the shared, immutable evaluation context for one solve:
 // the measure, the view, and per-signature property supports and
 // subject counts. When the measure is counts-based (rules.CountsFunc,
-// i.e. the closed forms σCov and σSim), groups are scored from running
-// Σ counts in O(|P|) without materializing subset views. It is safe
-// for concurrent use; mutable scratch lives in the callers.
+// i.e. the closed forms σCov, σSim and compiled one-variable rules),
+// groups are scored from running Σ counts in O(|P|) without
+// materializing subset views; when it is pair-counts-based with fixed
+// demands (rules.PairCountsFunc + PairDemands, i.e. σDep, σSymDep,
+// σDepDisj and compiled pinned two-variable rules), a running
+// co-occurrence count per demanded pair per sort extends the same
+// delta-scoring to dependency measures — no signature scan per move.
+// It is safe for concurrent use; mutable scratch lives in the callers.
 type groupEval struct {
-	fn      rules.Func
-	inc     rules.CountsFunc // nil when fn has no counts form
-	view    *matrix.View
-	support [][]int // per signature: set property columns
-	count   []int64 // per signature: subject count
-	nProps  int
+	fn       rules.Func
+	inc      rules.CountsFunc     // nil when fn has no counts form
+	pairFn   rules.PairCountsFunc // nil unless pair-incremental mode is on
+	pairCols [][2]int             // resolved demanded column pairs
+	pairHas  []bool               // [sig·len(pairCols)+slot]: sig has both columns
+	view     *matrix.View
+	support  [][]int // per signature: set property columns
+	count    []int64 // per signature: subject count
+	nProps   int
 }
 
 func newGroupEval(fn rules.Func, v *matrix.View) *groupEval {
 	ge := &groupEval{fn: fn, view: v, nProps: v.NumProperties()}
 	if inc, ok := fn.(rules.CountsFunc); ok {
 		ge.inc = inc
+	} else if pf, ok := fn.(rules.PairCountsFunc); ok {
+		if pd, ok := fn.(rules.PairDemands); ok {
+			if names := pd.NeededPairs(); names != nil {
+				ge.pairFn = pf
+				// Demanded pairs with a missing endpoint need no slot: the
+				// kernel's own Column lookup reports the absence and the
+				// measure goes vacuous without reading the pair.
+				for _, np := range names {
+					i, ok1 := v.PropertyIndex(np[0])
+					j, ok2 := v.PropertyIndex(np[1])
+					if ok1 && ok2 {
+						ge.pairCols = append(ge.pairCols, [2]int{i, j})
+					}
+				}
+			}
+		}
 	}
 	sigs := v.Signatures()
 	ge.support = make([][]int, len(sigs))
@@ -282,7 +306,69 @@ func newGroupEval(fn rules.Func, v *matrix.View) *groupEval {
 		ge.support[i] = sg.Support()
 		ge.count[i] = int64(sg.Count)
 	}
+	if ge.pairFn != nil && len(ge.pairCols) > 0 {
+		ge.pairHas = make([]bool, len(sigs)*len(ge.pairCols))
+		for mu, sg := range sigs {
+			base := mu * len(ge.pairCols)
+			for s, pc := range ge.pairCols {
+				ge.pairHas[base+s] = sg.Bits.Test(pc[0]) && sg.Bits.Test(pc[1])
+			}
+		}
+	}
 	return ge
+}
+
+// incremental reports whether groups are scored from delta-maintained
+// aggregates rather than subset views.
+func (ge *groupEval) incremental() bool { return ge.inc != nil || ge.pairFn != nil }
+
+// trackedPairs adapts a group's demanded pair-count slots to the
+// rules.PairCounts read interface. Kernels honoring their declared
+// PairDemands only read tracked entries; an untracked read panics
+// loudly rather than silently corrupting the search.
+type trackedPairs struct {
+	view *matrix.View
+	cols [][2]int
+	vals []int64
+}
+
+func (t *trackedPairs) Column(p string) (int, bool) { return t.view.PropertyIndex(p) }
+
+func (t *trackedPairs) Both(i, j int) int64 {
+	for s, pc := range t.cols {
+		if (pc[0] == i && pc[1] == j) || (pc[0] == j && pc[1] == i) {
+			return t.vals[s]
+		}
+	}
+	panic("refine: pair-count read outside the measure's declared demands")
+}
+
+// addSigPairs adds (sign = +1) or removes (sign = −1) signature mu's
+// contribution to a group's demanded pair counts.
+func (ge *groupEval) addSigPairs(pairs []int64, mu int, sign int64) {
+	if len(ge.pairCols) == 0 {
+		return
+	}
+	c := sign * ge.count[mu]
+	base := mu * len(ge.pairCols)
+	for s := range ge.pairCols {
+		if ge.pairHas[base+s] {
+			pairs[s] += c
+		}
+	}
+}
+
+// valueFrom scores a group from its aggregates — counts mode or pair
+// mode. tp carries the group's tracked pair counts (nil in counts
+// mode). Empty groups are vacuous (σ = 1).
+func (ge *groupEval) valueFrom(counts []int64, tp *trackedPairs, subjects int64) float64 {
+	if subjects == 0 {
+		return 1
+	}
+	if ge.inc != nil {
+		return ge.inc.EvalCounts(counts, subjects).Value()
+	}
+	return ge.pairFn.EvalPairCounts(counts, tp, subjects).Value()
 }
 
 // addSig adds (sign = +1) or removes (sign = −1) signature mu's
@@ -305,15 +391,6 @@ func (ge *groupEval) groupCounts(counts []int64, group []int) int64 {
 	return subjects
 }
 
-// valueFromCounts scores a group from its aggregate counts (inc only).
-// Empty groups are vacuous (σ = 1).
-func (ge *groupEval) valueFromCounts(counts []int64, subjects int64) float64 {
-	if subjects == 0 {
-		return 1
-	}
-	return ge.inc.EvalCounts(counts, subjects).Value()
-}
-
 // eval scores an arbitrary group, via counts when available and the
 // generic subset-view evaluator otherwise. scratch (len nProps) is
 // used in counts mode; pass nil to allocate.
@@ -330,7 +407,7 @@ func (ge *groupEval) eval(group []int, scratch []int64) (float64, error) {
 			}
 		}
 		subjects := ge.groupCounts(scratch, group)
-		return ge.valueFromCounts(scratch, subjects), nil
+		return ge.valueFrom(scratch, nil, subjects), nil
 	}
 	r, err := ge.fn.Eval(ge.view.Subset(group))
 	if err != nil {
@@ -341,19 +418,32 @@ func (ge *groupEval) eval(group []int, scratch []int64) (float64, error) {
 
 // searchState evaluates relocation moves incrementally. Per-sort σ
 // values are cached, and for counts-based measures the per-sort
-// property-count aggregates are maintained so a candidate move is
-// scored in O(|P|) — independent of group sizes — instead of
-// re-evaluating whole subset views.
+// property-count aggregates — plus, under pair mode, the demanded
+// co-occurrence counts — are maintained so a candidate move is scored
+// in O(|P|) — independent of group sizes — instead of re-evaluating
+// whole subset views.
 type searchState struct {
 	ge     *groupEval
 	assign Assignment
 	k      int
 	groups [][]int   // sort -> ascending signature indices
 	vals   []float64 // per-sort σ (vacuous 1 for empty)
-	// Incremental aggregates (counts mode only).
-	counts  [][]int64 // per sort: property counts
-	nsub    []int64   // per sort: subject count
-	scratch []int64
+	// Incremental aggregates (counts and pair modes).
+	counts       [][]int64 // per sort: property counts
+	pairs        [][]int64 // per sort: demanded pair counts (pair mode)
+	nsub         []int64   // per sort: subject count
+	scratch      []int64
+	scratchPairs []int64
+	tp           *trackedPairs // reusable aggregate adapter (pair mode)
+}
+
+// value scores a sort from its aggregates, routing the tracked pair
+// counts through the reusable adapter in pair mode.
+func (st *searchState) value(counts, pairs []int64, subjects int64) float64 {
+	if st.tp != nil {
+		st.tp.vals = pairs
+	}
+	return st.ge.valueFrom(counts, st.tp, subjects)
 }
 
 func newSearchState(ge *groupEval, assign Assignment, k int) (*searchState, error) {
@@ -363,14 +453,27 @@ func newSearchState(ge *groupEval, assign Assignment, k int) (*searchState, erro
 		st.groups[s] = append(st.groups[s], sig)
 	}
 	st.vals = make([]float64, k)
-	if ge.inc != nil {
+	if ge.incremental() {
 		st.counts = make([][]int64, k)
 		st.nsub = make([]int64, k)
 		st.scratch = make([]int64, ge.nProps)
+		if ge.pairFn != nil {
+			st.pairs = make([][]int64, k)
+			st.scratchPairs = make([]int64, len(ge.pairCols))
+			st.tp = &trackedPairs{view: ge.view, cols: ge.pairCols}
+		}
 		for s := range st.groups {
 			st.counts[s] = make([]int64, ge.nProps)
 			st.nsub[s] = ge.groupCounts(st.counts[s], st.groups[s])
-			st.vals[s] = ge.valueFromCounts(st.counts[s], st.nsub[s])
+			var pv []int64
+			if st.pairs != nil {
+				st.pairs[s] = make([]int64, len(ge.pairCols))
+				for _, mu := range st.groups[s] {
+					ge.addSigPairs(st.pairs[s], mu, +1)
+				}
+				pv = st.pairs[s]
+			}
+			st.vals[s] = st.value(st.counts[s], pv, st.nsub[s])
 		}
 		return st, nil
 	}
@@ -387,23 +490,35 @@ func newSearchState(ge *groupEval, assign Assignment, k int) (*searchState, erro
 // evalRemove scores sort a with signature mu removed. ga is the group
 // list after removal (used only in generic mode).
 func (st *searchState) evalRemove(a, mu int, ga []int) (float64, error) {
-	if st.ge.inc == nil {
+	if !st.ge.incremental() {
 		return st.ge.eval(ga, nil)
 	}
 	copy(st.scratch, st.counts[a])
 	st.ge.addSig(st.scratch, mu, -1)
-	return st.ge.valueFromCounts(st.scratch, st.nsub[a]-st.ge.count[mu]), nil
+	var pv []int64
+	if st.pairs != nil {
+		copy(st.scratchPairs, st.pairs[a])
+		st.ge.addSigPairs(st.scratchPairs, mu, -1)
+		pv = st.scratchPairs
+	}
+	return st.value(st.scratch, pv, st.nsub[a]-st.ge.count[mu]), nil
 }
 
 // evalInsert scores sort b with signature mu added. gb is the group
 // list after insertion (used only in generic mode).
 func (st *searchState) evalInsert(b, mu int, gb []int) (float64, error) {
-	if st.ge.inc == nil {
+	if !st.ge.incremental() {
 		return st.ge.eval(gb, nil)
 	}
 	copy(st.scratch, st.counts[b])
 	st.ge.addSig(st.scratch, mu, +1)
-	return st.ge.valueFromCounts(st.scratch, st.nsub[b]+st.ge.count[mu]), nil
+	var pv []int64
+	if st.pairs != nil {
+		copy(st.scratchPairs, st.pairs[b])
+		st.ge.addSigPairs(st.scratchPairs, mu, +1)
+		pv = st.scratchPairs
+	}
+	return st.value(st.scratch, pv, st.nsub[b]+st.ge.count[mu]), nil
 }
 
 // apply moves signature mu to sort b, with va/vb the already-computed
@@ -415,11 +530,15 @@ func (st *searchState) apply(mu, b int, va, vb float64) {
 	st.assign[mu] = b
 	st.vals[a] = va
 	st.vals[b] = vb
-	if st.ge.inc != nil {
+	if st.ge.incremental() {
 		st.ge.addSig(st.counts[a], mu, -1)
 		st.ge.addSig(st.counts[b], mu, +1)
 		st.nsub[a] -= st.ge.count[mu]
 		st.nsub[b] += st.ge.count[mu]
+		if st.pairs != nil {
+			st.ge.addSigPairs(st.pairs[a], mu, -1)
+			st.ge.addSigPairs(st.pairs[b], mu, +1)
+		}
 	}
 }
 
@@ -488,7 +607,7 @@ func insertSorted(g []int, mu int) []int {
 // optimum, the iteration cap, or cancellation.
 func (st *searchState) localSearch(maxIters int, cancel <-chan struct{}) error {
 	n := len(st.assign)
-	incremental := st.ge.inc != nil
+	incremental := st.ge.incremental()
 	for iter := 0; iter < maxIters; iter++ {
 		if canceled(cancel) {
 			return errCanceled
@@ -551,23 +670,44 @@ func greedySeed(ge *groupEval, k int) (Assignment, error) {
 	groups := make([][]int, k)
 	vals := make([]float64, k)
 	used := 0
-	var counts [][]int64
+	var counts, pairs [][]int64
 	var nsub []int64
-	var scratch []int64
-	if ge.inc != nil {
+	var scratch, scratchPairs []int64
+	var tp *trackedPairs
+	if ge.incremental() {
 		counts = make([][]int64, k)
 		for s := range counts {
 			counts[s] = make([]int64, ge.nProps)
 		}
 		nsub = make([]int64, k)
 		scratch = make([]int64, ge.nProps)
+		if ge.pairFn != nil {
+			pairs = make([][]int64, k)
+			for s := range pairs {
+				pairs[s] = make([]int64, len(ge.pairCols))
+			}
+			scratchPairs = make([]int64, len(ge.pairCols))
+			tp = &trackedPairs{view: ge.view, cols: ge.pairCols}
+		}
+	}
+	value := func(cnts, pv []int64, subjects int64) float64 {
+		if tp != nil {
+			tp.vals = pv
+		}
+		return ge.valueFrom(cnts, tp, subjects)
 	}
 	// evalWith scores sort s with mu added.
 	evalWith := func(s, mu int) (float64, error) {
-		if ge.inc != nil {
+		if ge.incremental() {
 			copy(scratch, counts[s])
 			ge.addSig(scratch, mu, +1)
-			return ge.valueFromCounts(scratch, nsub[s]+ge.count[mu]), nil
+			var pv []int64
+			if pairs != nil {
+				copy(scratchPairs, pairs[s])
+				ge.addSigPairs(scratchPairs, mu, +1)
+				pv = scratchPairs
+			}
+			return value(scratch, pv, nsub[s]+ge.count[mu]), nil
 		}
 		return ge.eval(insertSorted(groups[s], mu), nil)
 	}
@@ -613,9 +753,12 @@ func greedySeed(ge *groupEval, k int) (Assignment, error) {
 		groups[bestSort] = insertSorted(groups[bestSort], mu)
 		vals[bestSort] = bestVal
 		assign[mu] = bestSort
-		if ge.inc != nil {
+		if ge.incremental() {
 			ge.addSig(counts[bestSort], mu, +1)
 			nsub[bestSort] += ge.count[mu]
+			if pairs != nil {
+				ge.addSigPairs(pairs[bestSort], mu, +1)
+			}
 		}
 	}
 	return assign, nil
@@ -632,27 +775,49 @@ func mergeSeed(ge *groupEval, k int) (Assignment, error) {
 	for mu := 0; mu < n; mu++ {
 		groups = append(groups, []int{mu})
 	}
-	var counts [][]int64
+	var counts, pairs [][]int64
 	var nsub []int64
-	var scratch []int64
-	if ge.inc != nil {
+	var scratch, scratchPairs []int64
+	var tp *trackedPairs
+	if ge.incremental() {
 		counts = make([][]int64, n)
 		nsub = make([]int64, n)
 		scratch = make([]int64, ge.nProps)
+		if ge.pairFn != nil {
+			pairs = make([][]int64, n)
+			scratchPairs = make([]int64, len(ge.pairCols))
+			tp = &trackedPairs{view: ge.view, cols: ge.pairCols}
+		}
 		for mu := 0; mu < n; mu++ {
 			counts[mu] = make([]int64, ge.nProps)
 			ge.addSig(counts[mu], mu, +1)
 			nsub[mu] = ge.count[mu]
+			if pairs != nil {
+				pairs[mu] = make([]int64, len(ge.pairCols))
+				ge.addSigPairs(pairs[mu], mu, +1)
+			}
 		}
 	}
-	// evalPair scores the merge of groups i and j.
+	// evalPair scores the merge of groups i and j. Pair counts are
+	// additive over disjoint subject sets, so a merge sums the slots.
 	evalPair := func(i, j int) (float64, error) {
-		if ge.inc != nil {
+		if ge.incremental() {
 			copy(scratch, counts[i])
 			for p, c := range counts[j] {
 				scratch[p] += c
 			}
-			return ge.valueFromCounts(scratch, nsub[i]+nsub[j]), nil
+			var pv []int64
+			if pairs != nil {
+				copy(scratchPairs, pairs[i])
+				for s, c := range pairs[j] {
+					scratchPairs[s] += c
+				}
+				pv = scratchPairs
+			}
+			if tp != nil {
+				tp.vals = pv
+			}
+			return ge.valueFrom(scratch, tp, nsub[i]+nsub[j]), nil
 		}
 		return ge.eval(mergeSorted(groups[i], groups[j]), nil)
 	}
@@ -672,13 +837,19 @@ func mergeSeed(ge *groupEval, k int) (Assignment, error) {
 		}
 		groups[bestI] = mergeSorted(groups[bestI], groups[bestJ])
 		groups = append(groups[:bestJ], groups[bestJ+1:]...)
-		if ge.inc != nil {
+		if ge.incremental() {
 			for p, c := range counts[bestJ] {
 				counts[bestI][p] += c
 			}
 			nsub[bestI] += nsub[bestJ]
 			counts = append(counts[:bestJ], counts[bestJ+1:]...)
 			nsub = append(nsub[:bestJ], nsub[bestJ+1:]...)
+			if pairs != nil {
+				for s, c := range pairs[bestJ] {
+					pairs[bestI][s] += c
+				}
+				pairs = append(pairs[:bestJ], pairs[bestJ+1:]...)
+			}
 		}
 	}
 	assign := make(Assignment, n)

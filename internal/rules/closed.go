@@ -2,6 +2,8 @@ package rules
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/matrix"
 )
@@ -77,16 +79,41 @@ func Coverage(v *matrix.View) Ratio {
 	return NewRatio(v.Ones(), n*used)
 }
 
+// skipPool recycles the CoverageIgnoring scratch slices (as *[]bool,
+// reusing the pooled box so a call allocates nothing). Entries are
+// always returned all-false, so a pooled slice (or a longer prefix of
+// one) is ready to use as-is.
+var skipPool sync.Pool
+
+func getSkip(n int) *[]bool {
+	if p, ok := skipPool.Get().(*[]bool); ok {
+		if cap(*p) >= n {
+			*p = (*p)[:n]
+			return p
+		}
+		// Too small: replace the backing array, keep the box.
+		*p = make([]bool, n)
+		return p
+	}
+	s := make([]bool, n)
+	return &s
+}
+
 // CoverageIgnoring computes σCov over the view with the given columns
-// removed from both numerator and denominator.
+// removed from both numerator and denominator. The excluded-column set
+// is a pooled scratch bool slice indexed by column — no per-call map
+// allocation and no hashed lookup inside the counts loop, which matters
+// because σCov-ignoring variants are evaluated per candidate sort in
+// local search.
 func CoverageIgnoring(v *matrix.View, ignore ...string) Ratio {
-	skip := map[int]bool{}
+	counts := v.PropertyCounts()
+	sp := getSkip(len(counts))
+	skip := *sp
 	for _, p := range ignore {
 		if i, ok := v.PropertyIndex(p); ok {
 			skip[i] = true
 		}
 	}
-	counts := v.PropertyCounts()
 	var ones, used int64
 	for i, c := range counts {
 		if skip[i] || c == 0 {
@@ -95,6 +122,12 @@ func CoverageIgnoring(v *matrix.View, ignore ...string) Ratio {
 		used++
 		ones += c
 	}
+	for _, p := range ignore {
+		if i, ok := v.PropertyIndex(p); ok {
+			skip[i] = false
+		}
+	}
+	skipPool.Put(sp)
 	return NewRatio(ones, int64(v.NumSubjects())*used)
 }
 
@@ -113,12 +146,30 @@ func Similarity(v *matrix.View) Ratio {
 	return NewRatio(fav, tot)
 }
 
-// bothCount returns the number of subjects having both columns. Two
-// direct bit tests per signature are the measured optimum here: a
-// bitset.AndCount over a two-bit pair mask was benchmarked ~3× slower
-// (it scans every word of the signature and allocates the mask), so
-// word-parallel intersection counting stays reserved for dense masks.
+// sigScans counts full signature-list scans performed by bothCount —
+// instrumentation for the compiled-evaluator ablation (BenchmarkRefineDep
+// asserts the pair-count kernels do orders of magnitude fewer of these
+// per local-search iteration than the scan-per-evaluation baseline).
+var sigScans atomic.Int64
+
+// SignatureScans returns the cumulative number of full signature-list
+// scans performed by the pairwise closed forms since process start.
+// Read-before/read-after deltas instrument benchmarks and tests; the
+// single atomic add per scan is noise next to the scan itself.
+func SignatureScans() int64 { return sigScans.Load() }
+
+// bothCount returns the number of subjects having both columns by
+// scanning the signature list with two direct bit tests per signature —
+// the measured optimum for probing a single column pair, where a
+// word-parallel AndCount over a two-bit mask only inspects wasted
+// words. Word-parallel counting instead powers the dense
+// matrix.View.PairCounts build, which amortizes whole-matrix
+// construction across all pairs at once; the crossover between probing
+// pairs here and building the full aggregate there is recorded in
+// EXPERIMENTS.md. Evaluators that hold a PairCounts aggregate never
+// call this.
 func bothCount(v *matrix.View, i, j int) int64 {
+	sigScans.Add(1)
 	var both int64
 	for _, sg := range v.Signatures() {
 		if sg.Bits.Test(i) && sg.Bits.Test(j) {
@@ -159,6 +210,25 @@ func SymDep(v *matrix.View, p1, p2 string) Ratio {
 	both := bothCount(v, i, j)
 	either := counts[i] + counts[j] - both
 	return NewRatio(both, either)
+}
+
+// DepDisjEval computes σDepDisj[p1, p2](D), the disjunctive dependency
+// of Section 3.2: the probability that a random subject lacks p1 or has
+// p2, i.e. (|S| − N_{p1} + both) / |S|. Vacuous when either column is
+// absent or empty, matching the rule's antecedent (which pins both
+// properties) under the generic evaluator.
+func DepDisjEval(v *matrix.View, p1, p2 string) Ratio {
+	i, ok1 := v.PropertyIndex(p1)
+	j, ok2 := v.PropertyIndex(p2)
+	if !ok1 || !ok2 {
+		return NewRatio(0, 0)
+	}
+	counts := v.PropertyCounts()
+	if counts[i] == 0 || counts[j] == 0 {
+		return NewRatio(0, 0)
+	}
+	n := int64(v.NumSubjects())
+	return NewRatio(n-counts[i]+bothCount(v, i, j), n)
 }
 
 // Func is a structuredness function σ: it assigns to every view an
@@ -232,17 +302,18 @@ func CovFunc() Func { return covFunc{} }
 // SimFunc returns σSim as a Func (closed form, counts-incremental).
 func SimFunc() Func { return simFunc{} }
 
-// DepFunc returns σDep[p1,p2] as a Func (closed form).
-func DepFunc(p1, p2 string) Func {
-	return closedFunc{fmt.Sprintf("Dep[%s,%s]", p1, p2),
-		func(v *matrix.View) Ratio { return Dep(v, p1, p2) }}
-}
+// DepFunc returns σDep[p1,p2] as a Func (closed form, pair-counts
+// incremental: the result also implements PairCountsFunc and
+// PairDemands).
+func DepFunc(p1, p2 string) Func { return depFunc{p1, p2} }
 
-// SymDepFunc returns σSymDep[p1,p2] as a Func (closed form).
-func SymDepFunc(p1, p2 string) Func {
-	return closedFunc{fmt.Sprintf("SymDep[%s,%s]", p1, p2),
-		func(v *matrix.View) Ratio { return SymDep(v, p1, p2) }}
-}
+// SymDepFunc returns σSymDep[p1,p2] as a Func (closed form,
+// pair-counts incremental).
+func SymDepFunc(p1, p2 string) Func { return symDepFunc{p1, p2} }
+
+// DepDisjFunc returns σDepDisj[p1,p2] as a Func (closed form,
+// pair-counts incremental).
+func DepDisjFunc(p1, p2 string) Func { return depDisjFunc{p1, p2} }
 
 // CovIgnoringFunc returns the σCov variant excluding columns.
 func CovIgnoringFunc(ignore ...string) Func {
@@ -252,17 +323,32 @@ func CovIgnoringFunc(ignore ...string) Func {
 
 // RuleFunc evaluates an arbitrary rule with the generic
 // rough-assignment evaluator.
-type RuleFunc struct{ R *Rule }
+type RuleFunc struct {
+	R *Rule
+	// Workers splits the rough-assignment enumeration across goroutines
+	// (EvaluateParallel); 0 or 1 evaluates sequentially. The result is
+	// bit-identical for every value.
+	Workers int
+}
 
 // Name returns the rule's label.
 func (rf RuleFunc) Name() string { return normalizeName(rf.R.Name, rf.R) }
 
 // Eval computes σr exactly.
-func (rf RuleFunc) Eval(v *matrix.View) (Ratio, error) { return Evaluate(rf.R, v) }
+func (rf RuleFunc) Eval(v *matrix.View) (Ratio, error) {
+	if rf.Workers > 1 {
+		return EvaluateParallel(rf.R, v, rf.Workers)
+	}
+	return Evaluate(rf.R, v)
+}
 
-// FuncForRule returns the fastest exact evaluator for r: a closed form
-// when r is recognized as one of the named measures (matched
-// structurally), otherwise the generic evaluator.
+// FuncForRule returns the fastest exact evaluator for r, in descending
+// order of specialization: a closed form when r is recognized as one of
+// the named measures (matched structurally), a compiled counts/
+// pair-counts kernel when r mentions at most two variables and no
+// subject constants (CompileRule), and the generic rough-assignment
+// evaluator otherwise. All tiers agree exactly — same Ratio, not merely
+// the same float — which the randomized equivalence tests pin.
 func FuncForRule(r *Rule) Func {
 	if r.String() == CovRule().String() {
 		return CovFunc()
@@ -275,6 +361,12 @@ func FuncForRule(r *Rule) Func {
 	}
 	if p1, p2, ok := matchSymDep(r); ok {
 		return SymDepFunc(p1, p2)
+	}
+	if p1, p2, ok := matchDepDisj(r); ok {
+		return DepDisjFunc(p1, p2)
+	}
+	if fn, ok := CompileRule(r); ok {
+		return fn
 	}
 	return RuleFunc{R: r}
 }
@@ -296,6 +388,17 @@ func matchSymDep(r *Rule) (p1, p2 string, ok bool) {
 		return "", "", false
 	}
 	if r.String() == SymDepRule(ps[0], ps[1]).String() {
+		return ps[0], ps[1], true
+	}
+	return "", "", false
+}
+
+func matchDepDisj(r *Rule) (p1, p2 string, ok bool) {
+	ps := twoPropConsts(r)
+	if ps == nil {
+		return "", "", false
+	}
+	if r.String() == DepDisjRule(ps[0], ps[1]).String() {
 		return ps[0], ps[1], true
 	}
 	return "", "", false

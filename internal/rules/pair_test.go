@@ -1,0 +1,177 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/matrix"
+)
+
+// randView builds a random view over nProps short property names.
+func randView(t *testing.T, rng *rand.Rand, maxProps, maxSigs, maxCount int) *matrix.View {
+	t.Helper()
+	nProps := rng.Intn(maxProps) + 1
+	props := make([]string, nProps)
+	for i := range props {
+		props[i] = "p" + string(rune('a'+i))
+	}
+	nSigs := rng.Intn(maxSigs) + 1
+	var sigs []matrix.Signature
+	for i := 0; i < nSigs; i++ {
+		b := bitset.New(nProps)
+		for j := 0; j < nProps; j++ {
+			if rng.Intn(2) == 1 {
+				b.Set(j)
+			}
+		}
+		sigs = append(sigs, matrix.Signature{Bits: b, Count: rng.Intn(20) + 1})
+	}
+	v, err := matrix.New(props, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func sameRatio(a, b Ratio) bool {
+	return a.Fav.Cmp(b.Fav) == 0 && a.Tot.Cmp(b.Tot) == 0
+}
+
+// The pair-count kernels of the dependency measures must agree exactly
+// — as Ratios — with the view closed forms and with the generic
+// rough-assignment evaluator on arbitrary views, including views
+// missing one or both properties.
+func TestPairKernelsMatchClosedFormsAndGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mk := []struct {
+		name string
+		fn   func(p1, p2 string) Func
+		rule func(p1, p2 string) *Rule
+	}{
+		{"Dep", DepFunc, DepRule},
+		{"SymDep", SymDepFunc, SymDepRule},
+		{"DepDisj", DepDisjFunc, DepDisjRule},
+	}
+	for trial := 0; trial < 60; trial++ {
+		v := randView(t, rng, 6, 8, 20)
+		props := v.Properties()
+		// Mix present, repeated and absent properties.
+		candidates := append(append([]string{}, props...), "absent1", "absent2")
+		p1 := candidates[rng.Intn(len(candidates))]
+		p2 := candidates[rng.Intn(len(candidates))]
+		for _, m := range mk {
+			fn := m.fn(p1, p2)
+			pf, ok := fn.(PairCountsFunc)
+			if !ok {
+				t.Fatalf("%s: not a PairCountsFunc", m.name)
+			}
+			want, err := fn.Eval(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := pf.EvalPairCounts(v.PropertyCounts(), v.PairCounts(), int64(v.NumSubjects()))
+			if !sameRatio(want, got) {
+				t.Fatalf("%s[%s,%s]: Eval=%v EvalPairCounts=%v on %s", m.name, p1, p2, want, got, v)
+			}
+			generic, err := Evaluate(m.rule(p1, p2), v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameRatio(want, generic) {
+				t.Fatalf("%s[%s,%s]: closed=%v generic=%v on %s", m.name, p1, p2, want, generic, v)
+			}
+			pd, ok := fn.(PairDemands)
+			if !ok || len(pd.NeededPairs()) != 1 {
+				t.Fatalf("%s: expected one demanded pair", m.name)
+			}
+		}
+	}
+}
+
+// PairTracker must agree with a brute-force recount after arbitrary
+// column-set transitions.
+func TestPairTrackerMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const nProps = 7
+	tr := NewPairTracker(0)
+	tr.Grow(nProps)
+	subjects := make(map[int][]int) // subject -> sorted cols
+	hasCol := func(cols []int, c int) bool {
+		for _, x := range cols {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
+	for step := 0; step < 2000; step++ {
+		s := rng.Intn(30)
+		cols := subjects[s]
+		c := rng.Intn(nProps)
+		if rng.Intn(2) == 0 { // gain
+			if hasCol(cols, c) {
+				continue
+			}
+			tr.AddCol(cols, c)
+			subjects[s] = append(append([]int{}, cols...), c)
+		} else { // lose
+			if !hasCol(cols, c) {
+				continue
+			}
+			var rest []int
+			for _, x := range cols {
+				if x != c {
+					rest = append(rest, x)
+				}
+			}
+			tr.RemoveCol(rest, c)
+			subjects[s] = rest
+		}
+	}
+	for i := 0; i < nProps; i++ {
+		for j := 0; j < nProps; j++ {
+			var want int64
+			for _, cols := range subjects {
+				if hasCol(cols, i) && hasCol(cols, j) {
+					want++
+				}
+			}
+			if got := tr.Both(i, j); got != want {
+				t.Fatalf("Both(%d,%d) = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+// CoverageIgnoring must be unchanged by the scratch-slice rewrite and
+// stable under repeated and concurrent calls (the pool is shared).
+func TestCoverageIgnoringPooledScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		v := randView(t, rng, 8, 10, 30)
+		props := v.Properties()
+		ignore := []string{"absent"}
+		if len(props) > 1 {
+			ignore = append(ignore, props[rng.Intn(len(props))])
+		}
+		want := CoverageIgnoring(v, ignore...)
+		done := make(chan Ratio, 8)
+		for w := 0; w < 8; w++ {
+			go func() { done <- CoverageIgnoring(v, ignore...) }()
+		}
+		for w := 0; w < 8; w++ {
+			if got := <-done; !sameRatio(want, got) {
+				t.Fatalf("CoverageIgnoring unstable: %v vs %v", want, got)
+			}
+		}
+		// Cross-check against the rule-based definition.
+		ruleVal, err := Evaluate(CovRuleIgnoring(ignore...), v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Value() != ruleVal.Value() {
+			t.Fatalf("CoverageIgnoring=%v rule=%v", want, ruleVal)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package rules
 import (
 	"fmt"
 	"math/big"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/matrix"
 )
@@ -235,7 +237,14 @@ func (c *Counter) domains() []varDomain {
 // Enumerate calls fn for every rough assignment over the view's
 // signatures and used property columns that passes the domain pruning.
 // fn receives a τ that must not be retained across calls.
-func (c *Counter) Enumerate(fn func(tau RoughAssignment)) {
+func (c *Counter) Enumerate(fn func(tau RoughAssignment)) { c.enumerateRestricted(-1, fn) }
+
+// enumerateRestricted is Enumerate with the first variable's signature
+// optionally pinned to firstSig (−1 = unrestricted) — the partition
+// unit of the signature-parallel evaluator. All local state (τ, domain
+// tables) is per-call, so concurrent restricted enumerations over one
+// Counter are safe.
+func (c *Counter) enumerateRestricted(firstSig int, fn func(tau RoughAssignment)) {
 	cols := usedColumns(c.view)
 	doms := c.domains()
 	for _, d := range doms {
@@ -253,6 +262,9 @@ func (c *Counter) Enumerate(fn func(tau RoughAssignment)) {
 		}
 		d := doms[i]
 		for si := range sigs {
+			if i == 0 && firstSig >= 0 && si != firstSig {
+				continue
+			}
 			var candidates []int
 			if d.prop >= 0 {
 				candidates = []int{d.prop}
@@ -299,5 +311,56 @@ func Evaluate(r *Rule, v *matrix.View) (Ratio, error) {
 		tot.Add(tot, t)
 		fav.Add(fav, f)
 	})
+	return Ratio{Fav: fav, Tot: tot}, nil
+}
+
+// EvaluateParallel computes σr exactly like Evaluate, splitting the
+// rough-assignment enumeration across workers by the first variable's
+// signature index — the signature-parallel fallback for rules the
+// compiler cannot lower. Each worker sums its chunks into local
+// big.Int accumulators and the chunks are merged afterwards; exact
+// integer addition is associative and commutative, so the result is
+// bit-identical to Evaluate for every worker count.
+func EvaluateParallel(r *Rule, v *matrix.View, workers int) (Ratio, error) {
+	c, err := NewCounter(r, v)
+	if err != nil {
+		return Ratio{}, err
+	}
+	nSigs := v.NumSignatures()
+	if workers > nSigs {
+		workers = nSigs
+	}
+	if workers <= 1 {
+		return Evaluate(r, v)
+	}
+	type chunk struct{ tot, fav *big.Int }
+	res := make([]chunk, nSigs)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				si := int(atomic.AddInt64(&next, 1))
+				if si >= nSigs {
+					return
+				}
+				tot, fav := new(big.Int), new(big.Int)
+				c.enumerateRestricted(si, func(tau RoughAssignment) {
+					t, f := c.Count(tau)
+					tot.Add(tot, t)
+					fav.Add(fav, f)
+				})
+				res[si] = chunk{tot: tot, fav: fav}
+			}
+		}()
+	}
+	wg.Wait()
+	tot, fav := new(big.Int), new(big.Int)
+	for _, ch := range res {
+		tot.Add(tot, ch.tot)
+		fav.Add(fav, ch.fav)
+	}
 	return Ratio{Fav: fav, Tot: tot}, nil
 }

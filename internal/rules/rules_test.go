@@ -302,11 +302,16 @@ func TestFuncForRuleDetection(t *testing.T) {
 			t.Errorf("FuncForRule(%s) = %q, want %q", c.rule, got, c.want)
 		}
 	}
-	// Unrecognized rule falls back to the generic evaluator and still
-	// produces the same value as a closed form it happens to equal.
+	// An unrecognized rule within the compiler's fragment lowers to an
+	// aggregate kernel rather than the generic evaluator.
 	odd := MustParse("val(c) = 1 -> val(c) = 1")
-	if _, ok := FuncForRule(odd).(RuleFunc); !ok {
-		t.Errorf("unknown rule not wrapped as RuleFunc")
+	if _, ok := FuncForRule(odd).(CountsFunc); !ok {
+		t.Errorf("compilable 1-var rule not lowered to a CountsFunc")
+	}
+	// Beyond the two-variable fragment the generic evaluator remains.
+	wide := MustParse("val(c1) = 1 && val(c2) = 1 && val(c3) = 1 -> val(c1) = 1")
+	if _, ok := FuncForRule(wide).(RuleFunc); !ok {
+		t.Errorf("3-variable rule not wrapped as RuleFunc")
 	}
 }
 

@@ -82,3 +82,71 @@ func (t *CountTracker) Clone() *CountTracker {
 		ones:     t.ones,
 	}
 }
+
+// PairTracker maintains the pairwise co-occurrence counts C[p1][p2] —
+// the aggregate behind the compiled two-variable evaluators — under
+// incremental updates. It is the pair-count half of the Σ-count state:
+// internal/incr feeds it column-set transitions as subjects migrate
+// between signature sets, and any PairCountsFunc (σDep, σSymDep,
+// compiled rules) evaluates against the live matrix in O(1) per read
+// without rebuilding a view. The diagonal carries N_p, mirroring
+// matrix.PairCounts.
+//
+// Columns follow the same append-only space as CountTracker: retired
+// columns keep zero rows, which no kernel observes (their N_p is 0).
+type PairTracker struct {
+	c [][]int64 // square, symmetric; c[i][j] = subjects with both i and j
+}
+
+// NewPairTracker returns a tracker over nProps property columns.
+func NewPairTracker(nProps int) *PairTracker {
+	t := &PairTracker{}
+	t.Grow(nProps)
+	return t
+}
+
+// Grow extends the tracker to nProps columns (new columns start at 0).
+func (t *PairTracker) Grow(nProps int) {
+	for i := range t.c {
+		for len(t.c[i]) < nProps {
+			t.c[i] = append(t.c[i], 0)
+		}
+	}
+	for len(t.c) < nProps {
+		t.c = append(t.c, make([]int64, nProps))
+	}
+}
+
+// NumProps returns the number of tracked columns.
+func (t *PairTracker) NumProps() int { return len(t.c) }
+
+// Both returns the number of subjects having both column i and j.
+func (t *PairTracker) Both(i, j int) int64 { return t.c[i][j] }
+
+// AddCol records that a subject whose property set is cols gained
+// column c (c ∉ cols): the diagonal and every (c, x) pair increment.
+// The cost is O(|cols|) — proportional to the subject's property
+// count, like CountTracker's per-transition work.
+func (t *PairTracker) AddCol(cols []int, c int) {
+	t.c[c][c]++
+	for _, x := range cols {
+		t.c[c][x]++
+		t.c[x][c]++
+	}
+}
+
+// RemoveCol records that a subject whose property set is now cols
+// (after the loss) lost column c.
+func (t *PairTracker) RemoveCol(cols []int, c int) {
+	t.c[c][c]--
+	if t.c[c][c] < 0 {
+		panic(fmt.Sprintf("rules: RemoveCol on zero-count column %d", c))
+	}
+	for _, x := range cols {
+		t.c[c][x]--
+		t.c[x][c]--
+		if t.c[c][x] < 0 {
+			panic(fmt.Sprintf("rules: negative pair count (%d,%d)", c, x))
+		}
+	}
+}

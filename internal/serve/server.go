@@ -88,7 +88,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		"service": "rdfserved",
 		"endpoints": []string{
 			"POST /triples   {\"add\": [\"<s> <p> <o> .\"], \"remove\": [...]} or raw N-Triples body",
-			"GET  /sigma?fn=cov|sim|dep[p1,p2]|symdep[p1,p2]",
+			"GET  /sigma?fn=cov|sim|dep[p1,p2]|symdep[p1,p2]|depdisj[p1,p2]",
 			"GET  /refine?fn=cov&mode=lowestk|highesttheta&theta=0.9&k=2&workers=0&engine=auto",
 			"GET  /stats",
 		},
@@ -208,23 +208,33 @@ func (s *Server) handleSigma(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := map[string]interface{}{"fn": fn.Name()}
+	var ratio rules.Ratio
+	live := false
 	if cf, ok := fn.(rules.CountsFunc); ok {
 		// Closed forms read the live counts in O(|P|) — no snapshot.
-		ratio := s.d.Sigma(cf)
-		resp["value"] = ratio.Value()
-		resp["ratio"] = ratio.String()
+		ratio = s.d.Sigma(cf)
+		live = true
+	} else if pf, ok := fn.(rules.PairCountsFunc); ok {
+		// Dependency measures and compiled two-variable rules read the
+		// live pair-count aggregates in O(1) — no snapshot — unless the
+		// tracker is disabled (live stays false and the read falls back
+		// to snapshot evaluation below).
+		ratio, live = s.d.SigmaPairs(pf)
+	}
+	if live {
 		resp["stats"] = s.d.Stats()
 	} else {
 		snap := s.d.Snapshot()
-		ratio, err := fn.Eval(snap.View)
+		var err error
+		ratio, err = fn.Eval(snap.View)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "%v", err)
 			return
 		}
-		resp["value"] = ratio.Value()
-		resp["ratio"] = ratio.String()
 		resp["epoch"] = snap.Epoch
 	}
+	resp["value"] = ratio.Value()
+	resp["ratio"] = ratio.String()
 	writeJSON(w, http.StatusOK, resp)
 }
 

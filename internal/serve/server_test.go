@@ -264,3 +264,63 @@ func TestBackgroundRefinerKicksIn(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// GET /sigma for dependency measures must answer from the live
+// pair-count tracker — the "stats" field marks the live path, the
+// "epoch" field the snapshot fallback — and agree with snapshot
+// evaluation as triples come and go.
+func TestSigmaDepLiveReads(t *testing.T) {
+	ts, d := newTestServer(t, false)
+	lines := []string{
+		"<http://ex/s1> <http://ex/p1> <http://ex/o> .",
+		"<http://ex/s1> <http://ex/p2> <http://ex/o> .",
+		"<http://ex/s2> <http://ex/p1> <http://ex/o> .",
+		"<http://ex/s3> <http://ex/p2> <http://ex/o> .",
+	}
+	body, _ := json.Marshal(map[string][]string{"add": lines})
+	var ing ingestResponse
+	if code := postJSON(t, ts.URL+"/triples", string(body), &ing); code != http.StatusOK {
+		t.Fatalf("POST /triples = %d", code)
+	}
+	check := func(fn, wantRatio string, wantValue float64) {
+		t.Helper()
+		var resp struct {
+			Value float64                `json:"value"`
+			Ratio string                 `json:"ratio"`
+			Stats map[string]interface{} `json:"stats"`
+			Epoch *uint64                `json:"epoch"`
+		}
+		if code := getJSON(t, ts.URL+"/sigma?fn="+fn, &resp); code != http.StatusOK {
+			t.Fatalf("GET /sigma?fn=%s = %d", fn, code)
+		}
+		if resp.Epoch != nil || resp.Stats == nil {
+			t.Fatalf("fn=%s answered from a snapshot, want the live pair path", fn)
+		}
+		if resp.Ratio != wantRatio || resp.Value != wantValue {
+			t.Fatalf("fn=%s = %q (%v), want %q (%v)", fn, resp.Ratio, resp.Value, wantRatio, wantValue)
+		}
+	}
+	// s1 has p1∧p2; s2 only p1; s3 only p2 → Dep[p1,p2] = 1/2,
+	// SymDep = 1/3.
+	check("dep[http://ex/p1,http://ex/p2]", "1/2 = 0.5000", 0.5)
+	check("symdep[http://ex/p1,http://ex/p2]", "1/3 = 0.3333", 1.0/3)
+	// Retract s1's p2: no co-occurrence remains.
+	body, _ = json.Marshal(map[string][]string{"remove": {lines[1]}})
+	if code := postJSON(t, ts.URL+"/triples", string(body), &ing); code != http.StatusOK {
+		t.Fatalf("POST /triples = %d", code)
+	}
+	check("dep[http://ex/p1,http://ex/p2]", "0/2 = 0.0000", 0)
+	// Cross-check the live read against snapshot evaluation.
+	fn := rules.SymDepFunc("http://ex/p1", "http://ex/p2")
+	live, ok := d.SigmaPairs(fn.(rules.PairCountsFunc))
+	if !ok {
+		t.Fatal("pair tracking off")
+	}
+	snap, err := fn.Eval(d.Snapshot().View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Fav.Cmp(snap.Fav) != 0 || live.Tot.Cmp(snap.Tot) != 0 {
+		t.Fatalf("live %v != snapshot %v", live, snap)
+	}
+}
