@@ -1,11 +1,12 @@
 // Command benchjson runs the perf-trajectory benchmarks — the ingest
-// ablation (interned vs. string vs. incremental), the refinement
-// workload, and the compiled σ-evaluator ablation (Dep eval and Dep
-// refinement, scan vs pair-count kernel) — and writes machine-readable
-// results to BENCH_ingest.json, BENCH_refine.json and BENCH_eval.json.
-// Each PR's CI run uploads the files as artifacts, so the throughput
-// trend is diffable across commits without parsing `go test -bench`
-// text.
+// ablation (interned vs. string vs. incremental), the sharded-ingest
+// scalability sweep (shards ∈ {1,2,4,8}), the refinement workload,
+// and the compiled σ-evaluator ablation (Dep eval and Dep refinement,
+// scan vs pair-count kernel) — and writes machine-readable results to
+// BENCH_ingest.json, BENCH_shard.json, BENCH_refine.json and
+// BENCH_eval.json. Each PR's CI run uploads the files as artifacts, so
+// the throughput trend is diffable across commits without parsing
+// `go test -bench` text.
 //
 // Usage:
 //
@@ -91,7 +92,7 @@ func writeArtifact(path string, a artifact) error {
 
 func run() error {
 	scale := flag.Float64("scale", 0.01, "DBpedia Persons generator scale for the ingest corpus")
-	outDir := flag.String("out", ".", "directory for BENCH_ingest.json and BENCH_refine.json")
+	outDir := flag.String("out", ".", "directory for the BENCH_*.json artifacts")
 	flag.Parse()
 
 	now := time.Now().UTC().Format(time.RFC3339)
@@ -134,6 +135,37 @@ func run() error {
 		}
 	}
 	if err := writeArtifact(filepath.Join(*outDir, "BENCH_ingest.json"), ingest); err != nil {
+		return err
+	}
+
+	// --- Shard: ingest scalability of the sharded live engine — the
+	// same corpus streamed through the per-shard worker pool at shards
+	// ∈ {1, 2, 4, 8}, triples/sec derived from the corpus byte rate.
+	shard := meta("shard")
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		name := fmt.Sprintf("ingest/sharded/shards=%d", n)
+		r, err := measure(name, size, func() error {
+			_, err := experiments.IngestSharded(data, 10000, n)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		shard.Benchmarks = append(shard.Benchmarks, r)
+		fmt.Printf("%-28s %12.0f ns/op %8.1f MB/s %9d allocs/op\n",
+			name, r.NsPerOp, r.MBPerSec, r.AllocsPerOp)
+	}
+	if len(shard.Benchmarks) == 4 {
+		shard.Derived = map[string]string{
+			"shard_speedup_8_vs_1": fmt.Sprintf("%.2fx",
+				shard.Benchmarks[0].NsPerOp/shard.Benchmarks[3].NsPerOp),
+			"shard_speedup_4_vs_1": fmt.Sprintf("%.2fx",
+				shard.Benchmarks[0].NsPerOp/shard.Benchmarks[2].NsPerOp),
+			"corpus_bytes": fmt.Sprintf("%d", size),
+		}
+	}
+	if err := writeArtifact(filepath.Join(*outDir, "BENCH_shard.json"), shard); err != nil {
 		return err
 	}
 
@@ -205,8 +237,9 @@ func run() error {
 	if err := writeArtifact(filepath.Join(*outDir, "BENCH_eval.json"), evalArt); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s, %s and %s\n",
+	fmt.Printf("wrote %s, %s, %s and %s\n",
 		filepath.Join(*outDir, "BENCH_ingest.json"),
+		filepath.Join(*outDir, "BENCH_shard.json"),
 		filepath.Join(*outDir, "BENCH_refine.json"),
 		filepath.Join(*outDir, "BENCH_eval.json"))
 	return nil

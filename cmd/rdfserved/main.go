@@ -3,12 +3,16 @@
 // maintains the signature view and the closed-form σ counts
 // incrementally (internal/incr), and serves σ reads and sort
 // refinements against consistent copy-on-write snapshots while
-// ingestion continues.
+// ingestion continues. With -shards N > 1 the dataset is partitioned
+// into N subject-hash shards over one shared term dictionary, so
+// concurrent ingest batches on different subjects proceed in parallel;
+// merged σ reads and snapshots are exact (subject-disjoint shards make
+// every aggregate additive).
 //
 // Usage:
 //
 //	rdfserved -addr :8077
-//	rdfserved -addr :8077 -in persons.nt -auto-refine -fn cov -theta 0.9
+//	rdfserved -addr :8077 -shards 8 -in persons.nt -auto-refine -fn cov -theta 0.9
 //
 // Endpoints:
 //
@@ -16,16 +20,25 @@
 //	GET  /sigma?fn=cov|sim|dep[p1,p2]|symdep[p1,p2]
 //	GET  /refine?fn=cov&mode=lowestk|highesttheta&theta=0.9&k=2&workers=0&engine=auto
 //	GET  /stats
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: in-flight
+// requests drain, any running background auto-refine search is
+// cancelled, and the listener closes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/incr"
@@ -37,6 +50,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8077", "listen address")
 	in := flag.String("in", "", "preload an N-Triples (.nt) or Turtle (.ttl) file")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "subject-hash ingest shards (1 = the single-dataset engine)")
 	keepSubjects := flag.Bool("keep-subjects", false, "retain subject URIs per signature in snapshots")
 	ignore := flag.String("ignore", "", "comma-separated predicate URIs to exclude from the view (rdf:type always is)")
 	autoRefine := flag.Bool("auto-refine", false, "re-refine in the background when σ drifts")
@@ -47,6 +61,7 @@ func main() {
 	drift := flag.Float64("drift", 0.01, "σ-drift threshold that triggers auto-refinement")
 	workers := flag.Int("workers", 0, "refinement parallelism for the auto-refiner (0 = all cores)")
 	maxBodyMB := flag.Int64("max-body-mb", 64, "request body cap in MiB")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
 	var opts incr.Options
@@ -58,7 +73,14 @@ func main() {
 			}
 		}
 	}
-	d := incr.NewDataset(opts)
+	// -shards 1 uses the plain Dataset — the exact single-writer code
+	// path, not a one-shard wrapper.
+	var d incr.Engine
+	if *shards > 1 {
+		d = incr.NewSharded(*shards, opts)
+	} else {
+		d = incr.NewDataset(opts)
+	}
 
 	if *in != "" {
 		if err := preload(d, *in); err != nil {
@@ -70,6 +92,10 @@ func main() {
 			*in, st.Triples, st.Subjects, st.Signatures)
 	}
 
+	// cancelRefine aborts in-flight background auto-refine searches on
+	// shutdown, so the process never sits out a long local search after
+	// the listener has closed.
+	cancelRefine := make(chan struct{})
 	srvOpts := serve.Options{MaxBodyBytes: *maxBodyMB << 20}
 	if *autoRefine {
 		fn, rule, err := core.Builtin(*fnName)
@@ -79,7 +105,7 @@ func main() {
 		}
 		ropts := incr.RefinerOptions{
 			Fn: fn, Rule: rule, Drift: *drift,
-			Search: refine.SearchOptions{Workers: *workers},
+			Search: refine.SearchOptions{Workers: *workers, Cancel: cancelRefine},
 		}
 		switch *mode {
 		case "lowestk":
@@ -95,16 +121,40 @@ func main() {
 		srvOpts.Refiner = incr.NewRefiner(d, ropts)
 	}
 
-	log.Printf("rdfserved listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, serve.New(d, srvOpts)); err != nil {
+	srv := &http.Server{Addr: *addr, Handler: serve.New(d, srvOpts)}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	if sh, ok := d.(*incr.Sharded); ok {
+		log.Printf("rdfserved listening on %s (%d shards)", *addr, sh.NumShards())
+	} else {
+		log.Printf("rdfserved listening on %s (unsharded)", *addr)
+	}
+
+	select {
+	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "rdfserved:", err)
 		os.Exit(1)
+	case <-ctx.Done():
 	}
+	stop() // restore default signal behavior: a second signal kills immediately
+	log.Printf("rdfserved: signal received, draining (budget %s)", *shutdownTimeout)
+	close(cancelRefine)
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "rdfserved: shutdown:", err)
+		os.Exit(1)
+	}
+	log.Printf("rdfserved: bye")
 }
 
-// preload streams a dump into the dataset in bounded batches, so large
-// files ingest without materializing an intermediate triple list.
-func preload(d *incr.Dataset, path string) error {
+// preload streams a dump into the engine in bounded batches (through
+// the per-shard worker pool when sharded), so large files ingest
+// without materializing an intermediate triple list.
+func preload(d incr.Engine, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err

@@ -72,6 +72,20 @@ func IngestIncremental(data []byte, batch int) (int, error) {
 	return added, nil
 }
 
+// IngestSharded streams the corpus into a sharded live engine (the
+// rdfserved -shards path): one parse pass routing interned batches to
+// per-shard ingest workers, then one merged σCov read. shards = 1
+// exercises the unsharded delegation.
+func IngestSharded(data []byte, batch, shards int) (int, error) {
+	s := incr.NewSharded(shards, incr.Options{})
+	added, err := s.AddNTriples(bytes.NewReader(data), batch)
+	if err != nil {
+		return added, err
+	}
+	_ = s.SigmaCov()
+	return added, nil
+}
+
 // RefineWorkload runs the Fig4a-class search (σCov highest-θ, k=2)
 // with quick budgets on a DBpedia Persons view — the refinement
 // trajectory benchmark behind BENCH_refine.json.

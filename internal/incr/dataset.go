@@ -112,10 +112,16 @@ type Snapshot struct {
 	View *matrix.View
 }
 
-// NewDataset returns an empty incremental dataset.
-func NewDataset(opts Options) *Dataset {
-	g := rdf.NewGraph()
-	dict := g.Dict()
+// NewDataset returns an empty incremental dataset with its own term
+// dictionary.
+func NewDataset(opts Options) *Dataset { return NewDatasetWithDict(term.NewDict(), opts) }
+
+// NewDatasetWithDict returns an empty incremental dataset interning
+// into dict. Sharing one dictionary across datasets — the sharded
+// engine's layout — makes their subject and property IDs directly
+// comparable, so triples routed between them never re-intern.
+func NewDatasetWithDict(dict *term.Dict, opts Options) *Dataset {
+	g := rdf.NewGraphWithDict(dict)
 	ignore := map[term.ID]bool{dict.Intern(rdf.TypeURI): true}
 	for _, p := range opts.IgnoreProperties {
 		ignore[dict.Intern(p)] = true
@@ -416,6 +422,14 @@ func removeCol(cols []int, c int) []int {
 func (d *Dataset) Snapshot() *Snapshot {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	return d.snapshotLocked()
+}
+
+// snapshotLocked returns the per-epoch cached snapshot, building it if
+// stale. Caller holds at least an RLock (the snap pointer is atomic, so
+// concurrent readers may race the store — they store identical
+// content).
+func (d *Dataset) snapshotLocked() *Snapshot {
 	if s := d.snap.Load(); s != nil && s.Epoch == d.epoch {
 		return s
 	}
@@ -550,6 +564,11 @@ type Stats struct {
 func (d *Dataset) Stats() Stats {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
+	return d.statsLocked()
+}
+
+// statsLocked computes Stats. Caller holds at least an RLock.
+func (d *Dataset) statsLocked() Stats {
 	activeProps := 0
 	for _, c := range d.tracker.Counts() {
 		if c > 0 {

@@ -63,7 +63,7 @@ type Result struct {
 // (refine.WarmStart maps it across signature churn, new signatures
 // joining the Hamming-nearest sort).
 type Refiner struct {
-	d    *Dataset
+	d    Engine
 	opts RefinerOptions
 
 	// runMu serializes searches; mu guards only last, so Last and
@@ -73,9 +73,9 @@ type Refiner struct {
 	last  *Result
 }
 
-// NewRefiner returns a refiner for d. Defaults: σCov, ModeLowestK at
-// θ = 9/10, drift 0.01.
-func NewRefiner(d *Dataset, opts RefinerOptions) *Refiner {
+// NewRefiner returns a refiner for any live engine (a Dataset or a
+// Sharded). Defaults: σCov, ModeLowestK at θ = 9/10, drift 0.01.
+func NewRefiner(d Engine, opts RefinerOptions) *Refiner {
 	if opts.Fn == nil && opts.Rule == nil {
 		opts.Fn = rules.CovFunc()
 	}

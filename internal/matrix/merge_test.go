@@ -1,0 +1,118 @@
+package matrix_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/matrix"
+	"repro/internal/rdf"
+)
+
+// TestMergeViewsMatchesFromGraph splits a generator graph into
+// subject-disjoint shards, builds each shard's view independently, and
+// checks that MergeViews reproduces FromGraph on the whole graph
+// bit-for-bit: columns, signature order, bits, counts and subject
+// lists.
+func TestMergeViewsMatchesFromGraph(t *testing.T) {
+	full := datagen.MixedDrugSultans(datagen.MixedOptions{
+		DrugCompanies: 12, Sultans: 9, SparseSultans: 4, Seed: 5,
+	})
+	// A few multi-valued and single-property subjects to vary signatures
+	// across shards.
+	for i := 0; i < 25; i++ {
+		full.AddURI(fmt.Sprintf("http://syn/s%d", i), fmt.Sprintf("http://syn/p%d", i%4), "http://syn/o")
+	}
+	for _, keep := range []bool{false, true} {
+		for _, nShards := range []int{2, 3, 5} {
+			t.Run(fmt.Sprintf("keep=%v/shards=%d", keep, nShards), func(t *testing.T) {
+				shards := make([]*rdf.Graph, nShards)
+				for i := range shards {
+					shards[i] = rdf.NewGraphWithDict(full.Dict())
+				}
+				full.EachTriple(func(tr rdf.Triple) {
+					h := fnv.New32a()
+					h.Write([]byte(tr.Subject))
+					shards[h.Sum32()%uint32(nShards)].Add(tr)
+				})
+				opts := matrix.Options{KeepSubjects: keep}
+				views := make([]*matrix.View, nShards)
+				for i, g := range shards {
+					views[i] = matrix.FromGraph(g, opts)
+				}
+				merged, err := matrix.MergeViews(views...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := matrix.FromGraph(full, opts)
+				assertSameView(t, merged, want)
+			})
+		}
+	}
+}
+
+// assertSameView checks bit-identity of two views.
+func assertSameView(t *testing.T, got, want *matrix.View) {
+	t.Helper()
+	if got.NumSubjects() != want.NumSubjects() {
+		t.Fatalf("subjects = %d, want %d", got.NumSubjects(), want.NumSubjects())
+	}
+	gp, wp := got.Properties(), want.Properties()
+	if len(gp) != len(wp) {
+		t.Fatalf("properties = %v, want %v", gp, wp)
+	}
+	for i := range gp {
+		if gp[i] != wp[i] {
+			t.Fatalf("property[%d] = %q, want %q", i, gp[i], wp[i])
+		}
+	}
+	gs, ws := got.Signatures(), want.Signatures()
+	if len(gs) != len(ws) {
+		t.Fatalf("%d signatures, want %d", len(gs), len(ws))
+	}
+	for i := range gs {
+		if gs[i].Bits.String() != ws[i].Bits.String() || gs[i].Count != ws[i].Count {
+			t.Fatalf("signature %d = %s×%d, want %s×%d",
+				i, gs[i].Bits, gs[i].Count, ws[i].Bits, ws[i].Count)
+		}
+		if len(gs[i].Subjects) != len(ws[i].Subjects) {
+			t.Fatalf("signature %d has %d subjects, want %d",
+				i, len(gs[i].Subjects), len(ws[i].Subjects))
+		}
+		for j := range gs[i].Subjects {
+			if gs[i].Subjects[j] != ws[i].Subjects[j] {
+				t.Fatalf("signature %d subject %d = %q, want %q",
+					i, j, gs[i].Subjects[j], ws[i].Subjects[j])
+			}
+		}
+	}
+}
+
+// TestMergeViewsDegenerate pins the single-input fast path (returned
+// as-is) and the empty-inputs merge.
+func TestMergeViewsDegenerate(t *testing.T) {
+	v := matrix.FromGraph(datagen.DBpediaPersonsGraph(0.001), matrix.Options{})
+	got, err := matrix.MergeViews(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatal("single-view merge did not return the input view")
+	}
+	empty1 := matrix.FromGraph(rdf.NewGraph(), matrix.Options{})
+	empty2 := matrix.FromGraph(rdf.NewGraph(), matrix.Options{})
+	m, err := matrix.MergeViews(empty1, empty2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSubjects() != 0 || m.NumSignatures() != 0 || m.NumProperties() != 0 {
+		t.Fatalf("empty merge = %s", m)
+	}
+	// Empty shards alongside a live one vanish in the merge.
+	m, err = matrix.MergeViews(empty1, v, empty2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameView(t, m, v)
+}

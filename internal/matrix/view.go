@@ -235,6 +235,87 @@ func NewDistinct(props []string, sigs []Signature) (*View, error) {
 	return v, nil
 }
 
+// MergeViews merges the views of subject-disjoint datasets at the
+// signature level: the property columns are the sorted union of the
+// inputs' columns, signatures with the same remapped bit pattern merge
+// by summing their multiplicities, and KeepSubjects lists concatenate
+// (re-sorted per merged signature). Because every subject's signature
+// lives wholly in one input, the result is bit-identical to FromGraph
+// on the union triple set — same columns, same signature order, same
+// counts, same subject lists — so refinement and warm-start run
+// unchanged on merged snapshots. This is the associative-array merge
+// the sharded live engine (internal/incr) relies on.
+//
+// A single input is returned as-is (the degenerate merge). Inputs must
+// either all carry subject lists or none (matching construction from a
+// shared Options); a mixed merge fails NewDistinct's count validation.
+func MergeViews(views ...*View) (*View, error) {
+	if len(views) == 1 {
+		return views[0], nil
+	}
+	nameSet := map[string]struct{}{}
+	for _, v := range views {
+		for _, p := range v.props {
+			nameSet[p] = struct{}{}
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	nameIdx := make(map[string]int, len(names))
+	for i, n := range names {
+		nameIdx[n] = i
+	}
+
+	// Merge signatures by remapped bit pattern. Multiplicities add and
+	// subject lists concatenate; both are exact under subject-disjoint
+	// inputs.
+	type acc struct {
+		bits     bitset.Set
+		count    int
+		subjects []string
+		hasSubs  bool
+	}
+	merged := map[string]*acc{}
+	var order []string // deterministic iteration for reproducible builds
+	var keyBuf []byte
+	for _, v := range views {
+		remap := make([]int, len(v.props))
+		for i, p := range v.props {
+			remap[i] = nameIdx[p]
+		}
+		for _, sg := range v.sigs {
+			bits := bitset.New(len(names))
+			sg.Bits.ForEach(func(i int) { bits.Set(remap[i]) })
+			keyBuf = bits.AppendKey(keyBuf[:0])
+			a := merged[string(keyBuf)]
+			if a == nil {
+				a = &acc{bits: bits}
+				merged[string(keyBuf)] = a
+				order = append(order, string(keyBuf))
+			}
+			a.count += sg.Count
+			if sg.Subjects != nil {
+				a.hasSubs = true
+				a.subjects = append(a.subjects, sg.Subjects...)
+			}
+		}
+	}
+	sigs := make([]Signature, 0, len(merged))
+	for _, k := range order {
+		a := merged[k]
+		sg := Signature{Bits: a.bits, Count: a.count}
+		if a.hasSubs {
+			sort.Strings(a.subjects)
+			sg.Subjects = a.subjects
+		}
+		sigs = append(sigs, sg)
+	}
+	return NewDistinct(names, sigs)
+}
+
 func (v *View) sortSigs() {
 	sort.Slice(v.sigs, func(i, j int) bool {
 		if v.sigs[i].Count != v.sigs[j].Count {

@@ -1,0 +1,115 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestTrackerMergeMatchesUnion simulates subject-disjoint shards with
+// shard-local column spaces (different orders, plus shard-private
+// retired columns) and checks that Merge over the shard trackers
+// reproduces the tracker a single engine would hold over the union:
+// every N_p, |S|, the 1-entry total, and every pairwise co-occurrence
+// entry.
+func TestTrackerMergeMatchesUnion(t *testing.T) {
+	for _, seed := range []int64{1, 9, 23} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const nProps, nShards = 7, 3
+			names := make([]string, nProps)
+			for i := range names {
+				names[i] = fmt.Sprintf("http://p/%d", i)
+			}
+			unionIdx := map[string]int{}
+			for i, n := range names {
+				unionIdx[n] = i
+			}
+			union := NewCountTracker(nProps)
+			unionPairs := NewPairTracker(nProps)
+
+			shardCounts := make([]*CountTracker, nShards)
+			shardPairs := make([]*PairTracker, nShards)
+			shardNames := make([][]string, nShards)
+			// feed records one subject's property set into a tracker pair,
+			// replaying it as the incremental engine would: one Gain/AddCol
+			// transition per property.
+			feed := func(ct *CountTracker, pt *PairTracker, cols []int) {
+				ct.AddSubjects(1)
+				for i, c := range cols {
+					ct.Gain(c)
+					pt.AddCol(cols[:i], c)
+				}
+			}
+			for sh := 0; sh < nShards; sh++ {
+				// Shard-local column space: a random permutation of a random
+				// subset of the union names (the shard saw them in its own
+				// first-sight order), plus a retired column with no counts.
+				perm := rng.Perm(nProps)
+				local := perm[:2+rng.Intn(nProps-2)]
+				for _, c := range local {
+					shardNames[sh] = append(shardNames[sh], names[c])
+				}
+				shardNames[sh] = append(shardNames[sh], fmt.Sprintf("http://retired/%d", sh))
+				shardCounts[sh] = NewCountTracker(len(shardNames[sh]))
+				shardPairs[sh] = NewPairTracker(len(shardNames[sh]))
+				nSubj := 3 + rng.Intn(12)
+				for i := 0; i < nSubj; i++ {
+					var localCols, uCols []int
+					for c := range local {
+						if rng.Intn(2) == 0 {
+							localCols = append(localCols, c)
+							uCols = append(uCols, unionIdx[shardNames[sh][c]])
+						}
+					}
+					feed(shardCounts[sh], shardPairs[sh], localCols)
+					feed(union, unionPairs, uCols)
+				}
+			}
+
+			merged := NewCountTracker(nProps)
+			mergedPairs := NewPairTracker(nProps)
+			for sh := 0; sh < nShards; sh++ {
+				colMap := make([]int, len(shardNames[sh]))
+				counts := shardCounts[sh].Counts()
+				for i, n := range shardNames[sh] {
+					if u, ok := unionIdx[n]; ok {
+						colMap[i] = u
+					} else {
+						if counts[i] != 0 {
+							t.Fatalf("retired column %q has count %d", n, counts[i])
+						}
+						colMap[i] = -1 // zero-count column: Merge must skip it
+					}
+				}
+				merged.Merge(shardCounts[sh], colMap)
+				mergedPairs.Merge(shardPairs[sh], colMap)
+			}
+
+			if merged.Subjects() != union.Subjects() {
+				t.Fatalf("subjects = %d, want %d", merged.Subjects(), union.Subjects())
+			}
+			if merged.Ones() != union.Ones() {
+				t.Fatalf("ones = %d, want %d", merged.Ones(), union.Ones())
+			}
+			for i := 0; i < nProps; i++ {
+				if merged.Counts()[i] != union.Counts()[i] {
+					t.Fatalf("N_p[%d] = %d, want %d", i, merged.Counts()[i], union.Counts()[i])
+				}
+				for j := 0; j < nProps; j++ {
+					if got, want := mergedPairs.Both(i, j), unionPairs.Both(i, j); got != want {
+						t.Fatalf("C[%d][%d] = %d, want %d", i, j, got, want)
+					}
+				}
+			}
+			// The closed forms must agree exactly, not just the raw counts.
+			for _, fn := range []CountsFunc{CovFunc().(CountsFunc), SimFunc().(CountsFunc)} {
+				got, want := merged.Eval(fn), union.Eval(fn)
+				if got.Fav.Cmp(want.Fav) != 0 || got.Tot.Cmp(want.Tot) != 0 {
+					t.Fatalf("%s: merged %v, want %v", fn.Name(), got, want)
+				}
+			}
+		})
+	}
+}

@@ -83,6 +83,22 @@ func (t *CountTracker) Clone() *CountTracker {
 	}
 }
 
+// Merge adds other's aggregates into t: N_p, |S| and the 1-entry total
+// all sum. This is the additive union of two subject-disjoint datasets'
+// Σ-counts — exact because a subject contributes its N_p increments and
+// its |S| unit to exactly one side. colMap translates other's column i
+// into t's column space; a zero-count column of other (retired, never
+// observed by any closed form) may map to -1 and is skipped.
+func (t *CountTracker) Merge(other *CountTracker, colMap []int) {
+	for i, c := range other.counts {
+		if c != 0 {
+			t.counts[colMap[i]] += c
+			t.ones += c
+		}
+	}
+	t.subjects += other.subjects
+}
+
 // PairTracker maintains the pairwise co-occurrence counts C[p1][p2] —
 // the aggregate behind the compiled two-variable evaluators — under
 // incremental updates. It is the pair-count half of the Σ-count state:
@@ -132,6 +148,24 @@ func (t *PairTracker) AddCol(cols []int, c int) {
 	for _, x := range cols {
 		t.c[c][x]++
 		t.c[x][c]++
+	}
+}
+
+// Merge adds other's co-occurrence matrix into t — the additive union
+// of two subject-disjoint datasets' pair aggregates. Exact for the same
+// reason CountTracker.Merge is: each subject's co-occurrence pairs live
+// wholly on one side, so every C[p1][p2] entry (diagonal N_p included)
+// sums. colMap translates other's column i into t's column space; a
+// column whose entries are all zero (retired — its N_p is 0, and a
+// subject having a pair has both members, so all its pair entries are 0
+// too) may map to -1 and is skipped.
+func (t *PairTracker) Merge(other *PairTracker, colMap []int) {
+	for i, row := range other.c {
+		for j, c := range row {
+			if c != 0 {
+				t.c[colMap[i]][colMap[j]] += c
+			}
+		}
 	}
 }
 

@@ -37,9 +37,12 @@ type Options struct {
 	Logf func(format string, args ...interface{})
 }
 
-// Server is the rdfserved HTTP handler.
+// Server is the rdfserved HTTP handler. It serves any incr.Engine —
+// the single Dataset or the sharded engine; with a Sharded, ingest
+// batches route through its per-shard worker pool and /stats reports
+// per-shard breakdowns.
 type Server struct {
-	d    *incr.Dataset
+	d    incr.Engine
 	opts Options
 	mux  *http.ServeMux
 	// refreshing is the single-flight latch for background refreshes;
@@ -49,7 +52,7 @@ type Server struct {
 }
 
 // New returns a handler serving d.
-func New(d *incr.Dataset, opts Options) *Server {
+func New(d incr.Engine, opts Options) *Server {
 	if opts.MaxBodyBytes == 0 {
 		opts.MaxBodyBytes = 64 << 20
 	}
@@ -197,6 +200,19 @@ func (s *Server) tryStartRefresh() {
 	}()
 }
 
+// sigmaRetryAfterSeconds is the poll hint returned with the
+// empty-dataset 503.
+const sigmaRetryAfterSeconds = 1
+
+// handleSigma answers GET /sigma. Status codes:
+//
+//	200 — σ computed, from the live aggregates ("stats" present) or a
+//	      snapshot ("epoch" present)
+//	400 — unknown or malformed fn parameter
+//	503 — the dataset is empty, so no measure is defined yet (every σ
+//	      denominator is vacuous); the response carries a Retry-After
+//	      header and retryAfterSeconds in the JSON body, telling
+//	      clients to poll again after ingestion starts
 func (s *Server) handleSigma(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("fn")
 	if name == "" {
@@ -205,6 +221,19 @@ func (s *Server) handleSigma(w http.ResponseWriter, r *http.Request) {
 	fn, _, err := core.Builtin(name)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := s.d.Stats()
+	if st.Subjects == 0 {
+		// Returning a zero ratio here would be indistinguishable from a
+		// genuinely unstructured dataset; tell the client to retry once
+		// data has arrived instead.
+		w.Header().Set("Retry-After", strconv.Itoa(sigmaRetryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+			"error":             "dataset is empty; ingest triples before reading σ",
+			"retryAfterSeconds": sigmaRetryAfterSeconds,
+			"stats":             st,
+		})
 		return
 	}
 	resp := map[string]interface{}{"fn": fn.Name()}
@@ -222,7 +251,9 @@ func (s *Server) handleSigma(w http.ResponseWriter, r *http.Request) {
 		ratio, live = s.d.SigmaPairs(pf)
 	}
 	if live {
-		resp["stats"] = s.d.Stats()
+		// Reuse the guard's Stats read: a second read would pay another
+		// all-shard merge on the sharded engine for the same request.
+		resp["stats"] = st
 	} else {
 		snap := s.d.Snapshot()
 		var err error
@@ -367,7 +398,16 @@ func refineResponse(snap *incr.Snapshot, fn, mode string, out *refine.Outcome) m
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := map[string]interface{}{"stats": s.d.Stats()}
+	resp := map[string]interface{}{}
+	if sh, ok := s.d.(*incr.Sharded); ok {
+		// One all-shard cut, so the per-shard breakdown always sums to
+		// the merged totals even while writers are landing.
+		merged, per := sh.StatsWithShards()
+		resp["stats"] = merged
+		resp["shards"] = per
+	} else {
+		resp["stats"] = s.d.Stats()
+	}
 	if ref := s.opts.Refiner; ref != nil {
 		if last := ref.Last(); last != nil {
 			resp["refinement"] = map[string]interface{}{

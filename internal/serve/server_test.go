@@ -18,6 +18,11 @@ import (
 func newTestServer(t *testing.T, refiner bool) (*httptest.Server, *incr.Dataset) {
 	t.Helper()
 	d := incr.NewDataset(incr.Options{})
+	return newTestServerWith(t, d, refiner), d
+}
+
+func newTestServerWith(t *testing.T, d incr.Engine, refiner bool) *httptest.Server {
+	t.Helper()
 	opts := Options{Logf: t.Logf}
 	if refiner {
 		opts.Refiner = incr.NewRefiner(d, incr.RefinerOptions{
@@ -28,7 +33,7 @@ func newTestServer(t *testing.T, refiner bool) (*httptest.Server, *incr.Dataset)
 	}
 	ts := httptest.NewServer(New(d, opts))
 	t.Cleanup(ts.Close)
-	return ts, d
+	return ts
 }
 
 func getJSON(t *testing.T, url string, out interface{}) int {
@@ -182,6 +187,12 @@ func TestRefineOnEmptyDataset(t *testing.T) {
 // POST /triples batches land.
 func TestConcurrentSigmaDuringIngestion(t *testing.T) {
 	ts, _ := newTestServer(t, false)
+	// Seed the dataset so readers never observe the empty-dataset 503.
+	var seed ingestResponse
+	if code := postJSON(t, ts.URL+"/triples",
+		`{"add": ["<http://ex/seed> <http://ex/p0> \"v\" ."]}`, &seed); code != http.StatusOK {
+		t.Fatalf("seed POST = %d", code)
+	}
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
 	for r := 0; r < 4; r++ {
@@ -322,5 +333,128 @@ func TestSigmaDepLiveReads(t *testing.T) {
 	}
 	if live.Fav.Cmp(snap.Fav) != 0 || live.Tot.Cmp(snap.Tot) != 0 {
 		t.Fatalf("live %v != snapshot %v", live, snap)
+	}
+}
+
+// GET /sigma on an empty dataset must answer 503 with a Retry-After
+// header and a JSON retry hint — not a misleading zero ratio — and
+// recover to 200 once data arrives.
+func TestSigmaEmptyDataset503(t *testing.T) {
+	ts, _ := newTestServer(t, false)
+	for _, fn := range []string{"", "?fn=cov", "?fn=dep[http://a,http://b]"} {
+		resp, err := http.Get(ts.URL + "/sigma" + fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Error             string `json:"error"`
+			RetryAfterSeconds int    `json:"retryAfterSeconds"`
+		}
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("empty /sigma%s = %d, want 503", fn, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" || body.Error == "" || body.RetryAfterSeconds < 1 {
+			t.Fatalf("empty /sigma%s: header %q, body %+v", fn, resp.Header.Get("Retry-After"), body)
+		}
+	}
+	// A bad fn still reports 400, even while empty.
+	var e map[string]string
+	if code := getJSON(t, ts.URL+"/sigma?fn=nope", &e); code != http.StatusBadRequest {
+		t.Fatalf("bad fn on empty = %d, want 400", code)
+	}
+	var ing ingestResponse
+	postJSON(t, ts.URL+"/triples", `{"add": ["<http://ex/s> <http://ex/p> <http://ex/o> ."]}`, &ing)
+	var sig struct {
+		Value float64 `json:"value"`
+	}
+	if code := getJSON(t, ts.URL+"/sigma?fn=cov", &sig); code != http.StatusOK || sig.Value != 1 {
+		t.Fatalf("post-ingest /sigma = %d (%v), want 200 value 1", code, sig.Value)
+	}
+}
+
+// TestShardedServer drives the full endpoint surface against the
+// sharded engine: JSON and raw-NT ingest through the per-shard worker
+// pool, live merged σ reads, refinement on merged snapshots, and the
+// per-shard stats breakdown.
+func TestShardedServer(t *testing.T) {
+	sh := incr.NewSharded(3, incr.Options{})
+	ts := newTestServerWith(t, sh, false)
+
+	var lines []string
+	for i := 0; i < 6; i++ {
+		lines = append(lines,
+			fmt.Sprintf("<http://ex/a%d> <http://ex/p> <http://ex/o> .", i),
+			fmt.Sprintf("<http://ex/a%d> <http://ex/q> <http://ex/o> .", i),
+			fmt.Sprintf("<http://ex/b%d> <http://ex/r> <http://ex/o> .", i))
+	}
+	body, _ := json.Marshal(map[string][]string{"add": lines})
+	var ing ingestResponse
+	if code := postJSON(t, ts.URL+"/triples", string(body), &ing); code != http.StatusOK {
+		t.Fatalf("POST /triples = %d (%+v)", code, ing)
+	}
+	if ing.Added != 18 || ing.Stats.Subjects != 12 || ing.Stats.Signatures != 2 {
+		t.Fatalf("sharded ingest = %+v", ing)
+	}
+
+	// Raw N-Triples through the shard worker pool.
+	raw := "<http://ex/c1> <http://ex/p> \"v\" .\n<http://ex/c2> <http://ex/q> <http://ex/o> .\n"
+	resp, err := http.Post(ts.URL+"/triples", "application/n-triples", strings.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	json.NewDecoder(resp.Body).Decode(&ing)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ing.Added != 2 {
+		t.Fatalf("raw sharded ingest: %d %+v", resp.StatusCode, ing)
+	}
+
+	// Live merged σ: cov answers from merged counts, dep from merged
+	// pair aggregates (the "stats" field marks the live path).
+	var sig struct {
+		Value float64                `json:"value"`
+		Stats map[string]interface{} `json:"stats"`
+	}
+	if code := getJSON(t, ts.URL+"/sigma?fn=dep[http://ex/p,http://ex/q]", &sig); code != http.StatusOK {
+		t.Fatalf("GET /sigma dep = %d", code)
+	}
+	if sig.Stats == nil {
+		t.Fatal("dep σ not answered from the live merged aggregates")
+	}
+	// 6 a-subjects have p∧q, c1 has p only: Dep = 6/7.
+	if want := 6.0 / 7; sig.Value < want-1e-9 || sig.Value > want+1e-9 {
+		t.Fatalf("dep = %v, want %v", sig.Value, want)
+	}
+
+	// Refinement against the merged snapshot.
+	var ref struct {
+		K        int     `json:"k"`
+		MinSigma float64 `json:"minSigma"`
+	}
+	if code := getJSON(t, ts.URL+"/refine?fn=cov&theta=0.9&workers=1", &ref); code != http.StatusOK {
+		t.Fatalf("GET /refine = %d (%+v)", code, ref)
+	}
+	if ref.K < 2 || ref.MinSigma < 0.9 {
+		t.Fatalf("sharded refine = %+v", ref)
+	}
+
+	// /stats carries the per-shard breakdown, consistent with the merge.
+	var stats struct {
+		Stats  incr.Stats   `json:"stats"`
+		Shards []incr.Stats `json:"shards"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET /stats = %d", code)
+	}
+	if len(stats.Shards) != 3 {
+		t.Fatalf("stats has %d shards, want 3", len(stats.Shards))
+	}
+	sum := 0
+	for _, s := range stats.Shards {
+		sum += s.Triples
+	}
+	if sum != stats.Stats.Triples || stats.Stats.Triples != 20 {
+		t.Fatalf("shard triples sum %d, merged %d, want 20", sum, stats.Stats.Triples)
 	}
 }
