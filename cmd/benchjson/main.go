@@ -1,10 +1,11 @@
 // Command benchjson runs the perf-trajectory benchmarks — the ingest
 // ablation (interned vs. string vs. incremental), the sharded-ingest
 // scalability sweep (shards ∈ {1,2,4,8}), the refinement workload,
-// and the compiled σ-evaluator ablation (Dep eval and Dep refinement,
-// scan vs pair-count kernel) — and writes machine-readable results to
-// BENCH_ingest.json, BENCH_shard.json, BENCH_refine.json and
-// BENCH_eval.json. Each PR's CI run uploads the files as artifacts, so
+// the compiled σ-evaluator ablation (Dep eval and Dep refinement,
+// scan vs pair-count kernel), and the WAL durability ablation (ingest
+// throughput vs fsync policy) — and writes machine-readable results to
+// BENCH_ingest.json, BENCH_shard.json, BENCH_refine.json,
+// BENCH_eval.json and BENCH_wal.json. Each PR's CI run uploads the files as artifacts, so
 // the throughput trend is diffable across commits without parsing
 // `go test -bench` text.
 //
@@ -237,11 +238,43 @@ func run() error {
 	if err := writeArtifact(filepath.Join(*outDir, "BENCH_eval.json"), evalArt); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s, %s, %s and %s\n",
+
+	// --- WAL: ingest durability ablation — the same batched ingest with
+	// no WAL, a WAL that never fsyncs, a 10ms group-commit window, and a
+	// fsync per batch. The spread is the price of each durability level.
+	walArt := meta("wal")
+	for _, mode := range []string{"none", "off", "10ms", "batch"} {
+		mode := mode
+		name := "ingest/durable/fsync=" + mode
+		r, err := measure(name, size, func() error {
+			_, err := experiments.IngestDurable(data, 10000, mode)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		walArt.Benchmarks = append(walArt.Benchmarks, r)
+		fmt.Printf("%-28s %12.0f ns/op %8.1f MB/s %9d allocs/op\n",
+			name, r.NsPerOp, r.MBPerSec, r.AllocsPerOp)
+	}
+	if len(walArt.Benchmarks) == 4 {
+		base := walArt.Benchmarks[0].NsPerOp
+		walArt.Derived = map[string]string{
+			"wal_overhead_off":      fmt.Sprintf("%.2fx", walArt.Benchmarks[1].NsPerOp/base),
+			"wal_overhead_10ms":     fmt.Sprintf("%.2fx", walArt.Benchmarks[2].NsPerOp/base),
+			"wal_overhead_perbatch": fmt.Sprintf("%.2fx", walArt.Benchmarks[3].NsPerOp/base),
+			"corpus_bytes":          fmt.Sprintf("%d", size),
+		}
+	}
+	if err := writeArtifact(filepath.Join(*outDir, "BENCH_wal.json"), walArt); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s, %s, %s, %s and %s\n",
 		filepath.Join(*outDir, "BENCH_ingest.json"),
 		filepath.Join(*outDir, "BENCH_shard.json"),
 		filepath.Join(*outDir, "BENCH_refine.json"),
-		filepath.Join(*outDir, "BENCH_eval.json"))
+		filepath.Join(*outDir, "BENCH_eval.json"),
+		filepath.Join(*outDir, "BENCH_wal.json"))
 	return nil
 }
 

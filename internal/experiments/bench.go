@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"os"
 
 	"repro/internal/bitset"
 	"repro/internal/datagen"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/rdf"
 	"repro/internal/refine"
 	"repro/internal/rules"
+	"repro/internal/wal"
 )
 
 // This file defines the ingest and refinement workloads shared by the
@@ -83,6 +85,66 @@ func IngestSharded(data []byte, batch, shards int) (int, error) {
 		return added, err
 	}
 	_ = s.SigmaCov()
+	return added, nil
+}
+
+// IngestDurable streams the corpus into an incremental dataset with a
+// write-ahead log attached, mirroring the rdfserved -data-dir ingest
+// path: parse, apply in batches, and await the durability barrier
+// after every batch (exactly what POST /triples does before replying).
+// fsync selects the group-commit policy — "none" disables the WAL
+// entirely (the in-memory baseline), "off" logs without fsync, "batch"
+// fsyncs per batch, and a duration ("10ms") group-commits on that
+// interval. The WAL lives in a temp dir on the real filesystem so the
+// fsyncs being ablated are real ones.
+func IngestDurable(data []byte, batch int, fsync string) (int, error) {
+	d := incr.NewDataset(incr.Options{})
+	var store *wal.Store
+	if fsync != "none" {
+		mode, interval, err := wal.ParseSyncMode(fsync)
+		if err != nil {
+			return 0, err
+		}
+		dir, err := os.MkdirTemp("", "wal-bench-")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		store, _, err = wal.Open(dir, d.Dict(), []*incr.Dataset{d}, wal.Options{
+			Mode: mode, SyncInterval: interval,
+		})
+		if err != nil {
+			return 0, err
+		}
+		defer store.Close()
+	}
+	added := 0
+	pending := make([]rdf.Triple, 0, batch)
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		n, _ := d.Apply(pending, nil)
+		added += n
+		pending = pending[:0]
+		if store != nil {
+			return store.Barrier()
+		}
+		return nil
+	}
+	if err := rdf.ReadNTriples(bytes.NewReader(data), func(t rdf.Triple) error {
+		pending = append(pending, t)
+		if len(pending) >= batch {
+			return flush()
+		}
+		return nil
+	}); err != nil {
+		return added, err
+	}
+	if err := flush(); err != nil {
+		return added, err
+	}
+	_ = d.SigmaCov()
 	return added, nil
 }
 

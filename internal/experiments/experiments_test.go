@@ -299,3 +299,24 @@ func TestReportString(t *testing.T) {
 		}
 	}
 }
+
+// TestIngestDurable: the WAL ablation workload completes in every
+// fsync mode and ingests the full corpus regardless of policy.
+func TestIngestDurable(t *testing.T) {
+	data := IngestCorpus(0.001)
+	want := -1
+	for _, mode := range []string{"none", "off", "10ms", "batch"} {
+		n, err := IngestDurable(data, 500, mode)
+		if err != nil {
+			t.Fatalf("fsync=%s: %v", mode, err)
+		}
+		if want == -1 {
+			want = n
+		} else if n != want {
+			t.Fatalf("fsync=%s ingested %d triples, want %d", mode, n, want)
+		}
+	}
+	if _, err := IngestDurable(data, 500, "bogus"); err == nil {
+		t.Fatal("bogus fsync mode accepted")
+	}
+}

@@ -100,6 +100,10 @@ type Dataset struct {
 	snap    atomic.Pointer[Snapshot]
 	added   uint64
 	removed uint64
+
+	// hook, when set, observes every effective batch under mu — the
+	// durability layer's write-ahead-log tap (see SetBatchHook).
+	hook BatchHook
 }
 
 // Snapshot is an immutable view of the dataset at one epoch.
@@ -231,23 +235,22 @@ func colsKey(cols []int) string {
 // actually added and removed. The batch is atomic with respect to
 // readers: no snapshot observes a half-applied batch.
 func (d *Dataset) Apply(add, remove []rdf.Triple) (added, removed int) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	// Intern/lookup outside the lock (the dictionary is independently
+	// thread-safe), then run the shared ID batch path — so the string
+	// and ID surfaces apply, version and log batches identically.
+	addIDs := make([]rdf.IDTriple, 0, len(add))
 	for _, t := range add {
-		if d.applyAdd(d.g.Intern(t)) {
-			added++
-		}
+		addIDs = append(addIDs, d.g.Intern(t))
 	}
+	var removeIDs []rdf.IDTriple
 	for _, t := range remove {
 		// Lookup, not Intern: removing a triple with never-seen terms is
 		// a no-op and must not grow the dictionary.
-		it, ok := d.g.LookupTriple(t)
-		if ok && d.applyRemove(it) {
-			removed++
+		if it, ok := d.g.LookupTriple(t); ok {
+			removeIDs = append(removeIDs, it)
 		}
 	}
-	d.finishBatch(added, removed)
-	return added, removed
+	return d.ApplyIDs(addIDs, removeIDs)
 }
 
 // ApplyIDs is Apply over pre-interned triples — the string-free batch
@@ -266,6 +269,9 @@ func (d *Dataset) ApplyIDs(add, remove []rdf.IDTriple) (added, removed int) {
 		}
 	}
 	d.finishBatch(added, removed)
+	if (added > 0 || removed > 0) && d.hook != nil {
+		d.hook(add, remove, d.epoch)
+	}
 	return added, removed
 }
 

@@ -1,0 +1,168 @@
+package matrix
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// Binary serialization of signature views, used by the durability layer
+// (internal/wal) to embed the signature sets in shard checkpoints. The
+// encoding is canonical: a view's signature order is its canonical sort
+// (decreasing Count, bit-pattern tie-break — a total order over
+// distinct signatures), so two views of the same dataset, however they
+// were built (FromGraph, incremental snapshot, recovery replay), encode
+// to identical bytes. Recovery relies on that to pin a rebuilt view
+// bit-identical to the checkpointed one with a single byte comparison.
+
+// viewEncodingVersion guards the layout; bump on any format change so a
+// stale checkpoint fails decoding loudly.
+const viewEncodingVersion = 1
+
+// AppendBinary appends a canonical encoding of the view to dst and
+// returns the extended slice: version, property names, then each
+// signature as its support column indices (delta-coded), multiplicity
+// and optional sorted subject list.
+func (v *View) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, viewEncodingVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(v.props)))
+	for _, p := range v.props {
+		dst = binary.AppendUvarint(dst, uint64(len(p)))
+		dst = append(dst, p...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(v.sigs)))
+	var idx []int
+	for _, sg := range v.sigs {
+		idx = sg.Bits.AppendIndices(idx[:0])
+		dst = binary.AppendUvarint(dst, uint64(len(idx)))
+		prev := 0
+		for _, i := range idx {
+			dst = binary.AppendUvarint(dst, uint64(i-prev))
+			prev = i
+		}
+		dst = binary.AppendUvarint(dst, uint64(sg.Count))
+		if sg.Subjects == nil {
+			dst = append(dst, 0)
+		} else {
+			dst = append(dst, 1)
+			for _, s := range sg.Subjects {
+				dst = binary.AppendUvarint(dst, uint64(len(s)))
+				dst = append(dst, s...)
+			}
+		}
+	}
+	return dst
+}
+
+// DecodeView decodes an AppendBinary encoding back into a view,
+// validating structure (distinct well-formed signatures, subject lists
+// matching their counts) via NewDistinct.
+func DecodeView(data []byte) (*View, error) {
+	r := viewReader{data: data}
+	if ver := r.uvarint(); r.err == nil && ver != viewEncodingVersion {
+		return nil, fmt.Errorf("matrix: view encoding version %d (want %d)", ver, viewEncodingVersion)
+	}
+	nProps := int(r.uvarint())
+	if r.err == nil && nProps > len(data) {
+		return nil, fmt.Errorf("matrix: view claims %d properties in %d bytes", nProps, len(data))
+	}
+	var props []string
+	if nProps > 0 {
+		props = make([]string, nProps)
+		for i := range props {
+			props[i] = r.str()
+		}
+	}
+	nSigs := int(r.uvarint())
+	if r.err == nil && nSigs > len(data) {
+		return nil, fmt.Errorf("matrix: view claims %d signatures in %d bytes", nSigs, len(data))
+	}
+	sigs := make([]Signature, 0, nSigs)
+	for s := 0; s < nSigs && r.err == nil; s++ {
+		nIdx := int(r.uvarint())
+		bits := bitset.New(nProps)
+		col := 0
+		for k := 0; k < nIdx && r.err == nil; k++ {
+			col += int(r.uvarint())
+			if col >= nProps {
+				return nil, fmt.Errorf("matrix: signature %d: column %d out of %d", s, col, nProps)
+			}
+			bits.Set(col)
+		}
+		count := int(r.uvarint())
+		var subjects []string
+		switch r.byte() {
+		case 0:
+		case 1:
+			if count > r.rest() { // each subject costs ≥ 1 length byte
+				return nil, fmt.Errorf("matrix: signature %d claims %d subjects in %d bytes", s, count, r.rest())
+			}
+			subjects = make([]string, count)
+			for i := range subjects {
+				subjects[i] = r.str()
+			}
+		default:
+			if r.err == nil {
+				return nil, fmt.Errorf("matrix: signature %d: bad subjects flag", s)
+			}
+		}
+		sigs = append(sigs, Signature{Bits: bits, Count: count, Subjects: subjects})
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("matrix: view decode: %w", r.err)
+	}
+	if r.rest() != 0 {
+		return nil, fmt.Errorf("matrix: view decode: %d trailing bytes", r.rest())
+	}
+	return NewDistinct(props, sigs)
+}
+
+// viewReader is a cursor over an encoding, accumulating the first error.
+type viewReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *viewReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("truncated uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *viewReader) str() string {
+	n := int(r.uvarint())
+	if r.err != nil {
+		return ""
+	}
+	if n < 0 || n > len(r.data)-r.off {
+		r.err = fmt.Errorf("truncated string (%d bytes) at offset %d", n, r.off)
+		return ""
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *viewReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.err = fmt.Errorf("truncated byte at offset %d", r.off)
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *viewReader) rest() int { return len(r.data) - r.off }

@@ -1,0 +1,120 @@
+package matrix
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func encodeTestGraph(t *testing.T) *rdf.Graph {
+	t.Helper()
+	g := rdf.NewGraph()
+	for _, line := range []string{
+		"<s1> <p1> <o1> .",
+		"<s1> <p2> \"v\" .",
+		"<s2> <p1> <o1> .",
+		"<s3> <p2> <o2> .",
+		"<s3> <p3> <o3> .",
+		"<s4> <p1> <o4> .",
+	} {
+		tr, ok, err := rdf.ParseNTriplesLine(line, 1)
+		if err != nil || !ok {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		g.Add(tr)
+	}
+	return g
+}
+
+func TestViewEncodeRoundTrip(t *testing.T) {
+	for _, keepSubjects := range []bool{false, true} {
+		v := FromGraph(encodeTestGraph(t), Options{KeepSubjects: keepSubjects})
+		enc := v.AppendBinary(nil)
+		got, err := DecodeView(enc)
+		if err != nil {
+			t.Fatalf("decode (subjects=%v): %v", keepSubjects, err)
+		}
+		assertViewsEqual(t, got, v)
+		if !bytes.Equal(got.AppendBinary(nil), enc) {
+			t.Fatalf("re-encoding is not canonical (subjects=%v)", keepSubjects)
+		}
+	}
+}
+
+// TestViewEncodingCanonical: the encoding is a function of the
+// signature multiset, not of construction order — the property the
+// checkpoint integrity pin and the crash tests rely on.
+func TestViewEncodingCanonical(t *testing.T) {
+	v1 := FromGraph(encodeTestGraph(t), Options{})
+	// Same triples, reversed insertion order.
+	g := rdf.NewGraph()
+	lines := []string{
+		"<s4> <p1> <o4> .",
+		"<s3> <p3> <o3> .",
+		"<s3> <p2> <o2> .",
+		"<s2> <p1> <o1> .",
+		"<s1> <p2> \"v\" .",
+		"<s1> <p1> <o1> .",
+	}
+	for _, line := range lines {
+		tr, ok, err := rdf.ParseNTriplesLine(line, 1)
+		if err != nil || !ok {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		g.Add(tr)
+	}
+	v2 := FromGraph(g, Options{})
+	if !bytes.Equal(v1.AppendBinary(nil), v2.AppendBinary(nil)) {
+		t.Fatalf("encoding depends on construction order:\n%s\nvs\n%s", v1, v2)
+	}
+}
+
+func TestDecodeViewRejectsDamage(t *testing.T) {
+	v := FromGraph(encodeTestGraph(t), Options{})
+	enc := v.AppendBinary(nil)
+
+	if _, err := DecodeView(append(enc[:len(enc):len(enc)], 9)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := DecodeView(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated encoding accepted")
+	}
+	if _, err := DecodeView([]byte{99}); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := DecodeView(nil); err == nil {
+		t.Fatal("empty encoding accepted")
+	}
+}
+
+func assertViewsEqual(t *testing.T, got, want *View) {
+	t.Helper()
+	if got.NumSubjects() != want.NumSubjects() || got.NumSignatures() != want.NumSignatures() {
+		t.Fatalf("shape: %d subjects/%d sigs, want %d/%d",
+			got.NumSubjects(), got.NumSignatures(), want.NumSubjects(), want.NumSignatures())
+	}
+	gp, wp := got.Properties(), want.Properties()
+	if len(gp) != len(wp) {
+		t.Fatalf("properties %v, want %v", gp, wp)
+	}
+	for i := range gp {
+		if gp[i] != wp[i] {
+			t.Fatalf("property[%d] = %q, want %q", i, gp[i], wp[i])
+		}
+	}
+	gs, ws := got.Signatures(), want.Signatures()
+	for i := range gs {
+		if gs[i].Bits.String() != ws[i].Bits.String() || gs[i].Count != ws[i].Count {
+			t.Fatalf("signature %d: %s×%d, want %s×%d", i, gs[i].Bits, gs[i].Count, ws[i].Bits, ws[i].Count)
+		}
+		if len(gs[i].Subjects) != len(ws[i].Subjects) {
+			t.Fatalf("signature %d subjects: %v, want %v", i, gs[i].Subjects, ws[i].Subjects)
+		}
+		for j := range gs[i].Subjects {
+			if gs[i].Subjects[j] != ws[i].Subjects[j] {
+				t.Fatalf("signature %d subject %d: %q, want %q", i, j, gs[i].Subjects[j], ws[i].Subjects[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package rules
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary serialization of the Σ-count trackers, used by the durability
+// layer (internal/wal) to embed the live aggregates in shard
+// checkpoints. The encodings are canonical — the same tracker state
+// always produces the same bytes — so a recovered engine can be pinned
+// bit-identical to the checkpointed one by comparing encodings, and a
+// checkpoint written by a different code version that maintains the
+// aggregates differently fails recovery loudly instead of serving
+// silently drifted σ values.
+
+// AppendBinary appends a canonical encoding of the tracker to dst and
+// returns the extended slice: uvarint column count, |S|, the 1-entry
+// total, then each N_p as a uvarint.
+func (t *CountTracker) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t.counts)))
+	dst = binary.AppendUvarint(dst, uint64(t.subjects))
+	dst = binary.AppendUvarint(dst, uint64(t.ones))
+	for _, c := range t.counts {
+		dst = binary.AppendUvarint(dst, uint64(c))
+	}
+	return dst
+}
+
+// DecodeCountTracker decodes an AppendBinary encoding, verifying the
+// internal invariant that the 1-entry total equals ΣN_p.
+func DecodeCountTracker(data []byte) (*CountTracker, error) {
+	r := byteReader{data: data}
+	n := r.uvarint()
+	subjects := r.uvarint()
+	ones := r.uvarint()
+	if r.err != nil {
+		return nil, fmt.Errorf("rules: count tracker header: %w", r.err)
+	}
+	if n > uint64(len(data)) { // each count takes ≥ 1 byte
+		return nil, fmt.Errorf("rules: count tracker claims %d columns in %d bytes", n, len(data))
+	}
+	t := NewCountTracker(int(n))
+	var sum int64
+	for i := range t.counts {
+		t.counts[i] = int64(r.uvarint())
+		sum += t.counts[i]
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("rules: count tracker body: %w", r.err)
+	}
+	if r.rest() != 0 {
+		return nil, fmt.Errorf("rules: count tracker: %d trailing bytes", r.rest())
+	}
+	if sum != int64(ones) {
+		return nil, fmt.Errorf("rules: count tracker: ones %d != ΣN_p %d", ones, sum)
+	}
+	t.subjects = int64(subjects)
+	t.ones = sum
+	return t, nil
+}
+
+// Equal reports whether the trackers hold identical state: same column
+// count, same N_p per column, same |S| (the 1-entry total is implied).
+func (t *CountTracker) Equal(o *CountTracker) bool {
+	if t.subjects != o.subjects || t.ones != o.ones || len(t.counts) != len(o.counts) {
+		return false
+	}
+	for i, c := range t.counts {
+		if o.counts[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// AppendBinary appends a canonical encoding of the pair tracker to dst
+// and returns the extended slice: uvarint column count, the number of
+// non-zero upper-triangle entries (diagonal included), then each entry
+// as (i, j−i, value) uvarints in row-major order. The symmetric lower
+// triangle is implied, so a sparse co-occurrence matrix encodes in
+// O(non-zero pairs) rather than O(|P|²).
+func (t *PairTracker) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t.c)))
+	nz := 0
+	for i, row := range t.c {
+		for j := i; j < len(row); j++ {
+			if row[j] != 0 {
+				nz++
+			}
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(nz))
+	for i, row := range t.c {
+		for j := i; j < len(row); j++ {
+			if row[j] != 0 {
+				dst = binary.AppendUvarint(dst, uint64(i))
+				dst = binary.AppendUvarint(dst, uint64(j-i))
+				dst = binary.AppendUvarint(dst, uint64(row[j]))
+			}
+		}
+	}
+	return dst
+}
+
+// DecodePairTracker decodes an AppendBinary encoding, rebuilding the
+// symmetric matrix and rejecting out-of-range or zero entries.
+func DecodePairTracker(data []byte) (*PairTracker, error) {
+	r := byteReader{data: data}
+	n := r.uvarint()
+	nz := r.uvarint()
+	if r.err != nil {
+		return nil, fmt.Errorf("rules: pair tracker header: %w", r.err)
+	}
+	if n > uint64(len(data))+1 || nz > uint64(len(data)) {
+		return nil, fmt.Errorf("rules: pair tracker claims %d columns / %d entries in %d bytes", n, nz, len(data))
+	}
+	t := NewPairTracker(int(n))
+	for e := uint64(0); e < nz; e++ {
+		i := r.uvarint()
+		j := i + r.uvarint()
+		v := r.uvarint()
+		if r.err != nil {
+			return nil, fmt.Errorf("rules: pair tracker entry %d: %w", e, r.err)
+		}
+		if i >= n || j >= n {
+			return nil, fmt.Errorf("rules: pair tracker entry (%d,%d) out of %d columns", i, j, n)
+		}
+		if v == 0 {
+			return nil, fmt.Errorf("rules: pair tracker: explicit zero entry (%d,%d)", i, j)
+		}
+		t.c[i][j] = int64(v)
+		t.c[j][i] = int64(v)
+	}
+	if r.rest() != 0 {
+		return nil, fmt.Errorf("rules: pair tracker: %d trailing bytes", r.rest())
+	}
+	return t, nil
+}
+
+// Equal reports whether the pair trackers hold identical co-occurrence
+// matrices (same column count, same entries).
+func (t *PairTracker) Equal(o *PairTracker) bool {
+	if len(t.c) != len(o.c) {
+		return false
+	}
+	for i, row := range t.c {
+		for j, v := range row {
+			if o.c[i][j] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the pair tracker.
+func (t *PairTracker) Clone() *PairTracker {
+	o := &PairTracker{c: make([][]int64, len(t.c))}
+	for i, row := range t.c {
+		o.c[i] = append([]int64(nil), row...)
+	}
+	return o
+}
+
+// byteReader is a minimal cursor over an encoding, accumulating the
+// first error so decode loops stay linear.
+type byteReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("truncated uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) rest() int { return len(r.data) - r.off }

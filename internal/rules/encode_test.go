@@ -1,0 +1,94 @@
+package rules
+
+import (
+	"testing"
+)
+
+func TestCountTrackerEncodeRoundTrip(t *testing.T) {
+	tr := NewCountTracker(3)
+	tr.AddSubjects(4)
+	for i := 0; i < 4; i++ {
+		tr.Gain(0)
+	}
+	tr.Gain(1)
+	tr.Gain(1)
+	tr.Gain(2)
+
+	enc := tr.AppendBinary(nil)
+	got, err := DecodeCountTracker(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !got.Equal(tr) {
+		t.Fatalf("round trip diverges: got %+v want %+v", got, tr)
+	}
+	// Encoding is canonical: same state, same bytes.
+	if string(got.AppendBinary(nil)) != string(enc) {
+		t.Fatal("re-encoding is not canonical")
+	}
+}
+
+func TestCountTrackerDecodeRejectsDamage(t *testing.T) {
+	tr := NewCountTracker(2)
+	tr.AddSubjects(2)
+	tr.Gain(0)
+	tr.Gain(0)
+	enc := tr.AppendBinary(nil)
+
+	if _, err := DecodeCountTracker(append(enc[:len(enc):len(enc)], 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := DecodeCountTracker(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated encoding accepted")
+	}
+	// Inconsistent ones vs counts: the layout is n, subjects, ones,
+	// counts...; with small values each field is one varint byte.
+	bad := append([]byte(nil), enc...)
+	bad[2]++
+	if _, err := DecodeCountTracker(bad); err == nil {
+		t.Fatal("ones/counts mismatch accepted")
+	}
+}
+
+func TestPairTrackerEncodeRoundTrip(t *testing.T) {
+	pt := NewPairTracker(3)
+	pt.AddCol(nil, 0)         // subject A gains p0
+	pt.AddCol([]int{0}, 1)    // A gains p1
+	pt.AddCol([]int{0, 1}, 2) // A gains p2
+	pt.AddCol(nil, 1)         // subject B gains p1
+
+	enc := pt.AppendBinary(nil)
+	got, err := DecodePairTracker(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !got.Equal(pt) {
+		t.Fatal("round trip diverges")
+	}
+	if string(got.AppendBinary(nil)) != string(enc) {
+		t.Fatal("re-encoding is not canonical")
+	}
+
+	// Clone must be deep: mutating the clone leaves the original.
+	cl := pt.Clone()
+	cl.AddCol(nil, 0)
+	if cl.Equal(pt) {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestPairTrackerDecodeRejectsDamage(t *testing.T) {
+	pt := NewPairTracker(2)
+	pt.AddCol(nil, 0)
+	pt.AddCol([]int{0}, 1)
+	enc := pt.AppendBinary(nil)
+	if _, err := DecodePairTracker(append(enc[:len(enc):len(enc)], 1)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := DecodePairTracker(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated encoding accepted")
+	}
+	if _, err := DecodePairTracker([]byte{2, 1, 5, 0, 1}); err == nil {
+		t.Fatal("out-of-range pair index accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/incr"
+	"repro/internal/wal"
+)
+
+// newDurableServer wires a real WAL store under the HTTP surface.
+func newDurableServer(t *testing.T, mode wal.SyncMode) (*httptest.Server, *incr.Dataset, *wal.Store) {
+	t.Helper()
+	d := incr.NewDataset(incr.Options{})
+	s, _, err := wal.Open(t.TempDir(), d.Dict(), []*incr.Dataset{d}, wal.Options{Mode: mode})
+	if err != nil {
+		t.Fatalf("wal open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	ts := httptest.NewServer(New(d, Options{Logf: t.Logf, Durable: s}))
+	t.Cleanup(ts.Close)
+	return ts, d, s
+}
+
+// TestIngestDurableField: with a WAL attached, POST /triples reports
+// durable:true (fsync before response) in batch mode and durable:false
+// with fsync off; without a WAL the field is absent.
+func TestIngestDurableField(t *testing.T) {
+	body := `{"add": ["<s1> <p1> <o1> .", "<s2> <p1> <o2> ."]}`
+
+	t.Run("batch", func(t *testing.T) {
+		ts, _, _ := newDurableServer(t, wal.SyncBatch)
+		var resp struct {
+			Added   int   `json:"added"`
+			Durable *bool `json:"durable"`
+		}
+		if code := postJSON(t, ts.URL+"/triples", body, &resp); code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		if resp.Added != 2 || resp.Durable == nil || !*resp.Durable {
+			t.Fatalf("want added=2 durable=true, got %+v", resp)
+		}
+		// Raw N-Triples path barriers too.
+		raw := "<s3> <p1> <o3> .\n"
+		r, err := ts.Client().Post(ts.URL+"/triples", "text/plain", strings.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var resp2 struct {
+			Durable *bool `json:"durable"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&resp2); err != nil {
+			t.Fatalf("decode raw-ingest response: %v", err)
+		}
+		if resp2.Durable == nil || !*resp2.Durable {
+			t.Fatalf("raw ingest: want durable=true, got %+v", resp2)
+		}
+	})
+
+	t.Run("off", func(t *testing.T) {
+		ts, _, _ := newDurableServer(t, wal.SyncOff)
+		var resp struct {
+			Durable *bool `json:"durable"`
+		}
+		if code := postJSON(t, ts.URL+"/triples", body, &resp); code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		if resp.Durable == nil || *resp.Durable {
+			t.Fatalf("fsync off: want durable=false, got durable=%v", resp.Durable)
+		}
+	})
+
+	t.Run("no-wal", func(t *testing.T) {
+		ts, _ := newTestServer(t, false)
+		var resp map[string]interface{}
+		if code := postJSON(t, ts.URL+"/triples", body, &resp); code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		if _, present := resp["durable"]; present {
+			t.Fatalf("durable field present without a WAL: %v", resp)
+		}
+	})
+}
+
+// TestIngestSurvivesRestart: ingest over HTTP, close the store (clean
+// shutdown), recover into a fresh engine and serve again — /sigma and
+// /stats must match.
+func TestIngestSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	d := incr.NewDataset(incr.Options{})
+	s, _, err := wal.Open(dir, d.Dict(), []*incr.Dataset{d}, wal.Options{Mode: wal.SyncBatch})
+	if err != nil {
+		t.Fatalf("wal open: %v", err)
+	}
+	ts := httptest.NewServer(New(d, Options{Logf: t.Logf, Durable: s}))
+	var resp struct{ Added int }
+	lines := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		lines = append(lines, fmt.Sprintf("%q", fmt.Sprintf("<s%d> <p%d> <o> .", i, i%3)))
+	}
+	body := fmt.Sprintf(`{"add": [%s]}`, strings.Join(lines, ","))
+	if code := postJSON(t, ts.URL+"/triples", body, &resp); code != 200 || resp.Added != 8 {
+		t.Fatalf("ingest: code=%d resp=%+v", code, resp)
+	}
+	var sigma1, stats1 map[string]interface{}
+	getJSON(t, ts.URL+"/sigma?fn=cov", &sigma1)
+	getJSON(t, ts.URL+"/stats", &stats1)
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatalf("wal close: %v", err)
+	}
+
+	d2 := incr.NewDataset(incr.Options{})
+	s2, rec, err := wal.Open(dir, d2.Dict(), []*incr.Dataset{d2}, wal.Options{Mode: wal.SyncBatch})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer s2.Close()
+	if rec.Records != 0 {
+		t.Fatalf("clean restart replayed %d records", rec.Records)
+	}
+	ts2 := httptest.NewServer(New(d2, Options{Logf: t.Logf, Durable: s2}))
+	defer ts2.Close()
+	var sigma2, stats2 map[string]interface{}
+	getJSON(t, ts2.URL+"/sigma?fn=cov", &sigma2)
+	getJSON(t, ts2.URL+"/stats", &stats2)
+	for _, k := range []string{"value", "ratio"} {
+		if fmt.Sprint(sigma1[k]) != fmt.Sprint(sigma2[k]) {
+			t.Fatalf("sigma %s diverges after restart: %v vs %v", k, sigma1[k], sigma2[k])
+		}
+	}
+	for _, k := range []string{"triples", "subjects", "signatures"} {
+		v1 := stats1["stats"].(map[string]interface{})[k]
+		v2 := stats2["stats"].(map[string]interface{})[k]
+		if fmt.Sprint(v1) != fmt.Sprint(v2) {
+			t.Fatalf("stats %s diverges after restart: %v vs %v", k, v1, v2)
+		}
+	}
+}

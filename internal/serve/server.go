@@ -35,6 +35,21 @@ type Options struct {
 	Refiner *incr.Refiner
 	// Logf sinks background-refresh errors (default log.Printf).
 	Logf func(format string, args ...interface{})
+	// Durable, when set, is the write-ahead log attached to the
+	// engine: POST /triples waits on its Barrier before responding,
+	// so a 200 with durable:true means the batch survives a crash.
+	Durable DurabilityBarrier
+}
+
+// DurabilityBarrier is the slice of the WAL store the server needs
+// (implemented by *wal.Store).
+type DurabilityBarrier interface {
+	// Barrier blocks until every batch applied before the call is
+	// durable per the store's sync policy.
+	Barrier() error
+	// Synchronous reports whether Barrier actually waits for stable
+	// storage (false when fsync is disabled).
+	Synchronous() bool
 }
 
 // Server is the rdfserved HTTP handler. It serves any incr.Engine —
@@ -99,12 +114,32 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// ingestResponse is the POST /triples reply.
+// ingestResponse is the POST /triples reply. Durable is absent when
+// the server runs without a data directory, true when the batch was
+// fsynced before the response, and false when fsync is off or the WAL
+// failed.
 type ingestResponse struct {
 	Added   int        `json:"added"`
 	Removed int        `json:"removed"`
+	Durable *bool      `json:"durable,omitempty"`
 	Stats   incr.Stats `json:"stats"`
 	Error   string     `json:"error,omitempty"`
+}
+
+// awaitDurable runs the WAL barrier after a mutating batch. It returns
+// the response's durable field (nil when no WAL is attached) and an
+// error when the batch applied in memory but could not be made
+// durable.
+func (s *Server) awaitDurable() (*bool, error) {
+	if s.opts.Durable == nil {
+		return nil, nil
+	}
+	durable := new(bool)
+	if err := s.opts.Durable.Barrier(); err != nil {
+		return durable, err
+	}
+	*durable = s.opts.Durable.Synchronous()
+	return durable, nil
 }
 
 func parseLines(lines []string, what string) ([]rdf.Triple, error) {
@@ -156,15 +191,24 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
 		added, err = s.d.AddNTriples(body, s.opts.IngestBatch)
 		if err != nil {
 			s.kickRefiner()
+			durable, _ := s.awaitDurable()
 			writeJSON(w, http.StatusBadRequest, ingestResponse{
-				Added: added, Stats: s.d.Stats(),
+				Added: added, Durable: durable, Stats: s.d.Stats(),
 				Error: fmt.Sprintf("stream aborted: %v (triples before the error were applied)", err),
 			})
 			return
 		}
 	}
 	s.kickRefiner()
-	writeJSON(w, http.StatusOK, ingestResponse{Added: added, Removed: removed, Stats: s.d.Stats()})
+	durable, err := s.awaitDurable()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ingestResponse{
+			Added: added, Removed: removed, Durable: durable, Stats: s.d.Stats(),
+			Error: fmt.Sprintf("batch applied in memory but not durable: %v", err),
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, ingestResponse{Added: added, Removed: removed, Durable: durable, Stats: s.d.Stats()})
 }
 
 // kickRefiner triggers a background drift-policy refresh, coalescing

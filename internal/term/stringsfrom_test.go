@@ -1,0 +1,38 @@
+package term
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestStringsFrom: the delta view the dictionary WAL serializes —
+// stable under the append-only contract, copied (immune to later
+// interning), and empty past the end.
+func TestStringsFrom(t *testing.T) {
+	d := NewDict()
+	for i := 0; i < 10; i++ {
+		d.Intern(fmt.Sprintf("t%d", i))
+	}
+	got := d.StringsFrom(4)
+	if len(got) != 6 {
+		t.Fatalf("StringsFrom(4) returned %d terms, want 6", len(got))
+	}
+	for i, s := range got {
+		if want := fmt.Sprintf("t%d", i+4); s != want {
+			t.Fatalf("StringsFrom(4)[%d] = %q, want %q", i, s, want)
+		}
+	}
+	if got := d.StringsFrom(10); got != nil {
+		t.Fatalf("StringsFrom(len) = %v, want nil", got)
+	}
+	if got := d.StringsFrom(-3); len(got) != 10 {
+		t.Fatalf("StringsFrom(-3) returned %d terms, want all 10", len(got))
+	}
+	// The returned slice is a copy: interning more terms afterwards
+	// must not grow or change it.
+	snap := d.StringsFrom(0)
+	d.Intern("later")
+	if len(snap) != 10 || snap[9] != "t9" {
+		t.Fatalf("StringsFrom result mutated by later interning: %v", snap)
+	}
+}

@@ -191,3 +191,21 @@ func (d *Dict) Len() int {
 	defer d.mu.Unlock()
 	return len(d.all)
 }
+
+// StringsFrom returns a copy of the terms with IDs in [from, Len()), in
+// ID order. The durability layer uses it to append newly interned terms
+// to the dictionary log: because the dictionary is append-only, the
+// slice is a stable delta — calling again with from advanced by the
+// previous length never misses or repeats a term. from past the current
+// length returns nil; a negative from is treated as 0.
+func (d *Dict) StringsFrom(from int) []string {
+	if from < 0 {
+		from = 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if from >= len(d.all) {
+		return nil
+	}
+	return append([]string(nil), d.all[from:]...)
+}

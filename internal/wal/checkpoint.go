@@ -1,0 +1,368 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/incr"
+	"repro/internal/matrix"
+	"repro/internal/rules"
+	"repro/internal/term"
+)
+
+// A checkpoint file is a frame sequence with a fixed section order:
+//
+//	header | props | triples* | tracker | [pairs] | view | end
+//
+// The end marker proves the file was written completely — a checkpoint
+// without it (crash mid-write before the rename, or a torn rename on a
+// non-atomic filesystem) is invalid and recovery falls back to the
+// previous one. Files are written to a .tmp name, fsynced, renamed into
+// place, and the directory is fsynced, so a visible ckpt-*.ckpt is
+// either complete or detectably torn.
+
+const ckptVersion = 1
+
+// triples per recCkptTriples chunk; keeps single frames modest.
+const ckptTripleChunk = 1 << 16
+
+func checkpointName(epoch uint64) string {
+	return fmt.Sprintf("ckpt-%020d.ckpt", epoch)
+}
+
+// parseCheckpointName returns the epoch encoded in a checkpoint file
+// name, or ok=false if the name is not a checkpoint.
+func parseCheckpointName(name string) (epoch uint64, ok bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".ckpt")
+	if len(mid) != 20 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// encodeCheckpoint serializes st as the checkpoint frame sequence.
+func encodeCheckpoint(st *incr.CheckpointState) []byte {
+	var buf []byte
+
+	hdr := []byte{recCkptHeader}
+	hdr = binary.AppendUvarint(hdr, ckptVersion)
+	hdr = binary.AppendUvarint(hdr, st.Epoch)
+	hdr = binary.AppendUvarint(hdr, st.Added)
+	hdr = binary.AppendUvarint(hdr, st.Removed)
+	if st.Pairs != nil {
+		hdr = append(hdr, 1)
+	} else {
+		hdr = append(hdr, 0)
+	}
+	buf = appendFrame(buf, hdr)
+
+	props := []byte{recCkptProps}
+	props = binary.AppendUvarint(props, uint64(len(st.PropIDs)))
+	for _, id := range st.PropIDs {
+		props = binary.AppendUvarint(props, uint64(id))
+	}
+	buf = appendFrame(buf, props)
+
+	for off := 0; off < len(st.Triples); off += ckptTripleChunk {
+		end := off + ckptTripleChunk
+		if end > len(st.Triples) {
+			end = len(st.Triples)
+		}
+		chunk := []byte{recCkptTriples}
+		chunk = binary.AppendUvarint(chunk, uint64(end-off))
+		for _, it := range st.Triples[off:end] {
+			chunk = appendTriple(chunk, it)
+		}
+		buf = appendFrame(buf, chunk)
+	}
+
+	buf = appendFrame(buf, st.Tracker.AppendBinary([]byte{recCkptTracker}))
+	if st.Pairs != nil {
+		buf = appendFrame(buf, st.Pairs.AppendBinary([]byte{recCkptPairs}))
+	}
+	buf = appendFrame(buf, st.View.AppendBinary([]byte{recCkptView}))
+	buf = appendFrame(buf, []byte{recCkptEnd})
+	return buf
+}
+
+// decodeCheckpoint parses a full checkpoint file. Any framing damage,
+// missing section, out-of-order section, or absent end marker is an
+// error — checkpoints are written atomically, so a damaged one is
+// simply not used (the caller falls back to an older checkpoint or an
+// empty state plus full WAL replay).
+func decodeCheckpoint(data []byte) (*incr.CheckpointState, error) {
+	sc := frameScanner{data: data}
+	nextPayload := func(want byte) ([]byte, error) {
+		p, _, err := sc.next()
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("checkpoint ends before %s section", ckptSectionName(want))
+		}
+		if p[0] != want {
+			return nil, fmt.Errorf("checkpoint section %s where %s expected",
+				ckptSectionName(p[0]), ckptSectionName(want))
+		}
+		return p[1:], nil
+	}
+
+	hdr, err := nextPayload(recCkptHeader)
+	if err != nil {
+		return nil, err
+	}
+	r := recReader{data: hdr}
+	if v := r.uvarint(); r.err == nil && v != ckptVersion {
+		return nil, fmt.Errorf("checkpoint version %d (supported: %d)", v, ckptVersion)
+	}
+	st := &incr.CheckpointState{
+		Epoch:   r.uvarint(),
+		Added:   r.uvarint(),
+		Removed: r.uvarint(),
+	}
+	hasPairs := r.byte()
+	if r.err != nil {
+		return nil, fmt.Errorf("checkpoint header: %w", r.err)
+	}
+	if hasPairs > 1 {
+		return nil, fmt.Errorf("checkpoint header: bad pairs flag %d", hasPairs)
+	}
+	if r.rest() != 0 {
+		return nil, fmt.Errorf("checkpoint header: %d trailing bytes", r.rest())
+	}
+
+	props, err := nextPayload(recCkptProps)
+	if err != nil {
+		return nil, err
+	}
+	r = recReader{data: props}
+	nProps := r.uvarint()
+	if r.err == nil && nProps > uint64(r.rest()) { // an ID costs ≥ 1 byte
+		return nil, fmt.Errorf("checkpoint claims %d property columns in %d bytes", nProps, r.rest())
+	}
+	st.PropIDs = make([]term.ID, 0, nProps)
+	for i := uint64(0); i < nProps && r.err == nil; i++ {
+		id := r.uvarint()
+		if id > 1<<32-1 {
+			return nil, fmt.Errorf("checkpoint property column %d out of uint32 range", i)
+		}
+		st.PropIDs = append(st.PropIDs, term.ID(id))
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("checkpoint props: %w", r.err)
+	}
+	if r.rest() != 0 {
+		return nil, fmt.Errorf("checkpoint props: %d trailing bytes", r.rest())
+	}
+
+	// Triple chunks run until the tracker section appears.
+	var payload []byte
+	for {
+		p, _, err := sc.next()
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("checkpoint ends before tracker section")
+		}
+		if p[0] == recCkptTriples {
+			r = recReader{data: p[1:]}
+			n := r.uvarint()
+			if r.err == nil && n > uint64(r.rest()) { // a triple costs ≥ 4 bytes
+				return nil, fmt.Errorf("checkpoint chunk claims %d triples in %d bytes", n, r.rest())
+			}
+			for i := uint64(0); i < n && r.err == nil; i++ {
+				st.Triples = append(st.Triples, r.triple())
+			}
+			if r.err != nil {
+				return nil, fmt.Errorf("checkpoint triples: %w", r.err)
+			}
+			if r.rest() != 0 {
+				return nil, fmt.Errorf("checkpoint triples: %d trailing bytes", r.rest())
+			}
+			continue
+		}
+		if p[0] != recCkptTracker {
+			return nil, fmt.Errorf("checkpoint section %s where %s expected",
+				ckptSectionName(p[0]), ckptSectionName(recCkptTracker))
+		}
+		payload = p[1:]
+		break
+	}
+
+	st.Tracker, err = rules.DecodeCountTracker(payload)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint tracker: %w", err)
+	}
+
+	if hasPairs == 1 {
+		payload, err = nextPayload(recCkptPairs)
+		if err != nil {
+			return nil, err
+		}
+		st.Pairs, err = rules.DecodePairTracker(payload)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint pairs: %w", err)
+		}
+	}
+
+	payload, err = nextPayload(recCkptView)
+	if err != nil {
+		return nil, err
+	}
+	st.View, err = matrix.DecodeView(payload)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint view: %w", err)
+	}
+
+	if _, err = nextPayload(recCkptEnd); err != nil {
+		return nil, err
+	}
+	if p, _, err := sc.next(); err != nil || p != nil {
+		return nil, fmt.Errorf("checkpoint has data after end marker")
+	}
+	return st, nil
+}
+
+func ckptSectionName(tag byte) string {
+	switch tag {
+	case recCkptHeader:
+		return "header"
+	case recCkptProps:
+		return "props"
+	case recCkptTriples:
+		return "triples"
+	case recCkptTracker:
+		return "tracker"
+	case recCkptPairs:
+		return "pairs"
+	case recCkptView:
+		return "view"
+	case recCkptEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("kind-%d", tag)
+	}
+}
+
+// writeCheckpoint atomically publishes st into dir and prunes old
+// checkpoints, keeping the newest two (the survivor covers a crash that
+// corrupts the newest before its first read).
+func writeCheckpoint(fs FS, dir string, st *incr.CheckpointState) error {
+	name := checkpointName(st.Epoch)
+	tmp := filepath.Join(dir, name+".tmp")
+	f, _, err := fs.OpenAppend(tmp)
+	if err != nil {
+		return err
+	}
+	data := encodeCheckpoint(st)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return err
+	}
+	return pruneCheckpoints(fs, dir, 2)
+}
+
+// pruneCheckpoints removes all but the keep newest checkpoints, plus
+// any stale .tmp leftovers from crashed writes.
+func pruneCheckpoints(fs FS, dir string, keep int) error {
+	names, err := fs.List(dir)
+	if err != nil {
+		return err
+	}
+	type ck struct {
+		name  string
+		epoch uint64
+	}
+	var cks []ck
+	for _, n := range names {
+		if strings.HasSuffix(n, ".tmp") {
+			if err := fs.Remove(filepath.Join(dir, n)); err != nil {
+				return err
+			}
+			continue
+		}
+		if e, ok := parseCheckpointName(n); ok {
+			cks = append(cks, ck{n, e})
+		}
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i].epoch > cks[j].epoch })
+	for _, c := range cks[min(keep, len(cks)):] {
+		if err := fs.Remove(filepath.Join(dir, c.name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// latestCheckpoint loads the newest readable checkpoint in dir. A
+// damaged newest checkpoint falls back to the previous one (checkpoints
+// are redundant with the WAL they summarize — an older checkpoint just
+// means a longer replay). Returns (nil, "", nil) when no usable
+// checkpoint exists.
+func latestCheckpoint(fs FS, dir string) (*incr.CheckpointState, string, error) {
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	type ck struct {
+		name  string
+		epoch uint64
+	}
+	var cks []ck
+	for _, n := range names {
+		if e, ok := parseCheckpointName(n); ok {
+			cks = append(cks, ck{n, e})
+		}
+	}
+	sort.Slice(cks, func(i, j int) bool { return cks[i].epoch > cks[j].epoch })
+	var firstErr error
+	for _, c := range cks {
+		data, err := fs.ReadFile(filepath.Join(dir, c.name))
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		st, err := decodeCheckpoint(data)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", c.name, err)
+			}
+			continue
+		}
+		return st, c.name, nil
+	}
+	if firstErr != nil && len(cks) > 0 {
+		// Every checkpoint present is unreadable. Surface the newest
+		// failure rather than silently replaying from genesis: the WAL
+		// tail alone cannot reach the checkpointed epoch.
+		return nil, "", fmt.Errorf("no readable checkpoint: %w", firstErr)
+	}
+	return nil, "", nil
+}

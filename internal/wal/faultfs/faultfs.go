@@ -1,0 +1,308 @@
+// Package faultfs is an in-memory implementation of wal.FS with fault
+// injection: it can fail or short-write the Nth write, and it can
+// simulate a crash by discarding data that was never fsynced — wholly,
+// as a torn tail, or as a reordered subset of writes. Crash recovery
+// becomes testable in-process, deterministically, without killing
+// anything.
+//
+// Durability model: bytes written before the last Sync on a file
+// survive a crash; bytes after it survive only as the crash policy
+// dictates. Namespace operations (create, rename, remove) are modeled
+// as immediately durable — SyncDir is a no-op — which is the common
+// journaled-metadata filesystem behavior; torn checkpoints are still
+// exercised through lost unsynced *data*.
+package faultfs
+
+import (
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/wal/walfs"
+)
+
+// FS is the in-memory filesystem. The zero value is not usable; call
+// New.
+type FS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+
+	writes  int64 // write calls observed so far
+	failAt  int64 // fail the Nth write (1-based); 0 = never
+	shortAt int64 // short-write the Nth write (1-based); 0 = never
+}
+
+// memFile holds one file's bytes. data[:synced] is durable; the rest
+// is partitioned into writeEnds — the end offset of each un-synced
+// Write call, in order — so a crash can drop individual writes.
+type memFile struct {
+	data      []byte
+	synced    int
+	writeEnds []int
+}
+
+// New returns an empty filesystem.
+func New() *FS {
+	return &FS{files: make(map[string]*memFile), dirs: map[string]bool{".": true}}
+}
+
+// FailAt makes the nth subsequent Write call (1-based) return an
+// error without writing anything.
+func (f *FS) FailAt(n int64) {
+	f.mu.Lock()
+	f.failAt = f.writes + n
+	f.mu.Unlock()
+}
+
+// ShortWriteAt makes the nth subsequent Write call (1-based) write
+// only half its bytes and then return an error.
+func (f *FS) ShortWriteAt(n int64) {
+	f.mu.Lock()
+	f.shortAt = f.writes + n
+	f.mu.Unlock()
+}
+
+// Writes returns the number of Write calls observed so far.
+func (f *FS) Writes() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+// CrashPolicy decides what survives of a file's un-synced bytes.
+type CrashPolicy int
+
+const (
+	// KeepNone drops every un-synced byte: the strictest crash.
+	KeepNone CrashPolicy = iota
+	// TornTail keeps a random prefix of the un-synced bytes — cutting
+	// mid-frame — and, half the time, zero-fills the rest of the
+	// un-synced region instead of shortening the file (both shapes
+	// real filesystems produce).
+	TornTail
+	// ReorderedWrites keeps a random subset of the un-synced write
+	// calls; a dropped earlier write leaves a zero hole under a
+	// surviving later one — out-of-order writeback.
+	ReorderedWrites
+)
+
+// Crash returns a deep copy of the filesystem as a crashed disk under
+// the given policy. The original FS (and any open handles into it)
+// keeps working — it plays the dead process; the copy is what a
+// restarted process mounts.
+func (f *FS) Crash(policy CrashPolicy, rng *rand.Rand) *FS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := New()
+	for d := range f.dirs {
+		out.dirs[d] = true
+	}
+	for name, mf := range f.files {
+		data := append([]byte(nil), mf.data[:mf.synced]...)
+		switch policy {
+		case KeepNone:
+		case TornTail:
+			unsynced := len(mf.data) - mf.synced
+			keep := 0
+			if unsynced > 0 {
+				keep = rng.Intn(unsynced + 1)
+			}
+			data = append(data, mf.data[mf.synced:mf.synced+keep]...)
+			if keep < unsynced && rng.Intn(2) == 0 {
+				data = append(data, make([]byte, unsynced-keep)...)
+			}
+		case ReorderedWrites:
+			prev := mf.synced
+			for _, we := range mf.writeEnds {
+				if rng.Intn(2) == 0 {
+					// Zero-fill the holes left by dropped earlier
+					// writes, then land this one at its true offset.
+					for len(data) < prev {
+						data = append(data, 0)
+					}
+					data = append(data, mf.data[prev:we]...)
+				}
+				prev = we
+			}
+		}
+		out.files[name] = &memFile{data: data, synced: len(data)}
+	}
+	return out
+}
+
+type handle struct {
+	fs   *FS
+	name string
+}
+
+func clean(p string) string { return path.Clean(p) }
+
+func (f *FS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := clean(dir)
+	for {
+		f.dirs[d] = true
+		parent := path.Dir(d)
+		if parent == d {
+			return nil
+		}
+		d = parent
+	}
+}
+
+func (f *FS) OpenAppend(p string) (walfs.File, int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name := clean(p)
+	mf := f.files[name]
+	if mf == nil {
+		mf = &memFile{}
+		f.files[name] = mf
+	}
+	return &handle{fs: f, name: name}, int64(len(mf.data)), nil
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.fs.writes++
+	mf := h.fs.files[h.name]
+	if mf == nil {
+		return 0, fmt.Errorf("faultfs: write to removed file %s", h.name)
+	}
+	if h.fs.failAt != 0 && h.fs.writes == h.fs.failAt {
+		return 0, fmt.Errorf("faultfs: injected write failure (write #%d, %s)", h.fs.writes, h.name)
+	}
+	if h.fs.shortAt != 0 && h.fs.writes == h.fs.shortAt {
+		n := len(p) / 2
+		mf.data = append(mf.data, p[:n]...)
+		mf.writeEnds = append(mf.writeEnds, len(mf.data))
+		return n, fmt.Errorf("faultfs: injected short write (%d of %d bytes, %s)", n, len(p), h.name)
+	}
+	mf.data = append(mf.data, p...)
+	mf.writeEnds = append(mf.writeEnds, len(mf.data))
+	return len(p), nil
+}
+
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	mf := h.fs.files[h.name]
+	if mf == nil {
+		return fmt.Errorf("faultfs: sync of removed file %s", h.name)
+	}
+	mf.synced = len(mf.data)
+	mf.writeEnds = nil
+	return nil
+}
+
+func (h *handle) Close() error { return nil }
+
+func (f *FS) ReadFile(p string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf := f.files[clean(p)]
+	if mf == nil {
+		return nil, fmt.Errorf("faultfs: %s: %w", p, fs.ErrNotExist)
+	}
+	return append([]byte(nil), mf.data...), nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	op, np := clean(oldpath), clean(newpath)
+	mf := f.files[op]
+	if mf == nil {
+		return fmt.Errorf("faultfs: rename %s: %w", oldpath, fs.ErrNotExist)
+	}
+	f.files[np] = mf
+	delete(f.files, op)
+	return nil
+}
+
+func (f *FS) Remove(p string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	name := clean(p)
+	if f.files[name] == nil {
+		return fmt.Errorf("faultfs: remove %s: %w", p, fs.ErrNotExist)
+	}
+	delete(f.files, name)
+	return nil
+}
+
+func (f *FS) Truncate(p string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mf := f.files[clean(p)]
+	if mf == nil {
+		return fmt.Errorf("faultfs: truncate %s: %w", p, fs.ErrNotExist)
+	}
+	if size > int64(len(mf.data)) {
+		return fmt.Errorf("faultfs: truncate %s beyond EOF", p)
+	}
+	mf.data = mf.data[:size]
+	if mf.synced > int(size) {
+		mf.synced = int(size)
+	}
+	ends := mf.writeEnds[:0]
+	for _, we := range mf.writeEnds {
+		if we <= int(size) {
+			ends = append(ends, we)
+		}
+	}
+	mf.writeEnds = ends
+	return nil
+}
+
+func (f *FS) List(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	d := clean(dir)
+	seen := map[string]bool{}
+	for name := range f.files {
+		if path.Dir(name) == d {
+			seen[path.Base(name)] = true
+		}
+	}
+	for name := range f.dirs {
+		if name != d && path.Dir(name) == d {
+			seen[path.Base(name)] = true
+		}
+	}
+	if len(seen) == 0 && !f.dirs[d] {
+		return nil, nil
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (f *FS) SyncDir(dir string) error { return nil }
+
+// Dump lists every file and its sizes — a debugging aid for tests.
+func (f *FS) Dump() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	names := make([]string, 0, len(f.files))
+	for n := range f.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		mf := f.files[n]
+		fmt.Fprintf(&b, "%s: %d bytes (%d synced)\n", n, len(mf.data), mf.synced)
+	}
+	return b.String()
+}

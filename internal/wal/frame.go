@@ -1,0 +1,116 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Every durable file — WAL segments, the dictionary log, checkpoints,
+// the manifest — is a sequence of frames:
+//
+//	┌────────────┬────────────┬─────────────────┐
+//	│ length u32 │ crc32c u32 │ payload (length)│
+//	└────────────┴────────────┴─────────────────┘
+//
+// length and crc are little-endian; crc is Castagnoli over the payload.
+// A frame is valid only if it is complete and its CRC matches. When a
+// scan hits an invalid frame it classifies the damage:
+//
+//   - torn tail: the frame is cut off by end-of-file, or everything
+//     from the frame's first byte to EOF is zero (a crash lost the tail
+//     of the page cache, or the filesystem zero-filled preallocated
+//     space). Recovery truncates the tail and continues — this is the
+//     expected shape of a crash mid-write.
+//   - corruption: a complete frame whose CRC mismatches, a frame
+//     claiming an impossible length, or garbage followed by more
+//     non-zero data. Recovery stops with a hard error — silently
+//     dropping records that were once durable would un-acknowledge
+//     acknowledged writes.
+const frameHeaderSize = 8
+
+// maxFramePayload bounds a single frame. Batches and checkpoint
+// sections are chunked well below this; a length field above it is
+// treated as corruption, not as a torn tail, so a flipped length bit
+// cannot silently swallow the rest of a log.
+const maxFramePayload = 1 << 30
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one framed payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// frameScanner iterates the frames of a byte buffer.
+type frameScanner struct {
+	data []byte
+	off  int64
+}
+
+// errTorn distinguishes a truncatable torn tail from hard corruption.
+type tornError struct {
+	off int64
+}
+
+func (e *tornError) Error() string {
+	return fmt.Sprintf("torn tail at offset %d", e.off)
+}
+
+// next returns the next frame's payload. Returns (nil, 0, nil) at a
+// clean end of buffer. A torn tail returns *tornError (the caller
+// truncates at its offset); anything else unrecoverable returns a
+// corruption error.
+func (s *frameScanner) next() (payload []byte, end int64, err error) {
+	rest := int64(len(s.data)) - s.off
+	if rest == 0 {
+		return nil, s.off, nil
+	}
+	if rest < frameHeaderSize {
+		return nil, 0, s.classify("header cut off by EOF")
+	}
+	hdr := s.data[s.off:]
+	n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	if n == 0 || n > maxFramePayload {
+		return nil, 0, s.classify(fmt.Sprintf("impossible frame length %d", n))
+	}
+	if rest < frameHeaderSize+n {
+		return nil, 0, s.classify("payload cut off by EOF")
+	}
+	payload = hdr[frameHeaderSize : frameHeaderSize+n]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, 0, s.classify("crc mismatch")
+	}
+	s.off += frameHeaderSize + n
+	return payload, s.off, nil
+}
+
+// classify decides torn-vs-corrupt for an invalid frame starting at the
+// current offset. A frame cut off by EOF, or bad bytes that are all
+// zero through EOF, is a torn tail; an impossible length or a CRC
+// mismatch inside otherwise non-zero data is corruption.
+func (s *frameScanner) classify(reason string) error {
+	tail := s.data[s.off:]
+	allZero := true
+	for _, b := range tail {
+		if b != 0 {
+			allZero = false
+			break
+		}
+	}
+	rest := int64(len(tail))
+	incomplete := rest < frameHeaderSize
+	if !incomplete {
+		n := int64(binary.LittleEndian.Uint32(tail[0:4]))
+		incomplete = n > 0 && n <= maxFramePayload && rest < frameHeaderSize+n
+	}
+	if allZero || incomplete {
+		return &tornError{off: s.off}
+	}
+	return fmt.Errorf("corrupt frame at offset %d: %s", s.off, reason)
+}

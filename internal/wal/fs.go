@@ -1,0 +1,68 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/wal/walfs"
+)
+
+// FS and File are the filesystem surface the store writes through —
+// defined in the leaf package walfs so the fault-injection harness
+// (wal/faultfs) can implement them without importing this package.
+type (
+	FS   = walfs.FS
+	File = walfs.File
+)
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) OpenAppend(path string) (File, int64, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, st.Size(), nil
+}
+
+func (OSFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(path string) error { return os.Remove(path) }
+
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (OSFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,192 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/term"
+)
+
+// Frame payload kinds. The first payload byte tags the record; files
+// only accept the kinds they own, so a segment misfiled or overwritten
+// with the wrong stream fails loudly.
+const (
+	recBatch byte = 1 + iota // shard WAL: one applied batch
+	recTerms                 // dictionary log: a run of newly interned terms
+	recMeta                  // manifest: JSON store configuration
+
+	// checkpoint sections, in file order
+	recCkptHeader
+	recCkptProps
+	recCkptTriples
+	recCkptTracker
+	recCkptPairs
+	recCkptView
+	recCkptEnd
+)
+
+// appendTriple encodes one ID triple (uvarint S, P, O + kind byte).
+func appendTriple(dst []byte, it rdf.IDTriple) []byte {
+	dst = binary.AppendUvarint(dst, uint64(it.S))
+	dst = binary.AppendUvarint(dst, uint64(it.P))
+	dst = binary.AppendUvarint(dst, uint64(it.O))
+	return append(dst, byte(it.OKind))
+}
+
+// recReader is a cursor over a record payload, accumulating the first
+// error.
+type recReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *recReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("truncated uvarint at payload offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *recReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.data) {
+		r.err = fmt.Errorf("truncated byte at payload offset %d", r.off)
+		return 0
+	}
+	b := r.data[r.off]
+	r.off++
+	return b
+}
+
+func (r *recReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.data)-r.off {
+		r.err = fmt.Errorf("truncated %d-byte field at payload offset %d", n, r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *recReader) triple() rdf.IDTriple {
+	s := r.uvarint()
+	p := r.uvarint()
+	o := r.uvarint()
+	k := r.byte()
+	if r.err == nil && (s > 1<<32-1 || p > 1<<32-1 || o > 1<<32-1) {
+		r.err = fmt.Errorf("term ID out of uint32 range at payload offset %d", r.off)
+	}
+	if r.err == nil && k > byte(rdf.Literal) {
+		r.err = fmt.Errorf("bad object kind %d at payload offset %d", k, r.off)
+	}
+	return rdf.IDTriple{S: term.ID(s), P: term.ID(p), O: term.ID(o), OKind: rdf.TermKind(k)}
+}
+
+func (r *recReader) rest() int { return len(r.data) - r.off }
+
+// batchRecord is one applied batch: the post-batch epoch and the raw
+// add/remove triple lists as the engine applied them.
+type batchRecord struct {
+	epoch  uint64
+	add    []rdf.IDTriple
+	remove []rdf.IDTriple
+}
+
+// encodeBatch builds the recBatch payload.
+func encodeBatch(dst []byte, epoch uint64, add, remove []rdf.IDTriple) []byte {
+	dst = append(dst, recBatch)
+	dst = binary.AppendUvarint(dst, epoch)
+	dst = binary.AppendUvarint(dst, uint64(len(add)))
+	for _, it := range add {
+		dst = appendTriple(dst, it)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(remove)))
+	for _, it := range remove {
+		dst = appendTriple(dst, it)
+	}
+	return dst
+}
+
+// decodeBatch parses a recBatch payload (tag byte included).
+func decodeBatch(payload []byte) (*batchRecord, error) {
+	r := recReader{data: payload}
+	if tag := r.byte(); r.err == nil && tag != recBatch {
+		return nil, fmt.Errorf("record kind %d in WAL segment (want batch)", tag)
+	}
+	b := &batchRecord{epoch: r.uvarint()}
+	nAdd := r.uvarint()
+	if r.err == nil && nAdd > uint64(r.rest()) { // a triple costs ≥ 4 bytes
+		return nil, fmt.Errorf("batch claims %d adds in %d bytes", nAdd, r.rest())
+	}
+	b.add = make([]rdf.IDTriple, 0, nAdd)
+	for i := uint64(0); i < nAdd && r.err == nil; i++ {
+		b.add = append(b.add, r.triple())
+	}
+	nRem := r.uvarint()
+	if r.err == nil && nRem > uint64(r.rest()) {
+		return nil, fmt.Errorf("batch claims %d removes in %d bytes", nRem, r.rest())
+	}
+	b.remove = make([]rdf.IDTriple, 0, nRem)
+	for i := uint64(0); i < nRem && r.err == nil; i++ {
+		b.remove = append(b.remove, r.triple())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.rest() != 0 {
+		return nil, fmt.Errorf("batch record: %d trailing bytes", r.rest())
+	}
+	return b, nil
+}
+
+// encodeTerms builds a recTerms payload: the dictionary delta
+// [firstID, firstID+len(terms)) in ID order. firstID pins contiguity —
+// replay verifies each run starts exactly where the previous ended.
+func encodeTerms(dst []byte, firstID uint64, terms []string) []byte {
+	dst = append(dst, recTerms)
+	dst = binary.AppendUvarint(dst, firstID)
+	dst = binary.AppendUvarint(dst, uint64(len(terms)))
+	for _, s := range terms {
+		dst = binary.AppendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// decodeTerms parses a recTerms payload.
+func decodeTerms(payload []byte) (firstID uint64, terms []string, err error) {
+	r := recReader{data: payload}
+	if tag := r.byte(); r.err == nil && tag != recTerms {
+		return 0, nil, fmt.Errorf("record kind %d in dictionary log (want terms)", tag)
+	}
+	firstID = r.uvarint()
+	n := r.uvarint()
+	if r.err == nil && n > uint64(r.rest()) { // a term costs ≥ 1 length byte
+		return 0, nil, fmt.Errorf("term run claims %d terms in %d bytes", n, r.rest())
+	}
+	terms = make([]string, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		l := int(r.uvarint())
+		terms = append(terms, string(r.bytes(l)))
+	}
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if r.rest() != 0 {
+		return 0, nil, fmt.Errorf("term run: %d trailing bytes", r.rest())
+	}
+	return firstID, terms, nil
+}

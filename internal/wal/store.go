@@ -1,0 +1,834 @@
+// Package wal is the durability layer for the incremental σ engine: a
+// per-shard write-ahead log of applied ID-triple batches plus periodic
+// checkpoints of each shard's full state, alongside an append log of
+// the shared term dictionary.
+//
+// Layout under the data directory:
+//
+//	meta                     framed JSON manifest (version, shard count)
+//	dict.wal                 dictionary append log (term runs, ID order)
+//	shard-NNNN/wal-SSSSSSSS.log   WAL segments, rotated at checkpoints
+//	shard-NNNN/ckpt-<epoch>.ckpt  checkpoints (newest two kept)
+//
+// Batches reach the log through the engine's batch hook (under the
+// shard lock, so log order is epoch order) into an in-memory pending
+// buffer; a group-commit flush cycle drains the buffers. Each cycle
+// writes and fsyncs the dictionary delta BEFORE any shard bytes, so a
+// WAL record on disk always has every term it references resolvable —
+// the invariant recovery depends on.
+//
+// Recovery replays dict.wal, then per shard (in parallel) the newest
+// readable checkpoint followed by the WAL segments in order, skipping
+// records at or below the checkpoint epoch and verifying that the rest
+// advance the epoch contiguously. A torn tail — a final record cut off
+// or zero-filled by a crash — is truncated and logged; a bad CRC amid
+// intact data is corruption and recovery stops with a hard error.
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/incr"
+	"repro/internal/rdf"
+	"repro/internal/term"
+)
+
+// SyncMode selects when the store fsyncs.
+type SyncMode int
+
+const (
+	// SyncBatch fsyncs before every Barrier returns: a durable=true
+	// ingest response means the batch survives a crash.
+	SyncBatch SyncMode = iota
+	// SyncInterval groups commits: a background flusher fsyncs every
+	// Options.SyncInterval; Barrier waits for the covering cycle.
+	SyncInterval
+	// SyncOff never fsyncs (the OS writes back when it pleases).
+	// Barrier returns immediately and responses report durable=false.
+	SyncOff
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncBatch:
+		return "batch"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("SyncMode(%d)", int(m))
+	}
+}
+
+// ParseSyncMode parses the -fsync flag value: "batch", "off", or a
+// group-commit window duration like "10ms".
+func ParseSyncMode(s string) (SyncMode, time.Duration, error) {
+	switch s {
+	case "batch":
+		return SyncBatch, 0, nil
+	case "off":
+		return SyncOff, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("bad fsync mode %q (want \"batch\", \"off\", or a positive duration)", s)
+	}
+	return SyncInterval, d, nil
+}
+
+// Options configures a Store.
+type Options struct {
+	// FS is the filesystem; nil means the real one (OSFS).
+	FS FS
+	// Mode is the fsync policy.
+	Mode SyncMode
+	// SyncInterval is the group-commit window for SyncInterval mode
+	// (default 10ms).
+	SyncInterval time.Duration
+	// CheckpointInterval is how often the background flusher writes
+	// checkpoints and rotates segments; 0 disables periodic
+	// checkpoints (they still happen on Close and after recovery).
+	CheckpointInterval time.Duration
+	// Logf receives recovery and failure notices; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// RecoveryStats summarizes what Open replayed.
+type RecoveryStats struct {
+	Terms       int           // dictionary terms replayed
+	Checkpoints int           // shards restored from a checkpoint
+	Records     int           // WAL batch records applied
+	Skipped     int           // records at or below their checkpoint epoch
+	Bytes       int64         // WAL + dictionary bytes scanned
+	TornBytes   int64         // bytes truncated from torn tails
+	Duration    time.Duration // wall time of recovery
+}
+
+// storeMeta is the manifest pinned at first open; a reopen with a
+// different topology fails loudly instead of mis-replaying.
+type storeMeta struct {
+	Version int  `json:"version"`
+	Shards  int  `json:"shards"`
+	Pairs   bool `json:"pairs"`
+}
+
+const metaVersion = 1
+
+// shardLog is one shard's WAL stream.
+type shardLog struct {
+	dir string
+
+	// hook side, guarded by mu: frames not yet handed to the flusher.
+	mu       sync.Mutex
+	pending  []byte
+	appended uint64 // records ever appended (the shard's WAL LSN)
+
+	// flusher side, guarded by the store's flushMu.
+	f        File
+	seq      uint64 // current segment sequence number
+	unsynced bool   // bytes written since the last Sync
+}
+
+// Store is the durability layer attached to one engine. All methods
+// are safe for concurrent use.
+type Store struct {
+	fs     FS
+	dir    string
+	opts   Options
+	dict   *term.Dict
+	shards []*incr.Dataset
+	logs   []*shardLog
+
+	// flushMu serializes flush cycles, segment rotation and
+	// checkpoints — everything that touches the files.
+	flushMu      sync.Mutex
+	dictF        File
+	dictWritten  int // terms written to dict.wal
+	dictUnsynced bool
+
+	// mu guards durable counters and the failure latch; cond wakes
+	// Barrier waiters after each flush cycle.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	durable []uint64 // per shard: records flushed per the sync policy
+	failed  error    // first write/sync error; latches the store
+
+	stopc chan struct{}
+	done  chan struct{}
+}
+
+const (
+	segPrefix      = "wal-"
+	segSuffix      = ".log"
+	metaName       = "meta"
+	dictName       = "dict.wal"
+	defaultFlushMs = 200 // background drain cadence outside SyncInterval mode
+)
+
+func segName(seq uint64) string { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
+
+func parseSegName(name string) (seq uint64, ok bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	if len(mid) != 8 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func (s *Store) shardDir(i int) string { return filepath.Join(s.dir, fmt.Sprintf("shard-%04d", i)) }
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Open attaches durability to an engine's shards (a plain Dataset is a
+// one-element shard list; a Sharded engine passes Shards()). The
+// engine and its dictionary must be empty — recovery rebuilds them
+// from the data directory — and the shard slice must match the
+// directory's manifest. On success the batch hooks are installed, the
+// background flusher is running, and the returned stats describe what
+// was replayed.
+func Open(dir string, dict *term.Dict, shards []*incr.Dataset, opts Options) (*Store, *RecoveryStats, error) {
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if opts.SyncInterval <= 0 {
+		opts.SyncInterval = 10 * time.Millisecond
+	}
+	if len(shards) == 0 {
+		return nil, nil, fmt.Errorf("wal: no shards")
+	}
+	// The dictionary may hold the engine's construction-time terms
+	// (rdf:type, the ignore list); replay verifies them against the
+	// log ID-by-ID, so a mismatching configuration fails loudly.
+	for i, d := range shards {
+		if d.Epoch() != 0 {
+			return nil, nil, fmt.Errorf("wal: shard %d not empty at Open (epoch %d)", i, d.Epoch())
+		}
+	}
+	s := &Store{
+		fs:     opts.FS,
+		dir:    dir,
+		opts:   opts,
+		dict:   dict,
+		shards: shards,
+		logs:   make([]*shardLog, len(shards)),
+		stopc:  make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.durable = make([]uint64, len(shards))
+
+	start := time.Now()
+	if err := s.fs.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := s.checkMeta(); err != nil {
+		return nil, nil, err
+	}
+
+	stats := &RecoveryStats{}
+	if err := s.recoverDict(stats); err != nil {
+		s.closeFiles()
+		return nil, nil, err
+	}
+
+	// Recover shards in parallel: replay is CPU-bound (CRC + σ
+	// maintenance) and shards are independent.
+	recs := make([]shardRecovery, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs[i], errs[i] = s.recoverShard(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			s.closeFiles()
+			return nil, nil, fmt.Errorf("wal: shard %d: %w", i, err)
+		}
+	}
+	for _, r := range recs {
+		stats.Records += r.records
+		stats.Skipped += r.skipped
+		stats.Bytes += r.bytes
+		stats.TornBytes += r.torn
+		if r.fromCkpt {
+			stats.Checkpoints++
+		}
+	}
+
+	// Install the WAL taps. From here every effective batch is logged.
+	for i, d := range shards {
+		l := s.logs[i]
+		d.SetBatchHook(func(add, remove []rdf.IDTriple, epoch uint64) {
+			l.mu.Lock()
+			l.pending = appendFrame(l.pending, encodeBatch(nil, epoch, add, remove))
+			l.appended++
+			l.mu.Unlock()
+		})
+	}
+
+	// A boot that replayed WAL records checkpoints immediately so the
+	// replayed work is captured and the segments compacted; the next
+	// crash replays only what arrived since.
+	if stats.Records > 0 || stats.TornBytes > 0 {
+		if err := s.Checkpoint(); err != nil {
+			s.closeFiles()
+			return nil, nil, fmt.Errorf("wal: post-recovery checkpoint: %w", err)
+		}
+	}
+
+	go s.flusher()
+	stats.Duration = time.Since(start)
+	return s, stats, nil
+}
+
+// checkMeta verifies the manifest, writing it on first open.
+func (s *Store) checkMeta() error {
+	want := storeMeta{Version: metaVersion, Shards: len(s.shards), Pairs: s.shards[0].PairsTracked()}
+	path := filepath.Join(s.dir, metaName)
+	data, err := s.fs.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		// First open (or the meta write itself was torn before its
+		// fsync, in which case nothing else can be in the directory
+		// either): write the manifest.
+		payload, _ := json.Marshal(want)
+		f, size, err := s.fs.OpenAppend(path)
+		if err != nil {
+			return fmt.Errorf("wal: create manifest: %w", err)
+		}
+		if size != 0 {
+			f.Close()
+			return fmt.Errorf("wal: manifest unreadable but non-empty")
+		}
+		if _, err := f.Write(appendFrame(nil, append([]byte{recMeta}, payload...))); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: write manifest: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: sync manifest: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("wal: close manifest: %w", err)
+		}
+		return s.fs.SyncDir(s.dir)
+	}
+	sc := frameScanner{data: data}
+	payload, _, err := sc.next()
+	if err != nil || payload == nil || payload[0] != recMeta {
+		return fmt.Errorf("wal: corrupt manifest %s", path)
+	}
+	var got storeMeta
+	if err := json.Unmarshal(payload[1:], &got); err != nil {
+		return fmt.Errorf("wal: corrupt manifest %s: %w", path, err)
+	}
+	if got.Version != want.Version {
+		return fmt.Errorf("wal: data directory version %d (supported: %d)", got.Version, want.Version)
+	}
+	if got.Shards != want.Shards {
+		return fmt.Errorf("wal: data directory has %d shards, engine has %d — shard routing is part of the on-disk layout; reopen with -shards %d",
+			got.Shards, want.Shards, got.Shards)
+	}
+	if got.Pairs != want.Pairs {
+		return fmt.Errorf("wal: data directory pair tracking %v, engine %v — reopen with matching pair-count configuration",
+			got.Pairs, want.Pairs)
+	}
+	return nil
+}
+
+// recoverDict replays dict.wal into the engine dictionary, truncating
+// a torn tail, then opens the log for appending.
+func (s *Store) recoverDict(stats *RecoveryStats) error {
+	path := filepath.Join(s.dir, dictName)
+	data, err := s.fs.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("wal: read %s: %w", dictName, err)
+		}
+		data = nil // absent on first open
+	}
+	stats.Bytes += int64(len(data))
+	sc := frameScanner{data: data}
+	expected := 0
+	validEnd := int64(0)
+	for {
+		payload, end, err := sc.next()
+		if err != nil {
+			if te, ok := err.(*tornError); ok {
+				torn := int64(len(data)) - te.off
+				s.logf("wal: %s: truncating torn tail (%d bytes at offset %d)", dictName, torn, te.off)
+				stats.TornBytes += torn
+				if err := s.fs.Truncate(path, te.off); err != nil {
+					return fmt.Errorf("wal: truncate %s: %w", dictName, err)
+				}
+				break
+			}
+			return fmt.Errorf("wal: %s: %w", dictName, err)
+		}
+		if payload == nil {
+			break
+		}
+		firstID, terms, err := decodeTerms(payload)
+		if err != nil {
+			return fmt.Errorf("wal: %s at offset %d: %w", dictName, validEnd, err)
+		}
+		if firstID != uint64(expected) {
+			return fmt.Errorf("wal: %s: term run starts at ID %d, want %d", dictName, firstID, expected)
+		}
+		for _, t := range terms {
+			if id := s.dict.Intern(t); int(id) != expected {
+				return fmt.Errorf("wal: %s: term %q interned as ID %d, want %d (duplicate in log)", dictName, t, id, expected)
+			}
+			expected++
+		}
+		validEnd = end
+	}
+	stats.Terms = expected
+	f, _, err := s.fs.OpenAppend(path)
+	if err != nil {
+		return fmt.Errorf("wal: open %s: %w", dictName, err)
+	}
+	s.dictF = f
+	s.dictWritten = expected
+	return nil
+}
+
+type shardRecovery struct {
+	records  int
+	skipped  int
+	bytes    int64
+	torn     int64
+	fromCkpt bool
+}
+
+// recoverShard restores shard i from its newest readable checkpoint
+// and replays its WAL segments, then opens the last segment for
+// appending.
+func (s *Store) recoverShard(i int) (rec shardRecovery, err error) {
+	d := s.shards[i]
+	dir := s.shardDir(i)
+	if err := s.fs.MkdirAll(dir); err != nil {
+		return rec, err
+	}
+
+	st, ckptName, err := latestCheckpoint(s.fs, dir)
+	if err != nil {
+		return rec, err
+	}
+	base := uint64(0)
+	if st != nil {
+		if err := d.RestoreCheckpoint(st); err != nil {
+			return rec, fmt.Errorf("%s: %w", ckptName, err)
+		}
+		base = st.Epoch
+		rec.fromCkpt = true
+	}
+
+	names, err := s.fs.List(dir)
+	if err != nil {
+		return rec, err
+	}
+	type seg struct {
+		name string
+		seq  uint64
+	}
+	var segs []seg
+	for _, n := range names {
+		if q, ok := parseSegName(n); ok {
+			segs = append(segs, seg{n, q})
+		}
+	}
+	// List is sorted and the fixed-width names sort by sequence.
+
+	dictLen := term.ID(s.dict.Len())
+	cur := d.Epoch()
+	for k, sg := range segs {
+		path := filepath.Join(dir, sg.name)
+		data, err := s.fs.ReadFile(path)
+		if err != nil {
+			return rec, err
+		}
+		rec.bytes += int64(len(data))
+		sc := frameScanner{data: data}
+		off := int64(0)
+		for {
+			payload, end, err := sc.next()
+			if err != nil {
+				te, ok := err.(*tornError)
+				if !ok {
+					return rec, fmt.Errorf("%s: %w", sg.name, err)
+				}
+				if k != len(segs)-1 {
+					// A torn interior segment means a later segment
+					// was created — which only happens after the
+					// earlier one was fully fsynced. Its tail held
+					// acknowledged records; truncating would silently
+					// drop them.
+					return rec, fmt.Errorf("%s: torn tail in non-final segment (offset %d): acknowledged records lost", sg.name, te.off)
+				}
+				torn := int64(len(data)) - te.off
+				s.logf("wal: shard %d: %s: truncating torn tail (%d bytes at offset %d)", i, sg.name, torn, te.off)
+				rec.torn += torn
+				if err := s.fs.Truncate(path, te.off); err != nil {
+					return rec, fmt.Errorf("truncate %s: %w", sg.name, err)
+				}
+				break
+			}
+			if payload == nil {
+				break
+			}
+			b, err := decodeBatch(payload)
+			if err != nil {
+				return rec, fmt.Errorf("%s at offset %d: %w", sg.name, off, err)
+			}
+			off = end
+			if b.epoch <= base {
+				rec.skipped++
+				continue
+			}
+			if b.epoch != cur+1 {
+				return rec, fmt.Errorf("%s: record epoch %d after epoch %d — WAL gap", sg.name, b.epoch, cur)
+			}
+			for _, it := range b.add {
+				if it.S >= dictLen || it.P >= dictLen || it.O >= dictLen {
+					return rec, fmt.Errorf("%s: record at epoch %d references a term ID past the recovered dictionary (%d terms) — WAL and dictionary log are out of step (crash with fsync disabled?)", sg.name, b.epoch, dictLen)
+				}
+			}
+			for _, it := range b.remove {
+				if it.S >= dictLen || it.P >= dictLen || it.O >= dictLen {
+					return rec, fmt.Errorf("%s: record at epoch %d references a term ID past the recovered dictionary (%d terms) — WAL and dictionary log are out of step (crash with fsync disabled?)", sg.name, b.epoch, dictLen)
+				}
+			}
+			d.ApplyIDs(b.add, b.remove)
+			if got := d.Epoch(); got != b.epoch {
+				return rec, fmt.Errorf("%s: replaying the batch for epoch %d left the shard at epoch %d — log and state disagree", sg.name, b.epoch, got)
+			}
+			cur = b.epoch
+			rec.records++
+		}
+	}
+
+	l := &shardLog{dir: dir, seq: 1}
+	if n := len(segs); n > 0 {
+		l.seq = segs[n-1].seq
+	}
+	f, _, err := s.fs.OpenAppend(filepath.Join(dir, segName(l.seq)))
+	if err != nil {
+		return rec, err
+	}
+	l.f = f
+	s.logs[i] = l
+	return rec, nil
+}
+
+// flusher is the background group-commit loop.
+func (s *Store) flusher() {
+	defer close(s.done)
+	interval := time.Duration(defaultFlushMs) * time.Millisecond
+	if s.opts.Mode == SyncInterval {
+		interval = s.opts.SyncInterval
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var ckpt <-chan time.Time
+	if s.opts.CheckpointInterval > 0 {
+		t := time.NewTicker(s.opts.CheckpointInterval)
+		defer t.Stop()
+		ckpt = t.C
+	}
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-tick.C:
+			s.flushMu.Lock()
+			err := s.flushCycleLocked(s.opts.Mode != SyncOff)
+			s.flushMu.Unlock()
+			if err != nil {
+				s.setFailed(err)
+			}
+		case <-ckpt:
+			if err := s.Checkpoint(); err != nil {
+				s.setFailed(err)
+			}
+		}
+	}
+}
+
+func (s *Store) setFailed(err error) {
+	s.mu.Lock()
+	if s.failed == nil {
+		s.failed = err
+		s.logf("wal: store failed, ingest is no longer durable: %v", err)
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *Store) failedErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// flushCycleLocked drains pending buffers: dictionary delta first
+// (written and, when sync, fsynced before any shard bytes touch the
+// files — the covering invariant), then each shard's frames. Caller
+// holds flushMu.
+func (s *Store) flushCycleLocked(sync bool) error {
+	if err := s.failedErr(); err != nil {
+		return err
+	}
+	if s.dictF == nil {
+		return fmt.Errorf("wal: store closed")
+	}
+	// Swap out every shard's pending buffer first; the dictionary
+	// delta captured after the swap covers every record in them (terms
+	// are interned before the batch hook runs).
+	type chunk struct {
+		buf []byte
+		lsn uint64
+	}
+	chunks := make([]chunk, len(s.logs))
+	for i, l := range s.logs {
+		l.mu.Lock()
+		chunks[i] = chunk{l.pending, l.appended}
+		l.pending = nil
+		l.mu.Unlock()
+	}
+
+	if n := s.dict.Len(); n > s.dictWritten {
+		terms := s.dict.StringsFrom(s.dictWritten)
+		frame := appendFrame(nil, encodeTerms(nil, uint64(s.dictWritten), terms))
+		if _, err := s.dictF.Write(frame); err != nil {
+			return fmt.Errorf("wal: write %s: %w", dictName, err)
+		}
+		s.dictWritten += len(terms)
+		s.dictUnsynced = true
+	}
+	if sync && s.dictUnsynced {
+		if err := s.dictF.Sync(); err != nil {
+			return fmt.Errorf("wal: sync %s: %w", dictName, err)
+		}
+		s.dictUnsynced = false
+	}
+
+	for i, l := range s.logs {
+		if len(chunks[i].buf) > 0 {
+			if _, err := l.f.Write(chunks[i].buf); err != nil {
+				return fmt.Errorf("wal: write shard %d segment: %w", i, err)
+			}
+			l.unsynced = true
+		}
+		if sync && l.unsynced {
+			if err := l.f.Sync(); err != nil {
+				return fmt.Errorf("wal: sync shard %d segment: %w", i, err)
+			}
+			l.unsynced = false
+		}
+	}
+
+	s.mu.Lock()
+	for i := range s.logs {
+		if chunks[i].lsn > s.durable[i] {
+			s.durable[i] = chunks[i].lsn
+		}
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return nil
+}
+
+// Flush runs one group-commit cycle immediately, honoring the sync
+// policy (in SyncOff mode bytes reach the OS but are not fsynced).
+func (s *Store) Flush() error {
+	s.flushMu.Lock()
+	err := s.flushCycleLocked(s.opts.Mode != SyncOff)
+	s.flushMu.Unlock()
+	if err != nil {
+		s.setFailed(err)
+	}
+	return err
+}
+
+// Synchronous reports whether Barrier actually waits for stable
+// storage (false in SyncOff mode — ingest responses report
+// durable=false).
+func (s *Store) Synchronous() bool { return s.opts.Mode != SyncOff }
+
+// Barrier returns once every batch applied before the call is durable
+// per the sync policy: immediately in SyncOff mode, after the covering
+// group-commit cycle in SyncInterval mode, and after an inline flush +
+// fsync in SyncBatch mode. A failed store returns its latched error.
+func (s *Store) Barrier() error {
+	if s.opts.Mode == SyncOff {
+		return s.failedErr()
+	}
+	targets := make([]uint64, len(s.logs))
+	for i, l := range s.logs {
+		l.mu.Lock()
+		targets[i] = l.appended
+		l.mu.Unlock()
+	}
+	reached := func() bool {
+		for i, t := range targets {
+			if s.durable[i] < t {
+				return false
+			}
+		}
+		return true
+	}
+	if s.opts.Mode == SyncBatch {
+		s.mu.Lock()
+		done := s.failed != nil || reached()
+		s.mu.Unlock()
+		if !done {
+			s.flushMu.Lock()
+			err := s.flushCycleLocked(true)
+			s.flushMu.Unlock()
+			if err != nil {
+				s.setFailed(err)
+			}
+		}
+		return s.failedErr()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.failed == nil && !reached() {
+		s.cond.Wait()
+	}
+	return s.failed
+}
+
+// Checkpoint flushes everything, then per shard rotates to a fresh WAL
+// segment, atomically publishes a checkpoint of the shard's state, and
+// deletes the superseded segments. After a clean Checkpoint a restart
+// replays zero WAL records.
+func (s *Store) Checkpoint() error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	if err := s.flushCycleLocked(true); err != nil {
+		s.setFailed(err)
+		return err
+	}
+	for i := range s.shards {
+		if err := s.checkpointShardLocked(i); err != nil {
+			err = fmt.Errorf("wal: checkpoint shard %d: %w", i, err)
+			s.setFailed(err)
+			return err
+		}
+	}
+	return nil
+}
+
+// checkpointShardLocked rotates shard i's segment and writes its
+// checkpoint. The old segment is already fully fsynced (flushCycleLocked
+// with sync ran first and clears unsynced), so every record in it —
+// all at epochs the export below will cover — is durable before the
+// new segment exists; batches that land between the rotation and the
+// export go to the new segment and are skipped at replay by the epoch
+// filter. Caller holds flushMu.
+func (s *Store) checkpointShardLocked(i int) error {
+	l := s.logs[i]
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.seq++
+	f, _, err := s.fs.OpenAppend(filepath.Join(l.dir, segName(l.seq)))
+	if err != nil {
+		return err
+	}
+	if err := s.fs.SyncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.unsynced = false
+
+	st := s.shards[i].ExportCheckpoint()
+	if err := writeCheckpoint(s.fs, l.dir, st); err != nil {
+		return err
+	}
+
+	// The checkpoint covers every record in the pre-rotation segments.
+	names, err := s.fs.List(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, n := range names {
+		if q, ok := parseSegName(n); ok && q < l.seq {
+			if err := s.fs.Remove(filepath.Join(l.dir, n)); err != nil {
+				return err
+			}
+		}
+	}
+	return s.fs.SyncDir(l.dir)
+}
+
+// Close stops the flusher, flushes and checkpoints every shard (so a
+// graceful shutdown leaves zero WAL records to replay), uninstalls the
+// batch hooks and closes the files. The engine remains usable in
+// memory; batches applied after Close are not logged.
+func (s *Store) Close() error {
+	select {
+	case <-s.stopc:
+		// already closed
+	default:
+		close(s.stopc)
+	}
+	<-s.done
+	err := s.Checkpoint()
+	for _, d := range s.shards {
+		d.SetBatchHook(nil)
+	}
+	s.flushMu.Lock()
+	s.closeFilesLocked()
+	s.flushMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.failedErr()
+}
+
+func (s *Store) closeFiles() {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.closeFilesLocked()
+}
+
+func (s *Store) closeFilesLocked() {
+	if s.dictF != nil {
+		s.dictF.Close()
+		s.dictF = nil
+	}
+	for _, l := range s.logs {
+		if l != nil && l.f != nil {
+			l.f.Close()
+			l.f = nil
+		}
+	}
+}

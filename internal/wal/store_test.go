@@ -1,0 +1,552 @@
+package wal
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/incr"
+	"repro/internal/rdf"
+)
+
+// testBatch is one generated add/remove batch in term space, the
+// engine- and shard-independent form references are rebuilt from.
+type testBatch struct {
+	add    []rdf.Triple
+	remove []rdf.Triple
+}
+
+// genBatches produces n batches over a small subject/property universe
+// with occasional removes. Every batch adds one never-seen triple, so
+// every batch is effective (bumps the epoch) no matter what state it
+// lands on — which keeps reference replay aligned with the WAL.
+func genBatches(rng *rand.Rand, n int) []testBatch {
+	var live []rdf.Triple
+	out := make([]testBatch, n)
+	uniq := 0
+	for i := range out {
+		var b testBatch
+		na := 1 + rng.Intn(4)
+		for j := 0; j < na; j++ {
+			var t rdf.Triple
+			if j == 0 {
+				t = rdf.Triple{Subject: fmt.Sprintf("u%d", uniq), Predicate: fmt.Sprintf("p%d", rng.Intn(6)), Object: rdf.NewURI("o")}
+				uniq++
+			} else {
+				t = rdf.Triple{
+					Subject:   fmt.Sprintf("s%d", rng.Intn(30)),
+					Predicate: fmt.Sprintf("p%d", rng.Intn(6)),
+					Object:    rdf.NewLiteral(fmt.Sprintf("v%d", rng.Intn(4))),
+				}
+			}
+			b.add = append(b.add, t)
+			live = append(live, t)
+		}
+		if len(live) > 5 && rng.Intn(3) == 0 {
+			k := rng.Intn(len(live))
+			b.remove = append(b.remove, live[k])
+			live = append(live[:k], live[k+1:]...)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func newEngine(t *testing.T, shards int) (incr.Engine, []*incr.Dataset) {
+	t.Helper()
+	if shards > 1 {
+		e := incr.NewSharded(shards, incr.Options{})
+		return e, e.Shards()
+	}
+	d := incr.NewDataset(incr.Options{})
+	return d, []*incr.Dataset{d}
+}
+
+// fingerprint captures the engine's observable structuredness state in
+// a shard- and dictionary-invariant form: exact σ rationals, the
+// signature multiset by property names, triple/subject counts and the
+// composite epoch. Two engines over the same triple multiset and the
+// same effective batch count fingerprint identically regardless of
+// shard routing or term-ID assignment.
+func fingerprint(e incr.Engine) string {
+	snap := e.Snapshot()
+	props := snap.View.Properties()
+	lines := make([]string, 0, snap.View.NumSignatures())
+	for _, sg := range snap.View.Signatures() {
+		var names []string
+		sg.Bits.ForEach(func(i int) { names = append(names, props[i]) })
+		sort.Strings(names)
+		lines = append(lines, fmt.Sprintf("%s x%d", strings.Join(names, "|"), sg.Count))
+	}
+	sort.Strings(lines)
+	st := e.Stats()
+	return fmt.Sprintf("cov=%s sim=%s triples=%d subjects=%d added=%d removed=%d epoch=%d\n%s",
+		e.SigmaCov(), e.SigmaSim(), st.Triples, st.Subjects, st.Added, st.Removed, e.Epoch(),
+		strings.Join(lines, "\n"))
+}
+
+// applyBatches runs batches through the engine, optionally barriering
+// after each one.
+func applyBatches(t *testing.T, e incr.Engine, s *Store, batches []testBatch, barrierEach bool) {
+	t.Helper()
+	for i, b := range batches {
+		e.Apply(b.add, b.remove)
+		if barrierEach {
+			if err := s.Barrier(); err != nil {
+				t.Fatalf("barrier after batch %d: %v", i, err)
+			}
+		}
+	}
+	if !barrierEach && s != nil {
+		if err := s.Barrier(); err != nil {
+			t.Fatalf("final barrier: %v", err)
+		}
+	}
+}
+
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copy %s -> %s: %v", src, dst, err)
+	}
+}
+
+func TestParseSyncMode(t *testing.T) {
+	cases := []struct {
+		in   string
+		mode SyncMode
+		dur  time.Duration
+		ok   bool
+	}{
+		{"batch", SyncBatch, 0, true},
+		{"off", SyncOff, 0, true},
+		{"10ms", SyncInterval, 10 * time.Millisecond, true},
+		{"1s", SyncInterval, time.Second, true},
+		{"0ms", 0, 0, false},
+		{"-5ms", 0, 0, false},
+		{"sometimes", 0, 0, false},
+	}
+	for _, c := range cases {
+		m, d, err := ParseSyncMode(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseSyncMode(%q): err = %v, want ok=%v", c.in, err, c.ok)
+		}
+		if c.ok && (m != c.mode || d != c.dur) {
+			t.Fatalf("ParseSyncMode(%q) = %v, %v", c.in, m, d)
+		}
+	}
+}
+
+// TestCleanShutdownReplaysZero: Close flushes and checkpoints, so a
+// clean restart restores entirely from checkpoints — zero WAL records
+// replayed — and reproduces the engine bit-for-bit.
+func TestCleanShutdownReplaysZero(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			e, ds := newEngine(t, shards)
+			s, rec, err := Open(dir, e.Dict(), ds, Options{Mode: SyncBatch})
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			if rec.Records != 0 || rec.Terms != 0 {
+				t.Fatalf("fresh dir replayed %+v", rec)
+			}
+			batches := genBatches(rand.New(rand.NewSource(1)), 60)
+			applyBatches(t, e, s, batches, false)
+			want := fingerprint(e)
+			if err := s.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			e2, ds2 := newEngine(t, shards)
+			s2, rec2, err := Open(dir, e2.Dict(), ds2, Options{Mode: SyncBatch})
+			if err != nil {
+				t.Fatalf("reopen: %v", err)
+			}
+			defer s2.Close()
+			if rec2.Records != 0 {
+				t.Fatalf("clean restart replayed %d WAL records, want 0 (skipped %d)", rec2.Records, rec2.Skipped)
+			}
+			if rec2.Checkpoints != shards {
+				t.Fatalf("restored %d checkpoints, want %d", rec2.Checkpoints, shards)
+			}
+			if got := fingerprint(e2); got != want {
+				t.Fatalf("recovered state diverges:\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestKillAtRandomOffset is the core crash drill: ingest through the
+// WAL, "kill" the process by copying the data directory, truncate one
+// shard's WAL at a random byte offset (the torn tail a crash leaves),
+// recover, and demand the recovered engine be bit-identical — exact σ
+// rationals, signature multiset, epoch — to a never-crashed reference
+// fed exactly the batches that survived the cut.
+func TestKillAtRandomOffset(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		for seed := int64(0); seed < 4; seed++ {
+			t.Run(fmt.Sprintf("shards=%d/seed=%d", shards, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				dir := t.TempDir()
+				e, ds := newEngine(t, shards)
+				s, _, err := Open(dir, e.Dict(), ds, Options{Mode: SyncBatch})
+				if err != nil {
+					t.Fatalf("open: %v", err)
+				}
+				batches := genBatches(rng, 80)
+				applyBatches(t, e, s, batches, false)
+
+				killed := t.TempDir()
+				copyTree(t, dir, killed)
+				s.Close() // the writer store is done; we recover the copy
+
+				// Snapshot every shard's pristine segment, then cut
+				// one at a random offset.
+				pristine := make(map[int][]byte)
+				for i := 0; i < shards; i++ {
+					data, err := os.ReadFile(filepath.Join(killed, fmt.Sprintf("shard-%04d", i), segName(1)))
+					if err != nil {
+						t.Fatalf("read shard %d: %v", i, err)
+					}
+					pristine[i] = data
+				}
+				victim := rng.Intn(shards)
+				cut := int64(rng.Intn(len(pristine[victim]) + 1))
+				segPath := filepath.Join(killed, fmt.Sprintf("shard-%04d", victim), segName(1))
+				if err := os.Truncate(segPath, cut); err != nil {
+					t.Fatalf("truncate: %v", err)
+				}
+
+				// Expected survivors: whole frames below the cut.
+				survive := make(map[int]int) // shard -> surviving record count
+				for i := 0; i < shards; i++ {
+					data := pristine[i]
+					if i == victim {
+						data = data[:cut]
+					}
+					sc := frameScanner{data: data}
+					for {
+						p, _, err := sc.next()
+						if err != nil || p == nil {
+							break
+						}
+						survive[i]++
+					}
+				}
+
+				// Reference: a never-crashed single dataset fed the
+				// surviving batches, decoded from the pristine WAL
+				// (partition invariance makes one dataset a valid
+				// reference for any shard count).
+				wdict := e.Dict()
+				ref := incr.NewDataset(incr.Options{})
+				for i := 0; i < shards; i++ {
+					sc := frameScanner{data: pristine[i]}
+					applied := 0
+					for applied < survive[i] {
+						p, _, err := sc.next()
+						if err != nil || p == nil {
+							t.Fatalf("pristine shard %d ended after %d records, want %d", i, applied, survive[i])
+						}
+						b, err := decodeBatch(p)
+						if err != nil {
+							t.Fatalf("pristine shard %d: %v", i, err)
+						}
+						toTriples := func(its []rdf.IDTriple) []rdf.Triple {
+							out := make([]rdf.Triple, len(its))
+							for k, it := range its {
+								obj := rdf.NewURI(wdict.String(it.O))
+								if it.OKind == rdf.Literal {
+									obj = rdf.NewLiteral(wdict.String(it.O))
+								}
+								out[k] = rdf.Triple{Subject: wdict.String(it.S), Predicate: wdict.String(it.P), Object: obj}
+							}
+							return out
+						}
+						ref.Apply(toTriples(b.add), toTriples(b.remove))
+						applied++
+					}
+				}
+
+				e2, ds2 := newEngine(t, shards)
+				s2, rec, err := Open(killed, e2.Dict(), ds2, Options{Mode: SyncBatch})
+				if err != nil {
+					t.Fatalf("recover: %v", err)
+				}
+				defer s2.Close()
+				total := 0
+				for _, n := range survive {
+					total += n
+				}
+				if rec.Records != total {
+					t.Fatalf("recovered %d records, want %d", rec.Records, total)
+				}
+				if got, want := fingerprint(e2), fingerprint(ref); got != want {
+					t.Fatalf("recovered engine diverges from reference (cut %d/%d bytes of shard %d):\n got: %s\nwant: %s",
+						cut, len(pristine[victim]), victim, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestTornTailShapes: both torn-tail shapes a crash produces — a
+// truncated final frame and a zero-filled tail — are truncated and
+// recovery proceeds; the truncation is persistent (a second open sees
+// a clean log).
+func TestTornTailShapes(t *testing.T) {
+	for _, zeroFill := range []bool{false, true} {
+		name := "short"
+		if zeroFill {
+			name = "zerofill"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			e, ds := newEngine(t, 1)
+			s, _, err := Open(dir, e.Dict(), ds, Options{Mode: SyncBatch})
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			batches := genBatches(rand.New(rand.NewSource(7)), 20)
+			applyBatches(t, e, s, batches, false)
+			want := fingerprint(e)
+			killed := t.TempDir()
+			copyTree(t, dir, killed)
+			s.Close()
+
+			segPath := filepath.Join(killed, "shard-0000", segName(1))
+			if zeroFill {
+				f, err := os.OpenFile(segPath, os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Write(make([]byte, 37)); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			} else {
+				data, err := os.ReadFile(segPath)
+				if err != nil {
+					t.Fatal(err)
+				}
+				half := appendFrame(nil, encodeBatch(nil, 9999, nil, nil))
+				if err := os.WriteFile(segPath, append(data, half[:len(half)-3]...), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			e2, ds2 := newEngine(t, 1)
+			s2, rec, err := Open(killed, e2.Dict(), ds2, Options{Mode: SyncBatch})
+			if err != nil {
+				t.Fatalf("recover with torn tail: %v", err)
+			}
+			if rec.TornBytes == 0 {
+				t.Fatalf("expected torn bytes, got %+v", rec)
+			}
+			if got := fingerprint(e2); got != want {
+				t.Fatalf("recovered state diverges:\n got: %s\nwant: %s", got, want)
+			}
+			s2.Close() // checkpoints; third open replays nothing
+
+			e3, ds3 := newEngine(t, 1)
+			s3, rec3, err := Open(killed, e3.Dict(), ds3, Options{Mode: SyncBatch})
+			if err != nil {
+				t.Fatalf("third open: %v", err)
+			}
+			defer s3.Close()
+			if rec3.TornBytes != 0 || rec3.Records != 0 {
+				t.Fatalf("truncation not persistent: %+v", rec3)
+			}
+			if got := fingerprint(e3); got != want {
+				t.Fatalf("third open diverges:\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestCorruptRecordHardError: a bad CRC amid intact data is not a torn
+// tail — replay must stop with a clear error naming the damage, never
+// silently skip acknowledged records.
+func TestCorruptRecordHardError(t *testing.T) {
+	dir := t.TempDir()
+	e, ds := newEngine(t, 1)
+	s, _, err := Open(dir, e.Dict(), ds, Options{Mode: SyncBatch})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	applyBatches(t, e, s, genBatches(rand.New(rand.NewSource(3)), 20), false)
+	killed := t.TempDir()
+	copyTree(t, dir, killed)
+	s.Close()
+
+	segPath := filepath.Join(killed, "shard-0000", segName(1))
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the middle of the log: CRC mismatch
+	// followed by valid non-zero frames.
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, ds2 := newEngine(t, 1)
+	_, _, err = Open(killed, e2.Dict(), ds2, Options{Mode: SyncBatch})
+	if err == nil {
+		t.Fatalf("recovery accepted a corrupt record")
+	}
+	if !strings.Contains(err.Error(), "corrupt frame") {
+		t.Fatalf("error does not name the corruption: %v", err)
+	}
+}
+
+// TestMetaMismatch: the shard count is part of the on-disk layout; an
+// engine with a different topology must be rejected loudly.
+func TestMetaMismatch(t *testing.T) {
+	dir := t.TempDir()
+	e, ds := newEngine(t, 4)
+	s, _, err := Open(dir, e.Dict(), ds, Options{Mode: SyncBatch})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	s.Close()
+
+	e2, ds2 := newEngine(t, 1)
+	_, _, err = Open(dir, e2.Dict(), ds2, Options{Mode: SyncBatch})
+	if err == nil || !strings.Contains(err.Error(), "shards") {
+		t.Fatalf("shard mismatch not rejected: %v", err)
+	}
+}
+
+// TestCheckpointMidIngestRace hammers Checkpoint concurrently with
+// ingestion (run under -race); afterwards a recovery must reproduce
+// the writer exactly.
+func TestCheckpointMidIngestRace(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			dir := t.TempDir()
+			e, ds := newEngine(t, shards)
+			s, _, err := Open(dir, e.Dict(), ds, Options{Mode: SyncBatch})
+			if err != nil {
+				t.Fatalf("open: %v", err)
+			}
+			batches := genBatches(rand.New(rand.NewSource(11)), 120)
+			stop := make(chan struct{})
+			ckptDone := make(chan struct{})
+			go func() {
+				defer close(ckptDone)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := s.Checkpoint(); err != nil {
+						t.Errorf("checkpoint: %v", err)
+						return
+					}
+				}
+			}()
+			for _, b := range batches {
+				e.Apply(b.add, b.remove)
+			}
+			if err := s.Barrier(); err != nil {
+				t.Fatalf("barrier: %v", err)
+			}
+			close(stop)
+			<-ckptDone
+			want := fingerprint(e)
+			if err := s.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+
+			e2, ds2 := newEngine(t, shards)
+			s2, _, err := Open(dir, e2.Dict(), ds2, Options{Mode: SyncBatch})
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			defer s2.Close()
+			if got := fingerprint(e2); got != want {
+				t.Fatalf("recovered state diverges:\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}
+
+// TestSyncModes: interval mode barriers return after the group-commit
+// window; off mode reports non-synchronous and still recovers whatever
+// reached the OS on a clean close.
+func TestSyncModes(t *testing.T) {
+	t.Run("interval", func(t *testing.T) {
+		dir := t.TempDir()
+		e, ds := newEngine(t, 1)
+		s, _, err := Open(dir, e.Dict(), ds, Options{Mode: SyncInterval, SyncInterval: 2 * time.Millisecond})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if !s.Synchronous() {
+			t.Fatal("interval mode should be synchronous")
+		}
+		applyBatches(t, e, s, genBatches(rand.New(rand.NewSource(5)), 10), true)
+		if err := s.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	})
+	t.Run("off", func(t *testing.T) {
+		dir := t.TempDir()
+		e, ds := newEngine(t, 1)
+		s, _, err := Open(dir, e.Dict(), ds, Options{Mode: SyncOff})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		if s.Synchronous() {
+			t.Fatal("off mode must report non-synchronous")
+		}
+		batches := genBatches(rand.New(rand.NewSource(6)), 15)
+		for _, b := range batches {
+			e.Apply(b.add, b.remove)
+		}
+		if err := s.Barrier(); err != nil {
+			t.Fatalf("off-mode barrier: %v", err)
+		}
+		want := fingerprint(e)
+		if err := s.Close(); err != nil { // clean close still flushes + checkpoints
+			t.Fatalf("close: %v", err)
+		}
+		e2, ds2 := newEngine(t, 1)
+		s2, _, err := Open(dir, e2.Dict(), ds2, Options{Mode: SyncOff})
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		defer s2.Close()
+		if got := fingerprint(e2); got != want {
+			t.Fatalf("recovered state diverges:\n got: %s\nwant: %s", got, want)
+		}
+	})
+}

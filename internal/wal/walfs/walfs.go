@@ -1,0 +1,42 @@
+// Package walfs defines the narrow filesystem surface the durability
+// layer (internal/wal) writes through. It is a leaf package so both
+// the production store and the fault-injection harness
+// (internal/wal/faultfs) can implement it without an import cycle.
+package walfs
+
+import "io"
+
+// FS is the filesystem contract. Production uses wal.OSFS; tests
+// substitute faultfs.FS, an in-memory implementation that can fail,
+// short-write or lose un-synced data at a chosen point, so crash
+// recovery is testable without killing processes.
+type FS interface {
+	// MkdirAll creates dir and parents.
+	MkdirAll(dir string) error
+	// OpenAppend opens path for appending, creating it if absent, and
+	// returns the current size (where the next write lands).
+	OpenAppend(path string) (File, int64, error)
+	// ReadFile returns the full contents of path. A missing file
+	// returns an error satisfying errors.Is(err, fs.ErrNotExist).
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts path to size bytes (recovery drops torn tails).
+	Truncate(path string, size int64) error
+	// List returns the names (not paths) of dir's entries, sorted.
+	// A missing directory returns an empty list, not an error.
+	List(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself, making renames and creates
+	// durable.
+	SyncDir(dir string) error
+}
+
+// File is an append-only handle.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	Close() error
+}
