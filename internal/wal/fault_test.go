@@ -69,6 +69,59 @@ func TestInjectedWriteFailure(t *testing.T) {
 	}
 }
 
+// TestCheckpointCapturesLateDictTerms: batches applied in the window
+// between Checkpoint's flush cycle and the per-shard export intern
+// terms that cycle's dict sync never saw. The checkpoint captures
+// those batches, becomes durable, and prunes the WAL behind it — so it
+// must fsync the dictionary delta before publishing, or a crash before
+// the next flush leaves a durable checkpoint referencing term IDs past
+// the recovered dictionary and recovery hard-fails.
+func TestCheckpointCapturesLateDictTerms(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	fs := faultfs.New()
+	e, s, _ := openOnFS(t, fs, 1, SyncBatch)
+	batches := genBatches(rng, 10)
+	applyBatches(t, e, s, batches[:8], true)
+
+	// Sneak the last two batches — each interning fresh terms — into
+	// the checkpoint window.
+	injected := false
+	s.testAfterFlush = func() {
+		if injected {
+			return
+		}
+		injected = true
+		for _, b := range batches[8:] {
+			e.Apply(b.add, b.remove)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if !injected {
+		t.Fatal("checkpoint window hook never ran")
+	}
+	want := fingerprint(e)
+
+	// Crash losing every un-synced byte. The injected batches' WAL
+	// records were still pending in memory, so the fsynced checkpoint
+	// is the only durable copy — every term ID it references must
+	// resolve from the fsynced dict log.
+	crashed := fs.Crash(faultfs.KeepNone, rng)
+	e2, ds2 := newEngine(t, 1)
+	s2, rec, err := Open("data", e2.Dict(), ds2, Options{FS: crashed, Mode: SyncBatch})
+	if err != nil {
+		t.Fatalf("recovery hard-failed after a checkpoint that captured late-interned terms: %v", err)
+	}
+	defer s2.Close()
+	if rec.Checkpoints != 1 {
+		t.Fatalf("recovered from %d checkpoints, want 1", rec.Checkpoints)
+	}
+	if got := fingerprint(e2); got != want {
+		t.Fatalf("recovered state diverges:\n got: %s\nwant: %s", got, want)
+	}
+}
+
 // TestCrashNeverLosesSyncedData: whatever the crash policy does to
 // un-synced bytes, batches acknowledged through a SyncBatch barrier
 // must survive bit-identically.

@@ -17,11 +17,14 @@ import (
 // A frame is valid only if it is complete and its CRC matches. When a
 // scan hits an invalid frame it classifies the damage:
 //
-//   - torn tail: the frame is cut off by end-of-file, or everything
-//     from the frame's first byte to EOF is zero (a crash lost the tail
-//     of the page cache, or the filesystem zero-filled preallocated
-//     space). Recovery truncates the tail and continues — this is the
-//     expected shape of a crash mid-write.
+//   - torn tail: the frame is cut off by end-of-file; everything from
+//     the frame's first byte to EOF is zero (a crash lost the tail of
+//     the page cache, or the filesystem zero-filled preallocated
+//     space); or the final frame's header survived but its payload is
+//     zero-filled from some point through EOF (the file length and
+//     header page persisted, the payload pages did not). Recovery
+//     truncates the tail and continues — these are the expected shapes
+//     of a crash mid-write.
 //   - corruption: a complete frame whose CRC mismatches, a frame
 //     claiming an impossible length, or garbage followed by more
 //     non-zero data. Recovery stops with a hard error — silently
@@ -91,26 +94,46 @@ func (s *frameScanner) next() (payload []byte, end int64, err error) {
 }
 
 // classify decides torn-vs-corrupt for an invalid frame starting at the
-// current offset. A frame cut off by EOF, or bad bytes that are all
-// zero through EOF, is a torn tail; an impossible length or a CRC
-// mismatch inside otherwise non-zero data is corruption.
+// current offset. Torn tails — truncated and replay continues — are: a
+// frame cut off by EOF, bad bytes that are all zero through EOF, and a
+// final frame whose header survived but whose payload tail (and
+// everything after it) is zero — a crash that persisted the file length
+// and header but zero-filled the payload. An impossible length or a CRC
+// mismatch followed by more non-zero data is corruption.
 func (s *frameScanner) classify(reason string) error {
 	tail := s.data[s.off:]
-	allZero := true
-	for _, b := range tail {
-		if b != 0 {
-			allZero = false
+	// Last non-zero byte after the frame start; -1 when zeros run from
+	// the frame start to EOF.
+	lastNZ := int64(-1)
+	for i := len(tail) - 1; i >= 0; i-- {
+		if tail[i] != 0 {
+			lastNZ = int64(i)
 			break
 		}
 	}
-	rest := int64(len(tail))
-	incomplete := rest < frameHeaderSize
-	if !incomplete {
-		n := int64(binary.LittleEndian.Uint32(tail[0:4]))
-		incomplete = n > 0 && n <= maxFramePayload && rest < frameHeaderSize+n
-	}
-	if allZero || incomplete {
+	if lastNZ < 0 {
 		return &tornError{off: s.off}
+	}
+	rest := int64(len(tail))
+	if rest < frameHeaderSize {
+		// Header cut off by EOF.
+		return &tornError{off: s.off}
+	}
+	n := int64(binary.LittleEndian.Uint32(tail[0:4]))
+	if n > 0 && n <= maxFramePayload {
+		if rest < frameHeaderSize+n {
+			// Payload cut off by EOF.
+			return &tornError{off: s.off}
+		}
+		if lastNZ < frameHeaderSize+n-1 {
+			// Plausible length, CRC mismatch, and the payload's final
+			// byte — plus everything through EOF — is zero: the tail of
+			// the payload was never persisted. No later frame exists
+			// (it would be non-zero), so this frame was never covered
+			// by a completed fsync and truncating it loses nothing
+			// acknowledged.
+			return &tornError{off: s.off}
+		}
 	}
 	return fmt.Errorf("corrupt frame at offset %d: %s", s.off, reason)
 }

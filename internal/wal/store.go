@@ -164,6 +164,15 @@ type Store struct {
 
 	stopc chan struct{}
 	done  chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+
+	// testAfterFlush, when non-nil, runs inside Checkpoint between the
+	// flush cycle and the per-shard exports — the window where freshly
+	// applied batches can intern terms the cycle's dict sync missed.
+	// Test instrumentation only.
+	testAfterFlush func()
 }
 
 const (
@@ -312,34 +321,25 @@ func (s *Store) checkMeta() error {
 	path := filepath.Join(s.dir, metaName)
 	data, err := s.fs.ReadFile(path)
 	if err != nil || len(data) == 0 {
-		// First open (or the meta write itself was torn before its
-		// fsync, in which case nothing else can be in the directory
-		// either): write the manifest.
-		payload, _ := json.Marshal(want)
-		f, size, err := s.fs.OpenAppend(path)
-		if err != nil {
-			return fmt.Errorf("wal: create manifest: %w", err)
-		}
-		if size != 0 {
-			f.Close()
-			return fmt.Errorf("wal: manifest unreadable but non-empty")
-		}
-		if _, err := f.Write(appendFrame(nil, append([]byte{recMeta}, payload...))); err != nil {
-			f.Close()
-			return fmt.Errorf("wal: write manifest: %w", err)
-		}
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return fmt.Errorf("wal: sync manifest: %w", err)
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("wal: close manifest: %w", err)
-		}
-		return s.fs.SyncDir(s.dir)
+		// First open: write the manifest.
+		return s.writeMeta(path, want)
 	}
 	sc := frameScanner{data: data}
-	payload, _, err := sc.next()
-	if err != nil || payload == nil || payload[0] != recMeta {
+	payload, _, scanErr := sc.next()
+	if scanErr != nil || payload == nil || payload[0] != recMeta {
+		// A torn manifest frame with nothing else in the directory is a
+		// crash during the first open's manifest write, before its
+		// fsync — no data could have been acknowledged, so rewrite it.
+		// With a dict log or shard data present, a prior open completed
+		// (the manifest was fsynced before anything else was created),
+		// so the damage is real corruption.
+		if _, torn := scanErr.(*tornError); torn && s.emptyDataDir() {
+			s.logf("wal: %s: torn manifest with no shard data — rewriting (crash during first open)", path)
+			if err := s.fs.Truncate(path, 0); err != nil {
+				return fmt.Errorf("wal: truncate torn manifest: %w", err)
+			}
+			return s.writeMeta(path, want)
+		}
 		return fmt.Errorf("wal: corrupt manifest %s", path)
 	}
 	var got storeMeta
@@ -358,6 +358,47 @@ func (s *Store) checkMeta() error {
 			got.Pairs, want.Pairs)
 	}
 	return nil
+}
+
+// writeMeta writes and fsyncs the manifest into an empty meta file.
+func (s *Store) writeMeta(path string, want storeMeta) error {
+	payload, _ := json.Marshal(want)
+	f, size, err := s.fs.OpenAppend(path)
+	if err != nil {
+		return fmt.Errorf("wal: create manifest: %w", err)
+	}
+	if size != 0 {
+		f.Close()
+		return fmt.Errorf("wal: manifest unreadable but non-empty")
+	}
+	if _, err := f.Write(appendFrame(nil, append([]byte{recMeta}, payload...))); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write manifest: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: close manifest: %w", err)
+	}
+	return s.fs.SyncDir(s.dir)
+}
+
+// emptyDataDir reports whether the data directory holds no dictionary
+// log and no shard directories — no open ever got past writing the
+// manifest.
+func (s *Store) emptyDataDir() bool {
+	names, err := s.fs.List(s.dir)
+	if err != nil {
+		return false
+	}
+	for _, n := range names {
+		if n == dictName || strings.HasPrefix(n, "shard-") {
+			return false
+		}
+	}
+	return true
 }
 
 // recoverDict replays dict.wal into the engine dictionary, truncating
@@ -621,20 +662,8 @@ func (s *Store) flushCycleLocked(sync bool) error {
 		l.mu.Unlock()
 	}
 
-	if n := s.dict.Len(); n > s.dictWritten {
-		terms := s.dict.StringsFrom(s.dictWritten)
-		frame := appendFrame(nil, encodeTerms(nil, uint64(s.dictWritten), terms))
-		if _, err := s.dictF.Write(frame); err != nil {
-			return fmt.Errorf("wal: write %s: %w", dictName, err)
-		}
-		s.dictWritten += len(terms)
-		s.dictUnsynced = true
-	}
-	if sync && s.dictUnsynced {
-		if err := s.dictF.Sync(); err != nil {
-			return fmt.Errorf("wal: sync %s: %w", dictName, err)
-		}
-		s.dictUnsynced = false
+	if err := s.flushDictLocked(sync); err != nil {
+		return err
 	}
 
 	for i, l := range s.logs {
@@ -660,6 +689,29 @@ func (s *Store) flushCycleLocked(sync bool) error {
 	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
+	return nil
+}
+
+// flushDictLocked appends the dictionary delta up to dict.Len() and,
+// when sync, fsyncs it. Terms are interned before the batch that uses
+// them applies, so the delta captured here covers every term ID visible
+// in any state read before the call. Caller holds flushMu.
+func (s *Store) flushDictLocked(sync bool) error {
+	if n := s.dict.Len(); n > s.dictWritten {
+		terms := s.dict.StringsFrom(s.dictWritten)
+		frame := appendFrame(nil, encodeTerms(nil, uint64(s.dictWritten), terms))
+		if _, err := s.dictF.Write(frame); err != nil {
+			return fmt.Errorf("wal: write %s: %w", dictName, err)
+		}
+		s.dictWritten += len(terms)
+		s.dictUnsynced = true
+	}
+	if sync && s.dictUnsynced {
+		if err := s.dictF.Sync(); err != nil {
+			return fmt.Errorf("wal: sync %s: %w", dictName, err)
+		}
+		s.dictUnsynced = false
+	}
 	return nil
 }
 
@@ -735,6 +787,9 @@ func (s *Store) Checkpoint() error {
 		s.setFailed(err)
 		return err
 	}
+	if s.testAfterFlush != nil {
+		s.testAfterFlush()
+	}
 	for i := range s.shards {
 		if err := s.checkpointShardLocked(i); err != nil {
 			err = fmt.Errorf("wal: checkpoint shard %d: %w", i, err)
@@ -770,6 +825,17 @@ func (s *Store) checkpointShardLocked(i int) error {
 	l.unsynced = false
 
 	st := s.shards[i].ExportCheckpoint()
+	// The export can capture batches applied after this cycle's
+	// flushCycleLocked — batches whose newly interned terms are not yet
+	// in the fsynced dict log. The checkpoint below becomes durable and
+	// prunes the WAL segments behind it, so every term ID it references
+	// must be resolvable first: append and fsync the dictionary delta
+	// now (the same dict-first ordering flushCycleLocked enforces for
+	// WAL records). Always synced, whatever the WAL sync mode — the
+	// checkpoint file itself is always fsynced.
+	if err := s.flushDictLocked(true); err != nil {
+		return err
+	}
 	if err := writeCheckpoint(s.fs, l.dir, st); err != nil {
 		return err
 	}
@@ -792,26 +858,26 @@ func (s *Store) checkpointShardLocked(i int) error {
 // Close stops the flusher, flushes and checkpoints every shard (so a
 // graceful shutdown leaves zero WAL records to replay), uninstalls the
 // batch hooks and closes the files. The engine remains usable in
-// memory; batches applied after Close are not logged.
+// memory; batches applied after Close are not logged. Close is
+// idempotent: later calls do nothing and return the first call's
+// result.
 func (s *Store) Close() error {
-	select {
-	case <-s.stopc:
-		// already closed
-	default:
+	s.closeOnce.Do(func() {
 		close(s.stopc)
-	}
-	<-s.done
-	err := s.Checkpoint()
-	for _, d := range s.shards {
-		d.SetBatchHook(nil)
-	}
-	s.flushMu.Lock()
-	s.closeFilesLocked()
-	s.flushMu.Unlock()
-	if err != nil {
-		return err
-	}
-	return s.failedErr()
+		<-s.done
+		err := s.Checkpoint()
+		for _, d := range s.shards {
+			d.SetBatchHook(nil)
+		}
+		s.flushMu.Lock()
+		s.closeFilesLocked()
+		s.flushMu.Unlock()
+		if err == nil {
+			err = s.failedErr()
+		}
+		s.closeErr = err
+	})
+	return s.closeErr
 }
 
 func (s *Store) closeFiles() {

@@ -315,16 +315,52 @@ func TestKillAtRandomOffset(t *testing.T) {
 	}
 }
 
-// TestTornTailShapes: both torn-tail shapes a crash produces — a
-// truncated final frame and a zero-filled tail — are truncated and
+// TestTornTailShapes: the torn-tail shapes a crash produces — a
+// truncated final frame, a zero-filled tail, and a final frame whose
+// header survived but whose payload was zero-filled — are truncated and
 // recovery proceeds; the truncation is persistent (a second open sees
 // a clean log).
 func TestTornTailShapes(t *testing.T) {
-	for _, zeroFill := range []bool{false, true} {
-		name := "short"
-		if zeroFill {
-			name = "zerofill"
-		}
+	shapes := map[string]func(t *testing.T, segPath string){
+		"short": func(t *testing.T, segPath string) {
+			data, err := os.ReadFile(segPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			half := appendFrame(nil, encodeBatch(nil, 9999, nil, nil))
+			if err := os.WriteFile(segPath, append(data, half[:len(half)-3]...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"zerofill": func(t *testing.T, segPath string) {
+			f, err := os.OpenFile(segPath, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(make([]byte, 37)); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+		},
+		// The crash persisted the next frame's header (length and CRC
+		// intact) but zero-filled its payload from some point through
+		// EOF — a CRC mismatch that must still read as torn, not
+		// corrupt.
+		"zero-payload": func(t *testing.T, segPath string) {
+			frame := appendFrame(nil, encodeBatch(nil, 9999, nil, nil))
+			for i := frameHeaderSize + 2; i < len(frame); i++ {
+				frame[i] = 0
+			}
+			data, err := os.ReadFile(segPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(segPath, append(data, frame...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, mutate := range shapes {
 		t.Run(name, func(t *testing.T) {
 			dir := t.TempDir()
 			e, ds := newEngine(t, 1)
@@ -339,26 +375,7 @@ func TestTornTailShapes(t *testing.T) {
 			copyTree(t, dir, killed)
 			s.Close()
 
-			segPath := filepath.Join(killed, "shard-0000", segName(1))
-			if zeroFill {
-				f, err := os.OpenFile(segPath, os.O_WRONLY|os.O_APPEND, 0o644)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if _, err := f.Write(make([]byte, 37)); err != nil {
-					t.Fatal(err)
-				}
-				f.Close()
-			} else {
-				data, err := os.ReadFile(segPath)
-				if err != nil {
-					t.Fatal(err)
-				}
-				half := appendFrame(nil, encodeBatch(nil, 9999, nil, nil))
-				if err := os.WriteFile(segPath, append(data, half[:len(half)-3]...), 0o644); err != nil {
-					t.Fatal(err)
-				}
-			}
+			mutate(t, filepath.Join(killed, "shard-0000", segName(1)))
 
 			e2, ds2 := newEngine(t, 1)
 			s2, rec, err := Open(killed, e2.Dict(), ds2, Options{Mode: SyncBatch})
@@ -497,6 +514,83 @@ func TestCheckpointMidIngestRace(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestCloseIdempotent: a second Close is a no-op that returns the
+// first call's result — not a latched "store closed" error from
+// re-running the shutdown checkpoint against closed files.
+func TestCloseIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	e, ds := newEngine(t, 1)
+	s, _, err := Open(dir, e.Dict(), ds, Options{Mode: SyncBatch})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	applyBatches(t, e, s, genBatches(rand.New(rand.NewSource(2)), 5), false)
+	if err := s.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestTornManifest: a crash during the very first open can leave a
+// partial manifest with nothing else in the directory — reopen must
+// rewrite it, not brick the data dir. Once shard data exists, a
+// damaged manifest stays a hard error.
+func TestTornManifest(t *testing.T) {
+	t.Run("empty-dir-rewrites", func(t *testing.T) {
+		dir := t.TempDir()
+		frame := appendFrame(nil, append([]byte{recMeta}, []byte(`{"version":1,"shards":1,"pairs":true}`)...))
+		if err := os.WriteFile(filepath.Join(dir, metaName), frame[:len(frame)-5], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e, ds := newEngine(t, 1)
+		s, _, err := Open(dir, e.Dict(), ds, Options{Mode: SyncBatch})
+		if err != nil {
+			t.Fatalf("open with torn manifest in empty dir: %v", err)
+		}
+		applyBatches(t, e, s, genBatches(rand.New(rand.NewSource(8)), 5), false)
+		want := fingerprint(e)
+		if err := s.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+
+		e2, ds2 := newEngine(t, 1)
+		s2, _, err := Open(dir, e2.Dict(), ds2, Options{Mode: SyncBatch})
+		if err != nil {
+			t.Fatalf("reopen after rewrite: %v", err)
+		}
+		defer s2.Close()
+		if got := fingerprint(e2); got != want {
+			t.Fatalf("recovered state diverges:\n got: %s\nwant: %s", got, want)
+		}
+	})
+	t.Run("with-data-hard-error", func(t *testing.T) {
+		dir := t.TempDir()
+		e, ds := newEngine(t, 1)
+		s, _, err := Open(dir, e.Dict(), ds, Options{Mode: SyncBatch})
+		if err != nil {
+			t.Fatalf("open: %v", err)
+		}
+		applyBatches(t, e, s, genBatches(rand.New(rand.NewSource(9)), 5), false)
+		s.Close()
+
+		path := filepath.Join(dir, metaName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e2, ds2 := newEngine(t, 1)
+		_, _, err = Open(dir, e2.Dict(), ds2, Options{Mode: SyncBatch})
+		if err == nil || !strings.Contains(err.Error(), "corrupt manifest") {
+			t.Fatalf("damaged manifest alongside shard data not rejected: %v", err)
+		}
+	})
 }
 
 // TestSyncModes: interval mode barriers return after the group-commit
