@@ -1,0 +1,299 @@
+// Command rdfload is a closed-loop load generator for rdfserved. Each
+// worker runs an independent loop — pick an operation by the
+// configured mix, issue it, wait for the response, record the latency,
+// repeat — so offered load adapts to server capacity instead of
+// piling up an open-loop queue. At the end it prints and writes a
+// per-endpoint latency summary (p50/p90/p99/max) as a BENCH_*.json
+// artifact, comparable across commits like the other bench emitters.
+//
+// Usage:
+//
+//	rdfload -addr http://localhost:8077 -duration 30s -workers 16
+//	rdfload -reads 70 -writes 25 -refines 5 -batch 50 -out BENCH_serve.json
+//
+// Operations:
+//
+//	read    GET  /sigma?fn=cov          (σ scan over the snapshot)
+//	write   POST /triples               (raw N-Triples batch, -batch lines)
+//	refine  GET  /refine?...            (lowest-k heuristic search)
+//
+// Writes draw subjects/predicates/objects from bounded synthetic
+// spaces (-subjects, -props, -objects), so the signature view keeps a
+// realistic overlap structure instead of degenerating to one sort or
+// one-subject-per-triple.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+	opRefine
+	numOps
+)
+
+var opNames = [numOps]string{"read", "write", "refine"}
+
+// sample is one completed request: which op, how long, and whether the
+// server answered 2xx.
+type sample struct {
+	op opKind
+	d  time.Duration
+	ok bool
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8077", "rdfserved base URL")
+	duration := flag.Duration("duration", 10*time.Second, "measured run length (after priming)")
+	workers := flag.Int("workers", 8, "concurrent closed-loop workers")
+	reads := flag.Int("reads", 80, "relative weight of σ reads")
+	writes := flag.Int("writes", 15, "relative weight of triple-batch writes")
+	refines := flag.Int("refines", 5, "relative weight of refinements")
+	batch := flag.Int("batch", 20, "triples per write batch")
+	subjects := flag.Int("subjects", 1000, "synthetic subject space")
+	props := flag.Int("props", 12, "synthetic predicate space")
+	objects := flag.Int("objects", 200, "synthetic object space")
+	theta := flag.Float64("theta", 0.9, "refinement threshold")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	out := flag.String("out", "BENCH_serve.json", "JSON artifact path (empty = stdout only)")
+	flag.Parse()
+
+	total := *reads + *writes + *refines
+	if total <= 0 {
+		fmt.Fprintln(os.Stderr, "rdfload: operation mix sums to zero")
+		os.Exit(1)
+	}
+	if *workers <= 0 || *batch <= 0 {
+		fmt.Fprintln(os.Stderr, "rdfload: -workers and -batch must be positive")
+		os.Exit(1)
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	// Prime outside the measured window: one write so σ and refine
+	// requests never hit an empty dataset, and a fail-fast reachability
+	// check before spinning up workers.
+	prime := newWorkload(*seed, *subjects, *props, *objects)
+	if _, ok := doWrite(client, *addr, prime, *batch); !ok {
+		fmt.Fprintf(os.Stderr, "rdfload: cannot reach %s (priming write failed)\n", *addr)
+		os.Exit(1)
+	}
+
+	deadline := time.Now().Add(*duration)
+	perWorker := make([][]sample, *workers)
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wl := newWorkload(*seed+int64(w)+1, *subjects, *props, *objects)
+			var samples []sample
+			for time.Now().Before(deadline) {
+				var (
+					op  opKind
+					d   time.Duration
+					ok  bool
+					die = wl.rng.Intn(total)
+				)
+				switch {
+				case die < *reads:
+					op = opRead
+					d, ok = doGet(client, *addr+"/sigma?fn=cov")
+				case die < *reads+*writes:
+					op = opWrite
+					d, ok = doWrite(client, *addr, wl, *batch)
+				default:
+					op = opRefine
+					d, ok = doGet(client, fmt.Sprintf(
+						"%s/refine?fn=cov&mode=lowestk&theta=%g&engine=heuristic&workers=1", *addr, *theta))
+				}
+				samples = append(samples, sample{op, d, ok})
+			}
+			perWorker[w] = samples
+		}(w)
+	}
+	wg.Wait()
+
+	report := summarize(perWorker, *duration, *workers,
+		map[string]int{"reads": *reads, "writes": *writes, "refines": *refines}, *addr)
+	fmt.Printf("rdfload: %d requests in %s (%d workers, mix r%d/w%d/f%d)\n",
+		report.TotalRequests, duration, *workers, *reads, *writes, *refines)
+	for _, name := range []string{"read", "write", "refine"} {
+		ep, ok := report.Endpoints[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-7s n=%-7d err=%-4d rps=%-8.1f p50=%-10s p90=%-10s p99=%-10s max=%s\n",
+			name, ep.Count, ep.Errors, ep.RPS,
+			time.Duration(ep.P50Ns), time.Duration(ep.P90Ns), time.Duration(ep.P99Ns), time.Duration(ep.MaxNs))
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdfload:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "rdfload:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rdfload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("rdfload: wrote %s\n", *out)
+	}
+	if report.TotalRequests == report.TotalErrors {
+		fmt.Fprintln(os.Stderr, "rdfload: every request failed")
+		os.Exit(1)
+	}
+}
+
+// workload is a per-worker synthetic triple source with its own RNG,
+// so workers never contend on randomness.
+type workload struct {
+	rng                     *rand.Rand
+	subjects, props, object int
+}
+
+func newWorkload(seed int64, subjects, props, objects int) *workload {
+	return &workload{rng: rand.New(rand.NewSource(seed)),
+		subjects: subjects, props: props, object: objects}
+}
+
+// batchBody builds a raw N-Triples write body from the bounded
+// synthetic spaces.
+func (w *workload) batchBody(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<http://load/s%d> <http://load/p%d> <http://load/o%d> .\n",
+			w.rng.Intn(w.subjects), w.rng.Intn(w.props), w.rng.Intn(w.object))
+	}
+	return b.String()
+}
+
+func doGet(client *http.Client, url string) (time.Duration, bool) {
+	start := time.Now()
+	resp, err := client.Get(url)
+	if err != nil {
+		return time.Since(start), false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return time.Since(start), resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+func doWrite(client *http.Client, addr string, wl *workload, batch int) (time.Duration, bool) {
+	body := wl.batchBody(batch)
+	start := time.Now()
+	resp, err := client.Post(addr+"/triples", "text/plain", strings.NewReader(body))
+	if err != nil {
+		return time.Since(start), false
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return time.Since(start), resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// endpointSummary is the per-operation slice of the artifact. Latencies
+// are integer nanoseconds so jq-side comparisons need no float parsing.
+type endpointSummary struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	RPS    float64 `json:"rps"`
+	MeanNs int64   `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P90Ns  int64   `json:"p90_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// artifact mirrors the benchjson BENCH_*.json shape: run metadata up
+// front, then the measured series.
+type artifact struct {
+	Kind          string                     `json:"kind"`
+	Target        string                     `json:"target"`
+	GOOS          string                     `json:"goos"`
+	GOARCH        string                     `json:"goarch"`
+	NumCPU        int                        `json:"num_cpu"`
+	Timestamp     string                     `json:"timestamp"`
+	DurationSec   float64                    `json:"duration_sec"`
+	Workers       int                        `json:"workers"`
+	Mix           map[string]int             `json:"mix"`
+	Endpoints     map[string]endpointSummary `json:"endpoints"`
+	TotalRequests int                        `json:"total_requests"`
+	TotalErrors   int                        `json:"total_errors"`
+}
+
+func summarize(perWorker [][]sample, dur time.Duration, workers int, mix map[string]int, target string) artifact {
+	byOp := make([][]time.Duration, numOps)
+	errs := make([]int, numOps)
+	for _, samples := range perWorker {
+		for _, s := range samples {
+			byOp[s.op] = append(byOp[s.op], s.d)
+			if !s.ok {
+				errs[s.op]++
+			}
+		}
+	}
+	a := artifact{
+		Kind: "serve_load", Target: target,
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(),
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		DurationSec: dur.Seconds(), Workers: workers, Mix: mix,
+		Endpoints: make(map[string]endpointSummary),
+	}
+	for op := opKind(0); op < numOps; op++ {
+		lat := byOp[op]
+		if len(lat) == 0 {
+			continue
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var sum time.Duration
+		for _, d := range lat {
+			sum += d
+		}
+		a.Endpoints[opNames[op]] = endpointSummary{
+			Count: len(lat), Errors: errs[op],
+			RPS:    float64(len(lat)) / dur.Seconds(),
+			MeanNs: int64(sum) / int64(len(lat)),
+			P50Ns:  int64(quantile(lat, 0.50)),
+			P90Ns:  int64(quantile(lat, 0.90)),
+			P99Ns:  int64(quantile(lat, 0.99)),
+			MaxNs:  int64(lat[len(lat)-1]),
+		}
+		a.TotalRequests += len(lat)
+		a.TotalErrors += errs[op]
+	}
+	return a
+}
+
+// quantile reads the q-th quantile from an ascending latency slice
+// using the nearest-rank method.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

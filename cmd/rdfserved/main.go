@@ -26,6 +26,8 @@
 //	GET  /sigma?fn=cov|sim|dep[p1,p2]|symdep[p1,p2]
 //	GET  /refine?fn=cov&mode=lowestk|highesttheta&theta=0.9&k=2&workers=0&engine=auto
 //	GET  /stats
+//	GET  /metrics          (Prometheus text; disable with -metrics=false)
+//	GET  /debug/pprof/*    (only with -pprof)
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: in-flight
 // requests drain, any running background auto-refine search is
@@ -48,6 +50,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/incr"
+	"repro/internal/metrics"
 	"repro/internal/rdf"
 	"repro/internal/refine"
 	"repro/internal/serve"
@@ -72,6 +75,9 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability directory (write-ahead log + checkpoints); empty = in-memory only")
 	fsync := flag.String("fsync", "batch", "WAL fsync policy: batch (per ingest), off, or a group-commit window like 10ms")
 	checkpointInterval := flag.Duration("checkpoint-interval", time.Minute, "background checkpoint cadence (0 = only on shutdown)")
+	enableMetrics := flag.Bool("metrics", true, "serve Prometheus text metrics on GET /metrics")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof profiles under GET /debug/pprof/")
+	slowRequest := flag.Duration("slow-request", time.Second, "log requests slower than this with their trace ID (0 = never)")
 	flag.Parse()
 
 	var opts incr.Options
@@ -92,10 +98,20 @@ func main() {
 		d = incr.NewDataset(opts)
 	}
 
+	// The metrics registry is shared by every layer: engine ingest
+	// counters, WAL fsync timings, and the serve-side HTTP histograms
+	// all land in one /metrics scrape.
+	var reg *metrics.Registry
+	if *enableMetrics {
+		reg = metrics.NewRegistry()
+		d.RegisterMetrics(reg)
+	}
+
 	// Durability attaches before the preload so preloaded triples are
 	// logged too; recovery replays the data directory into the fresh
 	// engine first (re-preloading recovered triples is a no-op).
 	var store *wal.Store
+	var walInfo *serve.WALInfo
 	if *dataDir != "" {
 		mode, interval, err := wal.ParseSyncMode(*fsync)
 		if err != nil {
@@ -113,6 +129,7 @@ func main() {
 			Mode: mode, SyncInterval: interval,
 			CheckpointInterval: *checkpointInterval,
 			Logf:               log.Printf,
+			Metrics:            reg,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "rdfserved:", err)
@@ -121,6 +138,16 @@ func main() {
 		store = st
 		log.Printf("rdfserved: recovered %s in %s: %d dict terms, %d shard checkpoints, %d WAL records applied (%d skipped), %d bytes scanned, %d torn bytes truncated",
 			*dataDir, rec.Duration.Round(time.Millisecond), rec.Terms, rec.Checkpoints, rec.Records, rec.Skipped, rec.Bytes, rec.TornBytes)
+		walInfo = &serve.WALInfo{
+			Mode:        mode.String(),
+			Synchronous: mode != wal.SyncOff,
+			Recovery: serve.WALRecovery{
+				Terms: rec.Terms, Checkpoints: rec.Checkpoints,
+				Records: rec.Records, Skipped: rec.Skipped,
+				Bytes: rec.Bytes, TornBytes: rec.TornBytes,
+				DurationMs: rec.Duration.Milliseconds(),
+			},
+		}
 	}
 
 	if *in != "" {
@@ -137,7 +164,13 @@ func main() {
 	// shutdown, so the process never sits out a long local search after
 	// the listener has closed.
 	cancelRefine := make(chan struct{})
-	srvOpts := serve.Options{MaxBodyBytes: *maxBodyMB << 20}
+	srvOpts := serve.Options{
+		MaxBodyBytes: *maxBodyMB << 20,
+		Metrics:      reg,
+		EnablePprof:  *enablePprof,
+		SlowRequest:  *slowRequest,
+		WAL:          walInfo,
+	}
 	if store != nil {
 		srvOpts.Durable = store
 	}

@@ -104,6 +104,10 @@ type Dataset struct {
 	// hook, when set, observes every effective batch under mu — the
 	// durability layer's write-ahead-log tap (see SetBatchHook).
 	hook BatchHook
+
+	// met, when set, is the shard's ingest instrumentation tap,
+	// updated once per effective batch (see RegisterMetrics).
+	met *shardMetrics
 }
 
 // Snapshot is an immutable view of the dataset at one epoch.
@@ -275,12 +279,23 @@ func (d *Dataset) ApplyIDs(add, remove []rdf.IDTriple) (added, removed int) {
 	return added, removed
 }
 
-// finishBatch advances the epoch after a mutating batch. Caller holds mu.
+// finishBatch advances the epoch after a mutating batch and feeds the
+// instrumentation tap. Caller holds mu.
 func (d *Dataset) finishBatch(added, removed int) {
-	if added > 0 || removed > 0 {
-		d.epoch++
-		d.added += uint64(added)
-		d.removed += uint64(removed)
+	if added == 0 && removed == 0 {
+		return
+	}
+	d.epoch++
+	d.added += uint64(added)
+	d.removed += uint64(removed)
+	if m := d.met; m != nil {
+		m.added.Add(int64(added))
+		m.removed.Add(int64(removed))
+		m.batches.Inc()
+		m.batchTriples.Observe(float64(added + removed))
+		m.epoch.Set(int64(d.epoch))
+		m.signatures.Set(int64(len(d.sigs)))
+		m.subjects.Set(int64(d.g.SubjectCount()))
 	}
 }
 

@@ -1,0 +1,109 @@
+package incr
+
+import (
+	"strconv"
+
+	"repro/internal/metrics"
+)
+
+// shardMetrics is one shard's ingest instrumentation tap. All updates
+// happen per effective batch (never per triple) under the shard lock,
+// so the hot-path cost is a handful of atomic adds per Apply — noise
+// next to the signature migration work itself.
+type shardMetrics struct {
+	added, removed *metrics.Counter
+	batches        *metrics.Counter
+	batchTriples   *metrics.Histogram
+	epoch          *metrics.Gauge
+	signatures     *metrics.Gauge
+	subjects       *metrics.Gauge
+}
+
+// engineMetrics is the per-shard-labeled family set shared by the
+// single Dataset (one "0" shard) and the sharded engine. The bucket
+// layout is uniform across shards, so per-shard batch histograms merge
+// exactly (metrics.Histogram.Merge) — the same additive discipline as
+// the σ aggregates.
+type engineMetrics struct {
+	triples      *metrics.CounterVec
+	batches      *metrics.CounterVec
+	batchTriples *metrics.HistogramVec
+	epoch        *metrics.GaugeVec
+	signatures   *metrics.GaugeVec
+	subjects     *metrics.GaugeVec
+}
+
+func newEngineMetrics(reg *metrics.Registry) *engineMetrics {
+	return &engineMetrics{
+		triples: reg.CounterVec("rdf_ingest_triples_total",
+			"Triples applied to the live dataset, by shard and operation.", "shard", "op"),
+		batches: reg.CounterVec("rdf_ingest_batches_total",
+			"Effective (non-empty) ingest batches applied, by shard.", "shard"),
+		batchTriples: reg.HistogramVec("rdf_ingest_batch_triples",
+			"Triples per effective ingest batch, by shard.", metrics.DefSizeBuckets, "shard"),
+		epoch: reg.GaugeVec("rdf_engine_epoch",
+			"Current shard epoch (one increment per effective batch).", "shard"),
+		signatures: reg.GaugeVec("rdf_engine_signatures",
+			"Live signature sets per shard.", "shard"),
+		subjects: reg.GaugeVec("rdf_engine_subjects",
+			"Live subjects per shard.", "shard"),
+	}
+}
+
+// shard materializes shard i's children (cached here, so the batch
+// path never touches the vec maps).
+func (m *engineMetrics) shard(i int) *shardMetrics {
+	s := strconv.Itoa(i)
+	return &shardMetrics{
+		added:        m.triples.With(s, "add"),
+		removed:      m.triples.With(s, "remove"),
+		batches:      m.batches.With(s),
+		batchTriples: m.batchTriples.With(s),
+		epoch:        m.epoch.With(s),
+		signatures:   m.signatures.With(s),
+		subjects:     m.subjects.With(s),
+	}
+}
+
+// setMetrics installs the shard's instrumentation tap. Like
+// SetBatchHook it takes the write lock, so installation never races a
+// batch mid-flight.
+func (d *Dataset) setMetrics(m *shardMetrics) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.met = m
+	if m != nil {
+		// Seed the gauges so a scrape before the first post-registration
+		// batch (e.g. right after WAL recovery) reads the true state.
+		m.epoch.Set(int64(d.epoch))
+		m.signatures.Set(int64(len(d.sigs)))
+		m.subjects.Set(int64(d.g.SubjectCount()))
+	}
+}
+
+// registerTerms adds the scrape-time gauge over the (shared,
+// independently thread-safe) term dictionary.
+func registerTerms(reg *metrics.Registry, dict interface{ Len() int }) {
+	reg.GaugeFunc("rdf_engine_terms",
+		"Distinct interned terms in the dictionary.",
+		func() float64 { return float64(dict.Len()) })
+}
+
+// RegisterMetrics registers the dataset's ingest instrumentation into
+// reg (shard label "0") and installs the tap. Register at most once
+// per registry — the family names are claimed globally.
+func (d *Dataset) RegisterMetrics(reg *metrics.Registry) {
+	d.setMetrics(newEngineMetrics(reg).shard(0))
+	registerTerms(reg, d.Dict())
+}
+
+// RegisterMetrics registers per-shard ingest instrumentation for every
+// shard into reg and installs the taps, plus the shared-dictionary
+// term gauge.
+func (s *Sharded) RegisterMetrics(reg *metrics.Registry) {
+	m := newEngineMetrics(reg)
+	for i, d := range s.shards {
+		d.setMetrics(m.shard(i))
+	}
+	registerTerms(reg, s.dict)
+}

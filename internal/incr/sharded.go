@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/matrix"
+	"repro/internal/metrics"
 	"repro/internal/rdf"
 	"repro/internal/rules"
 	"repro/internal/term"
@@ -34,6 +35,11 @@ type Engine interface {
 	Stats() Stats
 	Epoch() uint64
 	Contains(t rdf.Triple) bool
+	// RegisterMetrics registers the engine's ingest instrumentation
+	// (per-shard triple counters, batch-size histograms, epoch and
+	// signature gauges) into reg and installs the taps. At most once
+	// per registry.
+	RegisterMetrics(reg *metrics.Registry)
 }
 
 var (

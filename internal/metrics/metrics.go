@@ -1,0 +1,470 @@
+// Package metrics is a dependency-free instrumentation layer for the
+// serving stack: atomic counters and gauges, fixed-bucket latency
+// histograms, and a registry that renders everything in the Prometheus
+// text exposition format (served by rdfserved at GET /metrics).
+//
+// Histograms follow the same additive-merge discipline as the engine's
+// σ aggregates (rules.CountTracker.Merge): bucket counts and the
+// observation count are int64 sums, so merging per-shard histograms is
+// exact — a merged histogram is bit-identical to one histogram fed the
+// union observation stream, the invariant the multi-node roadmap
+// (per-node aggregate merging) depends on.
+//
+// All mutation paths are lock-free single atomic operations, so
+// instrumenting a hot path costs nanoseconds; scrapes read the same
+// atomics without stopping writers.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use, so packages can hold one as a plain global and
+// attach it to a registry later (Registry.AttachCounter).
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the Prometheus counter contract; this
+// is not enforced on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) writeSeries(w io.Writer, name, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %d\n", name, labels, c.Value())
+	return err
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) writeSeries(w io.Writer, name, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %d\n", name, labels, g.Value())
+	return err
+}
+
+// gaugeFunc is a gauge computed at scrape time (staleness, queue
+// depths — anything already maintained elsewhere).
+type gaugeFunc struct{ fn func() float64 }
+
+func (g gaugeFunc) writeSeries(w io.Writer, name, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(g.fn()))
+	return err
+}
+
+// counterFunc is a counter read from an external source at scrape time.
+type counterFunc struct{ fn func() int64 }
+
+func (c counterFunc) writeSeries(w io.Writer, name, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %d\n", name, labels, c.fn())
+	return err
+}
+
+// Histogram is a fixed-bucket histogram: observation counts per bucket
+// plus the running sum and total count. Buckets are defined by their
+// ascending upper bounds; an implicit +Inf bucket catches the rest.
+// Observe is two atomic adds and one CAS loop — safe and cheap under
+// full concurrency.
+type Histogram struct {
+	bounds  []float64      // ascending upper bounds (exclusive of +Inf)
+	buckets []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the observation sum
+}
+
+// NewHistogram returns a histogram over the given ascending bucket
+// upper bounds. Panics on empty or non-ascending bounds — bucket
+// layouts are compile-time decisions, not runtime inputs.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: le-bucket semantics
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Merge adds other's buckets, count and sum into h — the additive
+// union of two disjoint observation streams, exact on the integer
+// bucket counts for the same reason CountTracker.Merge is exact on
+// N_p. Panics when the bucket layouts differ: merging histograms with
+// different bounds has no exact answer.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(h.bounds) != len(other.bounds) {
+		panic("metrics: merging histograms with different bucket layouts")
+	}
+	for i, b := range h.bounds {
+		if b != other.bounds[i] {
+			panic("metrics: merging histograms with different bucket layouts")
+		}
+	}
+	for i := range h.buckets {
+		h.buckets[i].Add(other.buckets[i].Load())
+	}
+	h.count.Add(other.count.Load())
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + other.Sum())
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Bounds returns the bucket upper bounds (read-only).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns a copy of the per-bucket counts (last entry is
+// the +Inf bucket). A concurrent scrape may see a count incremented
+// before its sum — each field is individually, not jointly, atomic.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) by
+// linear interpolation inside the covering bucket — the usual
+// Prometheus histogram_quantile shape, handy for in-process assertions
+// and harness summaries.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if float64(cum+c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) {
+				return h.bounds[len(h.bounds)-1] // +Inf bucket: clamp to the last finite bound
+			}
+			if c == 0 {
+				return h.bounds[i]
+			}
+			return lo + (h.bounds[i]-lo)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) writeSeries(w io.Writer, name, labels string) error {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(labels, formatFloat(b)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(labels, "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+	return err
+}
+
+// withLE splices the le bucket label into a rendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// DefLatencyBuckets spans 100µs to 10s — the request- and
+// fsync-latency range the serving stack lives in.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// DefSizeBuckets is a decade ladder for batch-size style histograms.
+var DefSizeBuckets = []float64{1, 10, 100, 1000, 10000, 100000}
+
+// collector is anything that can render its sample lines for one
+// series (one label set) of a family.
+type collector interface {
+	writeSeries(w io.Writer, name, labels string) error
+}
+
+// series is one labeled instance inside a family.
+type series struct {
+	labels string // rendered `{k="v",...}`, or "" for the unlabeled series
+	col    collector
+}
+
+// family is one metric name: its metadata and every labeled series.
+type family struct {
+	name, help, typ string
+	labelNames      []string
+
+	mu    sync.Mutex
+	order []*series
+	byKey map[string]*series
+}
+
+// getOrCreate returns the series for the given label values, creating
+// it with make on first sight. Caller guarantees len(values) matches
+// the family's label arity (checked by the vec wrappers).
+func (f *family) getOrCreate(values []string, make func() collector) collector {
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byKey[key]; ok {
+		return s.col
+	}
+	s := &series{labels: renderLabels(f.labelNames, values), col: make()}
+	f.byKey[key] = s
+	f.order = append(f.order, s)
+	return s.col
+}
+
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Registry holds a set of metric families and renders them as
+// Prometheus text. Registration methods panic on a name registered
+// twice — two subsystems claiming one series is a wiring bug, caught
+// at startup, not a runtime condition.
+type Registry struct {
+	mu    sync.Mutex
+	byNam map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byNam: make(map[string]*family)}
+}
+
+func (r *Registry) newFamily(name, help, typ string, labelNames []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byNam[name]; ok {
+		panic("metrics: duplicate registration of " + name)
+	}
+	f := &family{name: name, help: help, typ: typ, labelNames: labelNames, byKey: make(map[string]*series)}
+	r.byNam[name] = f
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.AttachCounter(name, help, c)
+	return c
+}
+
+// AttachCounter registers an existing counter — the path for package
+// globals that count regardless of any registry (e.g. the rules
+// signature-scan counter) to appear in /metrics.
+func (r *Registry) AttachCounter(name, help string, c *Counter) {
+	f := r.newFamily(name, help, "counter", nil)
+	f.getOrCreate(nil, func() collector { return c })
+}
+
+// CounterFunc registers a counter whose value is read at scrape time.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	f := r.newFamily(name, help, "counter", nil)
+	f.getOrCreate(nil, func() collector { return counterFunc{fn} })
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.newFamily(name, help, "gauge", nil)
+	g := &Gauge{}
+	f.getOrCreate(nil, func() collector { return g })
+	return g
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.newFamily(name, help, "gauge", nil)
+	f.getOrCreate(nil, func() collector { return gaugeFunc{fn} })
+}
+
+// Histogram registers and returns an unlabeled histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.newFamily(name, help, "histogram", nil)
+	h := NewHistogram(bounds)
+	f.getOrCreate(nil, func() collector { return h })
+	return h
+}
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.newFamily(name, help, "counter", labelNames)}
+}
+
+// With returns the counter for the given label values, creating it on
+// first use. Callers on hot paths cache the returned child.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.f.labelNames) {
+		panic("metrics: label arity mismatch for " + v.f.name)
+	}
+	return v.f.getOrCreate(values, func() collector { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a family of gauges keyed by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.newFamily(name, help, "gauge", labelNames)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.f.labelNames) {
+		panic("metrics: label arity mismatch for " + v.f.name)
+	}
+	return v.f.getOrCreate(values, func() collector { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a family of histograms keyed by label values,
+// sharing one bucket layout (so per-label histograms merge exactly).
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labelNames ...string) *HistogramVec {
+	// Validate the layout once at registration, not per child.
+	NewHistogram(bounds)
+	return &HistogramVec{r.newFamily(name, help, "histogram", labelNames), bounds}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.f.labelNames) {
+		panic("metrics: label arity mismatch for " + v.f.name)
+	}
+	return v.f.getOrCreate(values, func() collector { return NewHistogram(v.bounds) }).(*Histogram)
+}
+
+// WriteText renders every family in the Prometheus text exposition
+// format, families sorted by name, series in creation order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.byNam))
+	for _, f := range r.byNam {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		srs := append([]*series(nil), f.order...)
+		f.mu.Unlock()
+		for _, s := range srs {
+			if err := s.col.writeSeries(w, f.name, s.labels); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry — the
+// GET /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestHistogramMergeExact pins the additive-merge discipline: shard
+// observation streams across N histograms, merge them, and the result
+// must be bit-identical to one histogram fed every observation —
+// bucket counts, total count, and (for exactly-representable
+// observations) the float sum.
+func TestHistogramMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bounds := DefLatencyBuckets
+	whole := NewHistogram(bounds)
+	shards := make([]*Histogram, 4)
+	for i := range shards {
+		shards[i] = NewHistogram(bounds)
+	}
+	for n := 0; n < 20000; n++ {
+		// Dyadic rationals in [0, 16): every partial sum is exactly
+		// representable, so float addition is associative here and the
+		// sum comparison below can demand bit equality.
+		v := float64(rng.Intn(1<<14)) / 1024
+		whole.Observe(v)
+		shards[rng.Intn(len(shards))].Observe(v)
+	}
+	merged := NewHistogram(bounds)
+	for _, s := range shards {
+		merged.Merge(s)
+	}
+	wc, mc := whole.BucketCounts(), merged.BucketCounts()
+	for i := range wc {
+		if wc[i] != mc[i] {
+			t.Fatalf("bucket %d: merged %d, whole %d", i, mc[i], wc[i])
+		}
+	}
+	if whole.Count() != merged.Count() {
+		t.Fatalf("count: merged %d, whole %d", merged.Count(), whole.Count())
+	}
+	if whole.Sum() != merged.Sum() {
+		t.Fatalf("sum: merged %v, whole %v", merged.Sum(), whole.Sum())
+	}
+}
+
+func TestHistogramMergeLayoutMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging different bucket layouts must panic")
+		}
+	}()
+	NewHistogram([]float64{1, 2}).Merge(NewHistogram([]float64{1, 3}))
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 1, 1, 1} // le=1 gets 0.5 and 1 (le semantics), +Inf gets 100
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket counts: got %v, want %v", got, want)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 106 {
+		t.Fatalf("count=%d sum=%v, want 5/106", h.Count(), h.Sum())
+	}
+	if q := h.Quantile(0.5); !(q >= 1 && q <= 2) {
+		t.Fatalf("median %v outside covering bucket (1,2]", q)
+	}
+	// The +Inf bucket clamps to the last finite bound.
+	if q := h.Quantile(1); q != 4 {
+		t.Fatalf("q=1: got %v, want 4", q)
+	}
+}
+
+// TestConcurrentIncrementAndScrape hammers every collector type from
+// writer goroutines while scrapes run — the -race pin for the
+// lock-free mutation paths.
+func TestConcurrentIncrementAndScrape(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_ops_total", "ops")
+	g := reg.Gauge("test_depth", "depth")
+	h := reg.Histogram("test_latency_seconds", "latency", DefLatencyBuckets)
+	cv := reg.CounterVec("test_labeled_total", "labeled", "shard")
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := cv.With("0")
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(float64(i%100) / 1000)
+				child.Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		var sb strings.Builder
+		if err := reg.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-done:
+			var sb strings.Builder
+			if err := reg.WriteText(&sb); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			if c.Value() != writers*perWriter || h.Count() != writers*perWriter {
+				t.Fatalf("lost updates: counter=%d histogram=%d", c.Value(), h.Count())
+			}
+			if !strings.Contains(out, "test_ops_total 40000") {
+				t.Fatalf("scrape missing final counter value:\n%s", out)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestTextFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "a help").Add(3)
+	reg.Gauge("b", "b help").Set(-2)
+	reg.GaugeFunc("c", "c help", func() float64 { return 1.5 })
+	var ext Counter
+	ext.Add(7)
+	reg.AttachCounter("d_total", "d help", &ext)
+	reg.CounterVec("e_total", "e help", "shard", "op").With("0", `x"y`).Add(4)
+	h := reg.Histogram("f_seconds", "f help", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP a_total a help\n# TYPE a_total counter\na_total 3\n",
+		"# TYPE b gauge\nb -2\n",
+		"c 1.5\n",
+		"d_total 7\n",
+		`e_total{shard="0",op="x\"y"} 4` + "\n",
+		`f_seconds_bucket{le="0.1"} 1` + "\n",
+		`f_seconds_bucket{le="1"} 2` + "\n",
+		`f_seconds_bucket{le="+Inf"} 2` + "\n",
+		"f_seconds_sum 0.55\n",
+		"f_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families render sorted by name.
+	if strings.Index(out, "# HELP a_total") > strings.Index(out, "# HELP b ") {
+		t.Fatalf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	reg.Gauge("x_total", "x again")
+}
+
+func TestHistogramVecSharedLayout(t *testing.T) {
+	reg := NewRegistry()
+	hv := reg.HistogramVec("v_seconds", "v", []float64{1, 2}, "shard")
+	hv.With("0").Observe(0.5)
+	hv.With("1").Observe(1.5)
+	merged := NewHistogram([]float64{1, 2})
+	merged.Merge(hv.With("0"))
+	merged.Merge(hv.With("1"))
+	if merged.Count() != 2 || merged.BucketCounts()[0] != 1 || merged.BucketCounts()[1] != 1 {
+		t.Fatalf("vec children did not merge: %v", merged.BucketCounts())
+	}
+}

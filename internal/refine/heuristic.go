@@ -187,6 +187,7 @@ func restartSeed(seed int64, r int) int64 {
 // runRestart executes one independent restart: seed construction, an
 // optional seed-feasibility shortcut, and local search.
 func runRestart(p *Problem, opts *HeuristicOptions, ge *groupEval, r int) restartResult {
+	restarts.Inc()
 	rng := rand.New(rand.NewSource(restartSeed(opts.Seed, r)))
 	var assign Assignment
 	var err error

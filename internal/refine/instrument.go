@@ -1,0 +1,18 @@
+package refine
+
+import "repro/internal/metrics"
+
+// restarts counts local-search restarts actually executed (portfolio
+// racing and early-exit skip restarts that never run; those are not
+// counted). Like rules.SignatureScans it is a process-wide counter: a
+// serving stack attaches it to its registry (Registry.AttachCounter)
+// so the background auto-refine work rate is visible in GET /metrics.
+var restarts metrics.Counter
+
+// Restarts returns the cumulative number of local-search restarts run
+// since process start.
+func Restarts() int64 { return restarts.Value() }
+
+// RestartCounter returns the restart counter itself, for registration
+// in a metrics registry.
+func RestartCounter() *metrics.Counter { return &restarts }

@@ -3,9 +3,9 @@ package rules
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/matrix"
+	"repro/internal/metrics"
 )
 
 // This file provides the paper's named structuredness functions
@@ -150,13 +150,20 @@ func Similarity(v *matrix.View) Ratio {
 // instrumentation for the compiled-evaluator ablation (BenchmarkRefineDep
 // asserts the pair-count kernels do orders of magnitude fewer of these
 // per local-search iteration than the scan-per-evaluation baseline).
-var sigScans atomic.Int64
+// It is a metrics.Counter rather than a bare atomic so the serving
+// stack can attach it to its registry (Registry.AttachCounter) and the
+// scan rate shows up in GET /metrics.
+var sigScans metrics.Counter
 
 // SignatureScans returns the cumulative number of full signature-list
 // scans performed by the pairwise closed forms since process start.
 // Read-before/read-after deltas instrument benchmarks and tests; the
 // single atomic add per scan is noise next to the scan itself.
-func SignatureScans() int64 { return sigScans.Load() }
+func SignatureScans() int64 { return sigScans.Value() }
+
+// SignatureScanCounter returns the scan counter itself, for
+// registration in a metrics registry.
+func SignatureScanCounter() *metrics.Counter { return &sigScans }
 
 // bothCount returns the number of subjects having both columns by
 // scanning the signature list with two direct bit tests per signature —

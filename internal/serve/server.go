@@ -11,12 +11,15 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/incr"
+	"repro/internal/metrics"
 	"repro/internal/rdf"
 	"repro/internal/refine"
 	"repro/internal/rules"
@@ -33,12 +36,53 @@ type Options struct {
 	// mutating batch (single-flight; the σ-drift policy inside the
 	// refiner decides whether a search actually runs).
 	Refiner *incr.Refiner
-	// Logf sinks background-refresh errors (default log.Printf).
+	// Logf sinks background-refresh errors and slow-request lines
+	// (default log.Printf).
 	Logf func(format string, args ...interface{})
 	// Durable, when set, is the write-ahead log attached to the
 	// engine: POST /triples waits on its Barrier before responding,
 	// so a 200 with durable:true means the batch survives a crash.
 	Durable DurabilityBarrier
+	// Metrics, when set, instruments every endpoint (request counters,
+	// latency histograms, in-flight gauges), registers the
+	// refine-staleness gauge and the search instrumentation counters,
+	// and serves the registry at GET /metrics. The caller registers the
+	// engine's own series (Engine.RegisterMetrics) — the server only
+	// claims the rdf_http_*, rdf_refine_* and rdf_sigma_* families, so
+	// at most one Server per registry.
+	Metrics *metrics.Registry
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/.
+	EnablePprof bool
+	// SlowRequest, when > 0, logs any request slower than this through
+	// Logf, tagged with the request's trace ID (every instrumented
+	// response carries it in the X-Trace-Id header).
+	SlowRequest time.Duration
+	// WAL, when set, is surfaced in GET /stats: durability mode and
+	// what recovery replayed at boot (previously only logged).
+	WAL *WALInfo
+}
+
+// WALInfo is the operator-facing durability summary shown in GET
+// /stats. The command layer fills it from wal.Open's RecoveryStats so
+// serve stays decoupled from the wal package.
+type WALInfo struct {
+	// Mode is the fsync policy ("batch", "interval", "off").
+	Mode string `json:"mode"`
+	// Synchronous reports whether ingest barriers wait for stable
+	// storage (false when fsync is off).
+	Synchronous bool        `json:"synchronous"`
+	Recovery    WALRecovery `json:"recovery"`
+}
+
+// WALRecovery mirrors wal.RecoveryStats for the /stats JSON.
+type WALRecovery struct {
+	Terms       int   `json:"terms"`
+	Checkpoints int   `json:"checkpoints"`
+	Records     int   `json:"records"`
+	Skipped     int   `json:"skipped"`
+	Bytes       int64 `json:"bytes"`
+	TornBytes   int64 `json:"tornBytes"`
+	DurationMs  int64 `json:"durationMs"`
 }
 
 // DurabilityBarrier is the slice of the WAL store the server needs
@@ -60,10 +104,19 @@ type Server struct {
 	d    incr.Engine
 	opts Options
 	mux  *http.ServeMux
+	met  *serverMetrics
 	// refreshing is the single-flight latch for background refreshes;
 	// refreshQueued remembers a batch that arrived mid-refresh.
 	refreshing    atomic.Bool
 	refreshQueued atomic.Bool
+}
+
+// serverMetrics is the per-endpoint HTTP instrumentation family set.
+type serverMetrics struct {
+	requests *metrics.CounterVec   // endpoint, code
+	latency  *metrics.HistogramVec // endpoint
+	inFlight *metrics.GaugeVec     // endpoint
+	slow     *metrics.CounterVec   // endpoint
 }
 
 // New returns a handler serving d.
@@ -78,12 +131,154 @@ func New(d incr.Engine, opts Options) *Server {
 		opts.Logf = log.Printf
 	}
 	s := &Server{d: d, opts: opts, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /{$}", s.handleIndex)
-	s.mux.HandleFunc("POST /triples", s.handleTriples)
-	s.mux.HandleFunc("GET /sigma", s.handleSigma)
-	s.mux.HandleFunc("GET /refine", s.handleRefine)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	if reg := opts.Metrics; reg != nil {
+		s.met = &serverMetrics{
+			requests: reg.CounterVec("rdf_http_requests_total",
+				"HTTP requests served, by endpoint and status code.", "endpoint", "code"),
+			latency: reg.HistogramVec("rdf_http_request_seconds",
+				"HTTP request latency, by endpoint.", metrics.DefLatencyBuckets, "endpoint"),
+			inFlight: reg.GaugeVec("rdf_http_in_flight",
+				"Requests currently being served, by endpoint.", "endpoint"),
+			slow: reg.CounterVec("rdf_http_slow_requests_total",
+				"Requests slower than the -slow-request threshold, by endpoint.", "endpoint"),
+		}
+		// Refine staleness: how many epochs the live dataset has
+		// advanced past the snapshot the current refinement was computed
+		// on — the "is the background refiner keeping up" signal. With a
+		// refiner but no result yet, everything is stale (the full
+		// epoch); without a refiner the series reads 0.
+		reg.GaugeFunc("rdf_refine_staleness_epochs",
+			"Epochs the live dataset is ahead of the last refinement's snapshot.",
+			s.refineStaleness)
+		reg.AttachCounter("rdf_sigma_signature_scans_total",
+			"Full signature-list scans by the pairwise closed forms (process-wide).",
+			rules.SignatureScanCounter())
+		reg.AttachCounter("rdf_refine_restarts_total",
+			"Refinement local-search restarts executed (process-wide).",
+			refine.RestartCounter())
+	}
+	s.handle("GET /{$}", "index", s.handleIndex)
+	s.handle("POST /triples", "triples", s.handleTriples)
+	s.handle("GET /sigma", "sigma", s.handleSigma)
+	s.handle("GET /refine", "refine", s.handleRefine)
+	s.handle("GET /stats", "stats", s.handleStats)
+	if opts.Metrics != nil {
+		// The scrape itself is served unwrapped: scrapes polling at a
+		// fixed cadence would otherwise dominate the request histograms.
+		s.mux.Handle("GET /metrics", opts.Metrics.Handler())
+	}
+	if opts.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// refineStaleness is the rdf_refine_staleness_epochs gauge read.
+func (s *Server) refineStaleness() float64 {
+	if s.opts.Refiner == nil {
+		return 0
+	}
+	epoch := s.d.Epoch()
+	last := s.opts.Refiner.Last()
+	if last == nil {
+		return float64(epoch)
+	}
+	if epoch <= last.Epoch {
+		return 0
+	}
+	return float64(epoch - last.Epoch)
+}
+
+// handle mounts a handler, wrapped with per-endpoint instrumentation
+// (and slow-request tracing) when configured.
+func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
+	if s.met == nil && s.opts.SlowRequest <= 0 {
+		s.mux.HandleFunc(pattern, h)
+		return
+	}
+	// Children are materialized once here so the request path never
+	// touches the vec maps (status-code children are the exception —
+	// cached for the dominant 200).
+	var (
+		latency  *metrics.Histogram
+		inFlight *metrics.Gauge
+		slow     *metrics.Counter
+		ok200    *metrics.Counter
+	)
+	if s.met != nil {
+		latency = s.met.latency.With(endpoint)
+		inFlight = s.met.inFlight.With(endpoint)
+		slow = s.met.slow.With(endpoint)
+		ok200 = s.met.requests.With(endpoint, "200")
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		trace := newTraceID()
+		w.Header().Set("X-Trace-Id", trace)
+		if inFlight != nil {
+			inFlight.Add(1)
+			defer inFlight.Add(-1)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		h(sw, r)
+		elapsed := time.Since(t0)
+		if s.met != nil {
+			latency.Observe(elapsed.Seconds())
+			if sw.status == http.StatusOK {
+				ok200.Inc()
+			} else {
+				s.met.requests.With(endpoint, strconv.Itoa(sw.status)).Inc()
+			}
+		}
+		if s.opts.SlowRequest > 0 && elapsed >= s.opts.SlowRequest {
+			if slow != nil {
+				slow.Inc()
+			}
+			s.opts.Logf("rdfserved: slow request trace=%s %s %s status=%d elapsed=%s",
+				trace, r.Method, r.URL.RequestURI(), sw.status, elapsed.Round(time.Microsecond))
+		}
+	})
+}
+
+// statusWriter captures the response status for the request counter's
+// code label.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// traceState seeds trace IDs: a per-process random base (wall clock at
+// init) mixed with an atomic sequence — unique within a process run
+// and unlikely to collide across restarts, at the cost of one atomic
+// add per request.
+var (
+	traceBase    = uint64(time.Now().UnixNano())
+	traceCounter atomic.Uint64
+)
+
+// newTraceID returns a 16-hex-digit request trace ID (splitmix64 over
+// base + sequence).
+func newTraceID() string {
+	z := traceBase + 0x9E3779B97F4A7C15*traceCounter.Add(1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	var b [16]byte
+	const hex = "0123456789abcdef"
+	for i := range b {
+		b[i] = hex[z>>60]
+		z <<= 4
+	}
+	return string(b[:])
 }
 
 // ServeHTTP implements http.Handler.
@@ -441,6 +636,55 @@ func refineResponse(snap *incr.Snapshot, fn, mode string, out *refine.Outcome) m
 	return resp
 }
 
+// balanceSummary describes one per-shard load distribution. Imbalance
+// is max/mean — 1 means perfectly even, 2 means the hottest shard
+// carries twice its fair share (the signal that a subject-hash skew is
+// eating the parallel-ingest speedup).
+type balanceSummary struct {
+	Min       int     `json:"min"`
+	Max       int     `json:"max"`
+	Mean      float64 `json:"mean"`
+	Imbalance float64 `json:"imbalance"`
+}
+
+func summarizeBalance(vals []int) balanceSummary {
+	if len(vals) == 0 {
+		return balanceSummary{}
+	}
+	b := balanceSummary{Min: vals[0], Max: vals[0]}
+	sum := 0
+	for _, v := range vals {
+		if v < b.Min {
+			b.Min = v
+		}
+		if v > b.Max {
+			b.Max = v
+		}
+		sum += v
+	}
+	b.Mean = float64(sum) / float64(len(vals))
+	if b.Mean > 0 {
+		b.Imbalance = float64(b.Max) / b.Mean
+	}
+	return b
+}
+
+// shardBalance condenses the per-shard breakdown into max/min/mean
+// imbalance summaries over subjects and triples, so an operator reads
+// skew at a glance instead of eyeballing the raw array.
+func shardBalance(per []incr.Stats) map[string]balanceSummary {
+	subjects := make([]int, len(per))
+	triples := make([]int, len(per))
+	for i, st := range per {
+		subjects[i] = st.Subjects
+		triples[i] = st.Triples
+	}
+	return map[string]balanceSummary{
+		"subjects": summarizeBalance(subjects),
+		"triples":  summarizeBalance(triples),
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]interface{}{}
 	if sh, ok := s.d.(*incr.Sharded); ok {
@@ -449,8 +693,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		merged, per := sh.StatsWithShards()
 		resp["stats"] = merged
 		resp["shards"] = per
+		resp["shardBalance"] = shardBalance(per)
 	} else {
 		resp["stats"] = s.d.Stats()
+	}
+	if s.opts.WAL != nil {
+		resp["wal"] = s.opts.WAL
 	}
 	if ref := s.opts.Refiner; ref != nil {
 		if last := ref.Last(); last != nil {

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/incr"
+	"repro/internal/metrics"
 	"repro/internal/rdf"
 	"repro/internal/term"
 )
@@ -100,6 +101,40 @@ type Options struct {
 	CheckpointInterval time.Duration
 	// Logf receives recovery and failure notices; nil discards.
 	Logf func(format string, args ...any)
+	// Metrics, when set, registers the store's durability
+	// instrumentation (fsync latency, group-commit batch size, record
+	// and byte counters, checkpoint/rotation counters) into the
+	// registry. At most one Store per registry.
+	Metrics *metrics.Registry
+}
+
+// walMetrics is the store's instrumentation; nil when no registry was
+// supplied (every update site is nil-checked, so the default path pays
+// one branch).
+type walMetrics struct {
+	fsync        *metrics.Histogram
+	flushRecords *metrics.Histogram
+	records      *metrics.Counter
+	bytes        *metrics.Counter
+	checkpoints  *metrics.Counter
+	rotations    *metrics.Counter
+}
+
+func registerWALMetrics(reg *metrics.Registry) *walMetrics {
+	return &walMetrics{
+		fsync: reg.Histogram("rdf_wal_fsync_seconds",
+			"Latency of WAL file fsyncs (dictionary log and shard segments).", metrics.DefLatencyBuckets),
+		flushRecords: reg.Histogram("rdf_wal_flush_records",
+			"WAL records drained per group-commit flush cycle (cycles that flushed at least one).", metrics.DefSizeBuckets),
+		records: reg.Counter("rdf_wal_records_total",
+			"WAL batch records written across all shards."),
+		bytes: reg.Counter("rdf_wal_bytes_total",
+			"Bytes appended to the WAL (shard segments plus dictionary log)."),
+		checkpoints: reg.Counter("rdf_wal_checkpoints_total",
+			"Shard checkpoints written."),
+		rotations: reg.Counter("rdf_wal_segment_rotations_total",
+			"WAL segment rotations (one per shard checkpoint)."),
+	}
 }
 
 // RecoveryStats summarizes what Open replayed.
@@ -167,6 +202,10 @@ type Store struct {
 
 	closeOnce sync.Once
 	closeErr  error
+
+	// met is the optional instrumentation (Options.Metrics); nil-checked
+	// at every update site.
+	met *walMetrics
 
 	// testAfterFlush, when non-nil, runs inside Checkpoint between the
 	// flush cycle and the per-shard exports — the window where freshly
@@ -245,6 +284,9 @@ func Open(dir string, dict *term.Dict, shards []*incr.Dataset, opts Options) (*S
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.durable = make([]uint64, len(shards))
+	if opts.Metrics != nil {
+		s.met = registerWALMetrics(opts.Metrics)
+	}
 
 	start := time.Now()
 	if err := s.fs.MkdirAll(dir); err != nil {
@@ -671,25 +713,46 @@ func (s *Store) flushCycleLocked(sync bool) error {
 			if _, err := l.f.Write(chunks[i].buf); err != nil {
 				return fmt.Errorf("wal: write shard %d segment: %w", i, err)
 			}
+			if s.met != nil {
+				s.met.bytes.Add(int64(len(chunks[i].buf)))
+			}
 			l.unsynced = true
 		}
 		if sync && l.unsynced {
-			if err := l.f.Sync(); err != nil {
+			if err := s.timedSync(l.f); err != nil {
 				return fmt.Errorf("wal: sync shard %d segment: %w", i, err)
 			}
 			l.unsynced = false
 		}
 	}
 
+	var cycleRecords int64
 	s.mu.Lock()
 	for i := range s.logs {
 		if chunks[i].lsn > s.durable[i] {
+			cycleRecords += int64(chunks[i].lsn - s.durable[i])
 			s.durable[i] = chunks[i].lsn
 		}
 	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
+	if s.met != nil && cycleRecords > 0 {
+		s.met.records.Add(cycleRecords)
+		s.met.flushRecords.Observe(float64(cycleRecords))
+	}
 	return nil
+}
+
+// timedSync fsyncs f, feeding the fsync-latency histogram when
+// instrumentation is on.
+func (s *Store) timedSync(f File) error {
+	if s.met == nil {
+		return f.Sync()
+	}
+	t0 := time.Now()
+	err := f.Sync()
+	s.met.fsync.Observe(time.Since(t0).Seconds())
+	return err
 }
 
 // flushDictLocked appends the dictionary delta up to dict.Len() and,
@@ -703,11 +766,14 @@ func (s *Store) flushDictLocked(sync bool) error {
 		if _, err := s.dictF.Write(frame); err != nil {
 			return fmt.Errorf("wal: write %s: %w", dictName, err)
 		}
+		if s.met != nil {
+			s.met.bytes.Add(int64(len(frame)))
+		}
 		s.dictWritten += len(terms)
 		s.dictUnsynced = true
 	}
 	if sync && s.dictUnsynced {
-		if err := s.dictF.Sync(); err != nil {
+		if err := s.timedSync(s.dictF); err != nil {
 			return fmt.Errorf("wal: sync %s: %w", dictName, err)
 		}
 		s.dictUnsynced = false
@@ -823,6 +889,9 @@ func (s *Store) checkpointShardLocked(i int) error {
 	}
 	l.f = f
 	l.unsynced = false
+	if s.met != nil {
+		s.met.rotations.Inc()
+	}
 
 	st := s.shards[i].ExportCheckpoint()
 	// The export can capture batches applied after this cycle's
@@ -838,6 +907,9 @@ func (s *Store) checkpointShardLocked(i int) error {
 	}
 	if err := writeCheckpoint(s.fs, l.dir, st); err != nil {
 		return err
+	}
+	if s.met != nil {
+		s.met.checkpoints.Inc()
 	}
 
 	// The checkpoint covers every record in the pre-rotation segments.
