@@ -10,6 +10,7 @@
 //
 //	rdfload -addr http://localhost:8077 -duration 30s -workers 16
 //	rdfload -reads 70 -writes 25 -refines 5 -batch 50 -out BENCH_serve.json
+//	rdfload -burst 4 -slow-clients 8 -cache-probe 30 -out BENCH_protect.json
 //
 // Operations:
 //
@@ -21,6 +22,19 @@
 // spaces (-subjects, -props, -objects), so the signature view keeps a
 // realistic overlap structure instead of degenerating to one sort or
 // one-subject-per-triple.
+//
+// Overload mode (-burst N > 1) runs three phases instead of one steady
+// window: a warm phase at -workers to establish a baseline, a burst
+// phase at N×-workers to overrun the server's admission capacity, and
+// a recovery phase back at -workers. The artifact then carries the
+// graceful-degradation evidence: shed counts (429s, which are correct
+// behavior under overload and never counted as errors), 429s missing
+// their Retry-After header, 5xx counts, per-phase summaries, and the
+// recovery-to-warm p99 ratio. -slow-clients adds trickle-body writers
+// during the burst (slowloris-shaped pressure) and -chaos-stop-pid
+// SIGSTOPs the server mid-burst to prove clients shed instead of
+// hanging. -cache-probe measures the epoch-keyed /sigma cache after
+// the run: repeated same-epoch reads vs nocache=1 bypasses.
 package main
 
 import (
@@ -30,11 +44,13 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -49,17 +65,31 @@ const (
 
 var opNames = [numOps]string{"read", "write", "refine"}
 
-// sample is one completed request: which op, how long, and whether the
-// server answered 2xx.
+// sample is one completed request: which op, how long, the status the
+// server answered with (0 = transport error), and the overload
+// headers that the degradation contract is judged on.
 type sample struct {
-	op opKind
-	d  time.Duration
-	ok bool
+	op     opKind
+	d      time.Duration
+	status int
+	retry  bool   // Retry-After header present
+	cache  string // X-Cache header (reads/refines: hit, miss, stale, bypass)
+}
+
+// ok reports whether the request succeeded (2xx). Percentiles are
+// computed over these only, so shed requests don't pollute latency.
+func (s sample) ok() bool { return s.status >= 200 && s.status < 300 }
+
+// failed reports a real failure: a transport error or a non-429 error
+// status. A 429 is the server keeping its overload promise, not a
+// failure, so it lands in the shed tally instead of total_errors.
+func (s sample) failed() bool {
+	return s.status == 0 || (s.status >= 400 && s.status != http.StatusTooManyRequests)
 }
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8077", "rdfserved base URL")
-	duration := flag.Duration("duration", 10*time.Second, "measured run length (after priming)")
+	duration := flag.Duration("duration", 10*time.Second, "measured run length (per warm/recovery phase in -burst mode)")
 	workers := flag.Int("workers", 8, "concurrent closed-loop workers")
 	reads := flag.Int("reads", 80, "relative weight of σ reads")
 	writes := flag.Int("writes", 15, "relative weight of triple-batch writes")
@@ -72,6 +102,13 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	out := flag.String("out", "BENCH_serve.json", "JSON artifact path (empty = stdout only)")
+	burst := flag.Int("burst", 0, "overload mode: burst-phase worker multiplier (0 or 1 = single steady run)")
+	burstDuration := flag.Duration("burst-duration", 0, "burst phase length (0 = -duration)")
+	slowClients := flag.Int("slow-clients", 0, "trickle-body writers running alongside the burst phase")
+	chaosPid := flag.Int("chaos-stop-pid", 0, "PID to SIGSTOP mid-burst and SIGCONT after -chaos-stop (0 = off)")
+	chaosStop := flag.Duration("chaos-stop", 2*time.Second, "how long the mid-burst SIGSTOP holds the server frozen")
+	cacheProbe := flag.Int("cache-probe", 0, "post-run probe: N same-epoch /sigma reads vs N nocache=1 bypasses")
+	probeFn := flag.String("probe-fn", "cov", "σ measure the cache probe reads (use a snapshot-evaluated fn, e.g. dep[p1,p2] on a -no-pair-counts server, to expose the cache win)")
 	flag.Parse()
 
 	total := *reads + *writes + *refines
@@ -84,63 +121,76 @@ func main() {
 		os.Exit(1)
 	}
 	client := &http.Client{Timeout: *timeout}
+	cfg := &runConfig{
+		addr: *addr, client: client, mixTotal: total,
+		reads: *reads, writes: *writes, batch: *batch, theta: *theta,
+		seed: *seed, subjects: *subjects, props: *props, objects: *objects,
+	}
 
 	// Prime outside the measured window: one write so σ and refine
 	// requests never hit an empty dataset, and a fail-fast reachability
 	// check before spinning up workers.
 	prime := newWorkload(*seed, *subjects, *props, *objects)
-	if _, ok := doWrite(client, *addr, prime, *batch); !ok {
-		fmt.Fprintf(os.Stderr, "rdfload: cannot reach %s (priming write failed)\n", *addr)
+	if s := doWrite(client, *addr, prime, *batch); !s.ok() {
+		fmt.Fprintf(os.Stderr, "rdfload: cannot reach %s (priming write failed, status %d)\n", *addr, s.status)
 		os.Exit(1)
 	}
 
-	deadline := time.Now().Add(*duration)
-	perWorker := make([][]sample, *workers)
-	var wg sync.WaitGroup
-	for w := 0; w < *workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			wl := newWorkload(*seed+int64(w)+1, *subjects, *props, *objects)
-			var samples []sample
-			for time.Now().Before(deadline) {
-				var (
-					op  opKind
-					d   time.Duration
-					ok  bool
-					die = wl.rng.Intn(total)
-				)
-				switch {
-				case die < *reads:
-					op = opRead
-					d, ok = doGet(client, *addr+"/sigma?fn=cov")
-				case die < *reads+*writes:
-					op = opWrite
-					d, ok = doWrite(client, *addr, wl, *batch)
-				default:
-					op = opRefine
-					d, ok = doGet(client, fmt.Sprintf(
-						"%s/refine?fn=cov&mode=lowestk&theta=%g&engine=heuristic&workers=1", *addr, *theta))
-				}
-				samples = append(samples, sample{op, d, ok})
-			}
-			perWorker[w] = samples
-		}(w)
+	var phases []phaseResult
+	if *burst > 1 {
+		bd := *burstDuration
+		if bd <= 0 {
+			bd = *duration
+		}
+		fmt.Printf("rdfload: overload mode — warm %s ×%d, burst %s ×%d, recovery %s ×%d\n",
+			*duration, *workers, bd, *burst**workers, *duration, *workers)
+		phases = append(phases, runPhase(cfg, "warm", *workers, *duration))
+		burstPh := make(chan phaseResult, 1)
+		var slow slowResult
+		var slowWG sync.WaitGroup
+		go func() { burstPh <- runPhase(cfg, "burst", *burst**workers, bd) }()
+		if *slowClients > 0 {
+			slowWG.Add(1)
+			go func() { defer slowWG.Done(); slow = runSlowClients(cfg, *slowClients, bd) }()
+		}
+		if *chaosPid > 0 {
+			go chaosStopCont(*chaosPid, bd/2, *chaosStop)
+		}
+		p := <-burstPh
+		slowWG.Wait()
+		p.slow = slow
+		phases = append(phases, p)
+		phases = append(phases, runPhase(cfg, "recovery", *workers, *duration))
+	} else {
+		phases = append(phases, runPhase(cfg, "steady", *workers, *duration))
 	}
-	wg.Wait()
 
-	report := summarize(perWorker, *duration, *workers,
+	report := summarize(phases, *workers,
 		map[string]int{"reads": *reads, "writes": *writes, "refines": *refines}, *addr)
-	fmt.Printf("rdfload: %d requests in %s (%d workers, mix r%d/w%d/f%d)\n",
-		report.TotalRequests, duration, *workers, *reads, *writes, *refines)
+	if *cacheProbe > 0 {
+		report.CacheProbe = probeCache(client, *addr, *probeFn, *cacheProbe)
+	}
+
+	fmt.Printf("rdfload: %d requests (%d workers, mix r%d/w%d/f%d): ok=%d shed=%d err=%d 5xx=%d\n",
+		report.TotalRequests, *workers, *reads, *writes, *refines,
+		report.TotalRequests-report.Shed-report.TotalErrors, report.Shed, report.TotalErrors, report.Server5xx)
 	for _, name := range []string{"read", "write", "refine"} {
 		ep, ok := report.Endpoints[name]
 		if !ok {
 			continue
 		}
-		fmt.Printf("  %-7s n=%-7d err=%-4d rps=%-8.1f p50=%-10s p90=%-10s p99=%-10s max=%s\n",
-			name, ep.Count, ep.Errors, ep.RPS,
+		fmt.Printf("  %-7s n=%-7d err=%-4d shed=%-5d rps=%-8.1f p50=%-10s p90=%-10s p99=%-10s max=%s\n",
+			name, ep.Count, ep.Errors, ep.Shed, ep.RPS,
 			time.Duration(ep.P50Ns), time.Duration(ep.P90Ns), time.Duration(ep.P99Ns), time.Duration(ep.MaxNs))
+	}
+	if report.RecoveryP99Ratio > 0 {
+		fmt.Printf("  recovery read p99 = %.2f× warm baseline\n", report.RecoveryP99Ratio)
+	}
+	if report.CacheProbe != nil {
+		fmt.Printf("  cache probe: hit_ratio=%.2f cached p50=%s nocache p50=%s speedup=%.2fx\n",
+			report.CacheProbe.HitRatio,
+			time.Duration(report.CacheProbe.CachedP50Ns), time.Duration(report.CacheProbe.NocacheP50Ns),
+			report.CacheProbe.Speedup)
 	}
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -160,10 +210,220 @@ func main() {
 		}
 		fmt.Printf("rdfload: wrote %s\n", *out)
 	}
-	if report.TotalRequests == report.TotalErrors {
-		fmt.Fprintln(os.Stderr, "rdfload: every request failed")
+	if report.TotalRequests == report.TotalErrors+report.Shed {
+		fmt.Fprintln(os.Stderr, "rdfload: no request succeeded")
 		os.Exit(1)
 	}
+}
+
+// runConfig carries the immutable knobs every phase and worker shares.
+type runConfig struct {
+	addr                     string
+	client                   *http.Client
+	mixTotal                 int
+	reads, writes, batch     int
+	theta                    float64
+	seed                     int64
+	subjects, props, objects int
+}
+
+// phaseResult is one phase's raw samples plus its identity; summaries
+// are derived later so the top-level endpoint stats can aggregate
+// across phases.
+type phaseResult struct {
+	name    string
+	workers int
+	dur     time.Duration
+	samples []sample
+	slow    slowResult
+}
+
+// runPhase spins up n closed-loop workers for dur and returns their
+// merged samples.
+func runPhase(cfg *runConfig, name string, n int, dur time.Duration) phaseResult {
+	deadline := time.Now().Add(dur)
+	perWorker := make([][]sample, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Seed folds in the phase name so warm and recovery workers
+			// don't replay identical streams.
+			wl := newWorkload(cfg.seed+int64(w)+int64(len(name))*7919+1, cfg.subjects, cfg.props, cfg.objects)
+			var samples []sample
+			for time.Now().Before(deadline) {
+				var s sample
+				die := wl.rng.Intn(cfg.mixTotal)
+				switch {
+				case die < cfg.reads:
+					s = doGet(cfg.client, cfg.addr+"/sigma?fn=cov")
+					s.op = opRead
+				case die < cfg.reads+cfg.writes:
+					s = doWrite(cfg.client, cfg.addr, wl, cfg.batch)
+				default:
+					s = doGet(cfg.client, fmt.Sprintf(
+						"%s/refine?fn=cov&mode=lowestk&theta=%g&engine=heuristic&workers=1", cfg.addr, cfg.theta))
+					s.op = opRefine
+				}
+				samples = append(samples, s)
+			}
+			perWorker[w] = samples
+		}(w)
+	}
+	wg.Wait()
+	var all []sample
+	for _, s := range perWorker {
+		all = append(all, s...)
+	}
+	return phaseResult{name: name, workers: n, dur: dur, samples: all}
+}
+
+// slowResult tallies the trickle-body writers: they exist to pressure
+// the server's read deadlines, so all that matters is how each attempt
+// ended.
+type slowResult struct {
+	Clients   int `json:"clients"`
+	Completed int `json:"completed"`
+	Shed      int `json:"shed"`
+	Errors    int `json:"errors"`
+}
+
+// trickleReader feeds a body a few bytes at a time, simulating a
+// client on a terrible link. The server's write deadline / read
+// timeout should cut it off rather than letting it park a worker.
+type trickleReader struct {
+	body  string
+	pos   int
+	chunk int
+	pause time.Duration
+}
+
+func (t *trickleReader) Read(p []byte) (int, error) {
+	if t.pos >= len(t.body) {
+		return 0, io.EOF
+	}
+	time.Sleep(t.pause)
+	end := t.pos + t.chunk
+	if end > len(t.body) {
+		end = len(t.body)
+	}
+	n := copy(p, t.body[t.pos:end])
+	t.pos += n
+	return n, nil
+}
+
+// runSlowClients drives n sequential trickle-body POSTs per client for
+// the burst window. Each body drips ~20 B every 100 ms, so a batch
+// takes far longer than a healthy request — the server must shed or
+// deadline it, never hang on it.
+func runSlowClients(cfg *runConfig, n int, dur time.Duration) slowResult {
+	deadline := time.Now().Add(dur)
+	results := make([]slowResult, n)
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			wl := newWorkload(cfg.seed+int64(c)+100003, cfg.subjects, cfg.props, cfg.objects)
+			// A dedicated client: the trickle intentionally outlives the
+			// normal per-request timeout.
+			slow := &http.Client{Timeout: dur + 30*time.Second}
+			r := results[c]
+			for time.Now().Before(deadline) {
+				body := &trickleReader{body: wl.batchBody(cfg.batch), chunk: 20, pause: 100 * time.Millisecond}
+				req, err := http.NewRequest(http.MethodPost, cfg.addr+"/triples", body)
+				if err != nil {
+					r.Errors++
+					continue
+				}
+				req.Header.Set("Content-Type", "text/plain")
+				resp, err := slow.Do(req)
+				if err != nil {
+					r.Errors++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode >= 200 && resp.StatusCode < 300:
+					r.Completed++
+				case resp.StatusCode == http.StatusTooManyRequests:
+					r.Shed++
+				default:
+					r.Errors++
+				}
+			}
+			results[c] = r
+		}(c)
+	}
+	wg.Wait()
+	agg := slowResult{Clients: n}
+	for _, r := range results {
+		agg.Completed += r.Completed
+		agg.Shed += r.Shed
+		agg.Errors += r.Errors
+	}
+	return agg
+}
+
+// chaosStopCont freezes the target process mid-burst with SIGSTOP and
+// resumes it with SIGCONT, simulating a GC stall / noisy neighbor.
+// Clients should shed or time out during the freeze and recover after
+// it — never wedge.
+func chaosStopCont(pid int, after, hold time.Duration) {
+	time.Sleep(after)
+	fmt.Printf("rdfload: chaos — SIGSTOP pid %d for %s\n", pid, hold)
+	if err := syscall.Kill(pid, syscall.SIGSTOP); err != nil {
+		fmt.Fprintf(os.Stderr, "rdfload: chaos SIGSTOP: %v\n", err)
+		return
+	}
+	time.Sleep(hold)
+	if err := syscall.Kill(pid, syscall.SIGCONT); err != nil {
+		fmt.Fprintf(os.Stderr, "rdfload: chaos SIGCONT: %v\n", err)
+		return
+	}
+	fmt.Printf("rdfload: chaos — SIGCONT pid %d\n", pid)
+}
+
+// probeCache measures the epoch-keyed /sigma cache with no concurrent
+// writes: n same-key reads (all but the first should be hits at one
+// epoch) against n nocache=1 bypasses that recompute every time. The
+// measured speedup depends on how the server evaluates fn: closed-form
+// measures (cov, sim with live counts) are already O(|P|), so the
+// cache only saves marshalling; snapshot-evaluated measures (dep on a
+// -no-pair-counts server) pay a full view scan per bypass.
+func probeCache(client *http.Client, addr, fn string, n int) *cacheProbeSummary {
+	base := addr + "/sigma?fn=" + url.QueryEscape(fn)
+	// Warm the entry so the hit path is what gets measured.
+	doGet(client, base)
+	var cached, bypass []time.Duration
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s := doGet(client, base); s.ok() {
+			cached = append(cached, s.d)
+			if s.cache == "hit" {
+				hits++
+			}
+		}
+		if s := doGet(client, base+"&nocache=1"); s.ok() {
+			bypass = append(bypass, s.d)
+		}
+	}
+	p := &cacheProbeSummary{Fn: fn, Samples: n}
+	if len(cached) > 0 {
+		sort.Slice(cached, func(i, j int) bool { return cached[i] < cached[j] })
+		p.HitRatio = float64(hits) / float64(len(cached))
+		p.CachedP50Ns = int64(quantile(cached, 0.50))
+	}
+	if len(bypass) > 0 {
+		sort.Slice(bypass, func(i, j int) bool { return bypass[i] < bypass[j] })
+		p.NocacheP50Ns = int64(quantile(bypass, 0.50))
+	}
+	if p.CachedP50Ns > 0 && p.NocacheP50Ns > 0 {
+		p.Speedup = float64(p.NocacheP50Ns) / float64(p.CachedP50Ns)
+	}
+	return p
 }
 
 // workload is a per-worker synthetic triple source with its own RNG,
@@ -189,34 +449,43 @@ func (w *workload) batchBody(n int) string {
 	return b.String()
 }
 
-func doGet(client *http.Client, url string) (time.Duration, bool) {
+func doGet(client *http.Client, url string) sample {
 	start := time.Now()
 	resp, err := client.Get(url)
 	if err != nil {
-		return time.Since(start), false
+		return sample{d: time.Since(start)}
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return time.Since(start), resp.StatusCode >= 200 && resp.StatusCode < 300
+	return sample{
+		d: time.Since(start), status: resp.StatusCode,
+		retry: resp.Header.Get("Retry-After") != "",
+		cache: resp.Header.Get("X-Cache"),
+	}
 }
 
-func doWrite(client *http.Client, addr string, wl *workload, batch int) (time.Duration, bool) {
+func doWrite(client *http.Client, addr string, wl *workload, batch int) sample {
 	body := wl.batchBody(batch)
 	start := time.Now()
 	resp, err := client.Post(addr+"/triples", "text/plain", strings.NewReader(body))
 	if err != nil {
-		return time.Since(start), false
+		return sample{op: opWrite, d: time.Since(start)}
 	}
 	_, _ = io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return time.Since(start), resp.StatusCode >= 200 && resp.StatusCode < 300
+	return sample{
+		op: opWrite, d: time.Since(start), status: resp.StatusCode,
+		retry: resp.Header.Get("Retry-After") != "",
+	}
 }
 
 // endpointSummary is the per-operation slice of the artifact. Latencies
-// are integer nanoseconds so jq-side comparisons need no float parsing.
+// are integer nanoseconds so jq-side comparisons need no float parsing;
+// percentiles cover successful (2xx) requests only.
 type endpointSummary struct {
 	Count  int     `json:"count"`
 	Errors int     `json:"errors"`
+	Shed   int     `json:"shed"`
 	RPS    float64 `json:"rps"`
 	MeanNs int64   `json:"mean_ns"`
 	P50Ns  int64   `json:"p50_ns"`
@@ -225,62 +494,180 @@ type endpointSummary struct {
 	MaxNs  int64   `json:"max_ns"`
 }
 
-// artifact mirrors the benchjson BENCH_*.json shape: run metadata up
-// front, then the measured series.
-type artifact struct {
-	Kind          string                     `json:"kind"`
-	Target        string                     `json:"target"`
-	GOOS          string                     `json:"goos"`
-	GOARCH        string                     `json:"goarch"`
-	NumCPU        int                        `json:"num_cpu"`
-	Timestamp     string                     `json:"timestamp"`
-	DurationSec   float64                    `json:"duration_sec"`
-	Workers       int                        `json:"workers"`
-	Mix           map[string]int             `json:"mix"`
-	Endpoints     map[string]endpointSummary `json:"endpoints"`
-	TotalRequests int                        `json:"total_requests"`
-	TotalErrors   int                        `json:"total_errors"`
+// phaseSummary is the per-phase slice of the artifact in burst mode.
+type phaseSummary struct {
+	Name        string      `json:"name"`
+	Workers     int         `json:"workers"`
+	DurationSec float64     `json:"duration_sec"`
+	Requests    int         `json:"requests"`
+	OK          int         `json:"ok"`
+	Shed        int         `json:"shed"`
+	Server5xx   int         `json:"server_5xx"`
+	Errors      int         `json:"errors"`
+	ReadP99Ns   int64       `json:"read_p99_ns"`
+	SlowClients *slowResult `json:"slow_clients,omitempty"`
 }
 
-func summarize(perWorker [][]sample, dur time.Duration, workers int, mix map[string]int, target string) artifact {
-	byOp := make([][]time.Duration, numOps)
-	errs := make([]int, numOps)
-	for _, samples := range perWorker {
-		for _, s := range samples {
-			byOp[s.op] = append(byOp[s.op], s.d)
-			if !s.ok {
-				errs[s.op]++
-			}
+// cacheSummary tallies X-Cache verdicts across every read/refine
+// response in the run.
+type cacheSummary struct {
+	Hits     int     `json:"hits"`
+	Misses   int     `json:"misses"`
+	Stale    int     `json:"stale"`
+	Bypass   int     `json:"bypass"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// cacheProbeSummary is the controlled post-run cache measurement.
+type cacheProbeSummary struct {
+	Fn           string  `json:"fn"`
+	Samples      int     `json:"samples"`
+	HitRatio     float64 `json:"hit_ratio"`
+	CachedP50Ns  int64   `json:"cached_p50_ns"`
+	NocacheP50Ns int64   `json:"nocache_p50_ns"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// artifact mirrors the benchjson BENCH_*.json shape: run metadata up
+// front, then the measured series. total_errors counts transport
+// failures and non-429 error statuses; shed (429) is reported
+// separately because it is the requested behavior under overload.
+type artifact struct {
+	Kind              string                     `json:"kind"`
+	Target            string                     `json:"target"`
+	GOOS              string                     `json:"goos"`
+	GOARCH            string                     `json:"goarch"`
+	NumCPU            int                        `json:"num_cpu"`
+	Timestamp         string                     `json:"timestamp"`
+	DurationSec       float64                    `json:"duration_sec"`
+	Workers           int                        `json:"workers"`
+	Mix               map[string]int             `json:"mix"`
+	Endpoints         map[string]endpointSummary `json:"endpoints"`
+	TotalRequests     int                        `json:"total_requests"`
+	TotalErrors       int                        `json:"total_errors"`
+	Shed              int                        `json:"shed"`
+	RetryAfterMissing int                        `json:"retry_after_missing"`
+	Server5xx         int                        `json:"server_5xx"`
+	Cache             cacheSummary               `json:"cache"`
+	Phases            []phaseSummary             `json:"phases,omitempty"`
+	RecoveryP99Ratio  float64                    `json:"recovery_p99_ratio,omitempty"`
+	CacheProbe        *cacheProbeSummary         `json:"cache_probe,omitempty"`
+}
+
+// readP99 extracts the successful-read p99 from one phase's samples.
+func readP99(samples []sample) int64 {
+	var lat []time.Duration
+	for _, s := range samples {
+		if s.op == opRead && s.ok() {
+			lat = append(lat, s.d)
 		}
 	}
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return int64(quantile(lat, 0.99))
+}
+
+func summarize(phases []phaseResult, workers int, mix map[string]int, target string) artifact {
 	a := artifact{
 		Kind: "serve_load", Target: target,
 		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(),
-		Timestamp:   time.Now().UTC().Format(time.RFC3339),
-		DurationSec: dur.Seconds(), Workers: workers, Mix: mix,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Workers:   workers, Mix: mix,
 		Endpoints: make(map[string]endpointSummary),
 	}
+	byOp := make([][]time.Duration, numOps)
+	counts := make([]int, numOps)
+	errs := make([]int, numOps)
+	sheds := make([]int, numOps)
+	var totalDur time.Duration
+	for _, ph := range phases {
+		totalDur += ph.dur
+		ps := phaseSummary{
+			Name: ph.name, Workers: ph.workers, DurationSec: ph.dur.Seconds(),
+			Requests: len(ph.samples), ReadP99Ns: readP99(ph.samples),
+		}
+		if ph.slow.Clients > 0 {
+			slow := ph.slow
+			ps.SlowClients = &slow
+		}
+		for _, s := range ph.samples {
+			counts[s.op]++
+			switch {
+			case s.ok():
+				ps.OK++
+				byOp[s.op] = append(byOp[s.op], s.d)
+			case s.status == http.StatusTooManyRequests:
+				ps.Shed++
+				sheds[s.op]++
+				a.Shed++
+				if !s.retry {
+					a.RetryAfterMissing++
+				}
+			default:
+				ps.Errors++
+				errs[s.op]++
+				if s.status >= 500 {
+					ps.Server5xx++
+					a.Server5xx++
+				}
+			}
+			switch s.cache {
+			case "hit":
+				a.Cache.Hits++
+			case "miss":
+				a.Cache.Misses++
+			case "stale":
+				a.Cache.Stale++
+			case "bypass":
+				a.Cache.Bypass++
+			}
+		}
+		a.Phases = append(a.Phases, ps)
+	}
+	a.DurationSec = totalDur.Seconds()
+	if seen := a.Cache.Hits + a.Cache.Misses + a.Cache.Stale; seen > 0 {
+		a.Cache.HitRatio = float64(a.Cache.Hits) / float64(seen)
+	}
 	for op := opKind(0); op < numOps; op++ {
-		lat := byOp[op]
-		if len(lat) == 0 {
+		if counts[op] == 0 {
 			continue
 		}
+		lat := byOp[op]
 		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 		var sum time.Duration
 		for _, d := range lat {
 			sum += d
 		}
-		a.Endpoints[opNames[op]] = endpointSummary{
-			Count: len(lat), Errors: errs[op],
-			RPS:    float64(len(lat)) / dur.Seconds(),
-			MeanNs: int64(sum) / int64(len(lat)),
-			P50Ns:  int64(quantile(lat, 0.50)),
-			P90Ns:  int64(quantile(lat, 0.90)),
-			P99Ns:  int64(quantile(lat, 0.99)),
-			MaxNs:  int64(lat[len(lat)-1]),
+		ep := endpointSummary{
+			Count: counts[op], Errors: errs[op], Shed: sheds[op],
+			RPS: float64(counts[op]) / totalDur.Seconds(),
 		}
-		a.TotalRequests += len(lat)
+		if len(lat) > 0 {
+			ep.MeanNs = int64(sum) / int64(len(lat))
+			ep.P50Ns = int64(quantile(lat, 0.50))
+			ep.P90Ns = int64(quantile(lat, 0.90))
+			ep.P99Ns = int64(quantile(lat, 0.99))
+			ep.MaxNs = int64(lat[len(lat)-1])
+		}
+		a.Endpoints[opNames[op]] = ep
+		a.TotalRequests += counts[op]
 		a.TotalErrors += errs[op]
+	}
+	// Recovery ratio: how far the post-burst read p99 sits from the
+	// warm baseline. Only meaningful in burst mode.
+	var warm, rec int64
+	for _, ps := range a.Phases {
+		switch ps.Name {
+		case "warm":
+			warm = ps.ReadP99Ns
+		case "recovery":
+			rec = ps.ReadP99Ns
+		}
+	}
+	if warm > 0 && rec > 0 {
+		a.RecoveryP99Ratio = float64(rec) / float64(warm)
 	}
 	return a
 }

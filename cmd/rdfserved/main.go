@@ -51,6 +51,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/incr"
 	"repro/internal/metrics"
+	"repro/internal/protect"
 	"repro/internal/rdf"
 	"repro/internal/refine"
 	"repro/internal/serve"
@@ -62,6 +63,7 @@ func main() {
 	in := flag.String("in", "", "preload an N-Triples (.nt) or Turtle (.ttl) file")
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "subject-hash ingest shards (1 = the single-dataset engine)")
 	keepSubjects := flag.Bool("keep-subjects", false, "retain subject URIs per signature in snapshots")
+	noPairCounts := flag.Bool("no-pair-counts", false, "disable the O(|P|²) live pair-count tracker; dep/symdep reads fall back to snapshot evaluation")
 	ignore := flag.String("ignore", "", "comma-separated predicate URIs to exclude from the view (rdf:type always is)")
 	autoRefine := flag.Bool("auto-refine", false, "re-refine in the background when σ drifts")
 	fnName := flag.String("fn", "cov", "measure for auto-refinement: cov, sim, dep[p1,p2], symdep[p1,p2]")
@@ -78,10 +80,33 @@ func main() {
 	enableMetrics := flag.Bool("metrics", true, "serve Prometheus text metrics on GET /metrics")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof profiles under GET /debug/pprof/")
 	slowRequest := flag.Duration("slow-request", time.Second, "log requests slower than this with their trace ID (0 = never)")
+	// Overload protection. Gate defaults scale with the core count —
+	// reads are cheap (many slots), writes contend on shard locks and
+	// the WAL (fewer), refinements burn whole cores (fewest).
+	ncpu := runtime.GOMAXPROCS(0)
+	readLimit := flag.Int("read-limit", 8*ncpu, "max concurrent /sigma requests (0 = unlimited)")
+	readQueue := flag.Int("read-queue", 16*ncpu, "max queued /sigma requests before shedding 429")
+	writeLimit := flag.Int("write-limit", 2*ncpu, "max concurrent /triples requests (0 = unlimited)")
+	writeQueue := flag.Int("write-queue", 4*ncpu, "max queued /triples requests before shedding 429")
+	refineLimit := flag.Int("refine-limit", max(1, ncpu/2), "max concurrent /refine requests (0 = unlimited)")
+	refineQueue := flag.Int("refine-queue", ncpu, "max queued /refine requests before shedding 429")
+	admitWait := flag.Duration("admit-wait", 2*time.Second, "max time a queued request waits for an admission slot (0 = the request's own deadline)")
+	writeDeadline := flag.Duration("write-deadline", 30*time.Second, "end-to-end budget for one POST /triples (body read, apply, fsync barrier; 0 = unbounded)")
+	maxBacklogMB := flag.Int64("max-backlog-mb", 64, "WAL group-commit backlog bound in MiB; ingest blocks (then sheds) past it (0 = unbounded)")
+	sigmaCache := flag.Int("sigma-cache", 256, "epoch-keyed /sigma response cache entries (negative = disabled)")
+	refineCache := flag.Int("refine-cache", 64, "epoch-keyed /refine response cache entries (negative = disabled)")
+	refineSWR := flag.Bool("refine-swr", true, "serve stale cached /refine results (flagged, with epochs) while revalidating in the background")
+	// Connection hygiene: without these a slowloris client parks
+	// connections forever.
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "http.Server ReadTimeout (covers slow request bodies)")
+	writeTimeout := flag.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
 	flag.Parse()
 
 	var opts incr.Options
 	opts.KeepSubjects = *keepSubjects
+	opts.DisablePairCounts = *noPairCounts
 	if *ignore != "" {
 		for _, p := range strings.Split(*ignore, ",") {
 			if p = strings.TrimSpace(p); p != "" {
@@ -165,14 +190,25 @@ func main() {
 	// the listener has closed.
 	cancelRefine := make(chan struct{})
 	srvOpts := serve.Options{
-		MaxBodyBytes: *maxBodyMB << 20,
-		Metrics:      reg,
-		EnablePprof:  *enablePprof,
-		SlowRequest:  *slowRequest,
-		WAL:          walInfo,
+		MaxBodyBytes:    *maxBodyMB << 20,
+		Metrics:         reg,
+		EnablePprof:     *enablePprof,
+		SlowRequest:     *slowRequest,
+		WAL:             walInfo,
+		WriteDeadline:   *writeDeadline,
+		SigmaCacheSize:  *sigmaCache,
+		RefineCacheSize: *refineCache,
+		RefineSWR:       *refineSWR,
+		Protect: protect.NewLimiter(protect.Limits{
+			Read:   protect.GateConfig{Limit: *readLimit, Queue: *readQueue, MaxWait: *admitWait},
+			Write:  protect.GateConfig{Limit: *writeLimit, Queue: *writeQueue, MaxWait: *admitWait},
+			Refine: protect.GateConfig{Limit: *refineLimit, Queue: *refineQueue, MaxWait: *admitWait},
+		}),
 	}
 	if store != nil {
 		srvOpts.Durable = store
+		srvOpts.Backlog = store
+		srvOpts.MaxBacklogBytes = *maxBacklogMB << 20
 	}
 	if *autoRefine {
 		fn, rule, err := core.Builtin(*fnName)
@@ -198,7 +234,14 @@ func main() {
 		srvOpts.Refiner = incr.NewRefiner(d, ropts)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: serve.New(d, srvOpts)}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.New(d, srvOpts),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

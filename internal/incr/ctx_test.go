@@ -1,0 +1,57 @@
+package incr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// ntDoc builds an N-Triples document of n distinct triples.
+func ntDoc(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "<http://ctx/s%d> <http://ctx/p%d> <http://ctx/o> .\n", i, i%5)
+	}
+	return sb.String()
+}
+
+// TestAddNTriplesCtx: a live context behaves exactly like AddNTriples;
+// an already-expired context stops the stream early with ctx.Err()
+// while keeping what was applied.
+func TestAddNTriplesCtx(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			mk := func() Engine {
+				if shards == 1 {
+					return NewDataset(Options{})
+				}
+				return NewSharded(shards, Options{})
+			}
+			const n = 5000 // well past the context-check stride
+
+			e := mk()
+			added, err := e.AddNTriplesCtx(context.Background(), strings.NewReader(ntDoc(n)), 64)
+			if err != nil || added != n {
+				t.Fatalf("live ctx: added=%d err=%v, want %d nil", added, err, n)
+			}
+
+			e = mk()
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			added, err = e.AddNTriplesCtx(ctx, strings.NewReader(ntDoc(n)), 64)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("canceled ctx: err = %v, want context.Canceled", err)
+			}
+			if added >= n {
+				t.Fatalf("canceled ctx: added=%d, want an early stop before %d", added, n)
+			}
+			// The partial prefix is applied, not rolled back: the epoch
+			// reflects the batches that landed before the deadline.
+			if added > 0 && e.Epoch() == 0 {
+				t.Fatal("partial ingest applied nothing despite added > 0")
+			}
+		})
+	}
+}

@@ -24,6 +24,7 @@
 package incr
 
 import (
+	"context"
 	"io"
 	"sort"
 	"strconv"
@@ -218,6 +219,35 @@ func (d *Dataset) AddNTriples(r io.Reader, batchSize int) (added int, err error)
 	return d.AddStreamIDs(batchSize, func(emit func(rdf.IDTriple) error) error {
 		return rdf.ReadNTriplesIDs(r, d.Dict(), emit)
 	})
+}
+
+// AddNTriplesCtx is AddNTriples bounded by ctx (see Engine).
+func (d *Dataset) AddNTriplesCtx(ctx context.Context, r io.Reader, batchSize int) (added int, err error) {
+	return d.AddStreamIDs(batchSize, func(emit func(rdf.IDTriple) error) error {
+		return rdf.ReadNTriplesIDs(r, d.Dict(), ctxEmit(ctx, emit))
+	})
+}
+
+// ctxEmitStride is how many decoded triples pass between context
+// checks in AddNTriplesCtx — cheap enough to be noise, frequent enough
+// that a deadline stops a multi-gigabyte stream within microseconds.
+const ctxEmitStride = 512
+
+// ctxEmit wraps a decoder emit callback with a periodic context check
+// so streaming ingest honors request deadlines mid-body. The decoder
+// propagates the emit error unwrapped, so errors.Is(err, ctx.Err())
+// holds at the ingest surface.
+func ctxEmit(ctx context.Context, emit func(rdf.IDTriple) error) func(rdf.IDTriple) error {
+	n := 0
+	return func(it rdf.IDTriple) error {
+		n++
+		if n%ctxEmitStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		return emit(it)
+	}
 }
 
 // colsKey returns the canonical identity of a column set. Unlike

@@ -1,6 +1,7 @@
 package incr
 
 import (
+	"context"
 	"io"
 	"sort"
 	"strings"
@@ -25,6 +26,12 @@ type Engine interface {
 	AddStream(batchSize int, read func(emit func(rdf.Triple) error) error) (added int, err error)
 	AddStreamIDs(batchSize int, read func(emit func(rdf.IDTriple) error) error) (added int, err error)
 	AddNTriples(r io.Reader, batchSize int) (added int, err error)
+	// AddNTriplesCtx is AddNTriples bounded by ctx: the decode loop
+	// checks the context periodically and stops with ctx.Err() mid-
+	// stream (triples already applied stay applied and are reflected in
+	// added) — how the serving tier propagates request deadlines into a
+	// streaming ingest.
+	AddNTriplesCtx(ctx context.Context, r io.Reader, batchSize int) (added int, err error)
 	Dict() *term.Dict
 	Snapshot() *Snapshot
 	Sigma(fn rules.CountsFunc) rules.Ratio
@@ -274,6 +281,13 @@ func (s *Sharded) AddStreamIDs(batchSize int, read func(emit func(rdf.IDTriple) 
 func (s *Sharded) AddNTriples(r io.Reader, batchSize int) (added int, err error) {
 	return s.AddStreamIDs(batchSize, func(emit func(rdf.IDTriple) error) error {
 		return rdf.ReadNTriplesIDs(r, s.dict, emit)
+	})
+}
+
+// AddNTriplesCtx is AddNTriples bounded by ctx (see Engine).
+func (s *Sharded) AddNTriplesCtx(ctx context.Context, r io.Reader, batchSize int) (added int, err error) {
+	return s.AddStreamIDs(batchSize, func(emit func(rdf.IDTriple) error) error {
+		return rdf.ReadNTriplesIDs(r, s.dict, ctxEmit(ctx, emit))
 	})
 }
 

@@ -1,0 +1,133 @@
+package protect
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCacheEpochKeying: exact-epoch hit, any-other-epoch miss, and the
+// stale path still sees the old entry.
+func TestCacheEpochKeying(t *testing.T) {
+	c := NewCache(8)
+	if _, ok := c.Get("sigma?fn=cov", 1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("sigma?fn=cov", 1, "body@1")
+
+	v, ok := c.Get("sigma?fn=cov", 1)
+	if !ok || v.(string) != "body@1" {
+		t.Fatalf("same-epoch get = %v, %v", v, ok)
+	}
+	// Epoch advanced: the entry is a miss but remains for GetStale.
+	if _, ok := c.Get("sigma?fn=cov", 2); ok {
+		t.Fatal("hit for advanced epoch")
+	}
+	sv, sepoch, ok := c.GetStale("sigma?fn=cov")
+	if !ok || sv.(string) != "body@1" || sepoch != 1 {
+		t.Fatalf("stale get = %v, %d, %v", sv, sepoch, ok)
+	}
+
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Stale != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCachePutNewerWins: a Put at an older epoch never regresses an
+// entry that a faster computation already refreshed.
+func TestCachePutNewerWins(t *testing.T) {
+	c := NewCache(8)
+	c.Put("k", 5, "new")
+	c.Put("k", 3, "old") // slow loser of the compute race
+	v, ok := c.Get("k", 5)
+	if !ok || v.(string) != "new" {
+		t.Fatalf("get = %v, %v; older Put overwrote newer entry", v, ok)
+	}
+	c.Put("k", 7, "newer")
+	if v, ok := c.Get("k", 7); !ok || v.(string) != "newer" {
+		t.Fatalf("get = %v, %v", v, ok)
+	}
+}
+
+// TestCacheLRUEviction: the entry count never exceeds the bound and the
+// least recently used key is the one evicted.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1, "A")
+	c.Put("b", 1, "B")
+	c.Get("a", 1) // touch a so b is LRU
+	c.Put("c", 1, "C")
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, _, ok := c.GetStale("b"); ok {
+		t.Fatal("LRU entry b not evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k, 1); !ok {
+			t.Fatalf("entry %q evicted, want kept", k)
+		}
+	}
+}
+
+// TestCacheRefreshSingleFlight: only one refresh per key runs toward a
+// given epoch; a newer-epoch claim may supersede after release.
+func TestCacheRefreshSingleFlight(t *testing.T) {
+	c := NewCache(8)
+	if !c.BeginRefresh("k", 4) {
+		t.Fatal("first claim refused")
+	}
+	if c.BeginRefresh("k", 4) {
+		t.Fatal("duplicate claim admitted")
+	}
+	if c.BeginRefresh("k", 3) {
+		t.Fatal("older-epoch claim admitted during newer refresh")
+	}
+	if c.BeginRefresh("k2", 4) != true {
+		t.Fatal("other key blocked")
+	}
+	c.EndRefresh("k")
+	if !c.BeginRefresh("k", 5) {
+		t.Fatal("claim refused after release")
+	}
+	c.EndRefresh("k")
+	c.EndRefresh("k2")
+}
+
+// TestCacheConcurrent exercises all paths from many goroutines; run
+// with -race. Invariant checked: a Get hit at epoch e returns the value
+// that was Put at epoch e for that key.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", i%20)
+				epoch := uint64(i % 7)
+				c.Put(key, epoch, fmt.Sprintf("%s@%d", key, epoch))
+				if v, ok := c.Get(key, epoch); ok {
+					want := fmt.Sprintf("%s@%d", key, epoch)
+					got := v.(string)
+					// A racing Put at the same epoch writes the same
+					// value, so a hit must match exactly.
+					if got != want {
+						t.Errorf("get(%s,%d) = %q, want %q", key, epoch, got, want)
+						return
+					}
+				}
+				c.GetStale(key)
+				if c.BeginRefresh(key, epoch) {
+					c.EndRefresh(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("len = %d exceeds bound", c.Len())
+	}
+}

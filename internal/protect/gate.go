@@ -1,0 +1,281 @@
+// Package protect is the overload-protection layer for the serving
+// stack: request admission control (a concurrency-limited, queue-
+// bounded gate per endpoint class that sheds excess load instead of
+// accepting unbounded work) and an epoch-keyed response cache with a
+// stale-while-revalidate mode (internal/serve threads both through the
+// rdfserved request path).
+//
+// The design target is graceful degradation: under a write burst or a
+// refine storm the server's memory and goroutine count stay bounded —
+// at most Limit in-flight plus Queue waiting requests per class — and
+// everything beyond that is rejected immediately with a retry hint,
+// never accepted and then half-served. Shedding is loadable work the
+// client retries; falling over is not.
+package protect
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ErrShed is returned by Acquire when the gate's wait queue is full —
+// the request should be rejected immediately with a retry hint.
+var ErrShed = errors.New("admission queue full")
+
+// ErrWaitExpired is returned by Acquire when the request waited in the
+// queue until its context (or the gate's MaxWait) expired without a
+// slot freeing up.
+var ErrWaitExpired = errors.New("admission wait expired")
+
+// GateConfig sizes one admission gate.
+type GateConfig struct {
+	// Limit is the maximum number of concurrently admitted requests.
+	// Zero or negative disables the gate (everything is admitted).
+	Limit int
+	// Queue is the maximum number of requests allowed to wait for a
+	// slot; a request arriving with Limit in flight and Queue waiting
+	// is shed immediately (ErrShed). Zero means no waiting: the gate
+	// sheds as soon as Limit is reached.
+	Queue int
+	// MaxWait bounds the time a queued request waits for a slot before
+	// being shed (ErrWaitExpired); it composes with the request's own
+	// context deadline (whichever expires first). Zero means the
+	// request waits as long as its context allows.
+	MaxWait time.Duration
+}
+
+// gateMetrics is one gate's slice of the rdf_admission_* families; nil
+// when the limiter is not registered.
+type gateMetrics struct {
+	inFlight *metrics.Gauge
+	waiting  *metrics.Gauge
+	admitted *metrics.Counter
+	shedFull *metrics.Counter
+	shedWait *metrics.Counter
+	waitSec  *metrics.Histogram
+}
+
+// Gate is one concurrency-limited, queue-bounded admission gate. The
+// zero value is not usable; construct with NewGate. All methods are
+// safe for concurrent use.
+type Gate struct {
+	cfg GateConfig
+	// sem holds one token per admitted request; capacity is the
+	// concurrency limit. nil when the gate is disabled.
+	sem     chan struct{}
+	waiting atomic.Int64
+	met     *gateMetrics
+}
+
+// NewGate returns a gate for cfg. A non-positive Limit yields a
+// disabled gate whose Acquire always admits.
+func NewGate(cfg GateConfig) *Gate {
+	g := &Gate{cfg: cfg}
+	if cfg.Limit > 0 {
+		g.sem = make(chan struct{}, cfg.Limit)
+	}
+	return g
+}
+
+// Acquire admits the request or sheds it. On admission it returns a
+// release function that MUST be called exactly once when the request
+// finishes. On shed it returns ErrShed (queue full — reject now) or
+// ErrWaitExpired (queued, but the context or MaxWait expired first);
+// both mean "reply 429 with a retry hint".
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	if g.sem == nil {
+		return func() {}, nil
+	}
+	// Fast path: a free slot, no queuing.
+	select {
+	case g.sem <- struct{}{}:
+		return g.admitted(), nil
+	default:
+	}
+	if g.cfg.Queue <= 0 {
+		g.shed(false)
+		return nil, ErrShed
+	}
+	// Queue-bound check on the incremented value: at most Queue
+	// requests hold a wait ticket at once (the transient overshoot
+	// backs out immediately and is never admitted past the bound).
+	if g.waiting.Add(1) > int64(g.cfg.Queue) {
+		g.waiting.Add(-1)
+		g.shed(false)
+		return nil, ErrShed
+	}
+	if m := g.met; m != nil {
+		m.waiting.Add(1)
+	}
+	defer func() {
+		g.waiting.Add(-1)
+		if m := g.met; m != nil {
+			m.waiting.Add(-1)
+		}
+	}()
+	if g.cfg.MaxWait > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, g.cfg.MaxWait)
+		defer cancel()
+	}
+	start := time.Now()
+	select {
+	case g.sem <- struct{}{}:
+		if m := g.met; m != nil {
+			m.waitSec.Observe(time.Since(start).Seconds())
+		}
+		return g.admitted(), nil
+	case <-ctx.Done():
+		g.shed(true)
+		return nil, fmt.Errorf("%w: %v", ErrWaitExpired, ctx.Err())
+	}
+}
+
+// admitted records the admission and returns the release closure.
+func (g *Gate) admitted() func() {
+	if m := g.met; m != nil {
+		m.admitted.Inc()
+		m.inFlight.Add(1)
+	}
+	return func() {
+		<-g.sem
+		if m := g.met; m != nil {
+			m.inFlight.Add(-1)
+		}
+	}
+}
+
+func (g *Gate) shed(wait bool) {
+	if m := g.met; m == nil {
+	} else if wait {
+		m.shedWait.Inc()
+	} else {
+		m.shedFull.Inc()
+	}
+}
+
+// InFlight returns the number of currently admitted requests (0 for a
+// disabled gate).
+func (g *Gate) InFlight() int { return len(g.sem) }
+
+// Waiting returns the number of requests queued for a slot.
+func (g *Gate) Waiting() int { return int(g.waiting.Load()) }
+
+// Limit returns the configured concurrency limit (0 = disabled).
+func (g *Gate) Limit() int {
+	if g.sem == nil {
+		return 0
+	}
+	return g.cfg.Limit
+}
+
+// Class is an endpoint admission class: requests are gated by what
+// they cost, not by URL — cheap aggregate reads, mutating ingest
+// batches and refinement searches contend for different resources.
+type Class int
+
+// Classes.
+const (
+	// ClassRead covers cheap aggregate reads (/sigma).
+	ClassRead Class = iota
+	// ClassWrite covers mutating ingest (/triples).
+	ClassWrite
+	// ClassRefine covers refinement searches (/refine).
+	ClassRefine
+	numClasses
+)
+
+var classNames = [numClasses]string{"read", "write", "refine"}
+
+func (c Class) String() string {
+	if c < 0 || c >= numClasses {
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+	return classNames[c]
+}
+
+// Limits sizes the three per-class gates of a Limiter.
+type Limits struct {
+	Read, Write, Refine GateConfig
+}
+
+// Limiter is the per-class admission front of a server: one Gate per
+// endpoint class.
+type Limiter struct {
+	gates [numClasses]*Gate
+}
+
+// NewLimiter returns a limiter with one gate per class. A class with a
+// non-positive Limit is unprotected.
+func NewLimiter(l Limits) *Limiter {
+	return &Limiter{gates: [numClasses]*Gate{
+		ClassRead:   NewGate(l.Read),
+		ClassWrite:  NewGate(l.Write),
+		ClassRefine: NewGate(l.Refine),
+	}}
+}
+
+// Gate returns the class's gate.
+func (l *Limiter) Gate(c Class) *Gate { return l.gates[c] }
+
+// Acquire admits or sheds a request of class c (see Gate.Acquire).
+func (l *Limiter) Acquire(c Class, ctx context.Context) (func(), error) {
+	return l.gates[c].Acquire(ctx)
+}
+
+// GateStats is one gate's operator-facing occupancy summary.
+type GateStats struct {
+	Limit    int `json:"limit"`
+	Queue    int `json:"queue"`
+	InFlight int `json:"inFlight"`
+	Waiting  int `json:"waiting"`
+}
+
+// Stats returns per-class occupancy, keyed by class name — the
+// /stats admission section.
+func (l *Limiter) Stats() map[string]GateStats {
+	out := make(map[string]GateStats, numClasses)
+	for c, g := range l.gates {
+		out[Class(c).String()] = GateStats{
+			Limit: g.Limit(), Queue: g.cfg.Queue,
+			InFlight: g.InFlight(), Waiting: g.Waiting(),
+		}
+	}
+	return out
+}
+
+// Register registers the rdf_admission_* families into reg and wires
+// every gate's instrumentation. Children for every class (and shed
+// reason) are materialized immediately so the series appear in scrapes
+// at 0 before any traffic. At most one Limiter per registry.
+func (l *Limiter) Register(reg *metrics.Registry) {
+	limit := reg.GaugeVec("rdf_admission_limit",
+		"Configured admission concurrency limit, by endpoint class (0 = unlimited).", "class")
+	inFlight := reg.GaugeVec("rdf_admission_in_flight",
+		"Requests currently admitted past the gate, by endpoint class.", "class")
+	waiting := reg.GaugeVec("rdf_admission_waiting",
+		"Requests queued for an admission slot, by endpoint class.", "class")
+	admitted := reg.CounterVec("rdf_admission_admitted_total",
+		"Requests admitted past the gate, by endpoint class.", "class")
+	shed := reg.CounterVec("rdf_admission_shed_total",
+		"Requests shed by admission control, by endpoint class and reason (queue_full, wait_expired).", "class", "reason")
+	waitSec := reg.HistogramVec("rdf_admission_wait_seconds",
+		"Time queued requests waited for an admission slot, by endpoint class.", metrics.DefLatencyBuckets, "class")
+	for c, g := range l.gates {
+		name := Class(c).String()
+		limit.With(name).Set(int64(g.Limit()))
+		g.met = &gateMetrics{
+			inFlight: inFlight.With(name),
+			waiting:  waiting.With(name),
+			admitted: admitted.With(name),
+			shedFull: shed.With(name, "queue_full"),
+			shedWait: shed.With(name, "wait_expired"),
+			waitSec:  waitSec.With(name),
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package protect
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestGateLimitAndQueue: a gate with limit 2 / queue 1 admits two,
+// queues one, and sheds the fourth immediately.
+func TestGateLimitAndQueue(t *testing.T) {
+	g := NewGate(GateConfig{Limit: 2, Queue: 1})
+	r1, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InFlight(); got != 2 {
+		t.Fatalf("in-flight = %d, want 2", got)
+	}
+
+	// Third caller queues; give it time to enter the wait.
+	queued := make(chan error, 1)
+	go func() {
+		r3, err := g.Acquire(context.Background())
+		if err == nil {
+			defer r3()
+		}
+		queued <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Waiting() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g.Waiting() != 1 {
+		t.Fatalf("waiting = %d, want 1", g.Waiting())
+	}
+
+	// Fourth caller finds the queue full and is shed without blocking.
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("queue-full acquire: err = %v, want ErrShed", err)
+	}
+
+	// Releasing a slot admits the queued caller.
+	r1()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	r2()
+}
+
+// TestGateWaitExpired: a queued request whose context deadline passes
+// is shed with ErrWaitExpired.
+func TestGateWaitExpired(t *testing.T) {
+	g := NewGate(GateConfig{Limit: 1, Queue: 4})
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := g.Acquire(ctx); !errors.Is(err, ErrWaitExpired) {
+		t.Fatalf("err = %v, want ErrWaitExpired", err)
+	}
+}
+
+// TestGateMaxWait: the gate's own MaxWait sheds a queued request even
+// when the caller's context has no deadline.
+func TestGateMaxWait(t *testing.T) {
+	g := NewGate(GateConfig{Limit: 1, Queue: 4, MaxWait: 20 * time.Millisecond})
+	release, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	start := time.Now()
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrWaitExpired) {
+		t.Fatalf("err = %v, want ErrWaitExpired", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("MaxWait shed took %s", elapsed)
+	}
+}
+
+// TestGateDisabled: limit <= 0 admits everything.
+func TestGateDisabled(t *testing.T) {
+	g := NewGate(GateConfig{Limit: 0})
+	for i := 0; i < 100; i++ {
+		release, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer release()
+	}
+	if g.Limit() != 0 || g.InFlight() != 0 {
+		t.Fatalf("disabled gate reports limit=%d inFlight=%d", g.Limit(), g.InFlight())
+	}
+}
+
+// TestGateConcurrencyBound: under a storm of goroutines the number
+// concurrently inside the critical section never exceeds the limit,
+// and admitted + shed accounts for every attempt.
+func TestGateConcurrencyBound(t *testing.T) {
+	const limit, queue, attempts = 4, 8, 400
+	g := NewGate(GateConfig{Limit: limit, Queue: queue})
+	var inside, peak, admitted, shed atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := g.Acquire(context.Background())
+			if err != nil {
+				shed.Add(1)
+				return
+			}
+			n := inside.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+			inside.Add(-1)
+			admitted.Add(1)
+			release()
+		}()
+	}
+	wg.Wait()
+	if peak.Load() > limit {
+		t.Fatalf("concurrency peaked at %d, limit %d", peak.Load(), limit)
+	}
+	if got := admitted.Load() + shed.Load(); got != attempts {
+		t.Fatalf("admitted %d + shed %d != %d attempts", admitted.Load(), shed.Load(), attempts)
+	}
+	if g.InFlight() != 0 || g.Waiting() != 0 {
+		t.Fatalf("gate not drained: inFlight=%d waiting=%d", g.InFlight(), g.Waiting())
+	}
+}
+
+// TestLimiterRegister: registration materializes every class series at
+// zero and the tallies move with traffic.
+func TestLimiterRegister(t *testing.T) {
+	reg := metrics.NewRegistry()
+	l := NewLimiter(Limits{
+		Read:   GateConfig{Limit: 2, Queue: 2},
+		Write:  GateConfig{Limit: 1, Queue: 1},
+		Refine: GateConfig{Limit: 1},
+	})
+	l.Register(reg)
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`rdf_admission_limit{class="read"} 2`,
+		`rdf_admission_limit{class="write"} 1`,
+		`rdf_admission_limit{class="refine"} 1`,
+		`rdf_admission_in_flight{class="read"} 0`,
+		`rdf_admission_admitted_total{class="read"} 0`,
+		`rdf_admission_shed_total{class="read",reason="queue_full"} 0`,
+		`rdf_admission_shed_total{class="read",reason="wait_expired"} 0`,
+		`rdf_admission_wait_seconds_count{class="refine"} 0`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("scrape missing %q:\n%s", want, b.String())
+		}
+	}
+
+	release, err := l.Acquire(ClassWrite, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate write (limit 1, queue 1): one queued + one shed.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := l.Acquire(ClassWrite, ctx); !errors.Is(err, ErrWaitExpired) {
+		t.Fatalf("err = %v, want ErrWaitExpired", err)
+	}
+	release()
+
+	st := l.Stats()
+	if st["write"].Limit != 1 || st["write"].InFlight != 0 {
+		t.Fatalf("stats: %+v", st["write"])
+	}
+	b.Reset()
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`rdf_admission_admitted_total{class="write"} 1`,
+		`rdf_admission_shed_total{class="write",reason="wait_expired"} 1`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("scrape missing %q:\n%s", want, b.String())
+		}
+	}
+}

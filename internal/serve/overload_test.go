@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/incr"
+	"repro/internal/protect"
+	"repro/internal/wal"
+)
+
+// newOverloadServer builds the full protected stack: 4-shard engine,
+// real WAL with a group-commit window, admission gates sized small
+// enough that a test-scale burst overruns them, and backlog-bounded
+// ingest.
+func newOverloadServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	e := incr.NewSharded(4, incr.Options{})
+	store, _, err := wal.Open(t.TempDir(), e.Dict(), e.Shards(), wal.Options{
+		Mode: wal.SyncInterval, SyncInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	lim := protect.NewLimiter(protect.Limits{
+		Read:   protect.GateConfig{Limit: 4, Queue: 4, MaxWait: 50 * time.Millisecond},
+		Write:  protect.GateConfig{Limit: 2, Queue: 2, MaxWait: 50 * time.Millisecond},
+		Refine: protect.GateConfig{Limit: 1, Queue: 1, MaxWait: 50 * time.Millisecond},
+	})
+	ts := httptest.NewServer(New(e, Options{
+		Logf:            t.Logf,
+		Durable:         store,
+		Backlog:         store,
+		MaxBacklogBytes: 1 << 20,
+		WriteDeadline:   2 * time.Second,
+		Protect:         lim,
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestOverloadNeverFailsHard drives a 2× burst against the admission
+// capacity and asserts the graceful-degradation contract: every
+// response is 200 or 429, every 429 carries Retry-After, every worker
+// finishes (no shard-lock deadlock), and post-burst latency recovers
+// to within a bounded factor of the unloaded baseline.
+func TestOverloadNeverFailsHard(t *testing.T) {
+	ts := newOverloadServer(t)
+	seedTriples(t, ts.URL, 20)
+	client := ts.Client()
+	client.Timeout = 10 * time.Second
+
+	readOnce := func() (int, bool, time.Duration) {
+		t0 := time.Now()
+		resp, err := client.Get(ts.URL + "/sigma?fn=cov")
+		if err != nil {
+			t.Errorf("read: %v", err)
+			return 0, false, 0
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get("Retry-After") != "", time.Since(t0)
+	}
+
+	// Unloaded baseline p99 over serial reads (first one warms the
+	// cache).
+	var base []time.Duration
+	for i := 0; i < 30; i++ {
+		_, _, d := readOnce()
+		base = append(base, d)
+	}
+	sort.Slice(base, func(i, j int) bool { return base[i] < base[j] })
+	baseline := base[len(base)*99/100]
+
+	// Burst: 2× the read capacity (limit 4 + queue 4 → 16 concurrent
+	// readers) plus writers and refine traffic, long enough to overrun
+	// every gate.
+	var (
+		mu           sync.Mutex
+		statuses     = map[int]int{}
+		missingRetry int
+	)
+	record := func(code int, hasRetry bool) {
+		mu.Lock()
+		statuses[code]++
+		if code == http.StatusTooManyRequests && !hasRetry {
+			missingRetry++
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 16; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				code, hasRetry, _ := readOnce()
+				record(code, hasRetry)
+			}
+		}()
+	}
+	for wtr := 0; wtr < 6; wtr++ {
+		wg.Add(1)
+		go func(wtr int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				nt := fmt.Sprintf("<http://burst/w%d-s%d> <http://burst/p%d> <http://burst/o> .\n", wtr, i, i%5)
+				resp, err := client.Post(ts.URL+"/triples", "text/plain", strings.NewReader(nt))
+				if err != nil {
+					t.Errorf("write: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				hasRetry := resp.Header.Get("Retry-After") != ""
+				resp.Body.Close()
+				record(resp.StatusCode, hasRetry)
+			}
+		}(wtr)
+	}
+	for rf := 0; rf < 3; rf++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := client.Get(ts.URL + "/refine?fn=cov&mode=lowestk&theta=0.9&workers=1")
+				if err != nil {
+					t.Errorf("refine: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				hasRetry := resp.Header.Get("Retry-After") != ""
+				resp.Body.Close()
+				record(resp.StatusCode, hasRetry)
+			}
+		}()
+	}
+
+	// Every worker finishing is the no-deadlock assertion: a stuck
+	// shard lock or admission slot leak would park them past the
+	// test timeout.
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("burst workers did not finish — deadlock or admission slot leak")
+	}
+
+	for code := range statuses {
+		if code >= 500 {
+			t.Errorf("overload produced %d × %d — shedding must never 5xx", statuses[code], code)
+		}
+		if code != http.StatusOK && code != http.StatusTooManyRequests {
+			t.Errorf("unexpected status %d (×%d) under overload", code, statuses[code])
+		}
+	}
+	if missingRetry > 0 {
+		t.Errorf("%d × 429 without a Retry-After header", missingRetry)
+	}
+	if statuses[http.StatusOK] == 0 {
+		t.Error("no request succeeded during the burst")
+	}
+	t.Logf("burst statuses: %v (baseline p99 %s)", statuses, baseline)
+
+	// Recovery: with the burst gone, serial read p99 returns to within
+	// a bounded factor of baseline. The floor keeps the check meaningful
+	// on noisy CI hardware rather than flaking on microsecond baselines.
+	var rec []time.Duration
+	for i := 0; i < 30; i++ {
+		code, _, d := readOnce()
+		if code != http.StatusOK {
+			t.Fatalf("post-burst read status %d", code)
+		}
+		rec = append(rec, d)
+	}
+	sort.Slice(rec, func(i, j int) bool { return rec[i] < rec[j] })
+	recovered := rec[len(rec)*99/100]
+	bound := 3 * baseline
+	if floor := 50 * time.Millisecond; bound < floor {
+		bound = floor
+	}
+	if recovered > bound {
+		t.Errorf("post-burst p99 %s exceeds bound %s (baseline %s)", recovered, bound, baseline)
+	}
+}

@@ -1,0 +1,384 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/incr"
+	"repro/internal/protect"
+)
+
+func newTestServerOpts(t *testing.T, d incr.Engine, opts Options) *httptest.Server {
+	t.Helper()
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	ts := httptest.NewServer(New(d, opts))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// seedTriples posts n distinct subjects so σ reads have data.
+func seedTriples(t *testing.T, base string, n int) {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "<http://seed/s%d> <http://seed/p%d> <http://seed/o> .\n", i, i%3)
+	}
+	resp, err := http.Post(base+"/triples", "text/plain", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed: status %d", resp.StatusCode)
+	}
+}
+
+// get returns status, headers and decoded JSON body.
+func get(t *testing.T, url string) (int, http.Header, map[string]interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
+// TestAdmissionShed429: a request arriving with the class gate
+// saturated and no queue room is rejected 429 with the Retry-After
+// header and retryAfterSeconds body — the documented shed contract.
+func TestAdmissionShed429(t *testing.T) {
+	d := incr.NewDataset(incr.Options{})
+	lim := protect.NewLimiter(protect.Limits{
+		Read: protect.GateConfig{Limit: 1, Queue: 0},
+	})
+	ts := newTestServerOpts(t, d, Options{Protect: lim})
+	seedTriples(t, ts.URL, 5)
+
+	// Saturate the read gate from outside the HTTP path — deterministic,
+	// no racing goroutines.
+	release, err := lim.Acquire(protect.ClassRead, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, hdr, body := get(t, ts.URL+"/sigma")
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", status)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if ra, ok := body["retryAfterSeconds"].(float64); !ok || ra < 1 {
+		t.Fatalf("retryAfterSeconds = %v", body["retryAfterSeconds"])
+	}
+	release()
+
+	// With the slot free the same request is served.
+	if status, _, _ := get(t, ts.URL+"/sigma"); status != http.StatusOK {
+		t.Fatalf("after release: status = %d, want 200", status)
+	}
+	// Ungated endpoints answer even while the read gate is saturated.
+	release, _ = lim.Acquire(protect.ClassRead, context.Background())
+	defer release()
+	if status, _, _ := get(t, ts.URL+"/stats"); status != http.StatusOK {
+		t.Fatalf("/stats gated: status = %d", status)
+	}
+}
+
+// TestBodyTooLarge413: both ingest content types reject an over-limit
+// body with 413, not a 500 or an OOM.
+func TestBodyTooLarge413(t *testing.T) {
+	d := incr.NewDataset(incr.Options{})
+	ts := newTestServerOpts(t, d, Options{MaxBodyBytes: 512})
+
+	big := strings.Repeat("<http://big/s> <http://big/p> <http://big/o> .\n", 100)
+	resp, err := http.Post(ts.URL+"/triples", "text/plain", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("raw: status = %d, want 413", resp.StatusCode)
+	}
+
+	bigJSON := fmt.Sprintf(`{"add": [%q]}`, strings.Repeat("x", 1024))
+	resp, err = http.Post(ts.URL+"/triples", "application/json", strings.NewReader(bigJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("json: status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// fullBacklog is a BacklogWaiter stuck over its bound: AwaitBacklog
+// always times out against the context.
+type fullBacklog struct{}
+
+func (fullBacklog) AwaitBacklog(ctx context.Context, max int64) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+func (fullBacklog) PendingBytes() int64 { return 1 << 30 }
+
+// TestBacklogShed: an ingest request that cannot get under the WAL
+// backlog bound within its deadline is shed 429 before applying
+// anything.
+func TestBacklogShed(t *testing.T) {
+	d := incr.NewDataset(incr.Options{})
+	ts := newTestServerOpts(t, d, Options{
+		Backlog:         fullBacklog{},
+		MaxBacklogBytes: 1,
+		WriteDeadline:   50 * time.Millisecond,
+	})
+	resp, err := http.Post(ts.URL+"/triples", "text/plain",
+		strings.NewReader("<http://b/s> <http://b/p> <http://b/o> .\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if d.Epoch() != 0 {
+		t.Fatalf("epoch = %d: batch applied despite shed", d.Epoch())
+	}
+}
+
+// TestSigmaCacheEpochKeyed: repeated same-epoch reads hit the cache
+// with byte-identical bodies; any ingest invalidates by epoch advance;
+// nocache=1 bypasses.
+func TestSigmaCacheEpochKeyed(t *testing.T) {
+	d := incr.NewDataset(incr.Options{})
+	ts := newTestServerOpts(t, d, Options{})
+	seedTriples(t, ts.URL, 10)
+
+	readSigma := func() (string, string) {
+		resp, err := http.Get(ts.URL + "/sigma?fn=cov")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sigma: status %d: %s", resp.StatusCode, b)
+		}
+		return resp.Header.Get("X-Cache"), string(b)
+	}
+
+	v1, b1 := readSigma()
+	if v1 != "miss" {
+		t.Fatalf("first read X-Cache = %q, want miss", v1)
+	}
+	v2, b2 := readSigma()
+	if v2 != "hit" || b2 != b1 {
+		t.Fatalf("second read X-Cache = %q (bodies equal: %v), want hit + identical", v2, b2 == b1)
+	}
+
+	// Ingest advances the epoch: the cached entry is dead without any
+	// explicit invalidation.
+	seedTriples(t, ts.URL, 20)
+	v3, b3 := readSigma()
+	if v3 != "miss" || b3 == b1 {
+		t.Fatalf("post-ingest read X-Cache = %q (body changed: %v), want miss + changed", v3, b3 != b1)
+	}
+
+	resp, err := http.Get(ts.URL + "/sigma?fn=cov&nocache=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	xc := resp.Header.Get("X-Cache")
+	resp.Body.Close()
+	if xc != "bypass" {
+		t.Fatalf("nocache X-Cache = %q, want bypass", xc)
+	}
+}
+
+// TestRefineSWR: a refine read after an epoch advance is served the
+// previous result flagged stale with both epochs, while a background
+// revalidation converges the cache to a fresh hit.
+func TestRefineSWR(t *testing.T) {
+	d := incr.NewDataset(incr.Options{})
+	ts := newTestServerOpts(t, d, Options{RefineSWR: true})
+	seedTriples(t, ts.URL, 10)
+
+	refineURL := ts.URL + "/refine?fn=cov&mode=lowestk&theta=0.9&workers=1"
+	status, hdr, body := get(t, refineURL)
+	if status != http.StatusOK || hdr.Get("X-Cache") != "miss" {
+		t.Fatalf("first refine: status=%d X-Cache=%q", status, hdr.Get("X-Cache"))
+	}
+	firstEpoch := body["epoch"].(float64)
+
+	if status, hdr, _ = get(t, refineURL); status != http.StatusOK || hdr.Get("X-Cache") != "hit" {
+		t.Fatalf("second refine: status=%d X-Cache=%q, want hit", status, hdr.Get("X-Cache"))
+	}
+
+	seedTriples(t, ts.URL, 20)
+	status, hdr, body = get(t, refineURL)
+	if status != http.StatusOK || hdr.Get("X-Cache") != "stale" {
+		t.Fatalf("post-ingest refine: status=%d X-Cache=%q, want stale", status, hdr.Get("X-Cache"))
+	}
+	if body["stale"] != true {
+		t.Fatalf("stale response missing stale flag: %v", body)
+	}
+	if body["epoch"].(float64) != firstEpoch {
+		t.Fatalf("stale response epoch = %v, want the cached %v", body["epoch"], firstEpoch)
+	}
+	if le, ok := body["liveEpoch"].(float64); !ok || le <= firstEpoch {
+		t.Fatalf("liveEpoch = %v, want > %v", body["liveEpoch"], firstEpoch)
+	}
+
+	// The background revalidation lands; reads converge to a fresh hit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, hdr, body = get(t, refineURL)
+		if status == http.StatusOK && hdr.Get("X-Cache") == "hit" && body["stale"] == nil {
+			if body["epoch"].(float64) <= firstEpoch {
+				t.Fatalf("revalidated epoch = %v, want > %v", body["epoch"], firstEpoch)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("revalidation never converged: status=%d X-Cache=%q", status, hdr.Get("X-Cache"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCacheNeverStaleUnderRace drives concurrent ingest, σ reads and
+// refine reads (run with -race) and asserts the core cache invariant:
+// a /sigma response — cached or not — never reports an epoch older
+// than a write acknowledged before the read started.
+func TestCacheNeverStaleUnderRace(t *testing.T) {
+	d := incr.NewSharded(4, incr.Options{})
+	ts := newTestServerOpts(t, d, Options{RefineSWR: true})
+	seedTriples(t, ts.URL, 10)
+
+	var maxAcked atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers: each acknowledged batch raises the acknowledged-epoch
+	// floor from its response stats.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				nt := fmt.Sprintf("<http://race/w%d-s%d> <http://race/p%d> <http://race/o> .\n", w, i, i%4)
+				resp, err := http.Post(ts.URL+"/triples", "text/plain", strings.NewReader(nt))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var ir struct {
+					Stats struct {
+						Epoch uint64 `json:"epoch"`
+					} `json:"stats"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&ir)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for {
+					cur := maxAcked.Load()
+					if ir.Stats.Epoch <= cur || maxAcked.CompareAndSwap(cur, ir.Stats.Epoch) {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+
+	// σ readers: the invariant check.
+	for rdr := 0; rdr < 3; rdr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				floor := maxAcked.Load()
+				resp, err := http.Get(ts.URL + "/sigma?fn=cov")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var sr struct {
+					Stats struct {
+						Epoch uint64 `json:"epoch"`
+					} `json:"stats"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&sr)
+				verdict := resp.Header.Get("X-Cache")
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if sr.Stats.Epoch < floor {
+					t.Errorf("σ response (X-Cache=%s) epoch %d below acknowledged floor %d — stale cache served",
+						verdict, sr.Stats.Epoch, floor)
+					return
+				}
+			}
+		}()
+	}
+
+	// Refine reader: exercises the SWR path concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/refine?fn=cov&mode=lowestk&theta=0.9&workers=1")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(800 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -6,12 +6,15 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -20,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/incr"
 	"repro/internal/metrics"
+	"repro/internal/protect"
 	"repro/internal/rdf"
 	"repro/internal/refine"
 	"repro/internal/rules"
@@ -60,6 +64,47 @@ type Options struct {
 	// WAL, when set, is surfaced in GET /stats: durability mode and
 	// what recovery replayed at boot (previously only logged).
 	WAL *WALInfo
+	// Protect, when set, is the per-class admission front: /sigma,
+	// /triples and /refine acquire the read/write/refine gate before any
+	// work, and excess load is shed with 429 + Retry-After instead of
+	// accepted and half-served. The server registers its rdf_admission_*
+	// families when Metrics is also set. Index, /stats and /metrics are
+	// never gated — the operator's view must survive overload.
+	Protect *protect.Limiter
+	// SigmaCacheSize bounds the epoch-keyed /sigma response cache
+	// (entries). 0 means the default (256); negative disables caching.
+	SigmaCacheSize int
+	// RefineCacheSize bounds the epoch-keyed /refine response cache
+	// (entries). 0 means the default (64); negative disables caching.
+	RefineCacheSize int
+	// RefineSWR enables stale-while-revalidate on /refine: a request
+	// whose cached result is for an older epoch is answered immediately
+	// from that result (flagged stale, with both epochs) while a
+	// single-flight background re-refinement brings the cache current.
+	RefineSWR bool
+	// WriteDeadline bounds POST /triples end to end — body read, apply,
+	// WAL backlog wait and durability barrier. Past it the request is
+	// either shed (429, nothing or a prefix applied) or answered 200
+	// with durable:false (applied, fsync pending). 0 means no bound.
+	WriteDeadline time.Duration
+	// MaxBacklogBytes bounds the WAL group-commit backlog: an ingest
+	// request first waits (within its deadline) for the backlog to
+	// drain below this, so a write burst blocks at the front door
+	// instead of growing the pending buffers without bound. 0 means
+	// unbounded. Requires Backlog.
+	MaxBacklogBytes int64
+	// Backlog is the WAL backlog waiter (implemented by *wal.Store).
+	Backlog BacklogWaiter
+}
+
+// BacklogWaiter is the slice of the WAL store the ingest backpressure
+// path needs (implemented by *wal.Store).
+type BacklogWaiter interface {
+	// AwaitBacklog blocks until the group-commit backlog is at or below
+	// max bytes, the store fails, or ctx expires (returning ctx.Err()).
+	AwaitBacklog(ctx context.Context, max int64) error
+	// PendingBytes returns the current backlog (surfaced in /stats).
+	PendingBytes() int64
 }
 
 // WALInfo is the operator-facing durability summary shown in GET
@@ -88,10 +133,11 @@ type WALRecovery struct {
 // DurabilityBarrier is the slice of the WAL store the server needs
 // (implemented by *wal.Store).
 type DurabilityBarrier interface {
-	// Barrier blocks until every batch applied before the call is
-	// durable per the store's sync policy.
-	Barrier() error
-	// Synchronous reports whether Barrier actually waits for stable
+	// BarrierCtx blocks until every batch applied before the call is
+	// durable per the store's sync policy, or ctx expires (returning
+	// ctx.Err() — the batch stays applied and becomes durable later).
+	BarrierCtx(ctx context.Context) error
+	// Synchronous reports whether the barrier actually waits for stable
 	// storage (false when fsync is disabled).
 	Synchronous() bool
 }
@@ -109,6 +155,10 @@ type Server struct {
 	// refreshQueued remembers a batch that arrived mid-refresh.
 	refreshing    atomic.Bool
 	refreshQueued atomic.Bool
+	// sigmaCache / refineCache are the epoch-keyed response caches; nil
+	// when disabled.
+	sigmaCache  *protect.Cache
+	refineCache *protect.Cache
 }
 
 // serverMetrics is the per-endpoint HTTP instrumentation family set.
@@ -130,7 +180,19 @@ func New(d incr.Engine, opts Options) *Server {
 	if opts.Logf == nil {
 		opts.Logf = log.Printf
 	}
+	if opts.SigmaCacheSize == 0 {
+		opts.SigmaCacheSize = 256
+	}
+	if opts.RefineCacheSize == 0 {
+		opts.RefineCacheSize = 64
+	}
 	s := &Server{d: d, opts: opts, mux: http.NewServeMux()}
+	if opts.SigmaCacheSize > 0 {
+		s.sigmaCache = protect.NewCache(opts.SigmaCacheSize)
+	}
+	if opts.RefineCacheSize > 0 {
+		s.refineCache = protect.NewCache(opts.RefineCacheSize)
+	}
 	if reg := opts.Metrics; reg != nil {
 		s.met = &serverMetrics{
 			requests: reg.CounterVec("rdf_http_requests_total",
@@ -156,11 +218,34 @@ func New(d incr.Engine, opts Options) *Server {
 		reg.AttachCounter("rdf_refine_restarts_total",
 			"Refinement local-search restarts executed (process-wide).",
 			refine.RestartCounter())
+		if opts.Protect != nil {
+			opts.Protect.Register(reg)
+		}
+		// The cache families are registered (and their children
+		// materialized at 0) whether or not the caches are enabled, so a
+		// scrape always carries the series.
+		hits := reg.CounterVec("rdf_cache_hits_total",
+			"Epoch-keyed response cache hits, by endpoint.", "endpoint")
+		misses := reg.CounterVec("rdf_cache_misses_total",
+			"Epoch-keyed response cache misses, by endpoint.", "endpoint")
+		stale := reg.CounterVec("rdf_cache_stale_served_total",
+			"Stale cached responses served while revalidating, by endpoint.", "endpoint")
+		for _, ep := range []string{"sigma", "refine"} {
+			hits.With(ep)
+			misses.With(ep)
+			stale.With(ep)
+		}
+		if s.sigmaCache != nil {
+			s.sigmaCache.SetMetrics(hits.With("sigma"), misses.With("sigma"), nil)
+		}
+		if s.refineCache != nil {
+			s.refineCache.SetMetrics(hits.With("refine"), misses.With("refine"), stale.With("refine"))
+		}
 	}
 	s.handle("GET /{$}", "index", s.handleIndex)
-	s.handle("POST /triples", "triples", s.handleTriples)
-	s.handle("GET /sigma", "sigma", s.handleSigma)
-	s.handle("GET /refine", "refine", s.handleRefine)
+	s.handle("POST /triples", "triples", s.gated(protect.ClassWrite, s.handleTriples))
+	s.handle("GET /sigma", "sigma", s.gated(protect.ClassRead, s.handleSigma))
+	s.handle("GET /refine", "refine", s.gated(protect.ClassRefine, s.handleRefine))
 	s.handle("GET /stats", "stats", s.handleStats)
 	if opts.Metrics != nil {
 		// The scrape itself is served unwrapped: scrapes polling at a
@@ -244,6 +329,40 @@ func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 	})
 }
 
+// gated wraps a handler with admission control for class c: the
+// request acquires the class's gate (queuing within its context
+// deadline) or is shed with 429 before the handler runs any work.
+func (s *Server) gated(c protect.Class, h http.HandlerFunc) http.HandlerFunc {
+	if s.opts.Protect == nil {
+		return h
+	}
+	g := s.opts.Protect.Gate(c)
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := g.Acquire(r.Context())
+		if err != nil {
+			writeShed(w, "%s overloaded: %v", c, err)
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// shedRetryAfterSeconds is the retry hint on overload 429s, mirroring
+// the empty-dataset 503 convention.
+const shedRetryAfterSeconds = 1
+
+// writeShed writes the overload rejection: 429 with a Retry-After
+// header and retryAfterSeconds in the JSON body. A shed request did no
+// work — the client retries the identical call after the hint.
+func writeShed(w http.ResponseWriter, format string, args ...interface{}) {
+	w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfterSeconds))
+	writeJSON(w, http.StatusTooManyRequests, map[string]interface{}{
+		"error":             fmt.Sprintf(format, args...),
+		"retryAfterSeconds": shedRetryAfterSeconds,
+	})
+}
+
 // statusWriter captures the response status for the request counter's
 // code label.
 type statusWriter struct {
@@ -255,6 +374,11 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// the ingest path can set per-request read deadlines through the
+// instrumentation wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // traceState seeds trace IDs: a per-process random base (wall clock at
 // init) mixed with an atomic sequence — unique within a process run
@@ -296,6 +420,25 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// marshalBody renders v exactly as writeJSON would (indented, trailing
+// newline) into a byte slice the response caches can hold.
+func marshalBody(v interface{}) []byte {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		b, _ = json.Marshal(map[string]string{"error": err.Error()})
+	}
+	return append(b, '\n')
+}
+
+// writeBody writes a pre-rendered JSON body with the cache verdict
+// ("hit", "miss", "stale", "bypass") in the X-Cache header.
+func writeBody(w http.ResponseWriter, verdict string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", verdict)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"service": "rdfserved",
@@ -311,30 +454,59 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 
 // ingestResponse is the POST /triples reply. Durable is absent when
 // the server runs without a data directory, true when the batch was
-// fsynced before the response, and false when fsync is off or the WAL
-// failed.
+// fsynced before the response, and false when fsync is off, the WAL
+// failed, or the request deadline expired before the covering fsync
+// (the batch stays applied and becomes durable shortly).
+// RetryAfterSeconds rides on 429 sheds, matching the Retry-After
+// header.
 type ingestResponse struct {
-	Added   int        `json:"added"`
-	Removed int        `json:"removed"`
-	Durable *bool      `json:"durable,omitempty"`
-	Stats   incr.Stats `json:"stats"`
-	Error   string     `json:"error,omitempty"`
+	Added             int        `json:"added"`
+	Removed           int        `json:"removed"`
+	Durable           *bool      `json:"durable,omitempty"`
+	RetryAfterSeconds int        `json:"retryAfterSeconds,omitempty"`
+	Stats             incr.Stats `json:"stats"`
+	Error             string     `json:"error,omitempty"`
 }
 
-// awaitDurable runs the WAL barrier after a mutating batch. It returns
-// the response's durable field (nil when no WAL is attached) and an
-// error when the batch applied in memory but could not be made
-// durable.
-func (s *Server) awaitDurable() (*bool, error) {
+// awaitDurable runs the WAL barrier after a mutating batch, bounded by
+// the request context. It returns the response's durable field (nil
+// when no WAL is attached) and an error when the batch applied in
+// memory but is not yet known durable — a context error for a deadline
+// (report durable=false, not a failure) or the store's latched fault.
+func (s *Server) awaitDurable(ctx context.Context) (*bool, error) {
 	if s.opts.Durable == nil {
 		return nil, nil
 	}
 	durable := new(bool)
-	if err := s.opts.Durable.Barrier(); err != nil {
+	if err := s.opts.Durable.BarrierCtx(ctx); err != nil {
 		return durable, err
 	}
 	*durable = s.opts.Durable.Synchronous()
 	return durable, nil
+}
+
+// isCtxErr reports whether err is a context deadline/cancellation —
+// overload or client impatience, never a server fault.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// isBodyTooLarge reports whether err is MaxBytesReader tripping.
+func isBodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}
+
+// bodyLimitHit probes whether the MaxBytesReader tripped. A body cut
+// off at the limit surfaces as a parse error on the truncated final
+// line — not as a MaxBytesError — so on any decode error ask the
+// reader itself: at the limit, one more read fails with the marker
+// error; short of it, the probe reads a buffered byte and the decode
+// error stands on its own.
+func bodyLimitHit(body io.Reader) bool {
+	var one [1]byte
+	_, err := body.Read(one[:])
+	return isBodyTooLarge(err)
 }
 
 func parseLines(lines []string, what string) ([]rdf.Triple, error) {
@@ -352,8 +524,34 @@ func parseLines(lines []string, what string) ([]rdf.Triple, error) {
 }
 
 func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if d := s.opts.WriteDeadline; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+		// Bound the body read too: a slow-trickling client trips the
+		// connection read deadline instead of parking an admitted write
+		// slot forever. Ignore ErrNotSupported (httptest recorders).
+		_ = http.NewResponseController(w).SetReadDeadline(time.Now().Add(d))
+	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	defer func() { _, _ = io.Copy(io.Discard, body); _ = body.Close() }()
+
+	// Backpressure: admit the batch only once the WAL group-commit
+	// backlog is under its bound. Blocking here (within the deadline)
+	// is what keeps a write burst from growing the pending buffers
+	// without bound; a deadline expiry is a shed, not a failure —
+	// nothing was applied yet.
+	if s.opts.Backlog != nil && s.opts.MaxBacklogBytes > 0 {
+		if err := s.opts.Backlog.AwaitBacklog(ctx, s.opts.MaxBacklogBytes); err != nil {
+			if isCtxErr(err) {
+				writeShed(w, "ingest backlog full: %v", err)
+				return
+			}
+			writeError(w, http.StatusInternalServerError, "durability layer failed: %v", err)
+			return
+		}
+	}
 
 	ct := r.Header.Get("Content-Type")
 	var added, removed int
@@ -363,6 +561,11 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
 			Remove []string `json:"remove"`
 		}
 		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			if isBodyTooLarge(err) || bodyLimitHit(body) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					"request body exceeds the %d-byte limit", s.opts.MaxBodyBytes)
+				return
+			}
 			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
 			return
 		}
@@ -381,22 +584,48 @@ func (s *Server) handleTriples(w http.ResponseWriter, r *http.Request) {
 		// Raw N-Triples: stream adds in bounded batches through the
 		// interning decoder, so arbitrarily large dumps ingest without
 		// building a triple list in memory and without allocating
-		// strings for terms the dataset has already seen.
+		// strings for terms the dataset has already seen. The context
+		// bounds the stream: past the deadline the decode stops and the
+		// request is shed with the applied prefix reported (re-posting
+		// the same document is idempotent — applied triples dedup).
 		var err error
-		added, err = s.d.AddNTriples(body, s.opts.IngestBatch)
+		added, err = s.d.AddNTriplesCtx(ctx, body, s.opts.IngestBatch)
 		if err != nil {
 			s.kickRefiner()
-			durable, _ := s.awaitDurable()
-			writeJSON(w, http.StatusBadRequest, ingestResponse{
-				Added: added, Durable: durable, Stats: s.d.Stats(),
-				Error: fmt.Sprintf("stream aborted: %v (triples before the error were applied)", err),
+			durable, _ := s.awaitDurable(ctx)
+			status := http.StatusBadRequest
+			msg := fmt.Sprintf("stream aborted: %v (triples before the error were applied)", err)
+			retryAfter := 0
+			switch {
+			case isCtxErr(err):
+				status = http.StatusTooManyRequests
+				msg = fmt.Sprintf("ingest deadline exceeded after %d triples (applied; re-post to continue): %v", added, err)
+				retryAfter = shedRetryAfterSeconds
+				w.Header().Set("Retry-After", strconv.Itoa(shedRetryAfterSeconds))
+			case isBodyTooLarge(err) || bodyLimitHit(body):
+				status = http.StatusRequestEntityTooLarge
+				msg = fmt.Sprintf("request body exceeds the %d-byte limit (%d triples before the limit were applied)", s.opts.MaxBodyBytes, added)
+			}
+			writeJSON(w, status, ingestResponse{
+				Added: added, Durable: durable, RetryAfterSeconds: retryAfter,
+				Stats: s.d.Stats(), Error: msg,
 			})
 			return
 		}
 	}
 	s.kickRefiner()
-	durable, err := s.awaitDurable()
+	durable, err := s.awaitDurable(ctx)
 	if err != nil {
+		if isCtxErr(err) {
+			// The batch is applied and will be durable at the next flush
+			// cycle; the deadline just expired before the covering fsync.
+			// Durable=false already tells the client exactly that.
+			writeJSON(w, http.StatusOK, ingestResponse{
+				Added: added, Removed: removed, Durable: durable, Stats: s.d.Stats(),
+				Error: "durability pending: request deadline expired before the covering fsync",
+			})
+			return
+		}
 		writeJSON(w, http.StatusInternalServerError, ingestResponse{
 			Added: added, Removed: removed, Durable: durable, Stats: s.d.Stats(),
 			Error: fmt.Sprintf("batch applied in memory but not durable: %v", err),
@@ -452,6 +681,11 @@ const sigmaRetryAfterSeconds = 1
 //	      denominator is vacuous); the response carries a Retry-After
 //	      header and retryAfterSeconds in the JSON body, telling
 //	      clients to poll again after ingestion starts
+//
+// Responses are cached keyed by (fn, composite epoch): any effective
+// mutation advances the epoch and so invalidates every entry for free.
+// The X-Cache header reports hit/miss/bypass; nocache=1 bypasses the
+// cache (the ablation probe).
 func (s *Server) handleSigma(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("fn")
 	if name == "" {
@@ -461,6 +695,23 @@ func (s *Server) handleSigma(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	nocache := r.URL.Query().Get("nocache") == "1"
+	key := "fn=" + fn.Name()
+	if s.sigmaCache != nil && !nocache {
+		// Epoch() is an O(shards) consistent cut, much cheaper than the
+		// full Stats merge (O(signatures) on the sharded engine), so hits
+		// skip that merge entirely. A hit is by construction the body this
+		// handler would compute at this epoch: entries are only Put when
+		// the epoch was stable across the computation, and the composite
+		// epoch strictly increases per effective mutation. The empty-
+		// dataset guard below can run after this check — an empty dataset
+		// has no entry at its current epoch, because any mutation that
+		// emptied it advanced the epoch past every cached cut.
+		if v, ok := s.sigmaCache.Get(key, s.d.Epoch()); ok {
+			writeBody(w, "hit", v.([]byte))
+			return
+		}
 	}
 	st := s.d.Stats()
 	if st.Subjects == 0 {
@@ -505,7 +756,19 @@ func (s *Server) handleSigma(w http.ResponseWriter, r *http.Request) {
 	}
 	resp["value"] = ratio.Value()
 	resp["ratio"] = ratio.String()
-	writeJSON(w, http.StatusOK, resp)
+	body := marshalBody(resp)
+	verdict := "miss"
+	if nocache {
+		verdict = "bypass"
+	} else if s.sigmaCache != nil && s.d.Epoch() == st.Epoch {
+		// Only cache when no write landed during the computation: the
+		// epoch re-check guarantees the body is the one any reader at
+		// st.Epoch computes, so a cached body is never served for an
+		// epoch it doesn't match. (Put's newer-epoch-wins rule closes
+		// the remaining store-order race.)
+		s.sigmaCache.Put(key, st.Epoch, body)
+	}
+	writeBody(w, verdict, body)
 }
 
 // sortSummary describes one non-empty implicit sort of a refinement.
@@ -516,79 +779,170 @@ type sortSummary struct {
 	Sigma    float64 `json:"sigma"`
 }
 
-func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
+// refineParams is one /refine request's parsed search specification,
+// including its cache key (the normalized parameter tuple — two raw
+// queries meaning the same search share one cache entry).
+type refineParams struct {
+	fn             rules.Func
+	rule           *rules.Rule
+	mode           string
+	theta1, theta2 int64
+	k              int
+	opts           refine.SearchOptions
+	key            string
+}
+
+func parseRefineParams(q url.Values) (*refineParams, error) {
 	name := q.Get("fn")
 	if name == "" {
 		name = "cov"
 	}
 	fn, rule, err := core.Builtin(name)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, err
 	}
-	mode := q.Get("mode")
-	if mode == "" {
-		mode = "lowestk"
+	p := &refineParams{fn: fn, rule: rule, mode: q.Get("mode")}
+	if p.mode == "" {
+		p.mode = "lowestk"
 	}
-	var opts refine.SearchOptions
 	switch q.Get("engine") {
 	case "", "auto":
-		opts.Engine = refine.EngineAuto
+		p.opts.Engine = refine.EngineAuto
 	case "exact":
-		opts.Engine = refine.EngineExact
+		p.opts.Engine = refine.EngineExact
 	case "heuristic":
-		opts.Engine = refine.EngineHeuristic
+		p.opts.Engine = refine.EngineHeuristic
 	default:
-		writeError(w, http.StatusBadRequest, "unknown engine %q", q.Get("engine"))
-		return
+		return nil, fmt.Errorf("unknown engine %q", q.Get("engine"))
 	}
 	if v := q.Get("workers"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "bad workers %q", v)
-			return
+			return nil, fmt.Errorf("bad workers %q", v)
 		}
-		opts.Workers = n
+		p.opts.Workers = n
+	}
+	switch p.mode {
+	case "lowestk":
+		p.theta1, p.theta2, err = parseTheta(q.Get("theta"))
+		if err != nil {
+			return nil, err
+		}
+	case "highesttheta":
+		p.k = 2
+		if v := q.Get("k"); v != "" {
+			p.k, err = strconv.Atoi(v)
+			if err != nil || p.k < 1 {
+				return nil, fmt.Errorf("bad k %q", v)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unknown mode %q (lowestk|highesttheta)", p.mode)
+	}
+	p.key = fmt.Sprintf("%s|%s|%d/%d|%d|%d|%d",
+		fn.Name(), p.mode, p.theta1, p.theta2, p.k, p.opts.Workers, p.opts.Engine)
+	return p, nil
+}
+
+// run executes the search against a snapshot. Snapshots are immutable,
+// so the outcome is a pure function of (snapshot epoch, params) — what
+// makes the cache below sound without any post-compute epoch check.
+func (p *refineParams) run(snap *incr.Snapshot) (*refine.Outcome, error) {
+	if p.mode == "lowestk" {
+		return refine.LowestK(snap.View, p.rule, p.fn, p.theta1, p.theta2, p.opts)
+	}
+	return refine.HighestTheta(snap.View, p.rule, p.fn, p.k, p.opts)
+}
+
+// cachedRefine is one cached /refine result: the rendered body for
+// exact-epoch hits plus the response map stale serves copy and flag.
+type cachedRefine struct {
+	body []byte
+	resp map[string]interface{}
+}
+
+// handleRefine answers GET /refine. Results are cached keyed by
+// (params, snapshot epoch). With stale-while-revalidate on, a request
+// whose cache entry is for an older epoch gets that result immediately
+// — flagged "stale": true with both epochs — while one background
+// search per key recomputes at the current epoch; refine storms repeat
+// cheap stale reads instead of stacking up expensive searches.
+func (s *Server) handleRefine(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	p, err := parseRefineParams(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	snap := s.d.Snapshot()
 	if snap.View.NumSignatures() == 0 {
 		writeError(w, http.StatusConflict, "dataset is empty")
 		return
 	}
-
-	var out *refine.Outcome
-	switch mode {
-	case "lowestk":
-		theta1, theta2, err := parseTheta(q.Get("theta"))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+	nocache := q.Get("nocache") == "1"
+	if s.refineCache != nil && !nocache {
+		if v, ok := s.refineCache.Get(p.key, snap.Epoch); ok {
+			writeBody(w, "hit", v.(*cachedRefine).body)
 			return
 		}
-		out, err = refine.LowestK(snap.View, rule, fn, theta1, theta2, opts)
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "%v", err)
-			return
-		}
-	case "highesttheta":
-		k := 2
-		if v := q.Get("k"); v != "" {
-			k, err = strconv.Atoi(v)
-			if err != nil || k < 1 {
-				writeError(w, http.StatusBadRequest, "bad k %q", v)
+		if s.opts.RefineSWR {
+			if v, _, ok := s.refineCache.GetStale(p.key); ok {
+				cr := v.(*cachedRefine)
+				if s.refineCache.BeginRefresh(p.key, snap.Epoch) {
+					go s.revalidateRefine(p, snap)
+				}
+				// Shallow copy before flagging: the cached map may be
+				// serving other requests concurrently.
+				stale := make(map[string]interface{}, len(cr.resp)+2)
+				for k, val := range cr.resp {
+					stale[k] = val
+				}
+				stale["stale"] = true
+				stale["liveEpoch"] = snap.Epoch
+				writeBody(w, "stale", marshalBody(stale))
 				return
 			}
 		}
-		out, err = refine.HighestTheta(snap.View, rule, fn, k, opts)
-		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, "%v", err)
-			return
-		}
-	default:
-		writeError(w, http.StatusBadRequest, "unknown mode %q (lowestk|highesttheta)", mode)
+	}
+	// The inline search aborts when the client goes away (or the server
+	// shuts down): an abandoned /refine must not keep burning cores and
+	// holding its admission slot. Run on a copy so the SWR goroutine
+	// above — which outlives this request by design — never inherits
+	// the request's cancellation.
+	inline := *p
+	inline.opts.Cancel = r.Context().Done()
+	out, err := inline.run(snap)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, refineResponse(snap, fn.Name(), mode, out))
+	resp := refineResponse(snap, p.fn.Name(), p.mode, out)
+	body := marshalBody(resp)
+	verdict := "miss"
+	if nocache {
+		verdict = "bypass"
+	} else if s.refineCache != nil && r.Context().Err() == nil {
+		// A live context certifies the search ran to completion — a
+		// cancelled search returns its best-so-far, which must not be
+		// cached as the answer for this epoch.
+		s.refineCache.Put(p.key, snap.Epoch, &cachedRefine{body: body, resp: resp})
+	}
+	writeBody(w, verdict, body)
+}
+
+// revalidateRefine is the stale-while-revalidate background search:
+// recompute at the snapshot the stale read was answered against and
+// refresh the cache. Single-flight per key via the cache's refresh
+// latch (the caller holds it; released here).
+func (s *Server) revalidateRefine(p *refineParams, snap *incr.Snapshot) {
+	defer s.refineCache.EndRefresh(p.key)
+	out, err := p.run(snap)
+	if err != nil {
+		s.opts.Logf("rdfserved: background revalidate %s: %v", p.key, err)
+		return
+	}
+	resp := refineResponse(snap, p.fn.Name(), p.mode, out)
+	s.refineCache.Put(p.key, snap.Epoch, &cachedRefine{body: marshalBody(resp), resp: resp})
 }
 
 // parseTheta converts a decimal threshold ("0.9", default) to an exact
@@ -699,6 +1053,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.opts.WAL != nil {
 		resp["wal"] = s.opts.WAL
+	}
+	if s.opts.Protect != nil {
+		resp["admission"] = s.opts.Protect.Stats()
+	}
+	if s.sigmaCache != nil || s.refineCache != nil {
+		caches := map[string]interface{}{}
+		if s.sigmaCache != nil {
+			caches["sigma"] = s.sigmaCache.Stats()
+		}
+		if s.refineCache != nil {
+			caches["refine"] = s.refineCache.Stats()
+		}
+		resp["cache"] = caches
+	}
+	if s.opts.Backlog != nil {
+		resp["backlog"] = map[string]interface{}{
+			"pendingBytes": s.opts.Backlog.PendingBytes(),
+			"maxBytes":     s.opts.MaxBacklogBytes,
+		}
 	}
 	if ref := s.opts.Refiner; ref != nil {
 		if last := ref.Last(); last != nil {

@@ -1,0 +1,140 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+// openLongInterval opens a store whose group-commit window is far
+// longer than the test, so pending bytes accumulate until an explicit
+// Flush — the backlog the backpressure primitives act on.
+func openLongInterval(t *testing.T, shards int) (*Store, func(add []rdf.Triple)) {
+	t.Helper()
+	e, ds := newEngine(t, shards)
+	s, _, err := Open(t.TempDir(), e.Dict(), ds, Options{
+		Mode:         SyncInterval,
+		SyncInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, func(add []rdf.Triple) { e.Apply(add, nil) }
+}
+
+func TestAwaitBacklogBoundsAndDrains(t *testing.T) {
+	s, apply := openLongInterval(t, 2)
+	if got := s.PendingBytes(); got != 0 {
+		t.Fatalf("pending = %d before any batch", got)
+	}
+	for i := 0; i < 20; i++ {
+		apply([]rdf.Triple{{
+			Subject:   "s" + string(rune('a'+i)),
+			Predicate: "p",
+			Object:    rdf.NewURI("o"),
+		}})
+	}
+	pending := s.PendingBytes()
+	if pending <= 0 {
+		t.Fatalf("pending = %d after 20 batches", pending)
+	}
+
+	// Under the bound (or disabled): returns immediately.
+	if err := s.AwaitBacklog(context.Background(), pending); err != nil {
+		t.Fatalf("AwaitBacklog at bound: %v", err)
+	}
+	if err := s.AwaitBacklog(context.Background(), 0); err != nil {
+		t.Fatalf("AwaitBacklog disabled: %v", err)
+	}
+
+	// Over the bound with no flush coming: the context deadline is the
+	// shed signal.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.AwaitBacklog(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AwaitBacklog over bound = %v, want DeadlineExceeded", err)
+	}
+
+	// A concurrent flush releases the waiter.
+	done := make(chan error, 1)
+	go func() { done <- s.AwaitBacklog(context.Background(), 1) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("AwaitBacklog after flush: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("AwaitBacklog not released by flush")
+	}
+	if got := s.PendingBytes(); got != 0 {
+		t.Fatalf("pending = %d after flush", got)
+	}
+}
+
+func TestBarrierCtxDeadlineAndCompletion(t *testing.T) {
+	s, apply := openLongInterval(t, 1)
+	apply([]rdf.Triple{{Subject: "s", Predicate: "p", Object: rdf.NewURI("o")}})
+
+	// No covering cycle within the deadline: ctx.Err(), batch stays
+	// applied and pending.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := s.BarrierCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("BarrierCtx = %v, want DeadlineExceeded", err)
+	}
+
+	// A flush completes the covering cycle; the same barrier target now
+	// passes without waiting.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BarrierCtx(context.Background()); err != nil {
+		t.Fatalf("BarrierCtx after flush: %v", err)
+	}
+
+	// A waiter parked before the flush is woken by it.
+	apply([]rdf.Triple{{Subject: "s2", Predicate: "p", Object: rdf.NewURI("o")}})
+	done := make(chan error, 1)
+	go func() { done <- s.BarrierCtx(context.Background()) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("parked BarrierCtx: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("BarrierCtx not released by flush")
+	}
+}
+
+// TestBarrierCtxSyncBatch: outside SyncInterval mode BarrierCtx never
+// waits on the flusher — it delegates to Barrier (inline flush), so a
+// tight deadline is irrelevant.
+func TestBarrierCtxSyncBatch(t *testing.T) {
+	e, ds := newEngine(t, 1)
+	s, _, err := Open(t.TempDir(), e.Dict(), ds, Options{Mode: SyncBatch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e.Apply([]rdf.Triple{{Subject: "s", Predicate: "p", Object: rdf.NewURI("o")}}, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	if err := s.BarrierCtx(ctx); err != nil {
+		t.Fatalf("BarrierCtx in SyncBatch mode: %v", err)
+	}
+	if got := s.PendingBytes(); got != 0 {
+		t.Fatalf("pending = %d after SyncBatch barrier", got)
+	}
+}

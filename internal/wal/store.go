@@ -26,6 +26,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/incr"
@@ -191,11 +193,17 @@ type Store struct {
 	dictUnsynced bool
 
 	// mu guards durable counters and the failure latch; cond wakes
-	// Barrier waiters after each flush cycle.
+	// Barrier, BarrierCtx and AwaitBacklog waiters after each flush
+	// cycle.
 	mu      sync.Mutex
 	cond    *sync.Cond
 	durable []uint64 // per shard: records flushed per the sync policy
 	failed  error    // first write/sync error; latches the store
+
+	// pendingBytes is the group-commit backlog: frame bytes appended by
+	// batch hooks that no flush cycle has drained yet. AwaitBacklog
+	// bounds it — the serving tier's ingest backpressure signal.
+	pendingBytes atomic.Int64
 
 	stopc chan struct{}
 	done  chan struct{}
@@ -336,9 +344,12 @@ func Open(dir string, dict *term.Dict, shards []*incr.Dataset, opts Options) (*S
 		l := s.logs[i]
 		d.SetBatchHook(func(add, remove []rdf.IDTriple, epoch uint64) {
 			l.mu.Lock()
+			before := len(l.pending)
 			l.pending = appendFrame(l.pending, encodeBatch(nil, epoch, add, remove))
 			l.appended++
+			grew := len(l.pending) - before
 			l.mu.Unlock()
+			s.pendingBytes.Add(int64(grew))
 		})
 	}
 
@@ -697,11 +708,13 @@ func (s *Store) flushCycleLocked(sync bool) error {
 		lsn uint64
 	}
 	chunks := make([]chunk, len(s.logs))
+	var drained int64
 	for i, l := range s.logs {
 		l.mu.Lock()
 		chunks[i] = chunk{l.pending, l.appended}
 		l.pending = nil
 		l.mu.Unlock()
+		drained += int64(len(chunks[i].buf))
 	}
 
 	if err := s.flushDictLocked(sync); err != nil {
@@ -733,6 +746,13 @@ func (s *Store) flushCycleLocked(sync bool) error {
 			cycleRecords += int64(chunks[i].lsn - s.durable[i])
 			s.durable[i] = chunks[i].lsn
 		}
+	}
+	// The drained bytes leave the backlog under mu, adjacent to the
+	// broadcast, so an AwaitBacklog waiter that checks after waking sees
+	// the decrement. (On the error paths above the backlog stays high,
+	// but setFailed broadcasts and waiters return the latched error.)
+	if drained > 0 {
+		s.pendingBytes.Add(-drained)
 	}
 	s.mu.Unlock()
 	s.cond.Broadcast()
@@ -840,6 +860,84 @@ func (s *Store) Barrier() error {
 		s.cond.Wait()
 	}
 	return s.failed
+}
+
+// BarrierCtx is Barrier bounded by ctx: it returns ctx.Err() if the
+// covering group-commit cycle has not completed when the context
+// expires (the batch stays applied and becomes durable later — the
+// caller reports durable=false, it does not fail the request). SyncOff
+// and SyncBatch modes never wait on the flusher and delegate to
+// Barrier.
+func (s *Store) BarrierCtx(ctx context.Context) error {
+	if s.opts.Mode != SyncInterval {
+		return s.Barrier()
+	}
+	targets := make([]uint64, len(s.logs))
+	for i, l := range s.logs {
+		l.mu.Lock()
+		targets[i] = l.appended
+		l.mu.Unlock()
+	}
+	reached := func() bool {
+		for i, t := range targets {
+			if s.durable[i] < t {
+				return false
+			}
+		}
+		return true
+	}
+	stop := context.AfterFunc(ctx, func() {
+		// Taking mu before broadcasting guarantees the waiter below is
+		// either not yet waiting (and will see ctx.Err() before Wait) or
+		// parked in Wait and woken — no missed-wakeup window.
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.failed == nil && ctx.Err() == nil && !reached() {
+		s.cond.Wait()
+	}
+	if s.failed != nil {
+		return s.failed
+	}
+	if !reached() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// PendingBytes returns the group-commit backlog: bytes appended by
+// batch hooks that no flush cycle has drained yet.
+func (s *Store) PendingBytes() int64 { return s.pendingBytes.Load() }
+
+// AwaitBacklog blocks until the group-commit backlog is at or below
+// max bytes, the store fails, or ctx expires (returning ctx.Err() —
+// the ingest-backpressure shed signal). max <= 0 disables the bound.
+func (s *Store) AwaitBacklog(ctx context.Context, max int64) error {
+	if max <= 0 || s.pendingBytes.Load() <= max {
+		return s.failedErr()
+	}
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.failed == nil && ctx.Err() == nil && s.pendingBytes.Load() > max {
+		s.cond.Wait()
+	}
+	if s.failed != nil {
+		return s.failed
+	}
+	if s.pendingBytes.Load() > max {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Checkpoint flushes everything, then per shard rotates to a fresh WAL
