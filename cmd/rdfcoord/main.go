@@ -1,0 +1,141 @@
+// Command rdfcoord is the cluster coordinator: the single front end
+// for a fleet of rdfserved workers started with -cluster-worker. It
+// routes triple batches to replicated shard groups by subject hash,
+// replicates every write to all replicas of its group before acking,
+// and answers σ reads by fanning out to one replica per group and
+// merging the per-node aggregates exactly (internal/cluster) — the
+// merged rationals are bit-identical to a single node holding the
+// whole dataset.
+//
+// Topology is given as one -group flag per shard group, each listing
+// its replica base URLs:
+//
+//	rdfcoord -addr :8070 \
+//	    -group http://10.0.0.1:8077,http://10.0.0.2:8077 \
+//	    -group http://10.0.0.3:8077,http://10.0.0.4:8077
+//
+// Failure behavior: replicas are health-checked (heartbeat probes plus
+// request outcomes) and ejected after consecutive failures; reads
+// fail over and hedge against slow replicas; writes that cannot reach
+// every replica of a touched group are rejected 503 + Retry-After
+// (never partially acked — the client retries the idempotent batch).
+// Reads spanning a fully-down group answer 503, or a flagged partial
+// result with ?partial=1.
+//
+// Endpoints mirror rdfserved: POST /triples, GET /sigma, /refine,
+// /stats, /metrics.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/retry"
+)
+
+// groupFlags collects repeated -group flags, each a comma-separated
+// replica URL list for one shard group.
+type groupFlags [][]string
+
+func (g *groupFlags) String() string { return fmt.Sprint([][]string(*g)) }
+
+func (g *groupFlags) Set(v string) error {
+	var urls []string
+	for _, u := range strings.Split(v, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("empty group")
+	}
+	*g = append(*g, urls)
+	return nil
+}
+
+func main() {
+	var groups groupFlags
+	flag.Var(&groups, "group", "one shard group's replica base URLs, comma-separated (repeat per group)")
+	addr := flag.String("addr", ":8070", "listen address")
+	readTimeout := flag.Duration("read-timeout", 5*time.Second, "budget for one read attempt against one replica")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "budget for one write attempt against one replica (includes its durability barrier)")
+	retryAttempts := flag.Int("retry-attempts", 4, "attempts per replica before failing over")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff (doubles per attempt, full jitter)")
+	retryMax := flag.Duration("retry-max", 2*time.Second, "retry backoff cap")
+	heartbeat := flag.Duration("heartbeat", time.Second, "worker health-probe period (negative = request-path health only)")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive failures that eject a replica from the read rotation")
+	hedgeDelay := flag.Duration("hedge-delay", 25*time.Millisecond, "floor for the hedged-read delay (operative delay is max of this and the read p99; negative = no hedging)")
+	enableMetrics := flag.Bool("metrics", true, "serve Prometheus text metrics on GET /metrics")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 10*time.Second, "graceful-shutdown drain budget")
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections")
+	flag.Parse()
+
+	if len(groups) == 0 {
+		fmt.Fprintln(os.Stderr, "rdfcoord: at least one -group is required")
+		os.Exit(1)
+	}
+
+	var reg *metrics.Registry
+	if *enableMetrics {
+		reg = metrics.NewRegistry()
+	}
+	coord, err := cluster.New(cluster.Topology{Groups: groups}, cluster.Options{
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		Retry:             retry.Policy{Attempts: *retryAttempts, Base: *retryBase, Max: *retryMax},
+		HeartbeatInterval: *heartbeat,
+		FailThreshold:     *failThreshold,
+		HedgeDelay:        *hedgeDelay,
+		Metrics:           reg,
+		Logf:              log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rdfcoord:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           coord,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	replicas := 0
+	for _, g := range groups {
+		replicas += len(g)
+	}
+	log.Printf("rdfcoord listening on %s (%d groups, %d replicas)", *addr, len(groups), replicas)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "rdfcoord:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("rdfcoord: signal received, draining (budget %s)", *shutdownTimeout)
+	shCtx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "rdfcoord: shutdown:", err)
+		os.Exit(1)
+	}
+	coord.Close()
+	log.Printf("rdfcoord: bye")
+}

@@ -16,7 +16,7 @@
 //
 //	read    GET  /sigma?fn=cov          (σ scan over the snapshot)
 //	write   POST /triples               (raw N-Triples batch, -batch lines)
-//	refine  GET  /refine?...            (lowest-k heuristic search)
+//	refine  GET  /refine?...            (bounded heuristic search; -refine-mode)
 //
 // Writes draw subjects/predicates/objects from bounded synthetic
 // spaces (-subjects, -props, -objects), so the signature view keeps a
@@ -38,6 +38,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -50,8 +51,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
+
+	"repro/internal/retry"
 )
 
 type opKind int
@@ -98,7 +102,11 @@ func main() {
 	subjects := flag.Int("subjects", 1000, "synthetic subject space")
 	props := flag.Int("props", 12, "synthetic predicate space")
 	objects := flag.Int("objects", 200, "synthetic object space")
-	theta := flag.Float64("theta", 0.9, "refinement threshold")
+	theta := flag.Float64("theta", 0.9, "refinement threshold (lowestk mode)")
+	refineMode := flag.String("refine-mode", "lowestk", "refine search setting: lowestk (θ fixed, minimize sorts — the expensive sweep) or highesttheta (k fixed, maximize θ — bounded cost, one failed probe ends it)")
+	refineK := flag.Int("refine-k", 2, "sort budget for -refine-mode highesttheta")
+	refineRestarts := flag.Int("refine-restarts", 2, "heuristic restarts per refine probe (0 = server default; a load generator issues bounded-cost searches, not open-ended ones)")
+	refineIters := flag.Int("refine-iters", 50, "local-search iteration cap per refine probe (0 = server default)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	out := flag.String("out", "BENCH_serve.json", "JSON artifact path (empty = stdout only)")
@@ -109,6 +117,10 @@ func main() {
 	chaosStop := flag.Duration("chaos-stop", 2*time.Second, "how long the mid-burst SIGSTOP holds the server frozen")
 	cacheProbe := flag.Int("cache-probe", 0, "post-run probe: N same-epoch /sigma reads vs N nocache=1 bypasses")
 	probeFn := flag.String("probe-fn", "cov", "σ measure the cache probe reads (use a snapshot-evaluated fn, e.g. dep[p1,p2] on a -no-pair-counts server, to expose the cache win)")
+	retries := flag.Int("retry", 0, "retry-until-ack attempts per write batch on 429/5xx/transport errors (0 = off; the cluster client contract — a rejected batch is re-sent verbatim, so acked state is lossless)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "first write-retry backoff (doubles per attempt, full jitter)")
+	retryMax := flag.Duration("retry-max", 2*time.Second, "write-retry backoff cap")
+	writeLogPath := flag.String("write-log", "", "append every acked write body here — the audit trail a chaos run replays into a reference server to prove no acked write was lost")
 	flag.Parse()
 
 	total := *reads + *writes + *refines
@@ -123,15 +135,45 @@ func main() {
 	client := &http.Client{Timeout: *timeout}
 	cfg := &runConfig{
 		addr: *addr, client: client, mixTotal: total,
-		reads: *reads, writes: *writes, batch: *batch, theta: *theta,
+		reads: *reads, writes: *writes, batch: *batch,
 		seed: *seed, subjects: *subjects, props: *props, objects: *objects,
+		retry: retry.Policy{Attempts: max(1, *retries), Base: *retryBase, Max: *retryMax},
+	}
+	switch *refineMode {
+	case "lowestk":
+		cfg.refineURL = fmt.Sprintf("%s/refine?fn=cov&mode=lowestk&theta=%g&engine=heuristic&workers=1", *addr, *theta)
+	case "highesttheta":
+		cfg.refineURL = fmt.Sprintf("%s/refine?fn=cov&mode=highesttheta&k=%d&engine=heuristic&workers=1", *addr, *refineK)
+	default:
+		fmt.Fprintf(os.Stderr, "rdfload: unknown -refine-mode %q\n", *refineMode)
+		os.Exit(1)
+	}
+	if *refineRestarts > 0 {
+		cfg.refineURL += fmt.Sprintf("&restarts=%d", *refineRestarts)
+	}
+	if *refineIters > 0 {
+		cfg.refineURL += fmt.Sprintf("&maxiters=%d", *refineIters)
+	}
+	if *writeLogPath != "" {
+		f, err := os.Create(*writeLogPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rdfload:", err)
+			os.Exit(1)
+		}
+		cfg.log = &writeLog{f: f}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "rdfload: write-log close:", err)
+			}
+		}()
 	}
 
 	// Prime outside the measured window: one write so σ and refine
 	// requests never hit an empty dataset, and a fail-fast reachability
-	// check before spinning up workers.
+	// check before spinning up workers. Primed triples go through the
+	// same acked-write path so the write log covers them too.
 	prime := newWorkload(*seed, *subjects, *props, *objects)
-	if s := doWrite(client, *addr, prime, *batch); !s.ok() {
+	if s := cfg.doWrite(prime); !s.ok() {
 		fmt.Fprintf(os.Stderr, "rdfload: cannot reach %s (priming write failed, status %d)\n", *addr, s.status)
 		os.Exit(1)
 	}
@@ -167,6 +209,7 @@ func main() {
 
 	report := summarize(phases, *workers,
 		map[string]int{"reads": *reads, "writes": *writes, "refines": *refines}, *addr)
+	report.WriteRetries = cfg.retried.Load()
 	if *cacheProbe > 0 {
 		report.CacheProbe = probeCache(client, *addr, *probeFn, *cacheProbe)
 	}
@@ -222,9 +265,54 @@ type runConfig struct {
 	client                   *http.Client
 	mixTotal                 int
 	reads, writes, batch     int
-	theta                    float64
+	refineURL                string // full /refine query, built once from the mode/cost flags
 	seed                     int64
 	subjects, props, objects int
+	retry                    retry.Policy // write retry schedule (Attempts 1 = no retries)
+	log                      *writeLog    // nil = no acked-write audit trail
+	retried                  atomic.Int64 // extra write attempts issued
+}
+
+// writeLog is the acked-write audit trail: every 2xx write body is
+// appended, so replaying the file into a fresh single-node server
+// reconstructs exactly the state the server acknowledged — the
+// zero-lost-acked-writes check of a chaos run.
+type writeLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (l *writeLog) append(body string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := io.WriteString(l.f, body); err != nil {
+		fmt.Fprintln(os.Stderr, "rdfload: write-log:", err)
+	}
+}
+
+// doWrite issues one write batch under the retry policy: transient
+// rejections (429, 5xx, transport errors) re-send the same body with
+// capped exponential backoff until acked or attempts run out. Reads
+// are deliberately single-attempt — the coordinator already fails
+// over internally, and masking a read error here would weaken the
+// zero-5xx gate a chaos run is judged on.
+func (cfg *runConfig) doWrite(wl *workload) sample {
+	body := wl.batchBody(cfg.batch)
+	var s sample
+	_ = retry.Do(context.Background(), cfg.retry, func(n int) error {
+		if n > 0 {
+			cfg.retried.Add(1)
+		}
+		s = postBody(cfg.client, cfg.addr, body)
+		if s.status == 0 || s.status == http.StatusTooManyRequests || s.status >= 500 {
+			return fmt.Errorf("write not acked: status %d", s.status)
+		}
+		return nil
+	})
+	if s.ok() && cfg.log != nil {
+		cfg.log.append(body)
+	}
+	return s
 }
 
 // phaseResult is one phase's raw samples plus its identity; summaries
@@ -260,10 +348,9 @@ func runPhase(cfg *runConfig, name string, n int, dur time.Duration) phaseResult
 					s = doGet(cfg.client, cfg.addr+"/sigma?fn=cov")
 					s.op = opRead
 				case die < cfg.reads+cfg.writes:
-					s = doWrite(cfg.client, cfg.addr, wl, cfg.batch)
+					s = cfg.doWrite(wl)
 				default:
-					s = doGet(cfg.client, fmt.Sprintf(
-						"%s/refine?fn=cov&mode=lowestk&theta=%g&engine=heuristic&workers=1", cfg.addr, cfg.theta))
+					s = doGet(cfg.client, cfg.refineURL)
 					s.op = opRefine
 				}
 				samples = append(samples, s)
@@ -464,8 +551,8 @@ func doGet(client *http.Client, url string) sample {
 	}
 }
 
-func doWrite(client *http.Client, addr string, wl *workload, batch int) sample {
-	body := wl.batchBody(batch)
+// postBody is one raw write attempt (no retries; doWrite wraps it).
+func postBody(client *http.Client, addr, body string) sample {
 	start := time.Now()
 	resp, err := client.Post(addr+"/triples", "text/plain", strings.NewReader(body))
 	if err != nil {
@@ -549,6 +636,7 @@ type artifact struct {
 	RetryAfterMissing int                        `json:"retry_after_missing"`
 	Server5xx         int                        `json:"server_5xx"`
 	Cache             cacheSummary               `json:"cache"`
+	WriteRetries      int64                      `json:"write_retries"`
 	Phases            []phaseSummary             `json:"phases,omitempty"`
 	RecoveryP99Ratio  float64                    `json:"recovery_p99_ratio,omitempty"`
 	CacheProbe        *cacheProbeSummary         `json:"cache_probe,omitempty"`

@@ -93,6 +93,10 @@ func main() {
 	admitWait := flag.Duration("admit-wait", 2*time.Second, "max time a queued request waits for an admission slot (0 = the request's own deadline)")
 	writeDeadline := flag.Duration("write-deadline", 30*time.Second, "end-to-end budget for one POST /triples (body read, apply, fsync barrier; 0 = unbounded)")
 	maxBacklogMB := flag.Int64("max-backlog-mb", 64, "WAL group-commit backlog bound in MiB; ingest blocks (then sheds) past it (0 = unbounded)")
+	clusterWorker := flag.Bool("cluster-worker", false, "expose the internal worker endpoints (/internal/health, /internal/agg, /internal/view) for an rdfcoord coordinator")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client steady-state request rate in req/s, keyed by X-Client-Id else remote IP (0 = disabled)")
+	rateLimitBurst := flag.Float64("rate-limit-burst", 0, "per-client burst allowance (0 = max(rate-limit, 1))")
+	rateLimitClients := flag.Int("rate-limit-clients", 4096, "max tracked rate-limit clients; least-recently-seen evicted past this")
 	sigmaCache := flag.Int("sigma-cache", 256, "epoch-keyed /sigma response cache entries (negative = disabled)")
 	refineCache := flag.Int("refine-cache", 64, "epoch-keyed /refine response cache entries (negative = disabled)")
 	refineSWR := flag.Bool("refine-swr", true, "serve stale cached /refine results (flagged, with epochs) while revalidating in the background")
@@ -199,6 +203,10 @@ func main() {
 		SigmaCacheSize:  *sigmaCache,
 		RefineCacheSize: *refineCache,
 		RefineSWR:       *refineSWR,
+		ClusterWorker:   *clusterWorker,
+		RateLimit: protect.NewRateLimiter(protect.RateLimitConfig{
+			RPS: *rateLimit, Burst: *rateLimitBurst, MaxClients: *rateLimitClients,
+		}),
 		Protect: protect.NewLimiter(protect.Limits{
 			Read:   protect.GateConfig{Limit: *readLimit, Queue: *readQueue, MaxWait: *admitWait},
 			Write:  protect.GateConfig{Limit: *writeLimit, Queue: *writeQueue, MaxWait: *admitWait},

@@ -1,0 +1,189 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/incr"
+)
+
+// TestClusterChaosKillRestart is the acceptance scenario: R=2
+// replication, mixed ingest+read load, one replica SIGKILLed
+// mid-stream and later restarted (rejoining via WAL recovery). The
+// invariants checked at every step and at the end:
+//
+//   - zero read errors: every /sigma during the outage answers 200
+//     with the exactly merged value (failover + hedging);
+//   - zero lost acked writes: a batch acked 200 survives the crash
+//     (it was on every replica, and the survivor carries the group);
+//   - unacked batches are retried until acked (the client contract),
+//     so the final state includes exactly the full stream;
+//   - final σ rationals are bit-identical to an uninterrupted
+//     single-node run over the same stream — through a WAL-recovered
+//     replica serving reads again.
+func TestClusterChaosKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run")
+	}
+	tc := newTestCluster(t, 2, 2, true, nil)
+	ref := newReference(t)
+	victim := tc.nodes[0][1]
+
+	const steps = 30
+	pending := map[int][]string{} // unacked batches awaiting retry
+	acked := 0
+	readErrs := 0
+	for i := 0; i < steps; i++ {
+		switch i {
+		case steps / 3:
+			victim.crash()
+		case 2 * steps / 3:
+			victim.restart()
+			tc.coord.ProbeNow()
+		}
+		// Retry everything pending first (retry-until-ack, oldest first).
+		for j := 0; j < i; j++ {
+			lines, ok := pending[j]
+			if !ok {
+				continue
+			}
+			if rec := tc.ingest(lines); rec.Code == http.StatusOK {
+				delete(pending, j)
+				ref.apply(lines)
+				acked++
+			}
+		}
+		b := batchFor(i)
+		rec := tc.ingest(b)
+		switch rec.Code {
+		case http.StatusOK:
+			ref.apply(b)
+			acked++
+		case http.StatusServiceUnavailable:
+			// Not acked; must carry Retry-After and must not claim
+			// replication.
+			if rec.Header().Get("Retry-After") == "" {
+				t.Fatalf("step %d: write 503 without Retry-After", i)
+			}
+			pending[i] = b
+		default:
+			t.Fatalf("step %d: ingest status %d: %s", i, rec.Code, rec.Body)
+		}
+		// Mixed read load: every step reads σ; during the outage these
+		// exercise failover. Any non-200 is a failed read.
+		for _, fn := range sigmaFns {
+			r := tc.do("GET", "/sigma?fn="+fn, "", "")
+			if r.Code != http.StatusOK {
+				readErrs++
+				t.Errorf("step %d: read fn=%s status %d: %s", i, fn, r.Code, r.Body)
+			}
+		}
+	}
+	if readErrs > 0 {
+		t.Fatalf("%d read errors through the chaos run, want 0", readErrs)
+	}
+	// Drain: every batch must ack now that the cluster is whole.
+	for j, lines := range pending {
+		rec := tc.ingest(lines)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("drain batch %d: status %d: %s", j, rec.Code, rec.Body)
+		}
+		ref.apply(lines)
+		acked++
+	}
+	if acked != steps {
+		t.Fatalf("acked %d batches, want %d", acked, steps)
+	}
+	// Final exactness: bit-identical to the uninterrupted single node,
+	// for closed forms and pair measures.
+	assertSigmaMatches(t, tc, ref, "post-chaos")
+
+	// The restarted replica must be a full read citizen again: kill its
+	// peer and read everything through it alone.
+	tc.nodes[0][0].crash()
+	assertSigmaMatches(t, tc, ref, "served by recovered replica")
+	tc.nodes[0][0].restart()
+	tc.coord.ProbeNow()
+
+	// And the recovered replica's state must byte-match its peer's.
+	ex0 := exportOf(t, tc, 0, 0)
+	ex1 := exportOf(t, tc, 0, 1)
+	if string(ex0) != string(ex1) {
+		t.Fatal("recovered replica diverged from its peer")
+	}
+}
+
+// exportOf renders group g replica r's aggregate export with the
+// node-local epoch normalized out.
+func exportOf(t *testing.T, tc *testCluster, g, r int) []byte {
+	t.Helper()
+	ex := tc.nodes[g][r].eng.(*incr.Sharded).ExportAggregates()
+	ex.Epoch = 0
+	return ex.AppendBinary(nil)
+}
+
+// TestClusterRestartDurability pins the zero-lost-acked-writes claim
+// directly: ack a batch, crash BOTH replicas of its group, restart
+// them from their WALs, and the data must still be there — bit-exact.
+func TestClusterRestartDurability(t *testing.T) {
+	tc := newTestCluster(t, 1, 2, true, nil)
+	ref := newReference(t)
+	for i := 0; i < 6; i++ {
+		b := batchFor(i)
+		rec := tc.ingest(b)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, rec.Code, rec.Body)
+		}
+		var ack struct {
+			Durable    *bool `json:"durable"`
+			Replicated bool  `json:"replicated"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &ack); err != nil {
+			t.Fatal(err)
+		}
+		if !ack.Replicated {
+			t.Fatalf("ingest %d not replicated: %s", i, rec.Body)
+		}
+		if ack.Durable == nil || !*ack.Durable {
+			t.Fatalf("ingest %d not durable: %s", i, rec.Body)
+		}
+		ref.apply(b)
+	}
+	tc.nodes[0][0].crash()
+	tc.nodes[0][1].crash()
+	tc.nodes[0][0].restart()
+	tc.nodes[0][1].restart()
+	tc.coord.ProbeNow()
+	assertSigmaMatches(t, tc, ref, "after full-group crash+recovery")
+}
+
+// TestGroupForStable pins the routing hash: the same subject maps to
+// the same group forever (changing this silently re-shards every
+// deployed cluster).
+func TestGroupForStable(t *testing.T) {
+	for _, c := range []struct {
+		subject string
+		groups  int
+		want    int
+	}{
+		{"http://c/s0", 2, GroupFor("http://c/s0", 2)},
+	} {
+		for i := 0; i < 100; i++ {
+			if got := GroupFor(c.subject, c.groups); got != c.want {
+				t.Fatalf("GroupFor(%q) unstable: %d then %d", c.subject, c.want, got)
+			}
+		}
+	}
+	// Spread: 200 subjects over 4 groups should not collapse.
+	counts := make([]int, 4)
+	for i := 0; i < 200; i++ {
+		counts[GroupFor(fmt.Sprintf("http://c/s%d", i), 4)]++
+	}
+	for g, n := range counts {
+		if n == 0 {
+			t.Fatalf("group %d empty over 200 subjects: %v", g, counts)
+		}
+	}
+}

@@ -1,0 +1,379 @@
+// Package cluster is the multi-node tier of the serving stack: a
+// coordinator that routes subject-hash ranges to R-way replicated
+// worker groups over HTTP, fans snapshot reads (/sigma, /stats,
+// /refine) across the groups, and merges each node's σ-aggregates
+// with the exact Merge primitives from internal/rules and
+// internal/matrix — so a clustered answer is bit-identical to a
+// single node holding all the data, never an approximation.
+//
+// The design leans on the same invariant the sharded engine proved
+// in-process: every σ-aggregate (N_p, |S|, the pair matrix C, the
+// signature multiset) is additive over subject-disjoint partitions.
+// Subjects are routed to groups by a stable string hash, each group
+// holds its range on R replicas, and a read needs only one live
+// replica per group.
+//
+// Robustness model:
+//
+//   - Writes replicate to every replica in a group before acking, so
+//     an acked write survives any single-replica crash and replicas
+//     never diverge on acked data. A group with a dead replica sheds
+//     writes with 503 + Retry-After (nothing acked); adds and removes
+//     are idempotent, so the client's retry-until-ack heals any
+//     partially applied batch, and a restarted replica rejoins exactly
+//     via its WAL recovery.
+//   - Reads fail over: replicas are probed by heartbeat, ejected after
+//     consecutive failures, and a slow primary is hedged after a
+//     p99-based delay. A fully-down group yields 503 + Retry-After —
+//     or, when the client opts in with ?partial=1, a 200 flagged
+//     partial with the missing groups listed. Never a silently wrong
+//     merged number.
+//   - Every worker call runs under a timeout with capped exponential
+//     backoff + full-jitter retries (internal/retry).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/retry"
+)
+
+// Topology is the static cluster layout: Groups[g] lists the base
+// URLs of group g's replicas. Subjects are routed to groups by
+// GroupFor; every replica of a group holds the group's full range.
+type Topology struct {
+	Groups [][]string
+}
+
+// Validate checks the layout is servable.
+func (t Topology) Validate() error {
+	if len(t.Groups) == 0 {
+		return fmt.Errorf("cluster: topology has no groups")
+	}
+	for g, reps := range t.Groups {
+		if len(reps) == 0 {
+			return fmt.Errorf("cluster: group %d has no replicas", g)
+		}
+		for r, u := range reps {
+			if u == "" {
+				return fmt.Errorf("cluster: group %d replica %d has an empty URL", g, r)
+			}
+		}
+	}
+	return nil
+}
+
+// GroupFor routes a subject to its group: FNV-1a over the subject
+// string, mixed and reduced mod the group count. The hash is over the
+// subject's text (not a node-local term ID), so routing is identical
+// across coordinators and across restarts.
+func GroupFor(subject string, groups int) int {
+	h := fnv.New64a()
+	h.Write([]byte(subject))
+	z := h.Sum64()
+	// splitmix64 finalizer: FNV's low bits are weak for small alphabets.
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int(z % uint64(groups))
+}
+
+// Options configures a Coordinator.
+type Options struct {
+	// Client issues all worker requests. Default: a client with no
+	// global timeout (per-request contexts bound every call). Tests
+	// inject a faulty Transport here.
+	Client *http.Client
+	// ReadTimeout bounds one read attempt against one replica
+	// (default 5s).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds one write attempt against one replica
+	// (default 30s — a write waits on the worker's durability barrier).
+	WriteTimeout time.Duration
+	// Retry is the per-replica retry schedule (zero value: 4 attempts,
+	// 50ms base, 2s cap, full jitter).
+	Retry retry.Policy
+	// HeartbeatInterval is the health-probe period (default 1s;
+	// negative disables the background prober — request-path results
+	// still drive health, which is what the in-process tests use).
+	HeartbeatInterval time.Duration
+	// FailThreshold is the consecutive-failure count that ejects a
+	// replica from the read rotation (default 3). Any success readmits
+	// it.
+	FailThreshold int
+	// HedgeDelay floors the hedged-read delay; the operative delay is
+	// max(HedgeDelay, observed read p99) (default 25ms). Negative
+	// disables hedging.
+	HedgeDelay time.Duration
+	// Metrics, when set, registers the rdf_cluster_* families.
+	Metrics *metrics.Registry
+	// Logf sinks coordinator events (default log.Printf).
+	Logf func(format string, args ...interface{})
+}
+
+func (o *Options) withDefaults() {
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 5 * time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = time.Second
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.HedgeDelay == 0 {
+		o.HedgeDelay = 25 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+}
+
+// Coordinator is the cluster front end: an http.Handler serving the
+// public read/write surface against a worker topology.
+type Coordinator struct {
+	opts   Options
+	groups []*group
+	mux    *http.ServeMux
+	met    *clusterMetrics
+	lat    *latencyWindow
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// group is one replicated subject-hash range.
+type group struct {
+	id       int
+	replicas []*worker
+}
+
+// New validates the topology and returns a running coordinator
+// (heartbeat prober started unless disabled). Close stops it.
+func New(t Topology, opts Options) (*Coordinator, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	opts.withDefaults()
+	c := &Coordinator{
+		opts: opts,
+		mux:  http.NewServeMux(),
+		lat:  newLatencyWindow(256),
+		stop: make(chan struct{}),
+	}
+	for g, reps := range t.Groups {
+		grp := &group{id: g}
+		for r, u := range reps {
+			grp.replicas = append(grp.replicas, newWorker(u, g, r, &c.opts))
+		}
+		c.groups = append(c.groups, grp)
+	}
+	if reg := opts.Metrics; reg != nil {
+		c.met = newClusterMetrics(reg, c)
+	}
+	c.mux.HandleFunc("GET /{$}", c.handleIndex)
+	c.mux.HandleFunc("GET /sigma", c.instrumented("sigma", c.handleSigma))
+	c.mux.HandleFunc("GET /refine", c.instrumented("refine", c.handleRefine))
+	c.mux.HandleFunc("GET /stats", c.instrumented("stats", c.handleStats))
+	c.mux.HandleFunc("POST /triples", c.instrumented("triples", c.handleTriples))
+	if opts.Metrics != nil {
+		c.mux.Handle("GET /metrics", opts.Metrics.Handler())
+	}
+	if opts.HeartbeatInterval > 0 {
+		c.wg.Add(1)
+		go c.heartbeatLoop()
+	}
+	return c, nil
+}
+
+// Close stops the heartbeat prober. The handler keeps serving
+// (request-path health updates continue); Close exists for orderly
+// shutdown and tests.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// ServeHTTP implements http.Handler.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mux.ServeHTTP(w, r)
+}
+
+// instrumented wraps a handler with the fan-out latency histogram.
+func (c *Coordinator) instrumented(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	if c.met == nil {
+		return h
+	}
+	hist := c.met.fanout.With(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(t0).Seconds())
+	}
+}
+
+func (c *Coordinator) handleIndex(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"service": "rdfcoord",
+		"groups":  len(c.groups),
+		"endpoints": []string{
+			"POST /triples  (N-Triples body, or JSON {add:[],remove:[]})",
+			"GET  /sigma?fn=cov|sim|dep[p1,p2]|...&partial=1",
+			"GET  /refine?fn=cov&mode=lowestk|highesttheta&...",
+			"GET  /stats",
+		},
+	})
+}
+
+// snapshotHealth is the /stats health view of one replica.
+type replicaHealth struct {
+	URL          string `json:"url"`
+	Healthy      bool   `json:"healthy"`
+	ConsecFails  int    `json:"consecFails"`
+	Epoch        uint64 `json:"epoch"`
+	LastProbeMs  int64  `json:"lastProbeAgoMs"`
+	TotalFails   uint64 `json:"totalFails"`
+	TotalHedges  uint64 `json:"totalHedges"`
+	TotalServes  uint64 `json:"totalServes"`
+	TotalReplays uint64 `json:"totalWrites"`
+}
+
+func (c *Coordinator) healthView() []map[string]interface{} {
+	out := make([]map[string]interface{}, len(c.groups))
+	for g, grp := range c.groups {
+		reps := make([]replicaHealth, len(grp.replicas))
+		healthy := 0
+		for i, wk := range grp.replicas {
+			reps[i] = wk.healthView()
+			if reps[i].Healthy {
+				healthy++
+			}
+		}
+		out[g] = map[string]interface{}{
+			"group":    g,
+			"healthy":  healthy,
+			"replicas": reps,
+		}
+	}
+	return out
+}
+
+// clusterMetrics is the rdf_cluster_* family set.
+type clusterMetrics struct {
+	healthy   *metrics.GaugeVec     // worker
+	probes    *metrics.CounterVec   // worker, result
+	retries   *metrics.Counter      // worker-call retries (all endpoints)
+	failovers *metrics.Counter      // reads answered by a non-primary replica
+	hedges    *metrics.Counter      // hedge requests launched
+	partial   *metrics.Counter      // partial σ reads served
+	groupDown *metrics.Counter      // reads/writes refused for a down group
+	writeFail *metrics.Counter      // write batches refused (not acked)
+	fanout    *metrics.HistogramVec // endpoint
+}
+
+func newClusterMetrics(reg *metrics.Registry, c *Coordinator) *clusterMetrics {
+	m := &clusterMetrics{
+		healthy: reg.GaugeVec("rdf_cluster_worker_healthy",
+			"1 when the worker is in the read rotation, 0 when ejected.", "worker"),
+		probes: reg.CounterVec("rdf_cluster_probes_total",
+			"Health probes by worker and result.", "worker", "result"),
+		retries: reg.Counter("rdf_cluster_retries_total",
+			"Worker-call retry attempts (beyond each call's first try)."),
+		failovers: reg.Counter("rdf_cluster_failovers_total",
+			"Group reads answered by a replica other than the preferred one."),
+		hedges: reg.Counter("rdf_cluster_hedged_reads_total",
+			"Hedge requests launched after the p99-based delay."),
+		partial: reg.Counter("rdf_cluster_partial_reads_total",
+			"σ reads answered partial (at least one group missing, client opted in)."),
+		groupDown: reg.Counter("rdf_cluster_group_down_total",
+			"Requests refused because a group had no live replica."),
+		writeFail: reg.Counter("rdf_cluster_write_rejected_total",
+			"Write batches refused before full replication (503, nothing acked)."),
+		fanout: reg.HistogramVec("rdf_cluster_fanout_seconds",
+			"Coordinator end-to-end latency, by endpoint.", metrics.DefLatencyBuckets, "endpoint"),
+	}
+	for _, grp := range c.groups {
+		for _, wk := range grp.replicas {
+			wk.gauge = m.healthy.With(wk.label)
+			wk.gauge.Set(1)
+			m.probes.With(wk.label, "ok")
+			m.probes.With(wk.label, "fail")
+		}
+	}
+	for _, ep := range []string{"sigma", "refine", "stats", "triples"} {
+		m.fanout.With(ep)
+	}
+	return m
+}
+
+// latencyWindow is a bounded ring of recent read latencies; its p99
+// sets the hedged-read delay, so hedging adapts to the workers'
+// actual service time instead of a guessed constant.
+type latencyWindow struct {
+	mu   sync.Mutex
+	buf  []time.Duration
+	next int
+	full bool
+}
+
+func newLatencyWindow(n int) *latencyWindow {
+	return &latencyWindow{buf: make([]time.Duration, n)}
+}
+
+func (l *latencyWindow) observe(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.next] = d
+	l.next++
+	if l.next == len(l.buf) {
+		l.next, l.full = 0, true
+	}
+	l.mu.Unlock()
+}
+
+// p99 returns the 99th-percentile latency of the window, or 0 with
+// no samples yet.
+func (l *latencyWindow) p99() time.Duration {
+	l.mu.Lock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	tmp := append([]time.Duration(nil), l.buf[:n]...)
+	l.mu.Unlock()
+	if len(tmp) == 0 {
+		return 0
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	idx := len(tmp) * 99 / 100
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}
+
+// hedgeDelay is the operative hedged-read delay: the observed read
+// p99, floored at Options.HedgeDelay.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	if c.opts.HedgeDelay < 0 {
+		return -1
+	}
+	d := c.lat.p99()
+	if d < c.opts.HedgeDelay {
+		d = c.opts.HedgeDelay
+	}
+	return d
+}

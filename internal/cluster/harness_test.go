@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/incr"
+	"repro/internal/retry"
+	"repro/internal/serve"
+	"repro/internal/wal"
+)
+
+// fakeNet is the in-process cluster fabric: an http.RoundTripper that
+// dispatches requests to registered worker handlers by host, with
+// per-worker fault policies — the wal/faultfs discipline applied to
+// the network. Policies compose: a downed worker refuses instantly, a
+// delayed one stalls (honoring the request context, like a real
+// half-open connection), failN injects transient 500-style transport
+// errors.
+type fakeNet struct {
+	mu       sync.Mutex
+	handlers map[string]http.Handler
+	policies map[string]*faultPolicy
+	requests map[string]int // per-host request counter
+}
+
+type faultPolicy struct {
+	down  bool          // connection refused
+	delay time.Duration // stall before dispatch (partition when > timeout)
+	failN int           // fail this many requests with a transport error
+}
+
+func newFakeNet() *fakeNet {
+	return &fakeNet{
+		handlers: map[string]http.Handler{},
+		policies: map[string]*faultPolicy{},
+		requests: map[string]int{},
+	}
+}
+
+func (f *fakeNet) register(host string, h http.Handler) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.handlers[host] = h
+	if f.policies[host] == nil {
+		f.policies[host] = &faultPolicy{}
+	}
+}
+
+func (f *fakeNet) setDown(host string, down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.policies[host].down = down
+}
+
+func (f *fakeNet) setDelay(host string, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.policies[host].delay = d
+}
+
+func (f *fakeNet) failNext(host string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.policies[host].failN = n
+}
+
+func (f *fakeNet) requestCount(host string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.requests[host]
+}
+
+func (f *fakeNet) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	f.mu.Lock()
+	h := f.handlers[host]
+	pol := f.policies[host]
+	f.requests[host]++
+	var down bool
+	var delay time.Duration
+	if pol != nil {
+		down = pol.down
+		delay = pol.delay
+		if pol.failN > 0 {
+			pol.failN--
+			f.mu.Unlock()
+			return nil, fmt.Errorf("injected transport error to %s", host)
+		}
+	}
+	f.mu.Unlock()
+	if down {
+		return nil, fmt.Errorf("dial tcp %s: connection refused", host)
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if h == nil {
+		return nil, fmt.Errorf("no route to host %s", host)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// testNode is one worker process: engine (+ optional WAL) behind a
+// ClusterWorker-mode serve handler, registered on the fabric. crash()
+// takes it off the network and closes its store; restart() recovers
+// from the same data directory into a fresh engine — the full
+// crashed-replica-rejoins path.
+type testNode struct {
+	t    *testing.T
+	net  *fakeNet
+	host string
+	dir  string // WAL data dir; "" = memory-only
+	eng  incr.Engine
+	st   *wal.Store
+}
+
+func (n *testNode) start() {
+	sh := incr.NewSharded(2, incr.Options{})
+	n.eng = sh
+	var durable serve.DurabilityBarrier
+	if n.dir != "" {
+		st, _, err := wal.Open(n.dir, sh.Dict(), sh.Shards(), wal.Options{
+			Mode: wal.SyncInterval, SyncInterval: time.Millisecond,
+		})
+		if err != nil {
+			n.t.Fatalf("node %s: wal open: %v", n.host, err)
+		}
+		n.st = st
+		durable = st
+	}
+	srv := serve.New(n.eng, serve.Options{
+		Logf:          n.t.Logf,
+		ClusterWorker: true,
+		Durable:       durable,
+	})
+	n.net.register(n.host, srv)
+	n.net.setDown(n.host, false)
+}
+
+func (n *testNode) crash() {
+	n.net.setDown(n.host, true)
+	if n.st != nil {
+		if err := n.st.Close(); err != nil {
+			n.t.Logf("node %s: close on crash: %v", n.host, err)
+		}
+		n.st = nil
+	}
+}
+
+func (n *testNode) restart() { n.start() }
+
+func (n *testNode) stop() {
+	if n.st != nil {
+		_ = n.st.Close()
+		n.st = nil
+	}
+}
+
+// testCluster is G groups × R replicas on a fakeNet plus a
+// coordinator wired through it.
+type testCluster struct {
+	t     *testing.T
+	net   *fakeNet
+	nodes [][]*testNode // [group][replica]
+	coord *Coordinator
+}
+
+// newTestCluster builds the cluster. durable=true backs every node
+// with a WAL in its own temp dir.
+func newTestCluster(t *testing.T, groups, replicas int, durable bool, tune func(*Options)) *testCluster {
+	t.Helper()
+	net := newFakeNet()
+	tc := &testCluster{t: t, net: net}
+	var topo Topology
+	for g := 0; g < groups; g++ {
+		var row []*testNode
+		var urls []string
+		for r := 0; r < replicas; r++ {
+			host := fmt.Sprintf("g%dr%d.test", g, r)
+			n := &testNode{t: t, net: net, host: host}
+			if durable {
+				n.dir = t.TempDir()
+			}
+			n.start()
+			row = append(row, n)
+			urls = append(urls, "http://"+host)
+		}
+		tc.nodes = append(tc.nodes, row)
+		topo.Groups = append(topo.Groups, urls)
+	}
+	opts := Options{
+		Client:            &http.Client{Transport: net},
+		ReadTimeout:       250 * time.Millisecond,
+		WriteTimeout:      2 * time.Second,
+		Retry:             retry.Policy{Attempts: 3, Base: time.Millisecond, Max: 5 * time.Millisecond},
+		HeartbeatInterval: -1, // tests drive probes explicitly
+		FailThreshold:     2,
+		HedgeDelay:        20 * time.Millisecond,
+		Logf:              t.Logf,
+	}
+	if tune != nil {
+		tune(&opts)
+	}
+	coord, err := New(topo, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.coord = coord
+	t.Cleanup(func() {
+		coord.Close()
+		for _, row := range tc.nodes {
+			for _, n := range row {
+				n.stop()
+			}
+		}
+	})
+	return tc
+}
+
+// do issues one request against the coordinator handler.
+func (tc *testCluster) do(method, target, contentType, body string) *httptest.ResponseRecorder {
+	tc.t.Helper()
+	var req *http.Request
+	if body == "" {
+		req = httptest.NewRequest(method, target, nil)
+	} else {
+		req = httptest.NewRequest(method, target, strings.NewReader(body))
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rec := httptest.NewRecorder()
+	tc.coord.ServeHTTP(rec, req)
+	return rec
+}

@@ -1,0 +1,380 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/incr"
+	"repro/internal/matrix"
+	"repro/internal/retry"
+	"repro/internal/rules"
+	"repro/internal/serve"
+)
+
+// retryAfterSeconds is the hint on every coordinator 503/429: the
+// cluster heals on heartbeat timescales, so "retry shortly" is honest.
+const retryAfterSeconds = 1
+
+// readGroup fetches one group's value with failover and hedging:
+// replicas are tried healthy-first; the preferred replica gets a head
+// start of hedgeDelay (the observed read p99), then the next candidate
+// is raced against it; the first success wins and every attempt's
+// outcome feeds health. Each replica attempt runs under the retry
+// policy. Only an all-replica failure fails the group.
+func readGroup[T any](c *Coordinator, ctx context.Context, grp *group,
+	fetch func(context.Context, *worker) (T, error)) (T, error) {
+
+	candidates := orderReplicas(grp)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type outcome struct {
+		val  T
+		err  error
+		rank int
+		wk   *worker
+	}
+	results := make(chan outcome, len(candidates))
+	attempt := func(rank int, hedge bool) {
+		wk := candidates[rank]
+		if hedge {
+			wk.mu.Lock()
+			wk.totalHedges++
+			wk.mu.Unlock()
+			if c.met != nil {
+				c.met.hedges.Inc()
+			}
+		}
+		go func() {
+			t0 := time.Now()
+			var val T
+			err := retry.Do(ctx, c.opts.Retry, func(n int) error {
+				if n > 0 && c.met != nil {
+					c.met.retries.Inc()
+				}
+				var ferr error
+				val, ferr = fetch(ctx, wk)
+				return ferr
+			})
+			if err == nil {
+				wk.ok(0)
+				c.lat.observe(time.Since(t0))
+			} else if ctx.Err() == nil {
+				// Don't indict the worker for our own cancellation (a
+				// faster replica already answered).
+				wk.fail()
+			}
+			results <- outcome{val: val, err: err, rank: rank, wk: wk}
+		}()
+	}
+
+	attempt(0, false)
+	launched := 1
+	pending := 1
+	var hedgeC <-chan time.Time
+	if d := c.hedgeDelay(); d >= 0 && launched < len(candidates) {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var lastErr error
+	for pending > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(candidates) {
+				attempt(launched, true)
+				launched++
+				pending++
+			}
+		case out := <-results:
+			pending--
+			if out.err == nil {
+				if out.rank > 0 && c.met != nil {
+					c.met.failovers.Inc()
+				}
+				return out.val, nil
+			}
+			lastErr = out.err
+			// A failed attempt launches the next candidate immediately —
+			// failover does not wait for the hedge timer.
+			if launched < len(candidates) && ctx.Err() == nil {
+				attempt(launched, false)
+				launched++
+				pending++
+				if out.rank == 0 && c.met != nil {
+					c.met.failovers.Inc()
+				}
+			}
+		case <-ctx.Done():
+			var zero T
+			if lastErr == nil {
+				lastErr = ctx.Err()
+			}
+			return zero, lastErr
+		}
+	}
+	var zero T
+	if lastErr == nil {
+		lastErr = fmt.Errorf("group %d: no replicas", grp.id)
+	}
+	return zero, fmt.Errorf("group %d: all replicas failed: %w", grp.id, lastErr)
+}
+
+// orderReplicas returns the group's replicas healthy-first (stable
+// within each class), with ejected replicas kept at the tail as a
+// last resort — when everything is marked down, trying one beats
+// refusing outright, and a success readmits it.
+func orderReplicas(grp *group) []*worker {
+	out := append([]*worker(nil), grp.replicas...)
+	sort.SliceStable(out, func(i, j int) bool {
+		hi, hj := out[i].isHealthy(), out[j].isHealthy()
+		return hi && !hj
+	})
+	return out
+}
+
+// groupAggs fans the aggregate fetch across all groups in parallel.
+// Missing lists the groups with no live replica.
+func (c *Coordinator) groupAggs(ctx context.Context) (exports []*incr.AggregateExport, missing []int) {
+	type res struct {
+		g  int
+		ex *incr.AggregateExport
+		ok bool
+	}
+	ch := make(chan res, len(c.groups))
+	var wg sync.WaitGroup
+	for _, grp := range c.groups {
+		wg.Add(1)
+		go func(grp *group) {
+			defer wg.Done()
+			ex, err := readGroup(c, ctx, grp, func(ctx context.Context, w *worker) (*incr.AggregateExport, error) {
+				return w.agg(ctx)
+			})
+			if err != nil {
+				c.opts.Logf("cluster: group %d aggregate read failed: %v", grp.id, err)
+				ch <- res{g: grp.id}
+				return
+			}
+			ch <- res{g: grp.id, ex: ex, ok: true}
+		}(grp)
+	}
+	wg.Wait()
+	close(ch)
+	for r := range ch {
+		if r.ok {
+			exports = append(exports, r.ex)
+		} else {
+			missing = append(missing, r.g)
+		}
+	}
+	sort.Ints(missing)
+	return exports, missing
+}
+
+// groupViews fans the snapshot-view fetch across all groups.
+func (c *Coordinator) groupViews(ctx context.Context) (epoch uint64, views []*matrix.View, missing []int) {
+	type viewRes struct {
+		epoch uint64
+		view  *matrix.View
+	}
+	type res struct {
+		g  int
+		v  viewRes
+		ok bool
+	}
+	ch := make(chan res, len(c.groups))
+	var wg sync.WaitGroup
+	for _, grp := range c.groups {
+		wg.Add(1)
+		go func(grp *group) {
+			defer wg.Done()
+			v, err := readGroup(c, ctx, grp, func(ctx context.Context, w *worker) (viewRes, error) {
+				e, view, err := w.view(ctx)
+				return viewRes{epoch: e, view: view}, err
+			})
+			if err != nil {
+				c.opts.Logf("cluster: group %d view read failed: %v", grp.id, err)
+				ch <- res{g: grp.id}
+				return
+			}
+			ch <- res{g: grp.id, v: v, ok: true}
+		}(grp)
+	}
+	wg.Wait()
+	close(ch)
+	for r := range ch {
+		if r.ok {
+			epoch += r.v.epoch
+			views = append(views, r.v.view)
+		} else {
+			missing = append(missing, r.g)
+		}
+	}
+	sort.Ints(missing)
+	return epoch, views, missing
+}
+
+// degrade handles missing groups on a read: without ?partial=1 the
+// read is refused (503 + Retry-After — never a silently wrong merged
+// number); with it, the caller proceeds on the surviving groups and
+// the response is flagged. Returns true when the request was answered
+// here (refused or nothing left to merge).
+func (c *Coordinator) degrade(w http.ResponseWriter, missing []int, partialOK bool, survivors int) bool {
+	if len(missing) == 0 {
+		return false
+	}
+	if c.met != nil {
+		c.met.groupDown.Inc()
+	}
+	if !partialOK || survivors == 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+			"error":             fmt.Sprintf("groups %v have no live replica; an exact answer is impossible right now", missing),
+			"missingGroups":     missing,
+			"retryAfterSeconds": retryAfterSeconds,
+		})
+		return true
+	}
+	if c.met != nil {
+		c.met.partial.Inc()
+	}
+	return false
+}
+
+// handleSigma answers GET /sigma with the exactly merged cluster-wide
+// value: closed-form measures evaluate on the merged (N_p, C, |S|)
+// aggregates; anything else merges the full snapshot views. With
+// ?partial=1 a down group degrades the answer to the surviving
+// subject population, flagged — without it, a down group is a 503.
+func (c *Coordinator) handleSigma(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("fn")
+	if name == "" {
+		name = "cov"
+	}
+	fn, _, err := core.Builtin(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	partialOK := r.URL.Query().Get("partial") == "1"
+	exports, missing := c.groupAggs(r.Context())
+	if c.degrade(w, missing, partialOK, len(exports)) {
+		return
+	}
+	merged, pairsOK := incr.MergeAggregateExports(exports)
+	if merged.Tracker.Subjects() == 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+			"error":             "dataset is empty; ingest triples before reading σ",
+			"retryAfterSeconds": retryAfterSeconds,
+		})
+		return
+	}
+	resp := map[string]interface{}{"fn": fn.Name(), "epoch": merged.Epoch}
+	c.flagPartial(resp, missing)
+	var ratio rules.Ratio
+	solved := false
+	if cf, ok := fn.(rules.CountsFunc); ok {
+		ratio = merged.Sigma(cf)
+		solved = true
+	} else if pf, ok := fn.(rules.PairCountsFunc); ok && pairsOK {
+		ratio, solved = merged.SigmaPairs(pf)
+	}
+	if !solved {
+		// Generic measure (or a pairless worker in the mix): merge the
+		// full views — still exact, just the expensive path.
+		epoch, views, vMissing := c.groupViews(r.Context())
+		if c.degrade(w, vMissing, partialOK, len(views)) {
+			return
+		}
+		view, err := matrix.MergeViews(views...)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "merge views: %v", err)
+			return
+		}
+		ratio, err = fn.Eval(view)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		resp["epoch"] = epoch
+		c.flagPartial(resp, vMissing)
+	}
+	resp["value"] = ratio.Value()
+	resp["ratio"] = ratio.String()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// flagPartial marks a degraded response so a partial number can never
+// be mistaken for the cluster-wide one.
+func (c *Coordinator) flagPartial(resp map[string]interface{}, missing []int) {
+	if len(missing) > 0 {
+		resp["partial"] = true
+		resp["missingGroups"] = missing
+	}
+}
+
+// handleRefine answers GET /refine against the merged cluster
+// snapshot: one view per group (hedged, failover), merged with the
+// exact MergeViews, then the same search pipeline a single node runs.
+func (c *Coordinator) handleRefine(w http.ResponseWriter, r *http.Request) {
+	rp, err := serve.ParseRefineQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	partialOK := r.URL.Query().Get("partial") == "1"
+	epoch, views, missing := c.groupViews(r.Context())
+	if c.degrade(w, missing, partialOK, len(views)) {
+		return
+	}
+	view, err := matrix.MergeViews(views...)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "merge views: %v", err)
+		return
+	}
+	if view.NumSignatures() == 0 {
+		writeError(w, http.StatusConflict, "dataset is empty")
+		return
+	}
+	snap := &incr.Snapshot{Epoch: epoch, View: view}
+	out, err := rp.Run(snap, r.Context().Done())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := rp.Render(snap, out)
+	c.flagPartial(resp, missing)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStats answers GET /stats: per-replica health, per-group
+// epochs, and the merged dataset stats when every group is
+// reachable (partial stats are flagged like partial σ reads).
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]interface{}{
+		"cluster": map[string]interface{}{
+			"groups":     len(c.groups),
+			"hedgeDelay": c.hedgeDelay().String(),
+			"health":     c.healthView(),
+		},
+	}
+	exports, missing := c.groupAggs(r.Context())
+	if len(exports) > 0 {
+		merged, _ := incr.MergeAggregateExports(exports)
+		resp["stats"] = map[string]interface{}{
+			"epoch":      merged.Epoch,
+			"subjects":   merged.Tracker.Subjects(),
+			"properties": len(merged.Names),
+		}
+	}
+	c.flagPartial(resp, missing)
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/incr"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/retry"
+	"repro/internal/serve"
+)
+
+// worker is the coordinator's view of one replica: an HTTP client for
+// its internal endpoints plus its health state. Health is driven from
+// both the heartbeat prober and request-path outcomes, so a replica
+// that dies between probes is ejected by the first failed read.
+type worker struct {
+	url   string
+	label string // "g0r1", the metrics/worker label
+	group int
+	idx   int
+	opts  *Options
+
+	mu          sync.Mutex
+	healthy     bool
+	consecFails int
+	epoch       uint64
+	lastProbe   time.Time
+
+	totalFails  uint64
+	totalHedges uint64
+	totalServes uint64
+	totalWrites uint64
+
+	gauge *metrics.Gauge // rdf_cluster_worker_healthy child; nil without metrics
+}
+
+func newWorker(url string, group, idx int, opts *Options) *worker {
+	return &worker{
+		url:     url,
+		label:   fmt.Sprintf("g%dr%d", group, idx),
+		group:   group,
+		idx:     idx,
+		opts:    opts,
+		healthy: true,
+	}
+}
+
+// ok records a successful call: readmits the worker immediately (one
+// good response is proof of life) and notes its epoch when known.
+func (w *worker) ok(epoch uint64) {
+	w.mu.Lock()
+	was := w.healthy
+	w.healthy = true
+	w.consecFails = 0
+	if epoch > 0 {
+		w.epoch = epoch
+	}
+	w.lastProbe = time.Now()
+	w.totalServes++
+	w.mu.Unlock()
+	if !was && w.gauge != nil {
+		w.gauge.Set(1)
+	}
+}
+
+// fail records a failed call; FailThreshold consecutive failures
+// eject the worker from the read rotation.
+func (w *worker) fail() {
+	w.mu.Lock()
+	w.consecFails++
+	w.totalFails++
+	w.lastProbe = time.Now()
+	ejected := w.healthy && w.consecFails >= w.opts.FailThreshold
+	if ejected {
+		w.healthy = false
+	}
+	w.mu.Unlock()
+	if ejected {
+		w.opts.Logf("cluster: worker %s (%s) ejected after %d consecutive failures",
+			w.label, w.url, w.opts.FailThreshold)
+		if w.gauge != nil {
+			w.gauge.Set(0)
+		}
+	}
+}
+
+func (w *worker) isHealthy() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy
+}
+
+func (w *worker) healthView() replicaHealth {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ago := int64(-1)
+	if !w.lastProbe.IsZero() {
+		ago = time.Since(w.lastProbe).Milliseconds()
+	}
+	return replicaHealth{
+		URL:          w.url,
+		Healthy:      w.healthy,
+		ConsecFails:  w.consecFails,
+		Epoch:        w.epoch,
+		LastProbeMs:  ago,
+		TotalFails:   w.totalFails,
+		TotalHedges:  w.totalHedges,
+		TotalServes:  w.totalServes,
+		TotalReplays: w.totalWrites,
+	}
+}
+
+// get issues one GET against the worker (no retries — retry policy
+// lives in the callers) and returns the body on 200.
+func (w *worker) get(ctx context.Context, path string, timeout time.Duration) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<30))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s %s: status %d", w.label, path, resp.StatusCode)
+	}
+	return body, nil
+}
+
+// health probes the worker's liveness endpoint (single attempt — the
+// heartbeat loop is itself the retry schedule).
+func (w *worker) health(ctx context.Context) (uint64, error) {
+	body, err := w.get(ctx, serve.WorkerHealthPath, w.opts.ReadTimeout)
+	if err != nil {
+		return 0, err
+	}
+	var h struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		return 0, fmt.Errorf("%s health: %w", w.label, err)
+	}
+	return h.Epoch, nil
+}
+
+// agg fetches the worker's epoch-cut aggregate export.
+func (w *worker) agg(ctx context.Context) (*incr.AggregateExport, error) {
+	body, err := w.get(ctx, serve.WorkerAggPath, w.opts.ReadTimeout)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := incr.DecodeAggregateExport(body)
+	if err != nil {
+		// A malformed body from a live worker will not improve on retry.
+		return nil, retry.Permanent(fmt.Errorf("%s agg: %w", w.label, err))
+	}
+	return ex, nil
+}
+
+// view fetches the worker's epoch-cut snapshot view.
+func (w *worker) view(ctx context.Context) (uint64, *matrix.View, error) {
+	body, err := w.get(ctx, serve.WorkerViewPath, w.opts.ReadTimeout)
+	if err != nil {
+		return 0, nil, err
+	}
+	epoch, n := binary.Uvarint(body)
+	if n <= 0 {
+		return 0, nil, retry.Permanent(fmt.Errorf("%s view: truncated epoch", w.label))
+	}
+	v, err := matrix.DecodeView(body[n:])
+	if err != nil {
+		return 0, nil, retry.Permanent(fmt.Errorf("%s view: %w", w.label, err))
+	}
+	return epoch, v, nil
+}
+
+// ingestAck is a worker's POST /triples reply, as the coordinator
+// reads it.
+type ingestAck struct {
+	Added   int    `json:"added"`
+	Removed int    `json:"removed"`
+	Durable *bool  `json:"durable"`
+	Error   string `json:"error"`
+}
+
+// postTriples replicates one partition to the worker: JSON
+// {add, remove} body, one attempt. A 429 (shed) or 5xx is retryable;
+// other non-200s are permanent.
+func (w *worker) postTriples(ctx context.Context, body []byte) (*ingestAck, error) {
+	ctx, cancel := context.WithTimeout(ctx, w.opts.WriteTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/triples", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	var ack ingestAck
+	_ = json.Unmarshal(raw, &ack)
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		w.mu.Lock()
+		w.totalWrites++
+		w.mu.Unlock()
+		return &ack, nil
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		return nil, fmt.Errorf("%s write: status %d: %s", w.label, resp.StatusCode, ack.Error)
+	default:
+		return nil, retry.Permanent(fmt.Errorf("%s write: status %d: %s", w.label, resp.StatusCode, ack.Error))
+	}
+}
+
+// heartbeatLoop probes every worker each interval until Close.
+func (c *Coordinator) heartbeatLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			c.probeAll()
+		}
+	}
+}
+
+// probeAll runs one health sweep (exported to tests via ProbeNow).
+func (c *Coordinator) probeAll() {
+	var wg sync.WaitGroup
+	for _, grp := range c.groups {
+		for _, wk := range grp.replicas {
+			wg.Add(1)
+			go func(wk *worker) {
+				defer wg.Done()
+				epoch, err := wk.health(context.Background())
+				if err != nil {
+					wk.fail()
+					if c.met != nil {
+						c.met.probes.With(wk.label, "fail").Inc()
+					}
+					return
+				}
+				wk.ok(epoch)
+				if c.met != nil {
+					c.met.probes.With(wk.label, "ok").Inc()
+				}
+			}(wk)
+		}
+	}
+	wg.Wait()
+}
+
+// ProbeNow runs one synchronous health sweep — for tests and for
+// operators who want an immediate re-probe after restarting a worker.
+func (c *Coordinator) ProbeNow() { c.probeAll() }

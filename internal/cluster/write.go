@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/rdf"
+	"repro/internal/retry"
+)
+
+// maxWriteBody caps a coordinator ingest request (64 MiB, matching
+// the single-node default).
+const maxWriteBody = 64 << 20
+
+// partition is one group's slice of a write batch, in the JSON
+// {add, remove} form the worker ingest endpoint accepts.
+type partition struct {
+	Add    []string `json:"add,omitempty"`
+	Remove []string `json:"remove,omitempty"`
+}
+
+// handleTriples answers POST /triples: the batch is partitioned by
+// subject hash, each partition is replicated to EVERY replica of its
+// group, and the batch is acked only when every replica of every
+// touched group acked. Anything less is a 503 with Retry-After and
+// nothing reported as accepted: adds/removes are idempotent, so the
+// client's retry-until-ack converges every replica to the full batch
+// — an acked write is never lost and replicas never diverge on acked
+// data.
+//
+// Bodies: raw N-Triples (adds), or JSON {"add": [...], "remove":
+// [...]} of N-Triples lines.
+func (c *Coordinator) handleTriples(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxWriteBody)
+	defer func() { _, _ = io.Copy(io.Discard, body); _ = body.Close() }()
+
+	parts := make([]partition, len(c.groups))
+	route := func(lines []string, remove bool, what string) error {
+		for i, line := range lines {
+			t, ok, err := rdf.ParseNTriplesLine(line, i+1)
+			if err != nil {
+				return fmt.Errorf("%s[%d]: %v", what, i, err)
+			}
+			if !ok {
+				continue
+			}
+			g := GroupFor(t.Subject, len(c.groups))
+			if remove {
+				parts[g].Remove = append(parts[g].Remove, line)
+			} else {
+				parts[g].Add = append(parts[g].Add, line)
+			}
+		}
+		return nil
+	}
+
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req struct {
+			Add    []string `json:"add"`
+			Remove []string `json:"remove"`
+		}
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+		if err := route(req.Add, false, "add"); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := route(req.Remove, true, "remove"); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 64<<10), 4<<20)
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		if err := sc.Err(); err != nil {
+			writeError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		if err := route(lines, false, "line"); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+
+	type groupAck struct {
+		Group    int    `json:"group"`
+		Added    int    `json:"added"`
+		Removed  int    `json:"removed"`
+		Replicas int    `json:"replicas"`
+		Error    string `json:"error,omitempty"`
+
+		touched        bool
+		durableUnknown bool
+		notDurable     bool
+	}
+	acks := make([]groupAck, len(c.groups))
+	var wg sync.WaitGroup
+	for g, part := range parts {
+		if len(part.Add) == 0 && len(part.Remove) == 0 {
+			acks[g] = groupAck{Group: g}
+			continue
+		}
+		wg.Add(1)
+		go func(g int, part partition) {
+			defer wg.Done()
+			payload, _ := json.Marshal(part)
+			grp := c.groups[g]
+			ackCh := make(chan *ingestAck, len(grp.replicas))
+			errCh := make(chan error, len(grp.replicas))
+			var rwg sync.WaitGroup
+			for _, wk := range grp.replicas {
+				rwg.Add(1)
+				go func(wk *worker) {
+					defer rwg.Done()
+					var ack *ingestAck
+					err := retry.Do(r.Context(), c.opts.Retry, func(n int) error {
+						if n > 0 && c.met != nil {
+							c.met.retries.Inc()
+						}
+						var perr error
+						ack, perr = wk.postTriples(r.Context(), payload)
+						return perr
+					})
+					if err != nil {
+						wk.fail()
+						errCh <- fmt.Errorf("%s: %w", wk.label, err)
+						return
+					}
+					wk.ok(0)
+					ackCh <- ack
+				}(wk)
+			}
+			rwg.Wait()
+			close(ackCh)
+			close(errCh)
+			ga := groupAck{Group: g, Replicas: len(grp.replicas), touched: true}
+			for err := range errCh {
+				if ga.Error == "" {
+					ga.Error = err.Error()
+				}
+			}
+			for ack := range ackCh {
+				// Replicas apply identical partitions; their counts agree,
+				// so any one ack's numbers are the group's.
+				ga.Added, ga.Removed = ack.Added, ack.Removed
+				if ack.Durable == nil {
+					ga.durableUnknown = true
+				} else if !*ack.Durable {
+					ga.notDurable = true
+				}
+			}
+			acks[g] = ga
+		}(g, part)
+	}
+	wg.Wait()
+
+	added, removed := 0, 0
+	touchedAny := false
+	durable, durableKnown := true, true
+	var failed []int
+	for _, ga := range acks {
+		added += ga.Added
+		removed += ga.Removed
+		if ga.Error != "" {
+			failed = append(failed, ga.Group)
+		}
+		if ga.touched {
+			touchedAny = true
+			if ga.durableUnknown {
+				durableKnown = false
+			}
+			if ga.notDurable {
+				durable = false
+			}
+		}
+	}
+	if len(failed) > 0 {
+		// NOT an ack: some replica did not apply the batch. The groups
+		// that did apply keep the data (idempotent — the client's retry
+		// re-converges them), but the batch as a whole is not accepted
+		// and must be retried.
+		if c.met != nil {
+			c.met.writeFail.Inc()
+			c.met.groupDown.Inc()
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+			"error":             fmt.Sprintf("write not fully replicated (groups %v); retry the batch", failed),
+			"failedGroups":      failed,
+			"groups":            acks,
+			"replicated":        false,
+			"retryAfterSeconds": retryAfterSeconds,
+		})
+		return
+	}
+	resp := map[string]interface{}{
+		"added":      added,
+		"removed":    removed,
+		"replicated": true,
+		"groups":     acks,
+	}
+	if touchedAny && durableKnown {
+		resp["durable"] = durable
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

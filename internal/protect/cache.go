@@ -26,9 +26,9 @@ type Cache struct {
 	max   int
 	lru   *list.List // front = most recently used; values are *cacheEntry
 	byKey map[string]*list.Element
-	// refreshing maps keys to the target epoch of their in-flight
-	// background refresh (the single-flight latch).
-	refreshing map[string]uint64
+	// refreshing maps keys to their in-flight background refresh
+	// claims (the single-flight latch).
+	refreshing map[string]*refreshClaim
 
 	hits, misses, stale atomic.Int64
 	// met mirrors the internal tallies into registry counters when the
@@ -47,6 +47,17 @@ type cacheEntry struct {
 	val   any
 }
 
+// refreshClaim tracks a key's in-flight refreshes: how many holders
+// are active and the newest epoch claimed. A newer-epoch claim may
+// supersede (overlap) an older in-flight one, but the latch is only
+// released when the last active holder ends — so a superseded
+// refresh finishing early can never free the latch out from under
+// the newer holder and admit a duplicate.
+type refreshClaim struct {
+	active int
+	max    uint64
+}
+
 // NewCache returns a cache bounded to max entries (min 1).
 func NewCache(max int) *Cache {
 	if max < 1 {
@@ -56,7 +67,7 @@ func NewCache(max int) *Cache {
 		max:        max,
 		lru:        list.New(),
 		byKey:      make(map[string]*list.Element),
-		refreshing: make(map[string]uint64),
+		refreshing: make(map[string]*refreshClaim),
 	}
 }
 
@@ -76,13 +87,16 @@ func (c *Cache) Get(key string, epoch uint64) (any, bool) {
 	if ok {
 		ent := e.Value.(*cacheEntry)
 		if ent.epoch == epoch {
+			// Copy before unlocking: a racing Put updates the entry in
+			// place under the lock.
+			val := ent.val
 			c.lru.MoveToFront(e)
 			c.mu.Unlock()
 			c.hits.Add(1)
 			if c.met.Hits != nil {
 				c.met.Hits.Inc()
 			}
-			return ent.val, true
+			return val, true
 		}
 	}
 	c.mu.Unlock()
@@ -105,13 +119,14 @@ func (c *Cache) GetStale(key string) (val any, epoch uint64, ok bool) {
 		return nil, 0, false
 	}
 	ent := e.Value.(*cacheEntry)
+	val, entEpoch := ent.val, ent.epoch // copy before unlocking (Put mutates in place)
 	c.lru.MoveToFront(e)
 	c.mu.Unlock()
 	c.stale.Add(1)
 	if c.met.Stale != nil {
 		c.met.Stale.Inc()
 	}
-	return ent.val, ent.epoch, true
+	return val, entEpoch, true
 }
 
 // Put stores val under (key, epoch), replacing an older-epoch entry
@@ -141,21 +156,35 @@ func (c *Cache) Put(key string, epoch uint64, val any) {
 // BeginRefresh claims the single-flight refresh latch for key toward
 // epoch. It returns true when the caller should run the refresh (no
 // refresh toward this epoch or newer is in flight); the caller must
-// then call EndRefresh when done, success or not.
+// then call EndRefresh when done, success or not. Concurrent holders
+// for one key always have strictly increasing epochs: at most one
+// refresh per (key, epoch) is ever admitted while any holder lives.
 func (c *Cache) BeginRefresh(key string, epoch uint64) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if cur, ok := c.refreshing[key]; ok && cur >= epoch {
+	cl, ok := c.refreshing[key]
+	if !ok {
+		c.refreshing[key] = &refreshClaim{active: 1, max: epoch}
+		return true
+	}
+	if epoch <= cl.max {
 		return false
 	}
-	c.refreshing[key] = epoch
+	cl.active++
+	cl.max = epoch
 	return true
 }
 
-// EndRefresh releases the refresh latch for key.
+// EndRefresh releases one holder's claim on key's refresh latch; the
+// latch clears when the last active holder releases.
 func (c *Cache) EndRefresh(key string) {
 	c.mu.Lock()
-	delete(c.refreshing, key)
+	if cl, ok := c.refreshing[key]; ok {
+		cl.active--
+		if cl.active <= 0 {
+			delete(c.refreshing, key)
+		}
+	}
 	c.mu.Unlock()
 }
 

@@ -3,6 +3,7 @@ package protect
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -128,6 +129,66 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 	if c.Len() > 16 {
+		t.Fatalf("len = %d exceeds bound", c.Len())
+	}
+}
+
+// TestCacheRefreshLatchUnderEviction pins the latch lifecycle against
+// LRU churn: the refresh latch is keyed independently of the entry
+// table, so evicting a key's entry mid-refresh must neither release
+// its latch nor leak it (the key would never refresh again). The
+// single-flight guarantee is per (key, epoch) — a newer-epoch claim
+// may overlap an older in-flight one, but no (key, epoch) pair is
+// ever refreshed twice concurrently, even when a superseded holder
+// releases early. Every latch must be claimable again once its
+// holders drain. Run with -race.
+func TestCacheRefreshLatchUnderEviction(t *testing.T) {
+	const (
+		keys    = 8
+		workers = 8
+		iters   = 400
+	)
+	c := NewCache(2) // far below the working set: constant eviction
+	var holders [keys][iters]atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (w + i) % keys
+				key := fmt.Sprintf("k%d", k)
+				epoch := uint64(i)
+				if c.BeginRefresh(key, epoch) {
+					if n := holders[k][i].Add(1); n != 1 {
+						t.Errorf("key %s epoch %d: %d concurrent refresh holders", key, i, n)
+					}
+					// The "refresh": churn other keys through the tiny LRU
+					// so this key's entry (if any) is evicted while the
+					// latch is held, then publish the result.
+					for j := 0; j < keys; j++ {
+						c.Put(fmt.Sprintf("k%d", (k+j)%keys), epoch, j)
+					}
+					c.Put(key, epoch, w)
+					holders[k][i].Add(-1)
+					c.EndRefresh(key)
+				}
+				c.Get(key, epoch)
+				c.GetStale(key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Lifecycle must have fully drained: every latch is claimable at an
+	// epoch above everything used, and releasable.
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("k%d", k)
+		if !c.BeginRefresh(key, uint64(iters+1)) {
+			t.Fatalf("latch for %s leaked: claim refused after all refreshes ended", key)
+		}
+		c.EndRefresh(key)
+	}
+	if c.Len() > 2 {
 		t.Fatalf("len = %d exceeds bound", c.Len())
 	}
 }

@@ -1,0 +1,159 @@
+package protect
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// RateLimitConfig sizes a per-client rate limiter.
+type RateLimitConfig struct {
+	// RPS is the steady-state refill rate per client (tokens per
+	// second). Zero or negative disables the limiter (everything is
+	// allowed).
+	RPS float64
+	// Burst is the bucket capacity — how many requests a quiet client
+	// may issue back to back. Defaults to max(RPS, 1).
+	Burst float64
+	// MaxClients bounds the bucket table: the least-recently-seen
+	// client is evicted past it, so an open-world client population
+	// (e.g. keying by remote IP) cannot grow memory without bound.
+	// Default 4096.
+	MaxClients int
+	// Now is the clock (tests inject a fake one). Default time.Now.
+	Now func() time.Time
+}
+
+// RateLimiter is a per-client token-bucket limiter: each client key
+// (ID header or remote IP — the caller extracts it) owns a bucket
+// refilled at RPS up to Burst, and a request finding the bucket empty
+// is shed with a retry hint. The bucket table is LRU-bounded, so the
+// limiter's memory is O(MaxClients) regardless of the client
+// population. A freshly (re)admitted client starts with a full bucket:
+// eviction under table pressure can only ever under-limit, never
+// wrongly shed.
+type RateLimiter struct {
+	cfg RateLimitConfig
+
+	mu      sync.Mutex
+	buckets map[string]*list.Element
+	lru     *list.List // front = most recently seen
+
+	evictions uint64
+
+	// metrics, nil until Register.
+	allowed *metrics.Counter
+	shed    *metrics.Counter
+	evicted *metrics.Counter
+}
+
+// bucket is one client's token state, embedded in its LRU element.
+type bucket struct {
+	key    string
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter returns a limiter for cfg; nil when cfg.RPS is zero
+// or negative (callers treat a nil limiter as "allow everything").
+func NewRateLimiter(cfg RateLimitConfig) *RateLimiter {
+	if cfg.RPS <= 0 {
+		return nil
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = math.Max(cfg.RPS, 1)
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = 4096
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &RateLimiter{
+		cfg:     cfg,
+		buckets: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Allow spends one token from key's bucket. When the bucket is empty
+// it reports false with the duration until one token refills — the
+// Retry-After hint (rounded up to a whole second by the caller).
+func (l *RateLimiter) Allow(key string) (ok bool, retryAfter time.Duration) {
+	now := l.cfg.Now()
+	l.mu.Lock()
+	el, found := l.buckets[key]
+	var b *bucket
+	if found {
+		b = el.Value.(*bucket)
+		l.lru.MoveToFront(el)
+		// Refill for the elapsed time, capped at Burst.
+		b.tokens = math.Min(l.cfg.Burst, b.tokens+now.Sub(b.last).Seconds()*l.cfg.RPS)
+		b.last = now
+	} else {
+		b = &bucket{key: key, tokens: l.cfg.Burst, last: now}
+		l.buckets[key] = l.lru.PushFront(b)
+		if l.lru.Len() > l.cfg.MaxClients {
+			oldest := l.lru.Back()
+			l.lru.Remove(oldest)
+			delete(l.buckets, oldest.Value.(*bucket).key)
+			l.evictions++
+			if l.evicted != nil {
+				l.evicted.Inc()
+			}
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		l.mu.Unlock()
+		if l.allowed != nil {
+			l.allowed.Inc()
+		}
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.cfg.RPS
+	l.mu.Unlock()
+	if l.shed != nil {
+		l.shed.Inc()
+	}
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// Register claims the rdf_ratelimit_* families on reg.
+func (l *RateLimiter) Register(reg *metrics.Registry) {
+	l.allowed = reg.Counter("rdf_ratelimit_allowed_total",
+		"Requests admitted by the per-client rate limiter.")
+	l.shed = reg.Counter("rdf_ratelimit_shed_total",
+		"Requests shed by the per-client rate limiter (429).")
+	l.evicted = reg.Counter("rdf_ratelimit_evictions_total",
+		"Client buckets evicted from the LRU-bounded table.")
+	reg.GaugeFunc("rdf_ratelimit_clients",
+		"Client buckets currently tracked.", func() float64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return float64(len(l.buckets))
+		})
+}
+
+// RateLimitStats is the /stats summary of the limiter.
+type RateLimitStats struct {
+	RPS       float64 `json:"rps"`
+	Burst     float64 `json:"burst"`
+	Clients   int     `json:"clients"`
+	Evictions uint64  `json:"evictions"`
+}
+
+// Stats returns a point-in-time summary for /stats.
+func (l *RateLimiter) Stats() RateLimitStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return RateLimitStats{
+		RPS:       l.cfg.RPS,
+		Burst:     l.cfg.Burst,
+		Clients:   len(l.buckets),
+		Evictions: l.evictions,
+	}
+}

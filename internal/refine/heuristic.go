@@ -822,13 +822,44 @@ func mergeSeed(ge *groupEval, k int) (Assignment, error) {
 		}
 		return ge.eval(mergeSorted(groups[i], groups[j]), nil)
 	}
+	// Merge-score cache: a round's merge only changes scores involving
+	// the merged group, so the (i, j) score matrix is computed once and
+	// then delta-maintained — O(n²) evaluations across the whole
+	// agglomeration instead of O(n³). The cached entries are the exact
+	// float64 values evalPair produces and the argmax scan below visits
+	// them in the same (i ascending, j ascending, strictly-greater)
+	// order as a full rescan, so the merge sequence — and therefore the
+	// seed — is bit-identical to the uncached loop. Above the size cap
+	// the quadratic matrix isn't worth its memory and the rescan loop
+	// runs as before.
+	const mergeCacheMaxN = 2048
+	var cache [][]float64 // cache[i][j], j > i only
+	if n := len(groups); n > k && n <= mergeCacheMaxN {
+		cache = make([][]float64, n)
+		for i := range cache {
+			cache[i] = make([]float64, n)
+			for j := i + 1; j < n; j++ {
+				val, err := evalPair(i, j)
+				if err != nil {
+					return nil, err
+				}
+				cache[i][j] = val
+			}
+		}
+	}
 	for len(groups) > k {
 		bestI, bestJ, bestVal := -1, -1, -1.0
 		for i := 0; i < len(groups); i++ {
 			for j := i + 1; j < len(groups); j++ {
-				val, err := evalPair(i, j)
-				if err != nil {
-					return nil, err
+				var val float64
+				if cache != nil {
+					val = cache[i][j]
+				} else {
+					var err error
+					val, err = evalPair(i, j)
+					if err != nil {
+						return nil, err
+					}
 				}
 				if val > bestVal {
 					bestVal = val
@@ -850,6 +881,29 @@ func mergeSeed(ge *groupEval, k int) (Assignment, error) {
 					pairs[bestI][s] += c
 				}
 				pairs = append(pairs[:bestJ], pairs[bestJ+1:]...)
+			}
+		}
+		if cache != nil {
+			// Drop row/column bestJ (mirroring the groups deletion), then
+			// refresh every score involving the merged group bestI from
+			// its updated aggregates.
+			cache = append(cache[:bestJ], cache[bestJ+1:]...)
+			for i := range cache {
+				cache[i] = append(cache[i][:bestJ], cache[i][bestJ+1:]...)
+			}
+			for j := range groups {
+				if j == bestI {
+					continue
+				}
+				lo, hi := bestI, j
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				val, err := evalPair(lo, hi)
+				if err != nil {
+					return nil, err
+				}
+				cache[lo][hi] = val
 			}
 		}
 	}

@@ -1,7 +1,9 @@
 package refine
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -197,6 +199,91 @@ func TestGreedySeedRespectsK(t *testing.T) {
 			}
 			if len(used) != 3 {
 				t.Fatalf("greedy used %d sorts, want 3", len(used))
+			}
+		}
+	}
+}
+
+// naiveMergeSeed is the reference O(n³)-evaluation agglomeration the
+// cached mergeSeed must reproduce merge for merge: rescan every pair
+// each round, score it from scratch on the merged subset, and take the
+// first strictly-best pair in (i, j) scan order.
+func naiveMergeSeed(ge *groupEval, k int) (Assignment, error) {
+	n := ge.view.NumSignatures()
+	groups := make([][]int, 0, n)
+	for mu := 0; mu < n; mu++ {
+		groups = append(groups, []int{mu})
+	}
+	for len(groups) > k {
+		bestI, bestJ, bestVal := -1, -1, -1.0
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				val, err := ge.eval(mergeSorted(groups[i], groups[j]), nil)
+				if err != nil {
+					return nil, err
+				}
+				if val > bestVal {
+					bestVal = val
+					bestI, bestJ = i, j
+				}
+			}
+		}
+		groups[bestI] = mergeSorted(groups[bestI], groups[bestJ])
+		groups = append(groups[:bestJ], groups[bestJ+1:]...)
+	}
+	assign := make(Assignment, n)
+	for s, g := range groups {
+		for _, mu := range g {
+			assign[mu] = s
+		}
+	}
+	return assign, nil
+}
+
+// The score-matrix cache inside mergeSeed must not change a single
+// merge decision: the cached values are the exact floats a rescan
+// computes and the argmax scan order is unchanged, so the seed must be
+// identical to the naive reference on every measure family and k.
+func TestMergeSeedCacheMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	props := make([]string, 8)
+	for i := range props {
+		props[i] = fmt.Sprintf("p%d", i)
+	}
+	var sigs []matrix.Signature
+	for i := 0; i < 26; i++ {
+		b := bitset.New(len(props))
+		for j := range props {
+			if rng.Intn(3) == 0 {
+				b.Set(j)
+			}
+		}
+		if b.Count() == 0 {
+			b.Set(i % len(props))
+		}
+		sigs = append(sigs, matrix.Signature{Bits: b, Count: rng.Intn(30) + 1})
+	}
+	v, err := matrix.New(props, sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []rules.Func{
+		rules.CovFunc(),                    // counts-based delta path
+		rules.DepFunc("p0", "p1"),          // pair-counts path
+		rules.RuleFunc{R: rules.CovRule()}, // generic subset-view path
+	} {
+		for _, k := range []int{1, 2, 5, 11} {
+			ge := newGroupEval(fn, v)
+			got, err := mergeSeed(ge, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", fn.Name(), k, err)
+			}
+			want, err := naiveMergeSeed(newGroupEval(fn, v), k)
+			if err != nil {
+				t.Fatalf("%s k=%d: naive: %v", fn.Name(), k, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s k=%d: cached mergeSeed diverged\n got %v\nwant %v", fn.Name(), k, got, want)
 			}
 		}
 	}

@@ -1,0 +1,182 @@
+// Package retry is the shared retry/backoff policy used by every
+// client-side path that talks to a possibly-overloaded or
+// possibly-crashed peer: the cluster coordinator's worker client and
+// rdfload's 429/503 handling. One implementation keeps the fleet's
+// retry behavior uniform — capped exponential growth with full jitter,
+// so synchronized clients desynchronize instead of stampeding a
+// recovering server in lockstep.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy describes a capped-exponential-backoff retry schedule with
+// full jitter: the delay before attempt n (0-based; attempt 0 runs
+// immediately) is uniformly drawn from [0, min(Max, Base·2ⁿ⁻¹)].
+// The zero value is usable and picks the defaults.
+type Policy struct {
+	// Attempts is the total number of tries, first included
+	// (default 4; 1 means no retries).
+	Attempts int
+	// Base is the cap on the delay before the first retry
+	// (default 50ms).
+	Base time.Duration
+	// Max caps every delay (default 2s).
+	Max time.Duration
+	// Rand is the jitter source returning values in [0, 1); nil uses a
+	// locked process-global source. Tests inject a deterministic one to
+	// pin the schedule.
+	Rand func() float64
+}
+
+func (p Policy) attempts() int {
+	if p.Attempts <= 0 {
+		return 4
+	}
+	return p.Attempts
+}
+
+func (p Policy) base() time.Duration {
+	if p.Base <= 0 {
+		return 50 * time.Millisecond
+	}
+	return p.Base
+}
+
+func (p Policy) max() time.Duration {
+	if p.Max <= 0 {
+		return 2 * time.Second
+	}
+	return p.Max
+}
+
+// globalRand guards the process-wide jitter source: rand.Float64 is
+// already locked, but an explicit source keeps the policy independent
+// of global seeding.
+var (
+	globalMu   sync.Mutex
+	globalRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+func (p Policy) random() float64 {
+	if p.Rand != nil {
+		return p.Rand()
+	}
+	globalMu.Lock()
+	defer globalMu.Unlock()
+	return globalRand.Float64()
+}
+
+// Delay returns the backoff before attempt n (n ≥ 1; attempt 0 has no
+// delay): full jitter over the capped exponential ceiling
+// min(Max, Base·2ⁿ⁻¹).
+func (p Policy) Delay(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	ceil := p.base()
+	maxD := p.max()
+	for i := 1; i < n && ceil < maxD; i++ {
+		ceil *= 2
+	}
+	if ceil > maxD {
+		ceil = maxD
+	}
+	return time.Duration(p.random() * float64(ceil))
+}
+
+// Ceiling returns the jitter-free upper bound on the delay before
+// attempt n — what Delay draws under. Exposed so tests and operators
+// can reason about the worst-case schedule.
+func (p Policy) Ceiling(n int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	ceil := p.base()
+	maxD := p.max()
+	for i := 1; i < n && ceil < maxD; i++ {
+		ceil *= 2
+	}
+	if ceil > maxD {
+		ceil = maxD
+	}
+	return ceil
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Do stops immediately and returns the
+// underlying error — for failures where retrying cannot help (a 400, a
+// parse error, an explicit shutdown).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Do runs op up to p.Attempts times, sleeping the jittered backoff
+// between tries and aborting as soon as ctx is done (returning
+// ctx.Err() joined with the last op error, so callers see both why it
+// stopped and what kept failing). op receives the 0-based attempt
+// number. A nil return stops immediately; a Permanent-wrapped error
+// stops immediately with the unwrapped error; any other error is
+// retried until the budget is spent, then returned.
+func Do(ctx context.Context, p Policy, op func(attempt int) error) error {
+	var last error
+	for n := 0; n < p.attempts(); n++ {
+		if n > 0 {
+			if err := Sleep(ctx, p.Delay(n)); err != nil {
+				return errors.Join(err, last)
+			}
+		}
+		err := op(n)
+		if err == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			return pe.err
+		}
+		last = err
+		if ctx.Err() != nil {
+			return errors.Join(ctx.Err(), last)
+		}
+	}
+	return last
+}
+
+// Sleep blocks for d or until ctx is done, returning ctx.Err() in the
+// latter case. A non-positive d returns immediately (after a ctx
+// check), so callers never miss a cancellation.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,170 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCeilingSchedule pins the jitter-free backoff schedule: capped
+// doubling from Base, clamped at Max.
+func TestCeilingSchedule(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	want := []time.Duration{
+		0,                     // attempt 0 runs immediately
+		10 * time.Millisecond, // 1st retry: Base
+		20 * time.Millisecond, // 2nd: Base·2
+		40 * time.Millisecond, // 3rd: Base·4
+		80 * time.Millisecond, // 4th: Base·8 = Max
+		80 * time.Millisecond, // 5th: clamped
+		80 * time.Millisecond, // 6th: clamped
+	}
+	for n, w := range want {
+		if got := p.Ceiling(n); got != w {
+			t.Errorf("Ceiling(%d) = %s, want %s", n, got, w)
+		}
+	}
+}
+
+// TestDelayFullJitter pins the jittered draw: Delay(n) = rand() ×
+// Ceiling(n), never above the ceiling, and zero at rand() = 0.
+func TestDelayFullJitter(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Rand: func() float64 { return 0.5 }}
+	cases := []struct {
+		n    int
+		want time.Duration
+	}{
+		{1, 50 * time.Millisecond},
+		{2, 100 * time.Millisecond},
+		{3, 200 * time.Millisecond},
+		{5, 500 * time.Millisecond}, // ceiling clamped at Max=1s
+		{9, 500 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := p.Delay(c.n); got != c.want {
+			t.Errorf("Delay(%d) = %s, want %s", c.n, got, c.want)
+		}
+	}
+	p.Rand = func() float64 { return 0 }
+	if got := p.Delay(3); got != 0 {
+		t.Errorf("Delay with zero jitter = %s, want 0", got)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	var p Policy
+	if p.attempts() != 4 {
+		t.Errorf("default attempts = %d, want 4", p.attempts())
+	}
+	if p.Ceiling(1) != 50*time.Millisecond {
+		t.Errorf("default first ceiling = %s, want 50ms", p.Ceiling(1))
+	}
+	if p.Ceiling(100) != 2*time.Second {
+		t.Errorf("default max ceiling = %s, want 2s", p.Ceiling(100))
+	}
+}
+
+// TestDoRetriesUntilSuccess verifies Do stops at the first nil and
+// reports the attempt count through the closure.
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	p := Policy{Attempts: 5, Base: time.Microsecond, Max: time.Microsecond, Rand: func() float64 { return 1 }}
+	calls := 0
+	err := Do(context.Background(), p, func(n int) error {
+		if n != calls {
+			t.Errorf("attempt number %d, want %d", n, calls)
+		}
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+// TestDoExhaustsBudget verifies the last error surfaces after the
+// attempt budget is spent.
+func TestDoExhaustsBudget(t *testing.T) {
+	p := Policy{Attempts: 3, Base: time.Microsecond, Rand: func() float64 { return 0 }}
+	calls := 0
+	sentinel := errors.New("still down")
+	err := Do(context.Background(), p, func(int) error { calls++; return sentinel })
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+}
+
+// TestDoPermanentStopsImmediately verifies a Permanent-wrapped error
+// short-circuits the loop and unwraps.
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	p := Policy{Attempts: 10, Base: time.Microsecond}
+	calls := 0
+	sentinel := errors.New("bad request")
+	err := Do(context.Background(), p, func(int) error { calls++; return Permanent(sentinel) })
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, sentinel) || IsPermanent(err) {
+		t.Fatalf("err = %v, want unwrapped %v", err, sentinel)
+	}
+	if !IsPermanent(Permanent(sentinel)) {
+		t.Fatal("IsPermanent(Permanent(err)) = false")
+	}
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}
+
+// TestDoContextCancel verifies cancellation aborts the backoff sleep
+// and joins the context error with the last failure.
+func TestDoContextCancel(t *testing.T) {
+	p := Policy{Attempts: 100, Base: time.Hour, Max: time.Hour, Rand: func() float64 { return 1 }}
+	ctx, cancel := context.WithCancel(context.Background())
+	sentinel := errors.New("transient")
+	done := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		done <- Do(ctx, p, func(n int) error {
+			if n == 0 {
+				close(started)
+			}
+			return sentinel
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v, want joined %v", err, sentinel)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not abort on cancellation")
+	}
+}
+
+func TestSleep(t *testing.T) {
+	if err := Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep(0): %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on canceled ctx = %v, want Canceled", err)
+	}
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep(1h) on canceled ctx = %v, want Canceled", err)
+	}
+}

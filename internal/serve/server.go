@@ -95,6 +95,16 @@ type Options struct {
 	MaxBacklogBytes int64
 	// Backlog is the WAL backlog waiter (implemented by *wal.Store).
 	Backlog BacklogWaiter
+	// ClusterWorker mounts the internal cluster-worker endpoints
+	// (/internal/health, /internal/agg, /internal/view) a coordinator
+	// reads. Only for nodes behind a coordinator: the endpoints expose
+	// raw aggregate state and bypass admission gating by design.
+	ClusterWorker bool
+	// RateLimit, when set, enforces per-client request quotas in front
+	// of the admission gate: a client over its token budget is shed
+	// with 429 + Retry-After before it can queue for a slot. Internal
+	// worker endpoints, index, /stats and /metrics are exempt.
+	RateLimit *protect.RateLimiter
 }
 
 // BacklogWaiter is the slice of the WAL store the ingest backpressure
@@ -221,6 +231,9 @@ func New(d incr.Engine, opts Options) *Server {
 		if opts.Protect != nil {
 			opts.Protect.Register(reg)
 		}
+		if opts.RateLimit != nil {
+			opts.RateLimit.Register(reg)
+		}
 		// The cache families are registered (and their children
 		// materialized at 0) whether or not the caches are enabled, so a
 		// scrape always carries the series.
@@ -247,6 +260,9 @@ func New(d incr.Engine, opts Options) *Server {
 	s.handle("GET /sigma", "sigma", s.gated(protect.ClassRead, s.handleSigma))
 	s.handle("GET /refine", "refine", s.gated(protect.ClassRefine, s.handleRefine))
 	s.handle("GET /stats", "stats", s.handleStats)
+	if opts.ClusterWorker {
+		s.mountWorker()
+	}
 	if opts.Metrics != nil {
 		// The scrape itself is served unwrapped: scrapes polling at a
 		// fixed cadence would otherwise dominate the request histograms.
@@ -329,23 +345,60 @@ func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 	})
 }
 
-// gated wraps a handler with admission control for class c: the
-// request acquires the class's gate (queuing within its context
-// deadline) or is shed with 429 before the handler runs any work.
+// gated wraps a handler with the per-client rate limit and admission
+// control for class c: an over-quota client is shed first (before it
+// can occupy a queue slot), then the request acquires the class's gate
+// (queuing within its context deadline) or is shed with 429 before
+// the handler runs any work.
 func (s *Server) gated(c protect.Class, h http.HandlerFunc) http.HandlerFunc {
-	if s.opts.Protect == nil {
-		return h
-	}
-	g := s.opts.Protect.Gate(c)
-	return func(w http.ResponseWriter, r *http.Request) {
-		release, err := g.Acquire(r.Context())
-		if err != nil {
-			writeShed(w, "%s overloaded: %v", c, err)
-			return
+	if s.opts.Protect != nil {
+		g := s.opts.Protect.Gate(c)
+		inner := h
+		h = func(w http.ResponseWriter, r *http.Request) {
+			release, err := g.Acquire(r.Context())
+			if err != nil {
+				writeShed(w, "%s overloaded: %v", c, err)
+				return
+			}
+			defer release()
+			inner(w, r)
 		}
-		defer release()
-		h(w, r)
 	}
+	if rl := s.opts.RateLimit; rl != nil {
+		inner := h
+		h = func(w http.ResponseWriter, r *http.Request) {
+			if ok, retry := rl.Allow(clientKey(r)); !ok {
+				secs := int(retry/time.Second) + 1
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				writeJSON(w, http.StatusTooManyRequests, map[string]interface{}{
+					"error":             "client rate limit exceeded",
+					"retryAfterSeconds": secs,
+				})
+				return
+			}
+			inner(w, r)
+		}
+	}
+	return h
+}
+
+// ClientIDHeader names the header a client uses to identify itself to
+// the per-client rate limiter; without it the limit keys on the
+// remote IP.
+const ClientIDHeader = "X-Client-Id"
+
+// clientKey extracts the rate-limit key: the client ID header when
+// present, else the remote address with the ephemeral port stripped
+// (so one host maps to one bucket across connections).
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get(ClientIDHeader); id != "" {
+		return id
+	}
+	host := r.RemoteAddr
+	if i := strings.LastIndexByte(host, ':'); i >= 0 && !strings.HasSuffix(host, "]") {
+		host = host[:i]
+	}
+	return host
 }
 
 // shedRetryAfterSeconds is the retry hint on overload 429s, mirroring
@@ -822,6 +875,24 @@ func parseRefineParams(q url.Values) (*refineParams, error) {
 		}
 		p.opts.Workers = n
 	}
+	// restarts / maxiters bound the heuristic engine's per-instance
+	// cost. A lowest-k sweep runs one local search per probed k, so an
+	// interactive or load-generating client can cap its worst case here
+	// instead of relying on disconnect-cancellation after the fact.
+	if v := q.Get("restarts"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 64 {
+			return nil, fmt.Errorf("bad restarts %q (want 1..64)", v)
+		}
+		p.opts.Heuristic.Restarts = n
+	}
+	if v := q.Get("maxiters"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 10000 {
+			return nil, fmt.Errorf("bad maxiters %q (want 1..10000)", v)
+		}
+		p.opts.Heuristic.MaxIters = n
+	}
 	switch p.mode {
 	case "lowestk":
 		p.theta1, p.theta2, err = parseTheta(q.Get("theta"))
@@ -839,8 +910,9 @@ func parseRefineParams(q url.Values) (*refineParams, error) {
 	default:
 		return nil, fmt.Errorf("unknown mode %q (lowestk|highesttheta)", p.mode)
 	}
-	p.key = fmt.Sprintf("%s|%s|%d/%d|%d|%d|%d",
-		fn.Name(), p.mode, p.theta1, p.theta2, p.k, p.opts.Workers, p.opts.Engine)
+	p.key = fmt.Sprintf("%s|%s|%d/%d|%d|%d|%d|%d|%d",
+		fn.Name(), p.mode, p.theta1, p.theta2, p.k, p.opts.Workers, p.opts.Engine,
+		p.opts.Heuristic.Restarts, p.opts.Heuristic.MaxIters)
 	return p, nil
 }
 
@@ -1056,6 +1128,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.opts.Protect != nil {
 		resp["admission"] = s.opts.Protect.Stats()
+	}
+	if s.opts.RateLimit != nil {
+		resp["rateLimit"] = s.opts.RateLimit.Stats()
 	}
 	if s.sigmaCache != nil || s.refineCache != nil {
 		caches := map[string]interface{}{}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"encoding/binary"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/incr"
+	"repro/internal/refine"
+)
+
+// This file is the worker half of the cluster protocol: the internal
+// endpoints a coordinator (internal/cluster) reads from a replica.
+// They are mounted only with Options.ClusterWorker — a public node
+// never exposes its raw aggregate state — and are deliberately not
+// admission-gated: a coordinator health probe or aggregate pull must
+// see the node's true state even when client traffic is being shed.
+
+// worker endpoint paths, shared with internal/cluster.
+const (
+	// WorkerHealthPath answers cheap liveness probes with the current
+	// composite epoch.
+	WorkerHealthPath = "/internal/health"
+	// WorkerAggPath serves the epoch-cut binary σ-aggregate export
+	// (incr.AggregateExport wire form).
+	WorkerAggPath = "/internal/agg"
+	// WorkerViewPath serves the epoch-cut binary snapshot view
+	// (uvarint epoch, then the matrix.View wire form).
+	WorkerViewPath = "/internal/view"
+)
+
+// mountWorker registers the cluster-worker endpoints.
+func (s *Server) mountWorker() {
+	s.handle("GET "+WorkerHealthPath, "worker_health", s.handleWorkerHealth)
+	s.handle("GET "+WorkerAggPath, "worker_agg", s.handleWorkerAgg)
+	s.handle("GET "+WorkerViewPath, "worker_view", s.handleWorkerView)
+}
+
+// handleWorkerHealth is the heartbeat target: O(shards) epoch read,
+// no aggregate merge, so probes stay cheap under any load.
+func (s *Server) handleWorkerHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "ok",
+		"epoch":  s.d.Epoch(),
+	})
+}
+
+// handleWorkerAgg serves the node's σ-aggregates at one epoch cut in
+// the canonical binary form the coordinator merges exactly.
+func (s *Server) handleWorkerAgg(w http.ResponseWriter, r *http.Request) {
+	ex, ok := s.d.(incr.AggregateExporter)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "engine cannot export aggregates")
+		return
+	}
+	e := ex.ExportAggregates()
+	body := e.AppendBinary(nil)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Epoch", strconv.FormatUint(e.Epoch, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
+
+// handleWorkerView serves the node's full snapshot view — the fallback
+// the coordinator uses for measures with no counts/pair closed form
+// and for /refine, merged across nodes with matrix.MergeViews. Layout:
+// uvarint epoch, then the matrix.View encoding (self-describing, PR 6
+// checkpoint format).
+func (s *Server) handleWorkerView(w http.ResponseWriter, r *http.Request) {
+	snap := s.d.Snapshot()
+	body := binary.AppendUvarint(nil, snap.Epoch)
+	body = snap.View.AppendBinary(body)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Epoch", strconv.FormatUint(snap.Epoch, 10))
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
+}
+
+// RefineParams is the exported handle on a parsed /refine request, so
+// the cluster coordinator runs the exact search-and-render pipeline a
+// single node runs — against a cross-node merged snapshot — and a
+// refinement answered by the cluster is bit-compatible with one
+// answered by a worker.
+type RefineParams struct {
+	p refineParams
+}
+
+// ParseRefineQuery parses /refine query parameters (same defaults and
+// validation as the single-node handler).
+func ParseRefineQuery(q url.Values) (*RefineParams, error) {
+	p, err := parseRefineParams(q)
+	if err != nil {
+		return nil, err
+	}
+	return &RefineParams{p: *p}, nil
+}
+
+// Key returns the normalized parameter tuple — the coordinator's cache
+// key, identical to the single-node one.
+func (rp *RefineParams) Key() string { return rp.p.key }
+
+// Run executes the search against a snapshot, aborting on cancel.
+func (rp *RefineParams) Run(snap *incr.Snapshot, cancel <-chan struct{}) (*refine.Outcome, error) {
+	run := rp.p
+	run.opts.Cancel = cancel
+	return run.run(snap)
+}
+
+// Render builds the /refine response body for an outcome — the same
+// shape the single-node handler writes.
+func (rp *RefineParams) Render(snap *incr.Snapshot, out *refine.Outcome) map[string]interface{} {
+	return refineResponse(snap, rp.p.fn.Name(), rp.p.mode, out)
+}

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"encoding/binary"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+
+	"repro/internal/incr"
+	"repro/internal/matrix"
+	"repro/internal/protect"
+	"repro/internal/rdf"
+	"repro/internal/rules"
+)
+
+// workerFixture is a ClusterWorker-mode server over a small sharded
+// engine with data loaded.
+func workerFixture(t *testing.T) (*httptest.Server, *incr.Sharded) {
+	t.Helper()
+	d := incr.NewSharded(2, incr.Options{KeepSubjects: true})
+	for i := 0; i < 40; i++ {
+		d.Apply([]rdf.Triple{
+			{Subject: sub(i), Predicate: prop(i % 3), Object: rdf.NewURI("http://o/x")},
+			{Subject: sub(i), Predicate: prop((i + 1) % 3), Object: rdf.NewURI("http://o/y")},
+		}, nil)
+	}
+	ts := httptest.NewServer(New(d, Options{Logf: t.Logf, ClusterWorker: true}))
+	t.Cleanup(ts.Close)
+	return ts, d
+}
+
+func sub(i int) string  { return "http://t/s" + string(rune('a'+i%26)) }
+func prop(i int) string { return "http://t/p" + string(rune('a'+i)) }
+
+func getBytes(t *testing.T, url string) (int, []byte, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b, resp.Header
+}
+
+// TestWorkerEndpoints checks the three internal endpoints serve the
+// engine's exact state: health carries the epoch, /internal/agg
+// decodes to the engine's live export, /internal/view decodes to the
+// snapshot view.
+func TestWorkerEndpoints(t *testing.T) {
+	ts, d := workerFixture(t)
+
+	var health struct {
+		Status string `json:"status"`
+		Epoch  uint64 `json:"epoch"`
+	}
+	if code := getJSON(t, ts.URL+WorkerHealthPath, &health); code != http.StatusOK {
+		t.Fatalf("health status %d", code)
+	}
+	if health.Status != "ok" || health.Epoch != d.Epoch() {
+		t.Fatalf("health = %+v, engine epoch %d", health, d.Epoch())
+	}
+
+	code, body, hdr := getBytes(t, ts.URL+WorkerAggPath)
+	if code != http.StatusOK {
+		t.Fatalf("agg status %d", code)
+	}
+	ex, err := incr.DecodeAggregateExport(body)
+	if err != nil {
+		t.Fatalf("decode agg: %v", err)
+	}
+	if hdr.Get("X-Epoch") == "" || ex.Epoch != d.Epoch() {
+		t.Fatalf("agg epoch %d (header %q), engine %d", ex.Epoch, hdr.Get("X-Epoch"), d.Epoch())
+	}
+	cov := rules.CovFunc().(rules.CountsFunc)
+	if got, want := ex.Sigma(cov), d.SigmaCov(); got.String() != want.String() {
+		t.Fatalf("agg σCov %s, engine %s", got, want)
+	}
+
+	code, body, _ = getBytes(t, ts.URL+WorkerViewPath)
+	if code != http.StatusOK {
+		t.Fatalf("view status %d", code)
+	}
+	epoch, n := binary.Uvarint(body)
+	if n <= 0 || epoch != d.Epoch() {
+		t.Fatalf("view epoch %d, engine %d", epoch, d.Epoch())
+	}
+	view, err := matrix.DecodeView(body[n:])
+	if err != nil {
+		t.Fatalf("decode view: %v", err)
+	}
+	snap := d.Snapshot()
+	if got, want := view.AppendBinary(nil), snap.View.AppendBinary(nil); string(got) != string(want) {
+		t.Fatal("decoded view differs from engine snapshot view")
+	}
+}
+
+// TestWorkerEndpointsHidden checks the internal endpoints are not
+// mounted on a public (non-worker) server.
+func TestWorkerEndpointsHidden(t *testing.T) {
+	ts, _ := newTestServer(t, false)
+	for _, p := range []string{WorkerHealthPath, WorkerAggPath, WorkerViewPath} {
+		code, _, _ := getBytes(t, ts.URL+p)
+		if code != http.StatusNotFound {
+			t.Fatalf("%s on public server: status %d, want 404", p, code)
+		}
+	}
+}
+
+// TestRefineParamsExported checks the exported refine pipeline renders
+// the same body shape the single-node handler serves, from the same
+// key space.
+func TestRefineParamsExported(t *testing.T) {
+	_, d := workerFixture(t)
+	q := url.Values{"fn": {"cov"}, "mode": {"lowestk"}, "theta": {"0.9"}}
+	rp, err := ParseRefineQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp2, _ := ParseRefineQuery(url.Values{"theta": {"0.900"}})
+	if rp.Key() == "" || rp.Key() != rp2.Key() {
+		t.Fatalf("equivalent queries have keys %q and %q", rp.Key(), rp2.Key())
+	}
+	snap := d.Snapshot()
+	out, err := rp.Run(snap, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := rp.Render(snap, out)
+	for _, k := range []string{"epoch", "fn", "mode", "k", "theta", "exact", "sorts"} {
+		if _, ok := resp[k]; !ok {
+			t.Fatalf("rendered response missing %q", k)
+		}
+	}
+	if resp["epoch"] != snap.Epoch {
+		t.Fatalf("rendered epoch %v, want %d", resp["epoch"], snap.Epoch)
+	}
+	if _, err := ParseRefineQuery(url.Values{"fn": {"nope"}}); err == nil {
+		t.Fatal("bad fn accepted")
+	}
+}
+
+// TestRateLimitWired checks the serve wiring: an over-quota client is
+// shed with 429 + Retry-After while a distinct client ID still passes,
+// and exempt endpoints ignore the limit.
+func TestRateLimitWired(t *testing.T) {
+	d := incr.NewDataset(incr.Options{})
+	d.Apply([]rdf.Triple{{Subject: "http://t/s", Predicate: "http://t/p", Object: rdf.NewURI("http://t/o")}}, nil)
+	rl := protect.NewRateLimiter(protect.RateLimitConfig{RPS: 0.01, Burst: 2})
+	ts := httptest.NewServer(New(d, Options{Logf: t.Logf, RateLimit: rl}))
+	t.Cleanup(ts.Close)
+
+	get := func(client string, path string) (int, http.Header) {
+		req, _ := http.NewRequest("GET", ts.URL+path, nil)
+		if client != "" {
+			req.Header.Set(ClientIDHeader, client)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header
+	}
+	for i := 0; i < 2; i++ {
+		if code, _ := get("alice", "/sigma"); code != http.StatusOK {
+			t.Fatalf("alice request %d: status %d", i, code)
+		}
+	}
+	code, hdr := get("alice", "/sigma")
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status %d, want 429", code)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if code, _ := get("bob", "/sigma"); code != http.StatusOK {
+		t.Fatalf("bob (fresh client) status %d", code)
+	}
+	// /stats is exempt: the operator's view survives a client's storm.
+	for i := 0; i < 5; i++ {
+		if code, _ := get("alice", "/stats"); code != http.StatusOK {
+			t.Fatalf("/stats shed: status %d", code)
+		}
+	}
+}

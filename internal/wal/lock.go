@@ -1,0 +1,99 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockFileName is the data-directory lock file. Two stores flushing
+// the same directory corrupt each other silently — segment rotation
+// and checkpoint compaction assume a single writer — so Open takes an
+// exclusive lock on the directory for the life of the store.
+const lockFileName = "LOCK"
+
+// lockInfo is the lock file's pid-stamped content. Clean flips to true
+// on an orderly Close; an acquirer finding clean=false knows the
+// previous holder died mid-flight and recovery will replay its tail.
+type lockInfo struct {
+	PID   int  `json:"pid"`
+	Clean bool `json:"clean"`
+}
+
+// dirLock is a held data-directory lock: a flock(2) on the LOCK file.
+// The kernel ties the lock to the open file description, which gives
+// exactly the semantics we want for free: a second opener — same
+// process or another — fails fast while the store lives, and a holder
+// that dies without Close (crash, SIGKILL) releases the lock
+// automatically, so stale locks never wedge a restart.
+type dirLock struct {
+	f *os.File
+}
+
+// acquireDirLock takes the exclusive lock or fails fast with the
+// holder's pid. A pre-existing unclean marker (holder died without
+// Close) is reported via logf and taken over.
+func acquireDirLock(dir string, logf func(format string, args ...any)) (*dirLock, error) {
+	path := filepath.Join(dir, lockFileName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: lock %s: %w", path, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		prev := readLockInfo(f)
+		f.Close()
+		if prev.PID != 0 {
+			return nil, fmt.Errorf("wal: data dir %s is locked by running process %d; refusing a second writer", dir, prev.PID)
+		}
+		return nil, fmt.Errorf("wal: data dir %s is locked by another process; refusing a second writer", dir)
+	}
+	if prev := readLockInfo(f); prev.PID != 0 && !prev.Clean && logf != nil {
+		logf("wal: taking over data dir %s from process %d which exited without a clean shutdown; recovery will replay its tail", dir, prev.PID)
+	}
+	l := &dirLock{f: f}
+	if err := l.write(lockInfo{PID: os.Getpid(), Clean: false}); err != nil {
+		l.release()
+		return nil, fmt.Errorf("wal: lock %s: %w", path, err)
+	}
+	return l, nil
+}
+
+func readLockInfo(f *os.File) lockInfo {
+	var info lockInfo
+	buf := make([]byte, 256)
+	n, _ := f.ReadAt(buf, 0)
+	_ = json.Unmarshal(buf[:n], &info)
+	return info
+}
+
+func (l *dirLock) write(info lockInfo) error {
+	b, err := json.Marshal(info)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := l.f.WriteAt(b, 0); err != nil {
+		return err
+	}
+	return l.f.Truncate(int64(len(b)))
+}
+
+// markClean stamps the orderly-shutdown marker; called by Close after
+// the final checkpoint so the next opener knows the tail is complete.
+func (l *dirLock) markClean() {
+	if l.f != nil {
+		_ = l.write(lockInfo{PID: os.Getpid(), Clean: true})
+	}
+}
+
+// release drops the flock and closes the file. Idempotent.
+func (l *dirLock) release() {
+	if l.f == nil {
+		return
+	}
+	_ = syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	_ = l.f.Close()
+	l.f = nil
+}

@@ -1,0 +1,115 @@
+package wal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/incr"
+	"repro/internal/term"
+)
+
+func openAt(t *testing.T, dir string) (*Store, *term.Dict) {
+	t.Helper()
+	e, shards := newEngine(t, 1)
+	var dict *term.Dict
+	switch eng := e.(type) {
+	case *incr.Dataset:
+		dict = eng.Dict()
+	case *incr.Sharded:
+		dict = eng.Dict()
+	}
+	st, _, err := Open(dir, dict, shards, Options{Mode: SyncOff})
+	if err != nil {
+		t.Fatalf("open %s: %v", dir, err)
+	}
+	return st, dict
+}
+
+func readLockFile(t *testing.T, dir string) lockInfo {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, lockFileName))
+	if err != nil {
+		t.Fatalf("read lock: %v", err)
+	}
+	var info lockInfo
+	if err := json.Unmarshal(b, &info); err != nil {
+		t.Fatalf("parse lock %q: %v", b, err)
+	}
+	return info
+}
+
+// TestDirLockExcludesSecondOpener pins the single-writer contract: a
+// second Open on a live data dir fails fast naming the holder, and a
+// clean Close hands the directory over to the next opener.
+func TestDirLockExcludesSecondOpener(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := openAt(t, dir)
+
+	if info := readLockFile(t, dir); info.PID != os.Getpid() || info.Clean {
+		t.Fatalf("held lock = %+v, want pid=%d clean=false", info, os.Getpid())
+	}
+
+	e2, shards2 := newEngine(t, 1)
+	var dict2 = e2.(*incr.Dataset).Dict()
+	_, _, err := Open(dir, dict2, shards2, Options{Mode: SyncOff})
+	if err == nil {
+		t.Fatal("second opener succeeded on a locked data dir")
+	}
+	if !strings.Contains(err.Error(), "locked by running process") {
+		t.Fatalf("second opener error %q does not name the holder", err)
+	}
+
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if info := readLockFile(t, dir); !info.Clean {
+		t.Fatalf("lock after clean Close = %+v, want clean=true", info)
+	}
+
+	// Takeover after clean shutdown.
+	st2, _ := openAt(t, dir)
+	if info := readLockFile(t, dir); info.Clean {
+		t.Fatalf("reacquired lock = %+v, want clean=false", info)
+	}
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirLockStaleTakeover pins crash recovery: a LOCK file left
+// behind by a dead process (no flock held — the kernel released it on
+// exit) must not wedge the restart, clean marker or not.
+func TestDirLockStaleTakeover(t *testing.T) {
+	dir := t.TempDir()
+	stale, _ := json.Marshal(lockInfo{PID: 1 << 28, Clean: false})
+	if err := os.WriteFile(filepath.Join(dir, lockFileName), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var notices []string
+	e, shards := newEngine(t, 1)
+	st, _, err := Open(dir, e.(*incr.Dataset).Dict(), shards, Options{
+		Mode: SyncOff,
+		Logf: func(format string, args ...any) {
+			notices = append(notices, format)
+		},
+	})
+	if err != nil {
+		t.Fatalf("open over stale lock: %v", err)
+	}
+	defer st.Close()
+	found := false
+	for _, n := range notices {
+		if strings.Contains(n, "clean shutdown") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no unclean-takeover notice logged; got %q", notices)
+	}
+	if info := readLockFile(t, dir); info.PID != os.Getpid() || info.Clean {
+		t.Fatalf("lock after takeover = %+v", info)
+	}
+}

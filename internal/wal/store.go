@@ -220,6 +220,12 @@ type Store struct {
 	// applied batches can intern terms the cycle's dict sync missed.
 	// Test instrumentation only.
 	testAfterFlush func()
+
+	// lock is the data-directory LOCK file (real filesystem only; nil
+	// under a test FS). Held for the life of the store so a second
+	// writer on the same directory fails fast instead of corrupting
+	// the segments.
+	lock *dirLock
 }
 
 const (
@@ -300,7 +306,18 @@ func Open(dir string, dict *term.Dict, shards []*incr.Dataset, opts Options) (*S
 	if err := s.fs.MkdirAll(dir); err != nil {
 		return nil, nil, fmt.Errorf("wal: %w", err)
 	}
+	// Exclusive data-dir lock, real filesystem only: test filesystems
+	// (faultfs) intercept every file operation already and flock needs
+	// a real fd.
+	if _, osfs := s.fs.(OSFS); osfs {
+		lk, err := acquireDirLock(dir, opts.Logf)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.lock = lk
+	}
 	if err := s.checkMeta(); err != nil {
+		s.closeFiles()
 		return nil, nil, err
 	}
 
@@ -1040,6 +1057,12 @@ func (s *Store) Close() error {
 			d.SetBatchHook(nil)
 		}
 		s.flushMu.Lock()
+		// Stamp the clean-shutdown marker only when the final checkpoint
+		// landed and the store never latched a failure: an unclean marker
+		// tells the next opener its recovery replay is expected.
+		if s.lock != nil && err == nil && s.failedErr() == nil {
+			s.lock.markClean()
+		}
 		s.closeFilesLocked()
 		s.flushMu.Unlock()
 		if err == nil {
@@ -1066,5 +1089,9 @@ func (s *Store) closeFilesLocked() {
 			l.f.Close()
 			l.f = nil
 		}
+	}
+	if s.lock != nil {
+		s.lock.release()
+		s.lock = nil
 	}
 }
