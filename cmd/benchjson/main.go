@@ -2,11 +2,13 @@
 // ablation (interned vs. string vs. incremental), the sharded-ingest
 // scalability sweep (shards ∈ {1,2,4,8}), the refinement workload,
 // the compiled σ-evaluator ablation (Dep eval and Dep refinement,
-// scan vs pair-count kernel), and the WAL durability ablation (ingest
-// throughput vs fsync policy) — and writes machine-readable results to
-// BENCH_ingest.json, BENCH_shard.json, BENCH_refine.json,
-// BENCH_eval.json and BENCH_wal.json. Each PR's CI run uploads the files as artifacts, so
-// the throughput trend is diffable across commits without parsing
+// scan vs pair-count kernel), the WAL durability ablation (ingest
+// throughput vs fsync policy), and the wide-schema ablation (dense vs
+// adaptive compressed signature containers on narrow and wide corpora)
+// — and writes machine-readable results to BENCH_ingest.json,
+// BENCH_shard.json, BENCH_refine.json, BENCH_eval.json, BENCH_wal.json
+// and BENCH_wide.json. Each PR's CI run uploads the files as artifacts,
+// so the throughput trend is diffable across commits without parsing
 // `go test -bench` text.
 //
 // Usage:
@@ -16,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,8 +28,12 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/bitset"
 	"repro/internal/datagen"
 	"repro/internal/experiments"
+	"repro/internal/matrix"
+	"repro/internal/rdf"
+	"repro/internal/rules"
 )
 
 // result is one benchmark measurement in the JSON artifact.
@@ -93,6 +100,7 @@ func writeArtifact(path string, a artifact) error {
 
 func run() error {
 	scale := flag.Float64("scale", 0.01, "DBpedia Persons generator scale for the ingest corpus")
+	wideScale := flag.Float64("widescale", 0.25, "wide-schema generator scale for the compressed-signature ablation")
 	outDir := flag.String("out", ".", "directory for the BENCH_*.json artifacts")
 	flag.Parse()
 
@@ -269,12 +277,121 @@ func run() error {
 	if err := writeArtifact(filepath.Join(*outDir, "BENCH_wal.json"), walArt); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s, %s, %s, %s and %s\n",
+
+	// --- Wide: the compressed-signature ablation — view build and
+	// pair-aggregate build under forced-dense vs adaptive containers, on
+	// the narrow paper corpus (where adaptive must cost nothing) and the
+	// wide schema (where it must win). The derived block carries the
+	// CI gates: σ must be bit-identical across representations, and the
+	// wide signature storage must shrink by at least the paper target.
+	wideArt := meta("wide")
+	wideArt.Derived = map[string]string{"wide_scale": fmt.Sprintf("%g", *wideScale)}
+	prevPolicy := bitset.CurrentPolicy()
+	defer bitset.SetPolicy(prevPolicy)
+	narrowG := datagen.DBpediaPersonsGraph(*scale)
+	wideG := datagen.WideSchemaGraph(datagen.WideAtScale(*wideScale, 1))
+	policies := []struct {
+		name string
+		pol  bitset.Policy
+	}{
+		{"dense", bitset.PolicyDense},
+		{"adaptive", bitset.PolicyAdaptive},
+	}
+	views := map[string]*matrix.View{}
+	for _, corpus := range []struct {
+		name string
+		g    *rdf.Graph
+	}{{"narrow", narrowG}, {"wide", wideG}} {
+		for _, p := range policies {
+			name := fmt.Sprintf("build/%s/%s", corpus.name, p.name)
+			bitset.SetPolicy(p.pol)
+			var v *matrix.View
+			r, err := measure(name, 0, func() error {
+				v = matrix.FromGraph(corpus.g, matrix.Options{})
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			views[corpus.name+"/"+p.name] = v
+			wideArt.Benchmarks = append(wideArt.Benchmarks, r)
+			fmt.Printf("%-28s %12.0f ns/op %9d allocs/op\n", name, r.NsPerOp, r.AllocsPerOp)
+		}
+	}
+	// Pair-aggregate build: plane vs plane on the narrow corpus (the
+	// no-regression pin), CSR on the wide one. A fresh view is decoded
+	// per iteration because the aggregate is built once per view; the
+	// decode cost is identical across policies, so the ratio is
+	// conservative. The wide dense plane (|P|² words) is exactly the
+	// footprint this tier exists to avoid, so it is not built.
+	narrowEnc := views["narrow/dense"].AppendBinary(nil)
+	wideEnc := views["wide/dense"].AppendBinary(nil)
+	for _, c := range []struct {
+		name string
+		pol  bitset.Policy
+		enc  []byte
+	}{
+		{"pairs/narrow/dense", bitset.PolicyDense, narrowEnc},
+		{"pairs/narrow/adaptive", bitset.PolicyAdaptive, narrowEnc},
+		{"pairs/wide/csr", bitset.PolicyAdaptive, wideEnc},
+	} {
+		bitset.SetPolicy(c.pol)
+		r, err := measure(c.name, 0, func() error {
+			v, err := matrix.DecodeView(c.enc)
+			if err != nil {
+				return err
+			}
+			v.PairCounts()
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		wideArt.Benchmarks = append(wideArt.Benchmarks, r)
+		fmt.Printf("%-28s %12.0f ns/op %9d allocs/op\n", c.name, r.NsPerOp, r.AllocsPerOp)
+	}
+	bitset.SetPolicy(prevPolicy)
+
+	// σ invariance across representations, checked on the exact
+	// rationals and the canonical encoding.
+	wd, wa := views["wide/dense"], views["wide/adaptive"]
+	sigmaIdentical := bytes.Equal(wideEnc, wa.AppendBinary(nil)) &&
+		rules.Coverage(wd).String() == rules.Coverage(wa).String() &&
+		rules.Similarity(wd).String() == rules.Similarity(wa).String()
+	if p := wd.Properties(); len(p) >= 2 {
+		sigmaIdentical = sigmaIdentical &&
+			rules.Dep(wd, p[0], p[1]).String() == rules.Dep(wa, p[0], p[1]).String()
+	}
+	ds, as := wd.StorageStats(), wa.StorageStats()
+	wideArt.Derived["sigma_identical"] = fmt.Sprintf("%v", sigmaIdentical)
+	wideArt.Derived["mem_reduction"] = fmt.Sprintf("%.2f", float64(ds.SigBytes)/float64(as.SigBytes))
+	wideArt.Derived["sig_bytes_dense"] = fmt.Sprintf("%d", ds.SigBytes)
+	wideArt.Derived["sig_bytes_adaptive"] = fmt.Sprintf("%d", as.SigBytes)
+	wideArt.Derived["view_bytes_dense"] = fmt.Sprintf("%d", wd.MemSize())
+	wideArt.Derived["view_bytes_adaptive"] = fmt.Sprintf("%d", wa.MemSize())
+	wideArt.Derived["sparse_sigs_adaptive"] = fmt.Sprintf("%d", as.SparseSigs)
+	// The structural no-regression pin for narrow corpora: the adaptive
+	// policy must keep every narrow signature dense, so the narrow read
+	// path is byte-for-byte the pre-tier code path.
+	wideArt.Derived["narrow_sparse_sigs"] = fmt.Sprintf("%d",
+		views["narrow/adaptive"].StorageStats().SparseSigs)
+	nb := wideArt.Benchmarks
+	wideArt.Derived["wide_build_ratio"] = fmt.Sprintf("%.2f", nb[3].NsPerOp/nb[2].NsPerOp)
+	wideArt.Derived["narrow_build_ratio"] = fmt.Sprintf("%.2f", nb[1].NsPerOp/nb[0].NsPerOp)
+	wideArt.Derived["pair_build_ratio"] = fmt.Sprintf("%.2f", nb[5].NsPerOp/nb[4].NsPerOp)
+	if err := writeArtifact(filepath.Join(*outDir, "BENCH_wide.json"), wideArt); err != nil {
+		return err
+	}
+	fmt.Printf("wide: sigma_identical=%v mem_reduction=%sx (sig bytes %d -> %d, %d compressed sigs)\n",
+		sigmaIdentical, wideArt.Derived["mem_reduction"], ds.SigBytes, as.SigBytes, as.SparseSigs)
+
+	fmt.Printf("wrote %s, %s, %s, %s, %s and %s\n",
 		filepath.Join(*outDir, "BENCH_ingest.json"),
 		filepath.Join(*outDir, "BENCH_shard.json"),
 		filepath.Join(*outDir, "BENCH_refine.json"),
 		filepath.Join(*outDir, "BENCH_eval.json"),
-		filepath.Join(*outDir, "BENCH_wal.json"))
+		filepath.Join(*outDir, "BENCH_wal.json"),
+		filepath.Join(*outDir, "BENCH_wide.json"))
 	return nil
 }
 

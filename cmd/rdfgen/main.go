@@ -6,6 +6,7 @@
 //	rdfgen -dataset dbpedia -scale 0.01 -out persons.nt
 //	rdfgen -dataset wordnet -scale 0.01 -out nouns.nt
 //	rdfgen -dataset mixed -out mixed.nt
+//	rdfgen -dataset wide -scale 0.1 -out wide.nt
 package main
 
 import (
@@ -18,9 +19,9 @@ import (
 )
 
 func main() {
-	dataset := flag.String("dataset", "dbpedia", "dataset to generate: dbpedia, wordnet or mixed")
-	scale := flag.Float64("scale", 0.01, "subject-count scale in (0,1] (dbpedia/wordnet)")
-	seed := flag.Int64("seed", 1, "random seed (mixed)")
+	dataset := flag.String("dataset", "dbpedia", "dataset to generate: dbpedia, wordnet, mixed or wide")
+	scale := flag.Float64("scale", 0.01, "subject-count scale in (0,1] (dbpedia/wordnet/wide)")
+	seed := flag.Int64("seed", 1, "random seed (mixed/wide)")
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -32,6 +33,8 @@ func main() {
 		g = datagen.WordNetNounsGraph(*scale)
 	case "mixed":
 		g = datagen.MixedDrugSultans(datagen.MixedOptions{Seed: *seed})
+	case "wide":
+		g = datagen.WideSchemaGraph(datagen.WideAtScale(*scale, *seed))
 	default:
 		fmt.Fprintf(os.Stderr, "rdfgen: unknown dataset %q\n", *dataset)
 		os.Exit(2)

@@ -4,9 +4,9 @@
 package bitset
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
-	"strconv"
 	"strings"
 )
 
@@ -96,20 +96,28 @@ func (s Set) Clone() Set {
 // Key returns a string usable as a map key identifying the bit pattern.
 // Two sets have the same Key iff they are Equal.
 func (s Set) Key() string {
-	return string(s.AppendKey(make([]byte, 0, len(s.words)*8+8)))
+	return string(s.AppendKey(make([]byte, 0, s.Count()+8)))
 }
 
 // AppendKey appends the Key bytes to dst and returns it — the
 // allocation-free form for hot grouping loops, where the caller probes
 // a map with string(AppendKey(buf[:0])) and only materializes the
-// string for genuinely new patterns.
+// string for genuinely new patterns. The format is canonical across
+// representations — varint capacity followed by delta-varint set-bit
+// indices (injective because varints self-delimit) — so dense and
+// sparse containers holding the same pattern collide in the same map
+// bucket, and its size tracks the support, not the capacity.
 func (s Set) AppendKey(dst []byte) []byte {
-	dst = strconv.AppendInt(dst, int64(s.n), 10)
-	dst = append(dst, ':')
-	for _, w := range s.words {
-		dst = append(dst,
-			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
-			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	dst = binary.AppendUvarint(dst, uint64(s.n))
+	prev := 0
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			i := wi*wordBits + b
+			dst = binary.AppendUvarint(dst, uint64(i-prev))
+			prev = i
+			w &= w - 1
+		}
 	}
 	return dst
 }

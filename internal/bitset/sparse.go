@@ -1,0 +1,490 @@
+package bitset
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// This file is the adaptive compressed signature tier. A property
+// signature over a wide schema (|P| in the tens of thousands, as in
+// full DBpedia) almost never has more than a few dozen set bits, so a
+// dense word array wastes |P|/8 bytes per signature on zeros. Following
+// the roaring-bitmap two-level design, a signature is stored either as
+// the existing dense Set or as a Sparse sorted-index array, whichever
+// the cost model prefers, behind the read-only Bits interface that the
+// view, rule and refinement layers consume. Both containers expose the
+// same canonical key and iteration order, so every aggregate computed
+// from them — σ rationals, signature sort keys, merge sequences — is
+// bit-identical regardless of representation.
+
+// Bits is the read-only signature container: the operations the hot
+// paths need (membership, popcount, ordered iteration, canonical
+// grouping key). Set and Sparse implement it; signatures are immutable
+// once constructed, so no mutator is part of the contract.
+type Bits interface {
+	// Len returns the capacity (number of addressable bits).
+	Len() int
+	// Count returns the number of 1 bits.
+	Count() int
+	// Test reports whether bit i is 1.
+	Test(i int) bool
+	// AppendIndices appends the positions of the 1 bits to dst in
+	// increasing order and returns it.
+	AppendIndices(dst []int) []int
+	// Indices returns the positions of the 1 bits in increasing order.
+	Indices() []int
+	// ForEach calls f with each set bit index in increasing order.
+	ForEach(f func(i int))
+	// AppendKey appends the canonical key bytes to dst and returns it.
+	// Equal patterns produce equal keys regardless of representation.
+	AppendKey(dst []byte) []byte
+	// Key returns the canonical key as a string.
+	Key() string
+	// String renders the container as a 0/1 string, lowest index first.
+	String() string
+	// MemSize estimates the container's heap footprint in bytes.
+	MemSize() int
+}
+
+var (
+	_ Bits = Set{}
+	_ Bits = Sparse{}
+)
+
+// Policy forces or frees the container choice — the representation-
+// invariance test hook. Production code leaves it at PolicyAdaptive.
+type Policy int32
+
+const (
+	// PolicyAdaptive picks the container per signature by the cost model.
+	PolicyAdaptive Policy = iota
+	// PolicyDense forces every new container dense.
+	PolicyDense
+	// PolicySparse forces every new container sparse.
+	PolicySparse
+)
+
+var policy atomic.Int32
+
+// SetPolicy installs the container-choice policy process-wide and
+// returns the previous one (restore it with a defer in tests).
+func SetPolicy(p Policy) Policy { return Policy(policy.Swap(int32(p))) }
+
+// CurrentPolicy returns the active container-choice policy.
+func CurrentPolicy() Policy { return Policy(policy.Load()) }
+
+// Container cost model. A sparse container spends 4 bytes per set bit
+// plus a fixed struct overhead; a dense one spends 8 bytes per 64-bit
+// word. Below sparseMinLen the dense words fit in a cache line or two
+// and every operation is branch-free, so compression can only lose —
+// this keeps the narrow paper corpora (|P| ≤ a few hundred) on the
+// dense path untouched. Above it, the sparse form wins whenever its
+// index array undercuts the word array, which for paper-shaped wide
+// signatures (<20 set bits over tens of thousands of columns) is a
+// 30×+ reduction.
+const (
+	sparseMinLen    = 1024
+	sparseOverhead  = 32 // Sparse struct + slice header estimate
+	denseOverheadB  = 32 // Set struct + slice header estimate
+	bytesPerSparse  = 4
+	bytesPerWordSet = 8
+)
+
+// sparseWins reports whether the cost model prefers the sparse
+// container for a pattern of count set bits over n columns.
+func sparseWins(n, count int) bool {
+	if n < sparseMinLen {
+		return false
+	}
+	words := (n + wordBits - 1) / wordBits
+	return bytesPerSparse*count+sparseOverhead < bytesPerWordSet*words
+}
+
+// chooseSparse applies the policy on top of the cost model.
+func chooseSparse(n, count int) bool {
+	switch CurrentPolicy() {
+	case PolicyDense:
+		return false
+	case PolicySparse:
+		return true
+	}
+	return sparseWins(n, count)
+}
+
+// Sparse is a compressed bit container: the sorted positions of the 1
+// bits. It is immutable by convention (no mutators), shares Set's
+// canonical key and iteration order, and implements Bits.
+type Sparse struct {
+	n   int
+	idx []uint32 // sorted ascending, no duplicates
+}
+
+// Len returns the capacity (number of addressable bits).
+func (s Sparse) Len() int { return s.n }
+
+// Count returns the number of 1 bits.
+func (s Sparse) Count() int { return len(s.idx) }
+
+// Test reports whether bit i is 1 (binary search, O(log count)).
+func (s Sparse) Test(i int) bool {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+	j := sort.Search(len(s.idx), func(k int) bool { return s.idx[k] >= uint32(i) })
+	return j < len(s.idx) && s.idx[j] == uint32(i)
+}
+
+// AppendIndices appends the positions of the 1 bits to dst in
+// increasing order and returns it.
+func (s Sparse) AppendIndices(dst []int) []int {
+	for _, i := range s.idx {
+		dst = append(dst, int(i))
+	}
+	return dst
+}
+
+// Indices returns the positions of the 1 bits in increasing order.
+func (s Sparse) Indices() []int { return s.AppendIndices(make([]int, 0, len(s.idx))) }
+
+// ForEach calls f with each set bit index in increasing order.
+func (s Sparse) ForEach(f func(i int)) {
+	for _, i := range s.idx {
+		f(int(i))
+	}
+}
+
+// AppendKey appends the canonical key bytes to dst and returns it.
+func (s Sparse) AppendKey(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(s.n))
+	prev := 0
+	for _, i := range s.idx {
+		dst = binary.AppendUvarint(dst, uint64(int(i)-prev))
+		prev = int(i)
+	}
+	return dst
+}
+
+// Key returns the canonical key as a string.
+func (s Sparse) Key() string { return string(s.AppendKey(make([]byte, 0, len(s.idx)+8))) }
+
+// String renders the container as a 0/1 string, lowest index first.
+func (s Sparse) String() string {
+	var b strings.Builder
+	b.Grow(s.n)
+	next := 0
+	for i := 0; i < s.n; i++ {
+		if next < len(s.idx) && int(s.idx[next]) == i {
+			b.WriteByte('1')
+			next++
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// MemSize estimates the container's heap footprint in bytes.
+func (s Sparse) MemSize() int { return sparseOverhead + bytesPerSparse*len(s.idx) }
+
+// MemSize estimates the container's heap footprint in bytes.
+func (s Set) MemSize() int { return denseOverheadB + bytesPerWordSet*len(s.words) }
+
+// IsSparse reports whether b uses the compressed representation —
+// the storage-accounting probe behind /stats breakdowns.
+func IsSparse(b Bits) bool {
+	_, ok := b.(Sparse)
+	return ok
+}
+
+// Compress returns an immutable copy of s in the representation the
+// policy and cost model pick — the construction edge of the adaptive
+// tier (FromGraph, MergeViews and snapshot builds all funnel through
+// here or FromSortedIndices).
+func Compress(s Set) Bits {
+	if chooseSparse(s.n, s.Count()) {
+		idx := make([]uint32, 0, s.Count())
+		s.ForEach(func(i int) { idx = append(idx, uint32(i)) })
+		return Sparse{n: s.n, idx: idx}
+	}
+	return s.Clone()
+}
+
+// FromSortedIndices builds a container of capacity n from strictly
+// ascending bit positions, copying idx, in the representation the
+// policy and cost model pick. Panics on out-of-range, unsorted or
+// duplicate indices.
+func FromSortedIndices(n int, idx []int) Bits {
+	prev := -1
+	for _, i := range idx {
+		if i < 0 || i >= n {
+			panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, n))
+		}
+		if i <= prev {
+			panic(fmt.Sprintf("bitset: indices not strictly ascending at %d", i))
+		}
+		prev = i
+	}
+	if chooseSparse(n, len(idx)) {
+		out := make([]uint32, len(idx))
+		for k, i := range idx {
+			out[k] = uint32(i)
+		}
+		return Sparse{n: n, idx: out}
+	}
+	s := New(n)
+	for _, i := range idx {
+		s.Set(i)
+	}
+	return s
+}
+
+// AppendSortedIndicesKey appends the canonical key of the pattern
+// {idx...} over n columns to dst — what AppendKey would produce for
+// the materialized container, without building it. idx must be
+// strictly ascending. The allocation-free probe for grouping loops
+// that hold remapped index lists rather than containers.
+func AppendSortedIndicesKey(dst []byte, n int, idx []int) []byte {
+	dst = binary.AppendUvarint(dst, uint64(n))
+	prev := 0
+	for _, i := range idx {
+		dst = binary.AppendUvarint(dst, uint64(i-prev))
+		prev = i
+	}
+	return dst
+}
+
+// CloneBits returns an independent copy of b, preserving its
+// representation.
+func CloneBits(b Bits) Bits {
+	switch t := b.(type) {
+	case Set:
+		return t.Clone()
+	case Sparse:
+		return Sparse{n: t.n, idx: append([]uint32(nil), t.idx...)}
+	default:
+		return FromSortedIndices(b.Len(), b.Indices())
+	}
+}
+
+// indexIter walks a container's set bits in ascending order without
+// allocating — the kernel under the cross-representation comparisons.
+type indexIter struct {
+	// dense cursor
+	words []uint64
+	wi    int
+	cur   uint64
+	// sparse cursor
+	idx []uint32
+	si  int
+	// fallback (foreign Bits implementations)
+	rest []int
+}
+
+func iterOf(b Bits) indexIter {
+	switch t := b.(type) {
+	case Set:
+		it := indexIter{words: t.words}
+		if len(it.words) > 0 {
+			it.cur = it.words[0]
+		}
+		return it
+	case Sparse:
+		return indexIter{idx: t.idx, words: nil}
+	default:
+		return indexIter{rest: b.Indices()}
+	}
+}
+
+// next returns the next set index, or ok = false when exhausted.
+func (it *indexIter) next() (int, bool) {
+	if it.words != nil {
+		for {
+			if it.cur != 0 {
+				b := bits.TrailingZeros64(it.cur)
+				it.cur &= it.cur - 1
+				return it.wi*wordBits + b, true
+			}
+			it.wi++
+			if it.wi >= len(it.words) {
+				return 0, false
+			}
+			it.cur = it.words[it.wi]
+		}
+	}
+	if it.idx != nil || it.si < len(it.idx) {
+		if it.si < len(it.idx) {
+			v := int(it.idx[it.si])
+			it.si++
+			return v, true
+		}
+		return 0, false
+	}
+	if it.si < len(it.rest) {
+		v := it.rest[it.si]
+		it.si++
+		return v, true
+	}
+	return 0, false
+}
+
+// EqualBits reports whether a and b have the same capacity and bit
+// pattern, across representations.
+func EqualBits(a, b Bits) bool {
+	if as, ok := a.(Set); ok {
+		if bs, ok := b.(Set); ok {
+			return as.Equal(bs)
+		}
+	}
+	if a.Len() != b.Len() || a.Count() != b.Count() {
+		return false
+	}
+	ia, ib := iterOf(a), iterOf(b)
+	for {
+		va, oka := ia.next()
+		vb, okb := ib.next()
+		if oka != okb {
+			return false
+		}
+		if !oka {
+			return true
+		}
+		if va != vb {
+			return false
+		}
+	}
+}
+
+// CompareBits orders containers exactly as comparing their String()
+// renderings would (the signature sort tie-break): negative when
+// a.String() < b.String(), zero on equal patterns, positive otherwise
+// — without materializing either string. For equal capacities the
+// first index where the patterns differ decides: the container with
+// that bit set renders '1' against '0' and sorts greater.
+func CompareBits(a, b Bits) int {
+	ia, ib := iterOf(a), iterOf(b)
+	n := a.Len()
+	if m := b.Len(); m < n {
+		n = m
+	}
+	for {
+		va, oka := ia.next()
+		vb, okb := ib.next()
+		switch {
+		case oka && okb:
+			if va == vb {
+				continue
+			}
+			// The lower differing index belongs to the container whose
+			// bit is set there.
+			if va < vb {
+				if va < n {
+					return 1
+				}
+			} else if vb < n {
+				return -1
+			}
+			// Differing index beyond the shorter capacity: the common
+			// prefix is equal, the longer string wins.
+			return lenCompare(a, b)
+		case oka:
+			if va < n {
+				return 1
+			}
+			return lenCompare(a, b)
+		case okb:
+			if vb < n {
+				return -1
+			}
+			return lenCompare(a, b)
+		default:
+			return lenCompare(a, b)
+		}
+	}
+}
+
+// lenCompare breaks ties between patterns equal over the common
+// capacity: Go string comparison makes the shorter rendering smaller.
+func lenCompare(a, b Bits) int {
+	switch {
+	case a.Len() < b.Len():
+		return -1
+	case a.Len() > b.Len():
+		return 1
+	default:
+		return 0
+	}
+}
+
+// AndCountBits returns the number of bits set in both a and b, across
+// representations. Panics if capacities differ, matching AndCount.
+func AndCountBits(a, b Bits) int {
+	if as, ok := a.(Set); ok {
+		if bs, ok := b.(Set); ok {
+			return AndCount(as, bs)
+		}
+	}
+	if a.Len() != b.Len() {
+		panic(fmt.Sprintf("bitset: mismatched lengths %d and %d", a.Len(), b.Len()))
+	}
+	// Probe the sparser side's indices against the other container:
+	// O(count·log count) beats a merge when one side is dense.
+	if a.Count() > b.Count() {
+		a, b = b, a
+	}
+	c := 0
+	it := iterOf(a)
+	for {
+		v, ok := it.next()
+		if !ok {
+			return c
+		}
+		if b.Test(v) {
+			c++
+		}
+	}
+}
+
+// HammingBits returns the number of positions at which a and b differ,
+// across representations. Panics if capacities differ, matching
+// Set.HammingDistance.
+func HammingBits(a, b Bits) int {
+	if as, ok := a.(Set); ok {
+		if bs, ok := b.(Set); ok {
+			return as.HammingDistance(bs)
+		}
+	}
+	if a.Len() != b.Len() {
+		panic(fmt.Sprintf("bitset: mismatched lengths %d and %d", a.Len(), b.Len()))
+	}
+	ia, ib := iterOf(a), iterOf(b)
+	va, oka := ia.next()
+	vb, okb := ib.next()
+	d := 0
+	for oka && okb {
+		switch {
+		case va == vb:
+			va, oka = ia.next()
+			vb, okb = ib.next()
+		case va < vb:
+			d++
+			va, oka = ia.next()
+		default:
+			d++
+			vb, okb = ib.next()
+		}
+	}
+	for oka {
+		d++
+		_, oka = ia.next()
+		// consume remaining a indices
+	}
+	for okb {
+		d++
+		_, okb = ib.next()
+	}
+	return d
+}

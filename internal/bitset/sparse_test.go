@@ -1,0 +1,263 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// randomSet returns a dense Set of capacity n with each bit set with
+// probability p, plus its sorted index list.
+func randomSet(rng *rand.Rand, n int, p float64) (Set, []int) {
+	s := New(n)
+	var idx []int
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			s.Set(i)
+			idx = append(idx, i)
+		}
+	}
+	return s, idx
+}
+
+func forceSparse(t *testing.T) {
+	t.Helper()
+	prev := SetPolicy(PolicySparse)
+	t.Cleanup(func() { SetPolicy(prev) })
+}
+
+func TestSparseMatchesDenseOps(t *testing.T) {
+	forceSparse(t)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		d, idx := randomSet(rng, n, rng.Float64())
+		sp := Compress(d)
+		if _, ok := sp.(Sparse); !ok {
+			t.Fatalf("PolicySparse did not yield Sparse")
+		}
+		if sp.Len() != d.Len() || sp.Count() != d.Count() {
+			t.Fatalf("Len/Count mismatch: %d/%d vs %d/%d", sp.Len(), sp.Count(), d.Len(), d.Count())
+		}
+		for i := 0; i < n; i++ {
+			if sp.Test(i) != d.Test(i) {
+				t.Fatalf("Test(%d) mismatch", i)
+			}
+		}
+		if got := sp.Indices(); !equalInts(got, idx) {
+			t.Fatalf("Indices mismatch: %v vs %v", got, idx)
+		}
+		var walked []int
+		sp.ForEach(func(i int) { walked = append(walked, i) })
+		if !equalInts(walked, idx) {
+			t.Fatalf("ForEach order mismatch: %v vs %v", walked, idx)
+		}
+		if sp.Key() != d.Key() {
+			t.Fatalf("canonical key differs across representations")
+		}
+		if sp.String() != d.String() {
+			t.Fatalf("String differs across representations")
+		}
+		if !EqualBits(sp, d) || !EqualBits(d, sp) {
+			t.Fatalf("EqualBits(sparse, dense) = false on equal patterns")
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFromSortedIndicesAndKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(2500)
+		d, idx := randomSet(rng, n, 0.02)
+		b := FromSortedIndices(n, idx)
+		if !EqualBits(b, d) {
+			t.Fatalf("FromSortedIndices pattern mismatch")
+		}
+		if got := string(AppendSortedIndicesKey(nil, n, idx)); got != d.Key() {
+			t.Fatalf("AppendSortedIndicesKey != materialized key")
+		}
+		// Input slice must be copied, not aliased.
+		if len(idx) > 0 {
+			idx[0] = n - 1
+			if b.Count() != len(b.Indices()) || !sort.IntsAreSorted(b.Indices()) {
+				t.Fatalf("FromSortedIndices aliased its input")
+			}
+		}
+	}
+	if _, ok := FromSortedIndices(4, []int{1, 3}).(Set); !ok {
+		t.Fatalf("narrow pattern should stay dense under adaptive policy")
+	}
+	if _, ok := FromSortedIndices(8192, []int{1, 3}).(Sparse); !ok {
+		t.Fatalf("wide sparse pattern should compress under adaptive policy")
+	}
+}
+
+func TestKeyInjectiveAcrossShapes(t *testing.T) {
+	// Distinct (capacity, pattern) pairs must produce distinct keys even
+	// when the index deltas could collide naively.
+	seen := map[string]string{}
+	add := func(n int, idx ...int) {
+		t.Helper()
+		k := string(AppendSortedIndicesKey(nil, n, idx))
+		desc := FromIndices(n, idx...).String()
+		if prev, ok := seen[k]; ok && prev != desc {
+			t.Fatalf("key collision: %q vs %q", prev, desc)
+		}
+		seen[k] = desc
+	}
+	add(1)
+	add(1, 0)
+	add(2)
+	add(2, 0)
+	add(2, 1)
+	add(2, 0, 1)
+	add(3, 0, 1)
+	add(3, 0, 2)
+	add(3, 1, 2)
+	add(130, 0, 128)
+	add(130, 128)
+	add(130, 1, 129)
+}
+
+func TestCompareBitsMatchesStringOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var pool []Bits
+	for trial := 0; trial < 120; trial++ {
+		n := 1 + rng.Intn(80)
+		d, idx := randomSet(rng, n, rng.Float64())
+		pool = append(pool, d)
+		pool = append(pool, Sparse{n: n, idx: toU32(idx)})
+	}
+	for i := 0; i < 400; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		want := strings.Compare(a.String(), b.String())
+		got := CompareBits(a, b)
+		if sign(got) != sign(want) {
+			t.Fatalf("CompareBits(%q, %q) = %d, want sign of %d", a, b, got, want)
+		}
+	}
+}
+
+func toU32(idx []int) []uint32 {
+	out := make([]uint32, len(idx))
+	for i, v := range idx {
+		out[i] = uint32(v)
+	}
+	return out
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestCrossRepAndCountAndHamming(t *testing.T) {
+	forceSparse(t)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 150; trial++ {
+		n := 1 + rng.Intn(200)
+		a, _ := randomSet(rng, n, rng.Float64())
+		b, _ := randomSet(rng, n, rng.Float64())
+		wantAnd := AndCount(a, b)
+		wantHam := a.HammingDistance(b)
+		sa, sb := Compress(a), Compress(b)
+		for _, pair := range [][2]Bits{{a, sb}, {sa, b}, {sa, sb}} {
+			if got := AndCountBits(pair[0], pair[1]); got != wantAnd {
+				t.Fatalf("AndCountBits = %d, want %d", got, wantAnd)
+			}
+			if got := HammingBits(pair[0], pair[1]); got != wantHam {
+				t.Fatalf("HammingBits = %d, want %d", got, wantHam)
+			}
+		}
+	}
+}
+
+func TestForcedSparseCompress(t *testing.T) {
+	prev := SetPolicy(PolicySparse)
+	defer SetPolicy(prev)
+	s := FromIndices(10, 2, 5)
+	b := Compress(s)
+	if _, ok := b.(Sparse); !ok {
+		t.Fatalf("PolicySparse Compress returned %T", b)
+	}
+	prev2 := SetPolicy(PolicyDense)
+	defer SetPolicy(prev2)
+	if _, ok := Compress(s).(Set); !ok {
+		t.Fatalf("PolicyDense Compress returned non-Set")
+	}
+}
+
+func TestCostModelCrossover(t *testing.T) {
+	prev := SetPolicy(PolicyAdaptive)
+	defer SetPolicy(prev)
+	// Narrow capacities never compress, regardless of density.
+	if sparseWins(512, 1) {
+		t.Fatalf("narrow capacity chose sparse")
+	}
+	// Wide and nearly empty compresses.
+	if !sparseWins(20000, 15) {
+		t.Fatalf("wide sparse signature stayed dense")
+	}
+	// Wide but saturated stays dense (index array would exceed words).
+	if sparseWins(20000, 19000) {
+		t.Fatalf("saturated signature chose sparse")
+	}
+}
+
+func TestCloneBitsIndependence(t *testing.T) {
+	d := FromIndices(64, 1, 7, 40)
+	c := CloneBits(d).(Set)
+	d.Set(2)
+	if c.Test(2) {
+		t.Fatalf("CloneBits aliased dense words")
+	}
+	sp := Sparse{n: 5000, idx: []uint32{3, 99}}
+	c2 := CloneBits(sp)
+	if !EqualBits(c2, sp) {
+		t.Fatalf("CloneBits(sparse) mismatch")
+	}
+}
+
+func TestMemSize(t *testing.T) {
+	wide := Sparse{n: 20000, idx: make([]uint32, 12)}
+	dense := New(20000)
+	if wide.MemSize()*5 > dense.MemSize() {
+		t.Fatalf("sparse container not at least 5x smaller: %d vs %d", wide.MemSize(), dense.MemSize())
+	}
+}
+
+func BenchmarkAppendKeyDense(b *testing.B) {
+	s := FromIndices(20000, 1, 77, 300, 4096, 19999)
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = s.AppendKey(buf[:0])
+	}
+}
+
+func BenchmarkTestSparse(b *testing.B) {
+	sp := Sparse{n: 20000, idx: []uint32{1, 77, 300, 4096, 19999}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = sp.Test((i * 37) % 20000)
+	}
+}

@@ -1,0 +1,230 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/matrix"
+	"repro/internal/rdf"
+)
+
+// The wide-schema scenario models full-DBpedia-shaped datasets
+// (ROADMAP item 5): tens of thousands of property columns, subjects
+// touching only a handful each, column popularity following a power
+// law. No paper corpus has this shape — the paper's datasets top out at
+// a few hundred properties — so the generator is calibrated against
+// the structural facts the compressed signature tier must survive
+// rather than published statistics:
+//
+//   - |P(D)| equals the requested width exactly (a coverage tail of
+//     small signatures touches every otherwise-unused column), so the
+//     dense baseline really pays |P| per signature;
+//   - column popularity is power-law: the head columns appear in most
+//     signatures, the tail in exactly one;
+//   - adversarial signature splits: sibling signatures differing in a
+//     single column with equal-or-near counts, plus a large cohort of
+//     count-1 signatures — the shapes that stress the canonical sort
+//     tie-break, merge identity and refinement delta-scoring.
+
+// WideSortURI is the rdf:type object of every wide-scenario subject.
+const WideSortURI = "http://wide/Thing"
+
+// WideOptions sizes the wide-schema scenario. The zero value gives the
+// full |P| ≈ 20k shape.
+type WideOptions struct {
+	// Props is the number of distinct property columns, all of which
+	// appear in the dataset (default 20000).
+	Props int
+	// Subjects is the subject count (default 4000). Must leave room for
+	// the coverage tail: at least Props/WideTailChunk + Templates.
+	Subjects int
+	// Templates is the number of base signature templates drawn from
+	// the power-law column distribution (default 300). Every second
+	// template also emits an adversarial sibling differing in exactly
+	// one column.
+	Templates int
+	// Alpha is the power-law exponent of column popularity
+	// (default 1.07).
+	Alpha float64
+	// Seed drives all sampling (default 1).
+	Seed int64
+}
+
+// WideTailChunk is the support size of the coverage-tail signatures
+// that sweep up otherwise-unused columns.
+const WideTailChunk = 16
+
+func (o *WideOptions) defaults() {
+	if o.Props == 0 {
+		o.Props = 20000
+	}
+	if o.Subjects == 0 {
+		o.Subjects = 4000
+	}
+	if o.Templates == 0 {
+		o.Templates = 300
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 1.07
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// WideProp returns the URI of wide-scenario column i. Names are
+// zero-padded so lexicographic order equals column order, making the
+// generated view bit-identical to FromGraph on its materialization.
+func WideProp(i int) string { return fmt.Sprintf("http://wide/p%05d", i) }
+
+// WideSchema generates the wide-schema signature view.
+func WideSchema(opts WideOptions) *matrix.View {
+	opts.defaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	n := opts.Props
+
+	// Power-law column popularity: cumulative weights over 1/(i+1)^α,
+	// sampled by binary search.
+	cum := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), opts.Alpha)
+		cum[i] = sum
+	}
+	drawCol := func() int {
+		x := rng.Float64() * sum
+		return sort.SearchFloat64s(cum, x)
+	}
+	sampleSupport := func(k int) []int {
+		seen := map[int]bool{}
+		out := make([]int, 0, k)
+		for len(out) < k {
+			c := drawCol()
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+		sort.Ints(out)
+		return out
+	}
+
+	// Base templates plus adversarial one-column siblings.
+	var supports [][]int
+	for t := 0; t < opts.Templates; t++ {
+		k := 4 + int(rng.ExpFloat64()*6)
+		if k > 28 {
+			k = 28
+		}
+		supp := sampleSupport(k)
+		supports = append(supports, supp)
+		if t%2 == 0 {
+			// Sibling: same support except one member swapped for a fresh
+			// column — maximal key/sort-order adjacency at Hamming
+			// distance 2, or distance 1 when the swap collides.
+			sib := append([]int(nil), supp...)
+			for {
+				c := drawCol()
+				i := sort.SearchInts(sib, c)
+				if i < len(sib) && sib[i] == c {
+					continue
+				}
+				sib[rng.Intn(len(sib))] = c
+				sort.Ints(sib)
+				break
+			}
+			supports = append(supports, sib)
+		}
+	}
+
+	// Coverage tail: sweep every column the templates missed into
+	// count-1 signatures of WideTailChunk columns each, so |P(D)| == n.
+	used := make([]bool, n)
+	for _, supp := range supports {
+		for _, c := range supp {
+			used[c] = true
+		}
+	}
+	var tail [][]int
+	var chunk []int
+	for c := 0; c < n; c++ {
+		if used[c] {
+			continue
+		}
+		chunk = append(chunk, c)
+		if len(chunk) == WideTailChunk {
+			tail = append(tail, chunk)
+			chunk = nil
+		}
+	}
+	if len(chunk) > 0 {
+		tail = append(tail, chunk)
+	}
+
+	tmplSubjects := opts.Subjects - len(tail)
+	if tmplSubjects < len(supports) {
+		panic(fmt.Sprintf("datagen: %d subjects cannot cover %d template and %d tail signatures",
+			opts.Subjects, len(supports), len(tail)))
+	}
+	// Template multiplicities follow their own power law; adjacent
+	// template/sibling pairs share a weight, so their counts are equal
+	// or within one — the sort tie-break has to consult the patterns.
+	weights := make([]float64, len(supports))
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i/2+1), 0.9)
+	}
+	counts := apportion(weights, tmplSubjects, true)
+
+	props := make([]string, n)
+	for i := range props {
+		props[i] = WideProp(i)
+	}
+	sigs := make([]matrix.Signature, 0, len(supports)+len(tail))
+	for i, supp := range supports {
+		if counts[i] == 0 {
+			continue
+		}
+		sigs = append(sigs, matrix.Signature{Bits: bitset.FromSortedIndices(n, supp), Count: counts[i]})
+	}
+	for _, supp := range tail {
+		sigs = append(sigs, matrix.Signature{Bits: bitset.FromSortedIndices(n, supp), Count: 1})
+	}
+	v, err := matrix.New(props, sigs)
+	if err != nil {
+		panic("datagen: wide schema: " + err.Error())
+	}
+	return v
+}
+
+// WideSchemaGraph materializes the wide-schema scenario as triples.
+func WideSchemaGraph(opts WideOptions) *rdf.Graph {
+	return GraphFromView(WideSchema(opts), WideSortURI, "http://wide/s")
+}
+
+// WideAtScale sizes the scenario by a single scale knob: scale 1 is the
+// full 20k-column shape, smaller scales shrink columns, subjects and
+// templates proportionally (floors keep the shape non-degenerate).
+func WideAtScale(scale float64, seed int64) WideOptions {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	o := WideOptions{
+		Props:     int(20000 * scale),
+		Subjects:  int(4000 * scale),
+		Templates: int(300 * scale),
+		Seed:      seed,
+	}
+	if o.Props < 64 {
+		o.Props = 64
+	}
+	if o.Templates < 8 {
+		o.Templates = 8
+	}
+	if min := o.Props/WideTailChunk + 3*o.Templates/2 + 2; o.Subjects < min {
+		o.Subjects = min
+	}
+	return o
+}

@@ -1,0 +1,99 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/matrix"
+)
+
+// The wide-scenario calibrations: full column coverage, power-law
+// popularity, adversarial near-duplicate signatures, and the adaptive
+// tier actually choosing compressed containers on this shape.
+
+func TestWideSchemaCalibration(t *testing.T) {
+	opts := WideAtScale(0.1, 1) // 2000 columns — fast but wide
+	v := WideSchema(opts)
+
+	if v.NumProperties() != opts.Props {
+		t.Fatalf("NumProperties = %d, want %d", v.NumProperties(), opts.Props)
+	}
+	if v.UsedProperties() != opts.Props {
+		t.Fatalf("UsedProperties = %d, want full coverage %d", v.UsedProperties(), opts.Props)
+	}
+	if v.NumSubjects() != opts.Subjects {
+		t.Fatalf("NumSubjects = %d, want %d", v.NumSubjects(), opts.Subjects)
+	}
+
+	// Sparse shape: mean support far below the column count.
+	meanSupport := float64(v.Ones()) / float64(v.NumSubjects())
+	if meanSupport > 30 {
+		t.Fatalf("mean support %.1f, want wide-sparse (≤30)", meanSupport)
+	}
+
+	// Power-law popularity: the most popular column dwarfs the median
+	// (the tail columns appear exactly once by construction).
+	counts := v.PropertyCounts()
+	var max, min int64 = 0, 1 << 62
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	if max < 20*min || min < 1 {
+		t.Fatalf("popularity head/tail = %d/%d, want skew ≥20x with full coverage", max, min)
+	}
+
+	// Adversarial splits: some pair of signatures within Hamming
+	// distance ≤2 (the template/sibling pairs).
+	sigs := v.Signatures()
+	found := false
+	for i := 0; i < len(sigs) && !found; i++ {
+		for j := i + 1; j < len(sigs) && j < i+50; j++ {
+			if bitset.HammingBits(sigs[i].Bits, sigs[j].Bits) <= 2 {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no adversarial sibling signatures (Hamming ≤ 2) found")
+	}
+
+	// The adaptive cost model must compress this shape.
+	st := v.StorageStats()
+	if st.SparseSigs == 0 || st.SparseSigs < st.DenseSigs {
+		t.Fatalf("adaptive storage on wide shape: %d sparse / %d dense, want mostly sparse",
+			st.SparseSigs, st.DenseSigs)
+	}
+}
+
+func TestWideSchemaGraphRoundTrip(t *testing.T) {
+	opts := WideAtScale(0.02, 7) // 400 columns
+	v := WideSchema(opts)
+	g := WideSchemaGraph(opts)
+	rebuilt := matrix.FromGraph(g, matrix.Options{})
+	if rebuilt.NumSubjects() != v.NumSubjects() ||
+		rebuilt.NumProperties() != v.NumProperties() ||
+		rebuilt.NumSignatures() != v.NumSignatures() {
+		t.Fatalf("round trip %v, want %v", rebuilt, v)
+	}
+	// Bit-identical: same canonical encoding.
+	a := v.AppendBinary(nil)
+	b := rebuilt.AppendBinary(nil)
+	if string(a) != string(b) {
+		t.Fatalf("materialized view differs from generated view")
+	}
+}
+
+func TestWideSchemaDeterministic(t *testing.T) {
+	opts := WideAtScale(0.02, 3)
+	a := WideSchema(opts).AppendBinary(nil)
+	b := WideSchema(opts).AppendBinary(nil)
+	if string(a) != string(b) {
+		t.Fatalf("same options produced different views")
+	}
+}

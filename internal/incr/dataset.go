@@ -518,12 +518,19 @@ func (d *Dataset) buildView() *matrix.View {
 
 	dict := d.g.Dict()
 	sigs := make([]matrix.Signature, 0, len(d.sigs))
+	var idxBuf []int
 	for _, st := range d.sigs {
-		bits := bitset.New(len(names))
+		// Remap the column list into name order and build the container
+		// directly from the sorted indices — no |P|-wide scratch per
+		// signature, and the adaptive representation kicks in on wide
+		// schemas. st.cols is sorted in the append-only column space,
+		// but name order permutes it, so re-sort after remapping.
+		idxBuf = idxBuf[:0]
 		for _, c := range st.cols {
-			bits.Set(remap[c])
+			idxBuf = append(idxBuf, remap[c])
 		}
-		sg := matrix.Signature{Bits: bits, Count: len(st.subjects)}
+		sort.Ints(idxBuf)
+		sg := matrix.Signature{Bits: bitset.FromSortedIndices(len(names), idxBuf), Count: len(st.subjects)}
 		if d.opts.KeepSubjects {
 			subs := make([]string, 0, len(st.subjects))
 			for s := range st.subjects {
@@ -636,6 +643,59 @@ func (d *Dataset) statsLocked() Stats {
 		Added:      d.added,
 		Removed:    d.removed,
 	}
+}
+
+// ViewStorage breaks down the signature-storage footprint of the
+// engine's current snapshot plus its live pair aggregates — the
+// serving tier's /stats and rdf_view_bytes surface.
+type ViewStorage struct {
+	// DenseSigs and SparseSigs count the snapshot's signatures by
+	// container representation.
+	DenseSigs  int `json:"dense_sigs"`
+	SparseSigs int `json:"sparse_sigs"`
+	// SigBytes estimates the snapshot's signature-container footprint.
+	SigBytes int64 `json:"sig_bytes"`
+	// ViewBytes estimates the whole snapshot view (signatures, property
+	// table, any built pair aggregate).
+	ViewBytes int64 `json:"view_bytes"`
+	// TrackerBytes estimates the live pair trackers' footprint (0 when
+	// pair tracking is disabled).
+	TrackerBytes int64 `json:"tracker_bytes"`
+}
+
+// merge adds o's breakdown into v (per-shard sums).
+func (v *ViewStorage) merge(o ViewStorage) {
+	v.DenseSigs += o.DenseSigs
+	v.SparseSigs += o.SparseSigs
+	v.SigBytes += o.SigBytes
+	v.ViewBytes += o.ViewBytes
+	v.TrackerBytes += o.TrackerBytes
+}
+
+// ViewStorage returns the dataset's storage breakdown. The snapshot is
+// the per-epoch cached one (built if stale), so repeated reads between
+// mutations are cheap.
+func (d *Dataset) ViewStorage() ViewStorage {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.viewStorageLocked()
+}
+
+// viewStorageLocked computes the breakdown. Caller holds at least an
+// RLock.
+func (d *Dataset) viewStorageLocked() ViewStorage {
+	snap := d.snapshotLocked()
+	st := snap.View.StorageStats()
+	vs := ViewStorage{
+		DenseSigs:  st.DenseSigs,
+		SparseSigs: st.SparseSigs,
+		SigBytes:   st.SigBytes,
+		ViewBytes:  snap.View.MemSize(),
+	}
+	if d.pairs != nil {
+		vs.TrackerBytes = d.pairs.MemSize()
+	}
+	return vs
 }
 
 // Contains reports whether the triple is currently in the dataset.

@@ -89,12 +89,33 @@ func registerTerms(reg *metrics.Registry, dict interface{ Len() int }) {
 		func() float64 { return float64(dict.Len()) })
 }
 
+// registerViewStorage adds the scrape-time signature-storage gauges.
+// Each scrape reads the engine's ViewStorage breakdown — the snapshot
+// behind it is cached per epoch, so steady-state scrapes cost pointer
+// loads, and a scrape after a burst pays one snapshot build that the
+// next reader would have paid anyway.
+func registerViewStorage(reg *metrics.Registry, e Engine) {
+	reg.GaugeFunc("rdf_view_bytes",
+		"Estimated bytes held by the current snapshot view(s): signature containers, property tables and built pair aggregates.",
+		func() float64 { return float64(e.ViewStorage().ViewBytes) })
+	reg.GaugeFunc("rdf_view_sparse_signatures",
+		"Snapshot signatures stored in the compressed sorted-index container.",
+		func() float64 { return float64(e.ViewStorage().SparseSigs) })
+	reg.GaugeFunc("rdf_view_dense_signatures",
+		"Snapshot signatures stored in the dense word container.",
+		func() float64 { return float64(e.ViewStorage().DenseSigs) })
+	reg.GaugeFunc("rdf_pair_tracker_bytes",
+		"Estimated bytes held by the live pair-count trackers.",
+		func() float64 { return float64(e.ViewStorage().TrackerBytes) })
+}
+
 // RegisterMetrics registers the dataset's ingest instrumentation into
 // reg (shard label "0") and installs the tap. Register at most once
 // per registry — the family names are claimed globally.
 func (d *Dataset) RegisterMetrics(reg *metrics.Registry) {
 	d.setMetrics(newEngineMetrics(reg).shard(0))
 	registerTerms(reg, d.Dict())
+	registerViewStorage(reg, d)
 }
 
 // RegisterMetrics registers per-shard ingest instrumentation for every
@@ -106,4 +127,5 @@ func (s *Sharded) RegisterMetrics(reg *metrics.Registry) {
 		d.setMetrics(m.shard(i))
 	}
 	registerTerms(reg, s.dict)
+	registerViewStorage(reg, s)
 }

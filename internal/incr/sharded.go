@@ -40,6 +40,11 @@ type Engine interface {
 	SigmaPairs(fn rules.PairCountsFunc) (rules.Ratio, bool)
 	PairsTracked() bool
 	Stats() Stats
+	// ViewStorage reports the signature-storage breakdown of the
+	// engine's current snapshot (dense vs compressed container counts,
+	// estimated bytes) plus the live pair-tracker footprint — the
+	// observability surface behind /stats and the rdf_view_bytes gauge.
+	ViewStorage() ViewStorage
 	Epoch() uint64
 	Contains(t rdf.Triple) bool
 	// RegisterMetrics registers the engine's ingest instrumentation
@@ -605,6 +610,22 @@ func (s *Sharded) StatsWithShards() (Stats, []Stats) {
 		return st, s.shardStatsLocked()
 	}
 	return s.mergedStatsLocked(), s.shardStatsLocked()
+}
+
+// ViewStorage returns the summed per-shard storage breakdown (each
+// shard's snapshot is cached per shard epoch). The per-shard sum
+// slightly overcounts the merged view — signatures split across shards
+// are counted once per shard — which is the honest accounting: those
+// containers all exist while serving.
+func (s *Sharded) ViewStorage() ViewStorage {
+	if len(s.shards) == 1 {
+		return s.shards[0].ViewStorage()
+	}
+	var vs ViewStorage
+	for _, d := range s.shards {
+		vs.merge(d.ViewStorage())
+	}
+	return vs
 }
 
 // Contains reports whether the triple is currently in the dataset (a

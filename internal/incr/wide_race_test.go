@@ -1,0 +1,96 @@
+package incr
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/datagen"
+	"repro/internal/matrix"
+	"repro/internal/rules"
+)
+
+// TestWideConcurrentSnapshotWhileIngest hammers the wide scenario —
+// the shape that routes the engine through the compressed-container
+// and sparse pair-tracker paths — with snapshot readers, σ evaluators
+// and storage-accounting scrapes racing a batched ingest. Run under
+// -race this pins the copy-on-write discipline of the adaptive tier;
+// the final state must still be bit-identical to the batch build.
+func TestWideConcurrentSnapshotWhileIngest(t *testing.T) {
+	defer bitset.SetPolicy(bitset.SetPolicy(bitset.PolicyAdaptive))
+	// 3000 columns: far enough past the adaptive thresholds that even
+	// the shard-local column spaces (each shard sees a third of the
+	// subjects) cross into compressed containers, so the racing readers
+	// observe sparse state while batches land.
+	g := datagen.WideSchemaGraph(datagen.WideAtScale(0.15, 21))
+	triples := g.Triples()
+
+	engines := map[string]Engine{
+		"single":  NewDataset(Options{}),
+		"sharded": NewSharded(3, Options{}),
+	}
+	for name, d := range engines {
+		t.Run(name, func(t *testing.T) {
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			for r := 0; r < 3; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						snap := d.Snapshot()
+						if snap.View != nil {
+							_ = rules.Coverage(snap.View)
+							_ = snap.View.StorageStats()
+						}
+						_ = d.SigmaCov()
+						_ = d.ViewStorage()
+					}
+				}()
+			}
+			const batch = 256
+			for i := 0; i < len(triples); i += batch {
+				end := i + batch
+				if end > len(triples) {
+					end = len(triples)
+				}
+				d.Apply(triples[i:end], nil)
+			}
+			close(done)
+			wg.Wait()
+
+			want := matrix.FromGraph(g, matrix.Options{}).AppendBinary(nil)
+			got := d.Snapshot().View.AppendBinary(nil)
+			if name == "sharded" {
+				// Shard views merge into the global one; the merged view
+				// must match the batch build bit-for-bit.
+				var views []*matrix.View
+				for _, sh := range d.(*Sharded).Shards() {
+					views = append(views, sh.Snapshot().View)
+				}
+				merged, err := matrix.MergeViews(views...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = merged.AppendBinary(nil)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("post-ingest view differs from batch FromGraph build")
+			}
+
+			vs := d.ViewStorage()
+			if vs.SparseSigs == 0 {
+				t.Fatalf("wide ingest produced no compressed signatures: %+v", vs)
+			}
+			if vs.ViewBytes <= 0 || vs.TrackerBytes <= 0 {
+				t.Fatalf("implausible storage accounting: %+v", vs)
+			}
+		})
+	}
+}

@@ -79,17 +79,28 @@ func DecodeView(data []byte) (*View, error) {
 		return nil, fmt.Errorf("matrix: view claims %d signatures in %d bytes", nSigs, len(data))
 	}
 	sigs := make([]Signature, 0, nSigs)
+	var idx []int
 	for s := 0; s < nSigs && r.err == nil; s++ {
 		nIdx := int(r.uvarint())
-		bits := bitset.New(nProps)
+		if r.err == nil && nIdx > r.rest() { // each index costs ≥ 1 byte
+			return nil, fmt.Errorf("matrix: signature %d claims %d columns in %d bytes", s, nIdx, r.rest())
+		}
+		idx = idx[:0]
 		col := 0
 		for k := 0; k < nIdx && r.err == nil; k++ {
 			col += int(r.uvarint())
 			if col >= nProps {
 				return nil, fmt.Errorf("matrix: signature %d: column %d out of %d", s, col, nProps)
 			}
-			bits.Set(col)
+			if k > 0 && col <= idx[len(idx)-1] {
+				return nil, fmt.Errorf("matrix: signature %d: non-ascending column %d", s, col)
+			}
+			idx = append(idx, col)
 		}
+		// The container representation is chosen per signature by the
+		// active policy/cost model — a checkpoint written under one
+		// policy decodes identically under any other.
+		bits := bitset.FromSortedIndices(nProps, idx)
 		count := int(r.uvarint())
 		var subjects []string
 		switch r.byte() {

@@ -1,0 +1,205 @@
+package matrix
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// Mixed-representation merge tests: MergeViews and the pair-aggregate
+// plane must produce identical results no matter which container
+// policy built each input — including inputs whose fragments mix dense
+// and compressed signatures within one view.
+
+// fragDesc describes one mergeable fragment independent of any storage
+// policy, so the same fragment can be materialized under different
+// policies and the results compared.
+type fragDesc struct {
+	props    []string
+	supports [][]int
+	counts   []int
+	subjects [][]string // nil when the fragment drops subject lists
+}
+
+// materialize builds the fragment's view with the given policy active.
+func (f fragDesc) materialize(t *testing.T, pol bitset.Policy) *View {
+	t.Helper()
+	defer bitset.SetPolicy(bitset.SetPolicy(pol))
+	sigs := make([]Signature, len(f.supports))
+	for i, supp := range f.supports {
+		sigs[i] = Signature{
+			Bits:  bitset.FromSortedIndices(len(f.props), supp),
+			Count: f.counts[i],
+		}
+		if f.subjects != nil {
+			sigs[i].Subjects = f.subjects[i]
+		}
+	}
+	v, err := New(f.props, sigs)
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	return v
+}
+
+// randomFragments draws subject-disjoint fragments over overlapping
+// slices of a wide shared column pool. Column counts straddle the
+// sparse cost-model threshold so adaptive materialization genuinely
+// mixes representations.
+func randomFragments(rng *rand.Rand, nFrags int, withSubjects bool) []fragDesc {
+	const poolSize = 1600
+	pool := make([]string, poolSize)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("http://mx/p%04d", i)
+	}
+	subj := 0
+	frags := make([]fragDesc, nFrags)
+	for fi := range frags {
+		// Each fragment sees a contiguous window of the pool; windows
+		// overlap so merged signatures need remapping.
+		width := 200 + rng.Intn(poolSize-200)
+		start := rng.Intn(poolSize - width + 1)
+		f := fragDesc{props: append([]string(nil), pool[start:start+width]...)}
+		nSigs := 3 + rng.Intn(8)
+		seen := map[string]bool{}
+		for len(f.supports) < nSigs {
+			k := 1 + rng.Intn(12)
+			suppSet := map[int]bool{}
+			for len(suppSet) < k {
+				suppSet[rng.Intn(width)] = true
+			}
+			supp := make([]int, 0, k)
+			for c := range suppSet {
+				supp = append(supp, c)
+			}
+			sort.Ints(supp)
+			key := fmt.Sprint(supp)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			count := 1 + rng.Intn(5)
+			f.supports = append(f.supports, supp)
+			f.counts = append(f.counts, count)
+			if withSubjects {
+				subs := make([]string, count)
+				for i := range subs {
+					subs[i] = fmt.Sprintf("http://mx/s%06d", subj)
+					subj++
+				}
+				f.subjects = append(f.subjects, subs)
+			}
+		}
+		frags[fi] = f
+	}
+	return frags
+}
+
+// TestMergeViewsMixedRepresentations merges fragments materialized
+// under rotating policies (so the merge sees dense, compressed and
+// cost-model-mixed inputs at once) and checks the canonical encoding
+// against the all-dense reference merge.
+func TestMergeViewsMixedRepresentations(t *testing.T) {
+	defer bitset.SetPolicy(bitset.SetPolicy(bitset.PolicyDense))
+	policies := []bitset.Policy{bitset.PolicyDense, bitset.PolicySparse, bitset.PolicyAdaptive}
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		frags := randomFragments(rng, 3+rng.Intn(3), seed%2 == 1)
+
+		bitset.SetPolicy(bitset.PolicyDense)
+		ref := make([]*View, len(frags))
+		for i, f := range frags {
+			ref[i] = f.materialize(t, bitset.PolicyDense)
+		}
+		refMerged, err := MergeViews(ref...)
+		if err != nil {
+			t.Fatalf("seed %d: reference merge: %v", seed, err)
+		}
+		want := refMerged.AppendBinary(nil)
+
+		for _, mergePol := range policies {
+			mixed := make([]*View, len(frags))
+			for i, f := range frags {
+				mixed[i] = f.materialize(t, policies[(i+int(seed))%len(policies)])
+			}
+			bitset.SetPolicy(mergePol)
+			merged, err := MergeViews(mixed...)
+			if err != nil {
+				t.Fatalf("seed %d: mixed merge: %v", seed, err)
+			}
+			if got := merged.AppendBinary(nil); !bytes.Equal(got, want) {
+				t.Fatalf("seed %d merge policy %v: merged encoding differs from all-dense reference", seed, mergePol)
+			}
+			// Subject lists survive the merge representation-independently.
+			ms, rs := merged.Signatures(), refMerged.Signatures()
+			for i := range ms {
+				if len(ms[i].Subjects) != len(rs[i].Subjects) {
+					t.Fatalf("seed %d: signature %d subject list %d vs %d",
+						seed, i, len(ms[i].Subjects), len(rs[i].Subjects))
+				}
+				for j := range ms[i].Subjects {
+					if ms[i].Subjects[j] != rs[i].Subjects[j] {
+						t.Fatalf("seed %d: signature %d subject %d differs", seed, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPairCountsCSRMatchesPlane pins the wide-schema pair aggregate:
+// the CSR form the adaptive policy builds above the plane bound must
+// agree entry-for-entry with the dense |P|² plane on the same view.
+func TestPairCountsCSRMatchesPlane(t *testing.T) {
+	defer bitset.SetPolicy(bitset.SetPolicy(bitset.PolicyDense))
+	rng := rand.New(rand.NewSource(99))
+	frags := randomFragments(rng, 4, false)
+
+	bitset.SetPolicy(bitset.PolicyDense)
+	views := make([]*View, len(frags))
+	for i, f := range frags {
+		views[i] = f.materialize(t, bitset.PolicyDense)
+	}
+	v, err := MergeViews(views...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := v.NumProperties()
+	if n <= 1024 {
+		t.Fatalf("merged view has %d columns; need >1024 to cross the CSR bound", n)
+	}
+
+	plane := v.PairCounts() // policy dense: |P|² plane even above the bound
+	bitset.SetPolicy(bitset.PolicySparse)
+	v2, err := DecodeView(v.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr := v2.PairCounts()
+	if csr.MemSize() >= plane.MemSize() {
+		t.Fatalf("CSR %d bytes, plane %d bytes — no reduction", csr.MemSize(), plane.MemSize())
+	}
+
+	// Every support pair of every signature, plus random probes (mostly
+	// zeros on this sparse shape).
+	for _, sg := range v.Signatures() {
+		idx := sg.Bits.Indices()
+		for _, i := range idx {
+			for _, j := range idx {
+				if got, want := csr.Both(i, j), plane.Both(i, j); got != want {
+					t.Fatalf("Both(%d,%d) = %d, want %d", i, j, got, want)
+				}
+			}
+		}
+	}
+	for k := 0; k < 5000; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if got, want := csr.Both(i, j), plane.Both(i, j); got != want {
+			t.Fatalf("Both(%d,%d) = %d, want %d", i, j, got, want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 	"repro/internal/rdf"
@@ -21,8 +22,12 @@ import (
 // Signature is a distinct row pattern of M(D) together with the set of
 // subjects exhibiting it (a "signature set").
 type Signature struct {
-	// Bits has one bit per property column (view order).
-	Bits bitset.Set
+	// Bits has one bit per property column (view order). The container
+	// representation (dense words or compressed sorted indices) is an
+	// implementation detail chosen per signature by the bitset cost
+	// model; every observable — key, iteration order, String — is
+	// identical across representations.
+	Bits bitset.Bits
 	// Count is the signature set size (number of subjects).
 	Count int
 	// Subjects holds the subject URIs in this signature set, sorted.
@@ -52,6 +57,10 @@ type View struct {
 	pcCache   []int64
 	pairOnce  sync.Once
 	pairCache *PairCounts
+	// pairBytes is the built aggregate's footprint, published at the end
+	// of the pairOnce build. Storage accounting reads it instead of
+	// pairCache so it never races an in-flight build.
+	pairBytes atomic.Int64
 }
 
 // Options configures view construction.
@@ -109,14 +118,17 @@ func FromGraph(g *rdf.Graph, opts Options) *View {
 	}
 
 	type group struct {
-		bits     bitset.Set
+		bits     bitset.Bits
 		subjects []term.ID
 	}
 	groups := map[string]*group{}
 	nSubjects := 0
 	// One scratch signature and key buffer serve the whole grouping
 	// loop: the map is probed without materializing a key string, and
-	// the bits are only cloned for a pattern never seen before.
+	// the bits are only compressed into a retained container for a
+	// pattern never seen before. On wide schemas the retained form is
+	// the sorted-index container, so live memory tracks Σ|supp|, not
+	// |Λ|·|P|/8.
 	scratch := bitset.New(len(props))
 	var keyBuf []byte
 	setBit := func(tr rdf.IDTriple) {
@@ -133,7 +145,7 @@ func FromGraph(g *rdf.Graph, opts Options) *View {
 		keyBuf = scratch.AppendKey(keyBuf[:0])
 		gr := groups[string(keyBuf)]
 		if gr == nil {
-			gr = &group{bits: scratch.Clone()}
+			gr = &group{bits: bitset.Compress(scratch)}
 			groups[string(keyBuf)] = gr
 		}
 		gr.subjects = append(gr.subjects, s)
@@ -172,6 +184,9 @@ func New(props []string, sigs []Signature) (*View, error) {
 	order := []string{}
 	total := 0
 	for _, sg := range sigs {
+		if sg.Bits == nil {
+			return nil, fmt.Errorf("matrix: nil signature bits")
+		}
 		if sg.Bits.Len() != len(props) {
 			return nil, fmt.Errorf("matrix: signature capacity %d != %d properties", sg.Bits.Len(), len(props))
 		}
@@ -182,12 +197,15 @@ func New(props []string, sigs []Signature) (*View, error) {
 			return nil, fmt.Errorf("matrix: %d subjects but count %d", len(sg.Subjects), sg.Count)
 		}
 		total += sg.Count
+		// The canonical key is representation-independent, so inputs
+		// mixing dense and compressed containers for the same pattern
+		// merge correctly.
 		k := sg.Bits.Key()
 		if prev, ok := merged[k]; ok {
 			prev.Count += sg.Count
 			prev.Subjects = append(prev.Subjects, sg.Subjects...)
 		} else {
-			cp := Signature{Bits: sg.Bits.Clone(), Count: sg.Count}
+			cp := Signature{Bits: bitset.CloneBits(sg.Bits), Count: sg.Count}
 			cp.Subjects = append(cp.Subjects, sg.Subjects...)
 			merged[k] = &cp
 			order = append(order, k)
@@ -219,6 +237,9 @@ func NewDistinct(props []string, sigs []Signature) (*View, error) {
 	}
 	total := 0
 	for _, sg := range sigs {
+		if sg.Bits == nil {
+			return nil, fmt.Errorf("matrix: nil signature bits")
+		}
 		if sg.Bits.Len() != len(props) {
 			return nil, fmt.Errorf("matrix: signature capacity %d != %d properties", sg.Bits.Len(), len(props))
 		}
@@ -271,9 +292,12 @@ func MergeViews(views ...*View) (*View, error) {
 
 	// Merge signatures by remapped bit pattern. Multiplicities add and
 	// subject lists concatenate; both are exact under subject-disjoint
-	// inputs.
+	// inputs. The remapped support is kept as an index list and only
+	// materialized into a container (adaptive representation) for
+	// patterns never seen before, so a wide-schema merge never allocates
+	// |P|-wide scratch per signature.
 	type acc struct {
-		bits     bitset.Set
+		bits     bitset.Bits
 		count    int
 		subjects []string
 		hasSubs  bool
@@ -281,18 +305,25 @@ func MergeViews(views ...*View) (*View, error) {
 	merged := map[string]*acc{}
 	var order []string // deterministic iteration for reproducible builds
 	var keyBuf []byte
+	var idxBuf []int
 	for _, v := range views {
 		remap := make([]int, len(v.props))
 		for i, p := range v.props {
 			remap[i] = nameIdx[p]
 		}
 		for _, sg := range v.sigs {
-			bits := bitset.New(len(names))
-			sg.Bits.ForEach(func(i int) { bits.Set(remap[i]) })
-			keyBuf = bits.AppendKey(keyBuf[:0])
+			idxBuf = idxBuf[:0]
+			sg.Bits.ForEach(func(i int) { idxBuf = append(idxBuf, remap[i]) })
+			// Views built by FromGraph/buildView list properties in
+			// sorted name order, making remap monotone; New accepts
+			// arbitrary column orders, so re-sort when needed.
+			if !sort.IntsAreSorted(idxBuf) {
+				sort.Ints(idxBuf)
+			}
+			keyBuf = bitset.AppendSortedIndicesKey(keyBuf[:0], len(names), idxBuf)
 			a := merged[string(keyBuf)]
 			if a == nil {
-				a = &acc{bits: bits}
+				a = &acc{bits: bitset.FromSortedIndices(len(names), idxBuf)}
 				merged[string(keyBuf)] = a
 				order = append(order, string(keyBuf))
 			}
@@ -321,7 +352,10 @@ func (v *View) sortSigs() {
 		if v.sigs[i].Count != v.sigs[j].Count {
 			return v.sigs[i].Count > v.sigs[j].Count
 		}
-		return v.sigs[i].Bits.String() > v.sigs[j].Bits.String()
+		// CompareBits orders exactly as comparing String() renderings
+		// but without materializing two |P|-byte strings per probe —
+		// the former tie-break dominated sort cost on wide schemas.
+		return bitset.CompareBits(v.sigs[i].Bits, v.sigs[j].Bits) > 0
 	})
 }
 
@@ -395,36 +429,94 @@ func (v *View) Ones() int64 {
 // and |S| it determines every two-variable measure of the rule language
 // in closed form — the compiled σ-evaluators in internal/rules read
 // nothing else.
+//
+// Storage is adaptive: up to pairPlaneMaxProps columns the matrix is a
+// dense row-major plane (O(1) reads, word-parallel dense build
+// available); above that — where the plane would cost 8·|P|² bytes,
+// 3.2 GB at |P| = 20k — it is a symmetric CSR holding only the
+// non-zero co-occurrences, read by binary search within a row. Both
+// forms hold exactly the same entries.
 type PairCounts struct {
 	v *View
-	c []int64 // |P|×|P| row-major, symmetric
+	c []int64 // dense |P|×|P| row-major, symmetric; nil in CSR mode
+	// CSR mode: row i's non-zeros are cols/vals[rowStart[i]:rowStart[i+1]],
+	// cols sorted ascending within each row. Symmetric entries are stored
+	// on both rows so Both needs a single row probe.
+	rowStart []int32
+	cols     []int32
+	vals     []int64
+}
+
+// pairPlaneMaxProps is the widest schema for which the dense |P|² plane
+// is still the right pair storage (8 MB at the boundary). Above it the
+// plane's zeros dominate: paper-shaped wide datasets co-occur only
+// O(Σ|supp|²) pairs out of |P|² possible.
+const pairPlaneMaxProps = 1024
+
+// usePairCSR applies the storage policy on top of the plane bound.
+func usePairCSR(n int) bool {
+	switch bitset.CurrentPolicy() {
+	case bitset.PolicyDense:
+		return false
+	case bitset.PolicySparse:
+		return true
+	}
+	return n > pairPlaneMaxProps
 }
 
 // NumProperties returns the number of property columns.
 func (pc *PairCounts) NumProperties() int { return len(pc.v.props) }
 
 // Both returns the number of subjects having both column i and column j.
-func (pc *PairCounts) Both(i, j int) int64 { return pc.c[i*len(pc.v.props)+j] }
+func (pc *PairCounts) Both(i, j int) int64 {
+	if pc.c != nil {
+		return pc.c[i*len(pc.v.props)+j]
+	}
+	lo, hi := pc.rowStart[i], pc.rowStart[i+1]
+	row := pc.cols[lo:hi]
+	k := sort.Search(len(row), func(k int) bool { return row[k] >= int32(j) })
+	if k < len(row) && row[k] == int32(j) {
+		return pc.vals[int(lo)+k]
+	}
+	return 0
+}
 
 // Column resolves a property name to its column index, implementing the
 // name-keyed half of the rules-layer PairCounts contract.
 func (pc *PairCounts) Column(p string) (int, bool) { return pc.v.PropertyIndex(p) }
 
+// MemSize estimates the aggregate's heap footprint in bytes.
+func (pc *PairCounts) MemSize() int64 {
+	if pc.c != nil {
+		return int64(len(pc.c)) * 8
+	}
+	return int64(len(pc.rowStart))*4 + int64(len(pc.cols))*4 + int64(len(pc.vals))*8
+}
+
 // PairCounts returns the view's pairwise co-occurrence aggregate,
 // computed once and cached (sync.Once-guarded like Ones and
 // PropertyCounts, so concurrent evaluators share one build).
 //
-// Two build strategies produce identical matrices and the cheaper one
-// is picked by a cost model: the sparse path makes one pass over the
-// signatures accumulating every support pair (O(Σ|supp|²)), while the
-// dense path transposes the view into per-column signature-incidence
-// bit vectors plus count bit-planes and fills each entry word-parallel
-// with bitset.AndCount3 (O(|P|²·log(max count)·|Λ|/64)). The measured
-// crossover is recorded in EXPERIMENTS.md.
+// In plane mode two build strategies produce identical matrices and the
+// cheaper one is picked by a cost model: the sparse path makes one pass
+// over the signatures accumulating every support pair (O(Σ|supp|²)),
+// while the dense path transposes the view into per-column
+// signature-incidence bit vectors plus count bit-planes and fills each
+// entry word-parallel with bitset.AndCount3
+// (O(|P|²·log(max count)·|Λ|/64)). The measured crossover is recorded
+// in EXPERIMENTS.md. In CSR mode only the support-pair pass applies —
+// its output is the non-zero set itself.
 func (v *View) PairCounts() *PairCounts {
 	v.pairOnce.Do(func() {
 		n := len(v.props)
-		pc := &PairCounts{v: v, c: make([]int64, n*n)}
+		pc := &PairCounts{v: v}
+		if usePairCSR(n) {
+			v.buildPairsCSR(pc)
+			v.pairBytes.Store(pc.MemSize())
+			v.pairCache = pc
+			return
+		}
+		pc.c = make([]int64, n*n)
 		var sparseOps, maxCount int64
 		for _, sg := range v.sigs {
 			s := int64(sg.Bits.Count())
@@ -447,6 +539,7 @@ func (v *View) PairCounts() *PairCounts {
 		} else {
 			v.buildPairsSparse(pc)
 		}
+		v.pairBytes.Store(pc.MemSize())
 		v.pairCache = pc
 	})
 	return v.pairCache
@@ -467,6 +560,62 @@ func (v *View) buildPairsSparse(pc *PairCounts) {
 			}
 		}
 	}
+}
+
+// buildPairsCSR accumulates the same support pairs into a hash map of
+// non-zero entries and lays them out as a sorted symmetric CSR. The
+// entry values are identical to the plane build's — only zeros are
+// elided — so every σ read through Both is bit-identical.
+func (v *View) buildPairsCSR(pc *PairCounts) {
+	n := len(v.props)
+	acc := map[uint64]int64{}
+	var idx []int
+	for _, sg := range v.sigs {
+		idx = sg.Bits.AppendIndices(idx[:0])
+		c := int64(sg.Count)
+		for _, i := range idx {
+			base := uint64(i) << 32
+			for _, j := range idx {
+				acc[base|uint64(j)] += c
+			}
+		}
+	}
+	rowLen := make([]int32, n+1)
+	for k := range acc {
+		rowLen[int(k>>32)+1]++
+	}
+	for i := 0; i < n; i++ {
+		rowLen[i+1] += rowLen[i]
+	}
+	pc.rowStart = rowLen
+	pc.cols = make([]int32, len(acc))
+	pc.vals = make([]int64, len(acc))
+	next := make([]int32, n)
+	for k, c := range acc {
+		i, j := int(k>>32), int32(uint32(k))
+		at := pc.rowStart[i] + next[i]
+		next[i]++
+		pc.cols[at] = j
+		pc.vals[at] = c
+	}
+	// Map iteration is unordered; sort each row's (col, val) pairs.
+	for i := 0; i < n; i++ {
+		lo, hi := pc.rowStart[i], pc.rowStart[i+1]
+		cols, vals := pc.cols[lo:hi], pc.vals[lo:hi]
+		sort.Sort(&csrRow{cols, vals})
+	}
+}
+
+type csrRow struct {
+	cols []int32
+	vals []int64
+}
+
+func (r *csrRow) Len() int           { return len(r.cols) }
+func (r *csrRow) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
+func (r *csrRow) Swap(i, j int) {
+	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
+	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
 }
 
 // buildPairsDense fills the matrix from per-column signature-incidence
@@ -523,14 +672,56 @@ func (v *View) Subset(sigIdx []int) *View {
 }
 
 // SignatureOf returns the index (into Signatures()) of the signature
-// with the given bit pattern, or -1.
-func (v *View) SignatureOf(bits bitset.Set) int {
+// with the given bit pattern, or -1. The probe may use either
+// container representation.
+func (v *View) SignatureOf(bits bitset.Bits) int {
 	for i, sg := range v.sigs {
-		if sg.Bits.Equal(bits) {
+		if bitset.EqualBits(sg.Bits, bits) {
 			return i
 		}
 	}
 	return -1
+}
+
+// StorageStats breaks down a view's signature-tier memory use — the
+// observability surface behind /stats and the rdf_view_bytes gauge.
+type StorageStats struct {
+	// DenseSigs and SparseSigs count signatures by container kind.
+	DenseSigs  int
+	SparseSigs int
+	// SigBytes estimates the signature containers' footprint.
+	SigBytes int64
+	// PairBytes is the built pair aggregate's footprint (0 before the
+	// lazy build runs).
+	PairBytes int64
+}
+
+// StorageStats returns the view's signature-storage breakdown. Safe to
+// call concurrently with a PairCounts build.
+func (v *View) StorageStats() StorageStats {
+	var st StorageStats
+	for _, sg := range v.sigs {
+		if bitset.IsSparse(sg.Bits) {
+			st.SparseSigs++
+		} else {
+			st.DenseSigs++
+		}
+		st.SigBytes += int64(sg.Bits.MemSize())
+	}
+	st.PairBytes = v.pairBytes.Load()
+	return st
+}
+
+// MemSize estimates the view's total heap footprint in bytes:
+// signature containers, property name table, and any built pair
+// aggregate.
+func (v *View) MemSize() int64 {
+	st := v.StorageStats()
+	var props int64
+	for _, p := range v.props {
+		props += int64(len(p)) + 16 // string header
+	}
+	return st.SigBytes + st.PairBytes + props
 }
 
 // String summarizes the view.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/bitset"
 	"repro/internal/matrix"
 	"repro/internal/rules"
 )
@@ -950,7 +951,7 @@ func profileSeed(v *matrix.View, k int, rng *rand.Rand) Assignment {
 	for mu := range assign {
 		best, bestD := 0, 1<<30
 		for ci, c := range centroids {
-			d := sigs[mu].Bits.HammingDistance(sigs[c].Bits)
+			d := bitset.HammingBits(sigs[mu].Bits, sigs[c].Bits)
 			if d < bestD {
 				bestD = d
 				best = ci

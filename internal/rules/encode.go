@@ -3,6 +3,7 @@ package rules
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 )
 
 // Binary serialization of the Σ-count trackers, used by the durability
@@ -79,32 +80,49 @@ func (t *CountTracker) Equal(o *CountTracker) bool {
 // non-zero upper-triangle entries (diagonal included), then each entry
 // as (i, j−i, value) uvarints in row-major order. The symmetric lower
 // triangle is implied, so a sparse co-occurrence matrix encodes in
-// O(non-zero pairs) rather than O(|P|²).
+// O(non-zero pairs) rather than O(|P|²). Both storage modes iterate
+// their non-zeros in the same row-major order (sparse rows keep columns
+// sorted and never hold explicit zeros), so equal logical state encodes
+// to identical bytes regardless of mode — the property recovery pinning
+// relies on.
 func (t *PairTracker) AppendBinary(dst []byte) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(t.c)))
+	dst = binary.AppendUvarint(dst, uint64(t.n))
 	nz := 0
-	for i, row := range t.c {
-		for j := i; j < len(row); j++ {
-			if row[j] != 0 {
-				nz++
-			}
-		}
-	}
+	t.forEachUpper(func(i, j int, v int64) { nz++ })
 	dst = binary.AppendUvarint(dst, uint64(nz))
-	for i, row := range t.c {
-		for j := i; j < len(row); j++ {
-			if row[j] != 0 {
-				dst = binary.AppendUvarint(dst, uint64(i))
-				dst = binary.AppendUvarint(dst, uint64(j-i))
-				dst = binary.AppendUvarint(dst, uint64(row[j]))
-			}
-		}
-	}
+	t.forEachUpper(func(i, j int, v int64) {
+		dst = binary.AppendUvarint(dst, uint64(i))
+		dst = binary.AppendUvarint(dst, uint64(j-i))
+		dst = binary.AppendUvarint(dst, uint64(v))
+	})
 	return dst
 }
 
+// forEachUpper calls f with every non-zero upper-triangle entry
+// (diagonal included) in row-major order.
+func (t *PairTracker) forEachUpper(f func(i, j int, v int64)) {
+	if t.c != nil {
+		for i, row := range t.c {
+			for j := i; j < len(row); j++ {
+				if row[j] != 0 {
+					f(i, j, row[j])
+				}
+			}
+		}
+		return
+	}
+	for i := range t.rows {
+		r := &t.rows[i]
+		k := sort.Search(len(r.cols), func(k int) bool { return r.cols[k] >= int32(i) })
+		for ; k < len(r.cols); k++ {
+			f(i, int(r.cols[k]), r.vals[k])
+		}
+	}
+}
+
 // DecodePairTracker decodes an AppendBinary encoding, rebuilding the
-// symmetric matrix and rejecting out-of-range or zero entries.
+// symmetric matrix (in whichever storage mode the active policy picks)
+// and rejecting out-of-range or zero entries.
 func DecodePairTracker(data []byte) (*PairTracker, error) {
 	r := byteReader{data: data}
 	n := r.uvarint()
@@ -129,8 +147,7 @@ func DecodePairTracker(data []byte) (*PairTracker, error) {
 		if v == 0 {
 			return nil, fmt.Errorf("rules: pair tracker: explicit zero entry (%d,%d)", i, j)
 		}
-		t.c[i][j] = int64(v)
-		t.c[j][i] = int64(v)
+		t.set(int(i), int(j), int64(v))
 	}
 	if r.rest() != 0 {
 		return nil, fmt.Errorf("rules: pair tracker: %d trailing bytes", r.rest())
@@ -138,27 +155,59 @@ func DecodePairTracker(data []byte) (*PairTracker, error) {
 	return t, nil
 }
 
-// Equal reports whether the pair trackers hold identical co-occurrence
-// matrices (same column count, same entries).
-func (t *PairTracker) Equal(o *PairTracker) bool {
-	if len(t.c) != len(o.c) {
-		return false
+// set installs entry (i, j) and its mirror, assuming it is not present
+// yet (decode feeds each entry once).
+func (t *PairTracker) set(i, j int, v int64) {
+	if t.c != nil {
+		t.c[i][j] = v
+		t.c[j][i] = v
+		return
 	}
-	for i, row := range t.c {
-		for j, v := range row {
-			if o.c[i][j] != v {
-				return false
-			}
-		}
+	t.rows[i].add(i, j, v)
+	if i != j {
+		t.rows[j].add(j, i, v)
 	}
-	return true
 }
 
-// Clone returns an independent copy of the pair tracker.
+// Equal reports whether the pair trackers hold identical co-occurrence
+// matrices (same column count, same entries), regardless of storage
+// mode.
+func (t *PairTracker) Equal(o *PairTracker) bool {
+	if t.n != o.n {
+		return false
+	}
+	tn, on := 0, 0
+	t.forEachNonZero(func(i, j int, v int64) { tn++ })
+	o.forEachNonZero(func(i, j int, v int64) { on++ })
+	if tn != on {
+		return false
+	}
+	eq := true
+	t.forEachNonZero(func(i, j int, v int64) {
+		if eq && o.Both(i, j) != v {
+			eq = false
+		}
+	})
+	return eq
+}
+
+// Clone returns an independent copy of the pair tracker, preserving its
+// storage mode.
 func (t *PairTracker) Clone() *PairTracker {
-	o := &PairTracker{c: make([][]int64, len(t.c))}
-	for i, row := range t.c {
-		o.c[i] = append([]int64(nil), row...)
+	o := &PairTracker{n: t.n}
+	if t.c != nil {
+		o.c = make([][]int64, len(t.c))
+		for i, row := range t.c {
+			o.c[i] = append([]int64(nil), row...)
+		}
+		return o
+	}
+	o.rows = make([]pairRow, len(t.rows))
+	for i := range t.rows {
+		o.rows[i] = pairRow{
+			cols: append([]int32(nil), t.rows[i].cols...),
+			vals: append([]int64(nil), t.rows[i].vals...),
+		}
 	}
 	return o
 }

@@ -1,0 +1,165 @@
+package rules
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// trackerOps is a policy-independent operation tape: the same sequence
+// of column-set transitions replays into trackers built under
+// different storage modes, so their logical states are identical by
+// construction and any observable difference is a representation leak.
+type trackerOp struct {
+	remove bool
+	cols   []int
+	c      int
+}
+
+func randomTrackerOps(rng *rand.Rand, nProps, nSubjects int) []trackerOp {
+	var ops []trackerOp
+	// live[s] is subject s's current sorted column set.
+	live := make([][]int, nSubjects)
+	for s := 0; s < nSubjects; s++ {
+		k := 1 + rng.Intn(7)
+		if k > nProps {
+			k = nProps
+		}
+		for len(live[s]) < k {
+			c := rng.Intn(nProps)
+			dup := false
+			for _, x := range live[s] {
+				if x == c {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+			ops = append(ops, trackerOp{cols: append([]int(nil), live[s]...), c: c})
+			live[s] = append(live[s], c)
+		}
+	}
+	// Random losses exercise decrement-to-zero entry deletion (the
+	// sparse canonical-form path).
+	for s := 0; s < nSubjects; s++ {
+		for len(live[s]) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(live[s]))
+			c := live[s][i]
+			live[s] = append(live[s][:i], live[s][i+1:]...)
+			ops = append(ops, trackerOp{remove: true, cols: append([]int(nil), live[s]...), c: c})
+		}
+	}
+	return ops
+}
+
+func replayTracker(pol bitset.Policy, nProps int, ops []trackerOp) *PairTracker {
+	defer bitset.SetPolicy(bitset.SetPolicy(pol))
+	t := NewPairTracker(nProps)
+	for _, op := range ops {
+		if op.remove {
+			t.RemoveCol(op.cols, op.c)
+		} else {
+			t.AddCol(op.cols, op.c)
+		}
+	}
+	return t
+}
+
+// TestPairTrackerMixedModeMerge replays shard tapes into trackers of
+// forced modes and merges every mode combination (dense→dense,
+// dense→sparse, sparse→dense, sparse→sparse, plus adaptive), checking
+// each merged state entry-for-entry and byte-for-byte against the
+// all-dense reference.
+func TestPairTrackerMixedModeMerge(t *testing.T) {
+	defer bitset.SetPolicy(bitset.SetPolicy(bitset.PolicyDense))
+	for _, seed := range []int64{2, 11, 31} {
+		rng := rand.New(rand.NewSource(seed))
+		const nProps, nShards = 11, 3
+		tapes := make([][]trackerOp, nShards)
+		colMaps := make([][]int, nShards)
+		for sh := range tapes {
+			// Shard-local spaces: a permuted subset of the union columns.
+			local := rng.Perm(nProps)[:4+rng.Intn(nProps-4)]
+			colMaps[sh] = local
+			tapes[sh] = randomTrackerOps(rng, len(local), 4+rng.Intn(10))
+		}
+
+		// All-dense reference.
+		ref := replayTracker(bitset.PolicyDense, nProps, nil)
+		for sh, tape := range tapes {
+			ref.Merge(replayTracker(bitset.PolicyDense, len(colMaps[sh]), tape), colMaps[sh])
+		}
+		refEnc := ref.AppendBinary(nil)
+
+		policies := []bitset.Policy{bitset.PolicyDense, bitset.PolicySparse, bitset.PolicyAdaptive}
+		for _, mergePol := range policies {
+			for rot := 0; rot < len(policies); rot++ {
+				merged := replayTracker(mergePol, nProps, nil)
+				for sh, tape := range tapes {
+					shardPol := policies[(sh+rot)%len(policies)]
+					shard := replayTracker(shardPol, len(colMaps[sh]), tape)
+					merged.Merge(shard, colMaps[sh])
+				}
+				for i := 0; i < nProps; i++ {
+					for j := 0; j < nProps; j++ {
+						if got, want := merged.Both(i, j), ref.Both(i, j); got != want {
+							t.Fatalf("seed %d merge=%v rot=%d: C[%d][%d] = %d, want %d",
+								seed, mergePol, rot, i, j, got, want)
+						}
+					}
+				}
+				if !merged.Equal(ref) || !ref.Equal(merged) {
+					t.Fatalf("seed %d merge=%v rot=%d: Equal is mode-dependent", seed, mergePol, rot)
+				}
+				if enc := merged.AppendBinary(nil); !bytes.Equal(enc, refEnc) {
+					t.Fatalf("seed %d merge=%v rot=%d: encoding differs across modes", seed, mergePol, rot)
+				}
+			}
+		}
+	}
+}
+
+// TestPairTrackerGrowConvertsModes pins the in-place mode conversions:
+// a tape replayed dense then grown under a sparse-forcing policy (and
+// vice versa) keeps every entry and the canonical encoding.
+func TestPairTrackerGrowConvertsModes(t *testing.T) {
+	defer bitset.SetPolicy(bitset.SetPolicy(bitset.PolicyDense))
+	rng := rand.New(rand.NewSource(8))
+	const nProps = 9
+	tape := randomTrackerOps(rng, nProps, 12)
+
+	dense := replayTracker(bitset.PolicyDense, nProps, tape)
+	sparse := replayTracker(bitset.PolicySparse, nProps, tape)
+	if dense.IsSparse() || !sparse.IsSparse() {
+		t.Fatalf("forced modes not honored: dense.IsSparse=%v sparse.IsSparse=%v",
+			dense.IsSparse(), sparse.IsSparse())
+	}
+	wantEnc := dense.AppendBinary(nil)
+
+	bitset.SetPolicy(bitset.PolicySparse)
+	dense.Grow(nProps + 2)
+	if !dense.IsSparse() {
+		t.Fatal("Grow under sparse policy did not convert")
+	}
+	bitset.SetPolicy(bitset.PolicyDense)
+	sparse.Grow(nProps + 2)
+	if sparse.IsSparse() {
+		t.Fatal("Grow under dense policy did not convert")
+	}
+	for i := 0; i < nProps; i++ {
+		for j := 0; j < nProps; j++ {
+			if dense.Both(i, j) != sparse.Both(i, j) {
+				t.Fatalf("conversion changed C[%d][%d]: %d vs %d", i, j, dense.Both(i, j), sparse.Both(i, j))
+			}
+		}
+	}
+	// Grown columns are all-zero, so the non-zero encoding only differs
+	// in the column-count header; shrink back via a fresh clone replay.
+	grown := replayTracker(bitset.PolicyAdaptive, nProps, tape)
+	if enc := grown.AppendBinary(nil); !bytes.Equal(enc, wantEnc) {
+		t.Fatalf("adaptive replay encoding differs from dense replay")
+	}
+}

@@ -1,6 +1,11 @@
 package rules
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+)
 
 // CountTracker maintains the Σ-count state behind the closed-form
 // structuredness measures — the per-property subject counts N_p, the
@@ -108,10 +113,45 @@ func (t *CountTracker) Merge(other *CountTracker, colMap []int) {
 // without rebuilding a view. The diagonal carries N_p, mirroring
 // matrix.PairCounts.
 //
+// Storage is adaptive, mirroring matrix.PairCounts: up to
+// pairTrackerDenseMax columns the matrix is dense rows (O(1) reads and
+// updates); above that it switches to sorted sparse (column, count)
+// rows holding only non-zeros, so a wide schema costs O(live pairs)
+// instead of 8·|P|² bytes. Entries that decrement to zero are removed,
+// keeping the sparse form canonical: the binary encoding — which
+// iterates non-zero upper-triangle entries row-major — is byte-
+// identical across modes for equal logical state. The bitset storage
+// policy forces a mode in tests; Grow converts in place when the mode
+// changes, preserving every entry exactly.
+//
 // Columns follow the same append-only space as CountTracker: retired
 // columns keep zero rows, which no kernel observes (their N_p is 0).
 type PairTracker struct {
-	c [][]int64 // square, symmetric; c[i][j] = subjects with both i and j
+	n int
+	// dense mode: square symmetric matrix; nil in sparse mode.
+	c [][]int64
+	// sparse mode: per-row non-zero entries, cols sorted ascending.
+	// Symmetric entries are stored on both rows, like the dense form.
+	rows []pairRow
+}
+
+type pairRow struct {
+	cols []int32
+	vals []int64
+}
+
+// pairTrackerDenseMax is the widest live schema kept on dense rows.
+const pairTrackerDenseMax = 1024
+
+// useSparseTracker applies the storage policy on top of the size bound.
+func useSparseTracker(nProps int) bool {
+	switch bitset.CurrentPolicy() {
+	case bitset.PolicyDense:
+		return false
+	case bitset.PolicySparse:
+		return true
+	}
+	return nProps > pairTrackerDenseMax
 }
 
 // NewPairTracker returns a tracker over nProps property columns.
@@ -121,33 +161,158 @@ func NewPairTracker(nProps int) *PairTracker {
 	return t
 }
 
-// Grow extends the tracker to nProps columns (new columns start at 0).
+// Grow extends the tracker to nProps columns (new columns start at 0),
+// converting the storage mode if the policy/size bound now prefers the
+// other one.
 func (t *PairTracker) Grow(nProps int) {
-	for i := range t.c {
-		for len(t.c[i]) < nProps {
-			t.c[i] = append(t.c[i], 0)
+	if nProps < t.n {
+		nProps = t.n
+	}
+	wantSparse := useSparseTracker(nProps)
+	if t.n == 0 && t.c == nil && t.rows == nil {
+		// Fresh tracker: adopt the desired mode directly.
+		if !wantSparse {
+			t.c = make([][]int64, 0, nProps)
 		}
 	}
-	for len(t.c) < nProps {
-		t.c = append(t.c, make([]int64, nProps))
+	if wantSparse != (t.c == nil) {
+		t.convert(wantSparse)
 	}
+	if t.c != nil {
+		for i := range t.c {
+			for len(t.c[i]) < nProps {
+				t.c[i] = append(t.c[i], 0)
+			}
+		}
+		for len(t.c) < nProps {
+			t.c = append(t.c, make([]int64, nProps))
+		}
+	} else {
+		for len(t.rows) < nProps {
+			t.rows = append(t.rows, pairRow{})
+		}
+	}
+	t.n = nProps
+}
+
+// convert rewrites the storage into the other mode, preserving every
+// entry exactly.
+func (t *PairTracker) convert(toSparse bool) {
+	if toSparse {
+		rows := make([]pairRow, t.n)
+		for i, row := range t.c {
+			for j, v := range row {
+				if v != 0 {
+					rows[i].cols = append(rows[i].cols, int32(j))
+					rows[i].vals = append(rows[i].vals, v)
+				}
+			}
+		}
+		t.c, t.rows = nil, rows
+		return
+	}
+	c := make([][]int64, t.n)
+	for i := range c {
+		c[i] = make([]int64, t.n)
+	}
+	for i, row := range t.rows {
+		for k, j := range row.cols {
+			c[i][j] = row.vals[k]
+		}
+	}
+	t.c, t.rows = c, nil
 }
 
 // NumProps returns the number of tracked columns.
-func (t *PairTracker) NumProps() int { return len(t.c) }
+func (t *PairTracker) NumProps() int { return t.n }
 
 // Both returns the number of subjects having both column i and j.
-func (t *PairTracker) Both(i, j int) int64 { return t.c[i][j] }
+func (t *PairTracker) Both(i, j int) int64 {
+	if t.c != nil {
+		return t.c[i][j]
+	}
+	r := &t.rows[i]
+	k := sort.Search(len(r.cols), func(k int) bool { return r.cols[k] >= int32(j) })
+	if k < len(r.cols) && r.cols[k] == int32(j) {
+		return r.vals[k]
+	}
+	return 0
+}
+
+// add adjusts entry (i, j) by delta in sparse mode, inserting new
+// entries in column order and deleting entries that reach zero (the
+// canonical-form invariant the codec relies on). Panics on negative
+// results like the dense decrements do.
+func (r *pairRow) add(i, j int, delta int64) {
+	k := sort.Search(len(r.cols), func(k int) bool { return r.cols[k] >= int32(j) })
+	if k < len(r.cols) && r.cols[k] == int32(j) {
+		r.vals[k] += delta
+		switch {
+		case r.vals[k] == 0:
+			r.cols = append(r.cols[:k], r.cols[k+1:]...)
+			r.vals = append(r.vals[:k], r.vals[k+1:]...)
+		case r.vals[k] < 0:
+			panic(fmt.Sprintf("rules: negative pair count (%d,%d)", i, j))
+		}
+		return
+	}
+	if delta < 0 {
+		panic(fmt.Sprintf("rules: negative pair count (%d,%d)", i, j))
+	}
+	r.cols = append(r.cols, 0)
+	copy(r.cols[k+1:], r.cols[k:])
+	r.cols[k] = int32(j)
+	r.vals = append(r.vals, 0)
+	copy(r.vals[k+1:], r.vals[k:])
+	r.vals[k] = delta
+}
+
+// addSym adjusts the symmetric entry pair (i, j)/(j, i) by delta.
+func (t *PairTracker) addSym(i, j int, delta int64) {
+	t.rows[i].add(i, j, delta)
+	if i != j {
+		t.rows[j].add(j, i, delta)
+	}
+}
 
 // AddCol records that a subject whose property set is cols gained
 // column c (c ∉ cols): the diagonal and every (c, x) pair increment.
-// The cost is O(|cols|) — proportional to the subject's property
-// count, like CountTracker's per-transition work.
+// The cost is O(|cols|) dense — proportional to the subject's property
+// count, like CountTracker's per-transition work — and
+// O(|cols|·log row) sparse.
 func (t *PairTracker) AddCol(cols []int, c int) {
-	t.c[c][c]++
+	if t.c != nil {
+		t.c[c][c]++
+		for _, x := range cols {
+			t.c[c][x]++
+			t.c[x][c]++
+		}
+		return
+	}
+	t.addSym(c, c, 1)
 	for _, x := range cols {
-		t.c[c][x]++
-		t.c[x][c]++
+		t.addSym(c, x, 1)
+	}
+}
+
+// forEachNonZero calls f with every non-zero entry (both triangles,
+// diagonal included) in row-major order.
+func (t *PairTracker) forEachNonZero(f func(i, j int, v int64)) {
+	if t.c != nil {
+		for i, row := range t.c {
+			for j, v := range row {
+				if v != 0 {
+					f(i, j, v)
+				}
+			}
+		}
+		return
+	}
+	for i := range t.rows {
+		r := &t.rows[i]
+		for k, j := range r.cols {
+			f(i, int(j), r.vals[k])
+		}
 	}
 }
 
@@ -155,32 +320,56 @@ func (t *PairTracker) AddCol(cols []int, c int) {
 // of two subject-disjoint datasets' pair aggregates. Exact for the same
 // reason CountTracker.Merge is: each subject's co-occurrence pairs live
 // wholly on one side, so every C[p1][p2] entry (diagonal N_p included)
-// sums. colMap translates other's column i into t's column space; a
-// column whose entries are all zero (retired — its N_p is 0, and a
-// subject having a pair has both members, so all its pair entries are 0
-// too) may map to -1 and is skipped.
+// sums. The inputs may use different storage modes. colMap translates
+// other's column i into t's column space; a column whose entries are
+// all zero (retired — its N_p is 0, and a subject having a pair has
+// both members, so all its pair entries are 0 too) may map to -1 and is
+// skipped.
 func (t *PairTracker) Merge(other *PairTracker, colMap []int) {
-	for i, row := range other.c {
-		for j, c := range row {
-			if c != 0 {
-				t.c[colMap[i]][colMap[j]] += c
-			}
+	other.forEachNonZero(func(i, j int, v int64) {
+		mi, mj := colMap[i], colMap[j]
+		if t.c != nil {
+			t.c[mi][mj] += v
+			return
 		}
-	}
+		t.rows[mi].add(mi, mj, v)
+	})
 }
 
 // RemoveCol records that a subject whose property set is now cols
 // (after the loss) lost column c.
 func (t *PairTracker) RemoveCol(cols []int, c int) {
-	t.c[c][c]--
-	if t.c[c][c] < 0 {
-		panic(fmt.Sprintf("rules: RemoveCol on zero-count column %d", c))
-	}
-	for _, x := range cols {
-		t.c[c][x]--
-		t.c[x][c]--
-		if t.c[c][x] < 0 {
-			panic(fmt.Sprintf("rules: negative pair count (%d,%d)", c, x))
+	if t.c != nil {
+		t.c[c][c]--
+		if t.c[c][c] < 0 {
+			panic(fmt.Sprintf("rules: RemoveCol on zero-count column %d", c))
 		}
+		for _, x := range cols {
+			t.c[c][x]--
+			t.c[x][c]--
+			if t.c[c][x] < 0 {
+				panic(fmt.Sprintf("rules: negative pair count (%d,%d)", c, x))
+			}
+		}
+		return
+	}
+	t.addSym(c, c, -1)
+	for _, x := range cols {
+		t.addSym(c, x, -1)
 	}
 }
+
+// MemSize estimates the tracker's heap footprint in bytes.
+func (t *PairTracker) MemSize() int64 {
+	if t.c != nil {
+		return int64(t.n) * int64(t.n) * 8
+	}
+	var b int64
+	for i := range t.rows {
+		b += 24 + int64(len(t.rows[i].cols))*4 + int64(len(t.rows[i].vals))*8
+	}
+	return b
+}
+
+// IsSparse reports whether the tracker currently uses sparse rows.
+func (t *PairTracker) IsSparse() bool { return t.c == nil }

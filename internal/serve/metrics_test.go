@@ -142,6 +142,80 @@ func TestMetricsEndToEnd(t *testing.T) {
 	}
 }
 
+// TestStatsViewStorageAndGauges pins the storage-breakdown surface:
+// /stats carries the viewStorage block and /metrics the matching
+// rdf_view_* gauges, on both the single and the sharded engine.
+func TestStatsViewStorageAndGauges(t *testing.T) {
+	engines := map[string]incr.Engine{
+		"single":  incr.NewDataset(incr.Options{}),
+		"sharded": incr.NewSharded(3, incr.Options{}),
+	}
+	for name, d := range engines {
+		t.Run(name, func(t *testing.T) {
+			reg := metrics.NewRegistry()
+			d.RegisterMetrics(reg)
+			ts := httptest.NewServer(New(d, Options{Metrics: reg, Logf: t.Logf}))
+			defer ts.Close()
+
+			var add []string
+			for i := 0; i < 30; i++ {
+				add = append(add, fmt.Sprintf("<http://x/s%d> <http://x/p%d> <http://x/o> .", i, i%5))
+			}
+			body := `{"add":["` + strings.Join(add, `","`) + `"]}`
+			if code := postJSON(t, ts.URL+"/triples", body, &struct{}{}); code != 200 {
+				t.Fatalf("ingest status %d", code)
+			}
+
+			var stats struct {
+				Stats       incr.Stats       `json:"stats"`
+				Shards      []incr.Stats     `json:"shards"`
+				ViewStorage incr.ViewStorage `json:"viewStorage"`
+			}
+			if code := getJSON(t, ts.URL+"/stats", &stats); code != 200 {
+				t.Fatalf("stats status %d", code)
+			}
+			vs := stats.ViewStorage
+			if vs.SigBytes <= 0 || vs.ViewBytes < vs.SigBytes {
+				t.Fatalf("implausible storage breakdown %+v", vs)
+			}
+			// ViewStorage counts per shard; the sharded breakdown is the
+			// per-shard sum, the single engine's is its one snapshot.
+			total := stats.Stats.Signatures
+			if len(stats.Shards) > 0 {
+				total = 0
+				for _, sh := range stats.Shards {
+					total += sh.Signatures
+				}
+			}
+			if vs.DenseSigs+vs.SparseSigs != total {
+				t.Fatalf("dense %d + sparse %d != %d signatures (%+v)",
+					vs.DenseSigs, vs.SparseSigs, total, vs)
+			}
+
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := string(raw)
+			for _, series := range []string{
+				"rdf_view_bytes",
+				"rdf_view_sparse_signatures",
+				"rdf_view_dense_signatures",
+				"rdf_pair_tracker_bytes",
+			} {
+				if !strings.Contains(out, series) {
+					t.Errorf("/metrics missing series %s", series)
+				}
+			}
+		})
+	}
+}
+
 // TestStatsShardBalanceAndWAL pins the /stats satellites: the
 // per-shard imbalance summary and the surfaced WAL recovery info.
 func TestStatsShardBalanceAndWAL(t *testing.T) {

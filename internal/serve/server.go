@@ -1123,6 +1123,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	} else {
 		resp["stats"] = s.d.Stats()
 	}
+	resp["viewStorage"] = s.d.ViewStorage()
 	if s.opts.WAL != nil {
 		resp["wal"] = s.opts.WAL
 	}

@@ -1,0 +1,285 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/datagen"
+	"repro/internal/incr"
+	"repro/internal/matrix"
+	"repro/internal/rdf"
+	"repro/internal/refine"
+	"repro/internal/rules"
+	"repro/internal/term"
+)
+
+// These tests pin the compressed-signature tier's central guarantee:
+// the container representation (dense words, sorted-index sparse, or
+// the adaptive cost-model mix) is invisible to every consumer. Forcing
+// each policy over every corpus shape must reproduce byte-identical
+// canonical view encodings, exactly equal σ rationals for all five
+// closed forms, identical refinement outcomes, and checkpoints that
+// restore across policies.
+
+// invarianceCorpora is the corpus battery: the paper-shaped narrow
+// datasets (where the cost model keeps everything dense), a randomized
+// mixed-shape set, and the wide schema the sparse tier exists for.
+func invarianceCorpora() map[string]*rdf.Graph {
+	rng := rand.New(rand.NewSource(42))
+	random := rdf.NewGraph()
+	for _, tr := range randomTriples(rng, 600) {
+		random.Add(tr)
+	}
+	return map[string]*rdf.Graph{
+		"random":  random,
+		"dbpedia": datagen.DBpediaPersonsGraph(0.01),
+		"wordnet": datagen.WordNetNounsGraph(0.01),
+		"mixed":   datagen.MixedDrugSultans(datagen.MixedOptions{Seed: 5}),
+		"wide":    datagen.WideSchemaGraph(datagen.WideAtScale(0.02, 11)),
+	}
+}
+
+// policyArtifacts is everything a policy run produces that consumers
+// can observe: the canonical view bytes, the five σ rationals, and the
+// full refinement outcome.
+type policyArtifacts struct {
+	viewBytes []byte
+	sigma     map[string]string
+	theta1    int64
+	theta2    int64
+	k         int
+	assign    []int
+}
+
+func buildArtifacts(t *testing.T, g *rdf.Graph) policyArtifacts {
+	t.Helper()
+	v := matrix.FromGraph(g, matrix.Options{})
+	a := policyArtifacts{
+		viewBytes: v.AppendBinary(nil),
+		sigma:     map[string]string{},
+	}
+	a.sigma["cov"] = rules.Coverage(v).String()
+	a.sigma["sim"] = rules.Similarity(v).String()
+	if props := v.Properties(); len(props) >= 2 {
+		p1, p2 := props[0], props[len(props)/2]
+		a.sigma["dep"] = rules.Dep(v, p1, p2).String()
+		a.sigma["symdep"] = rules.SymDep(v, p1, p2).String()
+		a.sigma["depdisj"] = rules.DepDisjEval(v, p1, p2).String()
+	}
+	out, err := refine.HighestTheta(v, rules.CovRule(), nil, 2, refine.SearchOptions{
+		Engine:    refine.EngineHeuristic,
+		Heuristic: refine.HeuristicOptions{Restarts: 2, MaxIters: 40, Seed: 7},
+	})
+	if err != nil {
+		t.Fatalf("refine: %v", err)
+	}
+	a.theta1, a.theta2, a.k = out.Theta1, out.Theta2, out.K
+	if out.Refinement != nil {
+		a.assign = append(a.assign, out.Refinement.Assignment...)
+	}
+	return a
+}
+
+var invariancePolicies = map[string]bitset.Policy{
+	"dense":    bitset.PolicyDense,
+	"sparse":   bitset.PolicySparse,
+	"adaptive": bitset.PolicyAdaptive,
+}
+
+// TestRepresentationInvariance forces each container policy over each
+// corpus and compares every observable artifact against the dense
+// baseline.
+func TestRepresentationInvariance(t *testing.T) {
+	defer bitset.SetPolicy(bitset.SetPolicy(bitset.PolicyDense))
+	for name, g := range invarianceCorpora() {
+		t.Run(name, func(t *testing.T) {
+			bitset.SetPolicy(bitset.PolicyDense)
+			base := buildArtifacts(t, g)
+			for pname, pol := range invariancePolicies {
+				bitset.SetPolicy(pol)
+				got := buildArtifacts(t, g)
+				if !bytes.Equal(got.viewBytes, base.viewBytes) {
+					t.Errorf("%s: view encoding differs from dense baseline", pname)
+				}
+				for fn, want := range base.sigma {
+					if got.sigma[fn] != want {
+						t.Errorf("%s: σ%s = %s, want %s", pname, fn, got.sigma[fn], want)
+					}
+				}
+				if got.theta1 != base.theta1 || got.theta2 != base.theta2 || got.k != base.k {
+					t.Errorf("%s: refinement (θ=%d/%d,k=%d), want (θ=%d/%d,k=%d)", pname,
+						got.theta1, got.theta2, got.k, base.theta1, base.theta2, base.k)
+				}
+				if len(got.assign) != len(base.assign) {
+					t.Errorf("%s: assignment length %d, want %d", pname, len(got.assign), len(base.assign))
+					continue
+				}
+				for i := range got.assign {
+					if got.assign[i] != base.assign[i] {
+						t.Errorf("%s: assignment[%d] = %d, want %d", pname, i, got.assign[i], base.assign[i])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestViewCodecInvariance: decoding a canonical view encoding under any
+// policy re-encodes to the same bytes, and the decoded view evaluates
+// identically. (The codec is the checkpoint and cluster wire format, so
+// a policy-dependent decode would poison durable state.)
+func TestViewCodecInvariance(t *testing.T) {
+	defer bitset.SetPolicy(bitset.SetPolicy(bitset.PolicyDense))
+	for name, g := range invarianceCorpora() {
+		t.Run(name, func(t *testing.T) {
+			bitset.SetPolicy(bitset.PolicyDense)
+			v := matrix.FromGraph(g, matrix.Options{})
+			enc := v.AppendBinary(nil)
+			cov := rules.Coverage(v).String()
+			for pname, pol := range invariancePolicies {
+				bitset.SetPolicy(pol)
+				dec, err := matrix.DecodeView(enc)
+				if err != nil {
+					t.Fatalf("%s: decode: %v", pname, err)
+				}
+				if !bytes.Equal(dec.AppendBinary(nil), enc) {
+					t.Errorf("%s: re-encode differs", pname)
+				}
+				if got := rules.Coverage(dec).String(); got != cov {
+					t.Errorf("%s: σCov on decoded view = %s, want %s", pname, got, cov)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointRepresentationInvariance builds the live engine under
+// each policy, exports a checkpoint, and restores it under every other
+// policy. RestoreCheckpoint's integrity pins (Σ-counts, pair counts and
+// view must rebuild bit-identical) make a representation leak a hard
+// failure. The exported aggregates' canonical encodings must also be
+// byte-equal across build policies — the durable format cannot depend
+// on the in-memory container mix.
+func TestCheckpointRepresentationInvariance(t *testing.T) {
+	defer bitset.SetPolicy(bitset.SetPolicy(bitset.PolicyDense))
+	corpora := map[string]*rdf.Graph{
+		"random": invarianceCorpora()["random"],
+		// 0.06 crosses the pair trackers into sparse mode under adaptive
+		// (>1024 columns) so the sparse codec path is on the wire.
+		"wide": datagen.WideSchemaGraph(datagen.WideAtScale(0.06, 13)),
+	}
+	for name, g := range corpora {
+		t.Run(name, func(t *testing.T) {
+			triples := g.Triples()
+			var baseView, baseTracker, basePairs []byte
+			for aname, apol := range invariancePolicies {
+				bitset.SetPolicy(apol)
+				dict := term.NewDict()
+				d := incr.NewDatasetWithDict(dict, incr.Options{})
+				d.Apply(triples, nil)
+				st := d.ExportCheckpoint()
+
+				viewEnc := st.View.AppendBinary(nil)
+				trackerEnc := st.Tracker.AppendBinary(nil)
+				pairsEnc := st.Pairs.AppendBinary(nil)
+				if baseView == nil {
+					baseView, baseTracker, basePairs = viewEnc, trackerEnc, pairsEnc
+				} else {
+					if !bytes.Equal(viewEnc, baseView) {
+						t.Errorf("%s: checkpoint view encoding differs across policies", aname)
+					}
+					if !bytes.Equal(trackerEnc, baseTracker) {
+						t.Errorf("%s: checkpoint Σ-count encoding differs across policies", aname)
+					}
+					if !bytes.Equal(pairsEnc, basePairs) {
+						t.Errorf("%s: checkpoint pair encoding differs across policies", aname)
+					}
+				}
+
+				for bname, bpol := range invariancePolicies {
+					bitset.SetPolicy(bpol)
+					d2 := incr.NewDatasetWithDict(dict, incr.Options{})
+					if err := d2.RestoreCheckpoint(st); err != nil {
+						t.Fatalf("export under %s, restore under %s: %v", aname, bname, err)
+					}
+					if got, want := d2.SigmaCov().String(), d.SigmaCov().String(); got != want {
+						t.Errorf("restore under %s: σCov = %s, want %s", bname, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStorageStatsAcrossPolicies sanity-checks the accounting the
+// serving tier exposes: forcing sparse on a wide corpus must report a
+// large footprint win over forced dense, while the narrow paper shapes
+// stay fully dense under the adaptive cost model.
+func TestStorageStatsAcrossPolicies(t *testing.T) {
+	defer bitset.SetPolicy(bitset.SetPolicy(bitset.PolicyDense))
+	// 5000 columns: wide enough that the dense per-signature word cost
+	// dominates the fixed container overheads the reduction is up against.
+	wide := datagen.WideSchemaGraph(datagen.WideAtScale(0.25, 3))
+
+	bitset.SetPolicy(bitset.PolicyDense)
+	dense := matrix.FromGraph(wide, matrix.Options{})
+	bitset.SetPolicy(bitset.PolicyAdaptive)
+	adaptive := matrix.FromGraph(wide, matrix.Options{})
+
+	ds, as := dense.StorageStats(), adaptive.StorageStats()
+	if ds.SparseSigs != 0 {
+		t.Fatalf("forced dense produced %d sparse signatures", ds.SparseSigs)
+	}
+	if as.SparseSigs == 0 {
+		t.Fatalf("adaptive kept the wide corpus fully dense: %+v", as)
+	}
+	if as.SigBytes*5 > ds.SigBytes {
+		t.Fatalf("wide signature bytes: adaptive %d vs dense %d, want ≥5x reduction",
+			as.SigBytes, ds.SigBytes)
+	}
+
+	for _, narrow := range []*rdf.Graph{
+		datagen.DBpediaPersonsGraph(0.01),
+		datagen.WordNetNounsGraph(0.01),
+	} {
+		st := matrix.FromGraph(narrow, matrix.Options{}).StorageStats()
+		if st.SparseSigs != 0 {
+			t.Fatalf("adaptive compressed a narrow paper corpus: %+v", st)
+		}
+	}
+}
+
+// TestFromGraphGroupingAllocs pins the grouping loop's allocation
+// discipline: the per-subject key probe reuses one buffer and only a
+// never-seen pattern materializes a container, so FromGraph's
+// allocation count tracks distinct signatures, not subjects. A
+// regression to per-subject key/Indices churn multiplies allocations
+// by the subject count and trips the bound.
+func TestFromGraphGroupingAllocs(t *testing.T) {
+	defer bitset.SetPolicy(bitset.SetPolicy(bitset.PolicyAdaptive))
+	const subjects, sigs, props = 2000, 10, 600
+	g := rdf.NewGraph()
+	for s := 0; s < subjects; s++ {
+		tmpl := s % sigs
+		for k := 0; k < 8; k++ {
+			g.Add(rdf.Triple{
+				Subject:   fmt.Sprintf("http://x/s%d", s),
+				Predicate: fmt.Sprintf("http://x/p%03d", (tmpl*61+k*7)%props),
+				Object:    rdf.NewURI("http://x/o"),
+			})
+		}
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		matrix.FromGraph(g, matrix.Options{})
+	})
+	// Generous fixed budget: far above the O(props + sigs) construction
+	// cost, far below one allocation per subject.
+	if allocs > subjects/2 {
+		t.Fatalf("FromGraph allocations = %.0f for %d subjects / %d signatures; grouping loop is churning",
+			allocs, subjects, sigs)
+	}
+}
